@@ -1,0 +1,27 @@
+//! # llmulator-baselines
+//!
+//! The comparison cost models from the LLMulator evaluation (paper Sec. 7):
+//!
+//! * [`Tlp`] — language-model regression over conventionally tokenized
+//!   program text with sigmoid-normalized outputs and MSE loss;
+//! * [`Gnnhls`] — a message-passing GNN over the program's AST/dataflow
+//!   graph with a regression readout;
+//! * [`TensetMlp`] — an MLP over handcrafted coarse features (loop bounds,
+//!   op counts, tensor dims);
+//! * [`Timeloop`] — a rule-based analytical model restricted to perfectly
+//!   nested constant-bound tensor loops.
+//!
+//! All models implement the shared [`llmulator::CostModel`] trait so the
+//! experiment harness evaluates them uniformly.
+
+pub mod gnnhls;
+pub mod regression;
+pub mod tenset;
+pub mod timeloop;
+pub mod tlp;
+
+pub use gnnhls::{program_graph, Gnnhls, ProgramGraph};
+pub use regression::Normalizer;
+pub use tenset::{features as tenset_features, TensetMlp};
+pub use timeloop::{Timeloop, Unsupported};
+pub use tlp::Tlp;

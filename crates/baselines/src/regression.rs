@@ -1,0 +1,143 @@
+//! Shared machinery for the regression baselines: min–max normalization with
+//! a sigmoid output head and MSE training — exactly the output design whose
+//! edge-value compression the paper's digit-wise classification removes.
+
+use llmulator::Sample;
+use llmulator_nn::{Graph, Matrix, NodeId};
+use llmulator_sim::Metric;
+use serde::{Deserialize, Serialize};
+
+/// Per-metric min–max normalizer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Normalizer {
+    mins: [f64; 4],
+    maxs: [f64; 4],
+}
+
+impl Normalizer {
+    /// Fits ranges from training samples.
+    pub fn fit(samples: &[Sample]) -> Normalizer {
+        let mut mins = [f64::INFINITY; 4];
+        let mut maxs = [f64::NEG_INFINITY; 4];
+        for s in samples {
+            for (i, &m) in Metric::all().iter().enumerate() {
+                let v = s.cost.metric(m);
+                mins[i] = mins[i].min(v);
+                maxs[i] = maxs[i].max(v);
+            }
+        }
+        for i in 0..4 {
+            if !mins[i].is_finite() {
+                mins[i] = 0.0;
+            }
+            if !maxs[i].is_finite() || maxs[i] <= mins[i] {
+                maxs[i] = mins[i] + 1.0;
+            }
+        }
+        Normalizer { mins, maxs }
+    }
+
+    /// Normalizes a metric value into `[0, 1]` (clamped — values outside the
+    /// training range *saturate*, the paper's edge-distortion mechanism).
+    pub fn normalize(&self, metric_index: usize, v: f64) -> f32 {
+        let lo = self.mins[metric_index];
+        let hi = self.maxs[metric_index];
+        (((v - lo) / (hi - lo)).clamp(0.0, 1.0)) as f32
+    }
+
+    /// Maps a normalized prediction back to the metric's unit.
+    pub fn denormalize(&self, metric_index: usize, y: f32) -> f64 {
+        let lo = self.mins[metric_index];
+        let hi = self.maxs[metric_index];
+        lo + (y as f64).clamp(0.0, 1.0) * (hi - lo)
+    }
+
+    /// Normalized 4-vector target for a sample.
+    pub fn target_row(&self, sample: &Sample) -> Matrix {
+        let vals: Vec<f32> = Metric::all()
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| self.normalize(i, sample.cost.metric(m)))
+            .collect();
+        Matrix::from_vec(1, 4, vals)
+    }
+}
+
+/// Tape node for the MSE between a `1×4` prediction and a `1×4` target.
+pub fn mse_loss(g: &mut Graph, pred: NodeId, target: Matrix) -> NodeId {
+    let t = g.input(target);
+    let diff = g.sub(pred, t);
+    let sq = g.mul_elem(diff, diff);
+    // Sum the four columns, then scale by 1/4.
+    let mut acc = g.slice_cols(sq, 0, 1);
+    for c in 1..4 {
+        let s = g.slice_cols(sq, c, 1);
+        acc = g.add(acc, s);
+    }
+    g.scale(acc, 0.25)
+}
+
+/// Decodes a sigmoid-normalized `1×4` prediction into a cost vector.
+pub fn decode_prediction(norm: &Normalizer, pred: &Matrix) -> llmulator_sim::CostVector {
+    llmulator_sim::CostVector {
+        power_mw: norm.denormalize(0, pred.get(0, 0)),
+        area_um2: norm.denormalize(1, pred.get(0, 1)),
+        ff: norm.denormalize(2, pred.get(0, 2)).max(0.0) as u64,
+        cycles: norm.denormalize(3, pred.get(0, 3)).max(0.0) as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmulator_ir::builder::OperatorBuilder;
+    use llmulator_ir::{Expr, LValue, Program, Stmt};
+
+    fn sample(n: usize) -> Sample {
+        let op = OperatorBuilder::new("k")
+            .array_param("a", [n])
+            .loop_nest(&[("i", n)], |idx| {
+                vec![Stmt::assign(
+                    LValue::store("a", vec![idx[0].clone()]),
+                    Expr::int(1),
+                )]
+            })
+            .build();
+        Sample::profile(&Program::single_op(op), None).expect("profiles")
+    }
+
+    #[test]
+    fn normalization_round_trips_inside_range() {
+        let samples = vec![sample(4), sample(32)];
+        let norm = Normalizer::fit(&samples);
+        let v = samples[0].cost.cycles as f64;
+        let y = norm.normalize(3, v);
+        assert!((norm.denormalize(3, y) - v).abs() < 1.0);
+    }
+
+    #[test]
+    fn out_of_range_values_saturate() {
+        let samples = vec![sample(4), sample(8)];
+        let norm = Normalizer::fit(&samples);
+        let huge = 1e12;
+        assert_eq!(norm.normalize(3, huge), 1.0, "clamps at the training max");
+        let max_cycles = samples[1].cost.cycles.max(samples[0].cost.cycles) as f64;
+        assert!((norm.denormalize(3, 1.0) - max_cycles).abs() < 1.0);
+    }
+
+    #[test]
+    fn mse_loss_is_zero_at_target() {
+        let mut g = Graph::new();
+        let pred = g.input(Matrix::from_vec(1, 4, vec![0.1, 0.2, 0.3, 0.4]));
+        let loss = mse_loss(&mut g, pred, Matrix::from_vec(1, 4, vec![0.1, 0.2, 0.3, 0.4]));
+        assert!(g.value(loss).get(0, 0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mse_loss_penalizes_distance() {
+        let mut g = Graph::new();
+        let pred = g.input(Matrix::from_vec(1, 4, vec![1.0, 0.0, 0.0, 0.0]));
+        let loss = mse_loss(&mut g, pred, Matrix::zeros(1, 4));
+        assert!((g.value(loss).get(0, 0) - 0.25).abs() < 1e-6);
+    }
+}

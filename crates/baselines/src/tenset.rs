@@ -1,0 +1,238 @@
+//! Tenset-MLP baseline (Zheng et al., NeurIPS'21 style): handcrafted
+//! coarse-grained features (loop bounds, op counts, tensor dims) feed a
+//! small MLP regressor.
+//!
+//! As the paper notes, Tenset-MLP "treats all inputs with the same loop
+//! range or shape as equivalent" — the features include scalar loop-bound
+//! inputs but never tensor *values*, so value-dependent control flow is
+//! invisible.
+
+use crate::regression::{decode_prediction, mse_loss, Normalizer};
+use llmulator::{CostModel, Dataset, Sample, TrainOptions};
+use llmulator_hls::FuKind;
+use llmulator_nn::{AdamConfig, AdamW, Graph, Matrix, NodeId, ParamId, ParamStore};
+use llmulator_sim::CostVector;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Feature vector width.
+pub const FEATURE_DIM: usize = 20;
+const HIDDEN: usize = 32;
+
+/// Extracts the handcrafted feature vector for a sample.
+pub fn features(sample: &Sample) -> Matrix {
+    let program = &sample.program;
+    let mut f = vec![0.0f32; FEATURE_DIM];
+    // 0..8: per-kind weighted op counts (log-scaled), from the HLS census.
+    for op in &program.operators {
+        let census = llmulator_hls::count::census(op, &program.hw);
+        for (i, &kind) in FuKind::all().iter().enumerate() {
+            f[i] += census
+                .weighted_ops
+                .get(&kind)
+                .copied()
+                .unwrap_or(0.0)
+                .max(0.0) as f32;
+        }
+        f[9] = f[9].max(op.loop_depth() as f32);
+        f[10] += census.est_iterations as f32;
+        f[11] += census.branch_count as f32;
+    }
+    for v in f.iter_mut().take(8) {
+        *v = v.ln_1p();
+    }
+    f[10] = f[10].ln_1p();
+    // 8: operator count.
+    f[8] = program.operators.len() as f32;
+    // 12/13: memory delays; 14: lanes.
+    f[12] = program.hw.mem_read_delay as f32 / 10.0;
+    f[13] = program.hw.mem_write_delay as f32 / 10.0;
+    f[14] = program.hw.parallel_lanes as f32 / 4.0;
+    // 15: buffers; 16: log total buffer elements.
+    f[15] = program.graph.buffers.len() as f32;
+    let elems: usize = program
+        .graph
+        .buffers
+        .iter()
+        .filter_map(|b| b.const_len())
+        .sum();
+    f[16] = (elems as f32).ln_1p();
+    // 17: coarse input indicator — sum of scalar input magnitudes (loop
+    // ranges), log-scaled. Tensor *contents* are deliberately not read.
+    let scalar_sum: f64 = sample
+        .data
+        .iter()
+        .filter_map(|(_, v)| v.as_i64())
+        .map(|v| v.max(0) as f64)
+        .sum();
+    f[17] = (scalar_sum as f32).ln_1p();
+    // 18: invocation count; 19: bias.
+    f[18] = program.graph.op_count() as f32;
+    f[19] = 1.0;
+    Matrix::from_vec(1, FEATURE_DIM, f)
+}
+
+/// The Tenset-MLP model.
+#[derive(Debug, Clone)]
+pub struct TensetMlp {
+    store: ParamStore,
+    w1: ParamId,
+    b1: ParamId,
+    w2: ParamId,
+    b2: ParamId,
+    norm: Normalizer,
+}
+
+impl TensetMlp {
+    /// Builds an untrained model.
+    pub fn new(seed: u64) -> TensetMlp {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        TensetMlp {
+            w1: store.add("mlp.w1", Matrix::randn(FEATURE_DIM, HIDDEN, 0.2, &mut rng)),
+            b1: store.add("mlp.b1", Matrix::zeros(1, HIDDEN)),
+            w2: store.add("mlp.w2", Matrix::randn(HIDDEN, 4, 0.2, &mut rng)),
+            b2: store.add("mlp.b2", Matrix::zeros(1, 4)),
+            norm: Normalizer::fit(&[]),
+            store,
+        }
+    }
+
+    fn forward(&self, g: &mut Graph, store: &ParamStore, feats: &Matrix) -> NodeId {
+        let x = g.input(feats.clone());
+        let w1 = g.param(store, self.w1);
+        let b1 = g.param(store, self.b1);
+        let h = g.matmul(x, w1);
+        let h = g.add_row(h, b1);
+        let h = g.relu(h);
+        let w2 = g.param(store, self.w2);
+        let b2 = g.param(store, self.b2);
+        let out = g.matmul(h, w2);
+        let out = g.add_row(out, b2);
+        g.sigmoid(out)
+    }
+
+    /// Trains with MSE on normalized targets.
+    pub fn fit(&mut self, dataset: &Dataset, options: TrainOptions) -> Vec<f32> {
+        self.norm = Normalizer::fit(&dataset.samples);
+        let items: Vec<(Matrix, Matrix)> = dataset
+            .samples
+            .iter()
+            .map(|s| (features(s), self.norm.target_row(s)))
+            .collect();
+        if items.is_empty() {
+            return Vec::new();
+        }
+        let mut opt = AdamW::new(
+            &self.store,
+            AdamConfig {
+                lr: options.lr,
+                ..AdamConfig::default()
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(29);
+        let mut order: Vec<usize> = (0..items.len()).collect();
+        let mut curve = Vec::with_capacity(options.epochs);
+        for _ in 0..options.epochs {
+            order.shuffle(&mut rng);
+            let mut epoch = 0.0;
+            let mut batches = 0;
+            for chunk in order.chunks(options.batch_size.max(1)) {
+                let batch: Vec<&(Matrix, Matrix)> = chunk.iter().map(|&i| &items[i]).collect();
+                let (loss, grads) = llmulator_nn::train::batch_grads(
+                    &self.store,
+                    &batch,
+                    options.threads,
+                    |g, store, item| {
+                        let pred = self.forward(g, store, &item.0);
+                        mse_loss(g, pred, item.1.clone())
+                    },
+                );
+                opt.apply(&mut self.store, &grads);
+                epoch += loss;
+                batches += 1;
+            }
+            curve.push(epoch / batches.max(1) as f32);
+        }
+        curve
+    }
+}
+
+impl CostModel for TensetMlp {
+    fn name(&self) -> &str {
+        "Tenset-MLP"
+    }
+
+    fn predict(&self, sample: &Sample) -> CostVector {
+        let feats = features(sample);
+        let mut g = Graph::new();
+        let pred = self.forward(&mut g, &self.store, &feats);
+        decode_prediction(&self.norm, g.value(pred))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmulator_ir::builder::OperatorBuilder;
+    use llmulator_ir::{Expr, InputData, LValue, Program, Stmt, Tensor};
+
+    fn sample(n: usize) -> Sample {
+        let op = OperatorBuilder::new("k")
+            .array_param("a", [n])
+            .loop_nest(&[("i", n)], |idx| {
+                vec![Stmt::assign(
+                    LValue::store("a", vec![idx[0].clone()]),
+                    Expr::load("a", vec![idx[0].clone()]) + Expr::int(1),
+                )]
+            })
+            .build();
+        Sample::profile(&Program::single_op(op), None).expect("profiles")
+    }
+
+    #[test]
+    fn features_have_fixed_width_and_scale() {
+        let f4 = features(&sample(4));
+        let f32_ = features(&sample(32));
+        assert_eq!(f4.shape(), (1, FEATURE_DIM));
+        // Bigger kernels produce strictly larger iteration features.
+        assert!(f32_.get(0, 10) > f4.get(0, 10));
+    }
+
+    #[test]
+    fn tensor_values_are_invisible() {
+        // Same program, different tensor contents → identical features.
+        let base = sample(8);
+        let mut other = base.clone();
+        other.data = InputData::new().with("buf_a", Tensor::full(vec![8], 42.0));
+        assert_eq!(features(&base).data(), features(&other).data());
+    }
+
+    #[test]
+    fn scalar_inputs_are_visible() {
+        let base = sample(8);
+        let mut other = base.clone();
+        other.data = InputData::new().with("n", 999i64);
+        assert_ne!(features(&base).data(), features(&other).data());
+    }
+
+    #[test]
+    fn training_reduces_mse() {
+        let mut mlp = TensetMlp::new(5);
+        let ds: Dataset = vec![sample(4), sample(8), sample(16), sample(32)]
+            .into_iter()
+            .collect();
+        let curve = mlp.fit(
+            &ds,
+            TrainOptions {
+                epochs: 30,
+                batch_size: 2,
+                lr: 5e-3,
+                threads: 1,
+            },
+        );
+        assert!(curve.last().expect("runs") < curve.first().expect("runs"));
+        assert_eq!(mlp.name(), "Tenset-MLP");
+    }
+}

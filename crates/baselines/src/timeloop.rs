@@ -1,0 +1,305 @@
+//! A Timeloop-style analytical model (Parashar et al., ISPASS'19 role).
+//!
+//! Rule-based: hand-written formulas over *perfectly nested, constant-bound
+//! tensor loop nests*. Anything outside that template — conditional
+//! branches, input-dependent bounds, non-array control flow — is rejected,
+//! reproducing the expressiveness limits the paper demonstrates (e.g. the
+//! Polybench `adi` kernel cannot be described in Timeloop).
+//!
+//! The formulas deliberately idealize the machine (perfectly overlapped
+//! memory, no loop control overhead, no binding conflicts), so estimates are
+//! systematically biased relative to the profiled ground truth — the
+//! rule-based accuracy gap of Fig. 11.
+
+use llmulator::{CostModel, Sample};
+use llmulator_hls::cells::{binop_fu, intrinsic_fu, spec, FuKind};
+use llmulator_ir::{Expr, Operator, Program, Stmt};
+use llmulator_sim::CostVector;
+use std::fmt;
+
+/// Why a program cannot be modeled by the analytical template.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Unsupported {
+    /// Conditional branch encountered.
+    ControlFlow(String),
+    /// A loop bound is not a compile-time constant.
+    DynamicBound(String),
+    /// The loop nest is not perfectly nested.
+    ImperfectNest(String),
+}
+
+impl fmt::Display for Unsupported {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Unsupported::ControlFlow(op) => {
+                write!(f, "operator `{op}` contains control flow")
+            }
+            Unsupported::DynamicBound(op) => {
+                write!(f, "operator `{op}` has an input-dependent loop bound")
+            }
+            Unsupported::ImperfectNest(op) => {
+                write!(f, "operator `{op}` is not a perfect loop nest")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Unsupported {}
+
+/// The analytical model (stateless: no training).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Timeloop;
+
+#[derive(Debug, Default, Clone, Copy)]
+struct NestSummary {
+    trips: f64,
+    loads_per_iter: f64,
+    stores_per_iter: f64,
+    flop_latency_per_iter: f64,
+    flop_count_per_iter: f64,
+    energy_per_iter_pj: f64,
+    unit_area: f64,
+}
+
+impl Timeloop {
+    /// Checks whether a program fits the analytical template.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`Unsupported`] construct found.
+    pub fn supports(&self, program: &Program) -> Result<(), Unsupported> {
+        for op in &program.operators {
+            summarize(op)?;
+        }
+        Ok(())
+    }
+
+    /// Analytical estimate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Unsupported`] for programs outside the template.
+    pub fn estimate(&self, program: &Program) -> Result<CostVector, Unsupported> {
+        let hw = &program.hw;
+        let mut cycles = 0.0f64;
+        let mut area = 0.0f64;
+        let mut energy_pj = 0.0f64;
+        let mut ff = 0u64;
+        for op in &program.operators {
+            let s = summarize(op)?;
+            // Idealized pipeline: compute fully overlaps with memory; memory
+            // ports stream one word per delay/2 (perfect double buffering).
+            let mem = (s.loads_per_iter + s.stores_per_iter)
+                * (hw.mem_read_delay as f64 / 2.0);
+            let per_iter = s.flop_latency_per_iter.max(mem).max(1.0);
+            cycles += s.trips * per_iter;
+            area += s.unit_area + 800.0; // fixed controller allowance
+            energy_pj += s.trips * s.energy_per_iter_pj;
+            ff += (s.flop_count_per_iter as u64 + 2) * 32;
+        }
+        // Invocation-weighted cycles (operators invoked repeatedly).
+        let power = energy_pj / (cycles.max(1.0) * hw.clock_period_ns)
+            + area * 6.0e-6;
+        Ok(CostVector {
+            power_mw: power,
+            area_um2: area,
+            ff,
+            cycles: cycles.min(u64::MAX as f64) as u64,
+        })
+    }
+}
+
+fn summarize(op: &Operator) -> Result<NestSummary, Unsupported> {
+    // Descend the perfect nest.
+    let mut trips = 1.0f64;
+    let mut body: &[Stmt] = &op.body;
+    loop {
+        match body {
+            [Stmt::For(l)] => {
+                let trip = l
+                    .const_trip_count()
+                    .ok_or_else(|| Unsupported::DynamicBound(op.name.to_string()))?;
+                trips *= trip.max(0) as f64;
+                let inner_loops = l.body.iter().filter(|s| matches!(s, Stmt::For(_))).count();
+                if inner_loops > 0 && inner_loops != l.body.len() {
+                    return Err(Unsupported::ImperfectNest(op.name.to_string()));
+                }
+                if inner_loops > 1 {
+                    return Err(Unsupported::ImperfectNest(op.name.to_string()));
+                }
+                if inner_loops == 1 {
+                    body = &l.body;
+                    continue;
+                }
+                // innermost: summarize statements
+                let mut s = NestSummary {
+                    trips,
+                    ..NestSummary::default()
+                };
+                for stmt in &l.body {
+                    match stmt {
+                        Stmt::Assign { dest, value } => {
+                            tally(value, &mut s);
+                            if dest.writes_memory() {
+                                s.stores_per_iter += 1.0;
+                                s.energy_per_iter_pj += spec(FuKind::Store).energy_pj;
+                            }
+                        }
+                        Stmt::If { .. } => {
+                            return Err(Unsupported::ControlFlow(op.name.to_string()))
+                        }
+                        Stmt::For(_) => unreachable!("perfect-nest check above"),
+                    }
+                }
+                return Ok(s);
+            }
+            [Stmt::If { .. }, ..] => {
+                return Err(Unsupported::ControlFlow(op.name.to_string()))
+            }
+            _ => return Err(Unsupported::ImperfectNest(op.name.to_string())),
+        }
+    }
+}
+
+fn tally(expr: &Expr, s: &mut NestSummary) {
+    match expr {
+        Expr::Load { indices, .. } => {
+            s.loads_per_iter += 1.0;
+            s.energy_per_iter_pj += spec(FuKind::Load).energy_pj;
+            for i in indices {
+                tally(i, s);
+            }
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            let kind = binop_fu(*op);
+            let c = spec(kind);
+            s.flop_latency_per_iter += c.latency as f64;
+            s.flop_count_per_iter += 1.0;
+            s.energy_per_iter_pj += c.energy_pj;
+            s.unit_area += c.area_um2;
+            tally(lhs, s);
+            tally(rhs, s);
+        }
+        Expr::Call { func, args } => {
+            let c = spec(intrinsic_fu(*func));
+            s.flop_latency_per_iter += c.latency as f64;
+            s.flop_count_per_iter += 1.0;
+            s.energy_per_iter_pj += c.energy_pj;
+            s.unit_area += c.area_um2;
+            for a in args {
+                tally(a, s);
+            }
+        }
+        Expr::Unary { operand, .. } => tally(operand, s),
+        _ => {}
+    }
+}
+
+impl CostModel for Timeloop {
+    fn name(&self) -> &str {
+        "Timeloop"
+    }
+
+    /// Predicts analytically; unsupported programs fall back to zeros
+    /// (callers should gate on [`Timeloop::supports`], as the paper's
+    /// comparison restricts Timeloop to the operators it can express).
+    fn predict(&self, sample: &Sample) -> CostVector {
+        self.estimate(&sample.program).unwrap_or(CostVector {
+            power_mw: 0.0,
+            area_um2: 0.0,
+            ff: 0,
+            cycles: 0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmulator_ir::builder::OperatorBuilder;
+    use llmulator_ir::{BinOp, LValue, Program};
+
+    fn gemm(n: usize) -> Program {
+        let op = OperatorBuilder::new("gemm")
+            .array_param("a", [n, n])
+            .array_param("b", [n, n])
+            .array_param("c", [n, n])
+            .loop_nest(&[("i", n), ("j", n), ("k", n)], |idx| {
+                vec![Stmt::accumulate(
+                    "c",
+                    vec![idx[0].clone(), idx[1].clone()],
+                    Expr::load("a", vec![idx[0].clone(), idx[2].clone()])
+                        * Expr::load("b", vec![idx[2].clone(), idx[1].clone()]),
+                )]
+            })
+            .build();
+        Program::single_op(op)
+    }
+
+    #[test]
+    fn supports_tensor_algebra() {
+        assert!(Timeloop.supports(&gemm(8)).is_ok());
+    }
+
+    #[test]
+    fn rejects_control_flow() {
+        let op = OperatorBuilder::new("branchy")
+            .array_param("a", [8])
+            .loop_nest(&[("i", 8)], |idx| {
+                vec![Stmt::if_then(
+                    Expr::binary(BinOp::Gt, Expr::load("a", vec![idx[0].clone()]), Expr::int(0)),
+                    vec![Stmt::assign(
+                        LValue::store("a", vec![idx[0].clone()]),
+                        Expr::int(1),
+                    )],
+                )]
+            })
+            .build();
+        let p = Program::single_op(op);
+        assert!(matches!(
+            Timeloop.supports(&p),
+            Err(Unsupported::ControlFlow(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_dynamic_bounds() {
+        let op = OperatorBuilder::new("dyn")
+            .scalar_param("n")
+            .array_param("a", [64])
+            .dyn_loop_nest(&[("i", Expr::var("n"))], |idx| {
+                vec![Stmt::assign(
+                    LValue::store("a", vec![idx[0].clone()]),
+                    Expr::int(0),
+                )]
+            })
+            .build();
+        let p = Program::single_op(op);
+        assert!(matches!(
+            Timeloop.supports(&p),
+            Err(Unsupported::DynamicBound(_))
+        ));
+    }
+
+    #[test]
+    fn estimate_scales_with_problem_size() {
+        let small = Timeloop.estimate(&gemm(4)).expect("small");
+        let large = Timeloop.estimate(&gemm(16)).expect("large");
+        assert!(large.cycles > small.cycles * 16);
+        assert!(large.power_mw > 0.0);
+    }
+
+    #[test]
+    fn estimate_is_biased_but_correlated_with_ground_truth() {
+        let p = gemm(8);
+        let truth = llmulator_sim::profile(&p, &llmulator_ir::InputData::new())
+            .expect("profiles")
+            .cost;
+        let est = Timeloop.estimate(&p).expect("estimates");
+        let ratio = est.cycles as f64 / truth.cycles as f64;
+        assert!(
+            (0.05..1.0).contains(&ratio),
+            "idealized model under-predicts: ratio {ratio}"
+        );
+    }
+}

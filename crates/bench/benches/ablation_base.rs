@@ -1,0 +1,6 @@
+//! Bench target for the ablation_base design-choice ablation. Run with
+//! `cargo bench -p llmulator-bench --bench ablation_base`.
+
+fn main() {
+    let _ = llmulator_bench::experiments::ablation_base::run();
+}

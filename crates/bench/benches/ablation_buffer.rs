@@ -1,0 +1,6 @@
+//! Bench target for the ablation_buffer design-choice ablation. Run with
+//! `cargo bench -p llmulator-bench --bench ablation_buffer`.
+
+fn main() {
+    let _ = llmulator_bench::experiments::ablation_buffer::run();
+}

@@ -1,0 +1,6 @@
+//! Bench target for the program-normalization ablation. Run with
+//! `cargo bench -p llmulator-bench --bench ablation_norm`.
+
+fn main() {
+    let _ = llmulator_bench::experiments::ablation_norm::run();
+}

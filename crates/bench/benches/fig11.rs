@@ -1,0 +1,6 @@
+//! Bench target regenerating the paper's fig11. Run with
+//! `cargo bench -p llmulator-bench --bench fig11`.
+
+fn main() {
+    let _ = llmulator_bench::experiments::fig11::run();
+}

@@ -1,0 +1,6 @@
+//! Bench target regenerating the paper's fig12. Run with
+//! `cargo bench -p llmulator-bench --bench fig12`.
+
+fn main() {
+    let _ = llmulator_bench::experiments::fig12::run();
+}

@@ -1,0 +1,6 @@
+//! Bench target regenerating the paper's table10. Run with
+//! `cargo bench -p llmulator-bench --bench table10`.
+
+fn main() {
+    let _ = llmulator_bench::experiments::table10::run();
+}

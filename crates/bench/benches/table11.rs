@@ -1,0 +1,6 @@
+//! Bench target regenerating the paper's table11. Run with
+//! `cargo bench -p llmulator-bench --bench table11`.
+
+fn main() {
+    let _ = llmulator_bench::experiments::table11::run();
+}

@@ -1,0 +1,6 @@
+//! Bench target regenerating the paper's table2. Run with
+//! `cargo bench -p llmulator-bench --bench table2`.
+
+fn main() {
+    let _ = llmulator_bench::experiments::table2::run();
+}

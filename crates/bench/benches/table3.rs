@@ -1,0 +1,6 @@
+//! Bench target regenerating the paper's table3. Run with
+//! `cargo bench -p llmulator-bench --bench table3`.
+
+fn main() {
+    let _ = llmulator_bench::experiments::table3::run();
+}

@@ -1,0 +1,6 @@
+//! Bench target regenerating the paper's table4. Run with
+//! `cargo bench -p llmulator-bench --bench table4`.
+
+fn main() {
+    let _ = llmulator_bench::experiments::table4::run();
+}

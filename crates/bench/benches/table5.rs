@@ -1,0 +1,6 @@
+//! Bench target regenerating the paper's table5. Run with
+//! `cargo bench -p llmulator-bench --bench table5`.
+
+fn main() {
+    let _ = llmulator_bench::experiments::table5::run();
+}

@@ -1,0 +1,6 @@
+//! Bench target regenerating the paper's table6. Run with
+//! `cargo bench -p llmulator-bench --bench table6`.
+
+fn main() {
+    let _ = llmulator_bench::experiments::table6::run();
+}

@@ -1,0 +1,6 @@
+//! Bench target regenerating the paper's table7. Run with
+//! `cargo bench -p llmulator-bench --bench table7`.
+
+fn main() {
+    let _ = llmulator_bench::experiments::table7::run();
+}

@@ -1,0 +1,6 @@
+//! Bench target regenerating the paper's table8. Run with
+//! `cargo bench -p llmulator-bench --bench table8`.
+
+fn main() {
+    let _ = llmulator_bench::experiments::table8::run();
+}

@@ -1,0 +1,6 @@
+//! Bench target regenerating the paper's table9. Run with
+//! `cargo bench -p llmulator-bench --bench table9`.
+
+fn main() {
+    let _ = llmulator_bench::experiments::table9::run();
+}

@@ -1,0 +1,313 @@
+//! Shared experiment context: budgets, training-set construction, model
+//! training and evaluation protocol.
+
+use llmulator::{
+    CostModel, Dataset, ModelScale, NumericPredictor, PredictorConfig, Sample, TrainOptions,
+};
+use llmulator_baselines::{Gnnhls, TensetMlp, Tlp};
+use llmulator_sim::Metric;
+use llmulator_synth::{synthesize, DataFormat, SynthesisConfig};
+use llmulator_token::NumericMode;
+use llmulator_workloads::{accelerators, modern, polybench, Workload};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Experiment budget (training volume and iteration counts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Budget {
+    /// Synthetic samples in the paper-mix training set.
+    pub synthetic: usize,
+    /// Training epochs for learned models.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch: usize,
+    /// DPO calibration iterations per workload (the paper uses 5).
+    pub dpo_iterations: usize,
+    /// Repetitions for latency medians.
+    pub latency_reps: usize,
+}
+
+/// Reads the budget from `LLMULATOR_BUDGET` (`quick` default, `full` for
+/// longer runs).
+pub fn budget() -> Budget {
+    match std::env::var("LLMULATOR_BUDGET").as_deref() {
+        Ok("full") => Budget {
+            synthetic: 400,
+            epochs: 10,
+            batch: 8,
+            dpo_iterations: 5,
+            latency_reps: 9,
+        },
+        _ => Budget {
+            synthetic: 120,
+            epochs: 10,
+            batch: 8,
+            dpo_iterations: 5,
+            latency_reps: 5,
+        },
+    }
+}
+
+impl Budget {
+    /// Train options derived from the budget.
+    pub fn train_options(&self) -> TrainOptions {
+        TrainOptions {
+            epochs: self.epochs,
+            batch_size: self.batch,
+            lr: 3e-3,
+            threads: 2,
+        }
+    }
+}
+
+/// Evaluation input-scale factors (unseen during training).
+pub const EVAL_FACTORS: &[f64] = &[0.9, 1.0, 1.1];
+/// Training/neighbourhood input-scale factors (the paper's ±50% iteration).
+pub const TRAIN_FACTORS: &[f64] = &[0.5, 0.75, 1.25, 1.5];
+/// Calibration input-scale factors (profiler feedback stream).
+pub const CALIB_FACTORS: &[f64] = &[0.7, 0.85, 1.15, 1.3, 0.95];
+
+/// All 27 evaluation workloads in Table 3 row order: 10 Polybench, 14
+/// modern, 3 accelerator variants.
+pub fn all_workloads() -> Vec<Workload> {
+    let mut ws = polybench::all();
+    ws.extend(modern::all());
+    ws.extend(accelerators::all());
+    ws
+}
+
+/// Profiles a workload at several input scales with the given data format.
+pub fn workload_samples(w: &Workload, factors: &[f64], format: DataFormat) -> Vec<Sample> {
+    factors
+        .iter()
+        .filter_map(|&f| {
+            let data = w.scaled_inputs(f);
+            match format {
+                DataFormat::Direct => Sample::profile(&w.program, Some(&data)).ok(),
+                DataFormat::Reasoning => {
+                    Sample::profile_reasoning(&w.program, Some(&data)).ok()
+                }
+            }
+        })
+        .collect()
+}
+
+/// Builds the full training dataset: the progressive synthetic mix plus the
+/// dataflow-specific neighbourhood of the evaluation workloads (different
+/// input scales and LLM-style mutated variants; the evaluation points
+/// themselves — factors [`EVAL_FACTORS`] — are excluded).
+pub fn training_dataset(b: &Budget, format: DataFormat, seed: u64) -> Dataset {
+    let mut config = SynthesisConfig::paper_mix(b.synthetic, seed);
+    config.format = format;
+    let mut ds = synthesize(&config);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xabcd);
+    for w in all_workloads() {
+        for s in workload_samples(&w, TRAIN_FACTORS, format) {
+            ds.push(s);
+        }
+        // LLM-style mutated variants widen the neighbourhood (Sec. 6.1).
+        for variant in llmulator_synth::variants(&w.program, 2, &mut rng) {
+            let emitted = match format {
+                DataFormat::Direct => Sample::profile(&variant, Some(&w.inputs)).ok(),
+                DataFormat::Reasoning => {
+                    Sample::profile_reasoning(&variant, Some(&w.inputs)).ok()
+                }
+            };
+            if let Some(s) = emitted {
+                ds.push(s);
+            }
+        }
+    }
+    ds
+}
+
+/// Which models to train for an experiment.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SuiteFlags {
+    /// LLMulator with progressive encoding.
+    pub ours: bool,
+    /// The NoEnc ablation (whole-number tokenizer).
+    pub noenc: bool,
+    /// TLP.
+    pub tlp: bool,
+    /// GNNHLS.
+    pub gnn: bool,
+    /// Tenset-MLP.
+    pub tenset: bool,
+}
+
+impl SuiteFlags {
+    /// Everything.
+    pub fn all() -> SuiteFlags {
+        SuiteFlags {
+            ours: true,
+            noenc: true,
+            tlp: true,
+            gnn: true,
+            tenset: true,
+        }
+    }
+
+    /// Only LLMulator.
+    pub fn ours_only() -> SuiteFlags {
+        SuiteFlags {
+            ours: true,
+            ..SuiteFlags::default()
+        }
+    }
+}
+
+/// A trained model suite plus the dataset it was trained on.
+pub struct TrainedSuite {
+    /// Training data.
+    pub dataset: Dataset,
+    /// LLMulator.
+    pub ours: Option<NumericPredictor>,
+    /// NoEnc ablation.
+    pub noenc: Option<NumericPredictor>,
+    /// TLP baseline.
+    pub tlp: Option<Tlp>,
+    /// GNNHLS baseline.
+    pub gnn: Option<Gnnhls>,
+    /// Tenset-MLP baseline.
+    pub tenset: Option<TensetMlp>,
+}
+
+/// Default predictor configuration for the harness.
+pub fn predictor_config(mode: NumericMode, seed: u64) -> PredictorConfig {
+    PredictorConfig {
+        scale: ModelScale::Medium,
+        codec: llmulator::DigitCodec::standard(),
+        numeric_mode: mode,
+        max_len: 256,
+        seed,
+    }
+}
+
+/// Trains the requested models on a shared dataset.
+pub fn train_suite(b: &Budget, flags: SuiteFlags, format: DataFormat, seed: u64) -> TrainedSuite {
+    let dataset = training_dataset(b, format, seed);
+    train_suite_on(b, flags, &dataset, seed)
+}
+
+/// Trains the requested models on a caller-provided dataset.
+pub fn train_suite_on(
+    b: &Budget,
+    flags: SuiteFlags,
+    dataset: &Dataset,
+    seed: u64,
+) -> TrainedSuite {
+    let opts = b.train_options();
+    let ours = flags.ours.then(|| {
+        let mut m = NumericPredictor::new(predictor_config(NumericMode::Digits, seed));
+        m.fit(dataset, opts);
+        m
+    });
+    let noenc = flags.noenc.then(|| {
+        let mut m = NumericPredictor::new(predictor_config(NumericMode::Whole, seed + 1));
+        m.fit(dataset, opts);
+        m
+    });
+    let tlp = flags.tlp.then(|| {
+        let mut m = Tlp::new(256, seed + 2);
+        m.fit(dataset, opts);
+        m
+    });
+    let gnn = flags.gnn.then(|| {
+        let mut m = Gnnhls::new(seed + 3);
+        m.fit(
+            dataset,
+            TrainOptions {
+                epochs: opts.epochs * 3,
+                ..opts
+            },
+        );
+        m
+    });
+    let tenset = flags.tenset.then(|| {
+        let mut m = TensetMlp::new(seed + 4);
+        m.fit(
+            dataset,
+            TrainOptions {
+                epochs: opts.epochs * 6,
+                ..opts
+            },
+        );
+        m
+    });
+    TrainedSuite {
+        dataset: dataset.clone(),
+        ours,
+        noenc,
+        tlp,
+        gnn,
+        tenset,
+    }
+}
+
+/// MAPE of a model on samples for one metric.
+pub fn mape_on(model: &dyn CostModel, samples: &[Sample], metric: Metric) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let predicted: Vec<f64> = samples
+        .iter()
+        .map(|s| model.predict_metric(s, metric))
+        .collect();
+    let actual: Vec<f64> = samples.iter().map(|s| s.cost.metric(metric)).collect();
+    llmulator_eval::mape(&predicted, &actual)
+}
+
+/// Median wall-clock seconds of `f` over `reps` runs.
+pub fn median_seconds(reps: usize, mut f: impl FnMut()) -> f64 {
+    let reps = reps.max(1);
+    let mut times = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        times.push(t0.elapsed().as_secs_f64());
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    times[reps / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_defaults_to_quick() {
+        let b = budget();
+        assert!(b.synthetic >= 100);
+        assert_eq!(b.dpo_iterations, 5);
+    }
+
+    #[test]
+    fn workload_roster_is_complete() {
+        assert_eq!(all_workloads().len(), 27);
+    }
+
+    #[test]
+    fn eval_and_train_factors_are_disjoint() {
+        for f in EVAL_FACTORS {
+            assert!(!TRAIN_FACTORS.contains(f));
+            assert!(!CALIB_FACTORS.contains(f));
+        }
+    }
+
+    #[test]
+    fn workload_samples_profile_each_factor() {
+        let w = &polybench::all()[1]; // atax (static, cheap)
+        let samples = workload_samples(w, &[0.5, 1.0], DataFormat::Direct);
+        assert_eq!(samples.len(), 2);
+    }
+
+    #[test]
+    fn median_seconds_is_positive() {
+        let t = median_seconds(3, || {
+            std::hint::black_box((0..1000).sum::<u64>());
+        });
+        assert!(t >= 0.0);
+    }
+}

@@ -1,0 +1,65 @@
+//! Ablation: the base-`D` trade-off of the output numerical modeling
+//! (paper Sec. 4.2). Smaller bases give longer digit sequences (long-range
+//! dependencies); larger bases give shorter sequences but harder per-digit
+//! classification. The paper argues decimal is the sweet spot — this bench
+//! sweeps `D ∈ {2, 4, 10, 16}` at matched value range and compares cycles
+//! MAPE and encoding length.
+
+use crate::context::{budget, mape_on, training_dataset, workload_samples, EVAL_FACTORS};
+use llmulator::{DigitCodec, ModelScale, NumericPredictor, PredictorConfig};
+use llmulator_eval::Table;
+use llmulator_sim::Metric;
+use llmulator_synth::DataFormat;
+use llmulator_token::NumericMode;
+use llmulator_workloads::polybench;
+
+/// Codec configurations covering the same value range (~10^7).
+fn codecs() -> Vec<DigitCodec> {
+    vec![
+        DigitCodec { base: 2, width: 24 },
+        DigitCodec { base: 4, width: 12 },
+        DigitCodec { base: 10, width: 8 },
+        DigitCodec { base: 16, width: 6 },
+    ]
+}
+
+/// Regenerates the base-trade-off ablation.
+pub fn run() -> String {
+    let b = budget();
+    let dataset = training_dataset(&b, DataFormat::Reasoning, 53);
+    let kernels = polybench::all();
+
+    let mut table = Table::new(
+        "Ablation: output numeric base D (encoding length L vs per-digit complexity)",
+    );
+    table.header(["Base D", "Width L", "Logit dim", "Cycles MAPE (Polybench avg)"]);
+    for codec in codecs() {
+        let mut model = NumericPredictor::new(PredictorConfig {
+            scale: ModelScale::Medium,
+            codec,
+            numeric_mode: NumericMode::Digits,
+            max_len: 256,
+            seed: 53,
+        });
+        model.fit(&dataset, b.train_options());
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for w in &kernels {
+            let eval = workload_samples(w, EVAL_FACTORS, DataFormat::Reasoning);
+            if eval.is_empty() {
+                continue;
+            }
+            sum += mape_on(&model, &eval, Metric::Cycles);
+            n += 1;
+        }
+        table.row([
+            codec.base.to_string(),
+            codec.width.to_string(),
+            codec.base.to_string(),
+            Table::pct(sum / n.max(1) as f64),
+        ]);
+    }
+    let out = table.render();
+    println!("{out}");
+    out
+}

@@ -1,0 +1,78 @@
+//! Ablation: replay-cost-buffer window size (paper Sec. 5.1). A buffer of
+//! size 1 gives pure online updates (suitable for stable environments);
+//! larger windows reuse recent profiles via minibatch replay and resist
+//! overfitting to the latest observation.
+
+use crate::context::{budget, predictor_config, CALIB_FACTORS};
+use llmulator::{
+    calibrate_cycles, Dataset, DpoCalibrator, DpoConfig, NumericPredictor, Sample, TrainOptions,
+};
+use llmulator_eval::Table;
+use llmulator_token::NumericMode;
+use llmulator_workloads::polybench;
+
+/// Regenerates the replay-buffer ablation: post-calibration cycle error per
+/// buffer size, averaged over the time-iterated Polybench kernels.
+pub fn run() -> String {
+    let b = budget();
+    // Time-loop kernels (input-adaptive): adi, fdtd-2d, heat-3d, jacobi-2d,
+    // seidel-2d.
+    let kernels: Vec<_> = polybench::all()
+        .into_iter()
+        .filter(|w| !w.program.graph.params.is_empty())
+        .collect();
+
+    let mut table = Table::new("Ablation: replay-cost-buffer window size (post-calibration cycle APE)");
+    table.header(["Buffer size", "Minibatch", "APE after calibration"]);
+    for &(buffer_size, minibatch) in &[(1usize, 1usize), (4, 2), (16, 4)] {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for w in &kernels {
+            // Pre-train lightly on the kernel's own scale neighbourhood.
+            let train: Dataset = crate::context::TRAIN_FACTORS
+                .iter()
+                .filter_map(|&f| Sample::profile(&w.program, Some(&w.scaled_inputs(f))).ok())
+                .collect();
+            if train.is_empty() {
+                continue;
+            }
+            let mut model = NumericPredictor::new(predictor_config(NumericMode::Digits, 61));
+            model.fit(
+                &train,
+                TrainOptions {
+                    epochs: 6,
+                    batch_size: 2,
+                    lr: 3e-3,
+                    threads: 2,
+                },
+            );
+            let mut cal = DpoCalibrator::new(
+                &model,
+                DpoConfig {
+                    buffer_size,
+                    minibatch,
+                    lr: 1e-3,
+                    steps_per_observation: 2,
+                    ..DpoConfig::default()
+                },
+            );
+            let inputs: Vec<_> = CALIB_FACTORS
+                .iter()
+                .take(b.dpo_iterations)
+                .map(|&f| w.scaled_inputs(f))
+                .collect();
+            if let Ok(trace) = calibrate_cycles(&mut model, &mut cal, &w.program, &inputs) {
+                sum += trace.mape_last(2);
+                n += 1;
+            }
+        }
+        table.row([
+            buffer_size.to_string(),
+            minibatch.to_string(),
+            Table::pct(sum / n.max(1) as f64),
+        ]);
+    }
+    let out = table.render();
+    println!("{out}");
+    out
+}

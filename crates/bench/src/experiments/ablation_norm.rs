@@ -1,0 +1,70 @@
+//! Ablation: program normalization (the paper's "Dealing with Errors"
+//! future-work direction, implemented in `llmulator_ir::normalize`).
+//! Normalizing programs before tokenization removes gratuitous surface
+//! variance (operand order, foldable constants, dead branches); this bench
+//! trains one model on raw text and one on normalized text and compares
+//! cycles MAPE on the Polybench kernels (evaluated in the matching form).
+
+use crate::context::{budget, mape_on, training_dataset, workload_samples, EVAL_FACTORS};
+use llmulator::{Dataset, NumericPredictor, Sample};
+use llmulator_eval::Table;
+use llmulator_sim::Metric;
+use llmulator_synth::DataFormat;
+use llmulator_token::NumericMode;
+use llmulator_workloads::polybench;
+
+/// Re-profiles every sample on its normalized program (text and labels are
+/// regenerated so they stay consistent).
+pub fn normalize_dataset(ds: &Dataset) -> Dataset {
+    ds.samples
+        .iter()
+        .filter_map(|s| {
+            let mut program = s.program.clone();
+            llmulator_ir::normalize_program(&mut program);
+            Sample::profile_reasoning(&program, Some(&s.data)).ok()
+        })
+        .collect()
+}
+
+/// Regenerates the normalization ablation.
+pub fn run() -> String {
+    let b = budget();
+    let raw = training_dataset(&b, DataFormat::Reasoning, 71);
+    let normalized = normalize_dataset(&raw);
+
+    let mut model_raw =
+        NumericPredictor::new(crate::context::predictor_config(NumericMode::Digits, 71));
+    model_raw.fit(&raw, b.train_options());
+    let mut model_norm =
+        NumericPredictor::new(crate::context::predictor_config(NumericMode::Digits, 71));
+    model_norm.fit(&normalized, b.train_options());
+
+    let mut table = Table::new("Ablation: program normalization before tokenization (cycles MAPE)");
+    table.header(["Kernel", "Raw text", "Normalized text"]);
+    let mut sums = [0.0f64; 2];
+    let mut n = 0usize;
+    for w in polybench::all() {
+        let eval_raw = workload_samples(&w, EVAL_FACTORS, DataFormat::Reasoning);
+        // Evaluate the normalized model on normalized programs.
+        let mut norm_w = w.clone();
+        llmulator_ir::normalize_program(&mut norm_w.program);
+        let eval_norm = workload_samples(&norm_w, EVAL_FACTORS, DataFormat::Reasoning);
+        if eval_raw.is_empty() || eval_norm.is_empty() {
+            continue;
+        }
+        let a = mape_on(&model_raw, &eval_raw, Metric::Cycles);
+        let c = mape_on(&model_norm, &eval_norm, Metric::Cycles);
+        sums[0] += a;
+        sums[1] += c;
+        n += 1;
+        table.row([w.name.clone(), Table::pct(a), Table::pct(c)]);
+    }
+    table.row([
+        "average".to_string(),
+        Table::pct(sums[0] / n.max(1) as f64),
+        Table::pct(sums[1] / n.max(1) as f64),
+    ]);
+    let out = table.render();
+    println!("{out}");
+    out
+}

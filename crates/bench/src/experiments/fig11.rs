@@ -1,0 +1,96 @@
+//! Figure 11 — power-prediction MAPE versus the Timeloop-style analytical
+//! model on the Table 2 workloads, restricted to the tensor-algebra
+//! operators Timeloop can express (the paper's protocol: decompose each
+//! workload into Timeloop-supported atomic operators and aggregate).
+
+use crate::context::{budget, mape_on, train_suite, SuiteFlags, EVAL_FACTORS};
+use llmulator::Sample;
+use llmulator_baselines::Timeloop;
+use llmulator_eval::Table;
+use llmulator_ir::Program;
+use llmulator_sim::Metric;
+use llmulator_synth::DataFormat;
+use llmulator_workloads::modern;
+
+/// Restricts a program to its Timeloop-supported operators (and their
+/// invocations); returns `None` if nothing remains.
+pub fn tensor_subprogram(program: &Program) -> Option<Program> {
+    let tl = Timeloop;
+    let supported: Vec<_> = program
+        .operators
+        .iter()
+        .filter(|op| {
+            let single = Program::new(
+                program.graph.clone(),
+                vec![(*op).clone()],
+                program.hw,
+            );
+            // check just this operator's template
+            tl.supports(&Program {
+                graph: llmulator_ir::DataflowGraph::new("probe"),
+                operators: single.operators,
+                hw: program.hw,
+            })
+            .is_ok()
+        })
+        .cloned()
+        .collect();
+    if supported.is_empty() {
+        return None;
+    }
+    let names: std::collections::HashSet<_> =
+        supported.iter().map(|o| o.name.clone()).collect();
+    let mut graph = program.graph.clone();
+    graph
+        .invocations
+        .retain(|inv| names.contains(&inv.op));
+    if graph.invocations.is_empty() {
+        return None;
+    }
+    Some(Program::new(graph, supported, program.hw))
+}
+
+/// Regenerates Figure 11 (as a two-series table of MAPE values).
+pub fn run() -> String {
+    let b = budget();
+    let suite = train_suite(&b, SuiteFlags::ours_only(), DataFormat::Reasoning, 37);
+    let ours = suite.ours.as_ref().expect("ours");
+    let timeloop = Timeloop;
+
+    let mut table = Table::new(
+        "Figure 11: Power MAPE vs Timeloop on Timeloop-expressible operator subsets",
+    );
+    table.header(["Workload", "Ours", "Timeloop"]);
+    let mut sums = [0.0f64; 2];
+    let mut count = 0usize;
+    for w in modern::all() {
+        let Some(sub) = tensor_subprogram(&w.program) else {
+            continue;
+        };
+        let eval: Vec<Sample> = EVAL_FACTORS
+            .iter()
+            .filter_map(|&f| {
+                Sample::profile_reasoning(&sub, Some(&w.scaled_inputs(f))).ok()
+            })
+            .collect();
+        if eval.is_empty() {
+            continue;
+        }
+        let ours_mape = mape_on(ours, &eval, Metric::Power);
+        let tl_mape = mape_on(&timeloop, &eval, Metric::Power);
+        sums[0] += ours_mape;
+        sums[1] += tl_mape;
+        count += 1;
+        table.row([w.name.clone(), Table::pct(ours_mape), Table::pct(tl_mape)]);
+    }
+    if count > 0 {
+        table.row([
+            "average".to_string(),
+            Table::pct(sums[0] / count as f64),
+            Table::pct(sums[1] / count as f64),
+        ]);
+    }
+    let out = table.render();
+    println!("{out}");
+    out
+}

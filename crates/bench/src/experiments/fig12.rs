@@ -1,0 +1,50 @@
+//! Figure 12 — hardware generalization: cycle-prediction MAPE across memory
+//! read/write delays {2, 5, 10, 15}. The training sweep covers {2, 5, 10};
+//! 15 is held out, testing generalization beyond the synthesizer's
+//! parameters.
+
+use crate::context::{budget, mape_on, train_suite, SuiteFlags, EVAL_FACTORS};
+use llmulator::Sample;
+use llmulator_eval::Table;
+use llmulator_sim::Metric;
+use llmulator_synth::{DataFormat, EVAL_MEM_DELAYS};
+use llmulator_workloads::modern;
+
+/// Regenerates Figure 12 (as a delay × workload MAPE table).
+pub fn run() -> String {
+    let b = budget();
+    let suite = train_suite(&b, SuiteFlags::ours_only(), DataFormat::Reasoning, 43);
+    let ours = suite.ours.as_ref().expect("ours");
+
+    let ws = modern::all();
+    let mut table = Table::new(
+        "Figure 12: Cycle MAPE across memory R/W delay (train sweep {2,5,10}; 15 held out)",
+    );
+    let mut header = vec!["Delay".to_string()];
+    header.extend((1..=ws.len()).map(|i| format!("Tab 2-{i}")));
+    header.push("average".to_string());
+    table.header(header);
+
+    for &delay in EVAL_MEM_DELAYS {
+        let mut cells = vec![delay.to_string()];
+        let mut sum = 0.0;
+        for w in &ws {
+            let mut program = w.program.clone();
+            program.hw = program.hw.with_mem_delay(delay);
+            let eval: Vec<Sample> = EVAL_FACTORS
+                .iter()
+                .filter_map(|&f| {
+                    Sample::profile_reasoning(&program, Some(&w.scaled_inputs(f))).ok()
+                })
+                .collect();
+            let m = mape_on(ours, &eval, Metric::Cycles);
+            sum += m;
+            cells.push(Table::pct(m));
+        }
+        cells.push(Table::pct(sum / ws.len().max(1) as f64));
+        table.row(cells);
+    }
+    let out = table.render();
+    println!("{out}");
+    out
+}

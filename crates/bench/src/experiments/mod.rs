@@ -1,0 +1,19 @@
+//! One module per paper table/figure. Every `run` function prints the
+//! regenerated artifact and returns it as a string so integration tests can
+//! assert on its structure.
+
+pub mod ablation_base;
+pub mod ablation_buffer;
+pub mod ablation_norm;
+pub mod fig11;
+pub mod fig12;
+pub mod table10;
+pub mod table11;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+pub mod table6;
+pub mod table7;
+pub mod table8;
+pub mod table9;

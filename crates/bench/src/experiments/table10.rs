@@ -1,0 +1,48 @@
+//! Table 10 — sensitivity to base-model scale: cycles MAPE on the modern
+//! workloads for the Small / Medium / Large configurations standing in for
+//! the paper's Qwen2.5-0.5B / LLaMA-3.2-1B / LLaMA-3.1-8B.
+
+use crate::context::{budget, mape_on, training_dataset, workload_samples, EVAL_FACTORS};
+use llmulator::{DigitCodec, ModelScale, NumericPredictor, PredictorConfig};
+use llmulator_eval::Table;
+use llmulator_sim::Metric;
+use llmulator_synth::DataFormat;
+use llmulator_token::NumericMode;
+use llmulator_workloads::modern;
+
+/// Regenerates Table 10.
+pub fn run() -> String {
+    let b = budget();
+    let dataset = training_dataset(&b, DataFormat::Reasoning, 23);
+    let ws = modern::all();
+
+    let mut table = Table::new("Table 10: Cycles MAPE at different model scales");
+    let mut header = vec!["Scale".to_string()];
+    header.extend((1..=ws.len()).map(|i| i.to_string()));
+    header.push("average".to_string());
+    table.header(header);
+
+    for scale in [ModelScale::Small, ModelScale::Medium, ModelScale::Large] {
+        let mut model = NumericPredictor::new(PredictorConfig {
+            scale,
+            codec: DigitCodec::standard(),
+            numeric_mode: NumericMode::Digits,
+            max_len: 256,
+            seed: 23,
+        });
+        model.fit(&dataset, b.train_options());
+        let mut cells = vec![scale.label().to_string()];
+        let mut sum = 0.0;
+        for w in &ws {
+            let eval = workload_samples(w, EVAL_FACTORS, DataFormat::Reasoning);
+            let m = mape_on(&model, &eval, Metric::Cycles);
+            sum += m;
+            cells.push(Table::pct(m));
+        }
+        cells.push(Table::pct(sum / ws.len().max(1) as f64));
+        table.row(cells);
+    }
+    let out = table.render();
+    println!("{out}");
+    out
+}

@@ -1,0 +1,25 @@
+//! Table 2 — benchmark analysis: text lengths, operator counts and dynamic
+//! control-flow parameter counts of the 14 modern workloads.
+
+use llmulator_eval::Table;
+use llmulator_workloads::{modern, stats};
+
+/// Regenerates Table 2.
+pub fn run() -> String {
+    let mut table = Table::new("Table 2: Benchmark Analysis");
+    table.header(["Workloads", "All Len", "Graph Len", "Op Num", "Dyn. Num", "Op Len"]);
+    for w in modern::all() {
+        let s = stats::stats(&w);
+        table.row([
+            s.name,
+            s.all_len.to_string(),
+            s.graph_len.to_string(),
+            s.op_num.to_string(),
+            s.dyn_num.to_string(),
+            s.op_len.to_string(),
+        ]);
+    }
+    let out = table.render();
+    println!("{out}");
+    out
+}

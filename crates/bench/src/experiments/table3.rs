@@ -1,0 +1,128 @@
+//! Table 3 — the headline MAPE comparison with the progressive-encoding and
+//! dynamic-calibration ablations.
+//!
+//! Columns per metric: `NoEnc` (whole-number tokenizer ablation), `Ours`,
+//! `GNNHLS`, `Tenset`, `TLP`; the dynamic-cycles group swaps `NoEnc` for
+//! `NoDPO` (static prediction without calibration), with `Ours` being the
+//! DPO-calibrated model after [`crate::context::Budget::dpo_iterations`]
+//! profiler interactions per workload.
+
+use crate::context::{
+    self, all_workloads, budget, mape_on, train_suite, workload_samples, SuiteFlags,
+};
+use llmulator::{calibrate_cycles, DpoCalibrator, DpoConfig};
+use llmulator_eval::Table;
+use llmulator_sim::Metric;
+use llmulator_synth::DataFormat;
+
+/// One workload's row of MAPE cells.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Workload name.
+    pub name: String,
+    /// `[metric][model]` MAPE values; model order per `MODEL_COLS`.
+    pub cells: Vec<Vec<f64>>,
+}
+
+/// Column labels within each metric group.
+pub const MODEL_COLS: [&str; 5] = ["NoEnc", "Ours", "GNNHLS", "Tenset", "TLP"];
+/// Column labels for the dynamic-cycles group.
+pub const CYCLE_COLS: [&str; 5] = ["NoDPO", "Ours", "GNNHLS", "Tenset", "TLP"];
+
+/// Runs the full Table 3 evaluation; returns the rendered tables.
+pub fn run() -> String {
+    let b = budget();
+    let suite = train_suite(&b, SuiteFlags::all(), DataFormat::Reasoning, 7);
+    let ours = suite.ours.as_ref().expect("ours trained");
+    let noenc = suite.noenc.as_ref().expect("noenc trained");
+    let tlp = suite.tlp.as_ref().expect("tlp trained");
+    let gnn = suite.gnn.as_ref().expect("gnn trained");
+    let tenset = suite.tenset.as_ref().expect("tenset trained");
+
+    let mut rows: Vec<Row> = Vec::new();
+    for w in all_workloads() {
+        let eval = workload_samples(&w, context::EVAL_FACTORS, DataFormat::Reasoning);
+        if eval.is_empty() {
+            continue;
+        }
+        // --- static metrics ---
+        let mut cells: Vec<Vec<f64>> = Vec::new();
+        for &metric in &[Metric::Power, Metric::Area, Metric::FlipFlops] {
+            cells.push(vec![
+                mape_on(noenc, &eval, metric),
+                mape_on(ours, &eval, metric),
+                mape_on(gnn, &eval, metric),
+                mape_on(tenset, &eval, metric),
+                mape_on(tlp, &eval, metric),
+            ]);
+        }
+        // --- dynamic cycles: NoDPO = static ours; Ours = DPO-calibrated ---
+        let no_dpo = mape_on(ours, &eval, Metric::Cycles);
+        let mut calibrated = ours.clone();
+        let mut dpo = DpoCalibrator::new(
+            &calibrated,
+            DpoConfig {
+                lr: 1e-3,
+                steps_per_observation: 2,
+                ..DpoConfig::default()
+            },
+        );
+        let calib_inputs: Vec<_> = context::CALIB_FACTORS
+            .iter()
+            .take(b.dpo_iterations)
+            .map(|&f| w.scaled_inputs(f))
+            .collect();
+        let _ = calibrate_cycles(&mut calibrated, &mut dpo, &w.program, &calib_inputs);
+        let ours_cycles = mape_on(&calibrated, &eval, Metric::Cycles);
+        cells.push(vec![
+            no_dpo,
+            ours_cycles,
+            mape_on(gnn, &eval, Metric::Cycles),
+            mape_on(tenset, &eval, Metric::Cycles),
+            mape_on(tlp, &eval, Metric::Cycles),
+        ]);
+        rows.push(Row {
+            name: w.name.clone(),
+            cells,
+        });
+    }
+
+    render(&rows)
+}
+
+fn render(rows: &[Row]) -> String {
+    let metric_names = ["Static-Power", "Static-Area", "Static-FF", "Dynamic-Cycles"];
+    let mut out = String::new();
+    for (mi, metric) in metric_names.iter().enumerate() {
+        let cols = if mi == 3 { CYCLE_COLS } else { MODEL_COLS };
+        let mut table = Table::new(format!("Table 3 ({metric}): MAPE comparison"));
+        let mut header = vec!["Benchmark".to_string()];
+        header.extend(cols.iter().map(|c| c.to_string()));
+        table.header(header);
+        // group averages: polybench(10), modern(14), accelerators(3)
+        let groups: [(usize, usize, &str); 3] =
+            [(0, 10, "average(10)"), (10, 24, "average(14)"), (24, 27, "")];
+        for (gi, &(start, end, avg_label)) in groups.iter().enumerate() {
+            let slice = &rows[start.min(rows.len())..end.min(rows.len())];
+            for row in slice {
+                let mut cells = vec![row.name.clone()];
+                cells.extend(row.cells[mi].iter().map(|&v| Table::pct(v)));
+                table.row(cells);
+            }
+            if !avg_label.is_empty() && !slice.is_empty() {
+                let mut cells = vec![avg_label.to_string()];
+                for col in 0..cols.len() {
+                    let avg = slice.iter().map(|r| r.cells[mi][col]).sum::<f64>()
+                        / slice.len() as f64;
+                    cells.push(Table::pct(avg));
+                }
+                table.row(cells);
+            }
+            let _ = gi;
+        }
+        out.push_str(&table.render());
+        out.push('\n');
+    }
+    println!("{out}");
+    out
+}

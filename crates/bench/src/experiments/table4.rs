@@ -1,0 +1,60 @@
+//! Table 4 — per-prediction runtime latency (seconds) on the Polybench
+//! kernels: LLMulator vs the baselines. LLMulator pays the LLM-inference
+//! cost (transformer forward pass over the full program text); the baselines
+//! run smaller encoders/featurizers.
+
+use crate::context::{budget, median_seconds, train_suite, SuiteFlags};
+use llmulator::CostModel;
+use llmulator_eval::Table;
+use llmulator_synth::DataFormat;
+use llmulator_workloads::polybench;
+
+/// Regenerates Table 4.
+pub fn run() -> String {
+    let b = budget();
+    // Latency does not need trained weights, but we keep the flow identical
+    // to the accuracy experiments (tokenization + forward shapes match).
+    let mut quick = b;
+    quick.synthetic = 24;
+    quick.epochs = 1;
+    let suite = train_suite(&quick, SuiteFlags::all(), DataFormat::Direct, 11);
+    let ours = suite.ours.as_ref().expect("ours");
+    let tlp = suite.tlp.as_ref().expect("tlp");
+    let gnn = suite.gnn.as_ref().expect("gnn");
+    let tenset = suite.tenset.as_ref().expect("tenset");
+
+    let mut table = Table::new(
+        "Table 4: Runtime latency (seconds) of prediction models on Polybench",
+    );
+    table.header(["Model", "adi", "atax", "bicg", "corre.", "covar.", "deriche", "fdtd-2d", "heat-3d", "jacobi-2d", "seidel-2d"]);
+
+    let kernels = polybench::all();
+    let samples: Vec<_> = kernels
+        .iter()
+        .filter_map(|w| llmulator::Sample::profile(&w.program, Some(&w.inputs)).ok())
+        .collect();
+
+    let mut rows: Vec<(&str, Vec<f64>)> = Vec::new();
+    for (name, model) in [
+        ("GNNHLS", gnn as &dyn CostModel),
+        ("Tenset", tenset as &dyn CostModel),
+        ("TLP", tlp as &dyn CostModel),
+        ("Ours", ours as &dyn CostModel),
+    ] {
+        let mut times = Vec::new();
+        for s in &samples {
+            times.push(median_seconds(b.latency_reps, || {
+                std::hint::black_box(model.predict(s));
+            }));
+        }
+        rows.push((name, times));
+    }
+    for (name, times) in &rows {
+        let mut cells = vec![name.to_string()];
+        cells.extend(times.iter().map(|&t| format!("{t:.4}")));
+        table.row(cells);
+    }
+    let out = table.render();
+    println!("{out}");
+    out
+}

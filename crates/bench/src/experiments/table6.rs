@@ -1,0 +1,66 @@
+//! Table 6 — correlation between prediction confidence (final-position
+//! logit) and squared error for flip-flop estimates on randomly sampled
+//! workloads, plus the Pearson coefficient the paper reports (−0.44).
+
+use crate::context::{budget, train_suite, SuiteFlags};
+use llmulator_eval::{pearson, Table};
+use llmulator_sim::Metric;
+use llmulator_synth::{synthesize, DataFormat, SynthesisConfig};
+
+/// The confidence/error record for one sampled workload.
+#[derive(Debug, Clone, Copy)]
+pub struct Record {
+    /// Final-logit confidence.
+    pub confidence: f64,
+    /// Predicted FF count.
+    pub predicted: f64,
+    /// Ground-truth FF count.
+    pub actual: f64,
+}
+
+impl Record {
+    /// Squared error.
+    pub fn mse(&self) -> f64 {
+        (self.predicted - self.actual).powi(2)
+    }
+}
+
+/// Regenerates Table 6; returns the rendered table (with the correlation in
+/// the title line).
+pub fn run() -> String {
+    let b = budget();
+    let suite = train_suite(&b, SuiteFlags::ours_only(), DataFormat::Reasoning, 19);
+    let ours = suite.ours.as_ref().expect("ours");
+
+    // Randomly sampled (held-out) workloads from the synthesizer.
+    let eval = synthesize(&SynthesisConfig::paper_mix(12, 999));
+    let mut records = Vec::new();
+    for s in eval.samples.iter().take(12) {
+        let pred = ours.predict_sample(s);
+        let ff = pred.metric(Metric::FlipFlops);
+        records.push(Record {
+            confidence: ff.confidence as f64,
+            predicted: ff.value,
+            actual: s.cost.ff as f64,
+        });
+    }
+    let confs: Vec<f64> = records.iter().map(|r| r.confidence).collect();
+    let errs: Vec<f64> = records.iter().map(|r| r.mse()).collect();
+    let r = pearson(&confs, &errs);
+
+    let mut table = Table::new(format!(
+        "Table 6: Confidence vs MSE for FF estimates (Pearson r = {r:.2}; paper reports -0.44)"
+    ));
+    table.header(["Confi", "Pred", "Real", "MSE"]);
+    for rec in &records {
+        table.row([
+            format!("{:.2}", rec.confidence),
+            format!("{:.0}", rec.predicted),
+            format!("{:.0}", rec.actual),
+            format!("{:.0}", rec.mse()),
+        ]);
+    }
+    let out = table.render();
+    println!("{out}");
+    out
+}

@@ -1,0 +1,64 @@
+//! Table 7 — ablation of the progressive data synthesizer: `No-A` (AST-only
+//! seeds, direct format, no hardware sweeps) versus `All` (the full
+//! progressive pipeline with reasoning formatting), evaluated per modern
+//! workload and metric.
+
+use crate::context::{
+    budget, mape_on, train_suite_on, workload_samples, SuiteFlags, EVAL_FACTORS,
+};
+use llmulator::Dataset;
+use llmulator_eval::Table;
+use llmulator_sim::Metric;
+use llmulator_synth::{synthesize, DataFormat, SynthesisConfig};
+use llmulator_workloads::modern;
+
+/// Regenerates Table 7.
+pub fn run() -> String {
+    let b = budget();
+    let total = b.synthetic;
+
+    // `No-A`: AST-only, direct format, no sweeps, no workload neighbourhood.
+    let no_a_ds = synthesize(&SynthesisConfig::ablation_no_augmentation(total, 31));
+    let no_a = train_suite_on(&b, SuiteFlags::ours_only(), &no_a_ds, 31);
+
+    // `All`: the full pipeline (including the workload neighbourhood).
+    let all_ds: Dataset = crate::context::training_dataset(&b, DataFormat::Reasoning, 31);
+    let all = train_suite_on(&b, SuiteFlags::ours_only(), &all_ds, 31);
+
+    let model_no_a = no_a.ours.as_ref().expect("no-a model");
+    let model_all = all.ours.as_ref().expect("all model");
+
+    let metrics = [Metric::Power, Metric::Area, Metric::FlipFlops, Metric::Cycles];
+    let mut table = Table::new("Table 7: Progressive data synthesis ablation (MAPE)");
+    table.header([
+        "Workload", "Power No-A", "Power All", "Area No-A", "Area All", "FF No-A", "FF All",
+        "Cycles No-A", "Cycles All",
+    ]);
+    let mut sums = [[0.0f64; 2]; 4];
+    let ws = modern::all();
+    for w in &ws {
+        // Each configuration is evaluated with its own data format.
+        let eval_direct = workload_samples(w, EVAL_FACTORS, DataFormat::Direct);
+        let eval_reason = workload_samples(w, EVAL_FACTORS, DataFormat::Reasoning);
+        let mut cells = vec![w.name.clone()];
+        for (mi, &m) in metrics.iter().enumerate() {
+            let v_no_a = mape_on(model_no_a, &eval_direct, m);
+            let v_all = mape_on(model_all, &eval_reason, m);
+            sums[mi][0] += v_no_a;
+            sums[mi][1] += v_all;
+            cells.push(Table::pct(v_no_a));
+            cells.push(Table::pct(v_all));
+        }
+        table.row(cells);
+    }
+    let n = ws.len().max(1) as f64;
+    let mut avg = vec!["average".to_string()];
+    for s in &sums {
+        avg.push(Table::pct(s[0] / n));
+        avg.push(Table::pct(s[1] / n));
+    }
+    table.row(avg);
+    let out = table.render();
+    println!("{out}");
+    out
+}

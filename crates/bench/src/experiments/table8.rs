@@ -1,0 +1,70 @@
+//! Table 8 — applying the proposed data synthesizer to the *baselines*:
+//! MAPE difference per modern workload with vs without the synthesized
+//! dataset (negative = the synthesized data helped).
+
+use crate::context::{budget, mape_on, train_suite_on, workload_samples, SuiteFlags, EVAL_FACTORS};
+use llmulator::CostModel;
+use llmulator_eval::Table;
+use llmulator_sim::Metric;
+use llmulator_synth::{synthesize, DataFormat, SynthesisConfig};
+use llmulator_workloads::modern;
+
+/// Regenerates Table 8.
+pub fn run() -> String {
+    let b = budget();
+    let flags = SuiteFlags {
+        ours: false,
+        noenc: false,
+        tlp: true,
+        gnn: true,
+        tenset: true,
+    };
+    // "Original dataset": the shallow AST-only corpus the paper attributes
+    // to prior work.
+    let original = synthesize(&SynthesisConfig::ablation_no_augmentation(b.synthetic, 41));
+    let before = train_suite_on(&b, flags, &original, 41);
+    // "+ synthesized": original plus the progressive pipeline output.
+    let mut augmented = original.clone();
+    augmented.extend(crate::context::training_dataset(&b, DataFormat::Direct, 41));
+    let after = train_suite_on(&b, flags, &augmented, 41);
+
+    let pairs: Vec<(&str, &dyn CostModel, &dyn CostModel)> = vec![
+        (
+            "Tenset",
+            before.tenset.as_ref().expect("before") as &dyn CostModel,
+            after.tenset.as_ref().expect("after") as &dyn CostModel,
+        ),
+        (
+            "TLP",
+            before.tlp.as_ref().expect("before") as &dyn CostModel,
+            after.tlp.as_ref().expect("after") as &dyn CostModel,
+        ),
+        (
+            "GNNHLS",
+            before.gnn.as_ref().expect("before") as &dyn CostModel,
+            after.gnn.as_ref().expect("after") as &dyn CostModel,
+        ),
+    ];
+
+    let ws = modern::all();
+    let mut table = Table::new(
+        "Table 8: MAPE difference with vs without the proposed data synthesizer (cycles; negative = improvement)",
+    );
+    let mut header = vec!["Model".to_string()];
+    header.extend((1..=ws.len()).map(|i| i.to_string()));
+    table.header(header);
+    for (name, model_before, model_after) in &pairs {
+        let mut cells = vec![name.to_string()];
+        for w in &ws {
+            let eval = workload_samples(w, EVAL_FACTORS, DataFormat::Direct);
+            let m_before = mape_on(*model_before, &eval, Metric::Cycles);
+            let m_after = mape_on(*model_after, &eval, Metric::Cycles);
+            let delta = m_after - m_before;
+            cells.push(format!("{:+.1}%", delta * 100.0));
+        }
+        table.row(cells);
+    }
+    let out = table.render();
+    println!("{out}");
+    out
+}

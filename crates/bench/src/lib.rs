@@ -1,0 +1,28 @@
+//! # llmulator-bench
+//!
+//! The experiment harness of the LLMulator reproduction. Every table and
+//! figure of the paper's evaluation has a bench target regenerating it:
+//!
+//! | target | paper artifact |
+//! |---|---|
+//! | `table2`  | benchmark text statistics |
+//! | `table3`  | MAPE comparison + encoding/DPO ablations |
+//! | `table4`  | per-prediction latency on Polybench |
+//! | `table5`  | latency with/without dynamic prediction acceleration |
+//! | `table6`  | confidence ↔ MSE correlation |
+//! | `table7`  | dataset-synthesis ablation |
+//! | `table8`  | synthesized data applied to the baselines |
+//! | `table9`  | latency vs data-dependency length |
+//! | `table10` | model-scale sensitivity |
+//! | `table11` | dataflow-application MAPE with profiles |
+//! | `fig11`   | comparison against Timeloop |
+//! | `fig12`   | memory-latency generalization sweep |
+//!
+//! Run `cargo bench -p llmulator-bench --bench table3` (etc.). Budgets are
+//! sized for CPU execution; set `LLMULATOR_BUDGET=full` for larger training
+//! runs.
+
+pub mod context;
+pub mod experiments;
+
+pub use context::{budget, Budget, SuiteFlags, TrainedSuite};

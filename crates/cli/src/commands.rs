@@ -1,0 +1,162 @@
+//! Subcommand implementations for the `llmulator` CLI.
+
+use crate::ir_analysis;
+use llmulator_ir::{InputData, Program};
+use std::fmt::Write;
+
+/// `profile`: run the HLS + cycle-simulation substrate and print the cost
+/// vector plus the RTL-level `<think>` features.
+pub fn profile(program: &Program, data: &InputData) -> Result<String, String> {
+    let profile =
+        llmulator_sim::profile(program, data).map_err(|e| format!("simulation failed: {e}"))?;
+    let mut out = String::new();
+    let _ = writeln!(out, "power  : {:.3} mW", profile.cost.power_mw);
+    let _ = writeln!(out, "area   : {:.0} um^2", profile.cost.area_um2);
+    let _ = writeln!(out, "ff     : {}", profile.cost.ff);
+    let _ = writeln!(out, "cycles : {}", profile.cost.cycles);
+    let _ = writeln!(out, "loads  : {}", profile.cycles.stats.loads);
+    let _ = writeln!(out, "stores : {}", profile.cycles.stats.stores);
+    let _ = writeln!(
+        out,
+        "branches: {} taken / {} not taken",
+        profile.cycles.stats.branches_taken, profile.cycles.stats.branches_not_taken
+    );
+    let _ = writeln!(out, "\n{}", profile.features.render_think());
+    Ok(out)
+}
+
+/// `stats`: Table 2 style statistics for a program.
+pub fn stats(program: &Program) -> Result<String, String> {
+    let graph_len = program.render_graph().chars().count();
+    let op_len = program.render_operators().chars().count();
+    let all_len = program.render().chars().count();
+    let report = ir_analysis::analyze_program(program);
+    let mut out = String::new();
+    let _ = writeln!(out, "All Len   : {all_len}");
+    let _ = writeln!(out, "Graph Len : {graph_len}");
+    let _ = writeln!(out, "Op Num    : {}", program.graph.op_count());
+    let _ = writeln!(out, "Dyn. Num  : {}", report.dynamic_param_count(program));
+    let _ = writeln!(out, "Op Len    : {op_len}");
+    Ok(out)
+}
+
+/// `classify`: per-operator Class I/II report.
+pub fn classify(program: &Program) -> Result<String, String> {
+    let report = ir_analysis::analyze_program(program);
+    let mut out = String::new();
+    for r in &report.operators {
+        let class = match r.class {
+            llmulator_ir::OperatorClass::ClassI => "Class I  (input-independent control flow)",
+            llmulator_ir::OperatorClass::ClassII => "Class II (input-dependent control flow)",
+        };
+        let _ = writeln!(out, "{:<24} {class}", r.name.to_string());
+        if !r.dynamic_params.is_empty() {
+            let names: Vec<String> =
+                r.dynamic_params.iter().map(|p| p.to_string()).collect();
+            let _ = writeln!(out, "{:<24}   dynamic params: {}", "", names.join(", "));
+        }
+        if r.data_dependent_branches {
+            let _ = writeln!(out, "{:<24}   value-dependent control flow", "");
+        }
+    }
+    Ok(out)
+}
+
+/// `normalize`: run the normalization pass and print the rewritten text.
+pub fn normalize(mut program: Program) -> Result<String, String> {
+    let rewrites = llmulator_ir::normalize_program(&mut program);
+    let mut out = String::new();
+    let _ = writeln!(out, "// {rewrites} rewrites applied");
+    out.push_str(&program.render());
+    Ok(out)
+}
+
+/// `synthesize`: generate labelled samples and print them as JSON lines.
+pub fn synthesize(count: usize, seed: u64, format: &str) -> Result<String, String> {
+    let fmt = match format {
+        "direct" => llmulator_synth::DataFormat::Direct,
+        "reasoning" => llmulator_synth::DataFormat::Reasoning,
+        other => return Err(format!("unknown format `{other}`")),
+    };
+    let mut config = llmulator_synth::SynthesisConfig::paper_mix(count, seed);
+    config.format = fmt;
+    let dataset = llmulator_synth::synthesize(&config);
+    let mut out = String::new();
+    for s in &dataset.samples {
+        let line = serde_json::json!({
+            "cost": {
+                "power_mw": s.cost.power_mw,
+                "area_um2": s.cost.area_um2,
+                "ff": s.cost.ff,
+                "cycles": s.cost.cycles,
+            },
+            "chars": s.text.char_len(),
+            "operators": s.program.operators.len(),
+        });
+        let _ = writeln!(out, "{line}");
+    }
+    let _ = writeln!(out, "// {} samples", dataset.len());
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmulator_ir::builder::OperatorBuilder;
+    use llmulator_ir::{Expr, LValue, Stmt};
+
+    fn program() -> Program {
+        let op = OperatorBuilder::new("scale")
+            .array_param("a", [8])
+            .array_param("b", [8])
+            .loop_nest(&[("i", 8)], |idx| {
+                vec![Stmt::assign(
+                    LValue::store("b", vec![idx[0].clone()]),
+                    Expr::load("a", vec![idx[0].clone()]) * Expr::int(2),
+                )]
+            })
+            .build();
+        Program::single_op(op)
+    }
+
+    #[test]
+    fn profile_reports_all_metrics() {
+        let out = profile(&program(), &InputData::new()).expect("profiles");
+        for key in ["power", "area", "ff", "cycles", "<think>"] {
+            assert!(out.contains(key), "missing {key}");
+        }
+    }
+
+    #[test]
+    fn stats_reports_table2_fields() {
+        let out = stats(&program()).expect("stats");
+        for key in ["All Len", "Graph Len", "Op Num", "Dyn. Num", "Op Len"] {
+            assert!(out.contains(key), "missing {key}");
+        }
+    }
+
+    #[test]
+    fn classify_labels_class_i() {
+        let out = classify(&program()).expect("classifies");
+        assert!(out.contains("Class I"));
+    }
+
+    #[test]
+    fn normalize_reports_rewrites() {
+        let out = normalize(program()).expect("normalizes");
+        assert!(out.contains("rewrites applied"));
+        assert!(out.contains("void scale"));
+    }
+
+    #[test]
+    fn synthesize_emits_json_lines() {
+        let out = synthesize(4, 1, "direct").expect("synthesizes");
+        assert!(out.lines().any(|l| l.starts_with('{')));
+        assert!(out.contains("samples"));
+    }
+
+    #[test]
+    fn synthesize_rejects_bad_format() {
+        assert!(synthesize(2, 0, "yaml").is_err());
+    }
+}

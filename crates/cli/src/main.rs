@@ -1,0 +1,149 @@
+//! `llmulator` — command-line front end for the LLMulator reproduction.
+//!
+//! ```text
+//! llmulator profile <program.c> [--input name=value]...   profile ground truth
+//! llmulator stats <program.c>                             Table 2 statistics
+//! llmulator classify <program.c>                          Class I/II analysis
+//! llmulator normalize <program.c>                         normalization pass
+//! llmulator synthesize [--count N] [--seed S]             dataset synthesis
+//! ```
+//!
+//! Programs use the C-like surface syntax produced by the IR renderer (see
+//! `llmulator-ir`): operator definitions followed by a `graph` function and
+//! optional hardware-parameter lines.
+
+use llmulator_ir::{analysis, parse, InputData, Program};
+use std::process::ExitCode;
+
+mod commands;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(output) => {
+            println!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  llmulator profile <program.c> [--input name=value]...
+  llmulator stats <program.c>
+  llmulator classify <program.c>
+  llmulator normalize <program.c>
+  llmulator synthesize [--count N] [--seed S] [--format direct|reasoning]";
+
+fn run(args: &[String]) -> Result<String, String> {
+    let Some(command) = args.first() else {
+        return Err("missing command".into());
+    };
+    match command.as_str() {
+        "profile" => commands::profile(&load_program(args)?, &parse_inputs(args)?),
+        "stats" => commands::stats(&load_program(args)?),
+        "classify" => commands::classify(&load_program(args)?),
+        "normalize" => commands::normalize(load_program(args)?),
+        "synthesize" => commands::synthesize(
+            flag_value(args, "--count")
+                .map(|v| v.parse().map_err(|_| "invalid --count".to_string()))
+                .transpose()?
+                .unwrap_or(8),
+            flag_value(args, "--seed")
+                .map(|v| v.parse().map_err(|_| "invalid --seed".to_string()))
+                .transpose()?
+                .unwrap_or(0),
+            flag_value(args, "--format").unwrap_or("reasoning"),
+        ),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn load_program(args: &[String]) -> Result<Program, String> {
+    let path = args
+        .get(1)
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("missing program file")?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let program = parse::parse_program(&text).map_err(|e| format!("parse failed: {e}"))?;
+    program
+        .validate()
+        .map_err(|e| format!("invalid program: {e}"))?;
+    Ok(program)
+}
+
+fn parse_inputs(args: &[String]) -> Result<InputData, String> {
+    let mut data = InputData::new();
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        if a == "--input" {
+            let binding = iter.next().ok_or("--input needs name=value")?;
+            let (name, value) = binding
+                .split_once('=')
+                .ok_or_else(|| format!("bad --input `{binding}` (expected name=value)"))?;
+            let v: i64 = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad value in `{binding}`"))?;
+            data.bind(name.trim(), v);
+        }
+    }
+    Ok(data)
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+// Re-exported for the command implementations.
+pub(crate) use analysis as ir_analysis;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_value_finds_pairs() {
+        let args: Vec<String> = ["synthesize", "--count", "5", "--seed", "9"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(flag_value(&args, "--count"), Some("5"));
+        assert_eq!(flag_value(&args, "--seed"), Some("9"));
+        assert_eq!(flag_value(&args, "--missing"), None);
+    }
+
+    #[test]
+    fn parse_inputs_accepts_bindings() {
+        let args: Vec<String> = ["profile", "f.c", "--input", "n=32", "--input", "m=8"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let data = parse_inputs(&args).expect("parses");
+        assert_eq!(data.len(), 2);
+    }
+
+    #[test]
+    fn parse_inputs_rejects_malformed() {
+        let args: Vec<String> = ["profile", "f.c", "--input", "oops"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(parse_inputs(&args).is_err());
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        let args = vec!["frobnicate".to_string()];
+        assert!(run(&args).is_err());
+    }
+}

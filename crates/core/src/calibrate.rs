@@ -1,0 +1,462 @@
+//! Dynamic prediction-based calibration (paper Sec. 5.1).
+//!
+//! The statically-trained predictor interacts with the profiling
+//! environment: it predicts `y_l`, the profiler returns the ground truth
+//! `y_w`, and the preference triple `({x, data}, y_w, y_l)` drives a direct
+//! preference optimization (DPO) update against a frozen reference policy
+//! (paper Eq. 2), with a sliding-window replay buffer for minibatch reuse.
+
+use crate::dataset::Sample;
+use crate::model::NumericPredictor;
+use crate::numeric::metric_to_int;
+use llmulator_ir::{InputData, Program};
+use llmulator_nn::{AdamConfig, AdamW, Graph, Matrix};
+use llmulator_sim::Metric;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// One preference observation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PreferenceTriple {
+    /// Tokenized model input (`{x, data}` state).
+    pub tokens: Vec<u32>,
+    /// Which metric was profiled.
+    pub metric: Metric,
+    /// Ground-truth ("winning") value in codec integer units.
+    pub y_w: u64,
+    /// Model-predicted ("losing") value in codec integer units.
+    pub y_l: u64,
+}
+
+/// Sliding-window replay buffer (paper's replay-cost-buffer; size 1 gives
+/// pure online updates).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReplayBuffer {
+    window: VecDeque<PreferenceTriple>,
+    capacity: usize,
+}
+
+impl ReplayBuffer {
+    /// Buffer with the given window size.
+    pub fn new(capacity: usize) -> ReplayBuffer {
+        ReplayBuffer {
+            window: VecDeque::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Pushes a triple, evicting the oldest beyond capacity.
+    pub fn push(&mut self, triple: PreferenceTriple) {
+        if self.window.len() == self.capacity {
+            self.window.pop_front();
+        }
+        self.window.push_back(triple);
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.window.is_empty()
+    }
+
+    /// Window capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Samples a minibatch (without replacement) for replay.
+    pub fn minibatch(&self, k: usize, rng: &mut StdRng) -> Vec<&PreferenceTriple> {
+        let mut all: Vec<&PreferenceTriple> = self.window.iter().collect();
+        all.shuffle(rng);
+        all.truncate(k.max(1));
+        all
+    }
+}
+
+/// DPO calibration hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DpoConfig {
+    /// Preference sharpness β in Eq. 2.
+    pub beta: f32,
+    /// Fine-tuning learning rate.
+    pub lr: f32,
+    /// Replay-buffer window size.
+    pub buffer_size: usize,
+    /// Minibatch size per update.
+    pub minibatch: usize,
+    /// Gradient steps per observed profile.
+    pub steps_per_observation: usize,
+    /// RNG seed for replay sampling.
+    pub seed: u64,
+}
+
+impl Default for DpoConfig {
+    fn default() -> Self {
+        DpoConfig {
+            beta: 0.5,
+            lr: 1e-3,
+            buffer_size: 16,
+            minibatch: 4,
+            steps_per_observation: 2,
+            seed: 0,
+        }
+    }
+}
+
+/// The DPO calibrator: owns the frozen reference policy, the replay buffer
+/// and the fine-tuning optimizer.
+#[derive(Debug)]
+pub struct DpoCalibrator {
+    reference: NumericPredictor,
+    buffer: ReplayBuffer,
+    opt: AdamW,
+    config: DpoConfig,
+    rng: StdRng,
+    losses: Vec<f32>,
+}
+
+impl DpoCalibrator {
+    /// Snapshots `model` as the reference policy π_ref.
+    pub fn new(model: &NumericPredictor, config: DpoConfig) -> DpoCalibrator {
+        let mut opt = AdamW::new(
+            model.store(),
+            AdamConfig {
+                lr: config.lr,
+                weight_decay: 0.0,
+                ..AdamConfig::default()
+            },
+        );
+        opt.set_lr(config.lr);
+        DpoCalibrator {
+            reference: model.clone(),
+            buffer: ReplayBuffer::new(config.buffer_size),
+            opt,
+            config,
+            rng: StdRng::seed_from_u64(config.seed),
+            losses: Vec::new(),
+        }
+    }
+
+    /// The replay buffer (for inspection).
+    pub fn buffer(&self) -> &ReplayBuffer {
+        &self.buffer
+    }
+
+    /// DPO losses recorded per gradient step.
+    pub fn losses(&self) -> &[f32] {
+        &self.losses
+    }
+
+    /// Records one profiler interaction and performs the configured number
+    /// of DPO updates from the replay buffer.
+    ///
+    /// `y_w`/`y_l` are in the metric's natural unit; they are converted to
+    /// codec integers internally.
+    pub fn observe(
+        &mut self,
+        model: &mut NumericPredictor,
+        tokens: Vec<u32>,
+        metric: Metric,
+        actual: f64,
+        predicted: f64,
+    ) {
+        let y_w = metric_to_int(metric, actual);
+        let y_l = metric_to_int(metric, predicted);
+        if y_w == y_l {
+            // No preference signal when the prediction is exactly right.
+            return;
+        }
+        self.buffer.push(PreferenceTriple {
+            tokens,
+            metric,
+            y_w,
+            y_l,
+        });
+        for _ in 0..self.config.steps_per_observation {
+            let loss = self.dpo_step(model);
+            self.losses.push(loss);
+        }
+    }
+
+    /// One DPO gradient step over a replay minibatch; returns the loss.
+    pub fn dpo_step(&mut self, model: &mut NumericPredictor) -> f32 {
+        if self.buffer.is_empty() {
+            return 0.0;
+        }
+        let batch: Vec<PreferenceTriple> = self
+            .buffer
+            .minibatch(self.config.minibatch, &mut self.rng)
+            .into_iter()
+            .cloned()
+            .collect();
+        let beta = self.config.beta;
+        let codec = model.config().codec;
+        let mut total_loss = 0.0f32;
+        let mut acc: Option<Vec<(llmulator_nn::ParamId, Matrix)>> = None;
+        for triple in &batch {
+            let dw = codec.encode(triple.y_w);
+            let dl = codec.encode(triple.y_l);
+            // Frozen reference log-ratio (a constant w.r.t. θ).
+            let ref_w = self
+                .reference
+                .log_prob_value(&triple.tokens, triple.metric, &dw);
+            let ref_l = self
+                .reference
+                .log_prob_value(&triple.tokens, triple.metric, &dl);
+            let ref_margin = ref_w - ref_l;
+            // Policy log-ratio on the tape.
+            let mut g = Graph::new();
+            let store = model.store();
+            let lp_w = model.log_prob_node(&mut g, store, &triple.tokens, triple.metric, &dw);
+            let lp_l = model.log_prob_node(&mut g, store, &triple.tokens, triple.metric, &dl);
+            let margin = g.sub(lp_w, lp_l);
+            let shift = g.input(Matrix::from_vec(1, 1, vec![-ref_margin]));
+            let centered = g.add(margin, shift);
+            let scaled = g.scale(centered, beta);
+            let logsig = g.log_sigmoid(scaled);
+            let loss = g.scale(logsig, -1.0);
+            total_loss += g.value(loss).get(0, 0);
+            g.backward(loss);
+            let grads = g.param_grads(store);
+            match &mut acc {
+                None => acc = Some(grads),
+                Some(a) => {
+                    for ((_, x), (_, y)) in a.iter_mut().zip(grads) {
+                        x.add_assign(&y);
+                    }
+                }
+            }
+        }
+        if let Some(mut grads) = acc {
+            let inv = 1.0 / batch.len() as f32;
+            for (_, m) in &mut grads {
+                m.scale_assign(inv);
+            }
+            self.opt.apply(model.store_mut(), &grads);
+        }
+        total_loss / batch.len() as f32
+    }
+}
+
+/// Per-iteration record of a calibration run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationStep {
+    /// Iteration index.
+    pub iteration: usize,
+    /// Ground-truth cycles for this input.
+    pub actual: f64,
+    /// Model prediction before the update.
+    pub predicted: f64,
+    /// Absolute percentage error of the prediction.
+    pub ape: f64,
+}
+
+/// Result of an input-sweep calibration run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationTrace {
+    /// One step per profiled input.
+    pub steps: Vec<CalibrationStep>,
+}
+
+impl CalibrationTrace {
+    /// Mean APE over the first `k` steps.
+    pub fn mape_first(&self, k: usize) -> f64 {
+        mean_ape(&self.steps[..k.min(self.steps.len())])
+    }
+
+    /// Mean APE over the last `k` steps (post-calibration quality).
+    pub fn mape_last(&self, k: usize) -> f64 {
+        let n = self.steps.len();
+        mean_ape(&self.steps[n.saturating_sub(k)..])
+    }
+}
+
+fn mean_ape(steps: &[CalibrationStep]) -> f64 {
+    if steps.is_empty() {
+        return 0.0;
+    }
+    steps.iter().map(|s| s.ape).sum::<f64>() / steps.len() as f64
+}
+
+/// Runs the full calibration loop of Fig. 4 for dynamic cycle prediction:
+/// for each input, predict, profile (Verilator-substitute simulation),
+/// build the preference pair and update via DPO.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn calibrate_cycles(
+    model: &mut NumericPredictor,
+    calibrator: &mut DpoCalibrator,
+    program: &Program,
+    inputs: &[InputData],
+) -> Result<CalibrationTrace, llmulator_sim::SimError> {
+    let mut steps = Vec::with_capacity(inputs.len());
+    for (iteration, data) in inputs.iter().enumerate() {
+        let sample = Sample::profile(program, Some(data))?;
+        let tp = model.tokenize_sample(&sample);
+        let pred = model.predict_tokens(&tp.tokens, None);
+        let predicted = pred.metric(Metric::Cycles).value;
+        let actual = sample.cost.cycles as f64;
+        let ape = if actual > 0.0 {
+            (predicted - actual).abs() / actual
+        } else {
+            0.0
+        };
+        steps.push(CalibrationStep {
+            iteration,
+            actual,
+            predicted,
+            ape,
+        });
+        calibrator.observe(model, tp.tokens, Metric::Cycles, actual, predicted);
+    }
+    Ok(CalibrationTrace { steps })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ModelScale, PredictorConfig, TrainOptions};
+    use crate::numeric::DigitCodec;
+    use llmulator_ir::builder::OperatorBuilder;
+    use llmulator_ir::{Expr, LValue, Stmt};
+    use llmulator_token::NumericMode;
+
+    fn tiny_model() -> NumericPredictor {
+        NumericPredictor::new(PredictorConfig {
+            scale: ModelScale::Small,
+            codec: DigitCodec::decimal(4),
+            numeric_mode: NumericMode::Digits,
+            max_len: 48,
+            seed: 5,
+        })
+    }
+
+    fn dyn_program() -> Program {
+        let op = OperatorBuilder::new("dyn")
+            .array_param("a", [512])
+            .scalar_param("n")
+            .dyn_loop_nest(&[("i", Expr::var("n"))], |idx| {
+                vec![Stmt::assign(
+                    LValue::store("a", vec![idx[0].clone()]),
+                    Expr::int(1),
+                )]
+            })
+            .build();
+        Program::single_op(op)
+    }
+
+    #[test]
+    fn replay_buffer_slides() {
+        let mut buf = ReplayBuffer::new(2);
+        for i in 0..4u64 {
+            buf.push(PreferenceTriple {
+                tokens: vec![i as u32],
+                metric: Metric::Cycles,
+                y_w: i,
+                y_l: i + 1,
+            });
+        }
+        assert_eq!(buf.len(), 2);
+        let mut rng = StdRng::seed_from_u64(0);
+        let batch = buf.minibatch(5, &mut rng);
+        assert_eq!(batch.len(), 2);
+        assert!(batch.iter().all(|t| t.y_w >= 2), "oldest evicted");
+    }
+
+    #[test]
+    fn dpo_raises_preferred_logprob() {
+        let mut model = tiny_model();
+        let tokens: Vec<u32> = vec![5, 6, 7, 8, 9];
+        let codec = model.config().codec;
+        let y_w = 1234u64;
+        let y_l = 7777u64;
+        let dw = codec.encode(y_w);
+        let before = model.log_prob_value(&tokens, Metric::Cycles, &dw);
+        let mut cal = DpoCalibrator::new(
+            &model,
+            DpoConfig {
+                lr: 5e-3,
+                steps_per_observation: 6,
+                ..DpoConfig::default()
+            },
+        );
+        cal.observe(
+            &mut model,
+            tokens.clone(),
+            Metric::Cycles,
+            y_w as f64,
+            y_l as f64,
+        );
+        let after = model.log_prob_value(&tokens, Metric::Cycles, &dw);
+        assert!(
+            after > before,
+            "preferred log-prob should rise: {before} -> {after}"
+        );
+        assert!(!cal.losses().is_empty());
+    }
+
+    #[test]
+    fn observe_skips_exact_predictions() {
+        let mut model = tiny_model();
+        let mut cal = DpoCalibrator::new(&model, DpoConfig::default());
+        cal.observe(&mut model, vec![1, 2, 3], Metric::Cycles, 100.0, 100.0);
+        assert!(cal.buffer().is_empty());
+    }
+
+    #[test]
+    fn calibration_improves_dynamic_cycle_error() {
+        let mut model = tiny_model();
+        let program = dyn_program();
+        // Light static pre-training on two input scales.
+        let ds: crate::dataset::Dataset = [32i64, 64]
+            .iter()
+            .map(|&n| {
+                Sample::profile(&program, Some(&InputData::new().with("n", n))).expect("profiles")
+            })
+            .collect();
+        model.fit(
+            &ds,
+            TrainOptions {
+                epochs: 10,
+                batch_size: 2,
+                lr: 5e-3,
+                threads: 2,
+            },
+        );
+        let mut cal = DpoCalibrator::new(
+            &model,
+            DpoConfig {
+                lr: 2e-3,
+                steps_per_observation: 3,
+                ..DpoConfig::default()
+            },
+        );
+        // Calibrate on a shifted input distribution (n = 100), repeated.
+        let inputs: Vec<InputData> = (0..8)
+            .map(|_| InputData::new().with("n", 100i64))
+            .collect();
+        let trace =
+            calibrate_cycles(&mut model, &mut cal, &program, &inputs).expect("calibrates");
+        let early = trace.mape_first(2);
+        let late = trace.mape_last(2);
+        assert!(
+            late <= early + 1e-9,
+            "calibration should not worsen error: early {early:.3}, late {late:.3}"
+        );
+    }
+
+    #[test]
+    fn buffer_size_one_is_online() {
+        let buf = ReplayBuffer::new(0);
+        assert_eq!(buf.capacity(), 1);
+    }
+}

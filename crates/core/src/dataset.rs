@@ -1,0 +1,180 @@
+//! Training samples and the common cost-model interface.
+
+use crate::encode::SegmentedText;
+use llmulator_ir::{InputData, Program};
+use llmulator_sim::{CostVector, Metric};
+use serde::{Deserialize, Serialize};
+
+/// One labelled training/evaluation sample: segmented input text, the source
+/// program/input pair (baselines featurize the IR directly), and the
+/// profiled ground-truth cost vector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Model input text, segment-labelled.
+    pub text: SegmentedText,
+    /// The source program (graph + operators + hardware parameters).
+    pub program: Program,
+    /// The runtime inputs the sample was profiled with.
+    pub data: InputData,
+    /// Ground-truth `<Power, Area, FF, Cycles>`.
+    pub cost: CostVector,
+}
+
+impl Sample {
+    /// Profiles a program/input pair into a sample (direct data format).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures.
+    pub fn profile(
+        program: &Program,
+        data: Option<&InputData>,
+    ) -> Result<Sample, llmulator_sim::SimError> {
+        let d = data.cloned().unwrap_or_default();
+        let profile = llmulator_sim::profile(program, &d)?;
+        Ok(Sample {
+            text: SegmentedText::from_program(program, data, None),
+            program: program.clone(),
+            data: d,
+            cost: profile.cost,
+        })
+    }
+
+    /// Profiles with the reasoning (`<think>`) data format: RTL features are
+    /// embedded as an extra segment (paper Sec. 6.2).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures.
+    pub fn profile_reasoning(
+        program: &Program,
+        data: Option<&InputData>,
+    ) -> Result<Sample, llmulator_sim::SimError> {
+        let d = data.cloned().unwrap_or_default();
+        let profile = llmulator_sim::profile(program, &d)?;
+        Ok(Sample {
+            text: SegmentedText::from_program(program, data, Some(&profile.features)),
+            program: program.clone(),
+            data: d,
+            cost: profile.cost,
+        })
+    }
+}
+
+/// A labelled dataset with deterministic train/validation splitting.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// All samples.
+    pub samples: Vec<Sample>,
+}
+
+impl Dataset {
+    /// Empty dataset.
+    pub fn new() -> Dataset {
+        Dataset::default()
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Appends a sample.
+    pub fn push(&mut self, sample: Sample) {
+        self.samples.push(sample);
+    }
+
+    /// Merges another dataset in.
+    pub fn extend(&mut self, other: Dataset) {
+        self.samples.extend(other.samples);
+    }
+
+    /// Deterministic split: every `k`-th sample goes to validation.
+    pub fn split(&self, k: usize) -> (Dataset, Dataset) {
+        let k = k.max(2);
+        let mut train = Dataset::new();
+        let mut val = Dataset::new();
+        for (i, s) in self.samples.iter().enumerate() {
+            if i % k == k - 1 {
+                val.push(s.clone());
+            } else {
+                train.push(s.clone());
+            }
+        }
+        (train, val)
+    }
+}
+
+impl FromIterator<Sample> for Dataset {
+    fn from_iter<T: IntoIterator<Item = Sample>>(iter: T) -> Self {
+        Dataset {
+            samples: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// The interface every cost model in the evaluation implements (LLMulator
+/// and the TLP / GNNHLS / Tenset-MLP / Timeloop baselines).
+pub trait CostModel {
+    /// Human-readable model name for tables.
+    fn name(&self) -> &str;
+
+    /// Predicts all four metrics for a sample's input text.
+    fn predict(&self, sample: &Sample) -> CostVector;
+
+    /// Predicts one metric (default: reads it from the full vector).
+    fn predict_metric(&self, sample: &Sample, metric: Metric) -> f64 {
+        self.predict(sample).metric(metric)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmulator_ir::builder::OperatorBuilder;
+    use llmulator_ir::{Expr, LValue, Stmt};
+    use llmulator_token::SegmentKind;
+
+    fn program() -> Program {
+        let op = OperatorBuilder::new("inc")
+            .array_param("a", [8])
+            .loop_nest(&[("i", 8)], |idx| {
+                vec![Stmt::assign(
+                    LValue::store("a", vec![idx[0].clone()]),
+                    Expr::load("a", vec![idx[0].clone()]) + Expr::int(1),
+                )]
+            })
+            .build();
+        Program::single_op(op)
+    }
+
+    #[test]
+    fn profile_produces_direct_format() {
+        let s = Sample::profile(&program(), None).expect("profiles");
+        assert!(s.cost.cycles > 0);
+        assert!(!s.text.parts.iter().any(|(k, _)| *k == SegmentKind::Think));
+    }
+
+    #[test]
+    fn profile_reasoning_adds_think_segment() {
+        let s = Sample::profile_reasoning(&program(), None).expect("profiles");
+        assert!(s.text.parts.iter().any(|(k, _)| *k == SegmentKind::Think));
+    }
+
+    #[test]
+    fn split_is_deterministic_and_partitioning() {
+        let s = Sample::profile(&program(), None).expect("profiles");
+        let ds: Dataset = std::iter::repeat(s).take(10).collect();
+        let (train, val) = ds.split(5);
+        assert_eq!(train.len(), 8);
+        assert_eq!(val.len(), 2);
+        let (t2, v2) = ds.split(5);
+        assert_eq!(train, t2);
+        assert_eq!(val, v2);
+    }
+}

@@ -1,0 +1,577 @@
+//! The numeric prediction model (paper Sec. 4): a transformer encoder over
+//! progressively tokenized program text with digit-wise categorical heads for
+//! each of the four metrics, trained with categorical cross-entropy (Eq. 1).
+
+use crate::dataset::{CostModel, Dataset, Sample};
+use crate::numeric::{
+    beam_search, int_to_metric, metric_to_int, BeamHypothesis, DigitCodec, DigitDistribution,
+};
+use llmulator_nn::{
+    AdamConfig, AdamW, Graph, Matrix, NodeId, ParamId, ParamStore, Transformer, TransformerConfig,
+};
+use llmulator_sim::{CostVector, Metric};
+use llmulator_token::{NumericMode, TokenizedProgram, Tokenizer};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Model capacity tiers standing in for the paper's 0.5B / 1B / 8B base
+/// models (Table 10); scaling is by width/depth rather than parameter count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModelScale {
+    /// Stand-in for Qwen2.5-0.5B.
+    Small,
+    /// Stand-in for LLaMA-3.2-1B (the paper's default).
+    Medium,
+    /// Stand-in for LLaMA-3.1-8B.
+    Large,
+}
+
+impl ModelScale {
+    /// Transformer geometry for this tier.
+    pub fn transformer_config(self, vocab_size: usize, max_len: usize) -> TransformerConfig {
+        match self {
+            ModelScale::Small => TransformerConfig {
+                vocab_size,
+                d_model: 24,
+                n_heads: 2,
+                n_layers: 1,
+                d_ff: 48,
+                max_len,
+            },
+            ModelScale::Medium => TransformerConfig {
+                vocab_size,
+                d_model: 32,
+                n_heads: 4,
+                n_layers: 2,
+                d_ff: 64,
+                max_len,
+            },
+            ModelScale::Large => TransformerConfig {
+                vocab_size,
+                d_model: 48,
+                n_heads: 4,
+                n_layers: 3,
+                d_ff: 96,
+                max_len,
+            },
+        }
+    }
+
+    /// Table 10 row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ModelScale::Small => "0.5B",
+            ModelScale::Medium => "1B",
+            ModelScale::Large => "8B",
+        }
+    }
+}
+
+/// Predictor hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PredictorConfig {
+    /// Capacity tier.
+    pub scale: ModelScale,
+    /// Output digit codec.
+    pub codec: DigitCodec,
+    /// Numeric tokenization mode (`Digits` = ours, `Whole` = NoEnc ablation).
+    pub numeric_mode: NumericMode,
+    /// Context length in tokens.
+    pub max_len: usize,
+    /// Initialization seed.
+    pub seed: u64,
+}
+
+impl Default for PredictorConfig {
+    fn default() -> Self {
+        PredictorConfig {
+            scale: ModelScale::Medium,
+            codec: DigitCodec::standard(),
+            numeric_mode: NumericMode::Digits,
+            max_len: 256,
+            seed: 0,
+        }
+    }
+}
+
+/// Training options.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainOptions {
+    /// Passes over the training set.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Worker threads for gradient accumulation.
+    pub threads: usize,
+}
+
+impl Default for TrainOptions {
+    fn default() -> Self {
+        TrainOptions {
+            epochs: 4,
+            batch_size: 8,
+            lr: 2e-3,
+            threads: 2,
+        }
+    }
+}
+
+/// Prediction for a single metric.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricPrediction {
+    /// Which metric.
+    pub metric: Metric,
+    /// Decoded value in the metric's natural unit.
+    pub value: f64,
+    /// Chosen digits, MSB first.
+    pub digits: Vec<u8>,
+    /// Final-position (LSB) confidence — the paper's Table 6 quantity.
+    pub confidence: f32,
+    /// Geometric-mean confidence across positions.
+    pub mean_confidence: f32,
+    /// Full per-position distributions.
+    pub distribution: DigitDistribution,
+    /// Top beam hypotheses (best first; `beams[0]` is the decoded answer).
+    pub beams: Vec<BeamHypothesis>,
+}
+
+/// Prediction across all four metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Prediction {
+    /// One entry per [`Metric::all`] in order.
+    pub per_metric: Vec<MetricPrediction>,
+}
+
+impl Prediction {
+    /// The prediction for one metric.
+    pub fn metric(&self, m: Metric) -> &MetricPrediction {
+        self.per_metric
+            .iter()
+            .find(|p| p.metric == m)
+            .expect("all metrics present")
+    }
+
+    /// Collapses to a cost vector.
+    pub fn cost_vector(&self) -> CostVector {
+        CostVector {
+            power_mw: self.metric(Metric::Power).value,
+            area_um2: self.metric(Metric::Area).value,
+            ff: self.metric(Metric::FlipFlops).value as u64,
+            cycles: self.metric(Metric::Cycles).value as u64,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct MetricHead {
+    /// `d_model × (width·base)` projection.
+    w: ParamId,
+    /// `1 × (width·base)` bias.
+    b: ParamId,
+}
+
+/// The LLMulator numeric predictor.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NumericPredictor {
+    config: PredictorConfig,
+    tokenizer: Tokenizer,
+    store: ParamStore,
+    encoder: Transformer,
+    heads: Vec<MetricHead>,
+    beam_width: usize,
+}
+
+impl NumericPredictor {
+    /// Builds a fresh (untrained) predictor.
+    pub fn new(config: PredictorConfig) -> NumericPredictor {
+        let tokenizer = Tokenizer::with_mode(config.numeric_mode);
+        let mut store = ParamStore::new();
+        let tcfg = config
+            .scale
+            .transformer_config(tokenizer.vocab_size(), config.max_len);
+        let encoder = Transformer::new(tcfg, &mut store, config.seed);
+        let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(0x9e3779b9));
+        let d = tcfg.d_model;
+        let out = config.codec.width * config.codec.base as usize;
+        let heads = Metric::all()
+            .iter()
+            .map(|m| MetricHead {
+                w: store.add(
+                    format!("head.{}.w", m.label()),
+                    Matrix::randn(d, out, 0.05, &mut rng),
+                ),
+                b: store.add(format!("head.{}.b", m.label()), Matrix::zeros(1, out)),
+            })
+            .collect();
+        NumericPredictor {
+            config,
+            tokenizer,
+            store,
+            encoder,
+            heads,
+            beam_width: 4,
+        }
+    }
+
+    /// The predictor's configuration.
+    pub fn config(&self) -> &PredictorConfig {
+        &self.config
+    }
+
+    /// The tokenizer (shared with callers that pre-tokenize).
+    pub fn tokenizer(&self) -> &Tokenizer {
+        &self.tokenizer
+    }
+
+    /// The underlying encoder (used by the cached inference path).
+    pub fn encoder(&self) -> &Transformer {
+        &self.encoder
+    }
+
+    /// The parameter store (used by the cached inference path).
+    pub fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    /// Number of scalar parameters.
+    pub fn param_count(&self) -> usize {
+        self.store.scalar_count()
+    }
+
+    /// Tokenizes a sample's text under this predictor's context limit.
+    pub fn tokenize_sample(&self, sample: &Sample) -> TokenizedProgram {
+        sample.text.tokenize(&self.tokenizer, self.config.max_len)
+    }
+
+    /// Digit targets for a cost vector, per metric.
+    pub fn targets_of(&self, cost: &CostVector) -> Vec<Vec<u8>> {
+        Metric::all()
+            .iter()
+            .map(|&m| self.config.codec.encode(metric_to_int(m, cost.metric(m))))
+            .collect()
+    }
+
+    /// Per-sample training loss node: mean digit cross-entropy over all
+    /// metrics and positions (paper Eq. 1).
+    fn sample_loss(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        tokens: &[u32],
+        targets: &[Vec<u8>],
+    ) -> NodeId {
+        let out = self.encoder.encode(g, store, tokens, None);
+        let base = self.config.codec.base as usize;
+        let width = self.config.codec.width;
+        let mut total: Option<NodeId> = None;
+        for (h, target) in self.heads.iter().zip(targets) {
+            let w = g.param(store, h.w);
+            let b = g.param(store, h.b);
+            let l = g.matmul(out.pooled, w);
+            let logits = g.add_row(l, b);
+            for (j, &digit) in target.iter().enumerate().take(width) {
+                let slice = g.slice_cols(logits, j * base, base);
+                let ce = g.cross_entropy(slice, &[digit as usize]);
+                total = Some(match total {
+                    None => ce,
+                    Some(t) => g.add(t, ce),
+                });
+            }
+        }
+        let t = total.expect("at least one metric");
+        g.scale(t, 1.0 / (self.heads.len() * width) as f32)
+    }
+
+    /// Trains on a dataset; returns the per-epoch mean loss curve.
+    pub fn fit(&mut self, dataset: &Dataset, options: TrainOptions) -> Vec<f32> {
+        let items: Vec<(Vec<u32>, Vec<Vec<u8>>)> = dataset
+            .samples
+            .iter()
+            .map(|s| (self.tokenize_sample(s).tokens, self.targets_of(&s.cost)))
+            .collect();
+        self.fit_tokenized(&items, options)
+    }
+
+    /// Trains on pre-tokenized items.
+    pub fn fit_tokenized(
+        &mut self,
+        items: &[(Vec<u32>, Vec<Vec<u8>>)],
+        options: TrainOptions,
+    ) -> Vec<f32> {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        let mut opt = AdamW::new(
+            &self.store,
+            AdamConfig {
+                lr: options.lr,
+                ..AdamConfig::default()
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(1));
+        let mut order: Vec<usize> = (0..items.len()).collect();
+        let mut curve = Vec::with_capacity(options.epochs);
+        for _ in 0..options.epochs {
+            order.shuffle(&mut rng);
+            let mut epoch_loss = 0.0f32;
+            let mut batches = 0usize;
+            for chunk in order.chunks(options.batch_size.max(1)) {
+                let batch: Vec<&(Vec<u32>, Vec<Vec<u8>>)> =
+                    chunk.iter().map(|&i| &items[i]).collect();
+                let (loss, grads) = llmulator_nn::train::batch_grads(
+                    &self.store,
+                    &batch,
+                    options.threads,
+                    |g, store, item| self.sample_loss(g, store, &item.0, &item.1),
+                );
+                opt.apply(&mut self.store, &grads);
+                epoch_loss += loss;
+                batches += 1;
+            }
+            curve.push(epoch_loss / batches.max(1) as f32);
+        }
+        curve
+    }
+
+    /// Decodes metric predictions from a pooled representation (pure matrix
+    /// math — shared by the tape and cached inference paths).
+    pub fn decode_pooled(&self, pooled: &Matrix) -> Prediction {
+        let base = self.config.codec.base as usize;
+        let width = self.config.codec.width;
+        let per_metric = Metric::all()
+            .iter()
+            .zip(&self.heads)
+            .map(|(&metric, h)| {
+                let w = self.store.get(h.w);
+                let b = self.store.get(h.b);
+                let mut logits = pooled.matmul(w);
+                for (c, v) in logits.row_mut(0).iter_mut().enumerate() {
+                    *v += b.get(0, c);
+                }
+                let mut rows = Vec::with_capacity(width);
+                for j in 0..width {
+                    let mut row = Matrix::from_fn(1, base, |_, c| logits.get(0, j * base + c));
+                    row.softmax_rows_mut();
+                    rows.push(row.row(0).to_vec());
+                }
+                let dist = DigitDistribution::new(self.config.codec.base, rows);
+                let beams = beam_search(&dist, self.beam_width);
+                let digits = beams[0].digits.clone();
+                let value = int_to_metric(metric, self.config.codec.decode(&digits));
+                MetricPrediction {
+                    metric,
+                    value,
+                    confidence: dist.final_confidence(&digits),
+                    mean_confidence: dist.mean_confidence(&digits),
+                    digits,
+                    distribution: dist,
+                    beams,
+                }
+            })
+            .collect();
+        Prediction { per_metric }
+    }
+
+    /// Predicts from raw tokens (full forward pass, optional mask).
+    pub fn predict_tokens(&self, tokens: &[u32], mask: Option<&Matrix>) -> Prediction {
+        let mut g = Graph::new();
+        let out = self.encoder.encode(&mut g, &self.store, tokens, mask);
+        let pooled = g.value(out.pooled).clone();
+        self.decode_pooled(&pooled)
+    }
+
+    /// Predicts for a sample.
+    pub fn predict_sample(&self, sample: &Sample) -> Prediction {
+        let tp = self.tokenize_sample(sample);
+        self.predict_tokens(&tp.tokens, None)
+    }
+
+    /// Builds the tape node for `log π(digits | tokens)` of one metric
+    /// (summed per-position log-probabilities) — the DPO building block.
+    pub fn log_prob_node(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        tokens: &[u32],
+        metric: Metric,
+        digits: &[u8],
+    ) -> NodeId {
+        let out = self.encoder.encode(g, store, tokens, None);
+        let idx = Metric::all()
+            .iter()
+            .position(|&m| m == metric)
+            .expect("known metric");
+        let h = &self.heads[idx];
+        let w = g.param(store, h.w);
+        let b = g.param(store, h.b);
+        let l = g.matmul(out.pooled, w);
+        let logits = g.add_row(l, b);
+        let base = self.config.codec.base as usize;
+        let mut total: Option<NodeId> = None;
+        for (j, &d) in digits.iter().enumerate().take(self.config.codec.width) {
+            let slice = g.slice_cols(logits, j * base, base);
+            let lp = g.log_prob(slice, &[d as usize]);
+            total = Some(match total {
+                None => lp,
+                Some(t) => g.add(t, lp),
+            });
+        }
+        total.expect("at least one digit")
+    }
+
+    /// Forward-only `log π(digits | tokens)` (for the frozen reference
+    /// policy in DPO).
+    pub fn log_prob_value(&self, tokens: &[u32], metric: Metric, digits: &[u8]) -> f32 {
+        let mut g = Graph::new();
+        let node = self.log_prob_node(&mut g, &self.store, tokens, metric, digits);
+        g.value(node).get(0, 0)
+    }
+
+    /// Mutable access for the optimizer (crate-internal).
+    pub(crate) fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+}
+
+impl CostModel for NumericPredictor {
+    fn name(&self) -> &str {
+        match self.config.numeric_mode {
+            NumericMode::Digits => "LLMulator",
+            NumericMode::Whole => "LLMulator-NoEnc",
+        }
+    }
+
+    fn predict(&self, sample: &Sample) -> CostVector {
+        self.predict_sample(sample).cost_vector()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmulator_ir::builder::OperatorBuilder;
+    use llmulator_ir::{Expr, LValue, Program, Stmt};
+
+    fn tiny_config() -> PredictorConfig {
+        PredictorConfig {
+            scale: ModelScale::Small,
+            codec: DigitCodec::decimal(4),
+            numeric_mode: NumericMode::Digits,
+            max_len: 48,
+            seed: 3,
+        }
+    }
+
+    fn sample(n: usize) -> Sample {
+        let op = OperatorBuilder::new("inc")
+            .array_param("a", [n])
+            .loop_nest(&[("i", n)], |idx| {
+                vec![Stmt::assign(
+                    LValue::store("a", vec![idx[0].clone()]),
+                    Expr::load("a", vec![idx[0].clone()]) + Expr::int(1),
+                )]
+            })
+            .build();
+        Sample::profile(&Program::single_op(op), None).expect("profiles")
+    }
+
+    #[test]
+    fn prediction_has_all_metrics_and_confidences() {
+        let model = NumericPredictor::new(tiny_config());
+        let p = model.predict_sample(&sample(8));
+        assert_eq!(p.per_metric.len(), 4);
+        for mp in &p.per_metric {
+            assert!(mp.value >= 0.0);
+            assert!((0.0..=1.0).contains(&mp.confidence));
+            assert_eq!(mp.digits.len(), 4);
+            assert_eq!(mp.beams[0].digits, mp.digits);
+        }
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let mut model = NumericPredictor::new(tiny_config());
+        let ds: Dataset = vec![sample(4), sample(8), sample(12), sample(16)]
+            .into_iter()
+            .collect();
+        let curve = model.fit(
+            &ds,
+            TrainOptions {
+                epochs: 8,
+                batch_size: 2,
+                lr: 5e-3,
+                threads: 2,
+            },
+        );
+        assert!(curve.len() == 8);
+        assert!(
+            curve.last().expect("non-empty") < curve.first().expect("non-empty"),
+            "loss curve {curve:?}"
+        );
+    }
+
+    #[test]
+    fn overfits_single_sample_to_exact_digits() {
+        let mut model = NumericPredictor::new(tiny_config());
+        let s = sample(8);
+        let ds: Dataset = vec![s.clone()].into_iter().collect();
+        model.fit(
+            &ds,
+            TrainOptions {
+                epochs: 60,
+                batch_size: 1,
+                lr: 1e-2,
+                threads: 1,
+            },
+        );
+        let pred = model.predict_sample(&s);
+        let targets = model.targets_of(&s.cost);
+        // At least cycles digits should be memorized.
+        let cyc = pred.metric(Metric::Cycles);
+        assert_eq!(
+            cyc.digits, targets[3],
+            "cycles digits memorized (got {:?}, want {:?})",
+            cyc.digits, targets[3]
+        );
+    }
+
+    #[test]
+    fn log_prob_matches_distribution() {
+        let model = NumericPredictor::new(tiny_config());
+        let s = sample(4);
+        let tp = model.tokenize_sample(&s);
+        let pred = model.predict_tokens(&tp.tokens, None);
+        let cyc = pred.metric(Metric::Cycles);
+        let lp = model.log_prob_value(&tp.tokens, Metric::Cycles, &cyc.digits);
+        let manual: f32 = cyc
+            .distribution
+            .confidences(&cyc.digits)
+            .iter()
+            .map(|p| p.max(1e-9).ln())
+            .sum();
+        assert!((lp - manual).abs() < 1e-3, "{lp} vs {manual}");
+    }
+
+    #[test]
+    fn scales_order_by_capacity() {
+        let v = 100;
+        let s = ModelScale::Small.transformer_config(v, 64);
+        let m = ModelScale::Medium.transformer_config(v, 64);
+        let l = ModelScale::Large.transformer_config(v, 64);
+        assert!(s.d_model < m.d_model && m.d_model < l.d_model);
+        assert_eq!(ModelScale::Medium.label(), "1B");
+    }
+
+    #[test]
+    fn cost_model_trait_round_trip() {
+        let model = NumericPredictor::new(tiny_config());
+        let s = sample(4);
+        let cv = model.predict(&s);
+        assert_eq!(model.name(), "LLMulator");
+        assert!(cv.power_mw >= 0.0);
+    }
+}

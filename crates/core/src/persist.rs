@@ -1,0 +1,151 @@
+//! Saving and loading trained predictors.
+//!
+//! A [`NumericPredictor`] is plain data (configuration + parameter store +
+//! head handles), so persistence is a serde round trip. JSON is used because
+//! it is the only serde format crate in the dependency whitelist; models in
+//! this reproduction are ~100k parameters, for which JSON remains practical.
+
+use crate::model::NumericPredictor;
+use std::fmt;
+use std::path::Path;
+
+/// Errors from model persistence.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Serialization/deserialization failure.
+    Codec(serde_json::Error),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "model file i/o failed: {e}"),
+            PersistError::Codec(e) => write!(f, "model encoding failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            PersistError::Codec(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for PersistError {
+    fn from(e: serde_json::Error) -> Self {
+        PersistError::Codec(e)
+    }
+}
+
+impl NumericPredictor {
+    /// Serializes the model (config + weights) to a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Codec`] if serialization fails.
+    pub fn to_json(&self) -> Result<String, PersistError> {
+        Ok(serde_json::to_string(self)?)
+    }
+
+    /// Reconstructs a model from [`NumericPredictor::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Codec`] on malformed input.
+    pub fn from_json(json: &str) -> Result<NumericPredictor, PersistError> {
+        Ok(serde_json::from_str(json)?)
+    }
+
+    /// Writes the model to a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError`] on filesystem or encoding failure.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
+        std::fs::write(path, self.to_json()?)?;
+        Ok(())
+    }
+
+    /// Loads a model from a file written by [`NumericPredictor::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError`] on filesystem or decoding failure.
+    pub fn load(path: impl AsRef<Path>) -> Result<NumericPredictor, PersistError> {
+        NumericPredictor::from_json(&std::fs::read_to_string(path)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ModelScale, PredictorConfig};
+    use crate::numeric::DigitCodec;
+    use llmulator_token::NumericMode;
+
+    fn tiny() -> NumericPredictor {
+        NumericPredictor::new(PredictorConfig {
+            scale: ModelScale::Small,
+            codec: DigitCodec::decimal(4),
+            numeric_mode: NumericMode::Digits,
+            max_len: 32,
+            seed: 21,
+        })
+    }
+
+    #[test]
+    fn json_round_trip_preserves_predictions() {
+        let model = tiny();
+        let tokens: Vec<u32> = vec![4, 5, 6, 7, 8];
+        let before = model.predict_tokens(&tokens, None);
+        let restored =
+            NumericPredictor::from_json(&model.to_json().expect("encodes")).expect("decodes");
+        let after = restored.predict_tokens(&tokens, None);
+        for (a, b) in before.per_metric.iter().zip(&after.per_metric) {
+            assert_eq!(a.digits, b.digits);
+            assert!((a.confidence - b.confidence).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn save_load_file_round_trip() {
+        let dir = std::env::temp_dir().join("llmulator_persist_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("model.json");
+        let model = tiny();
+        model.save(&path).expect("saves");
+        let restored = NumericPredictor::load(&path).expect("loads");
+        assert_eq!(restored.config(), model.config());
+        assert_eq!(restored.param_count(), model.param_count());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        assert!(matches!(
+            NumericPredictor::from_json("not json"),
+            Err(PersistError::Codec(_))
+        ));
+        assert!(matches!(
+            NumericPredictor::load("/definitely/not/a/path/model.json"),
+            Err(PersistError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn display_mentions_cause() {
+        let err = NumericPredictor::from_json("{").unwrap_err();
+        assert!(err.to_string().contains("encoding"));
+    }
+}

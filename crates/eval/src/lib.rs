@@ -1,0 +1,12 @@
+//! # llmulator-eval
+//!
+//! Accuracy metrics and table rendering shared by the experiment harness:
+//! MAPE and MSE (the paper's headline metrics), Pearson correlation (the
+//! Table 6 confidence analysis), Kendall rank correlation (design-space
+//! ranking quality) and fixed-width text tables matching the paper's layout.
+
+pub mod metrics;
+pub mod table;
+
+pub use metrics::{ape, kendall_tau, mape, mse, pearson};
+pub use table::Table;

@@ -1,0 +1,153 @@
+//! Accuracy and correlation metrics.
+
+/// Absolute percentage error of one prediction (0 when truth is 0).
+pub fn ape(predicted: f64, actual: f64) -> f64 {
+    if actual == 0.0 {
+        if predicted == 0.0 {
+            0.0
+        } else {
+            1.0
+        }
+    } else {
+        (predicted - actual).abs() / actual.abs()
+    }
+}
+
+/// Mean absolute percentage error over paired slices.
+///
+/// # Panics
+///
+/// Panics when the slices differ in length.
+pub fn mape(predicted: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), actual.len(), "paired slices");
+    if predicted.is_empty() {
+        return 0.0;
+    }
+    predicted
+        .iter()
+        .zip(actual)
+        .map(|(&p, &a)| ape(p, a))
+        .sum::<f64>()
+        / predicted.len() as f64
+}
+
+/// Mean squared error over paired slices.
+///
+/// # Panics
+///
+/// Panics when the slices differ in length.
+pub fn mse(predicted: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), actual.len(), "paired slices");
+    if predicted.is_empty() {
+        return 0.0;
+    }
+    predicted
+        .iter()
+        .zip(actual)
+        .map(|(&p, &a)| (p - a) * (p - a))
+        .sum::<f64>()
+        / predicted.len() as f64
+}
+
+/// Pearson correlation coefficient (0 when either side is constant).
+///
+/// # Panics
+///
+/// Panics when the slices differ in length.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "paired slices");
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mx = xs.iter().sum::<f64>() / n as f64;
+    let my = ys.iter().sum::<f64>() / n as f64;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+/// Kendall rank correlation τ (pairs with ties contribute 0).
+///
+/// # Panics
+///
+/// Panics when the slices differ in length.
+pub fn kendall_tau(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "paired slices");
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dx = xs[i] - xs[j];
+            let dy = ys[i] - ys[j];
+            let s = dx * dy;
+            if s > 0.0 {
+                concordant += 1;
+            } else if s < 0.0 {
+                discordant += 1;
+            }
+        }
+    }
+    let pairs = (n * (n - 1) / 2) as f64;
+    (concordant - discordant) as f64 / pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ape_basics() {
+        assert_eq!(ape(110.0, 100.0), 0.1);
+        assert_eq!(ape(0.0, 0.0), 0.0);
+        assert_eq!(ape(5.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn mape_averages() {
+        let m = mape(&[110.0, 90.0], &[100.0, 100.0]);
+        assert!((m - 0.1).abs() < 1e-12);
+        assert_eq!(mape(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn mse_squares() {
+        assert_eq!(mse(&[3.0], &[1.0]), 4.0);
+    }
+
+    #[test]
+    fn pearson_perfect_and_inverse() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&x, &y) - 1.0).abs() < 1e-12);
+        let z = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&x, &z) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&x, &[1.0; 4]), 0.0);
+    }
+
+    #[test]
+    fn kendall_detects_rank_agreement() {
+        let x = [1.0, 2.0, 3.0];
+        assert!((kendall_tau(&x, &[10.0, 20.0, 30.0]) - 1.0).abs() < 1e-12);
+        assert!((kendall_tau(&x, &[30.0, 20.0, 10.0]) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "paired slices")]
+    fn mape_checks_lengths() {
+        let _ = mape(&[1.0], &[]);
+    }
+}

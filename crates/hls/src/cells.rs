@@ -1,0 +1,173 @@
+//! A SkyWater-130-class standard-cell/functional-unit library.
+//!
+//! Numbers are order-of-magnitude realistic for a 130 nm node; the cost-model
+//! experiments only require that area/power/latency be a *deterministic,
+//! monotone* function of program structure, not that they match a signed-off
+//! PDK flow (see DESIGN.md, substitution table).
+
+use serde::{Deserialize, Serialize};
+
+/// The classes of datapath operation the binder allocates units for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FuKind {
+    /// 32-bit add/subtract.
+    AddSub,
+    /// 32-bit multiply.
+    Mul,
+    /// 32-bit divide / modulo.
+    Div,
+    /// 32-bit comparator (relational/equality).
+    Cmp,
+    /// Bitwise / logical ops.
+    Logic,
+    /// Transcendental math unit (exp, log, sqrt, sigmoid, tanh).
+    Math,
+    /// Memory load port.
+    Load,
+    /// Memory store port.
+    Store,
+}
+
+impl FuKind {
+    /// All unit kinds, in a stable order.
+    pub fn all() -> &'static [FuKind] {
+        &[
+            FuKind::AddSub,
+            FuKind::Mul,
+            FuKind::Div,
+            FuKind::Cmp,
+            FuKind::Logic,
+            FuKind::Math,
+            FuKind::Load,
+            FuKind::Store,
+        ]
+    }
+}
+
+/// Per-unit physical characteristics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CellSpec {
+    /// Cell area in square micrometres.
+    pub area_um2: f64,
+    /// Pipeline latency in cycles (compute units; memory latency comes from
+    /// [`llmulator_ir::HardwareParams`]).
+    pub latency: u32,
+    /// Dynamic energy per operation in picojoules.
+    pub energy_pj: f64,
+}
+
+/// Area of one D flip-flop in um².
+pub const FF_AREA_UM2: f64 = 20.0;
+/// Area of one word-level 2:1 multiplexer in um² (paper Fig. 8 reports
+/// 584.5 um² for 59 muxes ≈ 9.9 um² each).
+pub const MUX21_AREA_UM2: f64 = 9.9;
+/// Leakage power per um² in mW (130 nm-class).
+pub const LEAKAGE_MW_PER_UM2: f64 = 6.0e-6;
+/// Area overhead of one memory-port controller in um².
+pub const MEM_CTRL_AREA_UM2: f64 = 480.0;
+/// Area overhead of the per-operator FSM controller in um² (plus state FFs).
+pub const FSM_BASE_AREA_UM2: f64 = 260.0;
+
+/// Looks up the spec for a functional-unit kind.
+pub fn spec(kind: FuKind) -> CellSpec {
+    match kind {
+        FuKind::AddSub => CellSpec {
+            area_um2: 140.0,
+            latency: 1,
+            energy_pj: 0.6,
+        },
+        FuKind::Mul => CellSpec {
+            area_um2: 1650.0,
+            latency: 3,
+            energy_pj: 4.2,
+        },
+        FuKind::Div => CellSpec {
+            area_um2: 3400.0,
+            latency: 12,
+            energy_pj: 11.0,
+        },
+        FuKind::Cmp => CellSpec {
+            area_um2: 64.0,
+            latency: 1,
+            energy_pj: 0.3,
+        },
+        FuKind::Logic => CellSpec {
+            area_um2: 36.0,
+            latency: 1,
+            energy_pj: 0.2,
+        },
+        FuKind::Math => CellSpec {
+            area_um2: 5200.0,
+            latency: 18,
+            energy_pj: 16.0,
+        },
+        // Ports: the latency recorded here is the *issue* cost; the wait
+        // cycles come from HardwareParams at simulation time.
+        FuKind::Load => CellSpec {
+            area_um2: 220.0,
+            latency: 1,
+            energy_pj: 7.5,
+        },
+        FuKind::Store => CellSpec {
+            area_um2: 220.0,
+            latency: 1,
+            energy_pj: 8.5,
+        },
+    }
+}
+
+/// Maps an IR binary operator to the unit that executes it.
+pub fn binop_fu(op: llmulator_ir::BinOp) -> FuKind {
+    use llmulator_ir::BinOp::*;
+    match op {
+        Add | Sub => FuKind::AddSub,
+        Mul => FuKind::Mul,
+        Div | Mod => FuKind::Div,
+        Lt | Le | Gt | Ge | Eq | Ne => FuKind::Cmp,
+        And | Or => FuKind::Logic,
+    }
+}
+
+/// Maps an IR intrinsic to the unit that executes it.
+pub fn intrinsic_fu(func: llmulator_ir::Intrinsic) -> FuKind {
+    use llmulator_ir::Intrinsic::*;
+    match func {
+        Exp | Sqrt | Sigmoid | Tanh | Log => FuKind::Math,
+        Abs | Relu | Max | Min => FuKind::Cmp,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_has_positive_spec() {
+        for &k in FuKind::all() {
+            let s = spec(k);
+            assert!(s.area_um2 > 0.0, "{k:?} area");
+            assert!(s.latency >= 1, "{k:?} latency");
+            assert!(s.energy_pj > 0.0, "{k:?} energy");
+        }
+    }
+
+    #[test]
+    fn multiplier_dominates_adder() {
+        assert!(spec(FuKind::Mul).area_um2 > spec(FuKind::AddSub).area_um2);
+        assert!(spec(FuKind::Div).latency > spec(FuKind::Mul).latency);
+    }
+
+    #[test]
+    fn binop_mapping_covers_all_operators() {
+        for &op in llmulator_ir::BinOp::all() {
+            let _ = binop_fu(op); // must not panic
+        }
+    }
+
+    #[test]
+    fn intrinsic_mapping_covers_all() {
+        for &f in llmulator_ir::Intrinsic::all() {
+            let _ = intrinsic_fu(f);
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! RTL-level feature extraction — the `<think>` reasoning fragment.
+//!
+//! The paper (Sec. 6.2, Fig. 8/9) extracts compact RTL features with
+//! SiliconCompiler (module counts, conflicts, estimated areas, mux counts)
+//! and wraps them in a `<think>` tag so the predictor can reason over
+//! intermediate compilation results without blowing up the context length.
+
+use crate::cells::MUX21_AREA_UM2;
+use crate::count::OpCensus;
+use crate::metrics::StaticMetrics;
+use crate::schedule::Binding;
+use serde::{Deserialize, Serialize};
+
+/// Compact RTL-level features for one operator or a whole program.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RtlFeatures {
+    /// Number of modules instantiated (units + controllers).
+    pub modules_instantiated: u64,
+    /// Number of performance conflicts found during binding.
+    pub perf_conflicts: u64,
+    /// Estimated resource area (um², rounded).
+    pub est_resource_area: u64,
+    /// Estimated area contributed by MUX21 cells (um²).
+    pub mux21_area: f64,
+    /// Number of allocated multiplexers.
+    pub mux_count: u64,
+}
+
+impl RtlFeatures {
+    /// Builds features from binder output.
+    pub fn from_binding(
+        census: &OpCensus,
+        binding: &Binding,
+        metrics: &StaticMetrics,
+        array_param_count: usize,
+    ) -> RtlFeatures {
+        RtlFeatures {
+            // units + FSM + one memory controller per array port
+            modules_instantiated: binding.total_units() + 1 + array_param_count as u64,
+            perf_conflicts: binding.conflicts + census.branch_count,
+            est_resource_area: metrics.area_um2.round() as u64,
+            mux21_area: binding.mux21_count as f64 * MUX21_AREA_UM2,
+            mux_count: binding.mux21_count,
+        }
+    }
+
+    /// Element-wise sum (aggregating operators into a program).
+    pub fn add(&self, other: &RtlFeatures) -> RtlFeatures {
+        RtlFeatures {
+            modules_instantiated: self.modules_instantiated + other.modules_instantiated,
+            perf_conflicts: self.perf_conflicts + other.perf_conflicts,
+            est_resource_area: self.est_resource_area + other.est_resource_area,
+            mux21_area: self.mux21_area + other.mux21_area,
+            mux_count: self.mux_count + other.mux_count,
+        }
+    }
+
+    /// Renders the `<think>` fragment in the paper's Fig. 8 format.
+    pub fn render_think(&self) -> String {
+        format!(
+            "<think>\nNumber of modules instantiated: {}\nNumber of performance conflicts: {}\nEstimated resources area: {}\nEstimated area of MUX21: {:.1}\nNumber of allocated multiplexers: {}\n</think>",
+            self.modules_instantiated,
+            self.perf_conflicts,
+            self.est_resource_area,
+            self.mux21_area,
+            self.mux_count
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn think_fragment_has_paper_fields() {
+        let f = RtlFeatures {
+            modules_instantiated: 81,
+            perf_conflicts: 54,
+            est_resource_area: 1399,
+            mux21_area: 584.5,
+            mux_count: 59,
+        };
+        let text = f.render_think();
+        assert!(text.starts_with("<think>"));
+        assert!(text.ends_with("</think>"));
+        assert!(text.contains("Number of modules instantiated: 81"));
+        assert!(text.contains("Number of performance conflicts: 54"));
+        assert!(text.contains("Estimated resources area: 1399"));
+        assert!(text.contains("Estimated area of MUX21: 584.5"));
+        assert!(text.contains("Number of allocated multiplexers: 59"));
+    }
+
+    #[test]
+    fn add_is_componentwise() {
+        let a = RtlFeatures {
+            modules_instantiated: 1,
+            perf_conflicts: 2,
+            est_resource_area: 3,
+            mux21_area: 4.0,
+            mux_count: 5,
+        };
+        let s = a.add(&a);
+        assert_eq!(s.modules_instantiated, 2);
+        assert_eq!(s.mux_count, 10);
+        assert_eq!(s.mux21_area, 8.0);
+    }
+}

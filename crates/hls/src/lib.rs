@@ -1,0 +1,178 @@
+//! # llmulator-hls
+//!
+//! The HLS + physical-synthesis substrate of the LLMulator reproduction: the
+//! role Bambu (HLS frontend), OpenROAD (physical synthesis) and
+//! SiliconCompiler (feature extraction) play in the paper's profiling
+//! pipeline.
+//!
+//! Given a [`Program`] and its hardware parameters:
+//!
+//! 1. [`count::census`] walks each operator counting datapath operations with
+//!    loop weights and pragma-driven spatial replication,
+//! 2. [`schedule::bind`] allocates functional units, inserts sharing muxes
+//!    and counts scheduling conflicts,
+//! 3. [`metrics::static_metrics`] converts the binding into
+//!    `{power, area, flip-flops}` with a SkyWater-130-class cell library,
+//! 4. [`features::RtlFeatures`] extracts the compact RTL features used by the
+//!    `<think>` reasoning data format.
+//!
+//! ```
+//! use llmulator_hls::compile;
+//! use llmulator_ir::builder::OperatorBuilder;
+//! use llmulator_ir::{Expr, Program, Stmt};
+//!
+//! let op = OperatorBuilder::new("axpy")
+//!     .array_param("x", [32])
+//!     .array_param("y", [32])
+//!     .loop_nest(&[("i", 32)], |idx| {
+//!         vec![Stmt::accumulate(
+//!             "y",
+//!             vec![idx[0].clone()],
+//!             Expr::load("x", vec![idx[0].clone()]) * Expr::int(2),
+//!         )]
+//!     })
+//!     .build();
+//! let program = Program::single_op(op);
+//! let report = compile(&program);
+//! assert!(report.total.area_um2 > 0.0);
+//! assert!(report.features.modules_instantiated > 0);
+//! ```
+
+pub mod cells;
+pub mod count;
+pub mod features;
+pub mod metrics;
+pub mod schedule;
+
+pub use cells::{CellSpec, FuKind};
+pub use count::OpCensus;
+pub use features::RtlFeatures;
+pub use metrics::StaticMetrics;
+pub use schedule::Binding;
+
+use llmulator_ir::{Ident, Program};
+use serde::{Deserialize, Serialize};
+
+/// Compilation result for one operator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OperatorReport {
+    /// Operator name.
+    pub name: Ident,
+    /// Total replicated datapath op sites (census size).
+    pub census_total_sites: u64,
+    /// Binding decisions.
+    pub binding: Binding,
+    /// Static metrics for this operator's module.
+    pub metrics: StaticMetrics,
+    /// RTL features for this operator's module.
+    pub features: RtlFeatures,
+}
+
+/// Compilation result for a whole program.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HlsReport {
+    /// Per-operator reports, in definition order.
+    pub operators: Vec<OperatorReport>,
+    /// Program-level static metrics (sum over distinct operator modules).
+    pub total: StaticMetrics,
+    /// Program-level RTL features.
+    pub features: RtlFeatures,
+}
+
+impl HlsReport {
+    /// Looks up the report for an operator.
+    pub fn operator(&self, name: &Ident) -> Option<&OperatorReport> {
+        self.operators.iter().find(|r| &r.name == name)
+    }
+}
+
+/// Compiles a program: every *distinct* operator becomes one hardware module
+/// (multiple invocations share the module, as an HLS flow would).
+pub fn compile(program: &Program) -> HlsReport {
+    let hw = &program.hw;
+    let mut operators = Vec::with_capacity(program.operators.len());
+    let mut total = StaticMetrics::default();
+    let mut features = RtlFeatures::default();
+    for op in &program.operators {
+        let census = count::census(op, hw);
+        let binding = schedule::bind(&census);
+        let arrays = op.array_params().len();
+        let metrics = metrics::static_metrics(&census, &binding, arrays, hw);
+        let feats = RtlFeatures::from_binding(&census, &binding, &metrics, arrays);
+        total = total.add(&metrics);
+        features = features.add(&feats);
+        operators.push(OperatorReport {
+            name: op.name.clone(),
+            census_total_sites: census.total_sites(),
+            binding,
+            metrics,
+            features: feats,
+        });
+    }
+    HlsReport {
+        operators,
+        total,
+        features,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmulator_ir::builder::OperatorBuilder;
+    use llmulator_ir::{Expr, LValue, LoopPragma, Stmt};
+
+    fn simple_program(unroll: bool) -> Program {
+        let pragma = if unroll {
+            LoopPragma::UnrollFull
+        } else {
+            LoopPragma::None
+        };
+        let op = OperatorBuilder::new("scale")
+            .array_param("a", [16])
+            .array_param("b", [16])
+            .loop_nest_with_pragma(&[("i", 16)], pragma, |idx| {
+                vec![Stmt::assign(
+                    LValue::store("b", vec![idx[0].clone()]),
+                    Expr::load("a", vec![idx[0].clone()]) * Expr::int(3),
+                )]
+            })
+            .build();
+        Program::single_op(op)
+    }
+
+    #[test]
+    fn compile_reports_every_operator() {
+        let report = compile(&simple_program(false));
+        assert_eq!(report.operators.len(), 1);
+        assert!(report.operator(&"scale".into()).is_some());
+        assert!(report.operator(&"missing".into()).is_none());
+    }
+
+    #[test]
+    fn unrolling_trades_area_for_parallelism() {
+        let plain = compile(&simple_program(false));
+        let unrolled = compile(&simple_program(true));
+        assert!(
+            unrolled.total.area_um2 > plain.total.area_um2,
+            "unrolled {} vs plain {}",
+            unrolled.total.area_um2,
+            plain.total.area_um2
+        );
+        assert!(unrolled.features.modules_instantiated > plain.features.modules_instantiated);
+    }
+
+    #[test]
+    fn totals_are_sums_of_operators() {
+        let report = compile(&simple_program(false));
+        let sum: f64 = report.operators.iter().map(|o| o.metrics.area_um2).sum();
+        assert!((report.total.area_um2 - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = compile(&simple_program(true));
+        let b = compile(&simple_program(true));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,154 @@
+//! Static ASIC metrics: area, flip-flop count and power.
+
+use crate::cells::{
+    spec, FuKind, FF_AREA_UM2, FSM_BASE_AREA_UM2, LEAKAGE_MW_PER_UM2, MEM_CTRL_AREA_UM2,
+    MUX21_AREA_UM2,
+};
+use crate::count::OpCensus;
+use crate::schedule::Binding;
+use llmulator_ir::HardwareParams;
+use serde::{Deserialize, Serialize};
+
+/// The static half of the paper's `<Power, Area, Flip-Flop, Cycles>` output.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct StaticMetrics {
+    /// Total power in milliwatts (leakage + dynamic at estimated activity).
+    pub power_mw: f64,
+    /// Area in square micrometres.
+    pub area_um2: f64,
+    /// Flip-flop count.
+    pub ff: u64,
+}
+
+impl StaticMetrics {
+    /// Element-wise sum (used to aggregate operators into a program).
+    pub fn add(&self, other: &StaticMetrics) -> StaticMetrics {
+        StaticMetrics {
+            power_mw: self.power_mw + other.power_mw,
+            area_um2: self.area_um2 + other.area_um2,
+            ff: self.ff + other.ff,
+        }
+    }
+}
+
+/// Computes the static metrics of one bound operator.
+pub fn static_metrics(
+    census: &OpCensus,
+    binding: &Binding,
+    array_param_count: usize,
+    hw: &HardwareParams,
+) -> StaticMetrics {
+    // ---- area ----
+    let mut area = FSM_BASE_AREA_UM2;
+    for (&kind, &units) in &binding.allocated {
+        area += units as f64 * spec(kind).area_um2;
+    }
+    area += binding.mux21_count as f64 * MUX21_AREA_UM2;
+    area += array_param_count as f64 * MEM_CTRL_AREA_UM2;
+
+    // ---- flip-flops ----
+    // Output register per unit (32-bit), loop counters, FSM state register.
+    let unit_regs: u64 = binding.total_units() * 32;
+    let state_bits = 64 - binding.control_steps.max(1).leading_zeros() as u64;
+    let ff = unit_regs + census.counter_bits + state_bits + census.branch_count * 2;
+    area += ff as f64 * FF_AREA_UM2;
+
+    // ---- power ----
+    let leakage_mw = area * LEAKAGE_MW_PER_UM2;
+    // Dynamic: total energy over the estimated execution window. The window
+    // length is control_steps per innermost iteration times iterations.
+    let window_cycles =
+        (census.est_iterations * binding.control_steps as f64).max(1.0);
+    let total_energy_pj: f64 = census
+        .weighted_ops
+        .iter()
+        .map(|(&kind, &ops)| {
+            let mem_scale = match kind {
+                FuKind::Load => 1.0 + hw.mem_read_delay as f64 * 0.04,
+                FuKind::Store => 1.0 + hw.mem_write_delay as f64 * 0.04,
+                _ => 1.0,
+            };
+            ops * spec(kind).energy_pj * mem_scale
+        })
+        .sum();
+    // pJ / (cycles × ns/cycle) = pJ/ns = mW.
+    let dynamic_mw = total_energy_pj / (window_cycles * hw.clock_period_ns);
+    // Clock-tree power scales with FF count.
+    let clock_mw = ff as f64 * 0.0011 * (10.0 / hw.clock_period_ns);
+
+    StaticMetrics {
+        power_mw: leakage_mw + dynamic_mw + clock_mw,
+        area_um2: area,
+        ff,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::count::census;
+    use crate::schedule::bind;
+    use llmulator_ir::builder::OperatorBuilder;
+    use llmulator_ir::{Expr, Stmt};
+
+    fn metrics_for(n: usize, hw: &HardwareParams) -> StaticMetrics {
+        let op = OperatorBuilder::new("gemm")
+            .array_param("a", [n, n])
+            .array_param("b", [n, n])
+            .array_param("c", [n, n])
+            .loop_nest(&[("i", n), ("j", n), ("k", n)], |idx| {
+                vec![Stmt::accumulate(
+                    "c",
+                    vec![idx[0].clone(), idx[1].clone()],
+                    Expr::load("a", vec![idx[0].clone(), idx[2].clone()])
+                        * Expr::load("b", vec![idx[2].clone(), idx[1].clone()]),
+                )]
+            })
+            .build();
+        let c = census(&op, hw);
+        let b = bind(&c);
+        static_metrics(&c, &b, 3, hw)
+    }
+
+    #[test]
+    fn metrics_are_positive() {
+        let m = metrics_for(8, &HardwareParams::default());
+        assert!(m.power_mw > 0.0);
+        assert!(m.area_um2 > 0.0);
+        assert!(m.ff > 0);
+    }
+
+    #[test]
+    fn bigger_kernels_cost_more_power() {
+        let hw = HardwareParams::default();
+        let small = metrics_for(4, &hw);
+        let large = metrics_for(32, &hw);
+        assert!(large.power_mw > small.power_mw);
+        assert!(large.ff >= small.ff);
+    }
+
+    #[test]
+    fn memory_delay_raises_power() {
+        let slow = metrics_for(8, &HardwareParams::default().with_mem_delay(20));
+        let fast = metrics_for(8, &HardwareParams::default().with_mem_delay(2));
+        assert!(slow.power_mw > fast.power_mw);
+    }
+
+    #[test]
+    fn add_is_componentwise() {
+        let a = StaticMetrics {
+            power_mw: 1.0,
+            area_um2: 2.0,
+            ff: 3,
+        };
+        let b = StaticMetrics {
+            power_mw: 0.5,
+            area_um2: 1.5,
+            ff: 4,
+        };
+        let s = a.add(&b);
+        assert_eq!(s.power_mw, 1.5);
+        assert_eq!(s.area_um2, 3.5);
+        assert_eq!(s.ff, 7);
+    }
+}

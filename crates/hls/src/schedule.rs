@@ -1,0 +1,128 @@
+//! Resource-constrained list scheduling and functional-unit binding.
+//!
+//! Given an operator census, the binder decides how many units of each kind
+//! to allocate, how many word-level muxes sharing introduces, and how many
+//! scheduling conflicts (ops that had to wait for a unit) occur — the same
+//! RTL-level quantities the paper extracts from SiliconCompiler for its
+//! `<think>` reasoning fragments.
+
+use crate::cells::{spec, FuKind};
+use crate::count::OpCensus;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Allocation/binding result for one operator.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Binding {
+    /// Units allocated per kind.
+    pub allocated: BTreeMap<FuKind, u64>,
+    /// Word-level 2:1 muxes inserted by sharing.
+    pub mux21_count: u64,
+    /// Scheduling conflicts (operations serialized on a shared unit).
+    pub conflicts: u64,
+    /// Number of FSM control steps for one innermost iteration.
+    pub control_steps: u64,
+}
+
+impl Binding {
+    /// Total allocated units across kinds.
+    pub fn total_units(&self) -> u64 {
+        self.allocated.values().sum()
+    }
+}
+
+/// Sharing budget: at most this many op sites may share one unit before the
+/// binder allocates another (keeps mux trees shallow, as real binders do).
+const MAX_SHARING: u64 = 4;
+
+/// Allocates units and estimates muxing/conflicts for a census.
+pub fn bind(census: &OpCensus) -> Binding {
+    let mut binding = Binding::default();
+    let mut critical_latency: u64 = 0;
+    for (&kind, &sites) in &census.replicated_sites {
+        if sites == 0 {
+            binding.allocated.insert(kind, 0);
+            continue;
+        }
+        let latency = spec(kind).latency as u64;
+        // Expensive units are shared harder; cheap ones replicated freely.
+        let sharing = match kind {
+            FuKind::Div | FuKind::Math => MAX_SHARING,
+            FuKind::Mul => MAX_SHARING.min(3),
+            FuKind::Load | FuKind::Store => 2,
+            _ => 1,
+        };
+        let units = sites.div_ceil(sharing).max(1);
+        let shared_ops = sites.saturating_sub(units);
+        // Every extra op bound to a unit adds one 2:1 mux per operand port
+        // (2 ports) plus one at the result bus.
+        binding.mux21_count += shared_ops * 3;
+        binding.conflicts += shared_ops * latency;
+        binding.allocated.insert(kind, units);
+        critical_latency = critical_latency.max(latency + shared_ops);
+    }
+    // Control steps per innermost iteration: issue every site over its units
+    // plus the deepest unit latency.
+    let issue_steps: u64 = census
+        .replicated_sites
+        .iter()
+        .map(|(&kind, &sites)| {
+            let units = binding.allocated.get(&kind).copied().unwrap_or(1).max(1);
+            sites.div_ceil(units)
+        })
+        .max()
+        .unwrap_or(1);
+    binding.control_steps = (issue_steps + critical_latency).max(1);
+    binding
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn census_with(sites: &[(FuKind, u64)]) -> OpCensus {
+        let mut c = OpCensus::default();
+        for &(kind, n) in sites {
+            c.replicated_sites.insert(kind, n);
+            c.weighted_ops.insert(kind, n as f64);
+        }
+        c
+    }
+
+    #[test]
+    fn single_site_needs_no_mux() {
+        let b = bind(&census_with(&[(FuKind::AddSub, 1)]));
+        assert_eq!(b.allocated[&FuKind::AddSub], 1);
+        assert_eq!(b.mux21_count, 0);
+        assert_eq!(b.conflicts, 0);
+    }
+
+    #[test]
+    fn sharing_inserts_muxes_and_conflicts() {
+        let b = bind(&census_with(&[(FuKind::Mul, 6)]));
+        assert_eq!(b.allocated[&FuKind::Mul], 2); // 6 sites / sharing 3
+        assert_eq!(b.mux21_count, (6 - 2) * 3);
+        assert!(b.conflicts > 0);
+    }
+
+    #[test]
+    fn adders_are_not_shared() {
+        let b = bind(&census_with(&[(FuKind::AddSub, 5)]));
+        assert_eq!(b.allocated[&FuKind::AddSub], 5);
+        assert_eq!(b.mux21_count, 0);
+    }
+
+    #[test]
+    fn control_steps_grow_with_pressure() {
+        let light = bind(&census_with(&[(FuKind::Load, 2)]));
+        let heavy = bind(&census_with(&[(FuKind::Load, 16)]));
+        assert!(heavy.control_steps > light.control_steps);
+    }
+
+    #[test]
+    fn empty_census_binds_trivially() {
+        let b = bind(&OpCensus::default());
+        assert_eq!(b.total_units(), 0);
+        assert_eq!(b.control_steps, 1);
+    }
+}

@@ -1,0 +1,198 @@
+//! Ergonomic builders for operators and programs.
+
+use crate::expr::{Expr, Ident};
+use crate::op::{Operator, ParamDecl, ParamKind};
+use crate::stmt::{ForLoop, LoopPragma, Stmt};
+
+/// Builder for [`Operator`] values.
+///
+/// ```
+/// use llmulator_ir::builder::OperatorBuilder;
+/// use llmulator_ir::{Expr, Stmt};
+///
+/// let relu = OperatorBuilder::new("relu")
+///     .array_param("x", [64])
+///     .array_param("y", [64])
+///     .loop_nest(&[("i", 64)], |idx| {
+///         vec![Stmt::assign(
+///             llmulator_ir::LValue::store("y", vec![idx[0].clone()]),
+///             Expr::call(llmulator_ir::Intrinsic::Relu,
+///                        vec![Expr::load("x", vec![idx[0].clone()])]),
+///         )]
+///     })
+///     .build();
+/// assert_eq!(relu.loop_depth(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct OperatorBuilder {
+    name: Ident,
+    params: Vec<ParamDecl>,
+    body: Vec<Stmt>,
+}
+
+impl OperatorBuilder {
+    /// Starts a builder for an operator with the given name.
+    pub fn new(name: impl Into<Ident>) -> OperatorBuilder {
+        OperatorBuilder {
+            name: name.into(),
+            params: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// Adds an array parameter with constant dimensions.
+    pub fn array_param(
+        mut self,
+        name: impl Into<Ident>,
+        dims: impl IntoIterator<Item = usize>,
+    ) -> Self {
+        self.params.push(ParamDecl {
+            name: name.into(),
+            kind: ParamKind::array(dims),
+        });
+        self
+    }
+
+    /// Adds a scalar (`int`) parameter.
+    pub fn scalar_param(mut self, name: impl Into<Ident>) -> Self {
+        self.params.push(ParamDecl::scalar(name));
+        self
+    }
+
+    /// Appends a raw statement to the body.
+    pub fn stmt(mut self, stmt: Stmt) -> Self {
+        self.body.push(stmt);
+        self
+    }
+
+    /// Appends a perfectly nested constant-bound loop nest whose innermost
+    /// body is produced by `f`, which receives one index [`Expr`] per level.
+    pub fn loop_nest(
+        mut self,
+        levels: &[(&str, usize)],
+        f: impl FnOnce(&[Expr]) -> Vec<Stmt>,
+    ) -> Self {
+        self.body.push(build_loop_nest(levels, LoopPragma::None, f));
+        self
+    }
+
+    /// Like [`Self::loop_nest`] but attaches `pragma` to the outermost loop.
+    pub fn loop_nest_with_pragma(
+        mut self,
+        levels: &[(&str, usize)],
+        pragma: LoopPragma,
+        f: impl FnOnce(&[Expr]) -> Vec<Stmt>,
+    ) -> Self {
+        self.body.push(build_loop_nest(levels, pragma, f));
+        self
+    }
+
+    /// Appends a loop nest whose bound expressions may be dynamic.
+    pub fn dyn_loop_nest(
+        mut self,
+        levels: &[(&str, Expr)],
+        f: impl FnOnce(&[Expr]) -> Vec<Stmt>,
+    ) -> Self {
+        let indices: Vec<Expr> = levels.iter().map(|(v, _)| Expr::var(*v)).collect();
+        let mut body = f(&indices);
+        for (var, hi) in levels.iter().rev() {
+            body = vec![Stmt::For(ForLoop {
+                var: (*var).into(),
+                lo: Expr::int(0),
+                hi: hi.clone(),
+                step: Expr::int(1),
+                pragma: LoopPragma::None,
+                body,
+            })];
+        }
+        self.body.extend(body);
+        self
+    }
+
+    /// Finishes the operator.
+    pub fn build(self) -> Operator {
+        Operator::new(self.name, self.params, self.body)
+    }
+}
+
+/// Builds a perfectly nested loop from `(var, bound)` levels.
+pub fn build_loop_nest(
+    levels: &[(&str, usize)],
+    outer_pragma: LoopPragma,
+    f: impl FnOnce(&[Expr]) -> Vec<Stmt>,
+) -> Stmt {
+    assert!(!levels.is_empty(), "loop nest needs at least one level");
+    let indices: Vec<Expr> = levels.iter().map(|(v, _)| Expr::var(*v)).collect();
+    let mut body = f(&indices);
+    for (depth, (var, bound)) in levels.iter().enumerate().rev() {
+        let pragma = if depth == 0 {
+            outer_pragma
+        } else {
+            LoopPragma::None
+        };
+        body = vec![Stmt::For(ForLoop {
+            var: (*var).into(),
+            lo: Expr::int(0),
+            hi: Expr::int(*bound as i64),
+            step: Expr::int(1),
+            pragma,
+            body,
+        })];
+    }
+    body.into_iter().next().expect("non-empty nest")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stmt::LValue;
+
+    #[test]
+    fn nest_depth_matches_levels() {
+        let op = OperatorBuilder::new("k")
+            .array_param("a", [4, 4])
+            .loop_nest(&[("i", 4), ("j", 4)], |idx| {
+                vec![Stmt::assign(
+                    LValue::store("a", vec![idx[0].clone(), idx[1].clone()]),
+                    Expr::int(0),
+                )]
+            })
+            .build();
+        assert_eq!(op.loop_depth(), 2);
+    }
+
+    #[test]
+    fn pragma_lands_on_outer_loop() {
+        let nest = build_loop_nest(&[("i", 2), ("j", 2)], LoopPragma::UnrollFull, |_| {
+            vec![Stmt::assign(LValue::var("x"), Expr::int(1))]
+        });
+        match nest {
+            Stmt::For(outer) => {
+                assert_eq!(outer.pragma, LoopPragma::UnrollFull);
+                match &outer.body[0] {
+                    Stmt::For(inner) => assert_eq!(inner.pragma, LoopPragma::None),
+                    other => panic!("expected inner loop, got {other:?}"),
+                }
+            }
+            other => panic!("expected loop, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dyn_loop_nest_uses_dynamic_bounds() {
+        let op = OperatorBuilder::new("k")
+            .scalar_param("n")
+            .dyn_loop_nest(&[("i", Expr::var("n"))], |_| vec![])
+            .build();
+        match &op.body[0] {
+            Stmt::For(l) => assert_eq!(l.hi, Expr::var("n")),
+            other => panic!("expected loop, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one level")]
+    fn empty_nest_panics() {
+        let _ = build_loop_nest(&[], LoopPragma::None, |_| vec![]);
+    }
+}

@@ -1,0 +1,89 @@
+//! Error types for IR construction, parsing and evaluation.
+
+use std::fmt;
+
+/// Errors produced while parsing, validating or interpreting the IR.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IrError {
+    /// The textual program could not be parsed.
+    Parse {
+        /// Byte offset of the failure in the source text.
+        offset: usize,
+        /// Human-readable description of what was expected.
+        message: String,
+    },
+    /// A name (operator, buffer, parameter or variable) was not found.
+    Unbound(String),
+    /// A name was declared twice in the same scope.
+    Duplicate(String),
+    /// An operator invocation supplied the wrong number or kind of arguments.
+    ArityMismatch {
+        /// Operator being invoked.
+        operator: String,
+        /// Number of declared parameters.
+        expected: usize,
+        /// Number of supplied arguments.
+        found: usize,
+    },
+    /// A tensor access fell outside its declared shape.
+    OutOfBounds {
+        /// Array being accessed.
+        array: String,
+        /// Flattened index that was requested.
+        index: i64,
+        /// Number of elements in the array.
+        len: usize,
+    },
+    /// A validation rule was violated (e.g. zero loop step).
+    Invalid(String),
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::Parse { offset, message } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            IrError::Unbound(name) => write!(f, "unbound name `{name}`"),
+            IrError::Duplicate(name) => write!(f, "duplicate declaration of `{name}`"),
+            IrError::ArityMismatch {
+                operator,
+                expected,
+                found,
+            } => write!(
+                f,
+                "operator `{operator}` expects {expected} arguments, found {found}"
+            ),
+            IrError::OutOfBounds { array, index, len } => {
+                write!(f, "index {index} out of bounds for `{array}` (len {len})")
+            }
+            IrError::Invalid(message) => write!(f, "invalid program: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for IrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let err = IrError::Unbound("foo".into());
+        assert_eq!(err.to_string(), "unbound name `foo`");
+        let err = IrError::ArityMismatch {
+            operator: "gemm".into(),
+            expected: 3,
+            found: 2,
+        };
+        assert!(err.to_string().contains("gemm"));
+        assert!(err.to_string().contains('3'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<IrError>();
+    }
+}

@@ -1,0 +1,224 @@
+//! Dataflow graphs: buffers and operator invocations wired through them.
+
+use crate::expr::{Expr, Ident};
+use serde::{Deserialize, Serialize};
+
+/// A tensor dimension: either a compile-time constant or a symbolic reference
+/// to a scalar parameter (making the shape — and therefore control flow —
+/// input-dependent).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Dim {
+    /// Fixed size.
+    Const(usize),
+    /// Size given by a scalar parameter at runtime.
+    Sym(Ident),
+}
+
+impl Dim {
+    /// The constant size, if statically known.
+    pub fn as_const(&self) -> Option<usize> {
+        match self {
+            Dim::Const(n) => Some(*n),
+            Dim::Sym(_) => None,
+        }
+    }
+}
+
+impl From<usize> for Dim {
+    fn from(n: usize) -> Self {
+        Dim::Const(n)
+    }
+}
+
+/// A buffer declared at graph scope and passed between operators.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BufferDecl {
+    /// Buffer name.
+    pub name: Ident,
+    /// Buffer shape.
+    pub dims: Vec<Dim>,
+}
+
+impl BufferDecl {
+    /// Constant-shape helper.
+    pub fn new(name: impl Into<Ident>, dims: impl IntoIterator<Item = usize>) -> BufferDecl {
+        BufferDecl {
+            name: name.into(),
+            dims: dims.into_iter().map(Dim::Const).collect(),
+        }
+    }
+
+    /// Number of elements when the shape is fully constant.
+    pub fn const_len(&self) -> Option<usize> {
+        self.dims.iter().map(Dim::as_const).product::<Option<usize>>()
+    }
+}
+
+/// An argument supplied to an operator invocation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Arg {
+    /// A graph buffer bound to an array parameter.
+    Buffer(Ident),
+    /// A scalar expression (over graph parameters and constants) bound to a
+    /// scalar parameter.
+    Scalar(Expr),
+}
+
+impl Arg {
+    /// Buffer argument helper.
+    pub fn buffer(name: impl Into<Ident>) -> Arg {
+        Arg::Buffer(name.into())
+    }
+
+    /// Constant scalar argument helper.
+    pub fn int(v: i64) -> Arg {
+        Arg::Scalar(Expr::int(v))
+    }
+
+    /// Graph-parameter scalar argument helper.
+    pub fn var(name: impl Into<Ident>) -> Arg {
+        Arg::Scalar(Expr::var(name))
+    }
+}
+
+/// A single operator invocation inside the graph body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Invocation {
+    /// Name of the operator being called.
+    pub op: Ident,
+    /// Arguments, positionally matching the operator's parameter list.
+    pub args: Vec<Arg>,
+}
+
+impl Invocation {
+    /// Creates an invocation.
+    pub fn new(op: impl Into<Ident>, args: Vec<Arg>) -> Invocation {
+        Invocation {
+            op: op.into(),
+            args,
+        }
+    }
+
+    /// Buffers referenced by this invocation, in argument order.
+    pub fn buffer_args(&self) -> Vec<&Ident> {
+        self.args
+            .iter()
+            .filter_map(|a| match a {
+                Arg::Buffer(name) => Some(name),
+                Arg::Scalar(_) => None,
+            })
+            .collect()
+    }
+}
+
+/// The dataflow graph program (`G` in the paper's quadruple): a list of
+/// buffers and the sequence of operator invocations over them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataflowGraph {
+    /// Graph name (rendered as `void <name>(...)`).
+    pub name: Ident,
+    /// Scalar graph parameters (e.g. `layer_num`) provided by runtime data.
+    pub params: Vec<Ident>,
+    /// Buffers owned by the graph.
+    pub buffers: Vec<BufferDecl>,
+    /// Invocation sequence (program order = dataflow order).
+    pub invocations: Vec<Invocation>,
+}
+
+impl DataflowGraph {
+    /// Creates an empty graph with the given name.
+    pub fn new(name: impl Into<Ident>) -> DataflowGraph {
+        DataflowGraph {
+            name: name.into(),
+            params: Vec::new(),
+            buffers: Vec::new(),
+            invocations: Vec::new(),
+        }
+    }
+
+    /// Looks up a buffer by name.
+    pub fn buffer(&self, name: &Ident) -> Option<&BufferDecl> {
+        self.buffers.iter().find(|b| &b.name == name)
+    }
+
+    /// Number of invocations (the paper's "Op Num" counts graph operators).
+    pub fn op_count(&self) -> usize {
+        self.invocations.len()
+    }
+
+    /// Producer→consumer edges: pairs `(i, j)` such that invocation `j` reads
+    /// a buffer last written by invocation `i`.
+    ///
+    /// The writer of an invocation is approximated as its *last* buffer
+    /// argument (outputs are passed last by convention in all built-in
+    /// workloads and generators).
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        let mut last_writer: std::collections::HashMap<&Ident, usize> =
+            std::collections::HashMap::new();
+        let mut edges = Vec::new();
+        for (j, inv) in self.invocations.iter().enumerate() {
+            let bufs = inv.buffer_args();
+            if bufs.is_empty() {
+                continue;
+            }
+            let (output, inputs) = bufs.split_last().expect("non-empty");
+            for input in inputs {
+                if let Some(&i) = last_writer.get(*input) {
+                    edges.push((i, j));
+                }
+            }
+            last_writer.insert(*output, j);
+        }
+        edges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_stage() -> DataflowGraph {
+        let mut g = DataflowGraph::new("graph");
+        g.buffers.push(BufferDecl::new("x", [8]));
+        g.buffers.push(BufferDecl::new("h", [8]));
+        g.buffers.push(BufferDecl::new("y", [8]));
+        g.invocations.push(Invocation::new(
+            "relu",
+            vec![Arg::buffer("x"), Arg::buffer("h")],
+        ));
+        g.invocations.push(Invocation::new(
+            "scale",
+            vec![Arg::buffer("h"), Arg::buffer("y")],
+        ));
+        g
+    }
+
+    #[test]
+    fn edges_follow_buffer_reuse() {
+        let g = two_stage();
+        assert_eq!(g.edges(), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn buffer_lookup_and_len() {
+        let g = two_stage();
+        let b = g.buffer(&"x".into()).expect("x exists");
+        assert_eq!(b.const_len(), Some(8));
+        assert!(g.buffer(&"nope".into()).is_none());
+    }
+
+    #[test]
+    fn symbolic_dim_has_no_const_len() {
+        let b = BufferDecl {
+            name: "t".into(),
+            dims: vec![Dim::Sym("n".into()), Dim::Const(4)],
+        };
+        assert_eq!(b.const_len(), None);
+        assert_eq!(b.dims[1].as_const(), Some(4));
+    }
+
+    #[test]
+    fn op_count_matches_invocations() {
+        assert_eq!(two_stage().op_count(), 2);
+    }
+}

@@ -1,0 +1,98 @@
+//! Hardware configuration parameters (`Params` in the paper's quadruple).
+
+use serde::{Deserialize, Serialize};
+
+/// Hardware mapping and memory parameters.
+///
+/// These mirror the knobs the paper sweeps through its dataset synthesizer:
+/// memory read/write delays configured through the HLS frontend
+/// (`-mem-delay-read=N`), the number of parallel lanes available to
+/// `#pragma omp parallel for` loops, and the target clock period used by the
+/// power model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HardwareParams {
+    /// Memory read latency in cycles (`-mem-read-delay`).
+    pub mem_read_delay: u32,
+    /// Memory write latency in cycles (`-mem-write-delay`).
+    pub mem_write_delay: u32,
+    /// Number of hardware lanes usable by parallel loops.
+    pub parallel_lanes: u32,
+    /// Maximum spatial unroll width the datapath supports.
+    pub max_unroll_width: u32,
+    /// Target clock period in nanoseconds (SkyWater-130-class default).
+    pub clock_period_ns: f64,
+}
+
+impl HardwareParams {
+    /// The paper's default profiling configuration (10-cycle memory delays).
+    pub fn new() -> HardwareParams {
+        HardwareParams {
+            mem_read_delay: 10,
+            mem_write_delay: 10,
+            parallel_lanes: 4,
+            max_unroll_width: 16,
+            clock_period_ns: 10.0,
+        }
+    }
+
+    /// Sets both memory delays (the Figure 12 sweep axis).
+    pub fn with_mem_delay(mut self, delay: u32) -> HardwareParams {
+        self.mem_read_delay = delay;
+        self.mem_write_delay = delay;
+        self
+    }
+
+    /// Sets the lane count.
+    pub fn with_parallel_lanes(mut self, lanes: u32) -> HardwareParams {
+        self.parallel_lanes = lanes.max(1);
+        self
+    }
+
+    /// Renders the parameter block in the paper's textual form, e.g.
+    /// `Mem-Read-delay = 10`.
+    pub fn render(&self) -> String {
+        format!(
+            "Mem-Read-delay = {}\nMem-Write-delay = {}\nParallel-lanes = {}\nClock-period-ns = {}\n",
+            self.mem_read_delay, self.mem_write_delay, self.parallel_lanes, self.clock_period_ns
+        )
+    }
+}
+
+impl Default for HardwareParams {
+    fn default() -> Self {
+        HardwareParams::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_profile() {
+        let hw = HardwareParams::new();
+        assert_eq!(hw.mem_read_delay, 10);
+        assert_eq!(hw.mem_write_delay, 10);
+        assert_eq!(hw, HardwareParams::default());
+    }
+
+    #[test]
+    fn with_mem_delay_sets_both_sides() {
+        let hw = HardwareParams::new().with_mem_delay(5);
+        assert_eq!(hw.mem_read_delay, 5);
+        assert_eq!(hw.mem_write_delay, 5);
+    }
+
+    #[test]
+    fn lanes_clamped_to_at_least_one() {
+        assert_eq!(HardwareParams::new().with_parallel_lanes(0).parallel_lanes, 1);
+    }
+
+    #[test]
+    fn render_includes_every_knob() {
+        let text = HardwareParams::new().render();
+        assert!(text.contains("Mem-Read-delay = 10"));
+        assert!(text.contains("Mem-Write-delay = 10"));
+        assert!(text.contains("Parallel-lanes = 4"));
+    }
+}

@@ -1,0 +1,286 @@
+//! Runtime input data (`data` in the paper's quadruple).
+//!
+//! Inputs are what make control flow *input-adaptive*: scalar bindings feed
+//! dynamic loop bounds, and tensor contents drive data-dependent branches.
+
+use crate::expr::Ident;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A dense row-major tensor of `f64` values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f64>,
+}
+
+impl Tensor {
+    /// Creates a tensor from a shape and data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not equal the product of `shape`.
+    pub fn new(shape: Vec<usize>, data: Vec<f64>) -> Tensor {
+        let len: usize = shape.iter().product();
+        assert_eq!(data.len(), len, "tensor data length must match shape");
+        Tensor { shape, data }
+    }
+
+    /// All-zero tensor of the given shape.
+    pub fn zeros(shape: Vec<usize>) -> Tensor {
+        let len = shape.iter().product();
+        Tensor {
+            shape,
+            data: vec![0.0; len],
+        }
+    }
+
+    /// Tensor filled with a constant.
+    pub fn full(shape: Vec<usize>, value: f64) -> Tensor {
+        let len = shape.iter().product();
+        Tensor {
+            shape,
+            data: vec![value; len],
+        }
+    }
+
+    /// Tensor whose element `i` (flattened) is `f(i)`.
+    pub fn from_fn(shape: Vec<usize>, f: impl Fn(usize) -> f64) -> Tensor {
+        let len: usize = shape.iter().product();
+        Tensor {
+            shape,
+            data: (0..len).map(f).collect(),
+        }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat read access.
+    pub fn get(&self, flat: usize) -> Option<f64> {
+        self.data.get(flat).copied()
+    }
+
+    /// Flat write access; returns `false` when out of bounds.
+    pub fn set(&mut self, flat: usize, value: f64) -> bool {
+        if let Some(slot) = self.data.get_mut(flat) {
+            *slot = value;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Borrow of the flat data.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mean of all elements (0.0 for empty tensors).
+    pub fn mean(&self) -> f64 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.data.iter().sum::<f64>() / self.data.len() as f64
+        }
+    }
+}
+
+/// A runtime value bound to a name.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// Integer scalar (loop bounds, sizes, flags).
+    Int(i64),
+    /// Floating-point scalar.
+    Float(f64),
+    /// Tensor payload.
+    Tensor(Tensor),
+}
+
+impl Value {
+    /// Coerces to `f64` (tensors yield their mean).
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            Value::Int(v) => *v as f64,
+            Value::Float(v) => *v,
+            Value::Tensor(t) => t.mean(),
+        }
+    }
+
+    /// Coerces to `i64` when scalar; tensors have no integer coercion.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            Value::Float(v) => Some(*v as i64),
+            Value::Tensor(_) => None,
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<Tensor> for Value {
+    fn from(t: Tensor) -> Self {
+        Value::Tensor(t)
+    }
+}
+
+/// The full runtime input binding: `[variable name] = [value]` pairs.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct InputData {
+    bindings: BTreeMap<Ident, Value>,
+}
+
+impl InputData {
+    /// Empty input set.
+    pub fn new() -> InputData {
+        InputData::default()
+    }
+
+    /// Binds `name = value`, replacing any previous binding.
+    pub fn bind(&mut self, name: impl Into<Ident>, value: impl Into<Value>) -> &mut InputData {
+        self.bindings.insert(name.into(), value.into());
+        self
+    }
+
+    /// Builder-style bind.
+    pub fn with(mut self, name: impl Into<Ident>, value: impl Into<Value>) -> InputData {
+        self.bind(name, value);
+        self
+    }
+
+    /// Looks up a binding.
+    pub fn get(&self, name: &Ident) -> Option<&Value> {
+        self.bindings.get(name)
+    }
+
+    /// Iterates bindings in name order (deterministic).
+    pub fn iter(&self) -> impl Iterator<Item = (&Ident, &Value)> {
+        self.bindings.iter()
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.bindings.len()
+    }
+
+    /// True when no inputs are bound.
+    pub fn is_empty(&self) -> bool {
+        self.bindings.is_empty()
+    }
+
+    /// Renders the `data` segment in the paper's textual form
+    /// (`name = value`, scalars printed exactly, tensors summarized by shape
+    /// and leading values so the prompt stays bounded).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.bindings {
+            match value {
+                Value::Int(v) => out.push_str(&format!("{name} = {v}\n")),
+                Value::Float(v) => out.push_str(&format!("{name} = {v}\n")),
+                Value::Tensor(t) => {
+                    let shape = t
+                        .shape()
+                        .iter()
+                        .map(|d| d.to_string())
+                        .collect::<Vec<_>>()
+                        .join("x");
+                    let head = t
+                        .data()
+                        .iter()
+                        .take(4)
+                        .map(|v| format!("{v:.2}"))
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    out.push_str(&format!("{name} = tensor[{shape}]({head})\n"));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl FromIterator<(Ident, Value)> for InputData {
+    fn from_iter<T: IntoIterator<Item = (Ident, Value)>>(iter: T) -> Self {
+        InputData {
+            bindings: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tensor_shape_data_agreement() {
+        let t = Tensor::zeros(vec![2, 3]);
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.shape(), &[2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "match shape")]
+    fn tensor_rejects_mismatched_data() {
+        let _ = Tensor::new(vec![2, 2], vec![1.0]);
+    }
+
+    #[test]
+    fn tensor_get_set_round_trip() {
+        let mut t = Tensor::zeros(vec![4]);
+        assert!(t.set(2, 7.5));
+        assert_eq!(t.get(2), Some(7.5));
+        assert!(!t.set(9, 0.0));
+        assert_eq!(t.get(9), None);
+    }
+
+    #[test]
+    fn value_coercions() {
+        assert_eq!(Value::Int(3).as_f64(), 3.0);
+        assert_eq!(Value::Float(2.5).as_i64(), Some(2));
+        assert_eq!(Value::from(Tensor::full(vec![2], 4.0)).as_f64(), 4.0);
+        assert_eq!(Value::from(Tensor::zeros(vec![1])).as_i64(), None);
+    }
+
+    #[test]
+    fn render_is_deterministic_and_complete() {
+        let data = InputData::new()
+            .with("n", 128i64)
+            .with("x", Tensor::full(vec![2, 2], 1.0));
+        let text = data.render();
+        assert!(text.contains("n = 128"));
+        assert!(text.contains("x = tensor[2x2]"));
+        assert_eq!(text, data.render());
+    }
+
+    #[test]
+    fn bind_replaces_previous_value() {
+        let mut data = InputData::new();
+        data.bind("n", 1i64);
+        data.bind("n", 2i64);
+        assert_eq!(data.get(&"n".into()), Some(&Value::Int(2)));
+        assert_eq!(data.len(), 1);
+    }
+}

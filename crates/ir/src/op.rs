@@ -1,0 +1,175 @@
+//! Operator definitions: named loop-nest kernels with typed parameters.
+
+use crate::expr::Ident;
+use crate::graph::Dim;
+use crate::stmt::{block_loop_depth, Stmt};
+use serde::{Deserialize, Serialize};
+
+/// Kind of an operator parameter.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ParamKind {
+    /// A scalar (`int`) parameter — may steer control flow.
+    Scalar,
+    /// An array (`float a[d0][d1]...`) parameter.
+    Array {
+        /// Declared dimensions; symbolic dims refer to scalar parameters.
+        dims: Vec<Dim>,
+    },
+}
+
+impl ParamKind {
+    /// Array helper from constant dimensions.
+    pub fn array(dims: impl IntoIterator<Item = usize>) -> ParamKind {
+        ParamKind::Array {
+            dims: dims.into_iter().map(Dim::Const).collect(),
+        }
+    }
+
+    /// True if this is an array parameter.
+    pub fn is_array(&self) -> bool {
+        matches!(self, ParamKind::Array { .. })
+    }
+}
+
+/// A declared operator parameter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParamDecl {
+    /// Parameter name.
+    pub name: Ident,
+    /// Scalar or array.
+    pub kind: ParamKind,
+}
+
+impl ParamDecl {
+    /// Scalar parameter helper.
+    pub fn scalar(name: impl Into<Ident>) -> ParamDecl {
+        ParamDecl {
+            name: name.into(),
+            kind: ParamKind::Scalar,
+        }
+    }
+
+    /// Array parameter helper with constant dimensions.
+    pub fn array(name: impl Into<Ident>, dims: impl IntoIterator<Item = usize>) -> ParamDecl {
+        ParamDecl {
+            name: name.into(),
+            kind: ParamKind::array(dims),
+        }
+    }
+}
+
+/// An operator: a named kernel with parameters and a statement body.
+///
+/// Operators are the `Op` component of the LLMulator input quadruple. Their
+/// bodies are loop nests over the parameter arrays, optionally annotated with
+/// mapping pragmas.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Operator {
+    /// Operator name (unique within a [`crate::Program`]).
+    pub name: Ident,
+    /// Ordered parameter list.
+    pub params: Vec<ParamDecl>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+impl Operator {
+    /// Creates an operator from parts.
+    pub fn new(name: impl Into<Ident>, params: Vec<ParamDecl>, body: Vec<Stmt>) -> Operator {
+        Operator {
+            name: name.into(),
+            params,
+            body,
+        }
+    }
+
+    /// Maximum loop-nest depth of the body.
+    pub fn loop_depth(&self) -> usize {
+        block_loop_depth(&self.body)
+    }
+
+    /// Total number of statements in the body.
+    pub fn stmt_count(&self) -> usize {
+        self.body.iter().map(Stmt::stmt_count).sum()
+    }
+
+    /// Names of the scalar parameters, in declaration order.
+    pub fn scalar_params(&self) -> Vec<&Ident> {
+        self.params
+            .iter()
+            .filter(|p| !p.kind.is_array())
+            .map(|p| &p.name)
+            .collect()
+    }
+
+    /// Names of the array parameters, in declaration order.
+    pub fn array_params(&self) -> Vec<&Ident> {
+        self.params
+            .iter()
+            .filter(|p| p.kind.is_array())
+            .map(|p| &p.name)
+            .collect()
+    }
+
+    /// Looks up a parameter by name.
+    pub fn param(&self, name: &Ident) -> Option<&ParamDecl> {
+        self.params.iter().find(|p| &p.name == name)
+    }
+
+    /// Visits every statement in the body in pre-order.
+    pub fn visit_stmts<'a>(&'a self, f: &mut impl FnMut(&'a Stmt)) {
+        for s in &self.body {
+            s.visit(f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::stmt::LValue;
+
+    fn sample() -> Operator {
+        Operator::new(
+            "scale",
+            vec![
+                ParamDecl::array("a", [16]),
+                ParamDecl::array("b", [16]),
+                ParamDecl::scalar("n"),
+            ],
+            vec![Stmt::for_range(
+                "i",
+                Expr::var("n"),
+                vec![Stmt::assign(
+                    LValue::store("b", vec![Expr::var("i")]),
+                    Expr::load("a", vec![Expr::var("i")]) * Expr::int(2),
+                )],
+            )],
+        )
+    }
+
+    #[test]
+    fn param_partitions() {
+        let op = sample();
+        assert_eq!(op.scalar_params().len(), 1);
+        assert_eq!(op.array_params().len(), 2);
+        assert!(op.param(&"a".into()).is_some());
+        assert!(op.param(&"zz".into()).is_none());
+    }
+
+    #[test]
+    fn structural_metrics() {
+        let op = sample();
+        assert_eq!(op.loop_depth(), 1);
+        assert_eq!(op.stmt_count(), 2);
+    }
+
+    #[test]
+    fn visit_stmts_covers_body() {
+        let op = sample();
+        let mut n = 0;
+        op.visit_stmts(&mut |_| n += 1);
+        assert_eq!(n, op.stmt_count());
+    }
+}

@@ -1,0 +1,203 @@
+//! The complete cost-model input: graph + operators + hardware parameters.
+
+use crate::error::IrError;
+use crate::expr::Ident;
+use crate::graph::{Arg, BufferDecl, DataflowGraph, Invocation};
+use crate::hw::HardwareParams;
+use crate::op::Operator;
+use crate::render;
+use serde::{Deserialize, Serialize};
+
+/// A full dataflow program: the static part of the LLMulator input quadruple
+/// (`{G, Op, Params}`); runtime [`crate::InputData`] is supplied separately.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    /// The dataflow graph `G`.
+    pub graph: DataflowGraph,
+    /// Operator definitions referenced by the graph.
+    pub operators: Vec<Operator>,
+    /// Hardware configuration `Params`.
+    pub hw: HardwareParams,
+}
+
+impl Program {
+    /// Creates a program from parts.
+    pub fn new(graph: DataflowGraph, operators: Vec<Operator>, hw: HardwareParams) -> Program {
+        Program {
+            graph,
+            operators,
+            hw,
+        }
+    }
+
+    /// Wraps a single operator in a trivial graph that invokes it once,
+    /// declaring one graph buffer per array parameter.
+    pub fn single_op(op: Operator) -> Program {
+        let mut graph = DataflowGraph::new("graph");
+        let mut args = Vec::new();
+        for p in &op.params {
+            match &p.kind {
+                crate::op::ParamKind::Array { dims } => {
+                    let buf = Ident::new(format!("buf_{}", p.name));
+                    graph.buffers.push(BufferDecl {
+                        name: buf.clone(),
+                        dims: dims.clone(),
+                    });
+                    args.push(Arg::Buffer(buf));
+                }
+                crate::op::ParamKind::Scalar => {
+                    let gp = p.name.clone();
+                    if !graph.params.contains(&gp) {
+                        graph.params.push(gp.clone());
+                    }
+                    args.push(Arg::var(gp));
+                }
+            }
+        }
+        graph.invocations.push(Invocation::new(op.name.clone(), args));
+        Program::new(graph, vec![op], HardwareParams::default())
+    }
+
+    /// Looks up an operator by name.
+    pub fn operator(&self, name: &Ident) -> Option<&Operator> {
+        self.operators.iter().find(|o| &o.name == name)
+    }
+
+    /// Renders the whole program (operators, then graph, then hardware
+    /// parameters) as C-like text — the exact string fed to the tokenizer.
+    pub fn render(&self) -> String {
+        render::render_program(self)
+    }
+
+    /// Renders only the graph function (the paper's "Graph Len" metric).
+    pub fn render_graph(&self) -> String {
+        render::render_graph(&self.graph)
+    }
+
+    /// Renders only the operator definitions (the paper's "Op Len" metric).
+    pub fn render_operators(&self) -> String {
+        self.operators
+            .iter()
+            .map(render::render_operator)
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    /// Validates cross-references: every invocation names a defined operator
+    /// with matching arity, and every buffer argument names a declared buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated rule as an [`IrError`].
+    pub fn validate(&self) -> Result<(), IrError> {
+        let mut seen = std::collections::HashSet::new();
+        for op in &self.operators {
+            if !seen.insert(op.name.clone()) {
+                return Err(IrError::Duplicate(op.name.to_string()));
+            }
+        }
+        for inv in &self.graph.invocations {
+            let op = self
+                .operator(&inv.op)
+                .ok_or_else(|| IrError::Unbound(inv.op.to_string()))?;
+            if op.params.len() != inv.args.len() {
+                return Err(IrError::ArityMismatch {
+                    operator: inv.op.to_string(),
+                    expected: op.params.len(),
+                    found: inv.args.len(),
+                });
+            }
+            for (param, arg) in op.params.iter().zip(&inv.args) {
+                match (&param.kind, arg) {
+                    (crate::op::ParamKind::Array { .. }, Arg::Buffer(buf)) => {
+                        if self.graph.buffer(buf).is_none() {
+                            return Err(IrError::Unbound(buf.to_string()));
+                        }
+                    }
+                    (crate::op::ParamKind::Scalar, Arg::Scalar(_)) => {}
+                    (crate::op::ParamKind::Array { .. }, Arg::Scalar(_)) => {
+                        return Err(IrError::Invalid(format!(
+                            "scalar passed for array parameter `{}` of `{}`",
+                            param.name, inv.op
+                        )));
+                    }
+                    (crate::op::ParamKind::Scalar, Arg::Buffer(buf)) => {
+                        return Err(IrError::Invalid(format!(
+                            "buffer `{buf}` passed for scalar parameter `{}` of `{}`",
+                            param.name, inv.op
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::op::{Operator, ParamDecl};
+    use crate::stmt::{LValue, Stmt};
+
+    fn copy_op() -> Operator {
+        Operator::new(
+            "copy",
+            vec![ParamDecl::array("a", [4]), ParamDecl::array("b", [4])],
+            vec![Stmt::for_range(
+                "i",
+                Expr::int(4),
+                vec![Stmt::assign(
+                    LValue::store("b", vec![Expr::var("i")]),
+                    Expr::load("a", vec![Expr::var("i")]),
+                )],
+            )],
+        )
+    }
+
+    #[test]
+    fn single_op_wraps_and_validates() {
+        let p = Program::single_op(copy_op());
+        assert!(p.validate().is_ok());
+        assert_eq!(p.graph.op_count(), 1);
+        assert_eq!(p.graph.buffers.len(), 2);
+    }
+
+    #[test]
+    fn validate_catches_unbound_operator() {
+        let mut p = Program::single_op(copy_op());
+        p.graph.invocations[0].op = "missing".into();
+        assert!(matches!(p.validate(), Err(IrError::Unbound(_))));
+    }
+
+    #[test]
+    fn validate_catches_arity_mismatch() {
+        let mut p = Program::single_op(copy_op());
+        p.graph.invocations[0].args.pop();
+        assert!(matches!(p.validate(), Err(IrError::ArityMismatch { .. })));
+    }
+
+    #[test]
+    fn validate_catches_kind_mismatch() {
+        let mut p = Program::single_op(copy_op());
+        p.graph.invocations[0].args[0] = Arg::int(1);
+        assert!(matches!(p.validate(), Err(IrError::Invalid(_))));
+    }
+
+    #[test]
+    fn validate_catches_duplicate_operator() {
+        let mut p = Program::single_op(copy_op());
+        p.operators.push(copy_op());
+        assert!(matches!(p.validate(), Err(IrError::Duplicate(_))));
+    }
+
+    #[test]
+    fn render_contains_all_segments() {
+        let p = Program::single_op(copy_op());
+        let text = p.render();
+        assert!(text.contains("void copy"));
+        assert!(text.contains("void graph"));
+        assert!(text.contains("Mem-Read-delay"));
+    }
+}

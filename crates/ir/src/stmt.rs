@@ -1,0 +1,309 @@
+//! Statements: assignments, `for` loops (with mapping pragmas) and branches.
+
+use crate::expr::{Expr, Ident};
+use serde::{Deserialize, Serialize};
+
+/// Loop-mapping pragma attached to a `for` loop.
+///
+/// These are the two loop-mapping primitives the paper's dataset synthesizer
+/// sweeps (`#pragma clang loop unroll(full)` for spatial mapping and
+/// `#pragma omp parallel for` for parallel mapping), plus partial unrolling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum LoopPragma {
+    /// No pragma: sequential execution.
+    #[default]
+    None,
+    /// `#pragma clang loop unroll(full)` — fully spatial mapping.
+    UnrollFull,
+    /// `#pragma clang loop unroll_count(N)` — partial unrolling by `N`.
+    Unroll(u32),
+    /// `#pragma omp parallel for` — iterations spread across hardware lanes.
+    ParallelFor,
+}
+
+impl LoopPragma {
+    /// Renders the pragma line (without indentation), or `None` when absent.
+    pub fn render(self) -> Option<String> {
+        match self {
+            LoopPragma::None => None,
+            LoopPragma::UnrollFull => Some("#pragma clang loop unroll(full)".to_string()),
+            LoopPragma::Unroll(n) => Some(format!("#pragma clang loop unroll_count({n})")),
+            LoopPragma::ParallelFor => Some("#pragma omp parallel for".to_string()),
+        }
+    }
+}
+
+/// The destination of an assignment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LValue {
+    /// Scalar variable.
+    Var(Ident),
+    /// Array element `a[i][j]`.
+    Store {
+        /// Array being written.
+        array: Ident,
+        /// One index expression per dimension.
+        indices: Vec<Expr>,
+    },
+}
+
+impl LValue {
+    /// Scalar destination helper.
+    pub fn var(name: impl Into<Ident>) -> LValue {
+        LValue::Var(name.into())
+    }
+
+    /// Array destination helper.
+    pub fn store(array: impl Into<Ident>, indices: Vec<Expr>) -> LValue {
+        LValue::Store {
+            array: array.into(),
+            indices,
+        }
+    }
+
+    /// True if the destination writes memory (an array element).
+    pub fn writes_memory(&self) -> bool {
+        matches!(self, LValue::Store { .. })
+    }
+}
+
+/// A counted `for` loop: `for (var = lo; var < hi; var += step)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ForLoop {
+    /// Induction variable.
+    pub var: Ident,
+    /// Lower bound (inclusive).
+    pub lo: Expr,
+    /// Upper bound (exclusive).
+    pub hi: Expr,
+    /// Step (must be a positive quantity at runtime).
+    pub step: Expr,
+    /// Attached mapping pragma.
+    pub pragma: LoopPragma,
+    /// Loop body.
+    pub body: Vec<Stmt>,
+}
+
+impl ForLoop {
+    /// Static trip count when all bounds are integer constants.
+    pub fn const_trip_count(&self) -> Option<i64> {
+        let lo = self.lo.const_eval()?;
+        let hi = self.hi.const_eval()?;
+        let step = self.step.const_eval()?;
+        if step <= 0 {
+            return None;
+        }
+        Some(((hi - lo).max(0) + step - 1) / step)
+    }
+}
+
+/// A statement in an operator body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Stmt {
+    /// `dest = value;`
+    Assign {
+        /// Destination.
+        dest: LValue,
+        /// Right-hand side.
+        value: Expr,
+    },
+    /// A counted loop.
+    For(ForLoop),
+    /// `if (cond) { then } else { els }`.
+    If {
+        /// Branch condition.
+        cond: Expr,
+        /// Taken branch.
+        then_body: Vec<Stmt>,
+        /// Fallthrough branch (possibly empty).
+        else_body: Vec<Stmt>,
+    },
+}
+
+impl Stmt {
+    /// Assignment helper.
+    pub fn assign(dest: LValue, value: Expr) -> Stmt {
+        Stmt::Assign { dest, value }
+    }
+
+    /// `array[indices] += value;` helper — the canonical reduction statement.
+    pub fn accumulate(array: impl Into<Ident>, indices: Vec<Expr>, value: Expr) -> Stmt {
+        let array = array.into();
+        Stmt::Assign {
+            dest: LValue::store(array.clone(), indices.clone()),
+            value: Expr::load(array, indices) + value,
+        }
+    }
+
+    /// Simple counted-loop helper starting at zero with unit step.
+    pub fn for_range(var: impl Into<Ident>, hi: Expr, body: Vec<Stmt>) -> Stmt {
+        Stmt::For(ForLoop {
+            var: var.into(),
+            lo: Expr::int(0),
+            hi,
+            step: Expr::int(1),
+            pragma: LoopPragma::None,
+            body,
+        })
+    }
+
+    /// Branch helper.
+    pub fn if_then(cond: Expr, then_body: Vec<Stmt>) -> Stmt {
+        Stmt::If {
+            cond,
+            then_body,
+            else_body: Vec::new(),
+        }
+    }
+
+    /// Maximum loop-nest depth rooted at this statement.
+    pub fn loop_depth(&self) -> usize {
+        match self {
+            Stmt::Assign { .. } => 0,
+            Stmt::For(f) => 1 + block_loop_depth(&f.body),
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => block_loop_depth(then_body).max(block_loop_depth(else_body)),
+        }
+    }
+
+    /// Number of statements in the subtree (including this one).
+    pub fn stmt_count(&self) -> usize {
+        match self {
+            Stmt::Assign { .. } => 1,
+            Stmt::For(f) => 1 + f.body.iter().map(Stmt::stmt_count).sum::<usize>(),
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                1 + then_body.iter().map(Stmt::stmt_count).sum::<usize>()
+                    + else_body.iter().map(Stmt::stmt_count).sum::<usize>()
+            }
+        }
+    }
+
+    /// Visits every statement in the subtree in pre-order.
+    pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a Stmt)) {
+        f(self);
+        match self {
+            Stmt::Assign { .. } => {}
+            Stmt::For(l) => {
+                for s in &l.body {
+                    s.visit(f);
+                }
+            }
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                for s in then_body {
+                    s.visit(f);
+                }
+                for s in else_body {
+                    s.visit(f);
+                }
+            }
+        }
+    }
+}
+
+/// Maximum loop depth across a statement block.
+pub fn block_loop_depth(block: &[Stmt]) -> usize {
+    block.iter().map(Stmt::loop_depth).max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nested(depth: usize) -> Stmt {
+        let mut body = vec![Stmt::assign(LValue::var("x"), Expr::int(0))];
+        for d in (0..depth).rev() {
+            body = vec![Stmt::for_range(format!("i{d}"), Expr::int(4), body)];
+        }
+        body.into_iter().next().expect("non-empty")
+    }
+
+    #[test]
+    fn loop_depth_counts_nesting() {
+        assert_eq!(nested(1).loop_depth(), 1);
+        assert_eq!(nested(3).loop_depth(), 3);
+    }
+
+    #[test]
+    fn const_trip_count_handles_steps() {
+        let l = ForLoop {
+            var: "i".into(),
+            lo: Expr::int(0),
+            hi: Expr::int(10),
+            step: Expr::int(3),
+            pragma: LoopPragma::None,
+            body: vec![],
+        };
+        assert_eq!(l.const_trip_count(), Some(4));
+    }
+
+    #[test]
+    fn const_trip_count_is_none_for_dynamic_bounds() {
+        let l = ForLoop {
+            var: "i".into(),
+            lo: Expr::int(0),
+            hi: Expr::var("n"),
+            step: Expr::int(1),
+            pragma: LoopPragma::None,
+            body: vec![],
+        };
+        assert_eq!(l.const_trip_count(), None);
+    }
+
+    #[test]
+    fn accumulate_reads_then_writes_same_element() {
+        let s = Stmt::accumulate("c", vec![Expr::var("i")], Expr::int(1));
+        match s {
+            Stmt::Assign { dest, value } => {
+                assert!(dest.writes_memory());
+                assert!(value.reads_memory());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stmt_count_includes_branches() {
+        let s = Stmt::If {
+            cond: Expr::int(1),
+            then_body: vec![Stmt::assign(LValue::var("a"), Expr::int(1))],
+            else_body: vec![Stmt::assign(LValue::var("b"), Expr::int(2))],
+        };
+        assert_eq!(s.stmt_count(), 3);
+    }
+
+    #[test]
+    fn pragma_rendering() {
+        assert_eq!(LoopPragma::None.render(), None);
+        assert_eq!(
+            LoopPragma::UnrollFull.render().as_deref(),
+            Some("#pragma clang loop unroll(full)")
+        );
+        assert_eq!(
+            LoopPragma::Unroll(4).render().as_deref(),
+            Some("#pragma clang loop unroll_count(4)")
+        );
+        assert_eq!(
+            LoopPragma::ParallelFor.render().as_deref(),
+            Some("#pragma omp parallel for")
+        );
+    }
+
+    #[test]
+    fn visit_reaches_all_statements() {
+        let s = nested(2);
+        let mut n = 0;
+        s.visit(&mut |_| n += 1);
+        assert_eq!(n, s.stmt_count());
+    }
+}

@@ -1,0 +1,793 @@
+//! Tape-based reverse-mode automatic differentiation over [`Matrix`] values.
+//!
+//! A [`Graph`] is built per forward pass: every operation appends a node
+//! carrying its output value and enough cached state for the backward sweep.
+//! Parameters live outside the graph in a [`ParamStore`]; registering a
+//! parameter with [`Graph::param`] records the mapping so
+//! [`Graph::param_grads`] can hand the optimizer per-parameter gradients.
+
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a parameter inside a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ParamId(pub(crate) usize);
+
+/// Owns model parameters (and nothing else — optimizer state lives in the
+/// optimizer).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ParamStore {
+    params: Vec<Matrix>,
+    names: Vec<String>,
+}
+
+impl ParamStore {
+    /// Empty store.
+    pub fn new() -> ParamStore {
+        ParamStore::default()
+    }
+
+    /// Registers a parameter, returning its id.
+    pub fn add(&mut self, name: impl Into<String>, value: Matrix) -> ParamId {
+        self.params.push(value);
+        self.names.push(name.into());
+        ParamId(self.params.len() - 1)
+    }
+
+    /// Borrow of a parameter value.
+    pub fn get(&self, id: ParamId) -> &Matrix {
+        &self.params[id.0]
+    }
+
+    /// Mutable borrow of a parameter value.
+    pub fn get_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.params[id.0]
+    }
+
+    /// The parameter's registered name.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Number of parameters.
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// True when no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Total scalar count across parameters.
+    pub fn scalar_count(&self) -> usize {
+        self.params.iter().map(|m| m.rows() * m.cols()).sum()
+    }
+
+    /// Iterates over `(id, matrix)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &Matrix)> {
+        self.params.iter().enumerate().map(|(i, m)| (ParamId(i), m))
+    }
+}
+
+/// Identifier of a node in a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(usize);
+
+#[derive(Debug, Clone)]
+enum Op {
+    Leaf,
+    MatMul(NodeId, NodeId),
+    MatMulNt(NodeId, NodeId),
+    Add(NodeId, NodeId),
+    AddRow(NodeId, NodeId),
+    MulRow(NodeId, NodeId),
+    MulElem(NodeId, NodeId),
+    Scale(NodeId, f32),
+    Relu(NodeId),
+    SoftmaxRows(NodeId),
+    LayerNormRows {
+        input: NodeId,
+        // cached per-row (mean, inv_std)
+        stats: Vec<(f32, f32)>,
+    },
+    Gather {
+        table: NodeId,
+        ids: Vec<usize>,
+    },
+    MeanRows(NodeId),
+    SliceCols {
+        input: NodeId,
+        start: usize,
+    },
+    ConcatCols(Vec<NodeId>),
+    CrossEntropy {
+        logits: NodeId,
+        targets: Vec<usize>,
+        probs: Matrix,
+    },
+    Sigmoid(NodeId),
+    LogSigmoid(NodeId),
+}
+
+struct NodeData {
+    value: Matrix,
+    op: Op,
+}
+
+/// One forward pass's computation tape.
+pub struct Graph {
+    nodes: Vec<NodeData>,
+    param_nodes: Vec<(ParamId, NodeId)>,
+    grads: Vec<Option<Matrix>>,
+}
+
+impl Default for Graph {
+    fn default() -> Self {
+        Graph::new()
+    }
+}
+
+impl Graph {
+    /// Empty tape.
+    pub fn new() -> Graph {
+        Graph {
+            nodes: Vec::new(),
+            param_nodes: Vec::new(),
+            grads: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, value: Matrix, op: Op) -> NodeId {
+        self.nodes.push(NodeData { value, op });
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Borrow of a node's forward value.
+    pub fn value(&self, id: NodeId) -> &Matrix {
+        &self.nodes[id.0].value
+    }
+
+    /// Registers a constant input (no gradient is needed, but one is still
+    /// computed if requested).
+    pub fn input(&mut self, value: Matrix) -> NodeId {
+        self.push(value, Op::Leaf)
+    }
+
+    /// Registers a parameter leaf, copying its current value from the store.
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> NodeId {
+        let node = self.push(store.get(id).clone(), Op::Leaf);
+        self.param_nodes.push((id, node));
+        node
+    }
+
+    /// `a × b`.
+    pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
+        self.push(v, Op::MatMul(a, b))
+    }
+
+    /// `a × bᵀ` (attention-score shape) without materializing the transpose.
+    pub fn matmul_nt(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.nodes[a.0].value.matmul_nt(&self.nodes[b.0].value);
+        self.push(v, Op::MatMulNt(a, b))
+    }
+
+    /// Element-wise `a + b` (same shape).
+    pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let mut v = self.nodes[a.0].value.clone();
+        v.add_assign(&self.nodes[b.0].value);
+        self.push(v, Op::Add(a, b))
+    }
+
+    /// `a - b`.
+    pub fn sub(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let nb = self.scale(b, -1.0);
+        self.add(a, nb)
+    }
+
+    /// Adds a `1×d` row to every row of `a` (bias add).
+    pub fn add_row(&mut self, a: NodeId, row: NodeId) -> NodeId {
+        let r = &self.nodes[row.0].value;
+        assert_eq!(r.rows(), 1, "add_row takes a 1×d row");
+        let mut v = self.nodes[a.0].value.clone();
+        for i in 0..v.rows() {
+            for (x, &b) in v.row_mut(i).iter_mut().zip(r.row(0)) {
+                *x += b;
+            }
+        }
+        self.push(v, Op::AddRow(a, row))
+    }
+
+    /// Multiplies every row of `a` by a `1×d` row (layer-norm gain).
+    pub fn mul_row(&mut self, a: NodeId, row: NodeId) -> NodeId {
+        let r = self.nodes[row.0].value.clone();
+        assert_eq!(r.rows(), 1, "mul_row takes a 1×d row");
+        let mut v = self.nodes[a.0].value.clone();
+        for i in 0..v.rows() {
+            for (x, &b) in v.row_mut(i).iter_mut().zip(r.row(0)) {
+                *x *= b;
+            }
+        }
+        self.push(v, Op::MulRow(a, row))
+    }
+
+    /// Element-wise product.
+    pub fn mul_elem(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let bb = self.nodes[b.0].value.clone();
+        let v = Matrix::from_fn(bb.rows(), bb.cols(), |r, c| {
+            self.nodes[a.0].value.get(r, c) * bb.get(r, c)
+        });
+        self.push(v, Op::MulElem(a, b))
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&mut self, a: NodeId, s: f32) -> NodeId {
+        let v = self.nodes[a.0].value.map(|x| x * s);
+        self.push(v, Op::Scale(a, s))
+    }
+
+    /// ReLU.
+    pub fn relu(&mut self, a: NodeId) -> NodeId {
+        let v = self.nodes[a.0].value.map(|x| x.max(0.0));
+        self.push(v, Op::Relu(a))
+    }
+
+    /// Row-wise softmax.
+    pub fn softmax_rows(&mut self, a: NodeId) -> NodeId {
+        let mut v = self.nodes[a.0].value.clone();
+        v.softmax_rows_mut();
+        self.push(v, Op::SoftmaxRows(a))
+    }
+
+    /// Row-wise layer normalization (no learned gain/bias; compose with
+    /// [`Graph::mul_row`] and [`Graph::add_row`]).
+    pub fn layer_norm_rows(&mut self, a: NodeId) -> NodeId {
+        let x = &self.nodes[a.0].value;
+        let (rows, cols) = x.shape();
+        let mut out = Matrix::zeros(rows, cols);
+        let mut stats = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let row = x.row(r);
+            let mean = row.iter().sum::<f32>() / cols as f32;
+            let var = row.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / cols as f32;
+            let inv_std = 1.0 / (var + 1e-5).sqrt();
+            stats.push((mean, inv_std));
+            for (c, &v) in row.iter().enumerate() {
+                out.set(r, c, (v - mean) * inv_std);
+            }
+        }
+        self.push(out, Op::LayerNormRows { input: a, stats })
+    }
+
+    /// Gathers rows `ids` from a table (embedding lookup).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id is out of range.
+    pub fn gather(&mut self, table: NodeId, ids: &[usize]) -> NodeId {
+        let t = &self.nodes[table.0].value;
+        for &id in ids {
+            assert!(id < t.rows(), "gather id {id} out of range {}", t.rows());
+        }
+        let cols = t.cols();
+        let mut v = Matrix::zeros(ids.len(), cols);
+        for (r, &id) in ids.iter().enumerate() {
+            v.row_mut(r).copy_from_slice(t.row(id));
+        }
+        self.push(
+            v,
+            Op::Gather {
+                table,
+                ids: ids.to_vec(),
+            },
+        )
+    }
+
+    /// Mean over rows → `1×d`.
+    pub fn mean_rows(&mut self, a: NodeId) -> NodeId {
+        let x = &self.nodes[a.0].value;
+        let (rows, cols) = x.shape();
+        let mut v = Matrix::zeros(1, cols);
+        for r in 0..rows {
+            for (c, &val) in x.row(r).iter().enumerate() {
+                v.set(0, c, v.get(0, c) + val);
+            }
+        }
+        v.scale_assign(1.0 / rows.max(1) as f32);
+        self.push(v, Op::MeanRows(a))
+    }
+
+    /// Column slice `a[:, start..start+len]`.
+    pub fn slice_cols(&mut self, a: NodeId, start: usize, len: usize) -> NodeId {
+        let x = &self.nodes[a.0].value;
+        assert!(start + len <= x.cols(), "slice out of range");
+        let v = Matrix::from_fn(x.rows(), len, |r, c| x.get(r, start + c));
+        self.push(v, Op::SliceCols { input: a, start })
+    }
+
+    /// Concatenates matrices with equal row counts along columns.
+    pub fn concat_cols(&mut self, parts: &[NodeId]) -> NodeId {
+        assert!(!parts.is_empty(), "concat of nothing");
+        let rows = self.nodes[parts[0].0].value.rows();
+        let total: usize = parts.iter().map(|p| self.nodes[p.0].value.cols()).sum();
+        let mut v = Matrix::zeros(rows, total);
+        let mut off = 0;
+        for p in parts {
+            let m = &self.nodes[p.0].value;
+            assert_eq!(m.rows(), rows, "concat row mismatch");
+            for r in 0..rows {
+                v.row_mut(r)[off..off + m.cols()].copy_from_slice(m.row(r));
+            }
+            off += m.cols();
+        }
+        self.push(v, Op::ConcatCols(parts.to_vec()))
+    }
+
+    /// Mean cross-entropy between row-wise logits and integer targets.
+    /// Returns a `1×1` loss node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets.len()` differs from the number of logit rows.
+    pub fn cross_entropy(&mut self, logits: NodeId, targets: &[usize]) -> NodeId {
+        let x = &self.nodes[logits.0].value;
+        assert_eq!(x.rows(), targets.len(), "one target per logit row");
+        let mut probs = x.clone();
+        probs.softmax_rows_mut();
+        let mut loss = 0.0f32;
+        for (r, &t) in targets.iter().enumerate() {
+            loss -= probs.get(r, t).max(1e-12).ln();
+        }
+        loss /= targets.len().max(1) as f32;
+        let v = Matrix::from_vec(1, 1, vec![loss]);
+        self.push(
+            v,
+            Op::CrossEntropy {
+                logits,
+                targets: targets.to_vec(),
+                probs,
+            },
+        )
+    }
+
+    /// The summed log-probability `Σ_r log softmax(logits)_r[target_r]` as a
+    /// `1×1` node (used by DPO).
+    pub fn log_prob(&mut self, logits: NodeId, targets: &[usize]) -> NodeId {
+        let n = targets.len() as f32;
+        let ce = self.cross_entropy(logits, targets);
+        self.scale(ce, -n)
+    }
+
+    /// Element-wise logistic sigmoid.
+    pub fn sigmoid(&mut self, a: NodeId) -> NodeId {
+        let v = self.nodes[a.0]
+            .value
+            .map(|x| 1.0 / (1.0 + (-x).exp()));
+        self.push(v, Op::Sigmoid(a))
+    }
+
+    /// Element-wise `log σ(x)`, computed stably as `-softplus(-x)`.
+    pub fn log_sigmoid(&mut self, a: NodeId) -> NodeId {
+        let v = self.nodes[a.0].value.map(|x| {
+            if x > 0.0 {
+                -((-x).exp().ln_1p())
+            } else {
+                x - x.exp().ln_1p()
+            }
+        });
+        self.push(v, Op::LogSigmoid(a))
+    }
+
+    /// Runs the backward sweep from a `1×1` loss node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is not `1×1`.
+    pub fn backward(&mut self, loss: NodeId) {
+        assert_eq!(self.nodes[loss.0].value.shape(), (1, 1), "loss must be 1×1");
+        self.grads = (0..self.nodes.len()).map(|_| None).collect();
+        self.grads[loss.0] = Some(Matrix::from_vec(1, 1, vec![1.0]));
+        for i in (0..self.nodes.len()).rev() {
+            let Some(g) = self.grads[i].clone() else {
+                continue;
+            };
+            // Split borrows: clone op (cheap except cached matrices, which we
+            // borrow immutably via the clone).
+            let op = self.nodes[i].op.clone();
+            match op {
+                Op::Leaf => {}
+                Op::MatMul(a, b) => {
+                    let ga = g.matmul_nt(&self.nodes[b.0].value);
+                    let gb = self.nodes[a.0].value.matmul_tn(&g);
+                    self.accum(a, ga);
+                    self.accum(b, gb);
+                }
+                Op::MatMulNt(a, b) => {
+                    // C = A Bᵀ ⇒ dA = G B, dB = Gᵀ A.
+                    let ga = g.matmul(&self.nodes[b.0].value);
+                    let gb = g.matmul_tn(&self.nodes[a.0].value);
+                    self.accum(a, ga);
+                    self.accum(b, gb);
+                }
+                Op::Add(a, b) => {
+                    self.accum(a, g.clone());
+                    self.accum(b, g);
+                }
+                Op::AddRow(a, row) => {
+                    let mut grow = Matrix::zeros(1, g.cols());
+                    for r in 0..g.rows() {
+                        for (c, &v) in g.row(r).iter().enumerate() {
+                            grow.set(0, c, grow.get(0, c) + v);
+                        }
+                    }
+                    self.accum(a, g);
+                    self.accum(row, grow);
+                }
+                Op::MulRow(a, row) => {
+                    let rvals = self.nodes[row.0].value.clone();
+                    let avals = self.nodes[a.0].value.clone();
+                    let ga = Matrix::from_fn(g.rows(), g.cols(), |r, c| {
+                        g.get(r, c) * rvals.get(0, c)
+                    });
+                    let mut grow = Matrix::zeros(1, g.cols());
+                    for r in 0..g.rows() {
+                        for c in 0..g.cols() {
+                            grow.set(0, c, grow.get(0, c) + g.get(r, c) * avals.get(r, c));
+                        }
+                    }
+                    self.accum(a, ga);
+                    self.accum(row, grow);
+                }
+                Op::MulElem(a, b) => {
+                    let bv = self.nodes[b.0].value.clone();
+                    let av = self.nodes[a.0].value.clone();
+                    let ga = Matrix::from_fn(g.rows(), g.cols(), |r, c| g.get(r, c) * bv.get(r, c));
+                    let gb = Matrix::from_fn(g.rows(), g.cols(), |r, c| g.get(r, c) * av.get(r, c));
+                    self.accum(a, ga);
+                    self.accum(b, gb);
+                }
+                Op::Scale(a, s) => {
+                    let mut ga = g;
+                    ga.scale_assign(s);
+                    self.accum(a, ga);
+                }
+                Op::Relu(a) => {
+                    let x = self.nodes[a.0].value.clone();
+                    let ga = Matrix::from_fn(g.rows(), g.cols(), |r, c| {
+                        if x.get(r, c) > 0.0 {
+                            g.get(r, c)
+                        } else {
+                            0.0
+                        }
+                    });
+                    self.accum(a, ga);
+                }
+                Op::SoftmaxRows(a) => {
+                    let y = self.nodes[i].value.clone();
+                    let mut ga = Matrix::zeros(g.rows(), g.cols());
+                    for r in 0..g.rows() {
+                        let dot: f32 = g
+                            .row(r)
+                            .iter()
+                            .zip(y.row(r))
+                            .map(|(&gv, &yv)| gv * yv)
+                            .sum();
+                        for c in 0..g.cols() {
+                            ga.set(r, c, y.get(r, c) * (g.get(r, c) - dot));
+                        }
+                    }
+                    self.accum(a, ga);
+                }
+                Op::LayerNormRows { input, stats } => {
+                    let y = self.nodes[i].value.clone();
+                    let cols = g.cols() as f32;
+                    let mut ga = Matrix::zeros(g.rows(), g.cols());
+                    for r in 0..g.rows() {
+                        let (_mean, inv_std) = stats[r];
+                        let g_mean: f32 = g.row(r).iter().sum::<f32>() / cols;
+                        let gy_mean: f32 = g
+                            .row(r)
+                            .iter()
+                            .zip(y.row(r))
+                            .map(|(&gv, &yv)| gv * yv)
+                            .sum::<f32>()
+                            / cols;
+                        for c in 0..g.cols() {
+                            let v = inv_std * (g.get(r, c) - g_mean - y.get(r, c) * gy_mean);
+                            ga.set(r, c, v);
+                        }
+                    }
+                    self.accum(input, ga);
+                }
+                Op::Gather { table, ids } => {
+                    let t = &self.nodes[table.0].value;
+                    let mut gt = Matrix::zeros(t.rows(), t.cols());
+                    for (r, &id) in ids.iter().enumerate() {
+                        for (c, &v) in g.row(r).iter().enumerate() {
+                            gt.set(id, c, gt.get(id, c) + v);
+                        }
+                    }
+                    self.accum(table, gt);
+                }
+                Op::MeanRows(a) => {
+                    let rows = self.nodes[a.0].value.rows();
+                    let inv = 1.0 / rows.max(1) as f32;
+                    let ga = Matrix::from_fn(rows, g.cols(), |_, c| g.get(0, c) * inv);
+                    self.accum(a, ga);
+                }
+                Op::SliceCols { input, start } => {
+                    let x = &self.nodes[input.0].value;
+                    let mut ga = Matrix::zeros(x.rows(), x.cols());
+                    for r in 0..g.rows() {
+                        for c in 0..g.cols() {
+                            ga.set(r, start + c, g.get(r, c));
+                        }
+                    }
+                    self.accum(input, ga);
+                }
+                Op::ConcatCols(parts) => {
+                    let mut off = 0;
+                    for p in parts {
+                        let cols = self.nodes[p.0].value.cols();
+                        let gp = Matrix::from_fn(g.rows(), cols, |r, c| g.get(r, off + c));
+                        self.accum(p, gp);
+                        off += cols;
+                    }
+                }
+                Op::CrossEntropy {
+                    logits,
+                    targets,
+                    probs,
+                } => {
+                    let gs = g.get(0, 0) / targets.len().max(1) as f32;
+                    let mut gl = probs.clone();
+                    for (r, &t) in targets.iter().enumerate() {
+                        gl.set(r, t, gl.get(r, t) - 1.0);
+                    }
+                    gl.scale_assign(gs);
+                    self.accum(logits, gl);
+                }
+                Op::Sigmoid(a) => {
+                    let y = self.nodes[i].value.clone();
+                    let ga = Matrix::from_fn(g.rows(), g.cols(), |r, c| {
+                        let yv = y.get(r, c);
+                        g.get(r, c) * yv * (1.0 - yv)
+                    });
+                    self.accum(a, ga);
+                }
+                Op::LogSigmoid(a) => {
+                    let x = self.nodes[a.0].value.clone();
+                    let ga = Matrix::from_fn(g.rows(), g.cols(), |r, c| {
+                        let s = 1.0 / (1.0 + x.get(r, c).exp());
+                        g.get(r, c) * s
+                    });
+                    self.accum(a, ga);
+                }
+            }
+        }
+    }
+
+    fn accum(&mut self, id: NodeId, g: Matrix) {
+        match &mut self.grads[id.0] {
+            Some(existing) => existing.add_assign(&g),
+            slot @ None => *slot = Some(g),
+        }
+    }
+
+    /// Gradient of a node after [`Graph::backward`].
+    pub fn grad(&self, id: NodeId) -> Option<&Matrix> {
+        self.grads.get(id.0).and_then(|g| g.as_ref())
+    }
+
+    /// Gradients of all registered parameters (missing grads are zeros).
+    pub fn param_grads(&self, store: &ParamStore) -> Vec<(ParamId, Matrix)> {
+        self.param_nodes
+            .iter()
+            .map(|&(pid, nid)| {
+                let g = self.grad(nid).cloned().unwrap_or_else(|| {
+                    let m = store.get(pid);
+                    Matrix::zeros(m.rows(), m.cols())
+                });
+                (pid, g)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Finite-difference gradient check for a scalar function of one param.
+    fn check_grad(
+        build: impl Fn(&mut Graph, &ParamStore, ParamId) -> NodeId,
+        init: Matrix,
+        tol: f32,
+    ) {
+        let mut store = ParamStore::new();
+        let pid = store.add("w", init);
+        // Analytic gradient.
+        let mut g = Graph::new();
+        let loss = {
+            let l = build(&mut g, &store, pid);
+            assert_eq!(g.value(l).shape(), (1, 1));
+            l
+        };
+        g.backward(loss);
+        let analytic = g.param_grads(&store)[0].1.clone();
+
+        // Numeric gradient.
+        let eps = 1e-3f32;
+        let (rows, cols) = store.get(pid).shape();
+        for r in 0..rows {
+            for c in 0..cols {
+                let orig = store.get(pid).get(r, c);
+                store.get_mut(pid).set(r, c, orig + eps);
+                let mut gp = Graph::new();
+                let lp = build(&mut gp, &store, pid);
+                let fp = gp.value(lp).get(0, 0);
+                store.get_mut(pid).set(r, c, orig - eps);
+                let mut gm = Graph::new();
+                let lm = build(&mut gm, &store, pid);
+                let fm = gm.value(lm).get(0, 0);
+                store.get_mut(pid).set(r, c, orig);
+                let numeric = (fp - fm) / (2.0 * eps);
+                let a = analytic.get(r, c);
+                assert!(
+                    (a - numeric).abs() < tol * (1.0 + numeric.abs()),
+                    "grad mismatch at ({r},{c}): analytic {a}, numeric {numeric}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grad_check_matmul_chain() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let x = Matrix::randn(3, 4, 1.0, &mut rng);
+        let init = Matrix::randn(4, 2, 0.5, &mut rng);
+        check_grad(
+            move |g, store, pid| {
+                let w = g.param(store, pid);
+                let xin = g.input(x.clone());
+                let y = g.matmul(xin, w);
+                let y = g.relu(y);
+                let pooled = g.mean_rows(y);
+                let sq = g.mul_elem(pooled, pooled);
+                let col = g.mean_rows(sq); // 1×2 still — reduce to scalar:
+                let t = g.slice_cols(col, 0, 1);
+                let u = g.slice_cols(col, 1, 1);
+                g.add(t, u)
+            },
+            init,
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn grad_check_softmax_cross_entropy() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let init = Matrix::randn(3, 5, 0.8, &mut rng);
+        check_grad(
+            |g, store, pid| {
+                let logits = g.param(store, pid);
+                g.cross_entropy(logits, &[1, 4, 0])
+            },
+            init,
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn grad_check_layernorm() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let init = Matrix::randn(2, 6, 1.0, &mut rng);
+        check_grad(
+            |g, store, pid| {
+                let x = g.param(store, pid);
+                let y = g.layer_norm_rows(x);
+                let sq = g.mul_elem(y, y);
+                let m = g.mean_rows(sq);
+                let mut acc = g.slice_cols(m, 0, 1);
+                for c in 1..6 {
+                    let s = g.slice_cols(m, c, 1);
+                    acc = g.add(acc, s);
+                }
+                acc
+            },
+            init,
+            5e-2,
+        );
+    }
+
+    #[test]
+    fn grad_check_gather_and_rows() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let init = Matrix::randn(4, 3, 0.7, &mut rng);
+        check_grad(
+            |g, store, pid| {
+                let table = g.param(store, pid);
+                let e = g.gather(table, &[0, 2, 2, 1]);
+                let pooled = g.mean_rows(e);
+                let sq = g.mul_elem(pooled, pooled);
+                let m = g.mean_rows(sq);
+                g.slice_cols(m, 0, 1)
+            },
+            init,
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn grad_check_log_sigmoid() {
+        let init = Matrix::from_vec(1, 1, vec![0.3]);
+        check_grad(
+            |g, store, pid| {
+                let x = g.param(store, pid);
+                let y = g.log_sigmoid(x);
+                g.scale(y, -1.0)
+            },
+            init,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn log_prob_is_negative_sum_ce() {
+        let mut g = Graph::new();
+        let logits = g.input(Matrix::from_vec(2, 3, vec![1.0, 0.0, -1.0, 0.5, 0.5, 0.5]));
+        let lp = g.log_prob(logits, &[0, 2]);
+        let v = g.value(lp).get(0, 0);
+        assert!(v < 0.0, "log prob must be negative, got {v}");
+    }
+
+    #[test]
+    fn softmax_then_ce_decreases_with_training_signal() {
+        // One gradient step moves probability toward the target.
+        let mut store = ParamStore::new();
+        let pid = store.add("logits", Matrix::zeros(1, 4));
+        let loss_at = |store: &ParamStore| {
+            let mut g = Graph::new();
+            let l = g.param(store, pid);
+            let loss = g.cross_entropy(l, &[2]);
+            let v = g.value(loss).get(0, 0);
+            g.backward(loss);
+            (v, g.param_grads(store)[0].1.clone())
+        };
+        let (l0, grad) = loss_at(&store);
+        for r in 0..1 {
+            for c in 0..4 {
+                let v = store.get(pid).get(r, c) - 0.5 * grad.get(r, c);
+                store.get_mut(pid).set(r, c, v);
+            }
+        }
+        let (l1, _) = loss_at(&store);
+        assert!(l1 < l0, "loss should drop: {l0} -> {l1}");
+    }
+
+    #[test]
+    fn concat_and_slice_are_inverses() {
+        let mut g = Graph::new();
+        let a = g.input(Matrix::from_vec(2, 2, vec![1., 2., 3., 4.]));
+        let b = g.input(Matrix::from_vec(2, 1, vec![5., 6.]));
+        let cat = g.concat_cols(&[a, b]);
+        assert_eq!(g.value(cat).shape(), (2, 3));
+        let back = g.slice_cols(cat, 2, 1);
+        assert_eq!(g.value(back).data(), &[5., 6.]);
+    }
+
+    #[test]
+    fn param_store_bookkeeping() {
+        let mut store = ParamStore::new();
+        let a = store.add("a", Matrix::zeros(2, 2));
+        let b = store.add("b", Matrix::zeros(1, 3));
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.scalar_count(), 7);
+        assert_eq!(store.name(a), "a");
+        assert_eq!(store.name(b), "b");
+        assert!(!store.is_empty());
+    }
+}

@@ -1,0 +1,441 @@
+//! Forward-only encoder inference with block-structured attention caching.
+//!
+//! This implements the paper's *dynamic prediction acceleration* (Sec. 5.3):
+//! when only one segment of the input (e.g. a single operator, or the `data`
+//! scalars) changes between predictions, attention blocks not touching the
+//! changed tokens are served from cache and only the affected rows are
+//! recomputed. The separation mask (Sec. 5.2) makes this effective: rows
+//! that are masked off from the changed segment keep their outputs.
+
+use crate::graph::ParamStore;
+use crate::matrix::Matrix;
+use crate::transformer::Transformer;
+
+/// Threshold below which a mask entry is considered "blocked".
+const MASK_BLOCKED: f32 = -1e8;
+
+/// Cached per-layer state.
+#[derive(Debug, Clone)]
+struct LayerCache {
+    q: Matrix,
+    k: Matrix,
+    v: Matrix,
+    x_out: Matrix,
+}
+
+/// Cached encoder state for one token sequence.
+#[derive(Debug, Clone)]
+pub struct EncoderCache {
+    tokens: Vec<u32>,
+    x0: Matrix,
+    layers: Vec<LayerCache>,
+    /// Final per-token representations (`n × d`).
+    pub seq: Matrix,
+    /// Mean-pooled representation (`1 × d`).
+    pub pooled: Matrix,
+}
+
+impl EncoderCache {
+    /// The token sequence this cache was computed for.
+    pub fn tokens(&self) -> &[u32] {
+        &self.tokens
+    }
+}
+
+/// Work accounting for one cached forward pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InferStats {
+    /// Attention/FFN rows actually recomputed (summed over layers).
+    pub rows_computed: usize,
+    /// Total rows had nothing been cached.
+    pub rows_total: usize,
+}
+
+impl InferStats {
+    /// Fraction of work skipped thanks to the cache (0 when nothing cached).
+    pub fn savings(&self) -> f64 {
+        if self.rows_total == 0 {
+            0.0
+        } else {
+            1.0 - self.rows_computed as f64 / self.rows_total as f64
+        }
+    }
+}
+
+fn row_matmul(row: &[f32], w: &Matrix) -> Vec<f32> {
+    let mut out = vec![0.0f32; w.cols()];
+    for (k, &a) in row.iter().enumerate() {
+        if a == 0.0 {
+            continue;
+        }
+        for (o, &b) in out.iter_mut().zip(w.row(k)) {
+            *o += a * b;
+        }
+    }
+    out
+}
+
+fn layer_norm_row(row: &[f32], gain: &Matrix, bias: &Matrix) -> Vec<f32> {
+    let n = row.len() as f32;
+    let mean = row.iter().sum::<f32>() / n;
+    let var = row.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / n;
+    let inv = 1.0 / (var + 1e-5).sqrt();
+    row.iter()
+        .enumerate()
+        .map(|(c, &v)| (v - mean) * inv * gain.get(0, c) + bias.get(0, c))
+        .collect()
+}
+
+/// Encodes `tokens`, reusing `prev` where the mask proves rows unaffected.
+///
+/// `mask` is the same additive `n × n` matrix accepted by
+/// [`Transformer::encode`]; `None` means full attention (every row depends on
+/// every token, so any change invalidates everything).
+///
+/// Returns the new cache and the work statistics.
+///
+/// # Panics
+///
+/// Panics if `mask` does not match the (truncated) token count.
+pub fn encode_cached(
+    t: &Transformer,
+    store: &ParamStore,
+    tokens: &[u32],
+    mask: Option<&Matrix>,
+    prev: Option<&EncoderCache>,
+) -> (EncoderCache, InferStats) {
+    let raw = t.raw();
+    let cfg = raw.config;
+    let n = tokens.len().min(cfg.max_len).max(1);
+    let ids: Vec<usize> = tokens
+        .iter()
+        .take(n)
+        .map(|&tok| (tok as usize).min(cfg.vocab_size - 1))
+        .collect();
+    if let Some(m) = mask {
+        assert_eq!(m.shape(), (ids.len(), ids.len()), "mask shape");
+    }
+
+    // Which input rows changed relative to the cached run?
+    let usable_prev = prev.filter(|p| p.tokens.len() == ids.len() && p.layers.len() == raw.layers.len());
+    let mut changed: Vec<bool> = match usable_prev {
+        Some(p) => ids
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| p.tokens[i] as usize != id)
+            .collect(),
+        None => vec![true; ids.len()],
+    };
+
+    let mut stats = InferStats {
+        rows_computed: 0,
+        rows_total: ids.len() * raw.layers.len(),
+    };
+
+    // ---- embeddings ----
+    let tok_table = store.get(raw.tok_embed);
+    let pos_table = store.get(raw.pos_embed);
+    let mut x = match usable_prev {
+        Some(p) => p.x0.clone(),
+        None => Matrix::zeros(ids.len(), cfg.d_model),
+    };
+    for (i, &id) in ids.iter().enumerate() {
+        if changed[i] {
+            for c in 0..cfg.d_model {
+                x.set(i, c, tok_table.get(id, c) + pos_table.get(i, c));
+            }
+        }
+    }
+    let x0 = x.clone();
+
+    // ---- layers ----
+    let heads = cfg.n_heads;
+    let hd = cfg.d_model / heads;
+    let mut layer_caches = Vec::with_capacity(raw.layers.len());
+    for (li, layer) in raw.layers.iter().enumerate() {
+        let idsl = layer.ids();
+        let prev_layer = usable_prev.map(|p| &p.layers[li]);
+        let (g1, b1) = (store.get(idsl.ln1_gain), store.get(idsl.ln1_bias));
+        let (wq, wk, wv, wo) = (
+            store.get(idsl.wq),
+            store.get(idsl.wk),
+            store.get(idsl.wv),
+            store.get(idsl.wo),
+        );
+
+        // q/k/v rows: recompute only changed rows.
+        let (mut q, mut k, mut v) = match prev_layer {
+            Some(pl) => (pl.q.clone(), pl.k.clone(), pl.v.clone()),
+            None => (
+                Matrix::zeros(ids.len(), cfg.d_model),
+                Matrix::zeros(ids.len(), cfg.d_model),
+                Matrix::zeros(ids.len(), cfg.d_model),
+            ),
+        };
+        for i in 0..ids.len() {
+            if changed[i] {
+                let ln = layer_norm_row(x.row(i), g1, b1);
+                q.row_mut(i).copy_from_slice(&row_matmul(&ln, wq));
+                k.row_mut(i).copy_from_slice(&row_matmul(&ln, wk));
+                v.row_mut(i).copy_from_slice(&row_matmul(&ln, wv));
+            }
+        }
+
+        // Which output rows change? Row i changes if its own input changed,
+        // or it attends (per mask) to any changed row j.
+        let mut changed_out = vec![false; ids.len()];
+        for i in 0..ids.len() {
+            if changed[i] {
+                changed_out[i] = true;
+                continue;
+            }
+            let attends_changed = (0..ids.len()).any(|j| {
+                changed[j]
+                    && mask
+                        .map(|m| m.get(i, j) > MASK_BLOCKED)
+                        .unwrap_or(true)
+            });
+            if attends_changed {
+                changed_out[i] = true;
+            }
+        }
+
+        let (g2, b2) = (store.get(idsl.ln2_gain), store.get(idsl.ln2_bias));
+        let (w1, b1f) = (store.get(idsl.w1), store.get(idsl.b1));
+        let (w2, b2f) = (store.get(idsl.w2), store.get(idsl.b2));
+        let mut x_out = match prev_layer {
+            Some(pl) => pl.x_out.clone(),
+            None => Matrix::zeros(ids.len(), cfg.d_model),
+        };
+        let scale = 1.0 / (hd as f32).sqrt();
+        for i in 0..ids.len() {
+            if !changed_out[i] {
+                continue;
+            }
+            stats.rows_computed += 1;
+            // Multi-head attention for row i.
+            let mut cat = vec![0.0f32; cfg.d_model];
+            for h in 0..heads {
+                let off = h * hd;
+                // scores over all j
+                let mut scores = vec![f32::NEG_INFINITY; ids.len()];
+                for (j, s) in scores.iter_mut().enumerate() {
+                    let allowed = mask.map(|m| m.get(i, j) > MASK_BLOCKED).unwrap_or(true);
+                    if !allowed {
+                        continue;
+                    }
+                    let mut dot = 0.0f32;
+                    for c in 0..hd {
+                        dot += q.get(i, off + c) * k.get(j, off + c);
+                    }
+                    *s = dot * scale + mask.map(|m| m.get(i, j)).unwrap_or(0.0);
+                }
+                // softmax
+                let max = scores.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                let mut denom = 0.0f32;
+                let mut weights = vec![0.0f32; ids.len()];
+                if max.is_finite() {
+                    for (w, &s) in weights.iter_mut().zip(&scores) {
+                        if s.is_finite() {
+                            *w = (s - max).exp();
+                            denom += *w;
+                        }
+                    }
+                } else {
+                    // fully-masked row: uniform (matches tape softmax)
+                    weights.iter_mut().for_each(|w| *w = 1.0);
+                    denom = ids.len() as f32;
+                }
+                let inv = 1.0 / denom.max(1e-12);
+                for (j, &w) in weights.iter().enumerate() {
+                    if w == 0.0 {
+                        continue;
+                    }
+                    let a = w * inv;
+                    for c in 0..hd {
+                        cat[off + c] += a * v.get(j, off + c);
+                    }
+                }
+            }
+            let proj = row_matmul(&cat, wo);
+            let mut mid = vec![0.0f32; cfg.d_model];
+            for c in 0..cfg.d_model {
+                mid[c] = x.get(i, c) + proj[c];
+            }
+            // FFN
+            let ln = layer_norm_row(&mid, g2, b2);
+            let mut hrow = row_matmul(&ln, w1);
+            for (c, hv) in hrow.iter_mut().enumerate() {
+                *hv = (*hv + b1f.get(0, c)).max(0.0);
+            }
+            let out = row_matmul(&hrow, w2);
+            for c in 0..cfg.d_model {
+                x_out.set(i, c, mid[c] + out[c] + b2f.get(0, c));
+            }
+        }
+        layer_caches.push(LayerCache {
+            q,
+            k,
+            v,
+            x_out: x_out.clone(),
+        });
+        x = x_out;
+        changed = changed_out;
+    }
+
+    // ---- final layer norm + pooling ----
+    let (fg, fb) = (store.get(raw.final_gain), store.get(raw.final_bias));
+    let mut seq = match usable_prev {
+        Some(p) => p.seq.clone(),
+        None => Matrix::zeros(ids.len(), cfg.d_model),
+    };
+    for i in 0..ids.len() {
+        if changed[i] || usable_prev.is_none() {
+            let ln = layer_norm_row(x.row(i), fg, fb);
+            seq.row_mut(i).copy_from_slice(&ln);
+        }
+    }
+    let mut pooled = Matrix::zeros(1, cfg.d_model);
+    for i in 0..ids.len() {
+        for c in 0..cfg.d_model {
+            pooled.set(0, c, pooled.get(0, c) + seq.get(i, c));
+        }
+    }
+    pooled.scale_assign(1.0 / ids.len() as f32);
+
+    let cache = EncoderCache {
+        tokens: ids.iter().map(|&i| i as u32).collect(),
+        x0,
+        layers: layer_caches,
+        seq,
+        pooled,
+    };
+    (cache, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+    use crate::transformer::TransformerConfig;
+
+    fn setup() -> (Transformer, ParamStore) {
+        let mut store = ParamStore::new();
+        let t = Transformer::new(TransformerConfig::tiny(64), &mut store, 11);
+        (t, store)
+    }
+
+    fn close(a: &Matrix, b: &Matrix, tol: f32) -> bool {
+        a.shape() == b.shape()
+            && a.data()
+                .iter()
+                .zip(b.data())
+                .all(|(x, y)| (x - y).abs() < tol)
+    }
+
+    #[test]
+    fn cached_full_pass_matches_tape_forward() {
+        let (t, store) = setup();
+        let tokens = [3u32, 9, 1, 22, 7, 4];
+        let mut g = Graph::new();
+        let out = t.encode(&mut g, &store, &tokens, None);
+        let (cache, stats) = encode_cached(&t, &store, &tokens, None, None);
+        assert!(close(g.value(out.seq), &cache.seq, 1e-4));
+        assert!(close(g.value(out.pooled), &cache.pooled, 1e-4));
+        assert_eq!(stats.rows_computed, stats.rows_total);
+    }
+
+    #[test]
+    fn cached_pass_matches_with_mask() {
+        let (t, store) = setup();
+        let tokens = [3u32, 9, 1, 22];
+        let mask = Matrix::from_fn(4, 4, |r, c| {
+            if (r + c) % 2 == 0 {
+                0.0
+            } else {
+                -1e9
+            }
+        });
+        let mut g = Graph::new();
+        let out = t.encode(&mut g, &store, &tokens, Some(&mask));
+        let (cache, _) = encode_cached(&t, &store, &tokens, Some(&mask), None);
+        assert!(close(g.value(out.seq), &cache.seq, 1e-4));
+    }
+
+    #[test]
+    fn unchanged_rerun_computes_nothing() {
+        let (t, store) = setup();
+        let tokens = [5u32, 6, 7];
+        let (cache, _) = encode_cached(&t, &store, &tokens, None, None);
+        let (cache2, stats) = encode_cached(&t, &store, &tokens, None, Some(&cache));
+        assert_eq!(stats.rows_computed, 0);
+        assert!(close(&cache.seq, &cache2.seq, 1e-6));
+    }
+
+    #[test]
+    fn masked_change_recomputes_only_reachable_rows() {
+        let (t, store) = setup();
+        // Two isolated blocks of two tokens: {0,1} and {2,3}.
+        let mask = Matrix::from_fn(4, 4, |r, c| {
+            if (r < 2) == (c < 2) {
+                0.0
+            } else {
+                -1e9
+            }
+        });
+        let a = [1u32, 2, 3, 4];
+        let mut b = a;
+        b[3] = 9; // change inside the second block
+        let (cache, _) = encode_cached(&t, &store, &a, Some(&mask), None);
+        let (cache_b, stats) = encode_cached(&t, &store, &b, Some(&mask), Some(&cache));
+        // Only rows 2 & 3 per layer should recompute.
+        assert_eq!(stats.rows_computed, 2 * t.config().n_layers);
+        // Block {0,1} outputs identical; block {2,3} differs.
+        for i in 0..2 {
+            for c in 0..t.config().d_model {
+                assert!((cache.seq.get(i, c) - cache_b.seq.get(i, c)).abs() < 1e-6);
+            }
+        }
+        let diff: f32 = (2..4)
+            .map(|i| {
+                (0..t.config().d_model)
+                    .map(|c| (cache.seq.get(i, c) - cache_b.seq.get(i, c)).abs())
+                    .sum::<f32>()
+            })
+            .sum();
+        assert!(diff > 1e-5);
+    }
+
+    #[test]
+    fn incremental_equals_fresh_computation() {
+        let (t, store) = setup();
+        let mask = Matrix::from_fn(6, 6, |r, c| {
+            if r.abs_diff(c) <= 1 {
+                0.0
+            } else {
+                -1e9
+            }
+        });
+        let a = [1u32, 2, 3, 4, 5, 6];
+        let mut b = a;
+        b[0] = 8;
+        let (cache_a, _) = encode_cached(&t, &store, &a, Some(&mask), None);
+        let (incremental, stats) = encode_cached(&t, &store, &b, Some(&mask), Some(&cache_a));
+        let (fresh, _) = encode_cached(&t, &store, &b, Some(&mask), None);
+        assert!(
+            close(&incremental.seq, &fresh.seq, 1e-4),
+            "incremental must equal fresh"
+        );
+        assert!(stats.rows_computed < stats.rows_total, "must save work");
+    }
+
+    #[test]
+    fn savings_fraction_is_sane() {
+        let s = InferStats {
+            rows_computed: 3,
+            rows_total: 12,
+        };
+        assert!((s.savings() - 0.75).abs() < 1e-12);
+        assert_eq!(InferStats::default().savings(), 0.0);
+    }
+}

@@ -1,0 +1,40 @@
+//! # llmulator-nn
+//!
+//! From-scratch neural-network substrate for the LLMulator reproduction —
+//! the role the HuggingFace + LLaMA-3.2 stack plays in the paper.
+//!
+//! The crate provides:
+//!
+//! * [`Matrix`] — dense `f32` matrices with the handful of kernels a small
+//!   transformer needs,
+//! * [`Graph`] — a tape-based reverse-mode autodiff engine (gradient-checked
+//!   against finite differences in the test suite),
+//! * [`Transformer`] — a pre-norm encoder with *pluggable additive attention
+//!   masks* (the hook for LLMulator's dynamic control-flow separation),
+//! * [`infer::encode_cached`] — forward-only inference with block-structured
+//!   attention caching (LLMulator's dynamic prediction acceleration),
+//! * [`AdamW`] — decoupled-weight-decay optimizer,
+//! * [`train::batch_grads`] — parallel mini-batch gradient accumulation.
+//!
+//! ```
+//! use llmulator_nn::{Graph, ParamStore, Transformer, TransformerConfig};
+//!
+//! let mut store = ParamStore::new();
+//! let encoder = Transformer::new(TransformerConfig::tiny(100), &mut store, 0);
+//! let mut g = Graph::new();
+//! let out = encoder.encode(&mut g, &store, &[5, 17, 3], None);
+//! assert_eq!(g.value(out.pooled).shape(), (1, 16));
+//! ```
+
+pub mod adam;
+pub mod graph;
+pub mod infer;
+pub mod matrix;
+pub mod train;
+pub mod transformer;
+
+pub use adam::{AdamConfig, AdamW};
+pub use graph::{Graph, NodeId, ParamId, ParamStore};
+pub use infer::{encode_cached, EncoderCache, InferStats};
+pub use matrix::Matrix;
+pub use transformer::{EncodeOut, Transformer, TransformerConfig};

@@ -1,0 +1,133 @@
+//! Mini-batch training helpers: per-example tapes evaluated in parallel with
+//! gradients summed on the main thread.
+
+use crate::graph::{Graph, NodeId, ParamId, ParamStore};
+use crate::matrix::Matrix;
+
+/// Builds per-example losses in parallel across threads and returns the mean
+/// loss plus summed parameter gradients.
+///
+/// `build` must construct the forward pass and return the `1×1` loss node for
+/// one item. The parameter store is shared read-only across threads.
+pub fn batch_grads<T: Sync>(
+    store: &ParamStore,
+    items: &[T],
+    threads: usize,
+    build: impl Fn(&mut Graph, &ParamStore, &T) -> NodeId + Sync,
+) -> (f32, Vec<(ParamId, Matrix)>) {
+    if items.is_empty() {
+        return (0.0, Vec::new());
+    }
+    let threads = threads.clamp(1, items.len());
+    let chunk = items.len().div_ceil(threads);
+    let results: Vec<(f32, Vec<(ParamId, Matrix)>)> = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for piece in items.chunks(chunk) {
+            let build = &build;
+            handles.push(scope.spawn(move |_| {
+                let mut loss_sum = 0.0f32;
+                let mut grads: Option<Vec<(ParamId, Matrix)>> = None;
+                for item in piece {
+                    let mut g = Graph::new();
+                    let loss = build(&mut g, store, item);
+                    loss_sum += g.value(loss).get(0, 0);
+                    g.backward(loss);
+                    let bg = g.param_grads(store);
+                    match &mut grads {
+                        None => grads = Some(bg),
+                        Some(acc) => {
+                            for ((_, a), (_, b)) in acc.iter_mut().zip(bg) {
+                                a.add_assign(&b);
+                            }
+                        }
+                    }
+                }
+                (loss_sum, grads.unwrap_or_default())
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("training worker panicked"))
+            .collect()
+    })
+    .expect("thread scope");
+
+    let mut total_loss = 0.0f32;
+    let mut acc: Option<Vec<(ParamId, Matrix)>> = None;
+    for (loss, grads) in results {
+        total_loss += loss;
+        if grads.is_empty() {
+            continue;
+        }
+        match &mut acc {
+            None => acc = Some(grads),
+            Some(a) => {
+                for ((_, x), (_, y)) in a.iter_mut().zip(grads) {
+                    x.add_assign(&y);
+                }
+            }
+        }
+    }
+    let mut grads = acc.unwrap_or_default();
+    let inv = 1.0 / items.len() as f32;
+    for (_, g) in &mut grads {
+        g.scale_assign(inv);
+    }
+    (total_loss * inv, grads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let mut store = ParamStore::new();
+        let pid = store.add("w", Matrix::from_vec(1, 2, vec![0.4, -0.2]));
+        let items: Vec<usize> = vec![0, 1, 0, 1, 1, 0];
+        let build = |g: &mut Graph, store: &ParamStore, item: &usize| {
+            let w = g.param(store, pid);
+            g.cross_entropy(w, &[*item])
+        };
+        let (l1, g1) = batch_grads(&store, &items, 1, build);
+        let (l2, g2) = batch_grads(&store, &items, 3, build);
+        assert!((l1 - l2).abs() < 1e-5);
+        for ((_, a), (_, b)) in g1.iter().zip(&g2) {
+            for (x, y) in a.data().iter().zip(b.data()) {
+                assert!((x - y).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_harmless() {
+        let store = ParamStore::new();
+        let items: Vec<usize> = vec![];
+        let (loss, grads) = batch_grads(&store, &items, 4, |g, _, _| {
+            g.input(Matrix::zeros(1, 1))
+        });
+        assert_eq!(loss, 0.0);
+        assert!(grads.is_empty());
+    }
+
+    #[test]
+    fn gradients_are_batch_means() {
+        let mut store = ParamStore::new();
+        let pid = store.add("w", Matrix::zeros(1, 2));
+        let items = vec![0usize, 0];
+        let (_, grads) = batch_grads(&store, &items, 1, |g, store, item| {
+            let w = g.param(store, pid);
+            g.cross_entropy(w, &[*item])
+        });
+        let single = {
+            let mut g = Graph::new();
+            let w = g.param(&store, pid);
+            let l = g.cross_entropy(w, &[0]);
+            g.backward(l);
+            g.param_grads(&store)[0].1.clone()
+        };
+        for (a, b) in grads[0].1.data().iter().zip(single.data()) {
+            assert!((a - b).abs() < 1e-6, "mean of identical items = item grad");
+        }
+    }
+}

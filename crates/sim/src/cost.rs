@@ -1,0 +1,138 @@
+//! Cycle-cost accounting primitives.
+
+use llmulator_hls::cells::{binop_fu, intrinsic_fu, spec, FuKind};
+use llmulator_ir::{BinOp, HardwareParams, Intrinsic};
+use serde::{Deserialize, Serialize};
+
+/// Number of concurrent read ports on an operator's memory interface.
+pub const READ_PORTS: u64 = 2;
+/// Number of concurrent write ports on an operator's memory interface.
+pub const WRITE_PORTS: u64 = 1;
+/// Per-iteration loop control overhead (increment + branch) in cycles.
+pub const LOOP_OVERHEAD: u64 = 1;
+/// Call/return overhead per graph invocation in cycles.
+pub const INVOKE_OVERHEAD: u64 = 8;
+
+/// Cost accumulated while evaluating one lane (iteration) of work.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LaneCost {
+    /// Compute cycles (unit latencies along the evaluation chain).
+    pub compute: u64,
+    /// Number of memory loads issued.
+    pub loads: u64,
+    /// Number of memory stores issued.
+    pub stores: u64,
+}
+
+impl LaneCost {
+    /// Adds another lane's cost sequentially (same lane, later in time).
+    pub fn sequential(&mut self, other: LaneCost) {
+        self.compute += other.compute;
+        self.loads += other.loads;
+        self.stores += other.stores;
+    }
+
+    /// Converts this lane cost into cycles under the memory parameters,
+    /// assuming loads pipeline across [`READ_PORTS`] and stores across
+    /// [`WRITE_PORTS`].
+    pub fn cycles(&self, hw: &HardwareParams) -> u64 {
+        let load_cycles = self.loads.div_ceil(READ_PORTS) * hw.mem_read_delay as u64;
+        let store_cycles = self.stores.div_ceil(WRITE_PORTS) * hw.mem_write_delay as u64;
+        self.compute + load_cycles + store_cycles
+    }
+}
+
+/// Combines lanes executing *in parallel* (an unrolled group): compute is the
+/// slowest lane; memory traffic contends on the shared ports.
+pub fn parallel_cycles(lanes: &[LaneCost], hw: &HardwareParams) -> u64 {
+    if lanes.is_empty() {
+        return 0;
+    }
+    let max_compute = lanes.iter().map(|l| l.compute).max().unwrap_or(0);
+    let total_loads: u64 = lanes.iter().map(|l| l.loads).sum();
+    let total_stores: u64 = lanes.iter().map(|l| l.stores).sum();
+    let load_cycles = total_loads.div_ceil(READ_PORTS) * hw.mem_read_delay as u64;
+    let store_cycles = total_stores.div_ceil(WRITE_PORTS) * hw.mem_write_delay as u64;
+    max_compute + load_cycles + store_cycles
+}
+
+/// Latency in cycles of a binary operation.
+pub fn binop_latency(op: BinOp) -> u64 {
+    spec(binop_fu(op)).latency as u64
+}
+
+/// Latency in cycles of an intrinsic call.
+pub fn intrinsic_latency(func: Intrinsic) -> u64 {
+    spec(intrinsic_fu(func)).latency as u64
+}
+
+/// Latency of a unary operation (logic unit).
+pub fn unary_latency() -> u64 {
+    spec(FuKind::Logic).latency as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hw() -> HardwareParams {
+        HardwareParams::default() // 10-cycle memory
+    }
+
+    #[test]
+    fn sequential_accumulates() {
+        let mut a = LaneCost {
+            compute: 2,
+            loads: 1,
+            stores: 0,
+        };
+        a.sequential(LaneCost {
+            compute: 3,
+            loads: 1,
+            stores: 1,
+        });
+        assert_eq!(a.compute, 5);
+        assert_eq!(a.loads, 2);
+        assert_eq!(a.stores, 1);
+    }
+
+    #[test]
+    fn cycles_respect_ports() {
+        let lane = LaneCost {
+            compute: 4,
+            loads: 4,
+            stores: 1,
+        };
+        // 4 loads over 2 ports = 2 × 10; 1 store = 1 × 10.
+        assert_eq!(lane.cycles(&hw()), 4 + 20 + 10);
+    }
+
+    #[test]
+    fn parallel_takes_max_compute_but_sums_memory() {
+        let lanes = vec![
+            LaneCost {
+                compute: 5,
+                loads: 2,
+                stores: 0,
+            },
+            LaneCost {
+                compute: 9,
+                loads: 2,
+                stores: 0,
+            },
+        ];
+        // max compute 9; 4 loads / 2 ports × 10 = 20.
+        assert_eq!(parallel_cycles(&lanes, &hw()), 29);
+    }
+
+    #[test]
+    fn parallel_of_empty_is_zero() {
+        assert_eq!(parallel_cycles(&[], &hw()), 0);
+    }
+
+    #[test]
+    fn mul_slower_than_add() {
+        assert!(binop_latency(BinOp::Mul) > binop_latency(BinOp::Add));
+        assert!(intrinsic_latency(Intrinsic::Exp) > binop_latency(BinOp::Mul));
+    }
+}

@@ -1,0 +1,758 @@
+//! The cycle-level interpreter.
+//!
+//! Executes a [`Program`] against concrete [`InputData`], so control flow —
+//! loop trip counts, branch outcomes — follows the *actual inputs*. This is
+//! what makes the ground-truth cycle counts input-adaptive, the phenomenon
+//! LLMulator's dynamic calibration targets.
+
+use crate::cost::{
+    binop_latency, intrinsic_latency, parallel_cycles, unary_latency, LaneCost, INVOKE_OVERHEAD,
+    LOOP_OVERHEAD,
+};
+use llmulator_ir::{
+    Arg, BinOp, Dim, Expr, ForLoop, Ident, InputData, Intrinsic, LValue, LoopPragma, Operator,
+    Program, Stmt, Tensor, UnOp, Value,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors produced by simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A graph parameter had no runtime binding.
+    MissingInput(String),
+    /// The invocation referenced an undefined operator or buffer.
+    Unbound(String),
+    /// The configured iteration budget was exhausted (runaway loop guard).
+    BudgetExceeded {
+        /// Budget that was configured.
+        budget: u64,
+    },
+    /// A loop step evaluated to zero or negative.
+    BadStep(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::MissingInput(name) => write!(f, "missing runtime input `{name}`"),
+            SimError::Unbound(name) => write!(f, "unbound name `{name}`"),
+            SimError::BudgetExceeded { budget } => {
+                write!(f, "iteration budget of {budget} exceeded")
+            }
+            SimError::BadStep(var) => write!(f, "loop `{var}` has non-positive step"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Simulation limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Maximum total loop iterations before aborting.
+    pub max_iterations: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            max_iterations: 20_000_000,
+        }
+    }
+}
+
+/// Dynamic execution statistics (the profiler's trace summary).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecStats {
+    /// Memory loads issued.
+    pub loads: u64,
+    /// Memory stores issued.
+    pub stores: u64,
+    /// Branches whose condition was true.
+    pub branches_taken: u64,
+    /// Branches whose condition was false.
+    pub branches_not_taken: u64,
+    /// Total loop iterations executed.
+    pub iterations: u64,
+    /// Array accesses that wrapped (hardware-style address wrap).
+    pub wrapped_accesses: u64,
+    /// Divisions by zero (defined as 0, as saturating hardware would).
+    pub div_by_zero: u64,
+    /// Reads of never-written scalars (returned 0).
+    pub undefined_reads: u64,
+}
+
+/// Per-invocation cycle profile.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InvocationProfile {
+    /// Operator that was invoked.
+    pub op: Ident,
+    /// Cycles spent in this invocation (including call overhead).
+    pub cycles: u64,
+}
+
+/// Full simulation result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CycleReport {
+    /// Total cycles across all invocations.
+    pub total_cycles: u64,
+    /// Per-invocation breakdown, in graph order.
+    pub invocations: Vec<InvocationProfile>,
+    /// Dynamic statistics.
+    pub stats: ExecStats,
+    /// Final buffer contents, by graph buffer name (for functional checks).
+    pub buffers: Vec<(Ident, Tensor)>,
+}
+
+impl CycleReport {
+    /// The final tensor stored in a graph buffer.
+    pub fn buffer(&self, name: &Ident) -> Option<&Tensor> {
+        self.buffers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, t)| t)
+    }
+}
+
+/// Simulates a program with default limits.
+///
+/// # Errors
+///
+/// Returns [`SimError`] when a graph parameter is unbound, an invocation
+/// references an unknown operator/buffer, or the iteration budget is hit.
+pub fn simulate(program: &Program, data: &InputData) -> Result<CycleReport, SimError> {
+    simulate_with(program, data, SimConfig::default())
+}
+
+/// Simulates a program with explicit limits.
+///
+/// # Errors
+///
+/// See [`simulate`].
+pub fn simulate_with(
+    program: &Program,
+    data: &InputData,
+    config: SimConfig,
+) -> Result<CycleReport, SimError> {
+    let mut machine = Machine::new(program, data, config)?;
+    machine.run()
+}
+
+struct Machine<'a> {
+    program: &'a Program,
+    config: SimConfig,
+    graph_scalars: HashMap<Ident, f64>,
+    buffer_index: HashMap<Ident, usize>,
+    buffers: Vec<Tensor>,
+    stats: ExecStats,
+}
+
+struct Frame {
+    arrays: HashMap<Ident, usize>,
+    scalars: HashMap<Ident, f64>,
+}
+
+impl<'a> Machine<'a> {
+    fn new(program: &'a Program, data: &InputData, config: SimConfig) -> Result<Self, SimError> {
+        // Bind graph scalar parameters from runtime data.
+        let mut graph_scalars = HashMap::new();
+        for p in &program.graph.params {
+            let value = data
+                .get(p)
+                .ok_or_else(|| SimError::MissingInput(p.to_string()))?;
+            graph_scalars.insert(p.clone(), value.as_f64());
+        }
+        // Allocate buffers, resolving symbolic dims through graph scalars and
+        // seeding contents from runtime data where a tensor binding exists.
+        let mut buffer_index = HashMap::new();
+        let mut buffers = Vec::new();
+        for decl in &program.graph.buffers {
+            let dims: Vec<usize> = decl
+                .dims
+                .iter()
+                .map(|d| match d {
+                    Dim::Const(n) => Ok(*n),
+                    Dim::Sym(name) => graph_scalars
+                        .get(name)
+                        .map(|v| (*v).max(1.0) as usize)
+                        .ok_or_else(|| SimError::MissingInput(name.to_string())),
+                })
+                .collect::<Result<_, _>>()?;
+            let len: usize = dims.iter().product::<usize>().max(1);
+            let tensor = match data.get(&decl.name) {
+                Some(Value::Tensor(src)) => {
+                    // Copy source data, cycling if shapes disagree.
+                    Tensor::from_fn(dims.clone(), |i| {
+                        if src.is_empty() {
+                            0.0
+                        } else {
+                            src.get(i % src.len()).unwrap_or(0.0)
+                        }
+                    })
+                }
+                Some(scalar) => Tensor::full(dims.clone(), scalar.as_f64()),
+                None => Tensor::zeros(if dims.is_empty() { vec![len] } else { dims.clone() }),
+            };
+            buffer_index.insert(decl.name.clone(), buffers.len());
+            buffers.push(tensor);
+        }
+        Ok(Machine {
+            program,
+            config,
+            graph_scalars,
+            buffer_index,
+            buffers,
+            stats: ExecStats::default(),
+        })
+    }
+
+    fn run(&mut self) -> Result<CycleReport, SimError> {
+        let mut invocations = Vec::new();
+        let mut total: u64 = 0;
+        let graph = &self.program.graph;
+        for inv in &graph.invocations {
+            let op = self
+                .program
+                .operator(&inv.op)
+                .ok_or_else(|| SimError::Unbound(inv.op.to_string()))?;
+            let frame = self.bind_frame(op, &inv.args)?;
+            let cycles = self.exec_operator(op, frame)? + INVOKE_OVERHEAD;
+            total += cycles;
+            invocations.push(InvocationProfile {
+                op: inv.op.clone(),
+                cycles,
+            });
+        }
+        let buffers = graph
+            .buffers
+            .iter()
+            .map(|decl| {
+                let idx = self.buffer_index[&decl.name];
+                (decl.name.clone(), self.buffers[idx].clone())
+            })
+            .collect();
+        Ok(CycleReport {
+            total_cycles: total,
+            invocations,
+            stats: self.stats,
+            buffers,
+        })
+    }
+
+    fn bind_frame(&self, op: &Operator, args: &[Arg]) -> Result<Frame, SimError> {
+        let mut arrays = HashMap::new();
+        let mut scalars = HashMap::new();
+        for (param, arg) in op.params.iter().zip(args) {
+            match arg {
+                Arg::Buffer(name) => {
+                    let idx = *self
+                        .buffer_index
+                        .get(name)
+                        .ok_or_else(|| SimError::Unbound(name.to_string()))?;
+                    arrays.insert(param.name.clone(), idx);
+                }
+                Arg::Scalar(expr) => {
+                    let v = eval_graph_expr(expr, &self.graph_scalars);
+                    scalars.insert(param.name.clone(), v);
+                }
+            }
+        }
+        if op.params.len() != args.len() {
+            return Err(SimError::Unbound(format!(
+                "arity mismatch invoking `{}`",
+                op.name
+            )));
+        }
+        Ok(Frame { arrays, scalars })
+    }
+
+    fn exec_operator(&mut self, op: &Operator, mut frame: Frame) -> Result<u64, SimError> {
+        let lane = self.exec_block(&op.body, &mut frame)?;
+        Ok(lane.total_cycles(&self.program.hw))
+    }
+
+    fn exec_block(&mut self, block: &[Stmt], frame: &mut Frame) -> Result<BodyCost, SimError> {
+        let mut cost = BodyCost::default();
+        for stmt in block {
+            let c = self.exec_stmt(stmt, frame)?;
+            cost.sequential(c);
+        }
+        Ok(cost)
+    }
+
+    fn exec_stmt(&mut self, stmt: &Stmt, frame: &mut Frame) -> Result<BodyCost, SimError> {
+        match stmt {
+            Stmt::Assign { dest, value } => {
+                let mut lane = LaneCost::default();
+                let v = self.eval(value, frame, &mut lane);
+                match dest {
+                    LValue::Var(name) => {
+                        frame.scalars.insert(name.clone(), v);
+                    }
+                    LValue::Store { array, indices } => {
+                        let flat = self.flat_index(array, indices, frame, &mut lane);
+                        if let Some((buf, idx)) = flat {
+                            let t = &mut self.buffers[buf];
+                            let wrapped = idx % t.len().max(1);
+                            if wrapped != idx {
+                                self.stats.wrapped_accesses += 1;
+                            }
+                            t.set(wrapped, v);
+                        }
+                        lane.stores += 1;
+                        self.stats.stores += 1;
+                    }
+                }
+                Ok(BodyCost::lane(lane))
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let mut lane = LaneCost::default();
+                let c = self.eval(cond, frame, &mut lane);
+                lane.compute += 1; // branch decision
+                let mut cost = BodyCost::lane(lane);
+                if c != 0.0 {
+                    self.stats.branches_taken += 1;
+                    cost.sequential(self.exec_block(then_body, frame)?);
+                } else {
+                    self.stats.branches_not_taken += 1;
+                    cost.sequential(self.exec_block(else_body, frame)?);
+                }
+                Ok(cost)
+            }
+            Stmt::For(l) => self.exec_loop(l, frame),
+        }
+    }
+
+    fn exec_loop(&mut self, l: &ForLoop, frame: &mut Frame) -> Result<BodyCost, SimError> {
+        let hw = self.program.hw;
+        let mut bound_lane = LaneCost::default();
+        let lo = self.eval(&l.lo, frame, &mut bound_lane) as i64;
+        let step = self.eval(&l.step, frame, &mut bound_lane) as i64;
+        if step <= 0 {
+            return Err(SimError::BadStep(l.var.to_string()));
+        }
+        // Unroll factor (dynamic trip counts permitted: factor adapts).
+        let factor = match l.pragma {
+            LoopPragma::None => 1u64,
+            LoopPragma::UnrollFull => hw.max_unroll_width as u64,
+            LoopPragma::Unroll(k) => (k as u64).clamp(1, hw.max_unroll_width as u64),
+            LoopPragma::ParallelFor => hw.parallel_lanes as u64,
+        }
+        .max(1);
+
+        let mut cycles: u64 = bound_lane.cycles(&hw);
+        let mut i = lo;
+        let mut lanes: Vec<LaneCost> = Vec::with_capacity(factor as usize);
+        let mut nested: u64 = 0;
+        loop {
+            // Re-evaluate the bound each iteration (C semantics; the bound
+            // may be mutated by the body through a scalar).
+            let mut hi_lane = LaneCost::default();
+            let hi = self.eval(&l.hi, frame, &mut hi_lane) as i64;
+            if i >= hi {
+                break;
+            }
+            self.stats.iterations += 1;
+            if self.stats.iterations > self.config.max_iterations {
+                return Err(SimError::BudgetExceeded {
+                    budget: self.config.max_iterations,
+                });
+            }
+            frame.scalars.insert(l.var.clone(), i as f64);
+            let body = self.exec_block(&l.body, frame)?;
+            lanes.push(body.straightline);
+            nested += body.nested_cycles;
+            if lanes.len() as u64 == factor {
+                cycles += parallel_cycles(&lanes, &hw) + group_overhead(l.pragma);
+                lanes.clear();
+            }
+            i += step;
+        }
+        if !lanes.is_empty() {
+            cycles += parallel_cycles(&lanes, &hw) + group_overhead(l.pragma);
+            lanes.clear();
+        }
+        cycles += nested;
+        Ok(BodyCost {
+            straightline: LaneCost::default(),
+            nested_cycles: cycles,
+        })
+    }
+
+    fn flat_index(
+        &mut self,
+        array: &Ident,
+        indices: &[Expr],
+        frame: &mut Frame,
+        lane: &mut LaneCost,
+    ) -> Option<(usize, usize)> {
+        let buf = *frame.arrays.get(array)?;
+        let shape = self.buffers[buf].shape().to_vec();
+        let mut flat: i64 = 0;
+        for (k, idx) in indices.iter().enumerate() {
+            let v = self.eval(idx, frame, lane) as i64;
+            let dim = shape.get(k).copied().unwrap_or(1) as i64;
+            flat = flat * dim + v;
+            // Index arithmetic is address-generation work.
+            lane.compute += u64::from(k > 0);
+        }
+        if flat < 0 {
+            self.stats.wrapped_accesses += 1;
+            flat = flat.rem_euclid(self.buffers[buf].len().max(1) as i64);
+        }
+        Some((buf, flat as usize))
+    }
+
+    fn eval(&mut self, expr: &Expr, frame: &mut Frame, lane: &mut LaneCost) -> f64 {
+        match expr {
+            Expr::IntConst(v) => *v as f64,
+            Expr::FloatConst(v) => *v,
+            Expr::Var(name) => {
+                if let Some(v) = frame.scalars.get(name) {
+                    *v
+                } else if let Some(v) = self.graph_scalars.get(name) {
+                    *v
+                } else {
+                    self.stats.undefined_reads += 1;
+                    0.0
+                }
+            }
+            Expr::Load { array, indices } => {
+                let flat = self.flat_index(array, indices, frame, lane);
+                lane.loads += 1;
+                self.stats.loads += 1;
+                match flat {
+                    Some((buf, idx)) => {
+                        let t = &self.buffers[buf];
+                        let len = t.len().max(1);
+                        let wrapped = idx % len;
+                        if wrapped != idx {
+                            self.stats.wrapped_accesses += 1;
+                        }
+                        t.get(wrapped).unwrap_or(0.0)
+                    }
+                    None => {
+                        self.stats.undefined_reads += 1;
+                        0.0
+                    }
+                }
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                let a = self.eval(lhs, frame, lane);
+                let b = self.eval(rhs, frame, lane);
+                lane.compute += binop_latency(*op);
+                self.apply_binop(*op, a, b)
+            }
+            Expr::Unary { op, operand } => {
+                let v = self.eval(operand, frame, lane);
+                lane.compute += unary_latency();
+                match op {
+                    UnOp::Neg => -v,
+                    UnOp::Not => f64::from(v == 0.0),
+                }
+            }
+            Expr::Call { func, args } => {
+                let vals: Vec<f64> = args
+                    .iter()
+                    .map(|a| self.eval(a, frame, lane))
+                    .collect();
+                lane.compute += intrinsic_latency(*func);
+                apply_intrinsic(*func, &vals)
+            }
+        }
+    }
+
+    fn apply_binop(&mut self, op: BinOp, a: f64, b: f64) -> f64 {
+        match op {
+            BinOp::Add => a + b,
+            BinOp::Sub => a - b,
+            BinOp::Mul => a * b,
+            BinOp::Div => {
+                if b == 0.0 {
+                    self.stats.div_by_zero += 1;
+                    0.0
+                } else if a.fract() == 0.0 && b.fract() == 0.0 {
+                    ((a as i64) / (b as i64)) as f64
+                } else {
+                    a / b
+                }
+            }
+            BinOp::Mod => {
+                if b == 0.0 {
+                    self.stats.div_by_zero += 1;
+                    0.0
+                } else {
+                    ((a as i64).rem_euclid((b as i64).max(1))) as f64
+                }
+            }
+            BinOp::Lt => f64::from(a < b),
+            BinOp::Le => f64::from(a <= b),
+            BinOp::Gt => f64::from(a > b),
+            BinOp::Ge => f64::from(a >= b),
+            BinOp::Eq => f64::from(a == b),
+            BinOp::Ne => f64::from(a != b),
+            BinOp::And => f64::from(a != 0.0 && b != 0.0),
+            BinOp::Or => f64::from(a != 0.0 || b != 0.0),
+        }
+    }
+}
+
+fn group_overhead(pragma: LoopPragma) -> u64 {
+    match pragma {
+        // Fully spatial loops have no per-group control overhead.
+        LoopPragma::UnrollFull => 0,
+        _ => LOOP_OVERHEAD,
+    }
+}
+
+fn apply_intrinsic(func: Intrinsic, args: &[f64]) -> f64 {
+    let x = args.first().copied().unwrap_or(0.0);
+    match func {
+        Intrinsic::Exp => x.clamp(-50.0, 50.0).exp(),
+        Intrinsic::Sqrt => x.abs().sqrt(),
+        Intrinsic::Abs => x.abs(),
+        Intrinsic::Relu => x.max(0.0),
+        Intrinsic::Sigmoid => 1.0 / (1.0 + (-x.clamp(-50.0, 50.0)).exp()),
+        Intrinsic::Tanh => x.tanh(),
+        Intrinsic::Log => x.max(1e-12).ln(),
+        Intrinsic::Max => x.max(args.get(1).copied().unwrap_or(0.0)),
+        Intrinsic::Min => x.min(args.get(1).copied().unwrap_or(0.0)),
+    }
+}
+
+fn eval_graph_expr(expr: &Expr, scalars: &HashMap<Ident, f64>) -> f64 {
+    match expr {
+        Expr::IntConst(v) => *v as f64,
+        Expr::FloatConst(v) => *v,
+        Expr::Var(name) => scalars.get(name).copied().unwrap_or(0.0),
+        Expr::Binary { op, lhs, rhs } => {
+            let a = eval_graph_expr(lhs, scalars);
+            let b = eval_graph_expr(rhs, scalars);
+            match op {
+                BinOp::Add => a + b,
+                BinOp::Sub => a - b,
+                BinOp::Mul => a * b,
+                BinOp::Div => {
+                    if b == 0.0 {
+                        0.0
+                    } else {
+                        a / b
+                    }
+                }
+                _ => 0.0,
+            }
+        }
+        _ => 0.0,
+    }
+}
+
+/// The cost of a statement block: straight-line lane cost (combinable across
+/// unrolled lanes) plus already-folded nested-loop cycles.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct BodyCost {
+    straightline: LaneCost,
+    nested_cycles: u64,
+}
+
+impl BodyCost {
+    fn lane(lane: LaneCost) -> BodyCost {
+        BodyCost {
+            straightline: lane,
+            nested_cycles: 0,
+        }
+    }
+
+    fn sequential(&mut self, other: BodyCost) {
+        self.straightline.sequential(other.straightline);
+        self.nested_cycles += other.nested_cycles;
+    }
+
+    fn total_cycles(&self, hw: &llmulator_ir::HardwareParams) -> u64 {
+        self.straightline.cycles(hw) + self.nested_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmulator_ir::builder::OperatorBuilder;
+    use llmulator_ir::HardwareParams;
+
+    fn scale_op(n: usize) -> Program {
+        let op = OperatorBuilder::new("scale")
+            .array_param("a", [n])
+            .array_param("b", [n])
+            .loop_nest(&[("i", n)], |idx| {
+                vec![Stmt::assign(
+                    LValue::store("b", vec![idx[0].clone()]),
+                    Expr::load("a", vec![idx[0].clone()]) * Expr::int(2),
+                )]
+            })
+            .build();
+        Program::single_op(op)
+    }
+
+    #[test]
+    fn computes_correct_values() {
+        let p = scale_op(8);
+        let data = InputData::new().with("buf_a", Tensor::from_fn(vec![8], |i| i as f64));
+        let report = simulate(&p, &data).expect("simulates");
+        let out = report.buffer(&"buf_b".into()).expect("buffer exists");
+        for i in 0..8 {
+            assert_eq!(out.get(i), Some(2.0 * i as f64));
+        }
+    }
+
+    #[test]
+    fn cycles_scale_with_problem_size() {
+        let data = InputData::new();
+        let small = simulate(&scale_op(8), &data).expect("small").total_cycles;
+        let large = simulate(&scale_op(64), &data).expect("large").total_cycles;
+        assert!(large > small * 4, "large {large} vs small {small}");
+    }
+
+    #[test]
+    fn memory_delay_increases_cycles() {
+        let mut p = scale_op(16);
+        let data = InputData::new();
+        p.hw = HardwareParams::default().with_mem_delay(2);
+        let fast = simulate(&p, &data).expect("fast").total_cycles;
+        p.hw = HardwareParams::default().with_mem_delay(20);
+        let slow = simulate(&p, &data).expect("slow").total_cycles;
+        assert!(slow > fast);
+    }
+
+    #[test]
+    fn dynamic_bound_follows_input() {
+        let op = OperatorBuilder::new("dyn")
+            .array_param("a", [256])
+            .scalar_param("n")
+            .dyn_loop_nest(&[("i", Expr::var("n"))], |idx| {
+                vec![Stmt::assign(
+                    LValue::store("a", vec![idx[0].clone()]),
+                    Expr::int(1),
+                )]
+            })
+            .build();
+        let p = Program::single_op(op);
+        let c8 = simulate(&p, &InputData::new().with("n", 8i64))
+            .expect("n=8")
+            .total_cycles;
+        let c64 = simulate(&p, &InputData::new().with("n", 64i64))
+            .expect("n=64")
+            .total_cycles;
+        assert!(c64 > c8 * 4, "c64 {c64} vs c8 {c8}");
+    }
+
+    #[test]
+    fn branch_outcomes_change_cycles() {
+        // Heavy work only when a[i] > threshold.
+        let op = OperatorBuilder::new("cond")
+            .array_param("a", [32])
+            .array_param("b", [32])
+            .loop_nest(&[("i", 32)], |idx| {
+                vec![Stmt::if_then(
+                    Expr::binary(
+                        BinOp::Gt,
+                        Expr::load("a", vec![idx[0].clone()]),
+                        Expr::int(0),
+                    ),
+                    vec![Stmt::assign(
+                        LValue::store("b", vec![idx[0].clone()]),
+                        Expr::call(
+                            Intrinsic::Exp,
+                            vec![Expr::load("a", vec![idx[0].clone()])],
+                        ),
+                    )],
+                )]
+            })
+            .build();
+        let p = Program::single_op(op);
+        let none = InputData::new().with("buf_a", Tensor::full(vec![32], -1.0));
+        let all = InputData::new().with("buf_a", Tensor::full(vec![32], 1.0));
+        let c_none = simulate(&p, &none).expect("none");
+        let c_all = simulate(&p, &all).expect("all");
+        assert!(c_all.total_cycles > c_none.total_cycles);
+        assert_eq!(c_all.stats.branches_taken, 32);
+        assert_eq!(c_none.stats.branches_taken, 0);
+    }
+
+    #[test]
+    fn unrolling_reduces_cycles() {
+        let body = |idx: &[Expr]| {
+            vec![Stmt::assign(
+                LValue::store("b", vec![idx[0].clone()]),
+                Expr::load("a", vec![idx[0].clone()]) + Expr::int(1),
+            )]
+        };
+        let plain = Program::single_op(
+            OperatorBuilder::new("k")
+                .array_param("a", [64])
+                .array_param("b", [64])
+                .loop_nest(&[("i", 64)], body)
+                .build(),
+        );
+        let unrolled = Program::single_op(
+            OperatorBuilder::new("k")
+                .array_param("a", [64])
+                .array_param("b", [64])
+                .loop_nest_with_pragma(&[("i", 64)], LoopPragma::UnrollFull, body)
+                .build(),
+        );
+        let data = InputData::new();
+        let cp = simulate(&plain, &data).expect("plain").total_cycles;
+        let cu = simulate(&unrolled, &data).expect("unrolled").total_cycles;
+        assert!(cu < cp, "unrolled {cu} vs plain {cp}");
+    }
+
+    #[test]
+    fn missing_graph_param_is_an_error() {
+        let op = OperatorBuilder::new("dyn")
+            .scalar_param("n")
+            .dyn_loop_nest(&[("i", Expr::var("n"))], |_| vec![])
+            .build();
+        let p = Program::single_op(op);
+        assert!(matches!(
+            simulate(&p, &InputData::new()),
+            Err(SimError::MissingInput(_))
+        ));
+    }
+
+    #[test]
+    fn budget_guard_fires() {
+        let op = OperatorBuilder::new("big")
+            .array_param("a", [4])
+            .loop_nest(&[("i", 1000)], |idx| {
+                vec![Stmt::assign(
+                    LValue::store("a", vec![idx[0].clone()]),
+                    Expr::int(0),
+                )]
+            })
+            .build();
+        let p = Program::single_op(op);
+        let err = simulate_with(
+            &p,
+            &InputData::new(),
+            SimConfig {
+                max_iterations: 100,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::BudgetExceeded { .. }));
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = scale_op(32);
+        let data = InputData::new().with("buf_a", Tensor::from_fn(vec![32], |i| (i % 7) as f64));
+        let a = simulate(&p, &data).expect("a");
+        let b = simulate(&p, &data).expect("b");
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,43 @@
+//! # llmulator-sim
+//!
+//! Cycle-level simulation substrate of the LLMulator reproduction — the role
+//! Verilator plays in the paper's profiling pipeline.
+//!
+//! The interpreter executes a dataflow [`llmulator_ir::Program`] against
+//! concrete [`llmulator_ir::InputData`], so loop trip counts and branch
+//! outcomes follow the *actual inputs*; cycle accounting honours memory
+//! read/write delays, functional-unit latencies and loop-mapping pragmas
+//! (spatial unrolling executes iteration groups in parallel with memory-port
+//! contention).
+//!
+//! [`profile::profile`] combines the HLS static metrics with a simulation run
+//! into the paper's `<Power, Area, Flip-Flop, Cycles>` ground-truth vector.
+//!
+//! ```
+//! use llmulator_ir::builder::OperatorBuilder;
+//! use llmulator_ir::{Expr, InputData, Program, Stmt, LValue};
+//! use llmulator_sim::simulate;
+//!
+//! let op = OperatorBuilder::new("fill")
+//!     .array_param("a", [16])
+//!     .loop_nest(&[("i", 16)], |idx| {
+//!         vec![Stmt::assign(
+//!             LValue::store("a", vec![idx[0].clone()]),
+//!             idx[0].clone(),
+//!         )]
+//!     })
+//!     .build();
+//! let report = simulate(&Program::single_op(op), &InputData::new())?;
+//! assert!(report.total_cycles > 0);
+//! # Ok::<(), llmulator_sim::SimError>(())
+//! ```
+
+pub mod cost;
+pub mod exec;
+pub mod profile;
+
+pub use cost::LaneCost;
+pub use exec::{
+    simulate, simulate_with, CycleReport, ExecStats, InvocationProfile, SimConfig, SimError,
+};
+pub use profile::{profile, profile_with, CostVector, Metric, Profile};

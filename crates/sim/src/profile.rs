@@ -1,0 +1,161 @@
+//! The ground-truth profiler: combines the HLS flow (static metrics) with the
+//! cycle simulator (dynamic metrics) into the paper's output quadruple
+//! `<Power, Area, Flip-Flop, Cycles>`.
+
+use crate::exec::{simulate_with, CycleReport, SimConfig, SimError};
+use llmulator_ir::{InputData, Program};
+use serde::{Deserialize, Serialize};
+
+/// The four metrics LLMulator predicts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostVector {
+    /// Power in milliwatts.
+    pub power_mw: f64,
+    /// Area in square micrometres.
+    pub area_um2: f64,
+    /// Flip-flop count.
+    pub ff: u64,
+    /// Dynamic cycle count for the profiled input.
+    pub cycles: u64,
+}
+
+/// Which of the four metrics a model predicts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Metric {
+    /// Static power.
+    Power,
+    /// Chip area.
+    Area,
+    /// Flip-flop count.
+    FlipFlops,
+    /// Dynamic cycle count.
+    Cycles,
+}
+
+impl Metric {
+    /// All metrics, in the paper's column order.
+    pub fn all() -> &'static [Metric] {
+        &[Metric::Power, Metric::Area, Metric::FlipFlops, Metric::Cycles]
+    }
+
+    /// True for metrics that depend on runtime input.
+    pub fn is_dynamic(self) -> bool {
+        matches!(self, Metric::Cycles)
+    }
+
+    /// Paper column label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Metric::Power => "Power",
+            Metric::Area => "Area",
+            Metric::FlipFlops => "FF",
+            Metric::Cycles => "Cycles",
+        }
+    }
+}
+
+impl CostVector {
+    /// Reads one metric as `f64`.
+    pub fn metric(&self, m: Metric) -> f64 {
+        match m {
+            Metric::Power => self.power_mw,
+            Metric::Area => self.area_um2,
+            Metric::FlipFlops => self.ff as f64,
+            Metric::Cycles => self.cycles as f64,
+        }
+    }
+}
+
+/// A full ground-truth profile: cost vector plus the RTL features and the
+/// cycle-level trace that produced it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Profile {
+    /// The four predicted metrics' ground truth.
+    pub cost: CostVector,
+    /// RTL-level features (the `<think>` payload).
+    pub features: llmulator_hls::RtlFeatures,
+    /// Cycle simulation details.
+    pub cycles: CycleReport,
+}
+
+/// Profiles a program on one input with default simulation limits.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the cycle simulator.
+pub fn profile(program: &Program, data: &InputData) -> Result<Profile, SimError> {
+    profile_with(program, data, SimConfig::default())
+}
+
+/// Profiles with explicit simulation limits.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the cycle simulator.
+pub fn profile_with(
+    program: &Program,
+    data: &InputData,
+    config: SimConfig,
+) -> Result<Profile, SimError> {
+    let hls = llmulator_hls::compile(program);
+    let cycles = simulate_with(program, data, config)?;
+    Ok(Profile {
+        cost: CostVector {
+            power_mw: hls.total.power_mw,
+            area_um2: hls.total.area_um2,
+            ff: hls.total.ff,
+            cycles: cycles.total_cycles,
+        },
+        features: hls.features,
+        cycles,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmulator_ir::builder::OperatorBuilder;
+    use llmulator_ir::{Expr, LValue, Stmt};
+
+    fn program() -> Program {
+        let op = OperatorBuilder::new("vadd")
+            .array_param("a", [32])
+            .array_param("b", [32])
+            .array_param("c", [32])
+            .loop_nest(&[("i", 32)], |idx| {
+                vec![Stmt::assign(
+                    LValue::store("c", vec![idx[0].clone()]),
+                    Expr::load("a", vec![idx[0].clone()])
+                        + Expr::load("b", vec![idx[0].clone()]),
+                )]
+            })
+            .build();
+        Program::single_op(op)
+    }
+
+    #[test]
+    fn profile_produces_all_four_metrics() {
+        let p = profile(&program(), &InputData::new()).expect("profiles");
+        assert!(p.cost.power_mw > 0.0);
+        assert!(p.cost.area_um2 > 0.0);
+        assert!(p.cost.ff > 0);
+        assert!(p.cost.cycles > 0);
+        for &m in Metric::all() {
+            assert!(p.cost.metric(m) > 0.0);
+        }
+    }
+
+    #[test]
+    fn only_cycles_is_dynamic() {
+        assert!(Metric::Cycles.is_dynamic());
+        assert!(!Metric::Power.is_dynamic());
+        assert!(!Metric::Area.is_dynamic());
+        assert!(!Metric::FlipFlops.is_dynamic());
+    }
+
+    #[test]
+    fn labels_match_paper_columns() {
+        let labels: Vec<_> = Metric::all().iter().map(|m| m.label()).collect();
+        assert_eq!(labels, vec!["Power", "Area", "FF", "Cycles"]);
+    }
+}

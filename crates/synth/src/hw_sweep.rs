@@ -1,0 +1,116 @@
+//! Hardware mapping and parameter sweeps (paper Sec. 6.3).
+//!
+//! Memory-related parameters (read/write delays, as Bambu's
+//! `-mem-delay-read=N` flags) and loop-mapping primitives (`unroll(full)`,
+//! `parallel for`) are applied systematically so the training distribution
+//! covers the hardware axes the model must generalize over.
+
+use llmulator_ir::{HardwareParams, LoopPragma, Program, Stmt};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The memory delays included in the synthesized training set (the paper
+/// uses 10, 5 and 2; 15 is deliberately held out for the Figure 12
+/// generalization test).
+pub const TRAIN_MEM_DELAYS: &[u32] = &[10, 5, 2];
+
+/// The full evaluation sweep, including the held-out delay.
+pub const EVAL_MEM_DELAYS: &[u32] = &[2, 5, 10, 15];
+
+/// Emits one program variant per training memory delay.
+pub fn mem_delay_variants(program: &Program) -> Vec<Program> {
+    TRAIN_MEM_DELAYS
+        .iter()
+        .map(|&d| {
+            let mut v = program.clone();
+            v.hw = v.hw.with_mem_delay(d);
+            v
+        })
+        .collect()
+}
+
+/// Applies a random memory delay from the training sweep.
+pub fn random_mem_delay(program: &mut Program, rng: &mut StdRng) {
+    let d = TRAIN_MEM_DELAYS[rng.gen_range(0..TRAIN_MEM_DELAYS.len())];
+    program.hw = program.hw.with_mem_delay(d);
+}
+
+/// Applies a random loop-mapping pragma to the outermost loop of a random
+/// operator (the paper's two primitives cover >90% of valid mappings).
+pub fn random_loop_mapping(program: &mut Program, rng: &mut StdRng) {
+    if program.operators.is_empty() {
+        return;
+    }
+    let idx = rng.gen_range(0..program.operators.len());
+    let pragma = match rng.gen_range(0..3) {
+        0 => LoopPragma::UnrollFull,
+        1 => LoopPragma::ParallelFor,
+        _ => LoopPragma::None,
+    };
+    for stmt in &mut program.operators[idx].body {
+        if let Stmt::For(l) = stmt {
+            l.pragma = pragma;
+            break;
+        }
+    }
+}
+
+/// Hardware configurations for the Figure 12 evaluation sweep.
+pub fn eval_configs() -> Vec<HardwareParams> {
+    EVAL_MEM_DELAYS
+        .iter()
+        .map(|&d| HardwareParams::default().with_mem_delay(d))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataflow_gen::{instantiate, Template, TemplateParams};
+    use rand::SeedableRng;
+
+    fn program() -> Program {
+        Program::single_op(instantiate(
+            Template::Elementwise,
+            "e",
+            TemplateParams {
+                n: 16,
+                k: 2,
+                step: 1,
+                pragma: LoopPragma::None,
+            },
+        ))
+    }
+
+    #[test]
+    fn variants_cover_training_delays() {
+        let vs = mem_delay_variants(&program());
+        let delays: Vec<u32> = vs.iter().map(|p| p.hw.mem_read_delay).collect();
+        assert_eq!(delays, vec![10, 5, 2]);
+    }
+
+    #[test]
+    fn eval_sweep_includes_held_out_delay() {
+        let cfgs = eval_configs();
+        assert!(cfgs.iter().any(|c| c.mem_read_delay == 15));
+        assert_eq!(cfgs.len(), 4);
+    }
+
+    #[test]
+    fn random_mapping_sets_a_pragma_or_none() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut p = program();
+        random_loop_mapping(&mut p, &mut rng);
+        p.validate().expect("still valid");
+    }
+
+    #[test]
+    fn random_delay_is_from_training_set() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..10 {
+            let mut p = program();
+            random_mem_delay(&mut p, &mut rng);
+            assert!(TRAIN_MEM_DELAYS.contains(&p.hw.mem_read_delay));
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! # llmulator-synth
+//!
+//! The progressive dataset synthesizer from LLMulator (MICRO 2025), Sec. 6.
+//!
+//! Following the "general first, then specific" construction principle, the
+//! pipeline runs three generation stages —
+//!
+//! 1. [`ast_gen`] — AST-based random seed programs (the ldrgen role),
+//! 2. [`dataflow_gen`] — loop-tree operator templates and chained dataflow
+//!    graphs targeting hardware-relevant patterns,
+//! 3. [`llm_gen`] — LLM-style semantic-preserving diversification,
+//!
+//! — then sweeps hardware mappings and memory parameters ([`hw_sweep`]) and
+//! formats each profiled program as a *direct* (`[P] → [C]`) or *reasoning*
+//! (`[P, <think>R</think>, C]`) sample ([`synthesizer`]).
+//!
+//! ```
+//! use llmulator_synth::{synthesize, SynthesisConfig};
+//!
+//! let dataset = synthesize(&SynthesisConfig::paper_mix(10, 42));
+//! assert!(!dataset.is_empty());
+//! ```
+
+pub mod ast_gen;
+pub mod dataflow_gen;
+pub mod hw_sweep;
+pub mod llm_gen;
+pub mod synthesizer;
+
+pub use ast_gen::AstGenConfig;
+pub use dataflow_gen::{instantiate, Template, TemplateParams};
+pub use hw_sweep::{eval_configs, mem_delay_variants, EVAL_MEM_DELAYS, TRAIN_MEM_DELAYS};
+pub use llm_gen::{mutate, variants, Mutation};
+pub use synthesizer::{random_inputs, synthesize, DataFormat, SynthesisConfig};

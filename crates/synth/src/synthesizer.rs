@@ -1,0 +1,233 @@
+//! The end-to-end progressive synthesizer (paper Fig. 7): AST-based seeds →
+//! dataflow-specific programs → LLM-style variants, each profiled through
+//! the HLS + simulation substrate and formatted as direct or reasoning
+//! samples.
+
+use crate::ast_gen::{self, AstGenConfig};
+use crate::dataflow_gen;
+use crate::hw_sweep;
+use crate::llm_gen;
+use llmulator::{Dataset, Sample};
+use llmulator_ir::{InputData, Program};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Data formatting mode (paper Sec. 6.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataFormat {
+    /// `[P] → [C]` — fastest to generate, end-to-end prediction.
+    Direct,
+    /// `[P, R, C]` with `<think>`-encapsulated RTL features.
+    Reasoning,
+}
+
+/// Synthesizer configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SynthesisConfig {
+    /// Number of AST-based samples (paper mix ≈ 30%).
+    pub n_ast: usize,
+    /// Number of dataflow-specific samples (≈ 50%).
+    pub n_dataflow: usize,
+    /// Number of LLM-style variant samples (≈ 20%).
+    pub n_llm: usize,
+    /// Apply the hardware parameter/mapping sweeps.
+    pub hw_sweep: bool,
+    /// Data format for the emitted samples.
+    pub format: DataFormat,
+    /// AST generator knobs.
+    pub ast: AstGenConfig,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SynthesisConfig {
+    /// The paper's mix at a given total size: 30% AST / 50% dataflow /
+    /// 20% LLM, hardware sweeps on, reasoning format.
+    pub fn paper_mix(total: usize, seed: u64) -> SynthesisConfig {
+        SynthesisConfig {
+            n_ast: total * 3 / 10,
+            n_dataflow: total / 2,
+            n_llm: total / 5,
+            hw_sweep: true,
+            format: DataFormat::Reasoning,
+            ast: AstGenConfig::default(),
+            seed,
+        }
+    }
+
+    /// The "No-A" ablation: AST-only seeds, direct format, no hardware
+    /// sweeps (Table 7) — also the GNNHLS-style corpus for Table 8.
+    pub fn ablation_no_augmentation(total: usize, seed: u64) -> SynthesisConfig {
+        SynthesisConfig {
+            n_ast: total,
+            n_dataflow: 0,
+            n_llm: 0,
+            hw_sweep: false,
+            format: DataFormat::Direct,
+            ast: ast_gen::shallow_config(),
+            seed,
+        }
+    }
+}
+
+/// Binds plausible runtime inputs for every graph scalar parameter, with the
+/// paper's ±50% input-scalar iteration around a base magnitude.
+pub fn random_inputs(program: &Program, rng: &mut StdRng) -> InputData {
+    let mut data = InputData::new();
+    for gp in &program.graph.params {
+        let base = 16.0f64;
+        let factor = rng.gen_range(0.5..=1.5);
+        data.bind(gp.clone(), (base * factor).round().max(1.0) as i64);
+    }
+    // Seed one input tensor (if a chain bus exists) so value-dependent
+    // branches see non-degenerate data.
+    if let Some(buf) = program.graph.buffers.first() {
+        if let Some(len) = buf.const_len() {
+            let vals: Vec<f64> = (0..len)
+                .map(|_| rng.gen_range(-2.0f64..2.0))
+                .collect();
+            data.bind(
+                buf.name.clone(),
+                llmulator_ir::Tensor::new(vec![len], vals),
+            );
+        }
+    }
+    data
+}
+
+/// Profiles one program into a sample using the configured format.
+fn emit(program: &Program, data: &InputData, format: DataFormat) -> Option<Sample> {
+    let result = match format {
+        DataFormat::Direct => Sample::profile(program, Some(data)),
+        DataFormat::Reasoning => Sample::profile_reasoning(program, Some(data)),
+    };
+    result.ok()
+}
+
+/// Runs the progressive synthesis pipeline.
+pub fn synthesize(config: &SynthesisConfig) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut dataset = Dataset::new();
+    let mut seeds_for_llm: Vec<Program> = Vec::new();
+
+    // Stage 1: AST-based generation.
+    for i in 0..config.n_ast {
+        let mut program = ast_gen::gen_program(i, &config.ast, &mut rng);
+        if config.hw_sweep {
+            hw_sweep::random_mem_delay(&mut program, &mut rng);
+            hw_sweep::random_loop_mapping(&mut program, &mut rng);
+        }
+        let data = random_inputs(&program, &mut rng);
+        if let Some(s) = emit(&program, &data, config.format) {
+            dataset.push(s);
+        }
+    }
+
+    // Stage 2: dataflow-specific generation.
+    for i in 0..config.n_dataflow {
+        let mut program = if rng.gen_bool(0.5) {
+            dataflow_gen::gen_single(i, &mut rng)
+        } else {
+            dataflow_gen::gen_chain(i, rng.gen_range(1..=3), &mut rng)
+        };
+        if config.hw_sweep {
+            hw_sweep::random_mem_delay(&mut program, &mut rng);
+        }
+        let data = random_inputs(&program, &mut rng);
+        if let Some(s) = emit(&program, &data, config.format) {
+            dataset.push(s);
+        }
+        if seeds_for_llm.len() < 16 {
+            seeds_for_llm.push(program);
+        }
+    }
+
+    // Stage 3: LLM-style diversification of dataflow seeds.
+    if config.n_llm > 0 && !seeds_for_llm.is_empty() {
+        let per_seed = config.n_llm.div_ceil(seeds_for_llm.len());
+        let mut emitted = 0;
+        'outer: for seed in &seeds_for_llm {
+            for mut variant in llm_gen::variants(seed, per_seed, &mut rng) {
+                if config.hw_sweep {
+                    hw_sweep::random_mem_delay(&mut variant, &mut rng);
+                }
+                let data = random_inputs(&variant, &mut rng);
+                if let Some(s) = emit(&variant, &data, config.format) {
+                    dataset.push(s);
+                    emitted += 1;
+                    if emitted >= config.n_llm {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+    }
+
+    dataset
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_mix_produces_requested_volume() {
+        let ds = synthesize(&SynthesisConfig::paper_mix(30, 1));
+        // A few samples may fail simulation limits; most must survive.
+        assert!(ds.len() >= 25, "got {}", ds.len());
+    }
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        let a = synthesize(&SynthesisConfig::paper_mix(12, 7));
+        let b = synthesize(&SynthesisConfig::paper_mix(12, 7));
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.samples.iter().zip(&b.samples) {
+            assert_eq!(x.cost, y.cost);
+        }
+    }
+
+    #[test]
+    fn ablation_config_is_ast_only_direct() {
+        let ds = synthesize(&SynthesisConfig::ablation_no_augmentation(10, 3));
+        assert!(!ds.is_empty());
+        for s in &ds.samples {
+            assert!(
+                !s.text
+                    .parts
+                    .iter()
+                    .any(|(k, _)| *k == llmulator_token::SegmentKind::Think),
+                "direct format has no think segment"
+            );
+        }
+    }
+
+    #[test]
+    fn reasoning_format_carries_think_segments() {
+        let config = SynthesisConfig {
+            n_ast: 4,
+            n_dataflow: 0,
+            n_llm: 0,
+            hw_sweep: false,
+            format: DataFormat::Reasoning,
+            ast: AstGenConfig::default(),
+            seed: 9,
+        };
+        let ds = synthesize(&config);
+        assert!(ds
+            .samples
+            .iter()
+            .all(|s| s.text.parts.iter().any(|(k, _)| *k == llmulator_token::SegmentKind::Think)));
+    }
+
+    #[test]
+    fn cost_labels_span_a_wide_range() {
+        let ds = synthesize(&SynthesisConfig::paper_mix(40, 11));
+        let mut cycles: Vec<u64> = ds.samples.iter().map(|s| s.cost.cycles).collect();
+        cycles.sort_unstable();
+        let lo = cycles.first().copied().unwrap_or(0);
+        let hi = cycles.last().copied().unwrap_or(0);
+        assert!(hi > lo * 4, "cycle labels span a range: {lo}..{hi}");
+    }
+}

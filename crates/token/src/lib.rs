@@ -1,0 +1,38 @@
+//! # llmulator-token
+//!
+//! The progressive numeric tokenizer from LLMulator (MICRO 2025), Sec. 4.1.
+//!
+//! Two-phase processing preserves numerical semantics in program text:
+//!
+//! 1. **Symbol isolation** — protective spaces are inserted around numerals
+//!    (`"-128"` → `"- 128"`) so signs and digits encode independently;
+//! 2. **Encoding** — each numeral becomes one token *per digit*, giving a
+//!    linear correlation between numeral length and token count
+//!    (`length_n → n` tokens).
+//!
+//! A baseline tokenizer that hashes whole numerals into opaque tokens is
+//! provided for the paper's `NoEnc` ablation, and tokenization is
+//! segment-aware (graph / operators / params / data / think) so the core
+//! crate can build the separation masks of Sec. 5.2.
+//!
+//! ```
+//! use llmulator_token::{SegmentKind, Tokenizer};
+//!
+//! let t = Tokenizer::progressive();
+//! // A 3-digit number becomes exactly 3 digit tokens.
+//! assert_eq!(t.encode("655").len(), 3);
+//!
+//! let tp = t.encode_segments(&[
+//!     (SegmentKind::Graph, "void graph() { gemm(a, b, c); }"),
+//!     (SegmentKind::Data, "n = 128"),
+//! ]);
+//! assert_eq!(tp.segments.len(), 2);
+//! ```
+
+pub mod segment;
+pub mod tokenizer;
+pub mod vocab;
+
+pub use segment::{Segment, SegmentKind, TokenizedProgram};
+pub use tokenizer::{NumericMode, Tokenizer};
+pub use vocab::Vocab;

@@ -1,0 +1,32 @@
+//! # llmulator-workloads
+//!
+//! The evaluation workloads from LLMulator (MICRO 2025):
+//!
+//! * [`polybench`] — the ten Polybench kernels of Tables 3/4/11,
+//! * [`modern`] — the fourteen image-processing and NLP workloads of
+//!   Table 2 (operator graphs with input-adaptive control flow),
+//! * [`accelerators`] — TPU v1 / Eyeriss / ShiDianNao GEMM loop-schedule
+//!   variants (Sec. 7.4),
+//! * [`stats`] — Table 2 statistics (text lengths, op counts, dynamic
+//!   parameter counts),
+//! * [`ops`] — the reusable operator constructor library behind them.
+//!
+//! ```
+//! use llmulator_workloads::polybench;
+//!
+//! let kernels = polybench::all();
+//! assert_eq!(kernels.len(), 10);
+//! let report = llmulator_sim::simulate(&kernels[1].program, &kernels[1].inputs)?;
+//! assert!(report.total_cycles > 0);
+//! # Ok::<(), llmulator_sim::SimError>(())
+//! ```
+
+pub mod accelerators;
+pub mod modern;
+pub mod ops;
+pub mod polybench;
+pub mod stats;
+pub mod workload;
+
+pub use stats::{stats, WorkloadStats};
+pub use workload::Workload;

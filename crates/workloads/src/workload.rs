@@ -1,0 +1,86 @@
+//! The named-workload wrapper shared by the Polybench and modern suites.
+
+use llmulator_ir::{InputData, Program};
+use serde::{Deserialize, Serialize};
+
+/// A named evaluation workload with default runtime inputs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// Short identifier used in table rows (e.g. `"adi"`, `"Tab. 2-6"`).
+    pub name: String,
+    /// The dataflow program.
+    pub program: Program,
+    /// Default runtime inputs covering every graph parameter.
+    pub inputs: InputData,
+}
+
+impl Workload {
+    /// Creates a workload, validating the program eagerly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program fails validation — workload definitions are
+    /// static data and must be internally consistent.
+    pub fn new(name: impl Into<String>, program: Program, inputs: InputData) -> Workload {
+        let name = name.into();
+        program
+            .validate()
+            .unwrap_or_else(|e| panic!("workload `{name}` is invalid: {e}"));
+        Workload {
+            name,
+            program,
+            inputs,
+        }
+    }
+
+    /// Inputs with every integer scalar scaled by `factor` (the paper's
+    /// ±50% input-variation protocol), minimum 1.
+    pub fn scaled_inputs(&self, factor: f64) -> InputData {
+        self.inputs
+            .iter()
+            .map(|(k, v)| {
+                let scaled = match v {
+                    llmulator_ir::Value::Int(i) => {
+                        llmulator_ir::Value::Int(((*i as f64 * factor).round() as i64).max(1))
+                    }
+                    other => other.clone(),
+                };
+                (k.clone(), scaled)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmulator_ir::builder::OperatorBuilder;
+    use llmulator_ir::{Expr, LValue, Stmt};
+
+    #[test]
+    fn scaled_inputs_scale_ints_only() {
+        let op = OperatorBuilder::new("f")
+            .array_param("a", [4])
+            .loop_nest(&[("i", 4)], |idx| {
+                vec![Stmt::assign(
+                    LValue::store("a", vec![idx[0].clone()]),
+                    Expr::int(0),
+                )]
+            })
+            .build();
+        let w = Workload::new(
+            "w",
+            Program::single_op(op),
+            InputData::new().with("n", 10i64).with("x", 2.5f64),
+        );
+        let scaled = w.scaled_inputs(1.5);
+        assert_eq!(
+            scaled.get(&"n".into()),
+            Some(&llmulator_ir::Value::Int(15))
+        );
+        assert_eq!(
+            scaled.get(&"x".into()),
+            Some(&llmulator_ir::Value::Float(2.5))
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! Progressive dataset synthesis: run the three generation stages, show a
+//! direct-format and a reasoning-format sample (with its `<think>` RTL
+//! fragment), and dump a small dataset as JSON.
+//!
+//! Run with `cargo run --release --example dataset_synthesis`.
+
+use llmulator_synth::{synthesize, DataFormat, SynthesisConfig};
+use llmulator_token::SegmentKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's mix: 30% AST-based, 50% dataflow-specific, 20% LLM-style.
+    let config = SynthesisConfig::paper_mix(20, 7);
+    let dataset = synthesize(&config);
+    println!(
+        "synthesized {} reasoning-format samples (mix: {} AST / {} dataflow / {} LLM-style)",
+        dataset.len(),
+        config.n_ast,
+        config.n_dataflow,
+        config.n_llm
+    );
+
+    // Show one sample's segments.
+    let sample = &dataset.samples[0];
+    println!("\n== sample 0: segments ==");
+    for (kind, text) in &sample.text.parts {
+        let label = match kind {
+            SegmentKind::Graph => "graph",
+            SegmentKind::Operator(i) => &format!("op{i}"),
+            SegmentKind::Params => "params",
+            SegmentKind::Data => "data",
+            SegmentKind::Think => "think",
+        };
+        let preview: String = text.chars().take(72).collect();
+        println!("[{label:<6}] {} chars | {}", text.chars().count(), preview.replace('\n', " "));
+    }
+    println!(
+        "labels: power={:.2}mW area={:.0}um2 ff={} cycles={}",
+        sample.cost.power_mw, sample.cost.area_um2, sample.cost.ff, sample.cost.cycles
+    );
+
+    // The reasoning fragment comes from the HLS binder (Fig. 8 format).
+    if let Some((_, think)) = sample
+        .text
+        .parts
+        .iter()
+        .find(|(k, _)| *k == SegmentKind::Think)
+    {
+        println!("\n== reasoning fragment ==\n{think}");
+    }
+
+    // Direct format for comparison (no intermediate reasoning).
+    let mut direct_cfg = SynthesisConfig::paper_mix(4, 7);
+    direct_cfg.format = DataFormat::Direct;
+    let direct = synthesize(&direct_cfg);
+    println!(
+        "\ndirect-format samples carry {} segments (no <think>)",
+        direct.samples[0].text.parts.len()
+    );
+
+    // Serialize a few samples to JSON (serde round-trip).
+    let json = serde_json::to_string_pretty(&dataset.samples[0].cost)?;
+    println!("\n== sample 0 cost as JSON ==\n{json}");
+    Ok(())
+}

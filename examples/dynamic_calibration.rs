@@ -1,0 +1,102 @@
+//! Input-adaptive control flow and dynamic calibration: a sliding-window
+//! operator whose loop bounds come from the runtime input (the paper's
+//! motivating example — trained on small windows, deployed on large ones),
+//! corrected online with DPO against profiler feedback.
+//!
+//! Run with `cargo run --release --example dynamic_calibration`.
+
+use llmulator::{
+    calibrate_cycles, DpoCalibrator, DpoConfig, NumericPredictor, PredictorConfig, Sample,
+    TrainOptions,
+};
+use llmulator_ir::builder::OperatorBuilder;
+use llmulator_ir::{Expr, InputData, LValue, Program, Stmt};
+
+fn sliding_window() -> Program {
+    let op = OperatorBuilder::new("sliding_window")
+        .array_param("x", [4096])
+        .array_param("y", [4096])
+        .scalar_param("h")
+        .scalar_param("w")
+        .dyn_loop_nest(
+            &[("i", Expr::var("h")), ("j", Expr::var("w"))],
+            |idx| {
+                vec![Stmt::assign(
+                    LValue::store("y", vec![idx[0].clone() * Expr::int(8) + idx[1].clone()]),
+                    Expr::load("x", vec![idx[0].clone() * Expr::int(8) + idx[1].clone()])
+                        * Expr::int(2),
+                )]
+            },
+        )
+        .build();
+    Program::single_op(op)
+}
+
+fn inputs(h: i64, w: i64) -> InputData {
+    InputData::new().with("h", h).with("w", w)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = sliding_window();
+
+    // Static training only covers small windows (H, W <= 24).
+    let train: llmulator::Dataset = [(8i64, 8i64), (12, 12), (16, 16), (20, 20), (24, 24)]
+        .iter()
+        .map(|&(h, w)| Sample::profile(&program, Some(&inputs(h, w))))
+        .collect::<Result<_, _>>()?;
+    let mut model = NumericPredictor::new(PredictorConfig::default());
+    println!("training static model on windows up to 24x24...");
+    model.fit(
+        &train,
+        TrainOptions {
+            epochs: 20,
+            batch_size: 2,
+            lr: 4e-3,
+            threads: 2,
+        },
+    );
+
+    // Deployment shifts the distribution: 48x48 windows.
+    let deploy = inputs(48, 48);
+    let truth = Sample::profile(&program, Some(&deploy))?;
+    let tp = model.tokenize_sample(&truth);
+    let static_pred = model
+        .predict_tokens(&tp.tokens, None)
+        .metric(llmulator_sim::Metric::Cycles)
+        .value;
+    let static_err = (static_pred - truth.cost.cycles as f64).abs() / truth.cost.cycles as f64;
+    println!(
+        "static prediction: {static_pred:.0} vs actual {} ({:.1}% error)",
+        truth.cost.cycles,
+        static_err * 100.0
+    );
+
+    // Dynamic calibration: interact with the profiler at the shifted
+    // distribution; DPO pulls predictions toward the observed profile.
+    let mut calibrator = DpoCalibrator::new(
+        &model,
+        DpoConfig {
+            lr: 2e-3,
+            steps_per_observation: 3,
+            ..DpoConfig::default()
+        },
+    );
+    let stream: Vec<InputData> = (0..6).map(|_| inputs(48, 48)).collect();
+    let trace = calibrate_cycles(&mut model, &mut calibrator, &program, &stream)?;
+    println!("\ncalibration trace (APE per iteration):");
+    for step in &trace.steps {
+        println!(
+            "  iter {}: predicted {:>9.0}  actual {:>9.0}  APE {:.1}%",
+            step.iteration,
+            step.predicted,
+            step.actual,
+            step.ape * 100.0
+        );
+    }
+    println!(
+        "\nAPE first iteration: {:.1}%  ->  last iteration: {:.1}%",
+        trace.mape_first(1) * 100.0,
+        trace.mape_last(1) * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,25 @@
+//! # llmulator-suite
+//!
+//! Integration surface for the LLMulator reproduction: re-exports the
+//! workspace crates so examples and cross-crate tests have a single import
+//! root. The actual functionality lives in the member crates:
+//!
+//! * [`llmulator`] — the paper's contribution (numeric prediction, DPO
+//!   calibration, masked/cached attention),
+//! * [`llmulator_ir`] / [`llmulator_hls`] / [`llmulator_sim`] — the dataflow
+//!   IR and profiling substrate,
+//! * [`llmulator_nn`] / [`llmulator_token`] — the learning substrate,
+//! * [`llmulator_synth`] / [`llmulator_baselines`] /
+//!   [`llmulator_workloads`] / [`llmulator_eval`] — data generation,
+//!   comparison models, evaluation workloads and metrics.
+
+pub use llmulator;
+pub use llmulator_baselines;
+pub use llmulator_eval;
+pub use llmulator_hls;
+pub use llmulator_ir;
+pub use llmulator_nn;
+pub use llmulator_sim;
+pub use llmulator_synth;
+pub use llmulator_token;
+pub use llmulator_workloads;

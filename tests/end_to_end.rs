@@ -1,0 +1,134 @@
+//! End-to-end integration: synthesize data → train → predict → the whole
+//! LLMulator pipeline across crates.
+
+use llmulator::{
+    CostModel, Dataset, DigitCodec, ModelScale, NumericPredictor, PredictorConfig, Sample,
+    TrainOptions,
+};
+use llmulator_sim::Metric;
+use llmulator_synth::{synthesize, DataFormat, SynthesisConfig};
+use llmulator_token::NumericMode;
+
+fn tiny_model(seed: u64) -> NumericPredictor {
+    NumericPredictor::new(PredictorConfig {
+        scale: ModelScale::Small,
+        codec: DigitCodec::decimal(6),
+        numeric_mode: NumericMode::Digits,
+        max_len: 96,
+        seed,
+    })
+}
+
+#[test]
+fn synthesize_train_predict_pipeline() {
+    let dataset = synthesize(&SynthesisConfig::paper_mix(24, 5));
+    assert!(dataset.len() >= 18, "synthesis yields data");
+    let (train, val) = dataset.split(6);
+    let mut model = tiny_model(5);
+    let curve = model.fit(
+        &train,
+        TrainOptions {
+            epochs: 4,
+            batch_size: 6,
+            lr: 3e-3,
+            threads: 2,
+        },
+    );
+    assert!(
+        curve.last().expect("curve") < curve.first().expect("curve"),
+        "training converges: {curve:?}"
+    );
+    // Predictions exist and are non-degenerate on held-out samples.
+    for s in &val.samples {
+        let p = model.predict_sample(s);
+        assert_eq!(p.per_metric.len(), 4);
+        for mp in &p.per_metric {
+            assert!(mp.value.is_finite());
+            assert!((0.0..=1.0).contains(&mp.confidence));
+        }
+    }
+}
+
+#[test]
+fn trained_model_beats_untrained_on_training_set() {
+    let dataset = synthesize(&SynthesisConfig::paper_mix(16, 9));
+    let mut trained = tiny_model(9);
+    trained.fit(
+        &dataset,
+        TrainOptions {
+            epochs: 12,
+            batch_size: 4,
+            lr: 4e-3,
+            threads: 2,
+        },
+    );
+    let untrained = tiny_model(10);
+    let mape = |m: &NumericPredictor| {
+        let preds: Vec<f64> = dataset
+            .samples
+            .iter()
+            .map(|s| m.predict_metric(s, Metric::Cycles))
+            .collect();
+        let truth: Vec<f64> = dataset
+            .samples
+            .iter()
+            .map(|s| s.cost.cycles as f64)
+            .collect();
+        llmulator_eval::mape(&preds, &truth)
+    };
+    let trained_err = mape(&trained);
+    let untrained_err = mape(&untrained);
+    assert!(
+        trained_err < untrained_err,
+        "training helps: trained {trained_err:.3} vs untrained {untrained_err:.3}"
+    );
+}
+
+#[test]
+fn reasoning_format_flows_through_training() {
+    let mut config = SynthesisConfig::paper_mix(10, 11);
+    config.format = DataFormat::Reasoning;
+    let dataset = synthesize(&config);
+    assert!(dataset
+        .samples
+        .iter()
+        .all(|s| s.text.parts.iter().any(|(k, _)| *k == llmulator_token::SegmentKind::Think)));
+    let mut model = tiny_model(11);
+    let curve = model.fit(
+        &dataset,
+        TrainOptions {
+            epochs: 2,
+            batch_size: 4,
+            lr: 3e-3,
+            threads: 2,
+        },
+    );
+    assert_eq!(curve.len(), 2);
+}
+
+#[test]
+fn sample_serde_round_trips() {
+    let dataset: Dataset = synthesize(&SynthesisConfig::paper_mix(6, 13));
+    let s = &dataset.samples[0];
+    let json = serde_json::to_string(s).expect("serializes");
+    let back: Sample = serde_json::from_str(&json).expect("deserializes");
+    // Structural content round-trips exactly; tensor payloads may differ by
+    // one ULP through the JSON float formatter, so compare those with a
+    // tolerance.
+    assert_eq!(back.text, s.text);
+    assert_eq!(back.program, s.program);
+    assert_eq!(back.cost, s.cost);
+    assert_eq!(back.data.len(), s.data.len());
+    for ((ka, va), (kb, vb)) in back.data.iter().zip(s.data.iter()) {
+        assert_eq!(ka, kb);
+        match (va, vb) {
+            (llmulator_ir::Value::Tensor(a), llmulator_ir::Value::Tensor(b)) => {
+                assert_eq!(a.shape(), b.shape());
+                for (x, y) in a.data().iter().zip(b.data()) {
+                    assert!((x - y).abs() <= f64::EPSILON * x.abs().max(1.0));
+                }
+            }
+            (a, b) => assert_eq!(a, b),
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests on the core data structures and cross-crate
+//! invariants: digit codec round trips, tokenizer linearity, renderer/parser
+//! round trips, simulator monotonicity and metric properties.
+
+use llmulator::{beam_search, DigitCodec, DigitDistribution};
+use llmulator_ir::builder::OperatorBuilder;
+use llmulator_ir::{Expr, InputData, LValue, Program, Stmt};
+use llmulator_token::Tokenizer;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn digit_codec_round_trips(value in 0u64..100_000_000) {
+        let codec = DigitCodec::standard();
+        prop_assert_eq!(codec.decode(&codec.encode(value)), value);
+    }
+
+    #[test]
+    fn digit_codec_saturates_monotonically(a in 0u64..1_000_000, b in 0u64..1_000_000) {
+        let codec = DigitCodec::decimal(5);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(codec.decode(&codec.encode(lo)) <= codec.decode(&codec.encode(hi)));
+    }
+
+    #[test]
+    fn progressive_tokenizer_is_linear_in_digits(value in 0u64..10_000_000) {
+        let t = Tokenizer::progressive();
+        let text = value.to_string();
+        prop_assert_eq!(t.encode(&text).len(), text.len());
+    }
+
+    #[test]
+    fn baseline_tokenizer_is_constant_in_digits(value in 0u64..10_000_000) {
+        let t = Tokenizer::baseline();
+        prop_assert_eq!(t.encode(&value.to_string()).len(), 1);
+    }
+
+    #[test]
+    fn beam_search_is_sorted_and_bounded(k in 1usize..8) {
+        let rows: Vec<Vec<f32>> = (0..4)
+            .map(|r| {
+                let mut row = vec![0.05f32; 10];
+                row[(r * 3) % 10] = 0.55;
+                row
+            })
+            .collect();
+        let dist = DigitDistribution::new(10, rows);
+        let beams = beam_search(&dist, k);
+        prop_assert!(beams.len() <= k);
+        prop_assert!(beams.windows(2).all(|w| w[0].log_prob >= w[1].log_prob));
+        prop_assert_eq!(&beams[0].digits, &dist.greedy());
+    }
+
+    #[test]
+    fn simulator_cycles_monotone_in_trip_count(n in 1i64..48, extra in 1i64..16) {
+        let program = dyn_loop_program();
+        let small = llmulator_sim::simulate(
+            &program,
+            &InputData::new().with("n", n),
+        ).expect("small").total_cycles;
+        let large = llmulator_sim::simulate(
+            &program,
+            &InputData::new().with("n", n + extra),
+        ).expect("large").total_cycles;
+        prop_assert!(large > small, "{large} > {small}");
+    }
+
+    #[test]
+    fn render_parse_round_trips_random_sizes(n in 2usize..32, m in 2usize..32) {
+        let op = OperatorBuilder::new("k")
+            .array_param("a", [n, m])
+            .array_param("b", [n, m])
+            .loop_nest(&[("i", n), ("j", m)], |idx| {
+                vec![Stmt::assign(
+                    LValue::store("b", vec![idx[0].clone(), idx[1].clone()]),
+                    Expr::load("a", vec![idx[0].clone(), idx[1].clone()]) * Expr::int(2),
+                )]
+            })
+            .build();
+        let program = Program::single_op(op);
+        let text = program.render();
+        let parsed = llmulator_ir::parse::parse_program(&text).expect("parses");
+        prop_assert_eq!(parsed, program);
+    }
+
+    #[test]
+    fn mape_is_scale_invariant(truth in 1.0f64..1e6, err_frac in 0.0f64..0.9, scale in 0.1f64..100.0) {
+        let pred = truth * (1.0 + err_frac);
+        let a = llmulator_eval::mape(&[pred], &[truth]);
+        let b = llmulator_eval::mape(&[pred * scale], &[truth * scale]);
+        prop_assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hls_area_monotone_in_unroll(n in 4usize..32) {
+        let plain = hls_area(n, llmulator_ir::LoopPragma::None);
+        let unrolled = hls_area(n, llmulator_ir::LoopPragma::UnrollFull);
+        prop_assert!(unrolled >= plain, "{unrolled} >= {plain}");
+    }
+}
+
+fn dyn_loop_program() -> Program {
+    let op = OperatorBuilder::new("dynloop")
+        .array_param("a", [64])
+        .scalar_param("n")
+        .dyn_loop_nest(&[("i", Expr::var("n"))], |idx| {
+            vec![Stmt::assign(
+                LValue::store("a", vec![idx[0].clone()]),
+                Expr::load("a", vec![idx[0].clone()]) + Expr::int(1),
+            )]
+        })
+        .build();
+    Program::single_op(op)
+}
+
+fn hls_area(n: usize, pragma: llmulator_ir::LoopPragma) -> f64 {
+    let op = OperatorBuilder::new("k")
+        .array_param("a", [n])
+        .loop_nest_with_pragma(&[("i", n)], pragma, |idx| {
+            vec![Stmt::assign(
+                LValue::store("a", vec![idx[0].clone()]),
+                Expr::load("a", vec![idx[0].clone()]) * Expr::int(3),
+            )]
+        })
+        .build();
+    llmulator_hls::compile(&Program::single_op(op)).total.area_um2
+}

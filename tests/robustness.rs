@@ -1,0 +1,146 @@
+//! Robustness properties: the parser and tokenizer must be total (errors,
+//! never panics) on arbitrary input, normalization must preserve simulated
+//! semantics, and the simulator must be deterministic under concurrent use
+//! of shared structures.
+
+use llmulator_ir::builder::OperatorBuilder;
+use llmulator_ir::{normalize_program, parse, Expr, InputData, LValue, Program, Stmt, Tensor};
+use llmulator_token::Tokenizer;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The parser returns `Err` on malformed input — it never panics.
+    #[test]
+    fn parser_is_total_on_arbitrary_ascii(input in "[ -~\\n]{0,200}") {
+        let _ = parse::parse_program(&input);
+        let _ = parse::parse_operator(&input);
+    }
+
+    /// The tokenizer encodes any string without panicking, and its output
+    /// ids always fit the vocabulary.
+    #[test]
+    fn tokenizer_is_total_and_in_vocab(input in "\\PC{0,200}") {
+        let t = Tokenizer::progressive();
+        for id in t.encode(&input) {
+            prop_assert!((id as usize) < t.vocab_size());
+        }
+        let b = Tokenizer::baseline();
+        for id in b.encode(&input) {
+            prop_assert!((id as usize) < b.vocab_size());
+        }
+    }
+
+    /// Symbol isolation never changes the digit content of the text.
+    #[test]
+    fn isolation_preserves_digits(input in "[a-z0-9 =+*\\-]{0,80}") {
+        let t = Tokenizer::progressive();
+        let isolated = t.isolate_symbols(&input);
+        let digits_before: String = input.chars().filter(char::is_ascii_digit).collect();
+        let digits_after: String = isolated.chars().filter(char::is_ascii_digit).collect();
+        prop_assert_eq!(digits_before, digits_after);
+    }
+
+    /// Normalization preserves the values a program computes (checked via
+    /// the simulator's functional output on random scale/offset kernels).
+    #[test]
+    fn normalization_preserves_semantics(scale in 1i64..6, offset in 0i64..9, n in 2usize..16) {
+        let op = OperatorBuilder::new("k")
+            .array_param("a", [n])
+            .array_param("b", [n])
+            .loop_nest(&[("i", n)], |idx| {
+                vec![Stmt::assign(
+                    LValue::store("b", vec![idx[0].clone()]),
+                    Expr::int(scale) * Expr::load("a", vec![idx[0].clone()])
+                        + Expr::int(offset) * Expr::int(1),
+                )]
+            })
+            .build();
+        let before = Program::single_op(op);
+        let mut after = before.clone();
+        normalize_program(&mut after);
+        let data = InputData::new().with(
+            "buf_a",
+            Tensor::from_fn(vec![n], |i| (i as f64) - 3.0),
+        );
+        let rb = llmulator_sim::simulate(&before, &data).expect("before");
+        let ra = llmulator_sim::simulate(&after, &data).expect("after");
+        let ob = rb.buffer(&"buf_b".into()).expect("b");
+        let oa = ra.buffer(&"buf_b".into()).expect("b");
+        prop_assert_eq!(ob.data(), oa.data());
+    }
+
+    /// Parse(render(p)) is identity even after normalization rewrites.
+    #[test]
+    fn normalized_programs_still_round_trip(n in 2usize..20) {
+        let op = OperatorBuilder::new("k")
+            .array_param("a", [n])
+            .loop_nest(&[("i", n)], |idx| {
+                vec![Stmt::assign(
+                    LValue::store("a", vec![idx[0].clone()]),
+                    Expr::int(2) * Expr::load("a", vec![idx[0].clone()]) + Expr::int(0),
+                )]
+            })
+            .build();
+        let mut program = Program::single_op(op);
+        normalize_program(&mut program);
+        let text = program.render();
+        let parsed = parse::parse_program(&text).expect("parses");
+        prop_assert_eq!(parsed, program);
+    }
+}
+
+/// The simulator is deterministic when the same program runs on two threads
+/// simultaneously (shared immutable program, separate machines).
+#[test]
+fn concurrent_simulation_is_deterministic() {
+    let op = OperatorBuilder::new("k")
+        .array_param("a", [64])
+        .array_param("b", [64])
+        .loop_nest(&[("i", 64)], |idx| {
+            vec![Stmt::assign(
+                LValue::store("b", vec![idx[0].clone()]),
+                Expr::load("a", vec![idx[0].clone()]) * Expr::int(3),
+            )]
+        })
+        .build();
+    let program = Program::single_op(op);
+    let data = InputData::new().with("buf_a", Tensor::from_fn(vec![64], |i| i as f64));
+    let results: Vec<_> = std::thread::scope(|scope| {
+        (0..4)
+            .map(|_| {
+                let p = &program;
+                let d = &data;
+                scope.spawn(move || llmulator_sim::simulate(p, d).expect("simulates"))
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("joins"))
+            .collect()
+    });
+    for pair in results.windows(2) {
+        assert_eq!(pair[0], pair[1]);
+    }
+}
+
+/// Model persistence survives a save/load cycle with identical predictions
+/// (cross-crate: core + token + nn).
+#[test]
+fn persisted_model_predicts_identically() {
+    use llmulator::{DigitCodec, ModelScale, NumericPredictor, PredictorConfig};
+    let model = NumericPredictor::new(PredictorConfig {
+        scale: ModelScale::Small,
+        codec: DigitCodec::decimal(5),
+        numeric_mode: llmulator_token::NumericMode::Digits,
+        max_len: 48,
+        seed: 77,
+    });
+    let json = model.to_json().expect("encodes");
+    let restored = NumericPredictor::from_json(&json).expect("decodes");
+    let tokens: Vec<u32> = (0..40).map(|i| (i * 7) % 90).collect();
+    assert_eq!(
+        model.predict_tokens(&tokens, None).cost_vector(),
+        restored.predict_tokens(&tokens, None).cost_vector()
+    );
+}
