@@ -61,11 +61,7 @@ pub fn program_graph(program: &Program) -> ProgramGraph {
         f[5] = inv.args.len() as f32 / 4.0;
         f[15] = 1.0;
         feats.push(f);
-        if let Some(pos) = program
-            .operators
-            .iter()
-            .position(|o| o.name == inv.op)
-        {
+        if let Some(pos) = program.operators.iter().position(|o| o.name == inv.op) {
             edges.push((node, op_nodes[pos]));
         }
     }
@@ -204,8 +200,14 @@ impl Gnnhls {
         let mut rng = StdRng::seed_from_u64(seed);
         let std = 0.15;
         Gnnhls {
-            w_self1: store.add("gnn.w_self1", Matrix::randn(FEATURE_DIM, HIDDEN, std, &mut rng)),
-            w_neigh1: store.add("gnn.w_neigh1", Matrix::randn(FEATURE_DIM, HIDDEN, std, &mut rng)),
+            w_self1: store.add(
+                "gnn.w_self1",
+                Matrix::randn(FEATURE_DIM, HIDDEN, std, &mut rng),
+            ),
+            w_neigh1: store.add(
+                "gnn.w_neigh1",
+                Matrix::randn(FEATURE_DIM, HIDDEN, std, &mut rng),
+            ),
             b1: store.add("gnn.b1", Matrix::zeros(1, HIDDEN)),
             w_self2: store.add("gnn.w_self2", Matrix::randn(HIDDEN, HIDDEN, std, &mut rng)),
             w_neigh2: store.add("gnn.w_neigh2", Matrix::randn(HIDDEN, HIDDEN, std, &mut rng)),
@@ -313,7 +315,7 @@ impl CostModel for Gnnhls {
 mod tests {
     use super::*;
     use llmulator_ir::builder::OperatorBuilder;
-    use llmulator_ir::{LValue};
+    use llmulator_ir::LValue;
 
     fn sample(n: usize) -> Sample {
         let op = OperatorBuilder::new("k")

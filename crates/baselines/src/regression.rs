@@ -129,7 +129,11 @@ mod tests {
     fn mse_loss_is_zero_at_target() {
         let mut g = Graph::new();
         let pred = g.input(Matrix::from_vec(1, 4, vec![0.1, 0.2, 0.3, 0.4]));
-        let loss = mse_loss(&mut g, pred, Matrix::from_vec(1, 4, vec![0.1, 0.2, 0.3, 0.4]));
+        let loss = mse_loss(
+            &mut g,
+            pred,
+            Matrix::from_vec(1, 4, vec![0.1, 0.2, 0.3, 0.4]),
+        );
         assert!(g.value(loss).get(0, 0).abs() < 1e-12);
     }
 

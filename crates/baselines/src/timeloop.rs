@@ -89,8 +89,7 @@ impl Timeloop {
             let s = summarize(op)?;
             // Idealized pipeline: compute fully overlaps with memory; memory
             // ports stream one word per delay/2 (perfect double buffering).
-            let mem = (s.loads_per_iter + s.stores_per_iter)
-                * (hw.mem_read_delay as f64 / 2.0);
+            let mem = (s.loads_per_iter + s.stores_per_iter) * (hw.mem_read_delay as f64 / 2.0);
             let per_iter = s.flop_latency_per_iter.max(mem).max(1.0);
             cycles += s.trips * per_iter;
             area += s.unit_area + 800.0; // fixed controller allowance
@@ -98,8 +97,7 @@ impl Timeloop {
             ff += (s.flop_count_per_iter as u64 + 2) * 32;
         }
         // Invocation-weighted cycles (operators invoked repeatedly).
-        let power = energy_pj / (cycles.max(1.0) * hw.clock_period_ns)
-            + area * 6.0e-6;
+        let power = energy_pj / (cycles.max(1.0) * hw.clock_period_ns) + area * 6.0e-6;
         Ok(CostVector {
             power_mw: power,
             area_um2: area,
@@ -153,9 +151,7 @@ fn summarize(op: &Operator) -> Result<NestSummary, Unsupported> {
                 }
                 return Ok(s);
             }
-            [Stmt::If { .. }, ..] => {
-                return Err(Unsupported::ControlFlow(op.name.to_string()))
-            }
+            [Stmt::If { .. }, ..] => return Err(Unsupported::ControlFlow(op.name.to_string())),
             _ => return Err(Unsupported::ImperfectNest(op.name.to_string())),
         }
     }
@@ -247,7 +243,11 @@ mod tests {
             .array_param("a", [8])
             .loop_nest(&[("i", 8)], |idx| {
                 vec![Stmt::if_then(
-                    Expr::binary(BinOp::Gt, Expr::load("a", vec![idx[0].clone()]), Expr::int(0)),
+                    Expr::binary(
+                        BinOp::Gt,
+                        Expr::load("a", vec![idx[0].clone()]),
+                        Expr::int(0),
+                    ),
                     vec![Stmt::assign(
                         LValue::store("a", vec![idx[0].clone()]),
                         Expr::int(1),

@@ -85,9 +85,7 @@ pub fn workload_samples(w: &Workload, factors: &[f64], format: DataFormat) -> Ve
             let data = w.scaled_inputs(f);
             match format {
                 DataFormat::Direct => Sample::profile(&w.program, Some(&data)).ok(),
-                DataFormat::Reasoning => {
-                    Sample::profile_reasoning(&w.program, Some(&data)).ok()
-                }
+                DataFormat::Reasoning => Sample::profile_reasoning(&w.program, Some(&data)).ok(),
             }
         })
         .collect()
@@ -110,9 +108,7 @@ pub fn training_dataset(b: &Budget, format: DataFormat, seed: u64) -> Dataset {
         for variant in llmulator_synth::variants(&w.program, 2, &mut rng) {
             let emitted = match format {
                 DataFormat::Direct => Sample::profile(&variant, Some(&w.inputs)).ok(),
-                DataFormat::Reasoning => {
-                    Sample::profile_reasoning(&variant, Some(&w.inputs)).ok()
-                }
+                DataFormat::Reasoning => Sample::profile_reasoning(&variant, Some(&w.inputs)).ok(),
             };
             if let Some(s) = emitted {
                 ds.push(s);
@@ -192,12 +188,7 @@ pub fn train_suite(b: &Budget, flags: SuiteFlags, format: DataFormat, seed: u64)
 }
 
 /// Trains the requested models on a caller-provided dataset.
-pub fn train_suite_on(
-    b: &Budget,
-    flags: SuiteFlags,
-    dataset: &Dataset,
-    seed: u64,
-) -> TrainedSuite {
+pub fn train_suite_on(b: &Budget, flags: SuiteFlags, dataset: &Dataset, seed: u64) -> TrainedSuite {
     let opts = b.train_options();
     let ours = flags.ours.then(|| {
         let mut m = NumericPredictor::new(predictor_config(NumericMode::Digits, seed));

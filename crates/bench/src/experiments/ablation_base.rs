@@ -29,10 +29,14 @@ pub fn run() -> String {
     let dataset = training_dataset(&b, DataFormat::Reasoning, 53);
     let kernels = polybench::all();
 
-    let mut table = Table::new(
-        "Ablation: output numeric base D (encoding length L vs per-digit complexity)",
-    );
-    table.header(["Base D", "Width L", "Logit dim", "Cycles MAPE (Polybench avg)"]);
+    let mut table =
+        Table::new("Ablation: output numeric base D (encoding length L vs per-digit complexity)");
+    table.header([
+        "Base D",
+        "Width L",
+        "Logit dim",
+        "Cycles MAPE (Polybench avg)",
+    ]);
     for codec in codecs() {
         let mut model = NumericPredictor::new(PredictorConfig {
             scale: ModelScale::Medium,

@@ -22,7 +22,8 @@ pub fn run() -> String {
         .filter(|w| !w.program.graph.params.is_empty())
         .collect();
 
-    let mut table = Table::new("Ablation: replay-cost-buffer window size (post-calibration cycle APE)");
+    let mut table =
+        Table::new("Ablation: replay-cost-buffer window size (post-calibration cycle APE)");
     table.header(["Buffer size", "Minibatch", "APE after calibration"]);
     for &(buffer_size, minibatch) in &[(1usize, 1usize), (4, 2), (16, 4)] {
         let mut sum = 0.0;

@@ -20,11 +20,7 @@ pub fn tensor_subprogram(program: &Program) -> Option<Program> {
         .operators
         .iter()
         .filter(|op| {
-            let single = Program::new(
-                program.graph.clone(),
-                vec![(*op).clone()],
-                program.hw,
-            );
+            let single = Program::new(program.graph.clone(), vec![(*op).clone()], program.hw);
             // check just this operator's template
             tl.supports(&Program {
                 graph: llmulator_ir::DataflowGraph::new("probe"),
@@ -38,12 +34,9 @@ pub fn tensor_subprogram(program: &Program) -> Option<Program> {
     if supported.is_empty() {
         return None;
     }
-    let names: std::collections::HashSet<_> =
-        supported.iter().map(|o| o.name.clone()).collect();
+    let names: std::collections::HashSet<_> = supported.iter().map(|o| o.name.clone()).collect();
     let mut graph = program.graph.clone();
-    graph
-        .invocations
-        .retain(|inv| names.contains(&inv.op));
+    graph.invocations.retain(|inv| names.contains(&inv.op));
     if graph.invocations.is_empty() {
         return None;
     }
@@ -57,9 +50,8 @@ pub fn run() -> String {
     let ours = suite.ours.as_ref().expect("ours");
     let timeloop = Timeloop;
 
-    let mut table = Table::new(
-        "Figure 11: Power MAPE vs Timeloop on Timeloop-expressible operator subsets",
-    );
+    let mut table =
+        Table::new("Figure 11: Power MAPE vs Timeloop on Timeloop-expressible operator subsets");
     table.header(["Workload", "Ours", "Timeloop"]);
     let mut sums = [0.0f64; 2];
     let mut count = 0usize;
@@ -69,9 +61,7 @@ pub fn run() -> String {
         };
         let eval: Vec<Sample> = EVAL_FACTORS
             .iter()
-            .filter_map(|&f| {
-                Sample::profile_reasoning(&sub, Some(&w.scaled_inputs(f))).ok()
-            })
+            .filter_map(|&f| Sample::profile_reasoning(&sub, Some(&w.scaled_inputs(f))).ok())
             .collect();
         if eval.is_empty() {
             continue;

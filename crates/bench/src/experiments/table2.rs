@@ -7,7 +7,14 @@ use llmulator_workloads::{modern, stats};
 /// Regenerates Table 2.
 pub fn run() -> String {
     let mut table = Table::new("Table 2: Benchmark Analysis");
-    table.header(["Workloads", "All Len", "Graph Len", "Op Num", "Dyn. Num", "Op Len"]);
+    table.header([
+        "Workloads",
+        "All Len",
+        "Graph Len",
+        "Op Num",
+        "Dyn. Num",
+        "Op Len",
+    ]);
     for w in modern::all() {
         let s = stats::stats(&w);
         table.row([

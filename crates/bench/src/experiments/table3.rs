@@ -100,8 +100,11 @@ fn render(rows: &[Row]) -> String {
         header.extend(cols.iter().map(|c| c.to_string()));
         table.header(header);
         // group averages: polybench(10), modern(14), accelerators(3)
-        let groups: [(usize, usize, &str); 3] =
-            [(0, 10, "average(10)"), (10, 24, "average(14)"), (24, 27, "")];
+        let groups: [(usize, usize, &str); 3] = [
+            (0, 10, "average(10)"),
+            (10, 24, "average(14)"),
+            (24, 27, ""),
+        ];
         for (gi, &(start, end, avg_label)) in groups.iter().enumerate() {
             let slice = &rows[start.min(rows.len())..end.min(rows.len())];
             for row in slice {
@@ -112,8 +115,8 @@ fn render(rows: &[Row]) -> String {
             if !avg_label.is_empty() && !slice.is_empty() {
                 let mut cells = vec![avg_label.to_string()];
                 for col in 0..cols.len() {
-                    let avg = slice.iter().map(|r| r.cells[mi][col]).sum::<f64>()
-                        / slice.len() as f64;
+                    let avg =
+                        slice.iter().map(|r| r.cells[mi][col]).sum::<f64>() / slice.len() as f64;
                     cells.push(Table::pct(avg));
                 }
                 table.row(cells);

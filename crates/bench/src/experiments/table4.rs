@@ -23,10 +23,21 @@ pub fn run() -> String {
     let gnn = suite.gnn.as_ref().expect("gnn");
     let tenset = suite.tenset.as_ref().expect("tenset");
 
-    let mut table = Table::new(
-        "Table 4: Runtime latency (seconds) of prediction models on Polybench",
-    );
-    table.header(["Model", "adi", "atax", "bicg", "corre.", "covar.", "deriche", "fdtd-2d", "heat-3d", "jacobi-2d", "seidel-2d"]);
+    let mut table =
+        Table::new("Table 4: Runtime latency (seconds) of prediction models on Polybench");
+    table.header([
+        "Model",
+        "adi",
+        "atax",
+        "bicg",
+        "corre.",
+        "covar.",
+        "deriche",
+        "fdtd-2d",
+        "heat-3d",
+        "jacobi-2d",
+        "seidel-2d",
+    ]);
 
     let kernels = polybench::all();
     let samples: Vec<_> = kernels

@@ -23,7 +23,11 @@ pub struct AccelRow {
 }
 
 /// Measures the accel/no-accel latency pair for one workload program.
-pub fn measure(model: &NumericPredictor, w: &llmulator_workloads::Workload, reps: usize) -> AccelRow {
+pub fn measure(
+    model: &NumericPredictor,
+    w: &llmulator_workloads::Workload,
+    reps: usize,
+) -> AccelRow {
     let classes: Vec<_> = analysis::analyze_program(&w.program)
         .operators
         .iter()
@@ -38,11 +42,9 @@ pub fn measure(model: &NumericPredictor, w: &llmulator_workloads::Workload, reps
         .iter()
         .map(|(k, v)| {
             let bumped = match v {
-                llmulator_ir::Value::Int(i) => llmulator_ir::Value::Int(if *i % 10 == 9 {
-                    *i - 1
-                } else {
-                    *i + 1
-                }),
+                llmulator_ir::Value::Int(i) => {
+                    llmulator_ir::Value::Int(if *i % 10 == 9 { *i - 1 } else { *i + 1 })
+                }
                 other => other.clone(),
             };
             (k.clone(), bumped)

@@ -3,9 +3,7 @@
 //! progressive pipeline with reasoning formatting), evaluated per modern
 //! workload and metric.
 
-use crate::context::{
-    budget, mape_on, train_suite_on, workload_samples, SuiteFlags, EVAL_FACTORS,
-};
+use crate::context::{budget, mape_on, train_suite_on, workload_samples, SuiteFlags, EVAL_FACTORS};
 use llmulator::Dataset;
 use llmulator_eval::Table;
 use llmulator_sim::Metric;
@@ -28,11 +26,23 @@ pub fn run() -> String {
     let model_no_a = no_a.ours.as_ref().expect("no-a model");
     let model_all = all.ours.as_ref().expect("all model");
 
-    let metrics = [Metric::Power, Metric::Area, Metric::FlipFlops, Metric::Cycles];
+    let metrics = [
+        Metric::Power,
+        Metric::Area,
+        Metric::FlipFlops,
+        Metric::Cycles,
+    ];
     let mut table = Table::new("Table 7: Progressive data synthesis ablation (MAPE)");
     table.header([
-        "Workload", "Power No-A", "Power All", "Area No-A", "Area All", "FF No-A", "FF All",
-        "Cycles No-A", "Cycles All",
+        "Workload",
+        "Power No-A",
+        "Power All",
+        "Area No-A",
+        "Area All",
+        "FF No-A",
+        "FF All",
+        "Cycles No-A",
+        "Cycles All",
     ]);
     let mut sums = [[0.0f64; 2]; 4];
     let ws = modern::all();

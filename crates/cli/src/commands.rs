@@ -51,8 +51,7 @@ pub fn classify(program: &Program) -> Result<String, String> {
         };
         let _ = writeln!(out, "{:<24} {class}", r.name.to_string());
         if !r.dynamic_params.is_empty() {
-            let names: Vec<String> =
-                r.dynamic_params.iter().map(|p| p.to_string()).collect();
+            let names: Vec<String> = r.dynamic_params.iter().map(|p| p.to_string()).collect();
             let _ = writeln!(out, "{:<24}   dynamic params: {}", "", names.join(", "));
         }
         if r.data_dependent_branches {

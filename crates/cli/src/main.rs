@@ -21,13 +21,23 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(output) => {
-            println!("{output}");
-            ExitCode::SUCCESS
+            // Tolerate a closed stdout (`llmulator ... | head` must not
+            // panic on EPIPE the way println! does), but report any other
+            // write failure — truncated output must not exit 0.
+            use std::io::Write;
+            match writeln!(std::io::stdout(), "{output}") {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => ExitCode::SUCCESS,
+                Err(e) => {
+                    let _ = writeln!(std::io::stderr(), "error: cannot write output: {e}");
+                    ExitCode::FAILURE
+                }
+            }
         }
         Err(message) => {
-            eprintln!("error: {message}");
-            eprintln!();
-            eprintln!("{USAGE}");
+            use std::io::Write;
+            let mut err = std::io::stderr();
+            let _ = writeln!(err, "error: {message}\n\n{USAGE}");
             ExitCode::FAILURE
         }
     }
@@ -69,8 +79,7 @@ fn load_program(args: &[String]) -> Result<Program, String> {
         .get(1)
         .filter(|a| !a.starts_with("--"))
         .ok_or("missing program file")?;
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     let program = parse::parse_program(&text).map_err(|e| format!("parse failed: {e}"))?;
     program
         .validate()

@@ -441,11 +441,8 @@ mod tests {
             },
         );
         // Calibrate on a shifted input distribution (n = 100), repeated.
-        let inputs: Vec<InputData> = (0..8)
-            .map(|_| InputData::new().with("n", 100i64))
-            .collect();
-        let trace =
-            calibrate_cycles(&mut model, &mut cal, &program, &inputs).expect("calibrates");
+        let inputs: Vec<InputData> = (0..8).map(|_| InputData::new().with("n", 100i64)).collect();
+        let trace = calibrate_cycles(&mut model, &mut cal, &program, &inputs).expect("calibrates");
         let early = trace.mape_first(2);
         let late = trace.mape_last(2);
         assert!(

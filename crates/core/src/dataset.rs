@@ -169,7 +169,7 @@ mod tests {
     #[test]
     fn split_is_deterministic_and_partitioning() {
         let s = Sample::profile(&program(), None).expect("profiles");
-        let ds: Dataset = std::iter::repeat(s).take(10).collect();
+        let ds: Dataset = std::iter::repeat_n(s, 10).collect();
         let (train, val) = ds.split(5);
         assert_eq!(train.len(), 8);
         assert_eq!(val.len(), 2);

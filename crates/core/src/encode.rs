@@ -52,11 +52,7 @@ impl SegmentedText {
     /// exercised by dynamic prediction acceleration.
     pub fn with_data(mut self, data: &InputData) -> SegmentedText {
         let rendered = data.render();
-        if let Some(slot) = self
-            .parts
-            .iter_mut()
-            .find(|(k, _)| *k == SegmentKind::Data)
-        {
+        if let Some(slot) = self.parts.iter_mut().find(|(k, _)| *k == SegmentKind::Data) {
             slot.1 = rendered;
         } else {
             self.parts.insert(1, (SegmentKind::Data, rendered));
@@ -66,11 +62,8 @@ impl SegmentedText {
 
     /// Tokenizes with the given tokenizer and truncates to `max_len`.
     pub fn tokenize(&self, tokenizer: &Tokenizer, max_len: usize) -> TokenizedProgram {
-        let borrowed: Vec<(SegmentKind, &str)> = self
-            .parts
-            .iter()
-            .map(|(k, t)| (*k, t.as_str()))
-            .collect();
+        let borrowed: Vec<(SegmentKind, &str)> =
+            self.parts.iter().map(|(k, t)| (*k, t.as_str())).collect();
         let mut tp = tokenizer.encode_segments(&borrowed);
         tp.truncate(max_len);
         tp
@@ -137,7 +130,10 @@ mod tests {
             .1;
         assert!(data_text.contains("n = 2"));
         assert_eq!(
-            st.parts.iter().filter(|(k, _)| *k == SegmentKind::Data).count(),
+            st.parts
+                .iter()
+                .filter(|(k, _)| *k == SegmentKind::Data)
+                .count(),
             1
         );
     }
@@ -155,7 +151,10 @@ mod tests {
         let st = SegmentedText::from_program(&program(), None, None);
         assert_eq!(
             st.char_len(),
-            st.parts.iter().map(|(_, t)| t.chars().count()).sum::<usize>()
+            st.parts
+                .iter()
+                .map(|(_, t)| t.chars().count())
+                .sum::<usize>()
         );
         assert!(st.char_len() > 50);
     }

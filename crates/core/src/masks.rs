@@ -51,9 +51,8 @@ pub fn separation_mask(
             *slot = Some(seg.kind);
         }
     }
-    let class_of = |op: usize| -> OperatorClass {
-        classes.get(op).copied().unwrap_or(OperatorClass::ClassII)
-    };
+    let class_of =
+        |op: usize| -> OperatorClass { classes.get(op).copied().unwrap_or(OperatorClass::ClassII) };
     Matrix::from_fn(n, n, |i, j| {
         let (Some(a), Some(b)) = (tag[i], tag[j]) else {
             return 0.0;

@@ -59,7 +59,11 @@ impl DigitCodec {
     pub fn decode(&self, digits: &[u8]) -> u64 {
         let mut v: u64 = 0;
         for &d in digits {
-            assert!((d as u32) < self.base, "digit {d} out of base {}", self.base);
+            assert!(
+                (d as u32) < self.base,
+                "digit {d} out of base {}",
+                self.base
+            );
             v = v * self.base as u64 + d as u64;
         }
         v
@@ -256,10 +260,8 @@ mod tests {
 
     #[test]
     fn greedy_takes_argmax_per_position() {
-        let dist = DigitDistribution::new(
-            10,
-            vec![one_hot(6, 0.8), one_hot(5, 0.9), one_hot(5, 0.7)],
-        );
+        let dist =
+            DigitDistribution::new(10, vec![one_hot(6, 0.8), one_hot(5, 0.9), one_hot(5, 0.7)]);
         assert_eq!(dist.greedy(), vec![6, 5, 5]);
         let conf = dist.confidences(&[6, 5, 5]);
         assert!((conf[0] - 0.8).abs() < 1e-5);

@@ -57,8 +57,7 @@ pub fn static_metrics(
     let leakage_mw = area * LEAKAGE_MW_PER_UM2;
     // Dynamic: total energy over the estimated execution window. The window
     // length is control_steps per innermost iteration times iterations.
-    let window_cycles =
-        (census.est_iterations * binding.control_steps as f64).max(1.0);
+    let window_cycles = (census.est_iterations * binding.control_steps as f64).max(1.0);
     let total_energy_pj: f64 = census
         .weighted_ops
         .iter()

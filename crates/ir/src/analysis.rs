@@ -240,12 +240,7 @@ fn propagate(stmt: &Stmt, env: &mut BTreeMap<Ident, Taint>, changed: &mut bool) 
     }
 }
 
-fn check_sinks(
-    stmt: &Stmt,
-    env: &BTreeMap<Ident, Taint>,
-    sink: &mut Taint,
-    any_taint: &mut bool,
-) {
+fn check_sinks(stmt: &Stmt, env: &BTreeMap<Ident, Taint>, sink: &mut Taint, any_taint: &mut bool) {
     match stmt {
         Stmt::Assign { .. } => {}
         Stmt::For(l) => {

@@ -50,7 +50,10 @@ impl BufferDecl {
 
     /// Number of elements when the shape is fully constant.
     pub fn const_len(&self) -> Option<usize> {
-        self.dims.iter().map(Dim::as_const).product::<Option<usize>>()
+        self.dims
+            .iter()
+            .map(Dim::as_const)
+            .product::<Option<usize>>()
     }
 }
 

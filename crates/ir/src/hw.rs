@@ -85,7 +85,10 @@ mod tests {
 
     #[test]
     fn lanes_clamped_to_at_least_one() {
-        assert_eq!(HardwareParams::new().with_parallel_lanes(0).parallel_lanes, 1);
+        assert_eq!(
+            HardwareParams::new().with_parallel_lanes(0).parallel_lanes,
+            1
+        );
     }
 
     #[test]

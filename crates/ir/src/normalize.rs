@@ -20,11 +20,7 @@ use crate::stmt::Stmt;
 
 /// Normalizes a whole program in place; returns the number of rewrites.
 pub fn normalize_program(program: &mut Program) -> usize {
-    program
-        .operators
-        .iter_mut()
-        .map(normalize_operator)
-        .sum()
+    program.operators.iter_mut().map(normalize_operator).sum()
 }
 
 /// Normalizes one operator in place; returns the number of rewrites.
@@ -159,10 +155,7 @@ pub fn normalize_expr(expr: Expr, count: &mut usize) -> Expr {
         }
         Expr::Call { func, args } => Expr::Call {
             func,
-            args: args
-                .into_iter()
-                .map(|a| normalize_expr(a, count))
-                .collect(),
+            args: args.into_iter().map(|a| normalize_expr(a, count)).collect(),
         },
         Expr::Load { array, indices } => Expr::Load {
             array,
@@ -201,7 +194,10 @@ mod tests {
 
     #[test]
     fn folds_constants() {
-        assert_eq!(norm(Expr::int(2) + Expr::int(3) * Expr::int(4)), Expr::int(14));
+        assert_eq!(
+            norm(Expr::int(2) + Expr::int(3) * Expr::int(4)),
+            Expr::int(14)
+        );
     }
 
     #[test]
@@ -290,7 +286,8 @@ mod tests {
             .loop_nest(&[("i", 4)], |idx| {
                 vec![Stmt::assign(
                     LValue::store("a", vec![idx[0].clone()]),
-                    Expr::int(3) * Expr::load("a", vec![idx[0].clone()]) + Expr::int(1) * Expr::int(2),
+                    Expr::int(3) * Expr::load("a", vec![idx[0].clone()])
+                        + Expr::int(1) * Expr::int(2),
                 )]
             })
             .build();

@@ -617,9 +617,7 @@ fn lex(text: &str) -> Result<Vec<(usize, Tok)>, IrError> {
         if c.is_ascii_digit() {
             let start = i;
             let mut is_float = false;
-            while i < bytes.len()
-                && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'.')
-            {
+            while i < bytes.len() && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'.') {
                 if bytes[i] == b'.' {
                     is_float = true;
                 }

@@ -54,7 +54,9 @@ impl Program {
                 }
             }
         }
-        graph.invocations.push(Invocation::new(op.name.clone(), args));
+        graph
+            .invocations
+            .push(Invocation::new(op.name.clone(), args));
         Program::new(graph, vec![op], HardwareParams::default())
     }
 

@@ -110,8 +110,7 @@ impl AdamW {
                 let m_hat = mi / bias1;
                 let v_hat = vi / bias2;
                 let w = p.data()[i];
-                p.data_mut()[i] =
-                    w - c.lr * (m_hat / (v_hat.sqrt() + c.eps) + c.weight_decay * w);
+                p.data_mut()[i] = w - c.lr * (m_hat / (v_hat.sqrt() + c.eps) + c.weight_decay * w);
             }
         }
     }

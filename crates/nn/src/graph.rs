@@ -361,9 +361,7 @@ impl Graph {
 
     /// Element-wise logistic sigmoid.
     pub fn sigmoid(&mut self, a: NodeId) -> NodeId {
-        let v = self.nodes[a.0]
-            .value
-            .map(|x| 1.0 / (1.0 + (-x).exp()));
+        let v = self.nodes[a.0].value.map(|x| 1.0 / (1.0 + (-x).exp()));
         self.push(v, Op::Sigmoid(a))
     }
 
@@ -427,9 +425,8 @@ impl Graph {
                 Op::MulRow(a, row) => {
                     let rvals = self.nodes[row.0].value.clone();
                     let avals = self.nodes[a.0].value.clone();
-                    let ga = Matrix::from_fn(g.rows(), g.cols(), |r, c| {
-                        g.get(r, c) * rvals.get(0, c)
-                    });
+                    let ga =
+                        Matrix::from_fn(g.rows(), g.cols(), |r, c| g.get(r, c) * rvals.get(0, c));
                     let mut grow = Matrix::zeros(1, g.cols());
                     for r in 0..g.rows() {
                         for c in 0..g.cols() {

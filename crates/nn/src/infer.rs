@@ -117,7 +117,8 @@ pub fn encode_cached(
     }
 
     // Which input rows changed relative to the cached run?
-    let usable_prev = prev.filter(|p| p.tokens.len() == ids.len() && p.layers.len() == raw.layers.len());
+    let usable_prev =
+        prev.filter(|p| p.tokens.len() == ids.len() && p.layers.len() == raw.layers.len());
     let mut changed: Vec<bool> = match usable_prev {
         Some(p) => ids
             .iter()
@@ -189,12 +190,8 @@ pub fn encode_cached(
                 changed_out[i] = true;
                 continue;
             }
-            let attends_changed = (0..ids.len()).any(|j| {
-                changed[j]
-                    && mask
-                        .map(|m| m.get(i, j) > MASK_BLOCKED)
-                        .unwrap_or(true)
-            });
+            let attends_changed = (0..ids.len())
+                .any(|j| changed[j] && mask.map(|m| m.get(i, j) > MASK_BLOCKED).unwrap_or(true));
             if attends_changed {
                 changed_out[i] = true;
             }
@@ -349,13 +346,7 @@ mod tests {
     fn cached_pass_matches_with_mask() {
         let (t, store) = setup();
         let tokens = [3u32, 9, 1, 22];
-        let mask = Matrix::from_fn(4, 4, |r, c| {
-            if (r + c) % 2 == 0 {
-                0.0
-            } else {
-                -1e9
-            }
-        });
+        let mask = Matrix::from_fn(4, 4, |r, c| if (r + c) % 2 == 0 { 0.0 } else { -1e9 });
         let mut g = Graph::new();
         let out = t.encode(&mut g, &store, &tokens, Some(&mask));
         let (cache, _) = encode_cached(&t, &store, &tokens, Some(&mask), None);
@@ -376,13 +367,7 @@ mod tests {
     fn masked_change_recomputes_only_reachable_rows() {
         let (t, store) = setup();
         // Two isolated blocks of two tokens: {0,1} and {2,3}.
-        let mask = Matrix::from_fn(4, 4, |r, c| {
-            if (r < 2) == (c < 2) {
-                0.0
-            } else {
-                -1e9
-            }
-        });
+        let mask = Matrix::from_fn(4, 4, |r, c| if (r < 2) == (c < 2) { 0.0 } else { -1e9 });
         let a = [1u32, 2, 3, 4];
         let mut b = a;
         b[3] = 9; // change inside the second block
@@ -409,13 +394,7 @@ mod tests {
     #[test]
     fn incremental_equals_fresh_computation() {
         let (t, store) = setup();
-        let mask = Matrix::from_fn(6, 6, |r, c| {
-            if r.abs_diff(c) <= 1 {
-                0.0
-            } else {
-                -1e9
-            }
-        });
+        let mask = Matrix::from_fn(6, 6, |r, c| if r.abs_diff(c) <= 1 { 0.0 } else { -1e9 });
         let a = [1u32, 2, 3, 4, 5, 6];
         let mut b = a;
         b[0] = 8;

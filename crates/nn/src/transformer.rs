@@ -351,7 +351,10 @@ mod tests {
         // Distinguish sequences starting with token 1 vs token 2.
         let mut store = ParamStore::new();
         let t = Transformer::new(TransformerConfig::tiny(8), &mut store, 7);
-        let head = store.add("head", Matrix::randn(16, 2, 0.1, &mut StdRng::seed_from_u64(3)));
+        let head = store.add(
+            "head",
+            Matrix::randn(16, 2, 0.1, &mut StdRng::seed_from_u64(3)),
+        );
         let mut opt = AdamW::new(&store, AdamConfig::default());
         let samples: Vec<(Vec<u32>, usize)> = vec![
             (vec![1, 3, 4], 0),

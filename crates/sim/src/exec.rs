@@ -109,10 +109,7 @@ pub struct CycleReport {
 impl CycleReport {
     /// The final tensor stored in a graph buffer.
     pub fn buffer(&self, name: &Ident) -> Option<&Tensor> {
-        self.buffers
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, t)| t)
+        self.buffers.iter().find(|(n, _)| n == name).map(|(_, t)| t)
     }
 }
 
@@ -193,7 +190,11 @@ impl<'a> Machine<'a> {
                     })
                 }
                 Some(scalar) => Tensor::full(dims.clone(), scalar.as_f64()),
-                None => Tensor::zeros(if dims.is_empty() { vec![len] } else { dims.clone() }),
+                None => Tensor::zeros(if dims.is_empty() {
+                    vec![len]
+                } else {
+                    dims.clone()
+                }),
             };
             buffer_index.insert(decl.name.clone(), buffers.len());
             buffers.push(tensor);
@@ -458,10 +459,7 @@ impl<'a> Machine<'a> {
                 }
             }
             Expr::Call { func, args } => {
-                let vals: Vec<f64> = args
-                    .iter()
-                    .map(|a| self.eval(a, frame, lane))
-                    .collect();
+                let vals: Vec<f64> = args.iter().map(|a| self.eval(a, frame, lane)).collect();
                 lane.compute += intrinsic_latency(*func);
                 apply_intrinsic(*func, &vals)
             }
@@ -665,10 +663,7 @@ mod tests {
                     ),
                     vec![Stmt::assign(
                         LValue::store("b", vec![idx[0].clone()]),
-                        Expr::call(
-                            Intrinsic::Exp,
-                            vec![Expr::load("a", vec![idx[0].clone()])],
-                        ),
+                        Expr::call(Intrinsic::Exp, vec![Expr::load("a", vec![idx[0].clone()])]),
                     )],
                 )]
             })
@@ -754,5 +749,132 @@ mod tests {
         let a = simulate(&p, &data).expect("a");
         let b = simulate(&p, &data).expect("b");
         assert_eq!(a, b);
+    }
+
+    // ---- error paths ----
+
+    /// Builds a one-operator program whose loop has an explicit step
+    /// expression (the builder only emits step 1).
+    fn stepped_loop_program(step: Expr) -> Program {
+        let mut p = scale_op(8);
+        let body = std::mem::take(&mut p.operators[0].body);
+        p.operators[0].body = vec![Stmt::For(ForLoop {
+            var: "i".into(),
+            lo: Expr::int(0),
+            hi: Expr::int(8),
+            step,
+            pragma: LoopPragma::None,
+            body,
+        })];
+        p
+    }
+
+    #[test]
+    fn zero_step_is_bad_step() {
+        let p = stepped_loop_program(Expr::int(0));
+        assert_eq!(
+            simulate(&p, &InputData::new()).unwrap_err(),
+            SimError::BadStep("i".to_string())
+        );
+    }
+
+    #[test]
+    fn negative_step_is_bad_step() {
+        let p = stepped_loop_program(Expr::int(-2));
+        assert!(matches!(
+            simulate(&p, &InputData::new()).unwrap_err(),
+            SimError::BadStep(var) if var == "i"
+        ));
+    }
+
+    #[test]
+    fn dynamic_step_evaluating_nonpositive_is_bad_step() {
+        // The step is a runtime expression; only execution can reject it.
+        let mut p = stepped_loop_program(Expr::var("s"));
+        p.operators[0]
+            .params
+            .push(llmulator_ir::ParamDecl::scalar("s"));
+        p.graph.params.push("s".into());
+        p.graph.invocations[0]
+            .args
+            .push(Arg::Scalar(Expr::var("s")));
+        assert!(matches!(
+            simulate(&p, &InputData::new().with("s", 0i64)).unwrap_err(),
+            SimError::BadStep(_)
+        ));
+        assert!(simulate(&p, &InputData::new().with("s", 2i64)).is_ok());
+    }
+
+    #[test]
+    fn unknown_operator_is_unbound() {
+        let mut p = scale_op(8);
+        p.graph.invocations[0].op = "missing_op".into();
+        assert_eq!(
+            simulate(&p, &InputData::new()).unwrap_err(),
+            SimError::Unbound("missing_op".to_string())
+        );
+    }
+
+    #[test]
+    fn unknown_buffer_argument_is_unbound() {
+        let mut p = scale_op(8);
+        p.graph.invocations[0].args[0] = Arg::Buffer("missing_buf".into());
+        assert_eq!(
+            simulate(&p, &InputData::new()).unwrap_err(),
+            SimError::Unbound("missing_buf".to_string())
+        );
+    }
+
+    #[test]
+    fn arity_mismatch_is_unbound() {
+        let mut p = scale_op(8);
+        p.graph.invocations[0].args.pop();
+        let err = simulate(&p, &InputData::new()).unwrap_err();
+        assert!(
+            matches!(&err, SimError::Unbound(msg) if msg.contains("arity")),
+            "unexpected error: {err:?}"
+        );
+    }
+
+    #[test]
+    fn missing_symbolic_buffer_dim_is_missing_input() {
+        // A buffer dimension referencing a name that is not a graph
+        // parameter cannot be resolved at allocation time.
+        let mut p = scale_op(8);
+        p.graph.buffers[0].dims = vec![Dim::Sym("phantom".into())];
+        assert_eq!(
+            simulate(&p, &InputData::new()).unwrap_err(),
+            SimError::MissingInput("phantom".to_string())
+        );
+    }
+
+    #[test]
+    fn budget_boundary_is_inclusive() {
+        // Exactly hitting the budget is fine; one more iteration trips it.
+        let p = scale_op(8); // 8 iterations
+        let ok = simulate_with(&p, &InputData::new(), SimConfig { max_iterations: 8 });
+        assert!(ok.is_ok());
+        let err = simulate_with(&p, &InputData::new(), SimConfig { max_iterations: 7 });
+        assert_eq!(err.unwrap_err(), SimError::BudgetExceeded { budget: 7 });
+    }
+
+    #[test]
+    fn sim_errors_render_their_context() {
+        assert_eq!(
+            SimError::MissingInput("n".into()).to_string(),
+            "missing runtime input `n`"
+        );
+        assert_eq!(
+            SimError::Unbound("op".into()).to_string(),
+            "unbound name `op`"
+        );
+        assert_eq!(
+            SimError::BudgetExceeded { budget: 9 }.to_string(),
+            "iteration budget of 9 exceeded"
+        );
+        assert_eq!(
+            SimError::BadStep("i".into()).to_string(),
+            "loop `i` has non-positive step"
+        );
     }
 }

@@ -35,7 +35,12 @@ pub enum Metric {
 impl Metric {
     /// All metrics, in the paper's column order.
     pub fn all() -> &'static [Metric] {
-        &[Metric::Power, Metric::Area, Metric::FlipFlops, Metric::Cycles]
+        &[
+            Metric::Power,
+            Metric::Area,
+            Metric::FlipFlops,
+            Metric::Cycles,
+        ]
     }
 
     /// True for metrics that depend on runtime input.
@@ -125,8 +130,7 @@ mod tests {
             .loop_nest(&[("i", 32)], |idx| {
                 vec![Stmt::assign(
                     LValue::store("c", vec![idx[0].clone()]),
-                    Expr::load("a", vec![idx[0].clone()])
-                        + Expr::load("b", vec![idx[0].clone()]),
+                    Expr::load("a", vec![idx[0].clone()]) + Expr::load("b", vec![idx[0].clone()]),
                 )]
             })
             .build();

@@ -100,18 +100,14 @@ pub fn instantiate(template: Template, name: &str, p: TemplateParams) -> Operato
             .array_param("a", [n, k])
             .array_param("b", [k, n])
             .array_param("c", [n, n])
-            .loop_nest_with_pragma(
-                &[("i", n), ("j", n), ("kk", k)],
-                p.pragma,
-                |idx| {
-                    vec![Stmt::accumulate(
-                        "c",
-                        vec![idx[0].clone(), idx[1].clone()],
-                        Expr::load("a", vec![idx[0].clone(), idx[2].clone()])
-                            * Expr::load("b", vec![idx[2].clone(), idx[1].clone()]),
-                    )]
-                },
-            )
+            .loop_nest_with_pragma(&[("i", n), ("j", n), ("kk", k)], p.pragma, |idx| {
+                vec![Stmt::accumulate(
+                    "c",
+                    vec![idx[0].clone(), idx[1].clone()],
+                    Expr::load("a", vec![idx[0].clone(), idx[2].clone()])
+                        * Expr::load("b", vec![idx[2].clone(), idx[1].clone()]),
+                )]
+            })
             .build(),
         Template::Conv1d => {
             let steps = (n.saturating_sub(k)) / p.step.max(1) + 1;
@@ -141,7 +137,7 @@ pub fn instantiate(template: Template, name: &str, p: TemplateParams) -> Operato
                 .build()
         }
         Template::Stencil2d => {
-            let m = n.min(24).max(3);
+            let m = n.clamp(3, 24);
             OperatorBuilder::new(name)
                 .array_param("a", [m, m])
                 .array_param("b", [m, m])
@@ -225,7 +221,10 @@ pub fn instantiate(template: Template, name: &str, p: TemplateParams) -> Operato
                     ),
                     vec![Stmt::assign(
                         LValue::store("y", vec![idx[0].clone()]),
-                        Expr::call(Intrinsic::Sigmoid, vec![Expr::load("x", vec![idx[0].clone()])]),
+                        Expr::call(
+                            Intrinsic::Sigmoid,
+                            vec![Expr::load("x", vec![idx[0].clone()])],
+                        ),
                     )],
                 )]
             })
@@ -279,7 +278,9 @@ pub fn gen_chain(index: usize, depth: usize, rng: &mut StdRng) -> Program {
                 }
             }
         }
-        graph.invocations.push(Invocation::new(op.name.clone(), args));
+        graph
+            .invocations
+            .push(Invocation::new(op.name.clone(), args));
         operators.push(op);
     }
     Program::new(graph, operators, llmulator_ir::HardwareParams::default())
@@ -378,8 +379,15 @@ mod tests {
             ))
         };
         let d = llmulator_ir::InputData::new();
-        let c1 = llmulator_sim::simulate(&mk(1), &d).expect("s1").total_cycles;
-        let c2 = llmulator_sim::simulate(&mk(2), &d).expect("s2").total_cycles;
-        assert!(c1 > c2, "stride 1 ({c1}) does more work than stride 2 ({c2})");
+        let c1 = llmulator_sim::simulate(&mk(1), &d)
+            .expect("s1")
+            .total_cycles;
+        let c2 = llmulator_sim::simulate(&mk(2), &d)
+            .expect("s2")
+            .total_cycles;
+        assert!(
+            c1 > c2,
+            "stride 1 ({c1}) does more work than stride 2 ({c2})"
+        );
     }
 }

@@ -95,10 +95,7 @@ fn interchange(block: &mut [Stmt]) -> bool {
     for stmt in block {
         if let Stmt::For(outer) = stmt {
             // find a directly nested loop
-            let inner_pos = outer
-                .body
-                .iter()
-                .position(|s| matches!(s, Stmt::For(_)));
+            let inner_pos = outer.body.iter().position(|s| matches!(s, Stmt::For(_)));
             if let Some(pos) = inner_pos {
                 if let Stmt::For(inner) = &mut outer.body[pos] {
                     std::mem::swap(&mut outer.var, &mut inner.var);
@@ -270,7 +267,11 @@ mod tests {
     fn pragma_mutation_cycles() {
         let mut p = seed_program();
         let mut rng = StdRng::seed_from_u64(0);
-        assert!(apply(&mut p.operators[0], Mutation::PragmaMutation, &mut rng));
+        assert!(apply(
+            &mut p.operators[0],
+            Mutation::PragmaMutation,
+            &mut rng
+        ));
         match &p.operators[0].body[0] {
             Stmt::For(l) => assert_eq!(l.pragma, LoopPragma::UnrollFull),
             other => panic!("expected loop, got {other:?}"),

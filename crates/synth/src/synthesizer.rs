@@ -84,13 +84,8 @@ pub fn random_inputs(program: &Program, rng: &mut StdRng) -> InputData {
     // branches see non-degenerate data.
     if let Some(buf) = program.graph.buffers.first() {
         if let Some(len) = buf.const_len() {
-            let vals: Vec<f64> = (0..len)
-                .map(|_| rng.gen_range(-2.0f64..2.0))
-                .collect();
-            data.bind(
-                buf.name.clone(),
-                llmulator_ir::Tensor::new(vec![len], vals),
-            );
+            let vals: Vec<f64> = (0..len).map(|_| rng.gen_range(-2.0f64..2.0)).collect();
+            data.bind(buf.name.clone(), llmulator_ir::Tensor::new(vec![len], vals));
         }
     }
     data
@@ -215,10 +210,11 @@ mod tests {
             seed: 9,
         };
         let ds = synthesize(&config);
-        assert!(ds
-            .samples
+        assert!(ds.samples.iter().all(|s| s
+            .text
+            .parts
             .iter()
-            .all(|s| s.text.parts.iter().any(|(k, _)| *k == llmulator_token::SegmentKind::Think)));
+            .any(|(k, _)| *k == llmulator_token::SegmentKind::Think)));
     }
 
     #[test]

@@ -151,7 +151,10 @@ mod tests {
     #[test]
     fn segment_lookup() {
         let tp = sample();
-        assert_eq!(tp.segment_of(6).map(|s| s.kind), Some(SegmentKind::Operator(0)));
+        assert_eq!(
+            tp.segment_of(6).map(|s| s.kind),
+            Some(SegmentKind::Operator(0))
+        );
         assert_eq!(tp.segment_of(0), None); // BOS belongs to no segment
         assert!(tp.find(SegmentKind::Data).is_some());
         assert!(tp.find(SegmentKind::Think).is_none());

@@ -123,9 +123,7 @@ impl Tokenizer {
                             out.push(self.vocab.digit(d as u8 - b'0'));
                         }
                     }
-                    NumericMode::Whole => {
-                        out.push(self.vocab.whole_number(&text[pos..byte_at(i)]))
-                    }
+                    NumericMode::Whole => out.push(self.vocab.whole_number(&text[pos..byte_at(i)])),
                 }
                 continue;
             }
@@ -312,10 +310,7 @@ mod tests {
         for s in ["Dp\"Ⱥ.ൈ", "x=Ⱥ128", "日本語 for 42", "a-Ⱥ", "𑊄𞸢BX᥀=¥"] {
             let ids = t.encode(s);
             assert!(!ids.is_empty(), "{s}");
-            assert!(
-                ids.iter().all(|&id| (id as usize) < t.vocab_size()),
-                "{s}"
-            );
+            assert!(ids.iter().all(|&id| (id as usize) < t.vocab_size()), "{s}");
         }
         // Digits adjacent to multi-byte chars still decompose digit-wise.
         let ids = t.encode("x=Ⱥ128");

@@ -31,11 +31,47 @@ pub const PUNCT: &[&str] = &[
 
 /// Keywords and reserved words (language + pragmas + hardware keys + tags).
 pub const KEYWORDS: &[&str] = &[
-    "void", "int", "float", "for", "if", "else", "pragma", "clang", "loop", "unroll",
-    "unroll_count", "omp", "parallel", "full", "exp", "sqrt", "fabs", "relu", "sigmoid", "tanh",
-    "log", "max", "min", "tensor", "think", "/think", "Mem-Read-delay", "Mem-Write-delay",
-    "Parallel-lanes", "Clock-period-ns", "Number", "of", "modules", "instantiated",
-    "performance", "conflicts", "Estimated", "resources", "area", "MUX21", "allocated",
+    "void",
+    "int",
+    "float",
+    "for",
+    "if",
+    "else",
+    "pragma",
+    "clang",
+    "loop",
+    "unroll",
+    "unroll_count",
+    "omp",
+    "parallel",
+    "full",
+    "exp",
+    "sqrt",
+    "fabs",
+    "relu",
+    "sigmoid",
+    "tanh",
+    "log",
+    "max",
+    "min",
+    "tensor",
+    "think",
+    "/think",
+    "Mem-Read-delay",
+    "Mem-Write-delay",
+    "Parallel-lanes",
+    "Clock-period-ns",
+    "Number",
+    "of",
+    "modules",
+    "instantiated",
+    "performance",
+    "conflicts",
+    "Estimated",
+    "resources",
+    "area",
+    "MUX21",
+    "allocated",
     "multiplexers",
 ];
 

@@ -97,7 +97,11 @@ pub fn image_norm_cnn() -> Workload {
     let img = c.buffer("img", &[IMG, IMG]);
     let resized = c.buffer("resized", &[IMG, IMG]);
     let (h, w) = (c.param("h"), c.param("w"));
-    c.invoke(ops::dyn_window2d("resize", IMG), &[&img, &resized], &[&h, &w]);
+    c.invoke(
+        ops::dyn_window2d("resize", IMG),
+        &[&img, &resized],
+        &[&h, &w],
+    );
     let k = c.buffer("k1", &[3, 3]);
     let f1 = c.buffer("f1", &[IMG, IMG]);
     c.invoke(ops::conv2d("conv1", IMG, IMG, 3), &[&resized, &k, &f1], &[]);
@@ -282,7 +286,11 @@ pub fn gan_superres() -> Workload {
         &[],
     );
     let skip = c.buffer("skip", &[4 * FLAT]);
-    c.invoke(ops::residual_add("gskip", 4 * FLAT), &[&g3, &up2, &skip], &[]);
+    c.invoke(
+        ops::residual_add("gskip", 4 * FLAT),
+        &[&g3, &up2, &skip],
+        &[],
+    );
     let crop = c.buffer("crop", &[IMG, IMG]);
     let (h, w) = (c.param("h"), c.param("w"));
     c.invoke(ops::dyn_window2d("crop", IMG), &[&skip, &crop], &[&h, &w]);
@@ -361,7 +369,11 @@ pub fn bevformer() -> Workload {
     let q = c.buffer("q", &[SEQ, DM]);
     c.invoke(ops::gemm("bev_q", SEQ, DM, DM), &[&sampled, &wq, &q], &[]);
     let scores = c.buffer("scores", &[SEQ, SEQ]);
-    c.invoke(ops::gemm("bev_qk", SEQ, SEQ, DM), &[&q, &sampled, &scores], &[]);
+    c.invoke(
+        ops::gemm("bev_qk", SEQ, SEQ, DM),
+        &[&q, &sampled, &scores],
+        &[],
+    );
     let tmp = c.buffer("tmp", &[1]);
     let attn = c.buffer("attn", &[SEQ * SEQ]);
     c.invoke(
@@ -371,7 +383,11 @@ pub fn bevformer() -> Workload {
     );
     let crop = c.buffer("crop", &[IMG, IMG]);
     let (h, w) = (c.param("h"), c.param("w"));
-    c.invoke(ops::dyn_window2d("bev_crop", IMG), &[&attn, &crop], &[&h, &w]);
+    c.invoke(
+        ops::dyn_window2d("bev_crop", IMG),
+        &[&attn, &crop],
+        &[&h, &w],
+    );
     Workload::new("Tab. 2-9", c.build(), img_inputs())
 }
 
@@ -458,7 +474,11 @@ pub fn bert_base() -> Workload {
     let act = c.buffer("act", &[SEQ * DM]);
     c.invoke(ops::relu_op("gelu", SEQ * DM), &[&ff, &act], &[]);
     let out = c.buffer("out", &[SEQ * DM]);
-    c.invoke(ops::residual_add("ffres", SEQ * DM), &[&act, &enc, &out], &[]);
+    c.invoke(
+        ops::residual_add("ffres", SEQ * DM),
+        &[&act, &enc, &out],
+        &[],
+    );
     Workload::new("Tab. 2-10", c.build(), seq_inputs())
 }
 
@@ -475,7 +495,11 @@ pub fn albert() -> Workload {
     );
     let wp = c.buffer("wp", &[1]);
     let proj = c.buffer("proj", &[SEQ * DM]);
-    c.invoke(ops::pointwise("factorized", SEQ * DM), &[&emb, &wp, &proj], &[]);
+    c.invoke(
+        ops::pointwise("factorized", SEQ * DM),
+        &[&emb, &wp, &proj],
+        &[],
+    );
     let len = c.param("len");
     let enc = encoder_block(&mut c, "enc0", &proj, Some(&len));
     let wff = c.buffer("wff", &[DM, DM]);
@@ -484,7 +508,11 @@ pub fn albert() -> Workload {
     let act = c.buffer("act", &[SEQ * DM]);
     c.invoke(ops::relu_op("gelu", SEQ * DM), &[&ff, &act], &[]);
     let out = c.buffer("out", &[SEQ * DM]);
-    c.invoke(ops::residual_add("ffres", SEQ * DM), &[&act, &enc, &out], &[]);
+    c.invoke(
+        ops::residual_add("ffres", SEQ * DM),
+        &[&act, &enc, &out],
+        &[],
+    );
     Workload::new("Tab. 2-11", c.build(), seq_inputs())
 }
 
@@ -508,10 +536,18 @@ pub fn t5_base() -> Workload {
     let act = c.buffer("act", &[SEQ * DM]);
     c.invoke(ops::relu_op("gelu", SEQ * DM), &[&ff, &act], &[]);
     let out = c.buffer("out", &[SEQ * DM]);
-    c.invoke(ops::residual_add("ffres", SEQ * DM), &[&act, &dec, &out], &[]);
+    c.invoke(
+        ops::residual_add("ffres", SEQ * DM),
+        &[&act, &dec, &out],
+        &[],
+    );
     let logits = c.buffer("logits", &[SEQ, DM]);
     let wlm = c.buffer("wlm", &[DM, DM]);
-    c.invoke(ops::gemm("lm_head", SEQ, DM, DM), &[&out, &wlm, &logits], &[]);
+    c.invoke(
+        ops::gemm("lm_head", SEQ, DM, DM),
+        &[&out, &wlm, &logits],
+        &[],
+    );
     let smtmp = c.buffer("smtmp", &[1]);
     let probs = c.buffer("probs", &[SEQ * DM]);
     c.invoke(
@@ -537,7 +573,11 @@ pub fn roberta() -> Workload {
     let enc = encoder_block(&mut c, "enc0", &emb, Some(&len));
     let wcls = c.buffer("wcls", &[DM, DM]);
     let cls = c.buffer("cls", &[SEQ, DM]);
-    c.invoke(ops::gemm("cls_head", SEQ, DM, DM), &[&enc, &wcls, &cls], &[]);
+    c.invoke(
+        ops::gemm("cls_head", SEQ, DM, DM),
+        &[&enc, &wcls, &cls],
+        &[],
+    );
     Workload::new("Tab. 2-13", c.build(), seq_inputs())
 }
 
@@ -547,7 +587,11 @@ pub fn llama() -> Workload {
     let x = c.buffer("x", &[SEQ * DM]);
     let acc = c.buffer("rmsacc", &[2]);
     let normed = c.buffer("normed", &[SEQ * DM]);
-    c.invoke(ops::layer_norm("rmsnorm", SEQ * DM), &[&x, &acc, &normed], &[]);
+    c.invoke(
+        ops::layer_norm("rmsnorm", SEQ * DM),
+        &[&x, &acc, &normed],
+        &[],
+    );
     let wq = c.buffer("wq", &[DM, DM]);
     let q = c.buffer("q", &[SEQ, DM]);
     c.invoke(ops::gemm("wq_proj", SEQ, DM, DM), &[&normed, &wq, &q], &[]);
@@ -567,7 +611,11 @@ pub fn llama() -> Workload {
     c.invoke(ops::sigmoid_op("silu", SEQ * DM), &[&ctx, &gate], &[]);
     let mixed = c.buffer("mixed", &[SEQ * DM]);
     let len = c.param("len");
-    c.invoke(ops::dyn_seq_mix("kvwin", SEQ * DM), &[&gate, &mixed], &[&len]);
+    c.invoke(
+        ops::dyn_seq_mix("kvwin", SEQ * DM),
+        &[&gate, &mixed],
+        &[&len],
+    );
     let out = c.buffer("out", &[SEQ * DM]);
     c.invoke(ops::residual_add("res", SEQ * DM), &[&mixed, &x, &out], &[]);
     Workload::new("Tab. 2-14", c.build(), seq_inputs())

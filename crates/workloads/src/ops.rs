@@ -21,7 +21,10 @@ pub fn conv2d(name: &str, h: usize, w: usize, k: usize) -> Operator {
                 vec![idx[0].clone(), idx[1].clone()],
                 Expr::load(
                     "x",
-                    vec![idx[0].clone() + idx[2].clone(), idx[1].clone() + idx[3].clone()],
+                    vec![
+                        idx[0].clone() + idx[2].clone(),
+                        idx[1].clone() + idx[3].clone(),
+                    ],
                 ) * Expr::load("wgt", vec![idx[2].clone(), idx[3].clone()]),
             )]
         })
@@ -168,7 +171,10 @@ pub fn softmax(name: &str, n: usize) -> Operator {
                 Expr::load("y", vec![idx[0].clone()])
                     / Expr::call(
                         Intrinsic::Max,
-                        vec![Expr::load("tmp", vec![Expr::int(0)]), Expr::FloatConst(1e-6)],
+                        vec![
+                            Expr::load("tmp", vec![Expr::int(0)]),
+                            Expr::FloatConst(1e-6),
+                        ],
                     ),
             )]
         })
@@ -183,7 +189,11 @@ pub fn layer_norm(name: &str, n: usize) -> Operator {
         .array_param("y", [n])
         .loop_nest(&[("i", n)], |idx| {
             vec![
-                Stmt::accumulate("acc", vec![Expr::int(0)], Expr::load("x", vec![idx[0].clone()])),
+                Stmt::accumulate(
+                    "acc",
+                    vec![Expr::int(0)],
+                    Expr::load("x", vec![idx[0].clone()]),
+                ),
                 Stmt::accumulate(
                     "acc",
                     vec![Expr::int(1)],
@@ -199,10 +209,7 @@ pub fn layer_norm(name: &str, n: usize) -> Operator {
             vec![Stmt::assign(
                 LValue::store("y", vec![idx[0].clone()]),
                 (Expr::load("x", vec![idx[0].clone()]) - mean)
-                    / Expr::call(
-                        Intrinsic::Sqrt,
-                        vec![var + Expr::FloatConst(1e-5)],
-                    ),
+                    / Expr::call(Intrinsic::Sqrt, vec![var + Expr::FloatConst(1e-5)]),
             )]
         })
         .build()
@@ -288,8 +295,7 @@ pub fn dyn_seq_mix(name: &str, cap: usize) -> Operator {
         .dyn_loop_nest(&[("i", Expr::var("len"))], |idx| {
             vec![Stmt::assign(
                 LValue::store("y", vec![idx[0].clone()]),
-                Expr::load("x", vec![idx[0].clone()])
-                    + Expr::load("x", vec![Expr::int(0)]),
+                Expr::load("x", vec![idx[0].clone()]) + Expr::load("x", vec![Expr::int(0)]),
             )]
         })
         .build()
@@ -359,7 +365,9 @@ mod tests {
     fn runs(op: Operator, data: InputData) -> u64 {
         let p = Program::single_op(op);
         p.validate().expect("valid");
-        llmulator_sim::simulate(&p, &data).expect("simulates").total_cycles
+        llmulator_sim::simulate(&p, &data)
+            .expect("simulates")
+            .total_cycles
     }
 
     #[test]
@@ -411,7 +419,10 @@ mod tests {
             analyze_operator(&anchor_filter("a", 8)).class,
             OperatorClass::ClassII
         );
-        assert_eq!(analyze_operator(&gemm("g", 4, 4, 4)).class, OperatorClass::ClassI);
+        assert_eq!(
+            analyze_operator(&gemm("g", 4, 4, 4)).class,
+            OperatorClass::ClassI
+        );
     }
 
     #[test]

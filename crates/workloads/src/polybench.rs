@@ -39,13 +39,15 @@ pub fn adi() -> Workload {
                                 "v",
                                 vec![Expr::var("i") + Expr::int(1), Expr::var("j") + Expr::int(1)],
                             ),
-                            (Expr::load(
-                                "u",
-                                vec![Expr::var("i"), Expr::var("j") + Expr::int(1)],
-                            ) + Expr::load(
-                                "u",
-                                vec![Expr::var("i") + Expr::int(2), Expr::var("j") + Expr::int(1)],
-                            )) / Expr::FloatConst(2.0),
+                            (Expr::load("u", vec![Expr::var("i"), Expr::var("j") + Expr::int(1)])
+                                + Expr::load(
+                                    "u",
+                                    vec![
+                                        Expr::var("i") + Expr::int(2),
+                                        Expr::var("j") + Expr::int(1),
+                                    ],
+                                ))
+                                / Expr::FloatConst(2.0),
                         )],
                     )],
                 ),
@@ -61,13 +63,15 @@ pub fn adi() -> Workload {
                                 "u",
                                 vec![Expr::var("i") + Expr::int(1), Expr::var("j") + Expr::int(1)],
                             ),
-                            (Expr::load(
-                                "v",
-                                vec![Expr::var("i") + Expr::int(1), Expr::var("j")],
-                            ) + Expr::load(
-                                "v",
-                                vec![Expr::var("i") + Expr::int(1), Expr::var("j") + Expr::int(2)],
-                            )) / Expr::FloatConst(2.0),
+                            (Expr::load("v", vec![Expr::var("i") + Expr::int(1), Expr::var("j")])
+                                + Expr::load(
+                                    "v",
+                                    vec![
+                                        Expr::var("i") + Expr::int(1),
+                                        Expr::var("j") + Expr::int(2),
+                                    ],
+                                ))
+                                / Expr::FloatConst(2.0),
                         )],
                     )],
                 ),
@@ -253,10 +257,15 @@ pub fn fdtd_2d() -> Workload {
                         "j",
                         Expr::int(N as i64),
                         vec![Stmt::assign(
-                            LValue::store("ey", vec![Expr::var("i") + Expr::int(1), Expr::var("j")]),
+                            LValue::store(
+                                "ey",
+                                vec![Expr::var("i") + Expr::int(1), Expr::var("j")],
+                            ),
                             Expr::load("ey", vec![Expr::var("i") + Expr::int(1), Expr::var("j")])
-                                - (Expr::load("hz", vec![Expr::var("i") + Expr::int(1), Expr::var("j")])
-                                    - Expr::load("hz", vec![Expr::var("i"), Expr::var("j")]))
+                                - (Expr::load(
+                                    "hz",
+                                    vec![Expr::var("i") + Expr::int(1), Expr::var("j")],
+                                ) - Expr::load("hz", vec![Expr::var("i"), Expr::var("j")]))
                                     * Expr::FloatConst(0.5),
                         )],
                     )],
@@ -268,10 +277,15 @@ pub fn fdtd_2d() -> Workload {
                         "j2",
                         Expr::int((N - 1) as i64),
                         vec![Stmt::assign(
-                            LValue::store("ex", vec![Expr::var("i2"), Expr::var("j2") + Expr::int(1)]),
+                            LValue::store(
+                                "ex",
+                                vec![Expr::var("i2"), Expr::var("j2") + Expr::int(1)],
+                            ),
                             Expr::load("ex", vec![Expr::var("i2"), Expr::var("j2") + Expr::int(1)])
-                                - (Expr::load("hz", vec![Expr::var("i2"), Expr::var("j2") + Expr::int(1)])
-                                    - Expr::load("hz", vec![Expr::var("i2"), Expr::var("j2")]))
+                                - (Expr::load(
+                                    "hz",
+                                    vec![Expr::var("i2"), Expr::var("j2") + Expr::int(1)],
+                                ) - Expr::load("hz", vec![Expr::var("i2"), Expr::var("j2")]))
                                     * Expr::FloatConst(0.5),
                         )],
                     )],
@@ -285,9 +299,14 @@ pub fn fdtd_2d() -> Workload {
                         vec![Stmt::assign(
                             LValue::store("hz", vec![Expr::var("i3"), Expr::var("j3")]),
                             Expr::load("hz", vec![Expr::var("i3"), Expr::var("j3")])
-                                - (Expr::load("ex", vec![Expr::var("i3"), Expr::var("j3") + Expr::int(1)])
-                                    - Expr::load("ex", vec![Expr::var("i3"), Expr::var("j3")])
-                                    + Expr::load("ey", vec![Expr::var("i3") + Expr::int(1), Expr::var("j3")])
+                                - (Expr::load(
+                                    "ex",
+                                    vec![Expr::var("i3"), Expr::var("j3") + Expr::int(1)],
+                                ) - Expr::load("ex", vec![Expr::var("i3"), Expr::var("j3")])
+                                    + Expr::load(
+                                        "ey",
+                                        vec![Expr::var("i3") + Expr::int(1), Expr::var("j3")],
+                                    )
                                     - Expr::load("ey", vec![Expr::var("i3"), Expr::var("j3")]))
                                     * Expr::FloatConst(0.7),
                         )],
@@ -368,11 +387,19 @@ pub fn jacobi_2d() -> Workload {
                         dst,
                         vec![Expr::var("i") + Expr::int(1), Expr::var("j") + Expr::int(1)],
                     ),
-                    (Expr::load(src, vec![Expr::var("i") + Expr::int(1), Expr::var("j") + Expr::int(1)])
-                        + Expr::load(src, vec![Expr::var("i"), Expr::var("j") + Expr::int(1)])
-                        + Expr::load(src, vec![Expr::var("i") + Expr::int(2), Expr::var("j") + Expr::int(1)])
+                    (Expr::load(
+                        src,
+                        vec![Expr::var("i") + Expr::int(1), Expr::var("j") + Expr::int(1)],
+                    ) + Expr::load(src, vec![Expr::var("i"), Expr::var("j") + Expr::int(1)])
+                        + Expr::load(
+                            src,
+                            vec![Expr::var("i") + Expr::int(2), Expr::var("j") + Expr::int(1)],
+                        )
                         + Expr::load(src, vec![Expr::var("i") + Expr::int(1), Expr::var("j")])
-                        + Expr::load(src, vec![Expr::var("i") + Expr::int(1), Expr::var("j") + Expr::int(2)]))
+                        + Expr::load(
+                            src,
+                            vec![Expr::var("i") + Expr::int(1), Expr::var("j") + Expr::int(2)],
+                        ))
                         * Expr::FloatConst(0.2),
                 )],
             )],

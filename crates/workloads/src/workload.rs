@@ -74,10 +74,7 @@ mod tests {
             InputData::new().with("n", 10i64).with("x", 2.5f64),
         );
         let scaled = w.scaled_inputs(1.5);
-        assert_eq!(
-            scaled.get(&"n".into()),
-            Some(&llmulator_ir::Value::Int(15))
-        );
+        assert_eq!(scaled.get(&"n".into()), Some(&llmulator_ir::Value::Int(15)));
         assert_eq!(
             scaled.get(&"x".into()),
             Some(&llmulator_ir::Value::Float(2.5))

@@ -31,7 +31,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             SegmentKind::Think => "think",
         };
         let preview: String = text.chars().take(72).collect();
-        println!("[{label:<6}] {} chars | {}", text.chars().count(), preview.replace('\n', " "));
+        println!(
+            "[{label:<6}] {} chars | {}",
+            text.chars().count(),
+            preview.replace('\n', " ")
+        );
     }
     println!(
         "labels: power={:.2}mW area={:.0}um2 ff={} cycles={}",

@@ -75,7 +75,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut actual = Vec::new();
     let mut rows_saved = 0usize;
     let mut rows_total = 0usize;
-    println!("\n{:<12} {:>9} {:>12} {:>12}", "pragma", "delay", "pred cyc", "true cyc");
+    println!(
+        "\n{:<12} {:>9} {:>12} {:>12}",
+        "pragma", "delay", "pred cyc", "true cyc"
+    );
     for p in &candidates {
         let sample = Sample::profile(p, Some(&InputData::new()))?;
         let tp = model.tokenize_sample(&sample);

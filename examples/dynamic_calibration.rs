@@ -18,16 +18,13 @@ fn sliding_window() -> Program {
         .array_param("y", [4096])
         .scalar_param("h")
         .scalar_param("w")
-        .dyn_loop_nest(
-            &[("i", Expr::var("h")), ("j", Expr::var("w"))],
-            |idx| {
-                vec![Stmt::assign(
-                    LValue::store("y", vec![idx[0].clone() * Expr::int(8) + idx[1].clone()]),
-                    Expr::load("x", vec![idx[0].clone() * Expr::int(8) + idx[1].clone()])
-                        * Expr::int(2),
-                )]
-            },
-        )
+        .dyn_loop_nest(&[("i", Expr::var("h")), ("j", Expr::var("w"))], |idx| {
+            vec![Stmt::assign(
+                LValue::store("y", vec![idx[0].clone() * Expr::int(8) + idx[1].clone()]),
+                Expr::load("x", vec![idx[0].clone() * Expr::int(8) + idx[1].clone()])
+                    * Expr::int(2),
+            )]
+        })
         .build();
     Program::single_op(op)
 }

@@ -64,9 +64,7 @@ fn dpo_calibration_tracks_profiler_feedback() {
         },
     );
     // Shifted deployment distribution.
-    let inputs: Vec<InputData> = (0..6)
-        .map(|_| InputData::new().with("n", 160i64))
-        .collect();
+    let inputs: Vec<InputData> = (0..6).map(|_| InputData::new().with("n", 160i64)).collect();
     let trace = calibrate_cycles(&mut m, &mut cal, &program, &inputs).expect("calibrates");
     assert_eq!(trace.steps.len(), 6);
     assert!(

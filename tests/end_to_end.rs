@@ -89,10 +89,11 @@ fn reasoning_format_flows_through_training() {
     let mut config = SynthesisConfig::paper_mix(10, 11);
     config.format = DataFormat::Reasoning;
     let dataset = synthesize(&config);
-    assert!(dataset
-        .samples
+    assert!(dataset.samples.iter().all(|s| s
+        .text
+        .parts
         .iter()
-        .all(|s| s.text.parts.iter().any(|(k, _)| *k == llmulator_token::SegmentKind::Think)));
+        .any(|(k, _)| *k == llmulator_token::SegmentKind::Think)));
     let mut model = tiny_model(11);
     let curve = model.fit(
         &dataset,

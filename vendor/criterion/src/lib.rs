@@ -1,0 +1,126 @@
+//! Vendored, offline-friendly stand-in for `criterion`.
+//!
+//! Implements the subset this workspace uses: `Criterion::benchmark_group`,
+//! `BenchmarkGroup::{sample_size, bench_function, finish}`,
+//! `Bencher::iter`, `black_box` and the `criterion_group!` /
+//! `criterion_main!` macros. Measurements are simple wall-clock means —
+//! enough to report relative latencies without the statistical machinery.
+
+use std::time::Instant;
+
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("benchmark group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 20,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.sample_size, &mut f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{name}", self.name);
+        run_one(&full, self.sample_size, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, f: &mut F) {
+    let mut bencher = Bencher {
+        sample_size,
+        total_nanos: 0.0,
+        iterations: 0,
+    };
+    f(&mut bencher);
+    if bencher.iterations > 0 {
+        let mean = bencher.total_nanos / bencher.iterations as f64;
+        println!(
+            "{name:<40} {:>12.1} ns/iter ({} iters)",
+            mean, bencher.iterations
+        );
+    }
+}
+
+/// Passed to the benchmark closure; `iter` runs and times the payload.
+pub struct Bencher {
+    sample_size: usize,
+    total_nanos: f64,
+    iterations: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut payload: F) {
+        // One untimed warm-up pass.
+        black_box(payload());
+        let start = Instant::now();
+        for _ in 0..self.sample_size {
+            black_box(payload());
+        }
+        self.total_nanos += start.elapsed().as_nanos() as f64;
+        self.iterations += self.sample_size as u64;
+    }
+}
+
+/// Declares a benchmark group function compatible with upstream criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

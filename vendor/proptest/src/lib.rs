@@ -1,0 +1,343 @@
+//! Vendored, offline-friendly stand-in for `proptest`.
+//!
+//! Supports the subset this workspace uses: the `proptest!` macro with an
+//! optional `#![proptest_config(...)]` header, range strategies over the
+//! primitive numeric types, and `prop_assert!` / `prop_assert_eq!`.
+//!
+//! Unlike upstream proptest, case generation is **fully deterministic**:
+//! every test function draws from an RNG seeded with a fixed constant (or
+//! `PROPTEST_SEED` if set), so CI runs are reproducible without a
+//! `proptest-regressions/` corpus. Failures print the case number and seed
+//! so a failing case can be replayed exactly.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Runner configuration: how many cases each property is checked with.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig { cases }
+    }
+}
+
+/// Base seed for case generation. Override with `PROPTEST_SEED` to explore
+/// a different deterministic sequence.
+pub fn base_seed() -> u64 {
+    std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0x4c4c_4d55_4c41_544f) // "LLMULATO"
+}
+
+/// A generator of values for one test argument.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// String strategies from a regex subset, mirroring proptest's `&str`
+/// strategy: a sequence of character classes (`[...]`, `\PC`, literals,
+/// escapes) each with an optional `{m,n}` / `{n}` quantifier.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let spec = parse_pattern(self)
+            .unwrap_or_else(|e| panic!("unsupported string strategy `{self}`: {e}"));
+        let mut out = String::new();
+        for (set, min, max) in &spec {
+            let count = rng.gen_range(*min..=*max);
+            for _ in 0..count {
+                out.push(pick_char(set, rng));
+            }
+        }
+        out
+    }
+}
+
+type CharSet = Vec<(char, char)>;
+
+fn pick_char(set: &CharSet, rng: &mut StdRng) -> char {
+    let total: u32 = set.iter().map(|(lo, hi)| *hi as u32 - *lo as u32 + 1).sum();
+    let mut idx = rng.gen_range(0..total);
+    for (lo, hi) in set {
+        let span = *hi as u32 - *lo as u32 + 1;
+        if idx < span {
+            return char::from_u32(*lo as u32 + idx).unwrap_or(*lo);
+        }
+        idx -= span;
+    }
+    unreachable!("index within total")
+}
+
+fn parse_pattern(pattern: &str) -> Result<Vec<(CharSet, usize, usize)>, String> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut items = Vec::new();
+    while i < chars.len() {
+        let set = match chars[i] {
+            '[' => {
+                i += 1;
+                let mut set = CharSet::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let c = if chars[i] == '\\' {
+                        i += 1;
+                        escape_char(*chars.get(i).ok_or("trailing backslash")?)?
+                    } else {
+                        chars[i]
+                    };
+                    // Range `c-d` (a trailing `-` is a literal).
+                    if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).is_some_and(|c| *c != ']')
+                    {
+                        i += 2;
+                        let hi = if chars[i] == '\\' {
+                            i += 1;
+                            escape_char(chars[i])?
+                        } else {
+                            chars[i]
+                        };
+                        set.push((c, hi));
+                    } else {
+                        set.push((c, c));
+                    }
+                    i += 1;
+                }
+                if i >= chars.len() {
+                    return Err("unterminated character class".into());
+                }
+                i += 1; // `]`
+                set
+            }
+            '\\' => {
+                i += 1;
+                match chars.get(i) {
+                    // `\PC`: any char outside the Unicode "Other" category;
+                    // approximated by printable ASCII plus Latin-1/Greek.
+                    Some('P') if chars.get(i + 1) == Some(&'C') => {
+                        i += 2;
+                        vec![(' ', '~'), ('\u{a1}', '\u{2ff}'), ('\u{370}', '\u{3ff}')]
+                    }
+                    Some(&c) => {
+                        let e = escape_char(c)?;
+                        i += 1;
+                        vec![(e, e)]
+                    }
+                    None => return Err("trailing backslash".into()),
+                }
+            }
+            c => {
+                i += 1;
+                vec![(c, c)]
+            }
+        };
+        // Optional quantifier.
+        let (min, max) = if chars.get(i) == Some(&'{') {
+            let close = chars[i..]
+                .iter()
+                .position(|c| *c == '}')
+                .ok_or("unterminated quantifier")?
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().map_err(|_| "bad quantifier")?,
+                    hi.trim().parse().map_err(|_| "bad quantifier")?,
+                ),
+                None => {
+                    let n = body.trim().parse().map_err(|_| "bad quantifier")?;
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        items.push((set, min, max));
+    }
+    Ok(items)
+}
+
+fn escape_char(c: char) -> Result<char, String> {
+    Ok(match c {
+        'n' => '\n',
+        'r' => '\r',
+        't' => '\t',
+        '0' => '\0',
+        '\\' | '-' | ']' | '[' | '{' | '}' | '.' | '*' | '+' | '?' | '(' | ')' | '|' | '^'
+        | '$' | '/' | '\'' | '"' | ' ' => c,
+        other => return Err(format!("unsupported escape `\\{other}`")),
+    })
+}
+
+/// Strategy yielding a constant value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl Strategy for bool {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut StdRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Runs `body` for each case with a per-case deterministic RNG. Used by the
+/// `proptest!` macro; not intended to be called directly.
+pub fn run_cases(test_name: &str, config: &ProptestConfig, mut body: impl FnMut(&mut StdRng)) {
+    let seed = base_seed();
+    for case in 0..config.cases {
+        // Decorrelate cases while keeping each one individually replayable.
+        let case_seed = seed
+            .wrapping_mul(0x0000_0100_0000_01b3)
+            .wrapping_add(case as u64)
+            ^ hash_name(test_name);
+        let mut rng = StdRng::seed_from_u64(case_seed);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            body(&mut rng);
+        }));
+        if let Err(payload) = result {
+            eprintln!(
+                "proptest: `{test_name}` failed at case {case}/{} (replay with PROPTEST_SEED={seed})",
+                config.cases
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+fn hash_name(name: &str) -> u64 {
+    // FNV-1a, stable across platforms and rustc versions.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{Just, ProptestConfig, Strategy};
+}
+
+/// Defines deterministic property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn prop(x in 0u64..100, y in 0u64..100) {
+///         prop_assert!(x + y < 200);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($config:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_fns! { (<$crate::ProptestConfig as ::std::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($config:expr)
+      $(#[$attr:meta])*
+      fn $name:ident ( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let __config = $config;
+            $crate::run_cases(stringify!($name), &__config, |__rng| {
+                $(let $arg = $crate::Strategy::generate(&($strategy), __rng);)+
+                $body
+            });
+        }
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+    ( ($config:expr) ) => {};
+}
+
+/// `assert!` with proptest-compatible spelling.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+);
+    };
+}
+
+/// `assert_eq!` with proptest-compatible spelling.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_eq!($left, $right, $($fmt)+);
+    };
+}
+
+/// `assert_ne!` with proptest-compatible spelling.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_ne!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_ne!($left, $right, $($fmt)+);
+    };
+}

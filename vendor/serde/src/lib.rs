@@ -1,0 +1,591 @@
+//! Vendored, offline-friendly stand-in for `serde`.
+//!
+//! The real crates.io `serde` is unreachable in this build environment, so
+//! this crate provides the subset the workspace actually uses: the
+//! `Serialize` / `Deserialize` traits (JSON-value based rather than
+//! visitor based), derive macros re-exported from `serde_derive`, and a
+//! self-describing [`Value`] data model that `serde_json` renders/parses.
+//!
+//! The derive macros and the trait impls below are mutually consistent:
+//! anything serialized by this crate deserializes back to an equal value.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+use std::hash::Hash;
+
+/// Self-describing data model (a superset of JSON values).
+#[derive(Debug, Clone)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) | Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Compact JSON rendering (used by `serde_json::to_string` and `Display`).
+    pub fn render_compact(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::I64(n) => out.push_str(&n.to_string()),
+            Value::U64(n) => out.push_str(&n.to_string()),
+            Value::F64(x) => render_f64(*x, out),
+            Value::Str(s) => render_string(s, out),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_compact(out);
+                }
+                out.push(']');
+            }
+            Value::Object(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render_string(k, out);
+                    out.push(':');
+                    v.render_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Pretty JSON rendering with two-space indentation.
+    pub fn render_pretty(&self, indent: usize, out: &mut String) {
+        let pad = "  ".repeat(indent);
+        let pad_in = "  ".repeat(indent + 1);
+        match self {
+            Value::Array(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    out.push_str(&pad_in);
+                    item.render_pretty(indent + 1, out);
+                }
+                out.push('\n');
+                out.push_str(&pad);
+                out.push(']');
+            }
+            Value::Object(pairs) if !pairs.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    out.push_str(&pad_in);
+                    render_string(k, out);
+                    out.push_str(": ");
+                    v.render_pretty(indent + 1, out);
+                }
+                out.push('\n');
+                out.push_str(&pad);
+                out.push('}');
+            }
+            other => other.render_compact(out),
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Array(a), Value::Array(b)) => a == b,
+            (Value::Object(a), Value::Object(b)) => a == b,
+            // Integers compare numerically regardless of signedness variant
+            // (a parsed `1` is U64 while a serialized `1i32` is I64).
+            (Value::I64(a), Value::I64(b)) => a == b,
+            (Value::U64(a), Value::U64(b)) => a == b,
+            (Value::I64(a), Value::U64(b)) | (Value::U64(b), Value::I64(a)) => {
+                *a >= 0 && *a as u64 == *b
+            }
+            (Value::F64(a), Value::F64(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        self.render_compact(&mut s);
+        f.write_str(&s)
+    }
+}
+
+fn render_f64(x: f64, out: &mut String) {
+    if x.is_finite() {
+        // `{:?}` is the shortest representation that round-trips through
+        // `str::parse::<f64>`, and always contains '.' or 'e' so the parser
+        // classifies it as a float again.
+        out.push_str(&format!("{x:?}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Deserialization error with a breadcrumb of what was expected.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    pub fn new(message: impl Into<String>) -> DeError {
+        DeError {
+            message: message.into(),
+        }
+    }
+
+    pub fn expected(what: &str, context: &str, got: &Value) -> DeError {
+        DeError::new(format!("expected {what} for {context}, got {}", got.kind()))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Serialize into the [`Value`] data model.
+pub trait Serialize {
+    fn serialize_value(&self) -> Value;
+}
+
+/// Deserialize from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError>;
+}
+
+/// Field lookup helper used by derive-generated `Deserialize` impls.
+pub fn field<'v>(pairs: &'v [(String, Value)], name: &str) -> Result<&'v Value, DeError> {
+    pairs
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| DeError::new(format!("missing field `{name}`")))
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::U64(n) => Ok(*n as $t),
+                    Value::I64(n) if *n >= 0 => Ok(*n as $t),
+                    Value::F64(x) if x.fract() == 0.0 && *x >= 0.0 => Ok(*x as $t),
+                    other => Err(DeError::expected("unsigned integer", stringify!($t), other)),
+                }
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::I64(n) => Ok(*n as $t),
+                    Value::U64(n) => Ok(*n as $t),
+                    Value::F64(x) if x.fract() == 0.0 => Ok(*x as $t),
+                    other => Err(DeError::expected("integer", stringify!($t), other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::F64(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::F64(x) => Ok(*x as $t),
+                    Value::I64(n) => Ok(*n as $t),
+                    Value::U64(n) => Ok(*n as $t),
+                    // Non-finite floats serialize as null; accept them back.
+                    Value::Null => Ok(<$t>::NAN),
+                    other => Err(DeError::expected("number", stringify!($t), other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", "bool", other)),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::expected("single-char string", "char", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", "String", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        T::deserialize_value(value).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            // A present value is wrapped so `Some(None)`-style nesting and
+            // option-of-float (whose NaN also renders as null) stay lossless.
+            Some(v) => Value::Array(vec![v.serialize_value()]),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            Value::Array(items) if items.len() == 1 => Ok(Some(T::deserialize_value(&items[0])?)),
+            other => Err(DeError::expected("null or [value]", "Option", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Array(items) => items.iter().map(T::deserialize_value).collect(),
+            other => Err(DeError::expected("array", "Vec", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::collections::VecDeque<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Array(items) => items.iter().map(T::deserialize_value).collect(),
+            other => Err(DeError::expected("array", "VecDeque", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        let items: Vec<T> = Vec::deserialize_value(value)?;
+        let len = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| DeError::new(format!("expected array of length {N}, got {len}")))
+    }
+}
+
+// Maps and sets serialize as arrays of entries so that non-string keys
+// (e.g. newtype idents) round-trip without a string-key requirement.
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(
+            self.iter()
+                .map(|(k, v)| Value::Array(vec![k.serialize_value(), v.serialize_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        map_entries(value)?
+            .map(|(k, v)| Ok((K::deserialize_value(k)?, V::deserialize_value(v)?)))
+            .collect()
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn serialize_value(&self) -> Value {
+        let mut entries: Vec<Value> = self
+            .iter()
+            .map(|(k, v)| Value::Array(vec![k.serialize_value(), v.serialize_value()]))
+            .collect();
+        entries.sort_by_key(|a| a.to_string());
+        Value::Array(entries)
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        map_entries(value)?
+            .map(|(k, v)| Ok((K::deserialize_value(k)?, V::deserialize_value(v)?)))
+            .collect()
+    }
+}
+
+fn map_entries(value: &Value) -> Result<impl Iterator<Item = (&Value, &Value)>, DeError> {
+    match value {
+        Value::Array(items) => {
+            for item in items {
+                match item {
+                    Value::Array(pair) if pair.len() == 2 => {}
+                    other => return Err(DeError::expected("[key, value] pair", "map", other)),
+                }
+            }
+            Ok(items.iter().map(|item| match item {
+                Value::Array(pair) => (&pair[0], &pair[1]),
+                _ => unreachable!("validated above"),
+            }))
+        }
+        other => Err(DeError::expected("array of entries", "map", other)),
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Array(items) => items.iter().map(T::deserialize_value).collect(),
+            other => Err(DeError::expected("array", "BTreeSet", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for HashSet<T> {
+    fn serialize_value(&self) -> Value {
+        let mut rendered: Vec<Value> = self.iter().map(Serialize::serialize_value).collect();
+        rendered.sort_by_key(|a| a.to_string());
+        Value::Array(rendered)
+    }
+}
+
+impl<T: Deserialize + Eq + Hash> Deserialize for HashSet<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Array(items) => items.iter().map(T::deserialize_value).collect(),
+            other => Err(DeError::expected("array", "HashSet", other)),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident . $idx:tt),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.serialize_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+                const LEN: usize = 0 $(+ { let _ = $idx; 1 })+;
+                match value {
+                    Value::Array(items) if items.len() == LEN => {
+                        Ok(($($t::deserialize_value(&items[$idx])?,)+))
+                    }
+                    other => Err(DeError::expected("tuple array", "tuple", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
+impl Serialize for () {
+    fn serialize_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(()),
+            other => Err(DeError::expected("null", "()", other)),
+        }
+    }
+}

@@ -1,0 +1,382 @@
+//! Vendored, dependency-free `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! The build environment cannot reach crates.io, so this proc-macro crate
+//! parses the item's `TokenStream` by hand (no `syn`/`quote`) and generates
+//! impls of the value-based traits defined in the vendored `serde` crate.
+//!
+//! Supported shapes — exactly what the workspace derives on:
+//! * unit / tuple / named-field structs (any field visibility),
+//! * enums with unit, tuple and struct variants,
+//! * no generic parameters and no `#[serde(...)]` attributes (none are used
+//!   in this workspace; encountering either is a compile error here).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// A tiny item model
+// ---------------------------------------------------------------------------
+
+enum Fields {
+    Unit,
+    /// Tuple struct/variant with this many fields.
+    Tuple(usize),
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Shape {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes and visibility.
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected item name, got {other}"),
+    };
+    i += 1;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("vendored serde_derive does not support generic types (derived on `{name}`)");
+    }
+
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => Fields::Unit,
+            };
+            Item {
+                name,
+                shape: Shape::Struct(fields),
+            }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("expected enum body for `{name}`, got {other:?}"),
+            };
+            Item {
+                name,
+                shape: Shape::Enum(parse_variants(body)),
+            }
+        }
+        other => panic!("derive target must be struct or enum, got `{other}`"),
+    }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` and the `[...]` group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                // `pub(crate)` / `pub(in ...)` restriction group.
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parse `name: Type, ...` field lists, tracking `<`/`>` depth so commas
+/// inside generic types do not split fields.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected field name, got {other}"),
+        };
+        fields.push(name);
+        i += 1;
+        // Skip `:` then the type, up to the next top-level comma.
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    let mut saw_trailing_comma = false;
+    for (idx, t) in tokens.iter().enumerate() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if idx == tokens.len() - 1 {
+                    saw_trailing_comma = true;
+                } else {
+                    count += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    let _ = saw_trailing_comma;
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected variant name, got {other}"),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        while i < tokens.len() {
+            if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        Shape::Struct(Fields::Tuple(n)) => ser_tuple_expr((0..*n).map(|i| format!("&self.{i}"))),
+        Shape::Struct(Fields::Named(fields)) => {
+            ser_named_expr(fields.iter().map(|f| (f.clone(), format!("self.{f}"))))
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string()),\n"
+                        ));
+                    }
+                    Fields::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = ser_tuple_expr(binders.iter().cloned());
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::Value::Object(vec![(\"{vname}\".to_string(), {inner})]),\n",
+                            binders.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let inner = ser_named_expr(fields.iter().map(|f| (f.clone(), f.clone())));
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => ::serde::Value::Object(vec![(\"{vname}\".to_string(), {inner})]),\n",
+                            fields.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize_value(&self) -> ::serde::Value {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn ser_tuple_expr(exprs: impl Iterator<Item = String>) -> String {
+    let items: Vec<String> = exprs
+        .map(|e| format!("::serde::Serialize::serialize_value({e})"))
+        .collect();
+    format!("::serde::Value::Array(vec![{}])", items.join(", "))
+}
+
+fn ser_named_expr(fields: impl Iterator<Item = (String, String)>) -> String {
+    let items: Vec<String> = fields
+        .map(|(name, expr)| {
+            format!("(\"{name}\".to_string(), ::serde::Serialize::serialize_value(&{expr}))")
+        })
+        .collect();
+    format!("::serde::Value::Object(vec![{}])", items.join(", "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(Fields::Unit) => format!("Ok({name})"),
+        Shape::Struct(Fields::Tuple(n)) => de_tuple_expr(name, *n, "__value"),
+        Shape::Struct(Fields::Named(fields)) => de_named_expr(name, fields, "__value"),
+        Shape::Enum(variants) => {
+            let mut str_arms = String::new();
+            let mut obj_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        str_arms.push_str(&format!("\"{vname}\" => Ok({name}::{vname}),\n"));
+                    }
+                    Fields::Tuple(n) => {
+                        let ctor = de_tuple_expr(&format!("{name}::{vname}"), *n, "__inner");
+                        obj_arms.push_str(&format!("\"{vname}\" => {{ {ctor} }}\n"));
+                    }
+                    Fields::Named(fields) => {
+                        let ctor = de_named_expr(&format!("{name}::{vname}"), fields, "__inner");
+                        obj_arms.push_str(&format!("\"{vname}\" => {{ {ctor} }}\n"));
+                    }
+                }
+            }
+            format!(
+                "match __value {{\n\
+                     ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                         {str_arms}\
+                         __other => Err(::serde::DeError::new(format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(__pairs) if __pairs.len() == 1 => {{\n\
+                         let (__tag, __inner) = &__pairs[0];\n\
+                         match __tag.as_str() {{\n\
+                             {obj_arms}\
+                             __other => Err(::serde::DeError::new(format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     __other => Err(::serde::DeError::expected(\"variant\", \"{name}\", __other)),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize_value(__value: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn de_tuple_expr(ctor: &str, n: usize, source: &str) -> String {
+    let items: Vec<String> = (0..n)
+        .map(|i| format!("::serde::Deserialize::deserialize_value(&__items[{i}])?"))
+        .collect();
+    format!(
+        "match {source} {{\n\
+             ::serde::Value::Array(__items) if __items.len() == {n} => Ok({ctor}({})),\n\
+             __other => Err(::serde::DeError::expected(\"array of {n}\", \"{ctor}\", __other)),\n\
+         }}",
+        items.join(", ")
+    )
+}
+
+fn de_named_expr(ctor: &str, fields: &[String], source: &str) -> String {
+    let items: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::deserialize_value(::serde::field(__pairs, \"{f}\")?)?"
+            )
+        })
+        .collect();
+    format!(
+        "match {source} {{\n\
+             ::serde::Value::Object(__pairs) => Ok({ctor} {{ {} }}),\n\
+             __other => Err(::serde::DeError::expected(\"object\", \"{ctor}\", __other)),\n\
+         }}",
+        items.join(", ")
+    )
+}

@@ -1,0 +1,97 @@
+//! Round-trip tests for the vendored serde/serde_json pair, exercising the
+//! hand-rolled derive macro on every supported shape.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+struct Newtype(String);
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Pair(i64, f64);
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Unit;
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Mixed {
+    A,
+    B(u32, String),
+    C { x: f64, y: Vec<bool> },
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Nested {
+    name: String,
+    tag: Newtype,
+    values: Vec<f64>,
+    optional: Option<u64>,
+    missing: Option<u64>,
+    map: BTreeMap<Newtype, Vec<Mixed>>,
+    tuple: (u8, i64, String),
+    boxed: Box<Pair>,
+}
+
+fn round_trip<T: Serialize + Deserialize + PartialEq + std::fmt::Debug>(value: &T) {
+    let json = serde_json::to_string(value).expect("serializes");
+    let back: T = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(&back, value, "compact round trip through {json}");
+    let pretty = serde_json::to_string_pretty(value).expect("serializes pretty");
+    let back: T = serde_json::from_str(&pretty).expect("deserializes pretty");
+    assert_eq!(&back, value, "pretty round trip");
+}
+
+#[test]
+fn all_shapes_round_trip() {
+    round_trip(&Newtype("hello \"quoted\" \\ world\n".to_string()));
+    round_trip(&Pair(-42, 0.1 + 0.2));
+    round_trip(&Unit);
+    round_trip(&Mixed::A);
+    round_trip(&Mixed::B(7, "b".to_string()));
+    round_trip(&Mixed::C {
+        x: -1.5e-9,
+        y: vec![true, false],
+    });
+
+    let mut map = BTreeMap::new();
+    map.insert(
+        Newtype("k1".into()),
+        vec![Mixed::A, Mixed::B(1, "x".into())],
+    );
+    map.insert(Newtype("k2".into()), vec![]);
+    round_trip(&Nested {
+        name: "n".into(),
+        tag: Newtype("t".into()),
+        values: vec![1.0, f64::MAX, f64::MIN_POSITIVE, 0.0, -0.0],
+        optional: Some(9),
+        missing: None,
+        map,
+        tuple: (1, -2, "three".into()),
+        boxed: Box::new(Pair(5, 6.5)),
+    });
+}
+
+#[test]
+fn json_macro_builds_objects() {
+    let line = serde_json::json!({
+        "cost": {
+            "power_mw": 1.5,
+            "cycles": 10u64,
+        },
+        "name": "atax",
+        "flags": [1, 2, 3],
+    });
+    let text = line.to_string();
+    assert!(text.contains("\"power_mw\":1.5"));
+    assert!(text.contains("\"name\":\"atax\""));
+    assert!(text.contains("\"flags\":[1,2,3]"));
+    let parsed = serde_json::parse_value(&text).expect("parses");
+    assert_eq!(parsed, line);
+}
+
+#[test]
+fn parse_errors_are_reported() {
+    assert!(serde_json::from_str::<Pair>("[1, 2.0").is_err());
+    assert!(serde_json::from_str::<Pair>("{\"a\": 1}").is_err());
+    assert!(serde_json::from_str::<Newtype>("[17]").is_err());
+}
