@@ -170,6 +170,12 @@ impl CostModel for TensetMlp {
         let pred = self.forward(&mut g, &self.store, &feats);
         decode_prediction(&self.norm, g.value(pred))
     }
+
+    fn predict_batch(&self, samples: &[Sample]) -> Vec<CostVector> {
+        llmulator_nn::par_map(samples, llmulator_nn::available_threads(), |s| {
+            self.predict(s)
+        })
+    }
 }
 
 #[cfg(test)]

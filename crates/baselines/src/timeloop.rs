@@ -207,6 +207,12 @@ impl CostModel for Timeloop {
             cycles: 0,
         })
     }
+
+    fn predict_batch(&self, samples: &[Sample]) -> Vec<CostVector> {
+        llmulator_nn::par_map(samples, llmulator_nn::available_threads(), |s| {
+            self.predict(s)
+        })
+    }
 }
 
 #[cfg(test)]

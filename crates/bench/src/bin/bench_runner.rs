@@ -1,0 +1,245 @@
+//! Machine-readable perf trajectory: times the nn kernel layer and the
+//! prediction stack, writing `BENCH_nn_kernels.json` at the repo root.
+//!
+//! Three measurement groups:
+//!
+//! 1. **Kernels** — GFLOP/s of the naive triple-loop matmuls versus the
+//!    blocked production kernels at the Medium-scale transformer shapes;
+//! 2. **Single-sample encode** — latency of one prediction through the old
+//!    autodiff-tape forward pass versus the scratch-backed blocked forward
+//!    (both produce bit-identical outputs);
+//! 3. **Batch prediction** — `predict_batch` throughput over the Table 3
+//!    evaluation set at 1/2/4 worker threads.
+//!
+//! Usage: `cargo run --release -p llmulator-bench --bin bench-runner --
+//! [--quick] [--out PATH]`. `--quick` shrinks repetitions and the eval set
+//! for CI smoke runs.
+
+use llmulator::{NumericPredictor, Sample};
+use llmulator_bench::context::{all_workloads, median_seconds, predictor_config, EVAL_FACTORS};
+use llmulator_nn::{Graph, Matrix, Scratch};
+use llmulator_synth::DataFormat;
+use llmulator_token::NumericMode;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+
+struct KernelRow {
+    name: String,
+    flops_per_iter: f64,
+    naive_secs: f64,
+    blocked_secs: f64,
+}
+
+impl KernelRow {
+    fn naive_gflops(&self) -> f64 {
+        self.flops_per_iter / self.naive_secs / 1e9
+    }
+
+    fn blocked_gflops(&self) -> f64 {
+        self.flops_per_iter / self.blocked_secs / 1e9
+    }
+
+    fn speedup(&self) -> f64 {
+        self.naive_secs / self.blocked_secs
+    }
+}
+
+fn bench_kernels(reps: usize, inner: usize) -> Vec<KernelRow> {
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut rows = Vec::new();
+    // Medium-scale transformer shapes: q/k/v/wo projections (256×32·32×32),
+    // the FFN up/down projections, and per-head attention scores.
+    for &(m, k, n) in &[(256usize, 32usize, 32usize), (256, 32, 64), (256, 64, 32)] {
+        let a = Matrix::randn(m, k, 1.0, &mut rng);
+        let b = Matrix::randn(k, n, 1.0, &mut rng);
+        let naive_secs = median_seconds(reps, || {
+            for _ in 0..inner {
+                std::hint::black_box(a.matmul_naive(&b));
+            }
+        }) / inner as f64;
+        let blocked_secs = median_seconds(reps, || {
+            let mut out = Matrix::zeros(0, 0);
+            for _ in 0..inner {
+                a.matmul_into(&b, &mut out);
+                std::hint::black_box(&out);
+            }
+        }) / inner as f64;
+        rows.push(KernelRow {
+            name: format!("matmul_{m}x{k}x{n}"),
+            flops_per_iter: 2.0 * (m * k * n) as f64,
+            naive_secs,
+            blocked_secs,
+        });
+    }
+    // Attention scores: (256×8) × (256×8)ᵀ per head.
+    {
+        let (m, k, n) = (256usize, 8usize, 256usize);
+        let a = Matrix::randn(m, k, 1.0, &mut rng);
+        let b = Matrix::randn(n, k, 1.0, &mut rng);
+        let naive_secs = median_seconds(reps, || {
+            for _ in 0..inner {
+                std::hint::black_box(a.matmul_nt_naive(&b));
+            }
+        }) / inner as f64;
+        let blocked_secs = median_seconds(reps, || {
+            let mut out = Matrix::zeros(0, 0);
+            for _ in 0..inner {
+                a.matmul_nt_into(&b, &mut out);
+                std::hint::black_box(&out);
+            }
+        }) / inner as f64;
+        rows.push(KernelRow {
+            name: format!("matmul_nt_{m}x{k}x{n}"),
+            flops_per_iter: 2.0 * (m * k * n) as f64,
+            naive_secs,
+            blocked_secs,
+        });
+    }
+    // Backward-pass shape: (256×32)ᵀ × (256×64).
+    {
+        let (r, m, n) = (256usize, 32usize, 64usize);
+        let a = Matrix::randn(r, m, 1.0, &mut rng);
+        let b = Matrix::randn(r, n, 1.0, &mut rng);
+        let naive_secs = median_seconds(reps, || {
+            for _ in 0..inner {
+                std::hint::black_box(a.matmul_tn_naive(&b));
+            }
+        }) / inner as f64;
+        let blocked_secs = median_seconds(reps, || {
+            let mut out = Matrix::zeros(0, 0);
+            for _ in 0..inner {
+                a.matmul_tn_into(&b, &mut out);
+                std::hint::black_box(&out);
+            }
+        }) / inner as f64;
+        rows.push(KernelRow {
+            name: format!("matmul_tn_{r}x{m}x{n}"),
+            flops_per_iter: 2.0 * (r * m * n) as f64,
+            naive_secs,
+            blocked_secs,
+        });
+    }
+    rows
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| format!("{}/../../BENCH_nn_kernels.json", env!("CARGO_MANIFEST_DIR")));
+    let (reps, inner) = if quick { (3, 20) } else { (7, 200) };
+
+    eprintln!("bench-runner: kernels ({} reps × {} iters)...", reps, inner);
+    let kernels = bench_kernels(reps, inner);
+
+    // --- single-sample forward: naive-kernel baselines vs blocked forward ---
+    // `encode_naive` is the pre-optimization per-row implementation (naive
+    // axpy kernels, per-row allocation); the tape is the old `predict_tokens`
+    // path. Both produce bit-identical outputs to the blocked forward.
+    eprintln!("bench-runner: single-sample encode...");
+    let model = NumericPredictor::new(predictor_config(NumericMode::Digits, 3));
+    let workloads = all_workloads();
+    let sample = workloads
+        .iter()
+        .find_map(|w| Sample::profile(&w.program, Some(&w.inputs)).ok())
+        .expect("at least one workload profiles");
+    let tokens = model.tokenize_sample(&sample).tokens;
+    let encode_reps = if quick { 5 } else { 15 };
+    let encode_inner = if quick { 3 } else { 10 };
+    let naive_secs = median_seconds(encode_reps, || {
+        for _ in 0..encode_inner {
+            let (_, pooled) =
+                llmulator_nn::encode_naive(model.encoder(), model.store(), &tokens, None);
+            std::hint::black_box(model.decode_pooled(&pooled));
+        }
+    }) / encode_inner as f64;
+    let tape_secs = median_seconds(encode_reps, || {
+        for _ in 0..encode_inner {
+            let mut g = Graph::new();
+            let out = model.encoder().encode(&mut g, model.store(), &tokens, None);
+            let pooled = g.value(out.pooled).clone();
+            std::hint::black_box(model.decode_pooled(&pooled));
+        }
+    }) / encode_inner as f64;
+    let mut scratch = Scratch::new();
+    let fwd_secs = median_seconds(encode_reps, || {
+        for _ in 0..encode_inner {
+            std::hint::black_box(model.predict_tokens_with(&tokens, None, &mut scratch));
+        }
+    }) / encode_inner as f64;
+
+    // --- batch throughput over the Table 3 eval set ---
+    eprintln!("bench-runner: batch prediction throughput...");
+    let eval_workloads: &[_] = if quick { &workloads[..6] } else { &workloads };
+    let factors: &[f64] = if quick {
+        &EVAL_FACTORS[..1]
+    } else {
+        EVAL_FACTORS
+    };
+    let eval: Vec<Sample> = eval_workloads
+        .iter()
+        .flat_map(|w| llmulator_bench::context::workload_samples(w, factors, DataFormat::Direct))
+        .collect();
+    let batch_reps = if quick { 3 } else { 5 };
+    let mut throughput = Vec::new();
+    for &threads in &[1usize, 2, 4] {
+        let secs = median_seconds(batch_reps, || {
+            std::hint::black_box(model.predict_batch_threads(&eval, threads));
+        });
+        throughput.push((threads, eval.len() as f64 / secs));
+    }
+    let speedup_4_vs_1 = throughput[2].1 / throughput[0].1;
+
+    // --- render JSON ---
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(
+        json,
+        "  \"meta\": {{ \"quick\": {quick}, \"available_parallelism\": {}, \"kernel_reps\": {reps}, \"kernel_inner_iters\": {inner} }},",
+        llmulator_nn::available_threads()
+    );
+    json.push_str("  \"kernels\": [\n");
+    for (i, row) in kernels.iter().enumerate() {
+        let comma = if i + 1 < kernels.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{ \"name\": \"{}\", \"naive_gflops\": {:.3}, \"blocked_gflops\": {:.3}, \"speedup\": {:.3} }}{comma}",
+            row.name,
+            row.naive_gflops(),
+            row.blocked_gflops(),
+            row.speedup()
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"encode_single_sample\": {{ \"scale\": \"Medium\", \"tokens\": {}, \"naive_rowloop_ms\": {:.4}, \"tape_ms\": {:.4}, \"forward_blocked_ms\": {:.4}, \"speedup_vs_naive\": {:.3}, \"speedup_vs_tape\": {:.3} }},",
+        tokens.len(),
+        naive_secs * 1e3,
+        tape_secs * 1e3,
+        fwd_secs * 1e3,
+        naive_secs / fwd_secs,
+        tape_secs / fwd_secs
+    );
+    json.push_str("  \"batch_predict\": {\n");
+    let _ = writeln!(json, "    \"samples\": {},", eval.len());
+    json.push_str("    \"throughput\": [\n");
+    for (i, (threads, sps)) in throughput.iter().enumerate() {
+        let comma = if i + 1 < throughput.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "      {{ \"threads\": {threads}, \"samples_per_sec\": {sps:.3} }}{comma}"
+        );
+    }
+    json.push_str("    ],\n");
+    let _ = writeln!(json, "    \"speedup_4_vs_1\": {speedup_4_vs_1:.3}");
+    json.push_str("  }\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write bench json");
+    println!("{json}");
+    eprintln!("bench-runner: wrote {out_path}");
+}

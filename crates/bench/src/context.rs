@@ -238,13 +238,18 @@ pub fn train_suite_on(b: &Budget, flags: SuiteFlags, dataset: &Dataset, seed: u6
 }
 
 /// MAPE of a model on samples for one metric.
+///
+/// Predictions run through [`CostModel::predict_batch`], which the learned
+/// models fan out across worker threads — regenerating a table scales with
+/// the machine's cores instead of predicting one sample at a time.
 pub fn mape_on(model: &dyn CostModel, samples: &[Sample], metric: Metric) -> f64 {
     if samples.is_empty() {
         return 0.0;
     }
-    let predicted: Vec<f64> = samples
+    let predicted: Vec<f64> = model
+        .predict_batch(samples)
         .iter()
-        .map(|s| model.predict_metric(s, metric))
+        .map(|cost| cost.metric(metric))
         .collect();
     let actual: Vec<f64> = samples.iter().map(|s| s.cost.metric(metric)).collect();
     llmulator_eval::mape(&predicted, &actual)

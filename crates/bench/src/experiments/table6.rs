@@ -32,18 +32,23 @@ pub fn run() -> String {
     let suite = train_suite(&b, SuiteFlags::ours_only(), DataFormat::Reasoning, 19);
     let ours = suite.ours.as_ref().expect("ours");
 
-    // Randomly sampled (held-out) workloads from the synthesizer.
+    // Randomly sampled (held-out) workloads from the synthesizer, predicted
+    // as one parallel batch.
     let eval = synthesize(&SynthesisConfig::paper_mix(12, 999));
-    let mut records = Vec::new();
-    for s in eval.samples.iter().take(12) {
-        let pred = ours.predict_sample(s);
-        let ff = pred.metric(Metric::FlipFlops);
-        records.push(Record {
-            confidence: ff.confidence as f64,
-            predicted: ff.value,
-            actual: s.cost.ff as f64,
-        });
-    }
+    let held_out = &eval.samples[..eval.samples.len().min(12)];
+    let preds = ours.predict_batch(held_out);
+    let records: Vec<Record> = held_out
+        .iter()
+        .zip(&preds)
+        .map(|(s, pred)| {
+            let ff = pred.metric(Metric::FlipFlops);
+            Record {
+                confidence: ff.confidence as f64,
+                predicted: ff.value,
+                actual: s.cost.ff as f64,
+            }
+        })
+        .collect();
     let confs: Vec<f64> = records.iter().map(|r| r.confidence).collect();
     let errs: Vec<f64> = records.iter().map(|r| r.mse()).collect();
     let r = pearson(&confs, &errs);

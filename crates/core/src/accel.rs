@@ -11,7 +11,7 @@
 use crate::masks::{separation_mask, MaskOptions};
 use crate::model::{NumericPredictor, Prediction};
 use llmulator_ir::OperatorClass;
-use llmulator_nn::{encode_cached, EncoderCache, InferStats, Matrix};
+use llmulator_nn::{encode_cached_with, EncoderCache, InferStats, Matrix, Scratch};
 use llmulator_token::TokenizedProgram;
 use serde::{Deserialize, Serialize};
 
@@ -45,6 +45,7 @@ pub struct CachedPredictor<'m> {
     cache: Option<EncoderCache>,
     mask: Option<(usize, Matrix)>,
     enabled: bool,
+    scratch: Scratch,
 }
 
 impl<'m> CachedPredictor<'m> {
@@ -61,6 +62,7 @@ impl<'m> CachedPredictor<'m> {
             cache: None,
             mask: None,
             enabled: true,
+            scratch: Scratch::new(),
         }
     }
 
@@ -94,12 +96,13 @@ impl<'m> CachedPredictor<'m> {
         } else {
             None
         };
-        let (cache, stats) = encode_cached(
+        let (cache, stats) = encode_cached_with(
             self.model.encoder(),
             self.model.store(),
             &tp.tokens,
             mask,
             prev,
+            &mut self.scratch,
         );
         let prediction = self.model.decode_pooled(&cache.pooled);
         let accel = AccelStats::from(stats);

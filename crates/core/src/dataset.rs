@@ -131,6 +131,15 @@ pub trait CostModel {
     fn predict_metric(&self, sample: &Sample, metric: Metric) -> f64 {
         self.predict(sample).metric(metric)
     }
+
+    /// Predicts a whole evaluation set, preserving input order.
+    ///
+    /// The default is a serial loop; models whose state is `Sync` override
+    /// this to fan predictions out across threads, which is what the
+    /// experiment harness calls so suite regeneration scales with cores.
+    fn predict_batch(&self, samples: &[Sample]) -> Vec<CostVector> {
+        samples.iter().map(|s| self.predict(s)).collect()
+    }
 }
 
 #[cfg(test)]

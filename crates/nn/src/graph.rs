@@ -115,6 +115,14 @@ struct NodeData {
     op: Op,
 }
 
+/// Adds `g` into a gradient slot (taking ownership on first write).
+fn accum_slot(slot: &mut Option<Matrix>, g: Matrix) {
+    match slot {
+        Some(existing) => existing.add_assign(&g),
+        None => *slot = Some(g),
+    }
+}
+
 /// One forward pass's computation tape.
 pub struct Graph {
     nodes: Vec<NodeData>,
@@ -386,31 +394,34 @@ impl Graph {
         assert_eq!(self.nodes[loss.0].value.shape(), (1, 1), "loss must be 1×1");
         self.grads = (0..self.nodes.len()).map(|_| None).collect();
         self.grads[loss.0] = Some(Matrix::from_vec(1, 1, vec![1.0]));
-        for i in (0..self.nodes.len()).rev() {
-            let Some(g) = self.grads[i].clone() else {
+        let nodes = &self.nodes;
+        for i in (0..nodes.len()).rev() {
+            // Every operand of node `i` has a smaller index (the tape is
+            // append-only), so splitting the gradient vector at `i` lets the
+            // upstream gradient be read while operand slots are written —
+            // no per-node clones of the op or its cached values.
+            let (lower, upper) = self.grads.split_at_mut(i);
+            let Some(g) = upper[0].as_ref() else {
                 continue;
             };
-            // Split borrows: clone op (cheap except cached matrices, which we
-            // borrow immutably via the clone).
-            let op = self.nodes[i].op.clone();
-            match op {
+            match &nodes[i].op {
                 Op::Leaf => {}
                 Op::MatMul(a, b) => {
-                    let ga = g.matmul_nt(&self.nodes[b.0].value);
-                    let gb = self.nodes[a.0].value.matmul_tn(&g);
-                    self.accum(a, ga);
-                    self.accum(b, gb);
+                    let ga = g.matmul_nt(&nodes[b.0].value);
+                    let gb = nodes[a.0].value.matmul_tn(g);
+                    accum_slot(&mut lower[a.0], ga);
+                    accum_slot(&mut lower[b.0], gb);
                 }
                 Op::MatMulNt(a, b) => {
                     // C = A Bᵀ ⇒ dA = G B, dB = Gᵀ A.
-                    let ga = g.matmul(&self.nodes[b.0].value);
-                    let gb = g.matmul_tn(&self.nodes[a.0].value);
-                    self.accum(a, ga);
-                    self.accum(b, gb);
+                    let ga = g.matmul(&nodes[b.0].value);
+                    let gb = g.matmul_tn(&nodes[a.0].value);
+                    accum_slot(&mut lower[a.0], ga);
+                    accum_slot(&mut lower[b.0], gb);
                 }
                 Op::Add(a, b) => {
-                    self.accum(a, g.clone());
-                    self.accum(b, g);
+                    accum_slot(&mut lower[a.0], g.clone());
+                    accum_slot(&mut lower[b.0], g.clone());
                 }
                 Op::AddRow(a, row) => {
                     let mut grow = Matrix::zeros(1, g.cols());
@@ -419,12 +430,12 @@ impl Graph {
                             grow.set(0, c, grow.get(0, c) + v);
                         }
                     }
-                    self.accum(a, g);
-                    self.accum(row, grow);
+                    accum_slot(&mut lower[a.0], g.clone());
+                    accum_slot(&mut lower[row.0], grow);
                 }
                 Op::MulRow(a, row) => {
-                    let rvals = self.nodes[row.0].value.clone();
-                    let avals = self.nodes[a.0].value.clone();
+                    let rvals = &nodes[row.0].value;
+                    let avals = &nodes[a.0].value;
                     let ga =
                         Matrix::from_fn(g.rows(), g.cols(), |r, c| g.get(r, c) * rvals.get(0, c));
                     let mut grow = Matrix::zeros(1, g.cols());
@@ -433,24 +444,24 @@ impl Graph {
                             grow.set(0, c, grow.get(0, c) + g.get(r, c) * avals.get(r, c));
                         }
                     }
-                    self.accum(a, ga);
-                    self.accum(row, grow);
+                    accum_slot(&mut lower[a.0], ga);
+                    accum_slot(&mut lower[row.0], grow);
                 }
                 Op::MulElem(a, b) => {
-                    let bv = self.nodes[b.0].value.clone();
-                    let av = self.nodes[a.0].value.clone();
+                    let bv = &nodes[b.0].value;
+                    let av = &nodes[a.0].value;
                     let ga = Matrix::from_fn(g.rows(), g.cols(), |r, c| g.get(r, c) * bv.get(r, c));
                     let gb = Matrix::from_fn(g.rows(), g.cols(), |r, c| g.get(r, c) * av.get(r, c));
-                    self.accum(a, ga);
-                    self.accum(b, gb);
+                    accum_slot(&mut lower[a.0], ga);
+                    accum_slot(&mut lower[b.0], gb);
                 }
                 Op::Scale(a, s) => {
-                    let mut ga = g;
-                    ga.scale_assign(s);
-                    self.accum(a, ga);
+                    let mut ga = g.clone();
+                    ga.scale_assign(*s);
+                    accum_slot(&mut lower[a.0], ga);
                 }
                 Op::Relu(a) => {
-                    let x = self.nodes[a.0].value.clone();
+                    let x = &nodes[a.0].value;
                     let ga = Matrix::from_fn(g.rows(), g.cols(), |r, c| {
                         if x.get(r, c) > 0.0 {
                             g.get(r, c)
@@ -458,10 +469,10 @@ impl Graph {
                             0.0
                         }
                     });
-                    self.accum(a, ga);
+                    accum_slot(&mut lower[a.0], ga);
                 }
                 Op::SoftmaxRows(a) => {
-                    let y = self.nodes[i].value.clone();
+                    let y = &nodes[i].value;
                     let mut ga = Matrix::zeros(g.rows(), g.cols());
                     for r in 0..g.rows() {
                         let dot: f32 = g
@@ -474,10 +485,10 @@ impl Graph {
                             ga.set(r, c, y.get(r, c) * (g.get(r, c) - dot));
                         }
                     }
-                    self.accum(a, ga);
+                    accum_slot(&mut lower[a.0], ga);
                 }
                 Op::LayerNormRows { input, stats } => {
-                    let y = self.nodes[i].value.clone();
+                    let y = &nodes[i].value;
                     let cols = g.cols() as f32;
                     let mut ga = Matrix::zeros(g.rows(), g.cols());
                     for r in 0..g.rows() {
@@ -495,40 +506,40 @@ impl Graph {
                             ga.set(r, c, v);
                         }
                     }
-                    self.accum(input, ga);
+                    accum_slot(&mut lower[input.0], ga);
                 }
                 Op::Gather { table, ids } => {
-                    let t = &self.nodes[table.0].value;
+                    let t = &nodes[table.0].value;
                     let mut gt = Matrix::zeros(t.rows(), t.cols());
                     for (r, &id) in ids.iter().enumerate() {
                         for (c, &v) in g.row(r).iter().enumerate() {
                             gt.set(id, c, gt.get(id, c) + v);
                         }
                     }
-                    self.accum(table, gt);
+                    accum_slot(&mut lower[table.0], gt);
                 }
                 Op::MeanRows(a) => {
-                    let rows = self.nodes[a.0].value.rows();
+                    let rows = nodes[a.0].value.rows();
                     let inv = 1.0 / rows.max(1) as f32;
                     let ga = Matrix::from_fn(rows, g.cols(), |_, c| g.get(0, c) * inv);
-                    self.accum(a, ga);
+                    accum_slot(&mut lower[a.0], ga);
                 }
                 Op::SliceCols { input, start } => {
-                    let x = &self.nodes[input.0].value;
+                    let x = &nodes[input.0].value;
                     let mut ga = Matrix::zeros(x.rows(), x.cols());
                     for r in 0..g.rows() {
                         for c in 0..g.cols() {
                             ga.set(r, start + c, g.get(r, c));
                         }
                     }
-                    self.accum(input, ga);
+                    accum_slot(&mut lower[input.0], ga);
                 }
                 Op::ConcatCols(parts) => {
                     let mut off = 0;
                     for p in parts {
-                        let cols = self.nodes[p.0].value.cols();
+                        let cols = nodes[p.0].value.cols();
                         let gp = Matrix::from_fn(g.rows(), cols, |r, c| g.get(r, off + c));
-                        self.accum(p, gp);
+                        accum_slot(&mut lower[p.0], gp);
                         off += cols;
                     }
                 }
@@ -543,32 +554,25 @@ impl Graph {
                         gl.set(r, t, gl.get(r, t) - 1.0);
                     }
                     gl.scale_assign(gs);
-                    self.accum(logits, gl);
+                    accum_slot(&mut lower[logits.0], gl);
                 }
                 Op::Sigmoid(a) => {
-                    let y = self.nodes[i].value.clone();
+                    let y = &nodes[i].value;
                     let ga = Matrix::from_fn(g.rows(), g.cols(), |r, c| {
                         let yv = y.get(r, c);
                         g.get(r, c) * yv * (1.0 - yv)
                     });
-                    self.accum(a, ga);
+                    accum_slot(&mut lower[a.0], ga);
                 }
                 Op::LogSigmoid(a) => {
-                    let x = self.nodes[a.0].value.clone();
+                    let x = &nodes[a.0].value;
                     let ga = Matrix::from_fn(g.rows(), g.cols(), |r, c| {
                         let s = 1.0 / (1.0 + x.get(r, c).exp());
                         g.get(r, c) * s
                     });
-                    self.accum(a, ga);
+                    accum_slot(&mut lower[a.0], ga);
                 }
             }
-        }
-    }
-
-    fn accum(&mut self, id: NodeId, g: Matrix) {
-        match &mut self.grads[id.0] {
-            Some(existing) => existing.add_assign(&g),
-            slot @ None => *slot = Some(g),
         }
     }
 

@@ -6,9 +6,23 @@
 //! changed tokens are served from cache and only the affected rows are
 //! recomputed. The separation mask (Sec. 5.2) makes this effective: rows
 //! that are masked off from the changed segment keep their outputs.
+//!
+//! Two production paths live here, both built on the blocked kernels in
+//! [`crate::matrix`] and the [`Scratch`] arena so steady-state inference
+//! allocates nothing:
+//!
+//! * [`forward`] — full-sequence forward pass (the hot path behind every
+//!   prediction), bit-identical to the autodiff tape forward in
+//!   [`Transformer::encode`];
+//! * [`encode_cached`] — the incremental path recomputing only rows
+//!   reachable (per mask) from changed tokens.
+//!
+//! [`encode_batch`] fans [`forward`] out across scoped threads for batch
+//! workloads.
 
 use crate::graph::ParamStore;
-use crate::matrix::Matrix;
+use crate::matrix::{softmax_slice, Matrix};
+use crate::scratch::Scratch;
 use crate::transformer::Transformer;
 
 /// Threshold below which a mask entry is considered "blocked".
@@ -62,28 +76,413 @@ impl InferStats {
     }
 }
 
-fn row_matmul(row: &[f32], w: &Matrix) -> Vec<f32> {
-    let mut out = vec![0.0f32; w.cols()];
-    for (k, &a) in row.iter().enumerate() {
-        if a == 0.0 {
-            continue;
+/// `out = row × w` with a 4-way `k` unroll. Per output element the
+/// accumulation still runs over `k` left-to-right, so results are
+/// bit-identical to the naive axpy loop.
+fn row_matmul_into(row: &[f32], w: &Matrix, out: &mut [f32]) {
+    let n = w.cols();
+    debug_assert_eq!(out.len(), n);
+    out.fill(0.0);
+    let mut kk = 0;
+    while kk + 4 <= row.len() {
+        let (a0, a1, a2, a3) = (row[kk], row[kk + 1], row[kk + 2], row[kk + 3]);
+        let w0 = w.row(kk);
+        let w1 = w.row(kk + 1);
+        let w2 = w.row(kk + 2);
+        let w3 = w.row(kk + 3);
+        for (j, o) in out.iter_mut().enumerate() {
+            *o = *o + a0 * w0[j] + a1 * w1[j] + a2 * w2[j] + a3 * w3[j];
         }
-        for (o, &b) in out.iter_mut().zip(w.row(k)) {
-            *o += a * b;
-        }
+        kk += 4;
     }
-    out
+    while kk < row.len() {
+        let av = row[kk];
+        let wr = w.row(kk);
+        for (o, &bv) in out.iter_mut().zip(wr) {
+            *o += av * bv;
+        }
+        kk += 1;
+    }
 }
 
-fn layer_norm_row(row: &[f32], gain: &Matrix, bias: &Matrix) -> Vec<f32> {
+/// `out = layer_norm(row) * gain + bias` (same op order as the tape's
+/// `layer_norm_rows` → `mul_row` → `add_row` chain).
+fn layer_norm_row_into(row: &[f32], gain: &Matrix, bias: &Matrix, out: &mut [f32]) {
     let n = row.len() as f32;
     let mean = row.iter().sum::<f32>() / n;
     let var = row.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / n;
     let inv = 1.0 / (var + 1e-5).sqrt();
-    row.iter()
-        .enumerate()
-        .map(|(c, &v)| (v - mean) * inv * gain.get(0, c) + bias.get(0, c))
-        .collect()
+    for (((o, &v), &g), &b) in out.iter_mut().zip(row).zip(gain.row(0)).zip(bias.row(0)) {
+        *o = (v - mean) * inv * g + b;
+    }
+}
+
+/// Row-wise layer norm with learned gain/bias over a whole matrix.
+fn layer_norm_into(x: &Matrix, gain: &Matrix, bias: &Matrix, out: &mut Matrix) {
+    debug_assert_eq!(x.shape(), out.shape());
+    for i in 0..x.rows() {
+        layer_norm_row_into(x.row(i), gain, bias, out.row_mut(i));
+    }
+}
+
+/// One attention head over column block `off..off+hd`: fills `scores` with
+/// the softmaxed (scaled, masked) attention weights and writes the weighted
+/// values into `cat`'s column block. `vh`/`head_out` are `n × hd` scratch
+/// matrices.
+#[allow(clippy::too_many_arguments)]
+fn attention_head(
+    q: &Matrix,
+    k: &Matrix,
+    v: &Matrix,
+    mask: Option<&Matrix>,
+    off: usize,
+    hd: usize,
+    scale: f32,
+    scores: &mut Matrix,
+    vh: &mut Matrix,
+    head_out: &mut Matrix,
+    cat: &mut Matrix,
+) {
+    let n = q.rows();
+    for i in 0..n {
+        let qr = &q.row(i)[off..off + hd];
+        let sr = scores.row_mut(i);
+        // A plain zip dot beats a multi-row unroll at head dimension ≤ 16:
+        // the iterator pair carries no bounds checks and the compiler fully
+        // unrolls the short inner loop. Scale/mask are fused into the same
+        // pass ((dot·scale) + mask, the tape's association), tracking the
+        // row maximum in `j` order exactly as the softmax fold would.
+        let mut mx = f32::NEG_INFINITY;
+        match mask {
+            Some(m) => {
+                for (j, s) in sr.iter_mut().enumerate() {
+                    let kr = &k.row(j)[off..off + hd];
+                    let mut acc = 0.0f32;
+                    for (&qv, &kv) in qr.iter().zip(kr) {
+                        acc += qv * kv;
+                    }
+                    let sv = acc * scale + m.get(i, j);
+                    mx = mx.max(sv);
+                    *s = sv;
+                }
+            }
+            None => {
+                for (j, s) in sr.iter_mut().enumerate() {
+                    let kr = &k.row(j)[off..off + hd];
+                    let mut acc = 0.0f32;
+                    for (&qv, &kv) in qr.iter().zip(kr) {
+                        acc += qv * kv;
+                    }
+                    let sv = acc * scale;
+                    mx = mx.max(sv);
+                    *s = sv;
+                }
+            }
+        }
+        crate::matrix::softmax_slice_with_max(sr, mx);
+    }
+    // head_out = scores × v[:, off..off+hd] through the blocked kernel on a
+    // materialized head slice — the same structure (and bit pattern) as the
+    // tape's slice_cols + matmul.
+    for i in 0..n {
+        vh.row_mut(i).copy_from_slice(&v.row(i)[off..off + hd]);
+    }
+    scores.matmul_into(vh, head_out);
+    for i in 0..n {
+        cat.row_mut(i)[off..off + hd].copy_from_slice(head_out.row(i));
+    }
+}
+
+/// Full-sequence forward pass on the blocked kernels, allocation-free via
+/// `scratch` — the production prediction path.
+///
+/// Computes the identical sequence of floating-point operations as the
+/// autodiff tape forward ([`Transformer::encode`]) without building a tape,
+/// so results are bit-identical while running several times faster.
+///
+/// Returns the `(seq, pooled)` pair (recycle them into `scratch` when done
+/// to keep inference allocation-free).
+///
+/// # Panics
+///
+/// Panics if `mask` does not match the (truncated) token count.
+pub fn forward(
+    t: &Transformer,
+    store: &ParamStore,
+    tokens: &[u32],
+    mask: Option<&Matrix>,
+    scratch: &mut Scratch,
+) -> (Matrix, Matrix) {
+    let raw = t.raw();
+    let cfg = raw.config;
+    let n = tokens.len().min(cfg.max_len).max(1);
+    let ids: Vec<usize> = tokens
+        .iter()
+        .take(n)
+        .map(|&tok| (tok as usize).min(cfg.vocab_size - 1))
+        .collect();
+    if let Some(m) = mask {
+        assert_eq!(m.shape(), (ids.len(), ids.len()), "mask shape");
+    }
+    let n = ids.len();
+    let d = cfg.d_model;
+    let heads = cfg.n_heads;
+    let hd = d / heads;
+
+    // ---- embeddings ----
+    let tok_table = store.get(raw.tok_embed);
+    let pos_table = store.get(raw.pos_embed);
+    let mut x = scratch.matrix(n, d);
+    for (i, &id) in ids.iter().enumerate() {
+        for ((o, &tv), &pv) in x
+            .row_mut(i)
+            .iter_mut()
+            .zip(tok_table.row(id))
+            .zip(pos_table.row(i))
+        {
+            *o = tv + pv;
+        }
+    }
+
+    // ---- layers ----
+    let mut ln = scratch.matrix(n, d);
+    let mut q = scratch.matrix(n, d);
+    let mut k = scratch.matrix(n, d);
+    let mut v = scratch.matrix(n, d);
+    let mut scores = scratch.matrix(n, n);
+    let mut vh = scratch.matrix(n, hd);
+    let mut head_out = scratch.matrix(n, hd);
+    let mut cat = scratch.matrix(n, d);
+    let mut proj = scratch.matrix(n, d);
+    let mut hidden = scratch.matrix(n, cfg.d_ff);
+    let mut ffn = scratch.matrix(n, d);
+    let scale = 1.0 / (hd as f32).sqrt();
+    for layer in raw.layers {
+        let idsl = layer.ids();
+        // Attention sub-block (pre-norm).
+        layer_norm_into(
+            &x,
+            store.get(idsl.ln1_gain),
+            store.get(idsl.ln1_bias),
+            &mut ln,
+        );
+        ln.matmul_into(store.get(idsl.wq), &mut q);
+        ln.matmul_into(store.get(idsl.wk), &mut k);
+        ln.matmul_into(store.get(idsl.wv), &mut v);
+        for h in 0..heads {
+            attention_head(
+                &q,
+                &k,
+                &v,
+                mask,
+                h * hd,
+                hd,
+                scale,
+                &mut scores,
+                &mut vh,
+                &mut head_out,
+                &mut cat,
+            );
+        }
+        cat.matmul_into(store.get(idsl.wo), &mut proj);
+        x.add_assign(&proj);
+        // Feed-forward sub-block (pre-norm).
+        layer_norm_into(
+            &x,
+            store.get(idsl.ln2_gain),
+            store.get(idsl.ln2_bias),
+            &mut ln,
+        );
+        ln.matmul_into(store.get(idsl.w1), &mut hidden);
+        hidden.bias_relu(store.get(idsl.b1));
+        hidden.matmul_into(store.get(idsl.w2), &mut ffn);
+        let b2 = store.get(idsl.b2);
+        for i in 0..n {
+            for ((o, &hv), &bv) in x.row_mut(i).iter_mut().zip(ffn.row(i)).zip(b2.row(0)) {
+                // Same association as the tape: x + (ffn + b2).
+                *o += hv + bv;
+            }
+        }
+    }
+
+    // ---- final layer norm + pooling ----
+    let mut seq = scratch.matrix(n, d);
+    layer_norm_into(
+        &x,
+        store.get(raw.final_gain),
+        store.get(raw.final_bias),
+        &mut seq,
+    );
+    let mut pooled = scratch.matrix(1, d);
+    for i in 0..n {
+        for (o, &sv) in pooled.row_mut(0).iter_mut().zip(seq.row(i)) {
+            *o += sv;
+        }
+    }
+    let inv = 1.0 / n.max(1) as f32;
+    for o in pooled.row_mut(0).iter_mut() {
+        *o *= inv;
+    }
+    for m in [x, ln, q, k, v, scores, vh, head_out, cat, proj, hidden, ffn] {
+        scratch.recycle(m);
+    }
+    (seq, pooled)
+}
+
+/// Encodes many token sequences in parallel with scoped threads (one
+/// [`Scratch`] per worker). Results keep input order; `threads` is clamped
+/// to the batch size.
+pub fn encode_batch(
+    t: &Transformer,
+    store: &ParamStore,
+    seqs: &[Vec<u32>],
+    threads: usize,
+) -> Vec<(Matrix, Matrix)> {
+    crate::train::par_map_init(seqs, threads, Scratch::new, |scratch, s| {
+        forward(t, store, s, None, scratch)
+    })
+}
+
+/// The pre-optimization forward pass, kept verbatim as a test oracle and
+/// perf baseline for [`forward`]: naive axpy row-matmuls with a fresh `Vec`
+/// per row, element-wise `get()` accessors in the attention loops, and no
+/// buffer reuse — the implementation every prediction ran through before the
+/// blocked kernels and [`Scratch`] landed.
+///
+/// Produces bit-identical `(seq, pooled)` results to [`forward`].
+///
+/// # Panics
+///
+/// Panics if `mask` does not match the (truncated) token count.
+pub fn encode_naive(
+    t: &Transformer,
+    store: &ParamStore,
+    tokens: &[u32],
+    mask: Option<&Matrix>,
+) -> (Matrix, Matrix) {
+    fn row_matmul(row: &[f32], w: &Matrix) -> Vec<f32> {
+        let mut out = vec![0.0f32; w.cols()];
+        for (k, &a) in row.iter().enumerate() {
+            if a == 0.0 {
+                continue;
+            }
+            for (o, &b) in out.iter_mut().zip(w.row(k)) {
+                *o += a * b;
+            }
+        }
+        out
+    }
+    fn layer_norm_row(row: &[f32], gain: &Matrix, bias: &Matrix) -> Vec<f32> {
+        let n = row.len() as f32;
+        let mean = row.iter().sum::<f32>() / n;
+        let var = row.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / n;
+        let inv = 1.0 / (var + 1e-5).sqrt();
+        row.iter()
+            .enumerate()
+            .map(|(c, &v)| (v - mean) * inv * gain.get(0, c) + bias.get(0, c))
+            .collect()
+    }
+
+    let raw = t.raw();
+    let cfg = raw.config;
+    let n = tokens.len().min(cfg.max_len).max(1);
+    let ids: Vec<usize> = tokens
+        .iter()
+        .take(n)
+        .map(|&tok| (tok as usize).min(cfg.vocab_size - 1))
+        .collect();
+    if let Some(m) = mask {
+        assert_eq!(m.shape(), (ids.len(), ids.len()), "mask shape");
+    }
+    let mut x = Matrix::zeros(ids.len(), cfg.d_model);
+    let tok_table = store.get(raw.tok_embed);
+    let pos_table = store.get(raw.pos_embed);
+    for (i, &id) in ids.iter().enumerate() {
+        for c in 0..cfg.d_model {
+            x.set(i, c, tok_table.get(id, c) + pos_table.get(i, c));
+        }
+    }
+    let heads = cfg.n_heads;
+    let hd = cfg.d_model / heads;
+    let scale = 1.0 / (hd as f32).sqrt();
+    for layer in raw.layers {
+        let idsl = layer.ids();
+        let (g1, b1) = (store.get(idsl.ln1_gain), store.get(idsl.ln1_bias));
+        let (wq, wk, wv, wo) = (
+            store.get(idsl.wq),
+            store.get(idsl.wk),
+            store.get(idsl.wv),
+            store.get(idsl.wo),
+        );
+        let mut q = Matrix::zeros(ids.len(), cfg.d_model);
+        let mut k = Matrix::zeros(ids.len(), cfg.d_model);
+        let mut v = Matrix::zeros(ids.len(), cfg.d_model);
+        for i in 0..ids.len() {
+            let ln = layer_norm_row(x.row(i), g1, b1);
+            q.row_mut(i).copy_from_slice(&row_matmul(&ln, wq));
+            k.row_mut(i).copy_from_slice(&row_matmul(&ln, wk));
+            v.row_mut(i).copy_from_slice(&row_matmul(&ln, wv));
+        }
+        let (g2, b2) = (store.get(idsl.ln2_gain), store.get(idsl.ln2_bias));
+        let (w1, b1f) = (store.get(idsl.w1), store.get(idsl.b1));
+        let (w2, b2f) = (store.get(idsl.w2), store.get(idsl.b2));
+        let mut x_out = Matrix::zeros(ids.len(), cfg.d_model);
+        for i in 0..ids.len() {
+            let mut cat = vec![0.0f32; cfg.d_model];
+            for h in 0..heads {
+                let off = h * hd;
+                let mut scores = vec![0.0f32; ids.len()];
+                for (j, s) in scores.iter_mut().enumerate() {
+                    let mut dot = 0.0f32;
+                    for c in 0..hd {
+                        dot += q.get(i, off + c) * k.get(j, off + c);
+                    }
+                    *s = match mask {
+                        Some(m) => dot * scale + m.get(i, j),
+                        None => dot * scale,
+                    };
+                }
+                softmax_slice(&mut scores);
+                for (j, &a) in scores.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    for c in 0..hd {
+                        cat[off + c] += a * v.get(j, off + c);
+                    }
+                }
+            }
+            let proj = row_matmul(&cat, wo);
+            let mut mid = vec![0.0f32; cfg.d_model];
+            for c in 0..cfg.d_model {
+                mid[c] = x.get(i, c) + proj[c];
+            }
+            let ln = layer_norm_row(&mid, g2, b2);
+            let mut hrow = row_matmul(&ln, w1);
+            for (c, hv) in hrow.iter_mut().enumerate() {
+                *hv = (*hv + b1f.get(0, c)).max(0.0);
+            }
+            let out = row_matmul(&hrow, w2);
+            for c in 0..cfg.d_model {
+                x_out.set(i, c, mid[c] + (out[c] + b2f.get(0, c)));
+            }
+        }
+        x = x_out;
+    }
+    let (fg, fb) = (store.get(raw.final_gain), store.get(raw.final_bias));
+    let mut seq = Matrix::zeros(ids.len(), cfg.d_model);
+    for i in 0..ids.len() {
+        let ln = layer_norm_row(x.row(i), fg, fb);
+        seq.row_mut(i).copy_from_slice(&ln);
+    }
+    let mut pooled = Matrix::zeros(1, cfg.d_model);
+    for i in 0..ids.len() {
+        for c in 0..cfg.d_model {
+            pooled.set(0, c, pooled.get(0, c) + seq.get(i, c));
+        }
+    }
+    pooled.scale_assign(1.0 / ids.len().max(1) as f32);
+    (seq, pooled)
 }
 
 /// Encodes `tokens`, reusing `prev` where the mask proves rows unaffected.
@@ -103,6 +502,21 @@ pub fn encode_cached(
     tokens: &[u32],
     mask: Option<&Matrix>,
     prev: Option<&EncoderCache>,
+) -> (EncoderCache, InferStats) {
+    let mut scratch = Scratch::new();
+    encode_cached_with(t, store, tokens, mask, prev, &mut scratch)
+}
+
+/// [`encode_cached`] with a caller-owned [`Scratch`], so repeated
+/// incremental predictions (the design-space-exploration loop) allocate only
+/// the returned cache matrices.
+pub fn encode_cached_with(
+    t: &Transformer,
+    store: &ParamStore,
+    tokens: &[u32],
+    mask: Option<&Matrix>,
+    prev: Option<&EncoderCache>,
+    scratch: &mut Scratch,
 ) -> (EncoderCache, InferStats) {
     let raw = t.raw();
     let cfg = raw.config;
@@ -142,12 +556,28 @@ pub fn encode_cached(
     };
     for (i, &id) in ids.iter().enumerate() {
         if changed[i] {
-            for c in 0..cfg.d_model {
-                x.set(i, c, tok_table.get(id, c) + pos_table.get(i, c));
+            for ((o, &tv), &pv) in x
+                .row_mut(i)
+                .iter_mut()
+                .zip(tok_table.row(id))
+                .zip(pos_table.row(i))
+            {
+                *o = tv + pv;
             }
         }
     }
     let x0 = x.clone();
+
+    // ---- row-loop scratch buffers (reused across rows and layers) ----
+    let d = cfg.d_model;
+    let mut ln_buf = scratch.row(d);
+    let mut cat_buf = scratch.row(d);
+    let mut mid_buf = scratch.row(d);
+    let mut proj_buf = scratch.row(d);
+    let mut hid_buf = scratch.row(cfg.d_ff);
+    let mut out_buf = scratch.row(d);
+    let mut score_buf = scratch.row(ids.len());
+    let mut weight_buf = scratch.row(ids.len());
 
     // ---- layers ----
     let heads = cfg.n_heads;
@@ -175,10 +605,10 @@ pub fn encode_cached(
         };
         for i in 0..ids.len() {
             if changed[i] {
-                let ln = layer_norm_row(x.row(i), g1, b1);
-                q.row_mut(i).copy_from_slice(&row_matmul(&ln, wq));
-                k.row_mut(i).copy_from_slice(&row_matmul(&ln, wk));
-                v.row_mut(i).copy_from_slice(&row_matmul(&ln, wv));
+                layer_norm_row_into(x.row(i), g1, b1, &mut ln_buf);
+                row_matmul_into(&ln_buf, wq, q.row_mut(i));
+                row_matmul_into(&ln_buf, wk, k.row_mut(i));
+                row_matmul_into(&ln_buf, wv, v.row_mut(i));
             }
         }
 
@@ -211,28 +641,30 @@ pub fn encode_cached(
             }
             stats.rows_computed += 1;
             // Multi-head attention for row i.
-            let mut cat = vec![0.0f32; cfg.d_model];
+            cat_buf.fill(0.0);
             for h in 0..heads {
                 let off = h * hd;
                 // scores over all j
-                let mut scores = vec![f32::NEG_INFINITY; ids.len()];
-                for (j, s) in scores.iter_mut().enumerate() {
+                score_buf.fill(f32::NEG_INFINITY);
+                for (j, s) in score_buf.iter_mut().enumerate() {
                     let allowed = mask.map(|m| m.get(i, j) > MASK_BLOCKED).unwrap_or(true);
                     if !allowed {
                         continue;
                     }
+                    let qr = &q.row(i)[off..off + hd];
+                    let kr = &k.row(j)[off..off + hd];
                     let mut dot = 0.0f32;
-                    for c in 0..hd {
-                        dot += q.get(i, off + c) * k.get(j, off + c);
+                    for (&qv, &kv) in qr.iter().zip(kr) {
+                        dot += qv * kv;
                     }
                     *s = dot * scale + mask.map(|m| m.get(i, j)).unwrap_or(0.0);
                 }
                 // softmax
-                let max = scores.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                let max = score_buf.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
                 let mut denom = 0.0f32;
-                let mut weights = vec![0.0f32; ids.len()];
+                weight_buf.fill(0.0);
                 if max.is_finite() {
-                    for (w, &s) in weights.iter_mut().zip(&scores) {
+                    for (w, &s) in weight_buf.iter_mut().zip(&score_buf) {
                         if s.is_finite() {
                             *w = (s - max).exp();
                             denom += *w;
@@ -240,34 +672,42 @@ pub fn encode_cached(
                     }
                 } else {
                     // fully-masked row: uniform (matches tape softmax)
-                    weights.iter_mut().for_each(|w| *w = 1.0);
+                    weight_buf.iter_mut().for_each(|w| *w = 1.0);
                     denom = ids.len() as f32;
                 }
                 let inv = 1.0 / denom.max(1e-12);
-                for (j, &w) in weights.iter().enumerate() {
+                for (j, &w) in weight_buf.iter().enumerate() {
                     if w == 0.0 {
                         continue;
                     }
                     let a = w * inv;
-                    for c in 0..hd {
-                        cat[off + c] += a * v.get(j, off + c);
+                    let vr = &v.row(j)[off..off + hd];
+                    let cr = &mut cat_buf[off..off + hd];
+                    for (o, &vv) in cr.iter_mut().zip(vr) {
+                        *o += a * vv;
                     }
                 }
             }
-            let proj = row_matmul(&cat, wo);
-            let mut mid = vec![0.0f32; cfg.d_model];
-            for c in 0..cfg.d_model {
-                mid[c] = x.get(i, c) + proj[c];
+            row_matmul_into(&cat_buf, wo, &mut proj_buf);
+            for ((m, &xv), &pv) in mid_buf.iter_mut().zip(x.row(i)).zip(&proj_buf) {
+                *m = xv + pv;
             }
             // FFN
-            let ln = layer_norm_row(&mid, g2, b2);
-            let mut hrow = row_matmul(&ln, w1);
-            for (c, hv) in hrow.iter_mut().enumerate() {
-                *hv = (*hv + b1f.get(0, c)).max(0.0);
+            layer_norm_row_into(&mid_buf, g2, b2, &mut ln_buf);
+            row_matmul_into(&ln_buf, w1, &mut hid_buf);
+            for (hv, &bv) in hid_buf.iter_mut().zip(b1f.row(0)) {
+                *hv = (*hv + bv).max(0.0);
             }
-            let out = row_matmul(&hrow, w2);
-            for c in 0..cfg.d_model {
-                x_out.set(i, c, mid[c] + out[c] + b2f.get(0, c));
+            row_matmul_into(&hid_buf, w2, &mut out_buf);
+            for (((o, &mv), &hv), &bv) in x_out
+                .row_mut(i)
+                .iter_mut()
+                .zip(&mid_buf)
+                .zip(&out_buf)
+                .zip(b2f.row(0))
+            {
+                // Same association as the tape: mid + (ffn + b2).
+                *o = mv + (hv + bv);
             }
         }
         layer_caches.push(LayerCache {
@@ -288,17 +728,22 @@ pub fn encode_cached(
     };
     for i in 0..ids.len() {
         if changed[i] || usable_prev.is_none() {
-            let ln = layer_norm_row(x.row(i), fg, fb);
-            seq.row_mut(i).copy_from_slice(&ln);
+            layer_norm_row_into(x.row(i), fg, fb, seq.row_mut(i));
         }
     }
     let mut pooled = Matrix::zeros(1, cfg.d_model);
     for i in 0..ids.len() {
-        for c in 0..cfg.d_model {
-            pooled.set(0, c, pooled.get(0, c) + seq.get(i, c));
+        for (o, &sv) in pooled.row_mut(0).iter_mut().zip(seq.row(i)) {
+            *o += sv;
         }
     }
-    pooled.scale_assign(1.0 / ids.len() as f32);
+    pooled.scale_assign(1.0 / ids.len().max(1) as f32);
+
+    for buf in [
+        ln_buf, cat_buf, mid_buf, proj_buf, hid_buf, out_buf, score_buf, weight_buf,
+    ] {
+        scratch.recycle_row(buf);
+    }
 
     let cache = EncoderCache {
         tokens: ids.iter().map(|&i| i as u32).collect(),
@@ -340,6 +785,100 @@ mod tests {
         assert!(close(g.value(out.seq), &cache.seq, 1e-4));
         assert!(close(g.value(out.pooled), &cache.pooled, 1e-4));
         assert_eq!(stats.rows_computed, stats.rows_total);
+    }
+
+    #[test]
+    fn forward_is_bit_identical_to_tape() {
+        let (t, store) = setup();
+        let tokens = [3u32, 9, 1, 22, 7, 4, 13, 2];
+        let mut g = Graph::new();
+        let out = t.encode(&mut g, &store, &tokens, None);
+        let mut scratch = Scratch::new();
+        let (seq, pooled) = forward(&t, &store, &tokens, None, &mut scratch);
+        assert_eq!(g.value(out.seq).data(), seq.data(), "seq drifted");
+        assert_eq!(g.value(out.pooled).data(), pooled.data(), "pooled drifted");
+    }
+
+    #[test]
+    fn forward_is_bit_identical_to_tape_with_mask() {
+        let (t, store) = setup();
+        let tokens = [3u32, 9, 1, 22, 7];
+        let mask = Matrix::from_fn(5, 5, |r, c| if (r + c) % 3 == 0 { -1e9 } else { 0.0 });
+        let mut g = Graph::new();
+        let out = t.encode(&mut g, &store, &tokens, Some(&mask));
+        let mut scratch = Scratch::new();
+        let (seq, pooled) = forward(&t, &store, &tokens, Some(&mask), &mut scratch);
+        assert_eq!(g.value(out.seq).data(), seq.data(), "masked seq drifted");
+        assert_eq!(g.value(out.pooled).data(), pooled.data());
+    }
+
+    #[test]
+    fn naive_oracle_is_bit_identical_to_forward() {
+        let (t, store) = setup();
+        let tokens = [3u32, 9, 1, 22, 7, 4, 13];
+        let mut scratch = Scratch::new();
+        for mask in [
+            None,
+            Some(Matrix::from_fn(7, 7, |r, c| {
+                if r.abs_diff(c) > 2 {
+                    -1e9
+                } else {
+                    0.0
+                }
+            })),
+        ] {
+            let (ns, np) = encode_naive(&t, &store, &tokens, mask.as_ref());
+            let (fs, fp) = forward(&t, &store, &tokens, mask.as_ref(), &mut scratch);
+            assert_eq!(ns.data(), fs.data(), "seq (mask={})", mask.is_some());
+            assert_eq!(np.data(), fp.data(), "pooled (mask={})", mask.is_some());
+        }
+    }
+
+    #[test]
+    fn fresh_cached_pass_is_bit_identical_to_forward() {
+        let (t, store) = setup();
+        let tokens = [5u32, 6, 7, 8, 9];
+        let (cache, _) = encode_cached(&t, &store, &tokens, None, None);
+        let mut scratch = Scratch::new();
+        let (seq, pooled) = forward(&t, &store, &tokens, None, &mut scratch);
+        assert_eq!(cache.seq.data(), seq.data());
+        assert_eq!(cache.pooled.data(), pooled.data());
+    }
+
+    #[test]
+    fn forward_reuses_scratch_allocations() {
+        let (t, store) = setup();
+        let tokens = [1u32, 2, 3, 4];
+        let mut scratch = Scratch::new();
+        let (seq, pooled) = forward(&t, &store, &tokens, None, &mut scratch);
+        scratch.recycle(seq);
+        scratch.recycle(pooled);
+        let before = scratch.pooled();
+        let (seq, pooled) = forward(&t, &store, &tokens, None, &mut scratch);
+        scratch.recycle(seq);
+        scratch.recycle(pooled);
+        assert_eq!(scratch.pooled(), before, "steady state pools buffers");
+    }
+
+    #[test]
+    fn encode_batch_matches_serial_forward_any_thread_count() {
+        let (t, store) = setup();
+        let seqs: Vec<Vec<u32>> = (0..7)
+            .map(|i| (0..5).map(|j| (i * 5 + j) as u32 % 40).collect())
+            .collect();
+        let mut scratch = Scratch::new();
+        let serial: Vec<_> = seqs
+            .iter()
+            .map(|s| forward(&t, &store, s, None, &mut scratch))
+            .collect();
+        for threads in [1, 2, 4, 9] {
+            let batch = encode_batch(&t, &store, &seqs, threads);
+            assert_eq!(batch.len(), serial.len());
+            for ((bs, bp), (ss, sp)) in batch.iter().zip(&serial) {
+                assert_eq!(bs.data(), ss.data(), "threads={threads}");
+                assert_eq!(bp.data(), sp.data(), "threads={threads}");
+            }
+        }
     }
 
     #[test]

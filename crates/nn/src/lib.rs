@@ -5,16 +5,21 @@
 //!
 //! The crate provides:
 //!
-//! * [`Matrix`] — dense `f32` matrices with the handful of kernels a small
-//!   transformer needs,
+//! * [`Matrix`] — dense `f32` matrices with blocked, allocation-free matmul
+//!   kernels (bit-identical to the naive `*_naive` test oracles),
+//! * [`Scratch`] — a reusable buffer arena keeping steady-state inference
+//!   free of heap allocation,
 //! * [`Graph`] — a tape-based reverse-mode autodiff engine (gradient-checked
 //!   against finite differences in the test suite),
 //! * [`Transformer`] — a pre-norm encoder with *pluggable additive attention
 //!   masks* (the hook for LLMulator's dynamic control-flow separation),
+//! * [`infer::forward`] / [`infer::encode_batch`] — the production forward
+//!   pass (tape-free, scratch-backed) and its scoped-thread batch fan-out,
 //! * [`infer::encode_cached`] — forward-only inference with block-structured
 //!   attention caching (LLMulator's dynamic prediction acceleration),
 //! * [`AdamW`] — decoupled-weight-decay optimizer,
-//! * [`train::batch_grads`] — parallel mini-batch gradient accumulation.
+//! * [`train::batch_grads`] / [`train::par_map`] — parallel mini-batch
+//!   gradient accumulation and a generic scoped-thread map.
 //!
 //! ```
 //! use llmulator_nn::{Graph, ParamStore, Transformer, TransformerConfig};
@@ -35,11 +40,17 @@ pub mod adam;
 pub mod graph;
 pub mod infer;
 pub mod matrix;
+pub mod scratch;
 pub mod train;
 pub mod transformer;
 
 pub use adam::{AdamConfig, AdamW};
 pub use graph::{Graph, NodeId, ParamId, ParamStore};
-pub use infer::{encode_cached, EncoderCache, InferStats};
-pub use matrix::Matrix;
+pub use infer::{
+    encode_batch, encode_cached, encode_cached_with, encode_naive, forward, EncoderCache,
+    InferStats,
+};
+pub use matrix::{softmax_slice, Matrix};
+pub use scratch::Scratch;
+pub use train::{available_threads, par_map, par_map_init};
 pub use transformer::{EncodeOut, Transformer, TransformerConfig};

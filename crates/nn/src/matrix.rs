@@ -1,8 +1,44 @@
 //! A minimal dense `f32` matrix with the operations the transformer needs.
+//!
+//! The production matmul kernels (`matmul_into` and friends) are
+//! register-blocked for autovectorization but keep the *exact* per-element
+//! floating-point accumulation order of the naive triple loops, so swapping
+//! them in changes no result bit. The naive loops survive as `*_naive` test
+//! oracles.
 
 use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+
+/// Numerically-stabilized softmax over one logit slice, in place.
+///
+/// A fully non-finite slice (every entry `-inf`/`NaN`) falls back to the
+/// uniform distribution so downstream gradients stay finite.
+pub fn softmax_slice(row: &mut [f32]) {
+    let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    softmax_slice_with_max(row, max);
+}
+
+/// [`softmax_slice`] when the caller already tracked the row maximum (must
+/// equal the sequential `f32::max` fold over the slice).
+pub(crate) fn softmax_slice_with_max(row: &mut [f32], max: f32) {
+    if !max.is_finite() {
+        let inv = 1.0 / row.len() as f32;
+        for v in row.iter_mut() {
+            *v = inv;
+        }
+        return;
+    }
+    let mut sum = 0.0;
+    for v in row.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    let inv = 1.0 / sum.max(1e-12);
+    for v in row.iter_mut() {
+        *v *= inv;
+    }
+}
 
 /// A row-major dense matrix of `f32`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -108,12 +144,202 @@ impl Matrix {
         &mut self.data
     }
 
-    /// Matrix product `self × other` (ikj loop order for cache friendliness).
+    /// Reshapes in place to `rows × cols`, zero-filled, reusing the existing
+    /// allocation when its capacity suffices.
+    pub(crate) fn resize_buf(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// [`Matrix::resize_buf`] without the zero-fill — only for kernels that
+    /// assign (never accumulate into) every output element. Stale values may
+    /// remain until overwritten.
+    fn resize_buf_overwrite(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Matrix product `self × other` (blocked kernel, fresh output).
     ///
     /// # Panics
     ///
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// `self × otherᵀ` (blocked kernel, fresh output).
+    pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_nt_into(other, &mut out);
+        out
+    }
+
+    /// `selfᵀ × other` (blocked kernel, fresh output).
+    pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_tn_into(other, &mut out);
+        out
+    }
+
+    /// `out = self × other`, allocation-free when `out` has capacity.
+    ///
+    /// Register-blocked ikj kernel: four output rows share each loaded `B`
+    /// row, with the per-element accumulation still running over `k` in
+    /// order, so results are bit-identical to [`Matrix::matmul_naive`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul {}x{} × {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (m, kdim, n) = (self.rows, self.cols, other.cols);
+        out.resize_buf(m, n);
+        let a = &self.data;
+        let b = &other.data;
+        let mut i = 0;
+        while i + 4 <= m {
+            let block = &mut out.data[i * n..(i + 4) * n];
+            let (c0, rest) = block.split_at_mut(n);
+            let (c1, rest) = rest.split_at_mut(n);
+            let (c2, c3) = rest.split_at_mut(n);
+            for kk in 0..kdim {
+                let a0 = a[i * kdim + kk];
+                let a1 = a[(i + 1) * kdim + kk];
+                let a2 = a[(i + 2) * kdim + kk];
+                let a3 = a[(i + 3) * kdim + kk];
+                let br = &b[kk * n..kk * n + n];
+                for (o0, (o1, (o2, (o3, &bv)))) in c0
+                    .iter_mut()
+                    .zip(c1.iter_mut().zip(c2.iter_mut().zip(c3.iter_mut().zip(br))))
+                {
+                    *o0 += a0 * bv;
+                    *o1 += a1 * bv;
+                    *o2 += a2 * bv;
+                    *o3 += a3 * bv;
+                }
+            }
+            i += 4;
+        }
+        while i < m {
+            let cr = &mut out.data[i * n..(i + 1) * n];
+            for kk in 0..kdim {
+                let av = a[i * kdim + kk];
+                let br = &b[kk * n..kk * n + n];
+                for (o, &bv) in cr.iter_mut().zip(br) {
+                    *o += av * bv;
+                }
+            }
+            i += 1;
+        }
+    }
+
+    /// `out = self × otherᵀ` without materializing the transpose,
+    /// allocation-free when `out` has capacity.
+    ///
+    /// Four dot products run as independent accumulation chains (each still
+    /// sequential over `k`), hiding FMA latency while staying bit-identical
+    /// to [`Matrix::matmul_nt_naive`].
+    pub fn matmul_nt_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_nt {}x{} × ({}x{})ᵀ",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (m, n) = (self.rows, other.rows);
+        out.resize_buf_overwrite(m, n);
+        for i in 0..m {
+            let ar = self.row(i);
+            let cr = &mut out.data[i * n..(i + 1) * n];
+            let mut j = 0;
+            while j + 4 <= n {
+                let b0 = other.row(j);
+                let b1 = other.row(j + 1);
+                let b2 = other.row(j + 2);
+                let b3 = other.row(j + 3);
+                let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+                for (kk, &av) in ar.iter().enumerate() {
+                    s0 += av * b0[kk];
+                    s1 += av * b1[kk];
+                    s2 += av * b2[kk];
+                    s3 += av * b3[kk];
+                }
+                cr[j] = s0;
+                cr[j + 1] = s1;
+                cr[j + 2] = s2;
+                cr[j + 3] = s3;
+                j += 4;
+            }
+            while j < n {
+                let br = other.row(j);
+                let mut acc = 0.0f32;
+                for (&av, &bv) in ar.iter().zip(br) {
+                    acc += av * bv;
+                }
+                cr[j] = acc;
+                j += 1;
+            }
+        }
+    }
+
+    /// `out = selfᵀ × other` without materializing the transpose,
+    /// allocation-free when `out` has capacity.
+    ///
+    /// Four rank-1 updates are fused per pass over the output (left-to-right,
+    /// preserving the per-element `k` accumulation order of
+    /// [`Matrix::matmul_tn_naive`] bit-for-bit).
+    pub fn matmul_tn_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_tn ({}x{})ᵀ × {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (r, m, n) = (self.rows, self.cols, other.cols);
+        out.resize_buf(m, n);
+        let mut kk = 0;
+        while kk + 4 <= r {
+            let a0 = self.row(kk);
+            let a1 = self.row(kk + 1);
+            let a2 = self.row(kk + 2);
+            let a3 = self.row(kk + 3);
+            let b0 = other.row(kk);
+            let b1 = other.row(kk + 1);
+            let b2 = other.row(kk + 2);
+            let b3 = other.row(kk + 3);
+            for i in 0..m {
+                let (x0, x1, x2, x3) = (a0[i], a1[i], a2[i], a3[i]);
+                let cr = &mut out.data[i * n..(i + 1) * n];
+                for (j, o) in cr.iter_mut().enumerate() {
+                    *o = *o + x0 * b0[j] + x1 * b1[j] + x2 * b2[j] + x3 * b3[j];
+                }
+            }
+            kk += 4;
+        }
+        while kk < r {
+            let ar = self.row(kk);
+            let br = other.row(kk);
+            for (i, &av) in ar.iter().enumerate() {
+                let cr = &mut out.data[i * n..(i + 1) * n];
+                for (o, &bv) in cr.iter_mut().zip(br) {
+                    *o += av * bv;
+                }
+            }
+            kk += 1;
+        }
+    }
+
+    /// Naive ikj matrix product — retained as the test oracle (and perf
+    /// baseline) for [`Matrix::matmul_into`].
+    pub fn matmul_naive(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, other.rows,
             "matmul {}x{} × {}x{}",
@@ -136,8 +362,8 @@ impl Matrix {
         out
     }
 
-    /// `self × otherᵀ` without materializing the transpose.
-    pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
+    /// Naive `self × otherᵀ` — test oracle for [`Matrix::matmul_nt_into`].
+    pub fn matmul_nt_naive(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, other.cols,
             "matmul_nt {}x{} × ({}x{})ᵀ",
@@ -158,8 +384,8 @@ impl Matrix {
         out
     }
 
-    /// `selfᵀ × other` without materializing the transpose.
-    pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
+    /// Naive `selfᵀ × other` — test oracle for [`Matrix::matmul_tn_into`].
+    pub fn matmul_tn_naive(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.rows, other.rows,
             "matmul_tn ({}x{})ᵀ × {}x{}",
@@ -182,9 +408,46 @@ impl Matrix {
         out
     }
 
-    /// Transposed copy.
+    /// Fused bias-add + ReLU: `self = max(self + bias, 0)` row-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `bias` is `1 × self.cols()`.
+    pub fn bias_relu(&mut self, bias: &Matrix) {
+        assert_eq!(bias.rows, 1, "bias_relu takes a 1×d row");
+        assert_eq!(bias.cols, self.cols, "bias_relu width mismatch");
+        let cols = self.cols;
+        let brow = &bias.data[..cols];
+        for chunk in self.data.chunks_mut(cols) {
+            for (x, &b) in chunk.iter_mut().zip(brow) {
+                *x = (*x + b).max(0.0);
+            }
+        }
+    }
+
+    /// `out = selfᵀ`, cache-blocked, allocation-free when `out` has capacity.
+    pub fn transpose_into(&self, out: &mut Matrix) {
+        out.resize_buf_overwrite(self.cols, self.rows);
+        const TILE: usize = 16;
+        let (rows, cols) = (self.rows, self.cols);
+        for ib in (0..rows).step_by(TILE) {
+            let iend = (ib + TILE).min(rows);
+            for jb in (0..cols).step_by(TILE) {
+                let jend = (jb + TILE).min(cols);
+                for i in ib..iend {
+                    for j in jb..jend {
+                        out.data[j * rows + i] = self.data[i * cols + j];
+                    }
+                }
+            }
+        }
+    }
+
+    /// Transposed copy (blocked).
     pub fn transpose(&self) -> Matrix {
-        Matrix::from_fn(self.cols, self.rows, |r, c| self.get(c, r))
+        let mut out = Matrix::zeros(0, 0);
+        self.transpose_into(&mut out);
+        out
     }
 
     /// Element-wise in-place addition.
@@ -223,26 +486,8 @@ impl Matrix {
     /// Row-wise softmax (numerically stabilized), in place.
     pub fn softmax_rows_mut(&mut self) {
         let cols = self.cols;
-        for r in 0..self.rows {
-            let row = &mut self.data[r * cols..(r + 1) * cols];
-            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-            if !max.is_finite() {
-                // Fully-masked row: uniform fallback keeps grads finite.
-                let inv = 1.0 / cols as f32;
-                for v in row.iter_mut() {
-                    *v = inv;
-                }
-                continue;
-            }
-            let mut sum = 0.0;
-            for v in row.iter_mut() {
-                *v = (*v - max).exp();
-                sum += *v;
-            }
-            let inv = 1.0 / sum.max(1e-12);
-            for v in row.iter_mut() {
-                *v *= inv;
-            }
+        for row in self.data.chunks_mut(cols) {
+            softmax_slice(row);
         }
     }
 }
@@ -325,5 +570,83 @@ mod tests {
     fn transpose_round_trips() {
         let m = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
         assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn blocked_kernels_are_bit_identical_to_naive() {
+        // Shapes straddle the 4-wide register blocking (tails included).
+        let mut rng = StdRng::seed_from_u64(21);
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (4, 8, 4), (9, 6, 10), (17, 33, 13)] {
+            let a = Matrix::randn(m, k, 1.0, &mut rng);
+            let b = Matrix::randn(k, n, 1.0, &mut rng);
+            assert_eq!(
+                a.matmul(&b).data(),
+                a.matmul_naive(&b).data(),
+                "{m}x{k}x{n}"
+            );
+            let bt = Matrix::randn(n, k, 1.0, &mut rng);
+            assert_eq!(
+                a.matmul_nt(&bt).data(),
+                a.matmul_nt_naive(&bt).data(),
+                "nt {m}x{k}x{n}"
+            );
+            let at = Matrix::randn(k, m, 1.0, &mut rng);
+            assert_eq!(
+                at.matmul_tn(&b).data(),
+                at.matmul_tn_naive(&b).data(),
+                "tn {m}x{k}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn into_kernels_reuse_output_buffers() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let a = Matrix::randn(5, 6, 1.0, &mut rng);
+        let b = Matrix::randn(6, 7, 1.0, &mut rng);
+        // A stale, wrongly-shaped output is reshaped and fully overwritten.
+        let mut out = Matrix::from_fn(9, 9, |_, _| f32::NAN);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out.shape(), (5, 7));
+        assert_eq!(out.data(), a.matmul_naive(&b).data());
+    }
+
+    #[test]
+    fn bias_relu_matches_add_then_clamp() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let x = Matrix::randn(4, 6, 1.0, &mut rng);
+        let bias = Matrix::randn(1, 6, 1.0, &mut rng);
+        let mut fused = x.clone();
+        fused.bias_relu(&bias);
+        for r in 0..4 {
+            for c in 0..6 {
+                let want = (x.get(r, c) + bias.get(0, c)).max(0.0);
+                assert_eq!(fused.get(r, c), want);
+            }
+        }
+    }
+
+    #[test]
+    fn softmax_slice_matches_row_softmax() {
+        let mut m = Matrix::from_vec(1, 5, vec![0.3, -2.0, 1.5, 0.0, 4.0]);
+        let mut row = m.row(0).to_vec();
+        m.softmax_rows_mut();
+        softmax_slice(&mut row);
+        assert_eq!(m.row(0), &row[..]);
+    }
+
+    #[test]
+    fn transpose_into_handles_tall_and_wide() {
+        let mut rng = StdRng::seed_from_u64(24);
+        for &(r, c) in &[(1, 37), (37, 1), (18, 23), (16, 16)] {
+            let m = Matrix::randn(r, c, 1.0, &mut rng);
+            let t = m.transpose();
+            assert_eq!(t.shape(), (c, r));
+            for i in 0..r {
+                for j in 0..c {
+                    assert_eq!(t.get(j, i), m.get(i, j));
+                }
+            }
+        }
     }
 }

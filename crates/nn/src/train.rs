@@ -1,8 +1,68 @@
 //! Mini-batch training helpers: per-example tapes evaluated in parallel with
-//! gradients summed on the main thread.
+//! gradients summed on the main thread, plus the generic scoped-thread map
+//! the batch-inference paths fan out with.
 
 use crate::graph::{Graph, NodeId, ParamId, ParamStore};
 use crate::matrix::Matrix;
+
+/// Worker count to use when the caller has no preference: the machine's
+/// available parallelism (1 when it cannot be determined).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item, fanning out across up to `threads` scoped
+/// threads. Results keep input order; `threads` is clamped to the item
+/// count and a single thread short-circuits to a plain map.
+pub fn par_map<T: Sync, R: Send>(
+    items: &[T],
+    threads: usize,
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    par_map_init(items, threads, || (), |(), item| f(item))
+}
+
+/// [`par_map`] with per-worker state: `init` runs once on each worker
+/// thread (e.g. to build a [`crate::Scratch`]) and the resulting state is
+/// threaded through that worker's `f` calls.
+pub fn par_map_init<T: Sync, R: Send, S>(
+    items: &[T],
+    threads: usize,
+    init: impl Fn() -> S + Sync,
+    f: impl Fn(&mut S, &T) -> R + Sync,
+) -> Vec<R> {
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, items.len());
+    if threads == 1 {
+        let mut state = init();
+        return items.iter().map(|item| f(&mut state, item)).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|piece| {
+                let init = &init;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut state = init();
+                    piece
+                        .iter()
+                        .map(|item| f(&mut state, item))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("par_map worker panicked"))
+            .collect()
+    })
+}
 
 /// Builds per-example losses in parallel across threads and returns the mean
 /// loss plus summed parameter gradients.
@@ -105,6 +165,17 @@ mod tests {
         let (loss, grads) = batch_grads(&store, &items, 4, |g, _, _| g.input(Matrix::zeros(1, 1)));
         assert_eq!(loss, 0.0);
         assert!(grads.is_empty());
+    }
+
+    #[test]
+    fn par_map_preserves_order_across_thread_counts() {
+        let items: Vec<i64> = (0..23).collect();
+        let expect: Vec<i64> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 4, 16, 64] {
+            assert_eq!(par_map(&items, threads, |&x| x * x), expect, "{threads}");
+        }
+        assert!(par_map(&[] as &[i64], 4, |&x| x).is_empty());
+        assert!(available_threads() >= 1);
     }
 
     #[test]

@@ -5,8 +5,11 @@
 use llmulator::{beam_search, DigitCodec, DigitDistribution};
 use llmulator_ir::builder::OperatorBuilder;
 use llmulator_ir::{Expr, InputData, LValue, Program, Stmt};
+use llmulator_nn::Matrix;
 use llmulator_token::Tokenizer;
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -127,6 +130,47 @@ proptest! {
             prop_assert_eq!(hyp.digits.len(), width);
             let value = codec.decode(&hyp.digits);
             prop_assert!(value <= codec.max_value(), "{} <= {}", value, codec.max_value());
+        }
+    }
+
+    /// The blocked production matmul matches the naive triple-loop oracle on
+    /// randomized (including non-multiple-of-block) shapes. The kernels are
+    /// designed to preserve the naive per-element accumulation order, so the
+    /// 1e-4 tolerance is in practice exact.
+    #[test]
+    fn blocked_matmul_matches_naive_reference(
+        m in 1usize..24, k in 1usize..24, n in 1usize..24, seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Matrix::randn(m, k, 1.0, &mut rng);
+        let b = Matrix::randn(k, n, 1.0, &mut rng);
+        let fast = a.matmul(&b);
+        let oracle = a.matmul_naive(&b);
+        prop_assert_eq!(fast.shape(), oracle.shape());
+        for (x, y) in fast.data().iter().zip(oracle.data()) {
+            prop_assert!((x - y).abs() < 1e-4, "{} vs {}", x, y);
+        }
+    }
+
+    /// Same property for the transpose-fused kernels (`A·Bᵀ` and `Aᵀ·B`).
+    #[test]
+    fn blocked_transposed_matmuls_match_naive_reference(
+        m in 1usize..20, k in 1usize..20, n in 1usize..20, seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+        let a = Matrix::randn(m, k, 1.0, &mut rng);
+        let bt = Matrix::randn(n, k, 1.0, &mut rng);
+        let fast_nt = a.matmul_nt(&bt);
+        let oracle_nt = a.matmul_nt_naive(&bt);
+        for (x, y) in fast_nt.data().iter().zip(oracle_nt.data()) {
+            prop_assert!((x - y).abs() < 1e-4, "nt {} vs {}", x, y);
+        }
+        let at = Matrix::randn(k, m, 1.0, &mut rng);
+        let b = Matrix::randn(k, n, 1.0, &mut rng);
+        let fast_tn = at.matmul_tn(&b);
+        let oracle_tn = at.matmul_tn_naive(&b);
+        for (x, y) in fast_tn.data().iter().zip(oracle_tn.data()) {
+            prop_assert!((x - y).abs() < 1e-4, "tn {} vs {}", x, y);
         }
     }
 

@@ -144,3 +144,47 @@ fn persisted_model_predicts_identically() {
         restored.predict_tokens(&tokens, None).cost_vector()
     );
 }
+
+/// `predict_batch` is bit-identical to serial `predict_sample` calls no
+/// matter how many worker threads the fan-out uses: per-metric values,
+/// decoded digits, and the full per-position digit distributions all match
+/// exactly (cross-crate: core + nn scoped-thread batching).
+#[test]
+fn predict_batch_is_bit_identical_to_serial_prediction() {
+    use llmulator::{DigitCodec, ModelScale, NumericPredictor, PredictorConfig, Sample};
+    let model = NumericPredictor::new(PredictorConfig {
+        scale: ModelScale::Small,
+        codec: DigitCodec::decimal(5),
+        numeric_mode: llmulator_token::NumericMode::Digits,
+        max_len: 64,
+        seed: 41,
+    });
+    let samples: Vec<Sample> = (2..9)
+        .map(|n| {
+            let op = OperatorBuilder::new("k")
+                .array_param("a", [n * 4])
+                .loop_nest(&[("i", n * 4)], |idx| {
+                    vec![Stmt::assign(
+                        LValue::store("a", vec![idx[0].clone()]),
+                        Expr::load("a", vec![idx[0].clone()]) + Expr::int(1),
+                    )]
+                })
+                .build();
+            Sample::profile(&Program::single_op(op), None).expect("profiles")
+        })
+        .collect();
+    let serial: Vec<_> = samples.iter().map(|s| model.predict_sample(s)).collect();
+    for threads in [1usize, 2, 4, 16] {
+        let batch = model.predict_batch_threads(&samples, threads);
+        assert_eq!(batch.len(), serial.len());
+        for (b, s) in batch.iter().zip(&serial) {
+            for (bm, sm) in b.per_metric.iter().zip(&s.per_metric) {
+                assert_eq!(bm.metric, sm.metric);
+                assert_eq!(bm.value, sm.value, "threads={threads}");
+                assert_eq!(bm.digits, sm.digits, "threads={threads}");
+                assert_eq!(bm.confidence, sm.confidence, "threads={threads}");
+                assert_eq!(bm.distribution, sm.distribution, "threads={threads}");
+            }
+        }
+    }
+}
