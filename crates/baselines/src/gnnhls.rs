@@ -251,6 +251,23 @@ impl Gnnhls {
         g.sigmoid(out)
     }
 
+    /// Builds and trains a GNNHLS model with the evaluation protocol shared
+    /// by the experiment harness and the CLI: seed offset `+3` from the
+    /// suite seed and 3× the caller's epochs (message passing converges
+    /// slower than the transformer models) — one source of truth for the
+    /// paper's comparison columns.
+    pub fn fit_paper(dataset: &Dataset, options: TrainOptions, suite_seed: u64) -> Gnnhls {
+        let mut model = Gnnhls::new(suite_seed + 3);
+        model.fit(
+            dataset,
+            TrainOptions {
+                epochs: options.epochs * 3,
+                ..options
+            },
+        );
+        model
+    }
+
     /// Trains with MSE on normalized targets.
     pub fn fit(&mut self, dataset: &Dataset, options: TrainOptions) -> Vec<f32> {
         self.norm = Normalizer::fit(&dataset.samples);

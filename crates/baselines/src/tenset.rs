@@ -113,6 +113,23 @@ impl TensetMlp {
         g.sigmoid(out)
     }
 
+    /// Builds and trains a Tenset-MLP model with the evaluation protocol
+    /// shared by the experiment harness and the CLI: seed offset `+4` from
+    /// the suite seed and 6× the caller's epochs (the small MLP needs more
+    /// passes over coarse features) — one source of truth for the paper's
+    /// comparison columns.
+    pub fn fit_paper(dataset: &Dataset, options: TrainOptions, suite_seed: u64) -> TensetMlp {
+        let mut model = TensetMlp::new(suite_seed + 4);
+        model.fit(
+            dataset,
+            TrainOptions {
+                epochs: options.epochs * 6,
+                ..options
+            },
+        );
+        model
+    }
+
     /// Trains with MSE on normalized targets.
     pub fn fit(&mut self, dataset: &Dataset, options: TrainOptions) -> Vec<f32> {
         self.norm = Normalizer::fit(&dataset.samples);

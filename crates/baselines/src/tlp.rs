@@ -59,6 +59,16 @@ impl Tlp {
         }
     }
 
+    /// Builds and trains a TLP model with the evaluation protocol shared by
+    /// the experiment harness and the CLI (context length 256, seed offset
+    /// `+2` from the suite seed, the caller's train options as-is) — one
+    /// source of truth for the paper's comparison columns.
+    pub fn fit_paper(dataset: &Dataset, options: TrainOptions, suite_seed: u64) -> Tlp {
+        let mut model = Tlp::new(256, suite_seed + 2);
+        model.fit(dataset, options);
+        model
+    }
+
     fn tokens_of(&self, sample: &Sample) -> Vec<u32> {
         sample.text.tokenize(&self.tokenizer, self.max_len).tokens
     }

@@ -1,11 +1,8 @@
 //! Shared experiment context: budgets, training-set construction, model
 //! training and evaluation protocol.
 
-use llmulator::{
-    CostModel, Dataset, ModelScale, NumericPredictor, PredictorConfig, Sample, TrainOptions,
-};
+use llmulator::{Dataset, ModelScale, NumericPredictor, PredictorConfig, Sample, TrainOptions};
 use llmulator_baselines::{Gnnhls, TensetMlp, Tlp};
-use llmulator_sim::Metric;
 use llmulator_synth::{synthesize, DataFormat, SynthesisConfig};
 use llmulator_token::NumericMode;
 use llmulator_workloads::{accelerators, modern, polybench, Workload};
@@ -200,33 +197,11 @@ pub fn train_suite_on(b: &Budget, flags: SuiteFlags, dataset: &Dataset, seed: u6
         m.fit(dataset, opts);
         m
     });
-    let tlp = flags.tlp.then(|| {
-        let mut m = Tlp::new(256, seed + 2);
-        m.fit(dataset, opts);
-        m
-    });
-    let gnn = flags.gnn.then(|| {
-        let mut m = Gnnhls::new(seed + 3);
-        m.fit(
-            dataset,
-            TrainOptions {
-                epochs: opts.epochs * 3,
-                ..opts
-            },
-        );
-        m
-    });
-    let tenset = flags.tenset.then(|| {
-        let mut m = TensetMlp::new(seed + 4);
-        m.fit(
-            dataset,
-            TrainOptions {
-                epochs: opts.epochs * 6,
-                ..opts
-            },
-        );
-        m
-    });
+    let tlp = flags.tlp.then(|| Tlp::fit_paper(dataset, opts, seed));
+    let gnn = flags.gnn.then(|| Gnnhls::fit_paper(dataset, opts, seed));
+    let tenset = flags
+        .tenset
+        .then(|| TensetMlp::fit_paper(dataset, opts, seed));
     TrainedSuite {
         dataset: dataset.clone(),
         ours,
@@ -237,23 +212,10 @@ pub fn train_suite_on(b: &Budget, flags: SuiteFlags, dataset: &Dataset, seed: u6
     }
 }
 
-/// MAPE of a model on samples for one metric.
-///
-/// Predictions run through [`CostModel::predict_batch`], which the learned
-/// models fan out across worker threads — regenerating a table scales with
-/// the machine's cores instead of predicting one sample at a time.
-pub fn mape_on(model: &dyn CostModel, samples: &[Sample], metric: Metric) -> f64 {
-    if samples.is_empty() {
-        return 0.0;
-    }
-    let predicted: Vec<f64> = model
-        .predict_batch(samples)
-        .iter()
-        .map(|cost| cost.metric(metric))
-        .collect();
-    let actual: Vec<f64> = samples.iter().map(|s| s.cost.metric(metric)).collect();
-    llmulator_eval::mape(&predicted, &actual)
-}
+/// MAPE of a model on samples for one metric — re-exported from
+/// [`llmulator_eval::mape_on`], the single code path shared with the CLI's
+/// `eval` subcommand so both surfaces report identical tables.
+pub use llmulator_eval::mape_on;
 
 /// Median wall-clock seconds of `f` over `reps` runs.
 pub fn median_seconds(reps: usize, mut f: impl FnMut()) -> f64 {

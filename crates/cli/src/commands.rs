@@ -1,8 +1,26 @@
 //! Subcommand implementations for the `llmulator` CLI.
+//!
+//! `train` and `eval` drive the paper's headline loop from the shell:
+//! cached dataset synthesis → predictor fitting → model persistence → MAPE
+//! tables against the baselines. Ground truth is memoized through
+//! [`DatasetCache`] (datasets keyed by synthesis config, simulator profiles
+//! keyed by `(program, inputs)`), so a second run of either command skips
+//! re-profiling entirely.
 
 use crate::ir_analysis;
+use llmulator::{
+    CacheStats, CostModel, DatasetCache, DigitCodec, ModelScale, NumericPredictor, PredictorConfig,
+    Sample, TrainOptions,
+};
+use llmulator_baselines::{Gnnhls, TensetMlp, Timeloop, Tlp};
+use llmulator_eval::{mape_on, Table};
 use llmulator_ir::{InputData, Program};
+use llmulator_sim::Metric;
+use llmulator_synth::{synthesize_cached, DataFormat, SynthesisConfig};
+use llmulator_token::NumericMode;
+use llmulator_workloads::{accelerators, modern, polybench, Workload};
 use std::fmt::Write;
+use std::path::PathBuf;
 
 /// `profile`: run the HLS + cycle-simulation substrate and print the cost
 /// vector plus the RTL-level `<think>` features.
@@ -98,13 +116,302 @@ pub fn synthesize(count: usize, seed: u64, format: &str) -> Result<String, Strin
     Ok(out)
 }
 
+/// Arguments for `llmulator train`.
+#[derive(Debug, Clone)]
+pub struct TrainArgs {
+    /// Synthetic samples in the paper-mix training set.
+    pub samples: usize,
+    /// RNG seed for synthesis and model init.
+    pub seed: u64,
+    /// Data format (direct or reasoning).
+    pub format: DataFormat,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch: usize,
+    /// Gradient-accumulation worker threads.
+    pub threads: usize,
+    /// Model capacity tier.
+    pub scale: ModelScale,
+    /// Context length in tokens.
+    pub max_len: usize,
+    /// Cache root for datasets and profiles.
+    pub cache_dir: PathBuf,
+    /// Where to save the trained model.
+    pub out: PathBuf,
+}
+
+/// Arguments for `llmulator eval`.
+#[derive(Debug, Clone)]
+pub struct EvalArgs {
+    /// Trained model file (from `llmulator train`).
+    pub model: PathBuf,
+    /// Workload suite (`polybench`/`modern`/`accelerators`/`all`) or a
+    /// single workload name (e.g. `atax`).
+    pub suite: String,
+    /// Cap on the number of workloads (0 = no cap).
+    pub limit: usize,
+    /// Also train and evaluate the TLP/GNNHLS/Tenset/Timeloop baselines.
+    pub baselines: bool,
+    /// Data format the model was trained with.
+    pub format: DataFormat,
+    /// Synthesis volume for baseline training (must match `train` to reuse
+    /// the cached dataset).
+    pub samples: usize,
+    /// Synthesis/baseline seed (must match `train` to reuse the cache).
+    pub seed: u64,
+    /// Baseline training epochs.
+    pub epochs: usize,
+    /// Baseline mini-batch size.
+    pub batch: usize,
+    /// Baseline training threads.
+    pub threads: usize,
+    /// Cache root for datasets and profiles.
+    pub cache_dir: PathBuf,
+}
+
+/// Evaluation input-scale factors (mirrors the experiment harness; unseen
+/// during training, whose neighbourhood uses ±50% factors).
+const EVAL_FACTORS: &[f64] = &[0.9, 1.0, 1.1];
+
+fn train_options(epochs: usize, batch: usize, threads: usize) -> TrainOptions {
+    TrainOptions {
+        epochs,
+        batch_size: batch.max(1),
+        lr: 3e-3,
+        threads: threads.max(1),
+    }
+}
+
+fn synthesis_config(samples: usize, seed: u64, format: DataFormat) -> SynthesisConfig {
+    let mut config = SynthesisConfig::paper_mix(samples, seed);
+    config.format = format;
+    config
+}
+
+fn cache_line(hit: bool, path: &std::path::Path) -> String {
+    format!(
+        "dataset cache : {} {}\n",
+        if hit { "hit" } else { "miss" },
+        path.display()
+    )
+}
+
+/// `train`: synthesize (or load from cache) the labelled dataset, fit the
+/// numeric predictor, and save it atomically to `--out`.
+pub fn train(a: &TrainArgs) -> Result<String, String> {
+    let config = synthesis_config(a.samples, a.seed, a.format);
+    let cache = DatasetCache::new(&a.cache_dir);
+    let (dataset, hit) =
+        synthesize_cached(&config, &cache).map_err(|e| format!("dataset cache failed: {e}"))?;
+    if dataset.is_empty() {
+        return Err("synthesis produced no samples (try a larger --samples)".into());
+    }
+    let mut model = NumericPredictor::new(PredictorConfig {
+        scale: a.scale,
+        codec: DigitCodec::standard(),
+        numeric_mode: NumericMode::Digits,
+        max_len: a.max_len,
+        seed: a.seed,
+    });
+    let curve = model.fit(&dataset, train_options(a.epochs, a.batch, a.threads));
+    model
+        .save(&a.out)
+        .map_err(|e| format!("cannot save model `{}`: {e}", a.out.display()))?;
+
+    let mut out = String::new();
+    out.push_str(&cache_line(
+        hit,
+        &cache.dataset_path(&llmulator_synth::cache_key(&config)),
+    ));
+    let _ = writeln!(out, "samples       : {}", dataset.len());
+    let _ = writeln!(out, "params        : {}", model.param_count());
+    if let (Some(first), Some(last)) = (curve.first(), curve.last()) {
+        let _ = writeln!(
+            out,
+            "loss          : {first:.4} -> {last:.4} over {} epochs",
+            curve.len()
+        );
+    }
+    let _ = writeln!(out, "model         : {}", a.out.display());
+    Ok(out)
+}
+
+/// Resolves `--suite`: a named suite, `all`, or a single workload name.
+fn suite_workloads(suite: &str, limit: usize) -> Result<Vec<Workload>, String> {
+    let mut ws = match suite {
+        "polybench" => polybench::all(),
+        "modern" => modern::all(),
+        "accelerators" => accelerators::all(),
+        "all" => {
+            let mut v = polybench::all();
+            v.extend(modern::all());
+            v.extend(accelerators::all());
+            v
+        }
+        name => {
+            let mut v = polybench::all();
+            v.extend(modern::all());
+            v.extend(accelerators::all());
+            v.retain(|w| w.name == name);
+            if v.is_empty() {
+                return Err(format!(
+                    "unknown suite `{name}` (expected polybench|modern|accelerators|all or a workload name)"
+                ));
+            }
+            v
+        }
+    };
+    if limit > 0 && ws.len() > limit {
+        ws.truncate(limit);
+    }
+    Ok(ws)
+}
+
+/// `eval`: load a trained model, profile the evaluation workloads through
+/// the profile cache (a second run re-simulates nothing), and render one
+/// MAPE table per metric — optionally against freshly fitted baselines.
+pub fn eval(a: &EvalArgs) -> Result<String, String> {
+    let model = NumericPredictor::load(&a.model).map_err(|e| {
+        format!(
+            "cannot load model `{}`: {e} (run `llmulator train` first)",
+            a.model.display()
+        )
+    })?;
+    let model_params = model.param_count();
+    let cache = DatasetCache::new(&a.cache_dir);
+    let workloads = suite_workloads(&a.suite, a.limit)?;
+    let with_think = a.format == DataFormat::Reasoning;
+
+    // Ground truth for every (workload, input scale), memoized on disk.
+    // Simulation failures are counted and reported, never silently dropped:
+    // a MAPE table over partial coverage must say so.
+    let mut stats = CacheStats::default();
+    let mut skipped: Vec<String> = Vec::new();
+    let mut suites: Vec<(String, Vec<Sample>)> = Vec::new();
+    for w in &workloads {
+        let mut samples = Vec::with_capacity(EVAL_FACTORS.len());
+        for &f in EVAL_FACTORS {
+            let data = w.scaled_inputs(f);
+            match cache.profile_or_compute(&w.program, &data, &mut stats) {
+                Ok(p) => samples.push(Sample::from_profile(
+                    &w.program,
+                    Some(&data),
+                    &p,
+                    with_think,
+                )),
+                Err(e) => skipped.push(format!("{} @ {f}: {e}", w.name)),
+            }
+        }
+        if !samples.is_empty() {
+            suites.push((w.name.clone(), samples));
+        }
+    }
+    if suites.is_empty() {
+        return Err("no evaluation workloads produced samples".into());
+    }
+
+    // The model roster: ours, plus baselines fitted on the cached dataset.
+    let mut dataset_line = None;
+    let mut models: Vec<(&str, Box<dyn CostModel>)> = vec![("Ours", Box::new(model))];
+    if a.baselines {
+        let config = synthesis_config(a.samples, a.seed, a.format);
+        let (train_ds, hit) =
+            synthesize_cached(&config, &cache).map_err(|e| format!("dataset cache failed: {e}"))?;
+        if train_ds.is_empty() {
+            return Err(
+                "baseline training dataset is empty (try a larger --samples; it must match the \
+                 value passed to `train` to reuse its cache)"
+                    .into(),
+            );
+        }
+        dataset_line = Some(cache_line(
+            hit,
+            &cache.dataset_path(&llmulator_synth::cache_key(&config)),
+        ));
+        // The `fit_paper` constructors encode the same protocol the bench
+        // harness uses (seed offsets, epoch multipliers), so CLI columns
+        // match the bench-regenerated tables.
+        let opts = train_options(a.epochs, a.batch, a.threads);
+        models.push(("TLP", Box::new(Tlp::fit_paper(&train_ds, opts, a.seed))));
+        models.push((
+            "GNNHLS",
+            Box::new(Gnnhls::fit_paper(&train_ds, opts, a.seed)),
+        ));
+        models.push((
+            "Tenset",
+            Box::new(TensetMlp::fit_paper(&train_ds, opts, a.seed)),
+        ));
+        models.push(("Timeloop", Box::new(Timeloop)));
+    }
+
+    // One fixed-width MAPE table per metric, matching the paper's layout.
+    let mut out = String::new();
+    for &metric in Metric::all() {
+        let mut table = Table::new(format!("MAPE ({})", metric.label()));
+        let mut header = vec!["Benchmark".to_string()];
+        header.extend(models.iter().map(|(n, _)| n.to_string()));
+        table.header(header);
+        let mut sums = vec![0.0f64; models.len()];
+        for (name, samples) in &suites {
+            let mut cells = vec![name.clone()];
+            for (mi, (_, m)) in models.iter().enumerate() {
+                let v = mape_on(m.as_ref(), samples, metric);
+                sums[mi] += v;
+                cells.push(Table::pct(v));
+            }
+            table.row(cells);
+        }
+        if suites.len() > 1 {
+            let mut cells = vec![format!("average({})", suites.len())];
+            cells.extend(sums.iter().map(|s| Table::pct(s / suites.len() as f64)));
+            table.row(cells);
+        }
+        out.push_str(&table.render());
+        out.push('\n');
+    }
+
+    let total: usize = suites.iter().map(|(_, s)| s.len()).sum();
+    let _ = writeln!(
+        out,
+        "model         : {} ({model_params} params)",
+        a.model.display()
+    );
+    let _ = writeln!(
+        out,
+        "eval samples  : {total} across {} workloads",
+        suites.len()
+    );
+    if !skipped.is_empty() {
+        let _ = writeln!(
+            out,
+            "skipped       : {} sample(s) failed to profile — tables cover the rest",
+            skipped.len()
+        );
+        for s in &skipped {
+            let _ = writeln!(out, "  skipped {s}");
+        }
+    }
+    if let Some(line) = dataset_line {
+        out.push_str(&line);
+    }
+    let _ = writeln!(
+        out,
+        "profile cache : {} hits, {} misses ({})",
+        stats.hits,
+        stats.misses,
+        cache.root().display()
+    );
+    Ok(out)
+}
+
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use llmulator_ir::builder::OperatorBuilder;
     use llmulator_ir::{Expr, LValue, Stmt};
 
-    fn program() -> Program {
+    pub(crate) fn program() -> Program {
         let op = OperatorBuilder::new("scale")
             .array_param("a", [8])
             .array_param("b", [8])
@@ -157,5 +464,131 @@ mod tests {
     #[test]
     fn synthesize_rejects_bad_format() {
         assert!(synthesize(2, 0, "yaml").is_err());
+    }
+
+    fn unique_dir(tag: &str) -> PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "llmulator_cli_cmd_test_{}_{}_{n}",
+            tag,
+            std::process::id()
+        ))
+    }
+
+    fn tiny_train_args(dir: &std::path::Path) -> TrainArgs {
+        TrainArgs {
+            samples: 6,
+            seed: 5,
+            format: DataFormat::Direct,
+            epochs: 1,
+            batch: 4,
+            threads: 1,
+            scale: ModelScale::Small,
+            max_len: 96,
+            cache_dir: dir.join("cache"),
+            out: dir.join("model.json"),
+        }
+    }
+
+    fn tiny_eval_args(dir: &std::path::Path) -> EvalArgs {
+        EvalArgs {
+            model: dir.join("model.json"),
+            suite: "atax".to_string(),
+            limit: 0,
+            baselines: false,
+            format: DataFormat::Direct,
+            samples: 6,
+            seed: 5,
+            epochs: 1,
+            batch: 4,
+            threads: 1,
+            cache_dir: dir.join("cache"),
+        }
+    }
+
+    /// Lines that carry cache hit/miss bookkeeping (they legitimately differ
+    /// between a cold and a warm run); everything else must be byte-equal.
+    fn strip_cache_lines(s: &str) -> String {
+        s.lines()
+            .filter(|l| !l.contains("cache"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    #[test]
+    fn train_then_eval_reuses_the_cache_and_is_deterministic() {
+        let dir = unique_dir("pipeline");
+        let ta = tiny_train_args(&dir);
+
+        let t1 = train(&ta).expect("first train");
+        assert!(
+            t1.contains("dataset cache : miss"),
+            "cold run synthesizes: {t1}"
+        );
+        assert!(ta.out.is_file(), "model saved");
+        let t2 = train(&ta).expect("second train");
+        assert!(t2.contains("dataset cache : hit"), "warm run loads: {t2}");
+
+        let ea = tiny_eval_args(&dir);
+        let e1 = eval(&ea).expect("first eval");
+        for key in [
+            "MAPE (Power)",
+            "MAPE (Area)",
+            "MAPE (FF)",
+            "MAPE (Cycles)",
+            "atax",
+            "Ours",
+        ] {
+            assert!(e1.contains(key), "missing {key} in:\n{e1}");
+        }
+        assert!(!e1.contains(" 0 misses"), "cold eval must profile: {e1}");
+
+        let e2 = eval(&ea).expect("second eval");
+        assert!(
+            e2.contains(" 0 misses"),
+            "warm eval must not re-profile: {e2}"
+        );
+        assert_eq!(
+            strip_cache_lines(&e1),
+            strip_cache_lines(&e2),
+            "metrics must be byte-identical across runs"
+        );
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn eval_with_baselines_renders_all_columns() {
+        let dir = unique_dir("baselines");
+        let ta = tiny_train_args(&dir);
+        train(&ta).expect("train");
+        let mut ea = tiny_eval_args(&dir);
+        ea.baselines = true;
+        let out = eval(&ea).expect("eval");
+        for col in ["Ours", "TLP", "GNNHLS", "Tenset", "Timeloop"] {
+            assert!(out.contains(col), "missing column {col} in:\n{out}");
+        }
+        // Baseline fitting reuses the dataset `train` cached.
+        assert!(out.contains("dataset cache : hit"), "got:\n{out}");
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn eval_without_model_explains_the_fix() {
+        let dir = unique_dir("nomodel");
+        let err = eval(&tiny_eval_args(&dir)).expect_err("no model on disk");
+        assert!(err.contains("llmulator train"), "hint present: {err}");
+    }
+
+    #[test]
+    fn suite_selection_resolves_names_and_limits() {
+        assert_eq!(suite_workloads("polybench", 0).expect("suite").len(), 10);
+        assert_eq!(suite_workloads("polybench", 3).expect("suite").len(), 3);
+        assert_eq!(suite_workloads("all", 0).expect("suite").len(), 27);
+        let single = suite_workloads("atax", 0).expect("workload by name");
+        assert_eq!(single.len(), 1);
+        assert_eq!(single[0].name, "atax");
+        assert!(suite_workloads("not-a-suite", 0).is_err());
     }
 }

@@ -6,13 +6,17 @@
 //! llmulator classify <program.c>                          Class I/II analysis
 //! llmulator normalize <program.c>                         normalization pass
 //! llmulator synthesize [--count N] [--seed S]             dataset synthesis
+//! llmulator train [--samples N] [--seed S] [--out M]      fit + save a predictor
+//! llmulator eval  [--model M] [--suite S] [--baselines]   MAPE tables
 //! ```
 //!
 //! Programs use the C-like surface syntax produced by the IR renderer (see
-//! `llmulator-ir`): operator definitions followed by a `graph` function and
-//! optional hardware-parameter lines.
+//! `llmulator-ir`); `train`/`eval` drive the full paper loop — cached dataset
+//! synthesis, predictor fitting, model persistence and MAPE tables — without
+//! writing any Rust (see `commands::train` / `commands::eval`).
 
 use llmulator_ir::{analysis, parse, InputData, Program};
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 mod commands;
@@ -48,43 +52,204 @@ const USAGE: &str = "usage:
   llmulator stats <program.c>
   llmulator classify <program.c>
   llmulator normalize <program.c>
-  llmulator synthesize [--count N] [--seed S] [--format direct|reasoning]";
+  llmulator synthesize [--count N] [--seed S] [--format direct|reasoning]
+  llmulator train [--samples N] [--seed S] [--format direct|reasoning]
+                  [--epochs E] [--batch B] [--threads T]
+                  [--scale small|medium|large] [--max-len L]
+                  [--cache-dir DIR] [--out model.json]
+  llmulator eval  [--model model.json] [--suite polybench|modern|accelerators|all]
+                  [--limit N] [--baselines] [--format direct|reasoning]
+                  [--samples N] [--seed S] [--epochs E] [--batch B] [--threads T]
+                  [--cache-dir DIR]";
+
+/// Every flag that consumes the following argv entry as its value. The
+/// positional scan skips these values, so `llmulator profile --input n=3
+/// prog.c` finds `prog.c` regardless of flag ordering.
+const VALUE_FLAGS: &[&str] = &[
+    "--input",
+    "--count",
+    "--seed",
+    "--format",
+    "--samples",
+    "--epochs",
+    "--batch",
+    "--threads",
+    "--scale",
+    "--max-len",
+    "--cache-dir",
+    "--out",
+    "--model",
+    "--suite",
+    "--limit",
+];
+
+/// Flags each subcommand accepts; anything else starting with `--` is an
+/// error, so a typo (`--epoch` for `--epochs`) can never be silently
+/// ignored. Value-taking entries here must also appear in [`VALUE_FLAGS`]
+/// so the positional scan skips their values.
+const TRAIN_FLAGS: &[&str] = &[
+    "--samples",
+    "--seed",
+    "--format",
+    "--epochs",
+    "--batch",
+    "--threads",
+    "--scale",
+    "--max-len",
+    "--cache-dir",
+    "--out",
+];
+const EVAL_FLAGS: &[&str] = &[
+    "--model",
+    "--suite",
+    "--limit",
+    "--baselines",
+    "--format",
+    "--samples",
+    "--seed",
+    "--epochs",
+    "--batch",
+    "--threads",
+    "--cache-dir",
+];
+
+/// Rejects any `--flag` the command does not accept. Flag *values* never
+/// start with `--` (see [`flag_value`]), so scanning every argv entry is
+/// sound.
+fn check_flags(args: &[String], command: &str, allowed: &[&str]) -> Result<(), String> {
+    for a in args.iter().skip(1) {
+        if a.starts_with("--") && !allowed.contains(&a.as_str()) {
+            return Err(format!("unknown flag `{a}` for `{command}`"));
+        }
+    }
+    Ok(())
+}
 
 fn run(args: &[String]) -> Result<String, String> {
     let Some(command) = args.first() else {
         return Err("missing command".into());
     };
     match command.as_str() {
-        "profile" => commands::profile(&load_program(args)?, &parse_inputs(args)?),
-        "stats" => commands::stats(&load_program(args)?),
-        "classify" => commands::classify(&load_program(args)?),
-        "normalize" => commands::normalize(load_program(args)?),
-        "synthesize" => commands::synthesize(
-            flag_value(args, "--count")
-                .map(|v| v.parse().map_err(|_| "invalid --count".to_string()))
-                .transpose()?
-                .unwrap_or(8),
-            flag_value(args, "--seed")
-                .map(|v| v.parse().map_err(|_| "invalid --seed".to_string()))
-                .transpose()?
-                .unwrap_or(0),
-            flag_value(args, "--format").unwrap_or("reasoning"),
-        ),
+        "profile" => {
+            check_flags(args, "profile", &["--input"])?;
+            commands::profile(&load_program(args)?, &parse_inputs(args)?)
+        }
+        "stats" => {
+            check_flags(args, "stats", &[])?;
+            commands::stats(&load_program(args)?)
+        }
+        "classify" => {
+            check_flags(args, "classify", &[])?;
+            commands::classify(&load_program(args)?)
+        }
+        "normalize" => {
+            check_flags(args, "normalize", &[])?;
+            commands::normalize(load_program(args)?)
+        }
+        "synthesize" => {
+            check_flags(args, "synthesize", &["--count", "--seed", "--format"])?;
+            commands::synthesize(
+                parse_flag(args, "--count", 8usize)?,
+                parse_flag(args, "--seed", 0u64)?,
+                flag_value(args, "--format")?.unwrap_or("reasoning"),
+            )
+        }
+        "train" => {
+            check_flags(args, "train", TRAIN_FLAGS)?;
+            commands::train(&parse_train_args(args)?)
+        }
+        "eval" => {
+            check_flags(args, "eval", EVAL_FLAGS)?;
+            commands::eval(&parse_eval_args(args)?)
+        }
         other => Err(format!("unknown command `{other}`")),
     }
 }
 
+fn parse_train_args(args: &[String]) -> Result<commands::TrainArgs, String> {
+    Ok(commands::TrainArgs {
+        samples: parse_flag(args, "--samples", 64usize)?,
+        seed: parse_flag(args, "--seed", 0u64)?,
+        format: parse_format(flag_value(args, "--format")?)?,
+        epochs: parse_flag(args, "--epochs", 4usize)?,
+        batch: parse_flag(args, "--batch", 8usize)?,
+        threads: parse_flag(args, "--threads", 2usize)?,
+        scale: parse_scale(flag_value(args, "--scale")?)?,
+        max_len: parse_flag(args, "--max-len", 256usize)?,
+        cache_dir: cache_dir(args)?,
+        out: PathBuf::from(flag_value(args, "--out")?.unwrap_or("model.json")),
+    })
+}
+
+fn parse_eval_args(args: &[String]) -> Result<commands::EvalArgs, String> {
+    Ok(commands::EvalArgs {
+        model: PathBuf::from(flag_value(args, "--model")?.unwrap_or("model.json")),
+        suite: flag_value(args, "--suite")?
+            .unwrap_or("polybench")
+            .to_string(),
+        limit: parse_flag(args, "--limit", 0usize)?,
+        baselines: has_flag(args, "--baselines"),
+        format: parse_format(flag_value(args, "--format")?)?,
+        samples: parse_flag(args, "--samples", 64usize)?,
+        seed: parse_flag(args, "--seed", 0u64)?,
+        epochs: parse_flag(args, "--epochs", 4usize)?,
+        batch: parse_flag(args, "--batch", 8usize)?,
+        threads: parse_flag(args, "--threads", 2usize)?,
+        cache_dir: cache_dir(args)?,
+    })
+}
+
+fn cache_dir(args: &[String]) -> Result<PathBuf, String> {
+    Ok(flag_value(args, "--cache-dir")?
+        .map(PathBuf::from)
+        .unwrap_or_else(llmulator::DatasetCache::default_root))
+}
+
+fn parse_format(value: Option<&str>) -> Result<llmulator_synth::DataFormat, String> {
+    match value.unwrap_or("reasoning") {
+        "direct" => Ok(llmulator_synth::DataFormat::Direct),
+        "reasoning" => Ok(llmulator_synth::DataFormat::Reasoning),
+        other => Err(format!("unknown format `{other}`")),
+    }
+}
+
+fn parse_scale(value: Option<&str>) -> Result<llmulator::ModelScale, String> {
+    match value.unwrap_or("medium") {
+        "small" => Ok(llmulator::ModelScale::Small),
+        "medium" => Ok(llmulator::ModelScale::Medium),
+        "large" => Ok(llmulator::ModelScale::Large),
+        other => Err(format!("unknown scale `{other}`")),
+    }
+}
+
 fn load_program(args: &[String]) -> Result<Program, String> {
-    let path = args
-        .get(1)
-        .filter(|a| !a.starts_with("--"))
-        .ok_or("missing program file")?;
+    let path = positional(args).ok_or("missing program file")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     let program = parse::parse_program(&text).map_err(|e| format!("parse failed: {e}"))?;
     program
         .validate()
         .map_err(|e| format!("invalid program: {e}"))?;
     Ok(program)
+}
+
+/// The first non-flag argument after the command, skipping flag values, so
+/// `profile --input n=3 prog.c` and `profile prog.c --input n=3` both find
+/// `prog.c`.
+fn positional(args: &[String]) -> Option<&String> {
+    let mut i = 1;
+    while i < args.len() {
+        let a = &args[i];
+        if a.starts_with("--") {
+            i += if VALUE_FLAGS.contains(&a.as_str()) {
+                2
+            } else {
+                1
+            };
+        } else {
+            return Some(a);
+        }
+    }
+    None
 }
 
 fn parse_inputs(args: &[String]) -> Result<InputData, String> {
@@ -106,11 +271,34 @@ fn parse_inputs(args: &[String]) -> Result<InputData, String> {
     Ok(data)
 }
 
-fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
+/// Looks up `flag`'s value. A following argv entry that is itself a flag
+/// (starts with `--`) is *not* a value: `synthesize --count --seed 9` is a
+/// missing-value error naming `--count`, not a silent attempt to parse
+/// `"--seed"` as the count.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a str>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => match args.get(i + 1) {
+            Some(v) if !v.starts_with("--") => Ok(Some(v)),
+            _ => Err(format!("flag `{flag}` requires a value")),
+        },
+    }
+}
+
+/// True when a boolean flag (one that takes no value) is present.
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+/// Parses `flag`'s value with `FromStr`, falling back to `default` when the
+/// flag is absent.
+fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> Result<T, String> {
+    match flag_value(args, flag)? {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("invalid value for `{flag}`: `{v}`")),
+    }
 }
 
 // Re-exported for the command implementations.
@@ -120,33 +308,76 @@ pub(crate) use analysis as ir_analysis;
 mod tests {
     use super::*;
 
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
     #[test]
     fn flag_value_finds_pairs() {
-        let args: Vec<String> = ["synthesize", "--count", "5", "--seed", "9"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
-        assert_eq!(flag_value(&args, "--count"), Some("5"));
-        assert_eq!(flag_value(&args, "--seed"), Some("9"));
-        assert_eq!(flag_value(&args, "--missing"), None);
+        let args = argv(&["synthesize", "--count", "5", "--seed", "9"]);
+        assert_eq!(flag_value(&args, "--count"), Ok(Some("5")));
+        assert_eq!(flag_value(&args, "--seed"), Ok(Some("9")));
+        assert_eq!(flag_value(&args, "--missing"), Ok(None));
+    }
+
+    #[test]
+    fn flag_value_rejects_flag_as_value() {
+        // Regression: `--count --seed 9` used to parse `"--seed"` as the
+        // count and fail with a confusing "invalid --count" downstream.
+        let args = argv(&["synthesize", "--count", "--seed", "9"]);
+        let err = flag_value(&args, "--count").expect_err("missing value");
+        assert!(err.contains("--count"), "error names the flag: {err}");
+        assert!(err.contains("value"), "error mentions the value: {err}");
+        // The same applies when the flag is last on the command line.
+        let args = argv(&["synthesize", "--count"]);
+        assert!(flag_value(&args, "--count").is_err());
+    }
+
+    #[test]
+    fn parse_flag_defaults_and_validates() {
+        let args = argv(&["synthesize", "--count", "5"]);
+        assert_eq!(parse_flag(&args, "--count", 8usize), Ok(5));
+        assert_eq!(parse_flag(&args, "--seed", 3u64), Ok(3));
+        let bad = argv(&["synthesize", "--count", "many"]);
+        assert!(parse_flag(&bad, "--count", 8usize).is_err());
+    }
+
+    #[test]
+    fn positional_ignores_flag_ordering() {
+        // Regression: `profile --input n=3 prog.c` used to fail with
+        // "missing program file" because only args[1] was considered.
+        let before = argv(&["profile", "--input", "n=3", "prog.c"]);
+        assert_eq!(positional(&before), Some(&"prog.c".to_string()));
+        let after = argv(&["profile", "prog.c", "--input", "n=3"]);
+        assert_eq!(positional(&after), Some(&"prog.c".to_string()));
+        let mixed = argv(&["eval", "--baselines", "--suite", "all", "x.c"]);
+        assert_eq!(positional(&mixed), Some(&"x.c".to_string()));
+        let none = argv(&["profile", "--input", "n=3"]);
+        assert_eq!(positional(&none), None);
+    }
+
+    #[test]
+    fn load_program_accepts_flags_before_path() {
+        let dir = std::env::temp_dir().join(format!("llmulator_cli_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("prog.c");
+        let text = commands::tests::program().render();
+        std::fs::write(&path, text).expect("writes");
+        let args = argv(&["profile", "--input", "n=3", path.to_str().expect("utf8")]);
+        assert!(load_program(&args).is_ok(), "flags before the path parse");
+        std::fs::remove_dir_all(&dir).expect("cleanup");
     }
 
     #[test]
     fn parse_inputs_accepts_bindings() {
-        let args: Vec<String> = ["profile", "f.c", "--input", "n=32", "--input", "m=8"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        let args = argv(&["profile", "f.c", "--input", "n=32", "--input", "m=8"]);
         let data = parse_inputs(&args).expect("parses");
         assert_eq!(data.len(), 2);
     }
 
     #[test]
     fn parse_inputs_rejects_malformed() {
-        let args: Vec<String> = ["profile", "f.c", "--input", "oops"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        let args = argv(&["profile", "f.c", "--input", "oops"]);
         assert!(parse_inputs(&args).is_err());
     }
 
@@ -154,5 +385,63 @@ mod tests {
     fn unknown_command_errors() {
         let args = vec!["frobnicate".to_string()];
         assert!(run(&args).is_err());
+    }
+
+    #[test]
+    fn synthesize_with_missing_count_value_names_the_flag() {
+        let args = argv(&["synthesize", "--count", "--seed", "9"]);
+        let err = run(&args).expect_err("missing value");
+        assert!(err.contains("--count"), "got: {err}");
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected_not_ignored() {
+        // A typo must not silently run the wrong experiment.
+        let typo = argv(&["train", "--epoch", "10"]);
+        let err = run(&typo).expect_err("typo rejected");
+        assert!(err.contains("--epoch"), "error names the flag: {err}");
+        assert!(err.contains("train"), "error names the command: {err}");
+        let stray = argv(&["profile", "prog.c", "--frobnicate"]);
+        assert!(run(&stray).is_err());
+        // Known flags still pass the check (and fail later only if invalid).
+        let ok = argv(&[
+            "synthesize",
+            "--count",
+            "2",
+            "--seed",
+            "1",
+            "--format",
+            "direct",
+        ]);
+        assert!(run(&ok).is_ok());
+    }
+
+    #[test]
+    fn command_flag_lists_are_value_flag_consistent() {
+        // Every value-taking flag of train/eval must be in VALUE_FLAGS so
+        // the positional scan skips its value (--baselines is boolean).
+        for flag in TRAIN_FLAGS {
+            assert!(
+                VALUE_FLAGS.contains(flag),
+                "{flag} missing from VALUE_FLAGS"
+            );
+        }
+        for flag in EVAL_FLAGS.iter().filter(|f| **f != "--baselines") {
+            assert!(
+                VALUE_FLAGS.contains(flag),
+                "{flag} missing from VALUE_FLAGS"
+            );
+        }
+    }
+
+    #[test]
+    fn format_and_scale_parse() {
+        assert!(parse_format(Some("direct")).is_ok());
+        assert!(parse_format(Some("reasoning")).is_ok());
+        assert!(parse_format(None).is_ok());
+        assert!(parse_format(Some("yaml")).is_err());
+        assert!(parse_scale(Some("small")).is_ok());
+        assert!(parse_scale(None).is_ok());
+        assert!(parse_scale(Some("tiny")).is_err());
     }
 }

@@ -1,0 +1,177 @@
+//! End-to-end smoke tests against the real `llmulator` binary: the paper
+//! loop (`synthesize` → `train` → `eval`) runs entirely from the shell, the
+//! second run of each cached stage re-profiles nothing, and the CLI
+//! argument-handling regressions stay fixed.
+
+use llmulator_ir::builder::OperatorBuilder;
+use llmulator_ir::{Expr, LValue, Program, Stmt};
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+/// A valid program in the CLI's surface syntax, produced by the same IR
+/// renderer the parser round-trips with.
+fn tiny_program_text() -> String {
+    let op = OperatorBuilder::new("inc")
+        .array_param("a", [8])
+        .loop_nest(&[("i", 8)], |idx| {
+            vec![Stmt::assign(
+                LValue::store("a", vec![idx[0].clone()]),
+                Expr::load("a", vec![idx[0].clone()]) + Expr::int(1),
+            )]
+        })
+        .build();
+    Program::single_op(op).render()
+}
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_llmulator")
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(bin())
+        .args(args)
+        .output()
+        .expect("binary spawns")
+}
+
+fn stdout(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stdout).into_owned()
+}
+
+fn stderr(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stderr).into_owned()
+}
+
+fn unique_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("llmulator_cli_smoke_{}_{tag}", std::process::id()))
+}
+
+/// Cache bookkeeping lines differ between cold and warm runs by design;
+/// everything else (the metric tables) must be byte-identical.
+fn strip_cache_lines(s: &str) -> String {
+    s.lines()
+        .filter(|l| !l.contains("cache"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn missing_flag_value_is_a_clear_error() {
+    // Regression: `synthesize --count --seed 9` used to swallow `--seed` as
+    // the count value and fail with a confusing parse error.
+    let out = run(&["synthesize", "--count", "--seed", "9"]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(err.contains("--count"), "error names the flag: {err}");
+    assert!(err.contains("value"), "error mentions the value: {err}");
+}
+
+#[test]
+fn profile_accepts_flags_before_the_program_path() {
+    // Regression: the program path was only accepted at args[1], so
+    // `profile --input n=3 prog.c` failed with "missing program file".
+    let dir = unique_dir("positional");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let prog = dir.join("prog.c");
+    std::fs::write(&prog, tiny_program_text()).expect("writes");
+    let path = prog.to_str().expect("utf8");
+    let flags_first = run(&["profile", "--input", "n=3", path]);
+    assert!(
+        flags_first.status.success(),
+        "flags before path must work: {}",
+        stderr(&flags_first)
+    );
+    let flags_last = run(&["profile", path, "--input", "n=3"]);
+    assert!(flags_last.status.success());
+    assert_eq!(stdout(&flags_first), stdout(&flags_last));
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn paper_loop_runs_from_the_shell_with_cache_reuse() {
+    let dir = unique_dir("paper_loop");
+    let cache = dir.join("cache");
+    let model = dir.join("model.json");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let cache_s = cache.to_str().expect("utf8");
+    let model_s = model.to_str().expect("utf8");
+
+    let train_args = [
+        "train",
+        "--samples",
+        "6",
+        "--seed",
+        "5",
+        "--format",
+        "direct",
+        "--epochs",
+        "1",
+        "--batch",
+        "4",
+        "--threads",
+        "1",
+        "--scale",
+        "small",
+        "--max-len",
+        "96",
+        "--cache-dir",
+        cache_s,
+        "--out",
+        model_s,
+    ];
+    let t1 = run(&train_args);
+    assert!(t1.status.success(), "train: {}", stderr(&t1));
+    assert!(
+        stdout(&t1).contains("dataset cache : miss"),
+        "{}",
+        stdout(&t1)
+    );
+    assert!(model.is_file(), "model persisted");
+
+    let t2 = run(&train_args);
+    assert!(t2.status.success(), "retrain: {}", stderr(&t2));
+    assert!(
+        stdout(&t2).contains("dataset cache : hit"),
+        "second train must reuse the dataset cache: {}",
+        stdout(&t2)
+    );
+
+    let eval_args = [
+        "eval",
+        "--model",
+        model_s,
+        "--suite",
+        "atax",
+        "--format",
+        "direct",
+        "--samples",
+        "6",
+        "--seed",
+        "5",
+        "--cache-dir",
+        cache_s,
+    ];
+    let e1 = run(&eval_args);
+    assert!(e1.status.success(), "eval: {}", stderr(&e1));
+    let e1_out = stdout(&e1);
+    for key in ["MAPE (Power)", "MAPE (Cycles)", "atax", "Ours"] {
+        assert!(e1_out.contains(key), "missing {key} in:\n{e1_out}");
+    }
+
+    let e2 = run(&eval_args);
+    assert!(e2.status.success(), "re-eval: {}", stderr(&e2));
+    let e2_out = stdout(&e2);
+    assert!(
+        e2_out.contains(" 0 misses"),
+        "second eval must not re-profile: {e2_out}"
+    );
+    assert_eq!(
+        strip_cache_lines(&e1_out),
+        strip_cache_lines(&e2_out),
+        "metrics must be byte-identical across runs"
+    );
+
+    assert!(cache.join("datasets").is_dir(), "dataset cache layout");
+    assert!(cache.join("profiles").is_dir(), "profile cache layout");
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}

@@ -1,0 +1,421 @@
+//! On-disk memoization of synthesis datasets and simulator profiles.
+//!
+//! Ground truth in this reproduction is expensive relative to everything
+//! around it: every labelled sample runs the HLS flow plus the cycle
+//! simulator. Like the cost-model pipelines in TLP and Tenset that persist
+//! featurized datasets so training never re-profiles kernels, the
+//! [`DatasetCache`] computes ground truth once per content key and reuses it
+//! on every later `train`/`eval` invocation:
+//!
+//! * **datasets** — whole labelled [`Dataset`]s, keyed by a content hash of
+//!   the synthesis configuration (see `llmulator_synth::synthesize_cached`),
+//!   stored under `<root>/datasets/<key>.json`;
+//! * **profiles** — single simulator [`Profile`]s, keyed by a content hash
+//!   of `(program text, runtime inputs)`, stored under
+//!   `<root>/profiles/<key>.json`, so repeated kernels (e.g. the same
+//!   evaluation workload profiled across runs) simulate only once.
+//!
+//! All writes go through [`write_atomic`], so a crash mid-write never leaves
+//! a torn JSON file behind; corrupt or unreadable cache entries are treated
+//! as misses and recomputed.
+
+use crate::dataset::Dataset;
+use crate::persist::PersistError;
+use llmulator_ir::{InputData, Program};
+use llmulator_sim::{Profile, SimError};
+use std::path::{Path, PathBuf};
+
+/// 64-bit FNV-1a over every part, with a separator so part boundaries are
+/// significant (`["ab", "c"]` and `["a", "bc"]` hash differently). Returned
+/// as 16 lowercase hex digits — stable across runs and platforms, suitable
+/// for cache file names.
+pub fn content_hash(parts: &[&str]) -> String {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for part in parts {
+        for &b in part.as_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+        h ^= 0x1f;
+        h = h.wrapping_mul(PRIME);
+    }
+    format!("{h:016x}")
+}
+
+/// Writes `contents` to `path` atomically: parent directories are created,
+/// the bytes go to a sibling temporary file, and a rename publishes them.
+/// A crash or full disk mid-write leaves the previous file (if any) intact
+/// instead of a torn, unparseable one.
+///
+/// # Errors
+///
+/// Propagates filesystem errors; the temporary file is removed if the final
+/// rename fails.
+pub fn write_atomic(path: impl AsRef<Path>, contents: &str) -> std::io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let file_name = path.file_name().ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, "path has no file name")
+    })?;
+    // pid + per-call counter: concurrent writers to the same path from
+    // different processes *or* different threads of one process each get
+    // their own temp file, so the final rename is the only shared step.
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static WRITE_COUNTER: AtomicU64 = AtomicU64::new(0);
+    let mut tmp = path.to_path_buf();
+    tmp.set_file_name(format!(
+        ".{}.tmp.{}.{}",
+        file_name.to_string_lossy(),
+        std::process::id(),
+        WRITE_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::write(&tmp, contents)?;
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+impl Dataset {
+    /// Serializes the labelled dataset to JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Codec`] if serialization fails.
+    pub fn to_json(&self) -> Result<String, PersistError> {
+        Ok(serde_json::to_string(self)?)
+    }
+
+    /// Reconstructs a dataset from [`Dataset::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Codec`] on malformed input.
+    pub fn from_json(json: &str) -> Result<Dataset, PersistError> {
+        Ok(serde_json::from_str(json)?)
+    }
+
+    /// Writes the dataset to a file atomically (temp file + rename).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError`] on filesystem or encoding failure.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
+        write_atomic(path, &self.to_json()?)?;
+        Ok(())
+    }
+
+    /// Loads a dataset from a file written by [`Dataset::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError`] on filesystem or decoding failure.
+    pub fn load(path: impl AsRef<Path>) -> Result<Dataset, PersistError> {
+        Dataset::from_json(&std::fs::read_to_string(path)?)
+    }
+}
+
+/// Hit/miss counters for one cache-consuming pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Entries served from disk.
+    pub hits: usize,
+    /// Entries computed (and stored) fresh.
+    pub misses: usize,
+}
+
+impl CacheStats {
+    /// Total lookups.
+    pub fn total(&self) -> usize {
+        self.hits + self.misses
+    }
+}
+
+/// A content-addressed on-disk cache of labelled datasets and simulator
+/// profiles (see the module docs for the directory layout).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatasetCache {
+    root: PathBuf,
+}
+
+impl DatasetCache {
+    /// Cache rooted at an explicit directory (created lazily on first write).
+    pub fn new(root: impl Into<PathBuf>) -> DatasetCache {
+        DatasetCache { root: root.into() }
+    }
+
+    /// The default cache root: `$LLMULATOR_CACHE_DIR` when set, otherwise
+    /// `.llmulator-cache` under the current directory.
+    pub fn default_root() -> PathBuf {
+        match std::env::var_os("LLMULATOR_CACHE_DIR") {
+            Some(dir) if !dir.is_empty() => PathBuf::from(dir),
+            _ => PathBuf::from(".llmulator-cache"),
+        }
+    }
+
+    /// The cache root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Where a dataset with this key lives.
+    pub fn dataset_path(&self, key: &str) -> PathBuf {
+        self.root.join("datasets").join(format!("{key}.json"))
+    }
+
+    /// Where a profile with this key lives.
+    pub fn profile_path(&self, key: &str) -> PathBuf {
+        self.root.join("profiles").join(format!("{key}.json"))
+    }
+
+    /// Loads a cached dataset; unreadable or corrupt entries are misses.
+    pub fn load_dataset(&self, key: &str) -> Option<Dataset> {
+        Dataset::load(self.dataset_path(key)).ok()
+    }
+
+    /// Stores a dataset under `key`, returning the file path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError`] on filesystem or encoding failure.
+    pub fn store_dataset(&self, key: &str, dataset: &Dataset) -> Result<PathBuf, PersistError> {
+        let path = self.dataset_path(key);
+        dataset.save(&path)?;
+        Ok(path)
+    }
+
+    /// Returns the cached dataset for `key`, or computes it with `build`,
+    /// stores it, and returns it. The boolean is `true` on a cache hit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError`] when a freshly built dataset cannot be
+    /// persisted (a hit never fails).
+    pub fn dataset_or_insert_with(
+        &self,
+        key: &str,
+        build: impl FnOnce() -> Dataset,
+    ) -> Result<(Dataset, bool), PersistError> {
+        if let Some(ds) = self.load_dataset(key) {
+            return Ok((ds, true));
+        }
+        let ds = build();
+        self.store_dataset(key, &ds)?;
+        Ok((ds, false))
+    }
+
+    /// Content key of a `(program, inputs)` pair: the rendered program text
+    /// plus the full JSON of the runtime inputs (tensor payloads included,
+    /// unlike `InputData::render` which truncates them for prompts).
+    pub fn profile_key(program: &Program, data: &InputData) -> String {
+        let inputs = serde_json::to_string(data).unwrap_or_else(|_| data.render());
+        content_hash(&[&program.render(), &inputs])
+    }
+
+    /// Loads a cached profile; unreadable or corrupt entries are misses.
+    pub fn load_profile(&self, key: &str) -> Option<Profile> {
+        let json = std::fs::read_to_string(self.profile_path(key)).ok()?;
+        serde_json::from_str(&json).ok()
+    }
+
+    /// Stores a profile under `key`, returning the file path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError`] on filesystem or encoding failure.
+    pub fn store_profile(&self, key: &str, profile: &Profile) -> Result<PathBuf, PersistError> {
+        let path = self.profile_path(key);
+        write_atomic(&path, &serde_json::to_string(profile)?)?;
+        Ok(path)
+    }
+
+    /// Memoized ground-truth profiling: returns the cached [`Profile`] for
+    /// this `(program, inputs)` pair, or simulates it and stores the result.
+    /// Persistence failures are swallowed (the cache is best-effort); the
+    /// profile itself is always returned.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from the cycle simulator on a miss.
+    pub fn profile_or_compute(
+        &self,
+        program: &Program,
+        data: &InputData,
+        stats: &mut CacheStats,
+    ) -> Result<Profile, SimError> {
+        let key = Self::profile_key(program, data);
+        if let Some(p) = self.load_profile(&key) {
+            stats.hits += 1;
+            return Ok(p);
+        }
+        let p = llmulator_sim::profile(program, data)?;
+        stats.misses += 1;
+        let _ = self.store_profile(&key, &p);
+        Ok(p)
+    }
+}
+
+impl Default for DatasetCache {
+    fn default() -> Self {
+        DatasetCache::new(DatasetCache::default_root())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Sample;
+    use llmulator_ir::builder::OperatorBuilder;
+    use llmulator_ir::{Expr, LValue, Stmt};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn unique_dir(tag: &str) -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "llmulator_cache_test_{}_{}_{n}",
+            tag,
+            std::process::id()
+        ))
+    }
+
+    fn program(bound: usize) -> Program {
+        let op = OperatorBuilder::new("inc")
+            .array_param("a", [bound])
+            .loop_nest(&[("i", bound)], |idx| {
+                vec![Stmt::assign(
+                    LValue::store("a", vec![idx[0].clone()]),
+                    Expr::load("a", vec![idx[0].clone()]) + Expr::int(1),
+                )]
+            })
+            .build();
+        Program::single_op(op)
+    }
+
+    #[test]
+    fn content_hash_is_stable_and_separator_sensitive() {
+        assert_eq!(content_hash(&["abc"]), content_hash(&["abc"]));
+        assert_ne!(content_hash(&["ab", "c"]), content_hash(&["abc"]));
+        assert_ne!(content_hash(&["ab", "c"]), content_hash(&["a", "bc"]));
+        assert_ne!(content_hash(&["x"]), content_hash(&["x", ""]));
+        assert_eq!(content_hash(&["abc"]).len(), 16);
+    }
+
+    #[test]
+    fn write_atomic_creates_parents_and_leaves_no_temp() {
+        let dir = unique_dir("atomic");
+        let path = dir.join("nested").join("deep").join("file.json");
+        write_atomic(&path, "{\"ok\":true}").expect("writes");
+        assert_eq!(
+            std::fs::read_to_string(&path).expect("reads"),
+            "{\"ok\":true}"
+        );
+        let siblings: Vec<_> = std::fs::read_dir(path.parent().expect("parent"))
+            .expect("readdir")
+            .map(|e| e.expect("entry").file_name())
+            .collect();
+        assert_eq!(siblings.len(), 1, "temp file left behind: {siblings:?}");
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn dataset_round_trips_through_disk() {
+        let dir = unique_dir("dataset");
+        let cache = DatasetCache::new(&dir);
+        let sample = Sample::profile(&program(8), None).expect("profiles");
+        let ds: Dataset = std::iter::repeat_n(sample, 3).collect();
+        let path = cache.store_dataset("k1", &ds).expect("stores");
+        assert!(path.starts_with(&dir));
+        let back = cache.load_dataset("k1").expect("loads");
+        assert_eq!(back, ds);
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn dataset_or_insert_with_hits_second_time() {
+        let dir = unique_dir("insert");
+        let cache = DatasetCache::new(&dir);
+        let build = || {
+            let sample = Sample::profile(&program(4), None).expect("profiles");
+            std::iter::once(sample).collect()
+        };
+        let (first, hit1) = cache.dataset_or_insert_with("k", build).expect("first");
+        assert!(!hit1);
+        let (second, hit2) = cache
+            .dataset_or_insert_with("k", || panic!("must not rebuild on a hit"))
+            .expect("second");
+        assert!(hit2);
+        assert_eq!(first, second);
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn corrupt_dataset_entry_is_a_miss() {
+        let dir = unique_dir("corrupt");
+        let cache = DatasetCache::new(&dir);
+        write_atomic(cache.dataset_path("bad"), "not json").expect("writes");
+        assert!(cache.load_dataset("bad").is_none());
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn profile_or_compute_skips_resimulation_on_hit() {
+        let dir = unique_dir("profile");
+        let cache = DatasetCache::new(&dir);
+        let p = program(8);
+        let data = InputData::new();
+        let mut stats = CacheStats::default();
+        let first = cache
+            .profile_or_compute(&p, &data, &mut stats)
+            .expect("simulates");
+        assert_eq!(stats, CacheStats { hits: 0, misses: 1 });
+        let second = cache
+            .profile_or_compute(&p, &data, &mut stats)
+            .expect("cached");
+        assert_eq!(stats, CacheStats { hits: 1, misses: 1 });
+        assert_eq!(stats.total(), 2);
+        assert_eq!(first, second);
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn profile_keys_distinguish_programs_and_inputs() {
+        let p1 = program(8);
+        let p2 = program(16);
+        let empty = InputData::new();
+        let bound = InputData::new().with("n", 3i64);
+        assert_ne!(
+            DatasetCache::profile_key(&p1, &empty),
+            DatasetCache::profile_key(&p2, &empty)
+        );
+        assert_ne!(
+            DatasetCache::profile_key(&p1, &empty),
+            DatasetCache::profile_key(&p1, &bound)
+        );
+        assert_eq!(
+            DatasetCache::profile_key(&p1, &bound),
+            DatasetCache::profile_key(&p1, &bound.clone())
+        );
+    }
+
+    #[test]
+    fn default_root_honours_env_override() {
+        // Read-only check of the fallback: without mutating the environment
+        // (other tests run in parallel), the root is either the env value or
+        // the documented fallback.
+        let root = DatasetCache::default_root();
+        match std::env::var_os("LLMULATOR_CACHE_DIR") {
+            Some(dir) if !dir.is_empty() => assert_eq!(root, PathBuf::from(dir)),
+            _ => assert_eq!(root, PathBuf::from(".llmulator-cache")),
+        }
+    }
+}

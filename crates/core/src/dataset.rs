@@ -32,12 +32,7 @@ impl Sample {
     ) -> Result<Sample, llmulator_sim::SimError> {
         let d = data.cloned().unwrap_or_default();
         let profile = llmulator_sim::profile(program, &d)?;
-        Ok(Sample {
-            text: SegmentedText::from_program(program, data, None),
-            program: program.clone(),
-            data: d,
-            cost: profile.cost,
-        })
+        Ok(Sample::from_profile(program, data, &profile, false))
     }
 
     /// Profiles with the reasoning (`<think>`) data format: RTL features are
@@ -52,12 +47,29 @@ impl Sample {
     ) -> Result<Sample, llmulator_sim::SimError> {
         let d = data.cloned().unwrap_or_default();
         let profile = llmulator_sim::profile(program, &d)?;
-        Ok(Sample {
-            text: SegmentedText::from_program(program, data, Some(&profile.features)),
+        Ok(Sample::from_profile(program, data, &profile, true))
+    }
+
+    /// Builds a sample from an already-computed ground-truth profile — the
+    /// path the [`crate::cache::DatasetCache`] uses so cached profiles never
+    /// re-run the simulator. `with_think` selects the reasoning data format
+    /// (RTL features embedded as a `<think>` segment).
+    pub fn from_profile(
+        program: &Program,
+        data: Option<&InputData>,
+        profile: &llmulator_sim::Profile,
+        with_think: bool,
+    ) -> Sample {
+        Sample {
+            text: SegmentedText::from_program(
+                program,
+                data,
+                with_think.then_some(&profile.features),
+            ),
             program: program.clone(),
-            data: d,
+            data: data.cloned().unwrap_or_default(),
             cost: profile.cost,
-        })
+        }
     }
 }
 
@@ -95,6 +107,11 @@ impl Dataset {
     }
 
     /// Deterministic split: every `k`-th sample goes to validation.
+    ///
+    /// `k` is clamped to a minimum of 2 — `split(0)` and `split(1)` behave
+    /// exactly like `split(2)` (alternating train/validation) rather than
+    /// producing an empty side. Train and validation always partition the
+    /// input: every sample lands in exactly one of them, in original order.
     pub fn split(&self, k: usize) -> (Dataset, Dataset) {
         let k = k.max(2);
         let mut train = Dataset::new();
@@ -173,6 +190,34 @@ mod tests {
     fn profile_reasoning_adds_think_segment() {
         let s = Sample::profile_reasoning(&program(), None).expect("profiles");
         assert!(s.text.parts.iter().any(|(k, _)| *k == SegmentKind::Think));
+    }
+
+    #[test]
+    fn split_clamps_small_k_to_two() {
+        let s = Sample::profile(&program(), None).expect("profiles");
+        let ds: Dataset = std::iter::repeat_n(s, 6).collect();
+        let (t2, v2) = ds.split(2);
+        for k in [0, 1] {
+            let (train, val) = ds.split(k);
+            assert_eq!(train, t2, "split({k}) must behave like split(2)");
+            assert_eq!(val, v2, "split({k}) must behave like split(2)");
+        }
+        assert_eq!(t2.len(), 3);
+        assert_eq!(v2.len(), 3);
+    }
+
+    #[test]
+    fn from_profile_matches_profile_paths() {
+        let p = program();
+        let data = InputData::new();
+        let profile = llmulator_sim::profile(&p, &data).expect("profiles");
+        let direct = Sample::from_profile(&p, Some(&data), &profile, false);
+        assert_eq!(direct, Sample::profile(&p, Some(&data)).expect("profiles"));
+        let reasoning = Sample::from_profile(&p, Some(&data), &profile, true);
+        assert_eq!(
+            reasoning,
+            Sample::profile_reasoning(&p, Some(&data)).expect("profiles")
+        );
     }
 
     #[test]

@@ -41,6 +41,7 @@
 //! ```
 
 pub mod accel;
+pub mod cache;
 pub mod calibrate;
 pub mod dataset;
 pub mod encode;
@@ -50,6 +51,7 @@ pub mod numeric;
 pub mod persist;
 
 pub use accel::{AccelStats, CachedPredictor};
+pub use cache::{content_hash, write_atomic, CacheStats, DatasetCache};
 pub use calibrate::{
     calibrate_cycles, CalibrationStep, CalibrationTrace, DpoCalibrator, DpoConfig,
     PreferenceTriple, ReplayBuffer,

@@ -67,13 +67,16 @@ impl NumericPredictor {
         Ok(serde_json::from_str(json)?)
     }
 
-    /// Writes the model to a file.
+    /// Writes the model to a file atomically: parent directories are created
+    /// as needed, the JSON goes to a sibling temporary file, and a rename
+    /// publishes it — a crash or full disk mid-write never leaves a torn,
+    /// unloadable model file (see [`crate::cache::write_atomic`]).
     ///
     /// # Errors
     ///
     /// Returns [`PersistError`] on filesystem or encoding failure.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
-        std::fs::write(path, self.to_json()?)?;
+        crate::cache::write_atomic(path, &self.to_json()?)?;
         Ok(())
     }
 
@@ -118,17 +121,43 @@ mod tests {
         }
     }
 
+    /// Per-process unique scratch directory: concurrent `cargo test` runs on
+    /// one machine must not race on a shared `model.json`.
+    fn unique_dir(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "llmulator_persist_test_{}_{}_{n}",
+            tag,
+            std::process::id()
+        ))
+    }
+
     #[test]
     fn save_load_file_round_trip() {
-        let dir = std::env::temp_dir().join("llmulator_persist_test");
-        std::fs::create_dir_all(&dir).expect("mkdir");
+        let dir = unique_dir("round_trip");
         let path = dir.join("model.json");
         let model = tiny();
         model.save(&path).expect("saves");
         let restored = NumericPredictor::load(&path).expect("loads");
         assert_eq!(restored.config(), model.config());
         assert_eq!(restored.param_count(), model.param_count());
-        let _ = std::fs::remove_file(&path);
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn save_creates_parent_dirs_and_leaves_no_temp_file() {
+        let dir = unique_dir("atomic");
+        let path = dir.join("models").join("nested").join("model.json");
+        tiny().save(&path).expect("saves into fresh directories");
+        assert!(NumericPredictor::load(&path).is_ok());
+        let entries: Vec<_> = std::fs::read_dir(path.parent().expect("parent"))
+            .expect("readdir")
+            .map(|e| e.expect("entry").file_name())
+            .collect();
+        assert_eq!(entries.len(), 1, "temp file left behind: {entries:?}");
+        std::fs::remove_dir_all(&dir).expect("cleanup");
     }
 
     #[test]

@@ -6,7 +6,9 @@
 //! ranking quality) and fixed-width text tables matching the paper's layout.
 
 pub mod metrics;
+pub mod suite;
 pub mod table;
 
 pub use metrics::{ape, kendall_tau, mape, mse, pearson};
+pub use suite::mape_on;
 pub use table::Table;

@@ -1,0 +1,68 @@
+//! Model-level evaluation helpers shared by the experiment harness and the
+//! CLI, so both report MAPE through the same code path.
+
+use llmulator::{CostModel, Sample};
+use llmulator_sim::Metric;
+
+/// MAPE of a model on samples for one metric.
+///
+/// Predictions run through [`CostModel::predict_batch`], which the learned
+/// models fan out across worker threads — regenerating a table scales with
+/// the machine's cores instead of predicting one sample at a time.
+pub fn mape_on(model: &dyn CostModel, samples: &[Sample], metric: Metric) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let predicted: Vec<f64> = model
+        .predict_batch(samples)
+        .iter()
+        .map(|cost| cost.metric(metric))
+        .collect();
+    let actual: Vec<f64> = samples.iter().map(|s| s.cost.metric(metric)).collect();
+    crate::metrics::mape(&predicted, &actual)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmulator_sim::CostVector;
+
+    /// A model that predicts a fixed multiple of the ground truth.
+    struct Scaled(f64);
+
+    impl CostModel for Scaled {
+        fn name(&self) -> &str {
+            "scaled"
+        }
+
+        fn predict(&self, sample: &Sample) -> CostVector {
+            CostVector {
+                power_mw: sample.cost.power_mw * self.0,
+                area_um2: sample.cost.area_um2 * self.0,
+                ff: (sample.cost.ff as f64 * self.0) as u64,
+                cycles: (sample.cost.cycles as f64 * self.0) as u64,
+            }
+        }
+    }
+
+    #[test]
+    fn mape_on_matches_the_scale_error() {
+        use llmulator_ir::builder::OperatorBuilder;
+        use llmulator_ir::{Expr, LValue, Program, Stmt};
+        let op = OperatorBuilder::new("id")
+            .array_param("a", [4])
+            .loop_nest(&[("i", 4)], |idx| {
+                vec![Stmt::assign(
+                    LValue::store("a", vec![idx[0].clone()]),
+                    Expr::load("a", vec![idx[0].clone()]),
+                )]
+            })
+            .build();
+        let s = Sample::profile(&Program::single_op(op), None).expect("profiles");
+        let samples = vec![s.clone(), s];
+        assert!(mape_on(&Scaled(1.0), &samples, Metric::Power).abs() < 1e-12);
+        let half = mape_on(&Scaled(0.5), &samples, Metric::Power);
+        assert!((half - 0.5).abs() < 1e-12, "got {half}");
+        assert_eq!(mape_on(&Scaled(1.0), &[], Metric::Power), 0.0);
+    }
+}

@@ -7,7 +7,7 @@ use crate::ast_gen::{self, AstGenConfig};
 use crate::dataflow_gen;
 use crate::hw_sweep;
 use crate::llm_gen;
-use llmulator::{Dataset, Sample};
+use llmulator::{Dataset, DatasetCache, PersistError, Sample};
 use llmulator_ir::{InputData, Program};
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -162,6 +162,41 @@ pub fn synthesize(config: &SynthesisConfig) -> Dataset {
     dataset
 }
 
+/// Content key of a synthesis configuration: a hash over every field that
+/// influences the generated dataset (volumes, sweeps, data format, AST knobs
+/// and the RNG seed). Two configs produce the same key exactly when
+/// [`synthesize`] would produce the same dataset, so the key addresses a
+/// [`DatasetCache`] entry.
+pub fn cache_key(config: &SynthesisConfig) -> String {
+    let fingerprint = format!(
+        "synth-v1|n_ast={}|n_dataflow={}|n_llm={}|hw_sweep={}|format={:?}|ast={:?}|seed={}",
+        config.n_ast,
+        config.n_dataflow,
+        config.n_llm,
+        config.hw_sweep,
+        config.format,
+        config.ast,
+        config.seed
+    );
+    llmulator::content_hash(&[&fingerprint])
+}
+
+/// Memoized [`synthesize`]: ground truth for a `(config, seed, format)`
+/// triple is computed once and persisted in `cache`; later invocations load
+/// the labelled dataset from disk instead of re-running the simulator. The
+/// boolean is `true` on a cache hit.
+///
+/// # Errors
+///
+/// Returns [`PersistError`] when a freshly synthesized dataset cannot be
+/// written to the cache (a hit never fails).
+pub fn synthesize_cached(
+    config: &SynthesisConfig,
+    cache: &DatasetCache,
+) -> Result<(Dataset, bool), PersistError> {
+    cache.dataset_or_insert_with(&cache_key(config), || synthesize(config))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -215,6 +250,45 @@ mod tests {
             .parts
             .iter()
             .any(|(k, _)| *k == llmulator_token::SegmentKind::Think)));
+    }
+
+    #[test]
+    fn cache_key_distinguishes_configs() {
+        let base = SynthesisConfig::paper_mix(12, 7);
+        let copy = base;
+        assert_eq!(cache_key(&base), cache_key(&copy));
+        let mut other_seed = base;
+        other_seed.seed = 8;
+        assert_ne!(cache_key(&base), cache_key(&other_seed));
+        let mut other_format = base;
+        other_format.format = DataFormat::Direct;
+        assert_ne!(cache_key(&base), cache_key(&other_format));
+        let mut other_volume = base;
+        other_volume.n_ast += 1;
+        assert_ne!(cache_key(&base), cache_key(&other_volume));
+    }
+
+    #[test]
+    fn synthesize_cached_reuses_the_disk_entry() {
+        let dir =
+            std::env::temp_dir().join(format!("llmulator_synth_cache_test_{}", std::process::id()));
+        let cache = DatasetCache::new(&dir);
+        let config = SynthesisConfig {
+            n_ast: 3,
+            n_dataflow: 2,
+            n_llm: 0,
+            hw_sweep: false,
+            format: DataFormat::Direct,
+            ast: ast_gen::shallow_config(),
+            seed: 5,
+        };
+        let (first, hit1) = synthesize_cached(&config, &cache).expect("synthesizes");
+        assert!(!hit1, "first run must be a miss");
+        assert!(cache.dataset_path(&cache_key(&config)).is_file());
+        let (second, hit2) = synthesize_cached(&config, &cache).expect("loads");
+        assert!(hit2, "second run must hit the cache");
+        assert_eq!(first, second, "cached dataset must round-trip exactly");
+        std::fs::remove_dir_all(&dir).expect("cleanup");
     }
 
     #[test]

@@ -1,0 +1,106 @@
+//! The paper's headline loop as a library walkthrough: cached dataset
+//! synthesis → predictor training → model persistence → a MAPE table — the
+//! same pipeline `llmulator train` / `llmulator eval` expose from the shell.
+//!
+//! ```sh
+//! cargo run --release --example paper_loop
+//! ```
+
+use llmulator::{
+    CacheStats, CostModel, DatasetCache, DigitCodec, ModelScale, NumericPredictor, PredictorConfig,
+    Sample, TrainOptions,
+};
+use llmulator_eval::Table;
+use llmulator_sim::Metric;
+use llmulator_synth::{synthesize_cached, DataFormat, SynthesisConfig};
+use llmulator_token::NumericMode;
+
+fn main() {
+    let cache_dir =
+        std::env::temp_dir().join(format!("llmulator_paper_loop_{}", std::process::id()));
+    let cache = DatasetCache::new(&cache_dir);
+
+    // 1. Synthesize (and cache) a small labelled dataset.
+    let mut config = SynthesisConfig::paper_mix(24, 7);
+    config.format = DataFormat::Direct;
+    let (dataset, hit) = synthesize_cached(&config, &cache).expect("synthesis");
+    println!(
+        "dataset: {} samples ({})",
+        dataset.len(),
+        if hit {
+            "cache hit"
+        } else {
+            "computed + cached"
+        }
+    );
+    // A second call is served from disk — no simulator runs.
+    let (_, hit2) = synthesize_cached(&config, &cache).expect("cache load");
+    assert!(hit2, "second synthesis call must hit the cache");
+
+    // 2. Train the numeric predictor and persist it.
+    let mut model = NumericPredictor::new(PredictorConfig {
+        scale: ModelScale::Small,
+        codec: DigitCodec::standard(),
+        numeric_mode: NumericMode::Digits,
+        max_len: 128,
+        seed: 7,
+    });
+    let curve = model.fit(
+        &dataset,
+        TrainOptions {
+            epochs: 2,
+            batch_size: 8,
+            lr: 3e-3,
+            threads: 2,
+        },
+    );
+    println!(
+        "trained: {} params, loss {:.3} -> {:.3}",
+        model.param_count(),
+        curve.first().copied().unwrap_or(0.0),
+        curve.last().copied().unwrap_or(0.0)
+    );
+    let model_path = cache_dir.join("model.json");
+    model.save(&model_path).expect("save");
+    let restored = NumericPredictor::load(&model_path).expect("load");
+
+    // 3. Evaluate on a held-out workload through the profile cache.
+    let workload = llmulator_workloads::polybench::all()
+        .into_iter()
+        .find(|w| w.name == "atax")
+        .expect("atax is in the polybench roster");
+    let mut stats = CacheStats::default();
+    let samples: Vec<Sample> = [0.9, 1.0, 1.1]
+        .iter()
+        .filter_map(|&f| {
+            let data = workload.scaled_inputs(f);
+            cache
+                .profile_or_compute(&workload.program, &data, &mut stats)
+                .ok()
+                .map(|p| Sample::from_profile(&workload.program, Some(&data), &p, false))
+        })
+        .collect();
+    // Disambiguate from the inherent `predict_batch` (which returns full
+    // digit-level `Prediction`s): the trait method yields cost vectors.
+    let predicted = CostModel::predict_batch(&restored, &samples);
+
+    let mut table = Table::new("MAPE on atax (paper-loop example)");
+    table.header(["Metric", "MAPE"]);
+    for &metric in Metric::all() {
+        let p: Vec<f64> = predicted.iter().map(|c| c.metric(metric)).collect();
+        let a: Vec<f64> = samples.iter().map(|s| s.cost.metric(metric)).collect();
+        table.row([
+            metric.label().to_string(),
+            Table::pct(llmulator_eval::mape(&p, &a)),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "profile cache: {} hits, {} misses ({})",
+        stats.hits,
+        stats.misses,
+        cache.root().display()
+    );
+
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}

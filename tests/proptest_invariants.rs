@@ -2,7 +2,7 @@
 //! invariants: digit codec round trips, tokenizer linearity, renderer/parser
 //! round trips, simulator monotonicity and metric properties.
 
-use llmulator::{beam_search, DigitCodec, DigitDistribution};
+use llmulator::{beam_search, Dataset, DigitCodec, DigitDistribution, Sample};
 use llmulator_ir::builder::OperatorBuilder;
 use llmulator_ir::{Expr, InputData, LValue, Program, Stmt};
 use llmulator_nn::Matrix;
@@ -38,6 +38,46 @@ proptest! {
     fn baseline_tokenizer_is_constant_in_digits(value in 0u64..10_000_000) {
         let t = Tokenizer::baseline();
         prop_assert_eq!(t.encode(&value.to_string()).len(), 1);
+    }
+
+    #[test]
+    fn dataset_split_partitions_in_order(k in 0usize..10, n in 0usize..32) {
+        // One cheap profile, cloned with a distinguishing input binding so
+        // ordering is observable.
+        let op = OperatorBuilder::new("id")
+            .array_param("a", [4])
+            .loop_nest(&[("i", 4)], |idx| {
+                vec![Stmt::assign(
+                    LValue::store("a", vec![idx[0].clone()]),
+                    Expr::load("a", vec![idx[0].clone()]),
+                )]
+            })
+            .build();
+        let base = Sample::profile(&Program::single_op(op), None).expect("profiles");
+        let samples: Vec<Sample> = (0..n)
+            .map(|i| {
+                let mut s = base.clone();
+                s.data.bind("idx", i as i64);
+                s
+            })
+            .collect();
+        let ds = Dataset { samples: samples.clone() };
+        let (train, val) = ds.split(k);
+        // `k < 2` clamps to 2 (documented): split(0)/split(1) == split(2).
+        let kk = k.max(2);
+        prop_assert_eq!(train.len() + val.len(), n, "split partitions the input");
+        let (mut ti, mut vi) = (0usize, 0usize);
+        for (i, s) in samples.iter().enumerate() {
+            if i % kk == kk - 1 {
+                prop_assert_eq!(&val.samples[vi], s, "validation keeps input order");
+                vi += 1;
+            } else {
+                prop_assert_eq!(&train.samples[ti], s, "train keeps input order");
+                ti += 1;
+            }
+        }
+        prop_assert_eq!(ti, train.len());
+        prop_assert_eq!(vi, val.len());
     }
 
     #[test]
