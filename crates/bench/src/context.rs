@@ -226,7 +226,9 @@ pub fn median_seconds(reps: usize, mut f: impl FnMut()) -> f64 {
         f();
         times.push(t0.elapsed().as_secs_f64());
     }
-    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    // `total_cmp` keeps the sort total even if a timed closure returns a
+    // non-finite duration (a NaN here used to panic the whole bench run).
+    times.sort_by(f64::total_cmp);
     times[reps / 2]
 }
 

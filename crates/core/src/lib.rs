@@ -57,10 +57,12 @@ pub use calibrate::{
     PreferenceTriple, ReplayBuffer,
 };
 pub use dataset::{CostModel, Dataset, Sample};
-pub use encode::SegmentedText;
+pub use encode::{fusion_group_key, group_by_key, SegmentedText};
 pub use masks::{attended_fraction, separation_mask, MaskOptions};
 pub use model::{
     MetricPrediction, ModelScale, NumericPredictor, Prediction, PredictorConfig, TrainOptions,
 };
-pub use numeric::{beam_search, BeamHypothesis, DigitCodec, DigitDistribution};
+pub use numeric::{
+    beam_search, beam_search_with, BeamHypothesis, BeamScratch, DigitCodec, DigitDistribution,
+};
 pub use persist::PersistError;

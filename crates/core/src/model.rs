@@ -4,7 +4,8 @@
 
 use crate::dataset::{CostModel, Dataset, Sample};
 use crate::numeric::{
-    beam_search, int_to_metric, metric_to_int, BeamHypothesis, DigitCodec, DigitDistribution,
+    beam_search, beam_search_with, int_to_metric, metric_to_int, BeamHypothesis, BeamScratch,
+    DigitCodec, DigitDistribution,
 };
 use llmulator_nn::{
     softmax_slice, AdamConfig, AdamW, Graph, Matrix, NodeId, ParamId, ParamStore, Scratch,
@@ -340,6 +341,10 @@ impl NumericPredictor {
 
     /// Decodes metric predictions from a pooled representation (pure matrix
     /// math — shared by the tape and cached inference paths).
+    ///
+    /// This is the per-sample decode the pre-fusion batch path runs; it is
+    /// kept verbatim as the oracle for the batched
+    /// [`NumericPredictor::decode_pooled_rows`].
     pub fn decode_pooled(&self, pooled: &Matrix) -> Prediction {
         let base = self.config.codec.base as usize;
         let width = self.config.codec.width;
@@ -380,6 +385,69 @@ impl NumericPredictor {
         Prediction { per_metric }
     }
 
+    /// Decodes one [`Prediction`] per row of a packed pooled matrix
+    /// (`B × d_model`, as produced by [`llmulator_nn::forward_packed`]) —
+    /// the batched decode behind [`NumericPredictor::predict_batch_threads`].
+    ///
+    /// Two batch-level fusions over [`NumericPredictor::decode_pooled`],
+    /// both result-preserving:
+    ///
+    /// * each metric head runs as a single `B × d_model × (width·base)`
+    ///   GEMM for the whole pack (the blocked kernel is bit-identical per
+    ///   row), and
+    /// * beam searches share one [`BeamScratch`], recycling the hypothesis
+    ///   buffers [`beam_search`] reallocates per position per sample
+    ///   (identical expansion and ranking, exactly equal hypotheses).
+    ///
+    /// Every row therefore decodes exactly as `decode_pooled` would on that
+    /// row alone.
+    pub fn decode_pooled_rows(&self, pooled: &Matrix) -> Vec<Prediction> {
+        let base = self.config.codec.base as usize;
+        let width = self.config.codec.width;
+        let n = pooled.rows();
+        let mut beam_scratch = BeamScratch::new();
+        let mut per_row: Vec<Vec<MetricPrediction>> = (0..n)
+            .map(|_| Vec::with_capacity(self.heads.len()))
+            .collect();
+        for (&metric, h) in Metric::all().iter().zip(&self.heads) {
+            let w = self.store.get(h.w);
+            let b = self.store.get(h.b);
+            // One fused head GEMM for all rows.
+            let mut logits = pooled.matmul(w);
+            for (r, metrics) in per_row.iter_mut().enumerate() {
+                let row = logits.row_mut(r);
+                for (v, &bv) in row.iter_mut().zip(b.row(0)) {
+                    *v += bv;
+                }
+                // Softmax each digit slice of the logits row in place — no
+                // per-position 1×base matrices.
+                let mut rows = Vec::with_capacity(width);
+                for j in 0..width {
+                    let slice = &mut row[j * base..(j + 1) * base];
+                    softmax_slice(slice);
+                    rows.push(slice.to_vec());
+                }
+                let dist = DigitDistribution::new(self.config.codec.base, rows);
+                let beams = beam_search_with(&dist, self.beam_width, &mut beam_scratch);
+                let digits = beams[0].digits.clone();
+                let value = int_to_metric(metric, self.config.codec.decode(&digits));
+                metrics.push(MetricPrediction {
+                    metric,
+                    value,
+                    confidence: dist.final_confidence(&digits),
+                    mean_confidence: dist.mean_confidence(&digits),
+                    digits,
+                    distribution: dist,
+                    beams,
+                });
+            }
+        }
+        per_row
+            .into_iter()
+            .map(|per_metric| Prediction { per_metric })
+            .collect()
+    }
+
     /// Predicts from raw tokens (full forward pass, optional mask).
     ///
     /// Runs the tape-free scratch-backed forward pass ([`llmulator_nn::forward`]),
@@ -417,16 +485,93 @@ impl NumericPredictor {
         self.predict_batch_threads(samples, llmulator_nn::available_threads())
     }
 
-    /// Predicts a batch of samples, fanning out across up to `threads`
-    /// scoped worker threads (each with its own scratch arena). Results keep
-    /// input order and are bit-identical to serial
-    /// [`NumericPredictor::predict_sample`] calls regardless of the thread
-    /// count.
+    /// Predicts a batch of samples with batch-level kernel fusion: samples
+    /// are tokenized in parallel, grouped by effective sequence length
+    /// ([`crate::encode::fusion_group_key`]), and each group runs through
+    /// one packed GEMM per transformer layer
+    /// ([`llmulator_nn::forward_packed`]) instead of one forward pass per
+    /// sample. Groups fan out across up to `threads` scoped worker threads
+    /// (each with its own scratch arena).
+    ///
+    /// Results keep input order and are bit-identical to serial
+    /// [`NumericPredictor::predict_sample`] calls regardless of thread
+    /// count or group composition.
     pub fn predict_batch_threads(&self, samples: &[Sample], threads: usize) -> Vec<Prediction> {
+        let seqs: Vec<Vec<u32>> =
+            llmulator_nn::par_map(samples, threads, |s| self.tokenize_sample(s).tokens);
+        self.predict_tokens_batch_threads(&seqs, threads)
+    }
+
+    /// The pre-fusion batch path — one forward pass per sample, fanned out
+    /// at sample granularity — kept as the test oracle and perf baseline
+    /// for the fused [`NumericPredictor::predict_batch_threads`] (the role
+    /// the `*_naive` kernels play in `llmulator-nn`).
+    pub fn predict_batch_unfused_threads(
+        &self,
+        samples: &[Sample],
+        threads: usize,
+    ) -> Vec<Prediction> {
         llmulator_nn::train::par_map_init(samples, threads, Scratch::new, |scratch, s| {
             let tp = self.tokenize_sample(s);
             self.predict_tokens_with(&tp.tokens, None, scratch)
         })
+    }
+
+    /// Fused batched prediction from raw token sequences (the core of
+    /// [`NumericPredictor::predict_batch_threads`], exposed for callers
+    /// that pre-tokenize).
+    pub fn predict_tokens_batch_threads(
+        &self,
+        seqs: &[Vec<u32>],
+        threads: usize,
+    ) -> Vec<Prediction> {
+        if seqs.is_empty() {
+            return Vec::new();
+        }
+        // Group by the encoder's own effective-length rule — the same
+        // `TransformerConfig` that `forward_packed` asserts pack
+        // compatibility against, so grouping and packing can never drift.
+        let encoder_cfg = *self.encoder.config();
+        let keys: Vec<usize> = seqs
+            .iter()
+            .map(|s| encoder_cfg.effective_len(s.len()))
+            .collect();
+        // Split each same-length group into balanced chunks so (a) thread
+        // fan-out survives one dominant group and (b) a pack's per-stage
+        // activation working set stays L2-resident — beyond ~512 packed
+        // rows the layer stages stream from outer cache levels and the
+        // fusion gain inverts (measured on the 1-vCPU build container).
+        // Packing is bit-identical at any group size, so the split never
+        // changes results.
+        const PACK_ROWS: usize = 512;
+        let chunk_cap = seqs.len().div_ceil(threads.max(1)).max(1);
+        let units: Vec<Vec<usize>> = crate::encode::group_by_key(&keys)
+            .into_iter()
+            .flat_map(|(len, idxs)| {
+                let cap = chunk_cap.min((PACK_ROWS / len.max(1)).max(1));
+                idxs.chunks(cap).map(<[usize]>::to_vec).collect::<Vec<_>>()
+            })
+            .collect();
+        let unit_preds =
+            llmulator_nn::train::par_map_init(&units, threads, Scratch::new, |scratch, unit| {
+                let group: Vec<&[u32]> = unit.iter().map(|&i| seqs[i].as_slice()).collect();
+                let (seq, pooled) =
+                    llmulator_nn::forward_packed(&self.encoder, &self.store, &group, scratch);
+                let preds = self.decode_pooled_rows(&pooled);
+                scratch.recycle(seq);
+                scratch.recycle(pooled);
+                preds
+            });
+        // Unpack back to input order.
+        let mut out: Vec<Option<Prediction>> = vec![None; seqs.len()];
+        for (unit, preds) in units.iter().zip(unit_preds) {
+            for (&i, p) in unit.iter().zip(preds) {
+                out[i] = Some(p);
+            }
+        }
+        out.into_iter()
+            .map(|p| p.expect("every sample predicted exactly once"))
+            .collect()
     }
 
     /// Builds the tape node for `log π(digits | tokens)` of one metric
@@ -610,6 +755,46 @@ mod tests {
         let l = ModelScale::Large.transformer_config(v, 64);
         assert!(s.d_model < m.d_model && m.d_model < l.d_model);
         assert_eq!(ModelScale::Medium.label(), "1B");
+    }
+
+    #[test]
+    fn fused_batch_is_bit_identical_to_per_sample_any_thread_count() {
+        let model = NumericPredictor::new(tiny_config());
+        // Mixed lengths: several samples share a group, some are singletons.
+        let samples: Vec<Sample> = [4usize, 8, 4, 12, 8, 4, 16]
+            .iter()
+            .map(|&n| sample(n))
+            .collect();
+        let oracle: Vec<Prediction> = samples.iter().map(|s| model.predict_sample(s)).collect();
+        for threads in [1usize, 2, 4] {
+            let fused = model.predict_batch_threads(&samples, threads);
+            assert_eq!(fused, oracle, "threads={threads}");
+            let unfused = model.predict_batch_unfused_threads(&samples, threads);
+            assert_eq!(unfused, oracle, "unfused threads={threads}");
+        }
+    }
+
+    #[test]
+    fn fused_token_batch_handles_empty_input_and_empty_sequences() {
+        let model = NumericPredictor::new(tiny_config());
+        assert!(model.predict_tokens_batch_threads(&[], 4).is_empty());
+        let seqs = vec![Vec::new(), vec![3u32, 5, 7], Vec::new()];
+        let fused = model.predict_tokens_batch_threads(&seqs, 2);
+        let oracle: Vec<Prediction> = seqs.iter().map(|s| model.predict_tokens(s, None)).collect();
+        assert_eq!(fused, oracle, "empty sequences group and decode");
+    }
+
+    #[test]
+    fn decode_pooled_rows_matches_single_row_decode() {
+        let model = NumericPredictor::new(tiny_config());
+        let d = model.encoder().config().d_model;
+        let pooled = Matrix::from_fn(3, d, |r, c| ((r * 31 + c * 7) % 13) as f32 * 0.1 - 0.6);
+        let batch = model.decode_pooled_rows(&pooled);
+        assert_eq!(batch.len(), 3);
+        for (r, got) in batch.iter().enumerate() {
+            let row = Matrix::from_vec(1, d, pooled.row(r).to_vec());
+            assert_eq!(got, &model.decode_pooled(&row), "row {r}");
+        }
     }
 
     #[test]

@@ -117,13 +117,17 @@ impl DigitDistribution {
     }
 
     /// Greedy (argmax) digits.
+    ///
+    /// Uses [`f32::total_cmp`] so non-finite probabilities (NaN logits from
+    /// a degenerate forward pass) degrade to a deterministic argmax instead
+    /// of panicking mid-eval.
     pub fn greedy(&self) -> Vec<u8> {
         self.probs
             .iter()
             .map(|row| {
                 row.iter()
                     .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite probs"))
+                    .max_by(|a, b| a.1.total_cmp(b.1))
                     .map(|(i, _)| i as u8)
                     .unwrap_or(0)
             })
@@ -142,13 +146,20 @@ impl DigitDistribution {
     /// Scalar confidence: the final-position (LSB) logit probability, the
     /// quantity the paper reports for its confidence/MSE correlation
     /// (Table 6) "due to its relevance in causal inference".
+    ///
+    /// Returns `0.0` for an empty digit string (there is no last position
+    /// to read; the previous implementation indexed `digits[0]` and
+    /// panicked).
     pub fn final_confidence(&self, digits: &[u8]) -> f32 {
-        let last = digits.len().saturating_sub(1);
-        self.probs
-            .get(last)
-            .and_then(|row| row.get(digits[last] as usize))
-            .copied()
-            .unwrap_or(0.0)
+        match digits.split_last() {
+            None => 0.0,
+            Some((&last_digit, rest)) => self
+                .probs
+                .get(rest.len())
+                .and_then(|row| row.get(last_digit as usize))
+                .copied()
+                .unwrap_or(0.0),
+        }
     }
 
     /// Geometric-mean confidence across positions.
@@ -196,11 +207,90 @@ pub fn beam_search(dist: &DigitDistribution, k: usize) -> Vec<BeamHypothesis> {
                 });
             }
         }
-        next.sort_by(|a, b| b.log_prob.partial_cmp(&a.log_prob).expect("finite"));
+        // `total_cmp` keeps the sort total when NaN log-probs leak in from
+        // degenerate logits (NaN orders above +inf, so poisoned hypotheses
+        // sort first deterministically instead of panicking the eval).
+        next.sort_by(|a, b| b.log_prob.total_cmp(&a.log_prob));
         next.truncate(k);
         beams = next;
     }
     beams
+}
+
+/// Reusable buffers for repeated beam searches: the batched decode path
+/// runs one search per metric per sample, and [`beam_search`]'s per-position
+/// hypothesis churn (hundreds of short-lived `Vec<u8>` allocations per
+/// search) dominates short-sequence decode. Holding the frontier buffers
+/// here keeps their allocations alive across searches.
+#[derive(Debug, Default)]
+pub struct BeamScratch {
+    beams: Vec<BeamHypothesis>,
+    next: Vec<BeamHypothesis>,
+}
+
+impl BeamScratch {
+    /// Empty scratch (buffers grow on first use and are then reused).
+    pub fn new() -> BeamScratch {
+        BeamScratch::default()
+    }
+}
+
+/// [`beam_search`] with caller-owned scratch buffers: identical expansion,
+/// ranking (stable sort by [`f32::total_cmp`]), and truncation order, so the
+/// returned hypotheses are exactly equal to [`beam_search`]'s — only the
+/// intermediate allocations are recycled across calls.
+pub fn beam_search_with(
+    dist: &DigitDistribution,
+    k: usize,
+    scratch: &mut BeamScratch,
+) -> Vec<BeamHypothesis> {
+    let k = k.max(1);
+    // Frontier starts as the single empty hypothesis.
+    scratch.beams.clear();
+    scratch.beams.push(BeamHypothesis {
+        digits: Vec::new(),
+        log_prob: 0.0,
+    });
+    for j in 0..dist.width() {
+        let row = dist.position(j);
+        // Expand into `next`, reusing its hypotheses' digit buffers.
+        let wanted = scratch.beams.len() * row.len();
+        scratch.next.truncate(wanted);
+        while scratch.next.len() < wanted {
+            scratch.next.push(BeamHypothesis {
+                digits: Vec::new(),
+                log_prob: 0.0,
+            });
+        }
+        let mut slot = scratch.next.iter_mut();
+        for beam in &scratch.beams {
+            for (d, &p) in row.iter().enumerate() {
+                let hyp = slot.next().expect("sized above");
+                hyp.digits.clear();
+                hyp.digits.extend_from_slice(&beam.digits);
+                hyp.digits.push(d as u8);
+                hyp.log_prob = beam.log_prob + p.max(1e-9).ln();
+            }
+        }
+        scratch
+            .next
+            .sort_by(|a, b| b.log_prob.total_cmp(&a.log_prob));
+        // Swap the top-k into the frontier element-wise: the frontier's old
+        // digit buffers land back in `next`'s slots, so no allocation is
+        // ever dropped.
+        let keep = k.min(scratch.next.len());
+        while scratch.beams.len() < keep {
+            scratch.beams.push(BeamHypothesis {
+                digits: Vec::new(),
+                log_prob: 0.0,
+            });
+        }
+        scratch.beams.truncate(keep);
+        for (beam, top) in scratch.beams.iter_mut().zip(scratch.next.iter_mut()) {
+            std::mem::swap(beam, top);
+        }
+    }
+    scratch.beams.clone()
 }
 
 /// Converts a metric's continuous ground truth into the integer domain the
@@ -296,10 +386,67 @@ mod tests {
     }
 
     #[test]
+    fn final_confidence_empty_digits_is_zero() {
+        // Regression: indexed `digits[0]` on an empty slice and panicked.
+        let dist = DigitDistribution::new(10, vec![one_hot(1, 0.9)]);
+        assert_eq!(dist.final_confidence(&[]), 0.0);
+        let empty = DigitDistribution::new(10, Vec::new());
+        assert_eq!(empty.final_confidence(&[]), 0.0);
+        assert_eq!(empty.mean_confidence(&[]), 0.0);
+    }
+
+    #[test]
+    fn nan_logits_decode_gracefully() {
+        // Regression: `partial_cmp(..).expect("finite")` panicked the whole
+        // eval when a degenerate forward pass produced NaN probabilities.
+        let mut poisoned = vec![0.1f32; 10];
+        poisoned[3] = f32::NAN;
+        let dist = DigitDistribution::new(10, vec![poisoned, vec![f32::NAN; 10], one_hot(4, 0.9)]);
+        let digits = dist.greedy();
+        assert_eq!(digits.len(), 3);
+        assert!(digits.iter().all(|&d| (d as u32) < 10), "digits in base");
+        assert_eq!(digits[2], 4, "healthy positions still decode by argmax");
+        let beams = beam_search(&dist, 4);
+        assert_eq!(beams.len(), 4);
+        for hyp in &beams {
+            assert_eq!(hyp.digits.len(), 3);
+            assert!(hyp.digits.iter().all(|&d| (d as u32) < 10));
+        }
+        // Confidence accessors stay total too.
+        let _ = dist.final_confidence(&digits);
+        let _ = dist.mean_confidence(&digits);
+    }
+
+    #[test]
     fn mean_confidence_is_geometric() {
         let dist = DigitDistribution::new(10, vec![one_hot(0, 0.25), one_hot(0, 1.0)]);
         let m = dist.mean_confidence(&[0, 0]);
         assert!((m - 0.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn beam_search_with_scratch_is_exactly_equal() {
+        // The scratch-backed search must return hypotheses exactly equal to
+        // the allocating one (same digits, same log-prob bits), including
+        // when the scratch is reused across differently shaped searches.
+        let mut scratch = BeamScratch::new();
+        let dists = [
+            DigitDistribution::new(10, vec![one_hot(6, 0.8), one_hot(5, 0.9), one_hot(5, 0.7)]),
+            DigitDistribution::new(10, vec![one_hot(0, 0.4); 5]),
+            DigitDistribution::new(10, vec![vec![0.1; 10]; 2]),
+            DigitDistribution::new(10, Vec::new()),
+            DigitDistribution::new(10, vec![vec![f32::NAN; 10], one_hot(3, 0.6)]),
+        ];
+        for dist in &dists {
+            for k in [1usize, 2, 4, 7] {
+                assert_eq!(
+                    beam_search_with(dist, k, &mut scratch),
+                    beam_search(dist, k),
+                    "k={k} width={}",
+                    dist.width()
+                );
+            }
+        }
     }
 
     #[test]

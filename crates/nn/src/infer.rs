@@ -18,12 +18,16 @@
 //!   reachable (per mask) from changed tokens.
 //!
 //! [`encode_batch`] fans [`forward`] out across scoped threads for batch
-//! workloads.
+//! workloads, and [`forward_packed`] adds batch-level kernel fusion on top:
+//! a group of same-length sequences is packed into one activation matrix so
+//! each per-layer projection runs as a single blocked GEMM for the whole
+//! group (attention stays block-diagonal), bit-identical per sample to
+//! [`forward`].
 
 use crate::graph::ParamStore;
 use crate::matrix::{softmax_slice, Matrix};
 use crate::scratch::Scratch;
-use crate::transformer::Transformer;
+use crate::transformer::{clamp_token, Transformer};
 
 /// Threshold below which a mask entry is considered "blocked".
 const MASK_BLOCKED: f32 = -1e8;
@@ -184,13 +188,49 @@ fn attention_head(
     // head_out = scores × v[:, off..off+hd] through the blocked kernel on a
     // materialized head slice — the same structure (and bit pattern) as the
     // tape's slice_cols + matmul.
-    for i in 0..n {
-        vh.row_mut(i).copy_from_slice(&v.row(i)[off..off + hd]);
-    }
+    v.gather_block_into(0, n, off, hd, vh);
     scores.matmul_into(vh, head_out);
+    cat.scatter_block_from(0, off, head_out);
+}
+
+/// [`attention_head`] for one sample's `n`-row block starting at `base`
+/// inside a packed group matrix (mask-free, the batch-prediction case).
+/// Identical per-element operations in identical order, so the block's
+/// output is bit-identical to [`attention_head`] on that sample alone.
+#[allow(clippy::too_many_arguments)]
+fn attention_head_packed(
+    q: &Matrix,
+    k: &Matrix,
+    v: &Matrix,
+    base: usize,
+    n: usize,
+    off: usize,
+    hd: usize,
+    scale: f32,
+    scores: &mut Matrix,
+    vh: &mut Matrix,
+    head_out: &mut Matrix,
+    cat: &mut Matrix,
+) {
     for i in 0..n {
-        cat.row_mut(i)[off..off + hd].copy_from_slice(head_out.row(i));
+        let qr = &q.row(base + i)[off..off + hd];
+        let sr = scores.row_mut(i);
+        let mut mx = f32::NEG_INFINITY;
+        for (j, s) in sr.iter_mut().enumerate() {
+            let kr = &k.row(base + j)[off..off + hd];
+            let mut acc = 0.0f32;
+            for (&qv, &kv) in qr.iter().zip(kr) {
+                acc += qv * kv;
+            }
+            let sv = acc * scale;
+            mx = mx.max(sv);
+            *s = sv;
+        }
+        crate::matrix::softmax_slice_with_max(sr, mx);
     }
+    v.gather_block_into(base, base + n, off, hd, vh);
+    scores.matmul_into(vh, head_out);
+    cat.scatter_block_from(base, off, head_out);
 }
 
 /// Full-sequence forward pass on the blocked kernels, allocation-free via
@@ -219,7 +259,7 @@ pub fn forward(
     let ids: Vec<usize> = tokens
         .iter()
         .take(n)
-        .map(|&tok| (tok as usize).min(cfg.vocab_size - 1))
+        .map(|&tok| clamp_token(tok, cfg.vocab_size))
         .collect();
     if let Some(m) = mask {
         assert_eq!(m.shape(), (ids.len(), ids.len()), "mask shape");
@@ -314,14 +354,155 @@ pub fn forward(
         &mut seq,
     );
     let mut pooled = scratch.matrix(1, d);
-    for i in 0..n {
-        for (o, &sv) in pooled.row_mut(0).iter_mut().zip(seq.row(i)) {
-            *o += sv;
+    seq.mean_rows_block_into(0, n, pooled.row_mut(0));
+    for m in [x, ln, q, k, v, scores, vh, head_out, cat, proj, hidden, ffn] {
+        scratch.recycle(m);
+    }
+    (seq, pooled)
+}
+
+/// Fused batch forward pass over a group of sequences sharing one effective
+/// (truncated) length `n`: all `B` samples are packed row-wise into a single
+/// `B·n × d` activation matrix and every per-layer projection (`q`/`k`/`v`,
+/// `wo`, and both FFN matmuls) runs as **one** blocked GEMM for the whole
+/// group instead of one per sample. Attention itself stays block-diagonal —
+/// each sample's rows only attend within their own block — so no
+/// cross-sample term is ever computed.
+///
+/// Returns `(seq, pooled)` where `seq` is the packed `B·n × d` per-token
+/// matrix (sample `s` owns rows `s·n .. (s+1)·n`) and `pooled` is `B × d`
+/// with one mean-pooled row per sample. Because every kernel preserves the
+/// per-element accumulation order of the per-sample path, row `s` of
+/// `pooled` (and sample `s`'s block of `seq`) is bit-identical to
+/// [`forward`] on that sample alone, for any group size.
+///
+/// Recycle both returned matrices into `scratch` to keep steady-state
+/// batch inference allocation-free.
+///
+/// # Panics
+///
+/// Panics if `seqs` is empty or the sequences' effective lengths
+/// ([`crate::TransformerConfig::effective_len`]) differ — group mixed-length
+/// batches with `llmulator`'s length partitioner first.
+pub fn forward_packed(
+    t: &Transformer,
+    store: &ParamStore,
+    seqs: &[&[u32]],
+    scratch: &mut Scratch,
+) -> (Matrix, Matrix) {
+    let raw = t.raw();
+    let cfg = raw.config;
+    let b = seqs.len();
+    assert!(b > 0, "forward_packed needs at least one sequence");
+    let n = cfg.effective_len(seqs[0].len());
+    let mut ids = Vec::with_capacity(b * n);
+    for s in seqs {
+        assert_eq!(
+            cfg.effective_len(s.len()),
+            n,
+            "forward_packed requires equal effective lengths"
+        );
+        ids.extend(
+            s.iter()
+                .take(n)
+                .map(|&tok| clamp_token(tok, cfg.vocab_size)),
+        );
+    }
+    let rows = b * n;
+    let d = cfg.d_model;
+    let heads = cfg.n_heads;
+    let hd = d / heads;
+
+    // ---- embeddings (sample s owns rows s·n .. (s+1)·n) ----
+    let tok_table = store.get(raw.tok_embed);
+    let pos_table = store.get(raw.pos_embed);
+    let mut x = scratch.matrix(rows, d);
+    for (r, &id) in ids.iter().enumerate() {
+        for ((o, &tv), &pv) in x
+            .row_mut(r)
+            .iter_mut()
+            .zip(tok_table.row(id))
+            .zip(pos_table.row(r % n))
+        {
+            *o = tv + pv;
         }
     }
-    let inv = 1.0 / n.max(1) as f32;
-    for o in pooled.row_mut(0).iter_mut() {
-        *o *= inv;
+
+    // ---- layers: one GEMM per projection for the whole group ----
+    let mut ln = scratch.matrix(rows, d);
+    let mut q = scratch.matrix(rows, d);
+    let mut k = scratch.matrix(rows, d);
+    let mut v = scratch.matrix(rows, d);
+    let mut scores = scratch.matrix(n, n);
+    let mut vh = scratch.matrix(n, hd);
+    let mut head_out = scratch.matrix(n, hd);
+    let mut cat = scratch.matrix(rows, d);
+    let mut proj = scratch.matrix(rows, d);
+    let mut hidden = scratch.matrix(rows, cfg.d_ff);
+    let mut ffn = scratch.matrix(rows, d);
+    let scale = 1.0 / (hd as f32).sqrt();
+    for layer in raw.layers {
+        let idsl = layer.ids();
+        // Attention sub-block (pre-norm).
+        layer_norm_into(
+            &x,
+            store.get(idsl.ln1_gain),
+            store.get(idsl.ln1_bias),
+            &mut ln,
+        );
+        ln.matmul_into(store.get(idsl.wq), &mut q);
+        ln.matmul_into(store.get(idsl.wk), &mut k);
+        ln.matmul_into(store.get(idsl.wv), &mut v);
+        for s in 0..b {
+            for h in 0..heads {
+                attention_head_packed(
+                    &q,
+                    &k,
+                    &v,
+                    s * n,
+                    n,
+                    h * hd,
+                    hd,
+                    scale,
+                    &mut scores,
+                    &mut vh,
+                    &mut head_out,
+                    &mut cat,
+                );
+            }
+        }
+        cat.matmul_into(store.get(idsl.wo), &mut proj);
+        x.add_assign(&proj);
+        // Feed-forward sub-block (pre-norm).
+        layer_norm_into(
+            &x,
+            store.get(idsl.ln2_gain),
+            store.get(idsl.ln2_bias),
+            &mut ln,
+        );
+        ln.matmul_into(store.get(idsl.w1), &mut hidden);
+        hidden.bias_relu(store.get(idsl.b1));
+        hidden.matmul_into(store.get(idsl.w2), &mut ffn);
+        let b2 = store.get(idsl.b2);
+        for i in 0..rows {
+            for ((o, &hv), &bv) in x.row_mut(i).iter_mut().zip(ffn.row(i)).zip(b2.row(0)) {
+                // Same association as the tape: x + (ffn + b2).
+                *o += hv + bv;
+            }
+        }
+    }
+
+    // ---- final layer norm + per-sample pooling ----
+    let mut seq = scratch.matrix(rows, d);
+    layer_norm_into(
+        &x,
+        store.get(raw.final_gain),
+        store.get(raw.final_bias),
+        &mut seq,
+    );
+    let mut pooled = scratch.matrix(b, d);
+    for s in 0..b {
+        seq.mean_rows_block_into(s * n, (s + 1) * n, pooled.row_mut(s));
     }
     for m in [x, ln, q, k, v, scores, vh, head_out, cat, proj, hidden, ffn] {
         scratch.recycle(m);
@@ -389,7 +570,7 @@ pub fn encode_naive(
     let ids: Vec<usize> = tokens
         .iter()
         .take(n)
-        .map(|&tok| (tok as usize).min(cfg.vocab_size - 1))
+        .map(|&tok| clamp_token(tok, cfg.vocab_size))
         .collect();
     if let Some(m) = mask {
         assert_eq!(m.shape(), (ids.len(), ids.len()), "mask shape");
@@ -524,7 +705,7 @@ pub fn encode_cached_with(
     let ids: Vec<usize> = tokens
         .iter()
         .take(n)
-        .map(|&tok| (tok as usize).min(cfg.vocab_size - 1))
+        .map(|&tok| clamp_token(tok, cfg.vocab_size))
         .collect();
     if let Some(m) = mask {
         assert_eq!(m.shape(), (ids.len(), ids.len()), "mask shape");
@@ -879,6 +1060,103 @@ mod tests {
                 assert_eq!(bp.data(), sp.data(), "threads={threads}");
             }
         }
+    }
+
+    #[test]
+    fn forward_packed_is_bit_identical_to_forward_any_group_size() {
+        let (t, store) = setup();
+        let d = t.config().d_model;
+        for group in [1usize, 2, 3, 5, 8] {
+            let seqs: Vec<Vec<u32>> = (0..group)
+                .map(|s| (0..6).map(|j| ((s * 13 + j * 7) % 40) as u32).collect())
+                .collect();
+            let refs: Vec<&[u32]> = seqs.iter().map(Vec::as_slice).collect();
+            let mut scratch = Scratch::new();
+            let (seq, pooled) = forward_packed(&t, &store, &refs, &mut scratch);
+            assert_eq!(seq.shape(), (group * 6, d));
+            assert_eq!(pooled.shape(), (group, d));
+            for (s, tokens) in seqs.iter().enumerate() {
+                let (es, ep) = forward(&t, &store, tokens, None, &mut scratch);
+                for i in 0..6 {
+                    assert_eq!(
+                        seq.row(s * 6 + i),
+                        es.row(i),
+                        "group={group} sample={s} row={i}"
+                    );
+                }
+                assert_eq!(pooled.row(s), ep.row(0), "group={group} sample={s}");
+                scratch.recycle(es);
+                scratch.recycle(ep);
+            }
+        }
+    }
+
+    #[test]
+    fn forward_packed_truncates_like_forward() {
+        let (t, store) = setup();
+        // Longer than max_len (32): both sequences truncate to the same
+        // effective length and pack together.
+        let long: Vec<u32> = (0..50).map(|i| i % 30).collect();
+        let longer: Vec<u32> = (0..64).map(|i| (i * 3) % 30).collect();
+        let refs: Vec<&[u32]> = vec![&long, &longer];
+        let mut scratch = Scratch::new();
+        let (seq, pooled) = forward_packed(&t, &store, &refs, &mut scratch);
+        assert_eq!(seq.rows(), 2 * 32);
+        for (s, tokens) in [&long, &longer].iter().enumerate() {
+            let (_, ep) = forward(&t, &store, tokens, None, &mut scratch);
+            assert_eq!(pooled.row(s), ep.row(0), "sample {s}");
+        }
+    }
+
+    #[test]
+    fn forward_packed_handles_empty_sequences() {
+        let (t, store) = setup();
+        let refs: Vec<&[u32]> = vec![&[], &[]];
+        let mut scratch = Scratch::new();
+        let (seq, pooled) = forward_packed(&t, &store, &refs, &mut scratch);
+        assert_eq!(seq.rows(), 0);
+        assert_eq!(pooled.shape(), (2, t.config().d_model));
+        let (_, ep) = forward(&t, &store, &[], None, &mut scratch);
+        for s in 0..2 {
+            assert_eq!(pooled.row(s), ep.row(0), "empty sample {s}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "equal effective lengths")]
+    fn forward_packed_rejects_mixed_lengths() {
+        let (t, store) = setup();
+        let refs: Vec<&[u32]> = vec![&[1, 2, 3], &[1, 2]];
+        let mut scratch = Scratch::new();
+        let _ = forward_packed(&t, &store, &refs, &mut scratch);
+    }
+
+    #[test]
+    fn forward_packed_clamps_out_of_vocab_tokens() {
+        let (t, store) = setup();
+        let vocab = t.config().vocab_size as u32;
+        let wild: Vec<u32> = vec![3, 9_999_999, 1, u32::MAX];
+        let clamped: Vec<u32> = wild.iter().map(|&x| x.min(vocab - 1)).collect();
+        let mut scratch = Scratch::new();
+        let (_, wild_pooled) = forward_packed(&t, &store, &[&wild], &mut scratch);
+        let (_, clamped_pooled) = forward_packed(&t, &store, &[&clamped], &mut scratch);
+        assert_eq!(wild_pooled.data(), clamped_pooled.data());
+    }
+
+    #[test]
+    fn forward_packed_reuses_scratch_allocations() {
+        let (t, store) = setup();
+        let seqs: Vec<Vec<u32>> = (0..4).map(|s| vec![s as u32 + 1; 5]).collect();
+        let refs: Vec<&[u32]> = seqs.iter().map(Vec::as_slice).collect();
+        let mut scratch = Scratch::new();
+        let (seq, pooled) = forward_packed(&t, &store, &refs, &mut scratch);
+        scratch.recycle(seq);
+        scratch.recycle(pooled);
+        let before = scratch.pooled();
+        let (seq, pooled) = forward_packed(&t, &store, &refs, &mut scratch);
+        scratch.recycle(seq);
+        scratch.recycle(pooled);
+        assert_eq!(scratch.pooled(), before, "steady state pools buffers");
     }
 
     #[test]

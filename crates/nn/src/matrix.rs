@@ -337,6 +337,78 @@ impl Matrix {
         }
     }
 
+    /// Copies column block `off..off+width` of rows `lo..hi` into `out`
+    /// (reshaped to `(hi-lo) × width`) — the batched head-slice gather the
+    /// attention kernels use to materialize one sample's `q`/`v` columns
+    /// out of a (possibly packed multi-sample) activation matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row range or column block is out of bounds.
+    pub fn gather_block_into(
+        &self,
+        lo: usize,
+        hi: usize,
+        off: usize,
+        width: usize,
+        out: &mut Matrix,
+    ) {
+        assert!(lo <= hi && hi <= self.rows, "gather_block_into rows");
+        assert!(off + width <= self.cols, "gather_block_into cols");
+        out.resize_buf_overwrite(hi - lo, width);
+        for (dst, i) in (lo..hi).enumerate() {
+            out.row_mut(dst)
+                .copy_from_slice(&self.row(i)[off..off + width]);
+        }
+    }
+
+    /// Inverse of [`Matrix::gather_block_into`]: writes `src`
+    /// (`n × width`) into the column block starting at `off` of rows
+    /// `lo..lo+n` — the batched head-output scatter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row range or column block is out of bounds.
+    pub fn scatter_block_from(&mut self, lo: usize, off: usize, src: &Matrix) {
+        let width = src.cols;
+        assert!(lo + src.rows <= self.rows, "scatter_block_from rows");
+        assert!(off + width <= self.cols, "scatter_block_from cols");
+        for i in 0..src.rows {
+            self.row_mut(lo + i)[off..off + width].copy_from_slice(src.row(i));
+        }
+    }
+
+    /// Mean of rows `lo..hi` written into `out` (length `cols`): rows are
+    /// accumulated in index order and scaled by `1 / (hi-lo)` afterwards —
+    /// the exact operation order of the encoder's mean pooling, applied to
+    /// one sample's row block of a packed matrix. An empty range writes
+    /// zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row range is out of bounds or `out` has the wrong
+    /// length.
+    pub fn mean_rows_block_into(&self, lo: usize, hi: usize, out: &mut [f32]) {
+        assert!(lo <= hi && hi <= self.rows, "mean_rows_block_into rows");
+        assert_eq!(out.len(), self.cols, "mean_rows_block_into width");
+        out.fill(0.0);
+        for i in lo..hi {
+            for (o, &sv) in out.iter_mut().zip(self.row(i)) {
+                *o += sv;
+            }
+        }
+        let inv = 1.0 / (hi - lo).max(1) as f32;
+        for o in out.iter_mut() {
+            *o *= inv;
+        }
+    }
+
+    /// Allocated capacity of the backing buffer, in elements (used by the
+    /// scratch arena's best-fit buffer selection).
+    pub(crate) fn capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
     /// Naive ikj matrix product — retained as the test oracle (and perf
     /// baseline) for [`Matrix::matmul_into`].
     pub fn matmul_naive(&self, other: &Matrix) -> Matrix {
@@ -597,6 +669,54 @@ mod tests {
                 "tn {m}x{k}x{n}"
             );
         }
+    }
+
+    #[test]
+    fn gather_scatter_block_round_trips() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let src = Matrix::randn(9, 12, 1.0, &mut rng);
+        let mut block = Matrix::from_fn(2, 2, |_, _| f32::NAN); // stale reuse
+        src.gather_block_into(3, 7, 4, 5, &mut block);
+        assert_eq!(block.shape(), (4, 5));
+        for i in 0..4 {
+            assert_eq!(block.row(i), &src.row(3 + i)[4..9]);
+        }
+        let mut dst = Matrix::zeros(9, 12);
+        dst.scatter_block_from(3, 4, &block);
+        for i in 0..4 {
+            assert_eq!(&dst.row(3 + i)[4..9], block.row(i));
+            assert!(dst.row(3 + i)[..4].iter().all(|&v| v == 0.0));
+        }
+        // Empty range gathers an empty matrix.
+        src.gather_block_into(5, 5, 0, 3, &mut block);
+        assert_eq!(block.shape(), (0, 3));
+    }
+
+    #[test]
+    fn mean_rows_block_matches_manual_pooling() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let m = Matrix::randn(8, 6, 1.0, &mut rng);
+        let mut out = vec![f32::NAN; 6];
+        m.mean_rows_block_into(2, 7, &mut out);
+        for (c, &o) in out.iter().enumerate() {
+            // Same order: accumulate rows in index order, then scale.
+            let mut acc = 0.0f32;
+            for i in 2..7 {
+                acc += m.get(i, c);
+            }
+            assert_eq!(o, acc * (1.0 / 5.0));
+        }
+        // Empty block → zeros (no division by zero).
+        m.mean_rows_block_into(4, 4, &mut out);
+        assert!(out.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "gather_block_into cols")]
+    fn gather_block_checks_bounds() {
+        let m = Matrix::zeros(4, 4);
+        let mut out = Matrix::zeros(0, 0);
+        m.gather_block_into(0, 4, 2, 3, &mut out);
     }
 
     #[test]

@@ -41,6 +41,32 @@ impl TransformerConfig {
             max_len: 32,
         }
     }
+
+    /// Effective sequence length for a raw token count: the number of rows
+    /// every encoder path (tape, blocked, cached, packed) actually
+    /// processes after truncation to `max_len`.
+    ///
+    /// This is the batch-fusion grouping key: two sequences can share a
+    /// packed per-layer GEMM ([`crate::infer::forward_packed`]) iff their
+    /// effective lengths match.
+    pub fn effective_len(&self, token_count: usize) -> usize {
+        token_count.min(self.max_len)
+    }
+}
+
+/// Clamps a raw token id into the vocabulary: out-of-vocab ids map to the
+/// last vocabulary slot (the tokenizer's ids are always in range; the clamp
+/// guards externally supplied token streams).
+///
+/// # Panics
+///
+/// Panics if `vocab_size` is zero — there is no valid id to clamp to, and
+/// the previous inline `(tok as usize).min(vocab_size - 1)` underflowed to
+/// `usize::MAX` instead, deferring the failure to an opaque out-of-bounds
+/// row index inside the embedding lookup.
+pub(crate) fn clamp_token(tok: u32, vocab_size: usize) -> usize {
+    assert!(vocab_size > 0, "clamp_token: empty vocabulary");
+    (tok as usize).min(vocab_size - 1)
 }
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -165,7 +191,7 @@ impl Transformer {
         let ids: Vec<usize> = tokens
             .iter()
             .take(n)
-            .map(|&t| (t as usize).min(self.config.vocab_size - 1))
+            .map(|&t| clamp_token(t, self.config.vocab_size))
             .collect();
         let pos_ids: Vec<usize> = (0..ids.len()).collect();
         let tok_table = g.param(store, self.tok_embed);
@@ -305,6 +331,34 @@ mod tests {
         let mut store = ParamStore::new();
         let t = Transformer::new(TransformerConfig::tiny(32), &mut store, 42);
         (t, store)
+    }
+
+    #[test]
+    fn clamp_token_pins_out_of_vocab_to_last_slot() {
+        assert_eq!(clamp_token(0, 32), 0);
+        assert_eq!(clamp_token(31, 32), 31);
+        assert_eq!(clamp_token(32, 32), 31, "first out-of-vocab id clamps");
+        assert_eq!(clamp_token(u32::MAX, 32), 31, "any out-of-vocab id clamps");
+        assert_eq!(
+            clamp_token(7, 1),
+            0,
+            "single-token vocab maps everything to 0"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty vocabulary")]
+    fn clamp_token_rejects_empty_vocab() {
+        let _ = clamp_token(0, 0);
+    }
+
+    #[test]
+    fn effective_len_truncates_to_max_len() {
+        let cfg = TransformerConfig::tiny(10);
+        assert_eq!(cfg.effective_len(0), 0);
+        assert_eq!(cfg.effective_len(5), 5);
+        assert_eq!(cfg.effective_len(32), 32);
+        assert_eq!(cfg.effective_len(1000), 32);
     }
 
     #[test]
