@@ -9,11 +9,11 @@
 
 use crate::ir_analysis;
 use llmulator::{
-    CacheStats, CostModel, DatasetCache, DigitCodec, ModelScale, NumericPredictor, PredictorConfig,
-    Sample, TrainOptions,
+    CacheStats, CostModel, DatasetCache, DigitCodec, Error, ModelScale, NumericPredictor,
+    PredictorConfig, Sample, TrainOptions,
 };
 use llmulator_baselines::{Gnnhls, TensetMlp, Timeloop, Tlp};
-use llmulator_eval::{mape_on, Table};
+use llmulator_eval::{try_mape_on, Table};
 use llmulator_ir::{InputData, Program};
 use llmulator_sim::Metric;
 use llmulator_synth::{synthesize_cached, DataFormat, SynthesisConfig};
@@ -24,9 +24,8 @@ use std::path::PathBuf;
 
 /// `profile`: run the HLS + cycle-simulation substrate and print the cost
 /// vector plus the RTL-level `<think>` features.
-pub fn profile(program: &Program, data: &InputData) -> Result<String, String> {
-    let profile =
-        llmulator_sim::profile(program, data).map_err(|e| format!("simulation failed: {e}"))?;
+pub fn profile(program: &Program, data: &InputData) -> Result<String, Error> {
+    let profile = llmulator_sim::profile(program, data).map_err(Error::from)?;
     let mut out = String::new();
     let _ = writeln!(out, "power  : {:.3} mW", profile.cost.power_mw);
     let _ = writeln!(out, "area   : {:.0} um^2", profile.cost.area_um2);
@@ -44,7 +43,7 @@ pub fn profile(program: &Program, data: &InputData) -> Result<String, String> {
 }
 
 /// `stats`: Table 2 style statistics for a program.
-pub fn stats(program: &Program) -> Result<String, String> {
+pub fn stats(program: &Program) -> Result<String, Error> {
     let graph_len = program.render_graph().chars().count();
     let op_len = program.render_operators().chars().count();
     let all_len = program.render().chars().count();
@@ -59,7 +58,7 @@ pub fn stats(program: &Program) -> Result<String, String> {
 }
 
 /// `classify`: per-operator Class I/II report.
-pub fn classify(program: &Program) -> Result<String, String> {
+pub fn classify(program: &Program) -> Result<String, Error> {
     let report = ir_analysis::analyze_program(program);
     let mut out = String::new();
     for r in &report.operators {
@@ -80,7 +79,7 @@ pub fn classify(program: &Program) -> Result<String, String> {
 }
 
 /// `normalize`: run the normalization pass and print the rewritten text.
-pub fn normalize(mut program: Program) -> Result<String, String> {
+pub fn normalize(mut program: Program) -> Result<String, Error> {
     let rewrites = llmulator_ir::normalize_program(&mut program);
     let mut out = String::new();
     let _ = writeln!(out, "// {rewrites} rewrites applied");
@@ -89,11 +88,11 @@ pub fn normalize(mut program: Program) -> Result<String, String> {
 }
 
 /// `synthesize`: generate labelled samples and print them as JSON lines.
-pub fn synthesize(count: usize, seed: u64, format: &str) -> Result<String, String> {
+pub fn synthesize(count: usize, seed: u64, format: &str) -> Result<String, Error> {
     let fmt = match format {
         "direct" => llmulator_synth::DataFormat::Direct,
         "reasoning" => llmulator_synth::DataFormat::Reasoning,
-        other => return Err(format!("unknown format `{other}`")),
+        other => return Err(Error::InvalidArgument(format!("unknown format `{other}`"))),
     };
     let mut config = llmulator_synth::SynthesisConfig::paper_mix(count, seed);
     config.format = fmt;
@@ -199,13 +198,15 @@ fn cache_line(hit: bool, path: &std::path::Path) -> String {
 
 /// `train`: synthesize (or load from cache) the labelled dataset, fit the
 /// numeric predictor, and save it atomically to `--out`.
-pub fn train(a: &TrainArgs) -> Result<String, String> {
+pub fn train(a: &TrainArgs) -> Result<String, Error> {
     let config = synthesis_config(a.samples, a.seed, a.format);
     let cache = DatasetCache::new(&a.cache_dir);
-    let (dataset, hit) =
-        synthesize_cached(&config, &cache).map_err(|e| format!("dataset cache failed: {e}"))?;
+    let (dataset, hit) = synthesize_cached(&config, &cache)
+        .map_err(|e| Error::from(e).context("dataset cache failed"))?;
     if dataset.is_empty() {
-        return Err("synthesis produced no samples (try a larger --samples)".into());
+        return Err(Error::InvalidArgument(
+            "synthesis produced no samples (try a larger --samples)".into(),
+        ));
     }
     let mut model = NumericPredictor::new(PredictorConfig {
         scale: a.scale,
@@ -217,7 +218,7 @@ pub fn train(a: &TrainArgs) -> Result<String, String> {
     let curve = model.fit(&dataset, train_options(a.epochs, a.batch, a.threads));
     model
         .save(&a.out)
-        .map_err(|e| format!("cannot save model `{}`: {e}", a.out.display()))?;
+        .map_err(|e| Error::from(e).context(format!("cannot save model `{}`", a.out.display())))?;
 
     let mut out = String::new();
     out.push_str(&cache_line(
@@ -238,7 +239,7 @@ pub fn train(a: &TrainArgs) -> Result<String, String> {
 }
 
 /// Resolves `--suite`: a named suite, `all`, or a single workload name.
-fn suite_workloads(suite: &str, limit: usize) -> Result<Vec<Workload>, String> {
+fn suite_workloads(suite: &str, limit: usize) -> Result<Vec<Workload>, Error> {
     let mut ws = match suite {
         "polybench" => polybench::all(),
         "modern" => modern::all(),
@@ -255,9 +256,9 @@ fn suite_workloads(suite: &str, limit: usize) -> Result<Vec<Workload>, String> {
             v.extend(accelerators::all());
             v.retain(|w| w.name == name);
             if v.is_empty() {
-                return Err(format!(
+                return Err(Error::InvalidArgument(format!(
                     "unknown suite `{name}` (expected polybench|modern|accelerators|all or a workload name)"
-                ));
+                )));
             }
             v
         }
@@ -271,12 +272,12 @@ fn suite_workloads(suite: &str, limit: usize) -> Result<Vec<Workload>, String> {
 /// `eval`: load a trained model, profile the evaluation workloads through
 /// the profile cache (a second run re-simulates nothing), and render one
 /// MAPE table per metric — optionally against freshly fitted baselines.
-pub fn eval(a: &EvalArgs) -> Result<String, String> {
+pub fn eval(a: &EvalArgs) -> Result<String, Error> {
     let model = NumericPredictor::load(&a.model).map_err(|e| {
-        format!(
-            "cannot load model `{}`: {e} (run `llmulator train` first)",
+        Error::from(e).context(format!(
+            "cannot load model `{}` (run `llmulator train` first)",
             a.model.display()
-        )
+        ))
     })?;
     let model_params = model.param_count();
     let cache = DatasetCache::new(&a.cache_dir);
@@ -308,7 +309,9 @@ pub fn eval(a: &EvalArgs) -> Result<String, String> {
         }
     }
     if suites.is_empty() {
-        return Err("no evaluation workloads produced samples".into());
+        return Err(Error::InvalidRequest(
+            "no evaluation workloads produced samples".into(),
+        ));
     }
 
     // The model roster: ours, plus baselines fitted on the cached dataset.
@@ -316,14 +319,14 @@ pub fn eval(a: &EvalArgs) -> Result<String, String> {
     let mut models: Vec<(&str, Box<dyn CostModel>)> = vec![("Ours", Box::new(model))];
     if a.baselines {
         let config = synthesis_config(a.samples, a.seed, a.format);
-        let (train_ds, hit) =
-            synthesize_cached(&config, &cache).map_err(|e| format!("dataset cache failed: {e}"))?;
+        let (train_ds, hit) = synthesize_cached(&config, &cache)
+            .map_err(|e| Error::from(e).context("dataset cache failed"))?;
         if train_ds.is_empty() {
-            return Err(
+            return Err(Error::InvalidArgument(
                 "baseline training dataset is empty (try a larger --samples; it must match the \
                  value passed to `train` to reuse its cache)"
                     .into(),
-            );
+            ));
         }
         dataset_line = Some(cache_line(
             hit,
@@ -356,7 +359,8 @@ pub fn eval(a: &EvalArgs) -> Result<String, String> {
         for (name, samples) in &suites {
             let mut cells = vec![name.clone()];
             for (mi, (_, m)) in models.iter().enumerate() {
-                let v = mape_on(m.as_ref(), samples, metric);
+                let v = try_mape_on(m.as_ref(), samples, metric)
+                    .map_err(|e| e.context(format!("prediction failed on suite `{name}`")))?;
                 sums[mi] += v;
                 cells.push(Table::pct(v));
             }
@@ -578,7 +582,16 @@ pub(crate) mod tests {
     fn eval_without_model_explains_the_fix() {
         let dir = unique_dir("nomodel");
         let err = eval(&tiny_eval_args(&dir)).expect_err("no model on disk");
-        assert!(err.contains("llmulator train"), "hint present: {err}");
+        let chain = err.chain();
+        assert!(chain.contains("llmulator train"), "hint present: {chain}");
+        assert!(
+            chain.contains("caused by:"),
+            "exit message carries the source chain: {chain}"
+        );
+        assert!(
+            chain.contains("i/o failed"),
+            "root cause is the filesystem error: {chain}"
+        );
     }
 
     #[test]

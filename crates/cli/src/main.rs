@@ -8,21 +8,34 @@
 //! llmulator synthesize [--count N] [--seed S]             dataset synthesis
 //! llmulator train [--samples N] [--seed S] [--out M]      fit + save a predictor
 //! llmulator eval  [--model M] [--suite S] [--baselines]   MAPE tables
+//! llmulator serve [--model M] [--threads T]               JSONL prediction daemon
 //! ```
 //!
 //! Programs use the C-like surface syntax produced by the IR renderer (see
 //! `llmulator-ir`); `train`/`eval` drive the full paper loop — cached dataset
 //! synthesis, predictor fitting, model persistence and MAPE tables — without
-//! writing any Rust (see `commands::train` / `commands::eval`).
+//! writing any Rust (see `commands::train` / `commands::eval`), and `serve`
+//! turns the trained model into a long-lived prediction daemon speaking one
+//! JSON request/response per line over stdin/stdout (see `serve`).
+//!
+//! Every failure is a typed [`llmulator::Error`]; exit messages render the
+//! full `caused by:` source chain instead of a flattened string.
 
+use llmulator::Error;
 use llmulator_ir::{analysis, parse, InputData, Program};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 mod commands;
+mod serve;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("serve") {
+        // `serve` streams responses incrementally instead of returning one
+        // output string, so it owns its stdout loop.
+        return serve::run(&args);
+    }
     match run(&args) {
         Ok(output) => {
             // Tolerate a closed stdout (`llmulator ... | head` must not
@@ -38,10 +51,15 @@ fn main() -> ExitCode {
                 }
             }
         }
-        Err(message) => {
+        Err(error) => {
             use std::io::Write;
             let mut err = std::io::stderr();
-            let _ = writeln!(err, "error: {message}\n\n{USAGE}");
+            let _ = writeln!(err, "error: {}", error.chain());
+            // Usage helps only when the command line itself was at fault;
+            // a runtime failure's chain should end the output.
+            if error.kind() == "invalid_argument" {
+                let _ = writeln!(err, "\n{USAGE}");
+            }
             ExitCode::FAILURE
         }
     }
@@ -60,7 +78,8 @@ const USAGE: &str = "usage:
   llmulator eval  [--model model.json] [--suite polybench|modern|accelerators|all]
                   [--limit N] [--baselines] [--format direct|reasoning]
                   [--samples N] [--seed S] [--epochs E] [--batch B] [--threads T]
-                  [--cache-dir DIR]";
+                  [--cache-dir DIR]
+  llmulator serve [--model model.json] [--threads T] [--max-batch N]";
 
 /// Every flag that consumes the following argv entry as its value. The
 /// positional scan skips these values, so `llmulator profile --input n=3
@@ -81,6 +100,7 @@ const VALUE_FLAGS: &[&str] = &[
     "--model",
     "--suite",
     "--limit",
+    "--max-batch",
 ];
 
 /// Flags each subcommand accepts; anything else starting with `--` is an
@@ -112,22 +132,25 @@ const EVAL_FLAGS: &[&str] = &[
     "--threads",
     "--cache-dir",
 ];
+pub(crate) const SERVE_FLAGS: &[&str] = &["--model", "--threads", "--max-batch"];
 
 /// Rejects any `--flag` the command does not accept. Flag *values* never
 /// start with `--` (see [`flag_value`]), so scanning every argv entry is
 /// sound.
-fn check_flags(args: &[String], command: &str, allowed: &[&str]) -> Result<(), String> {
+pub(crate) fn check_flags(args: &[String], command: &str, allowed: &[&str]) -> Result<(), Error> {
     for a in args.iter().skip(1) {
         if a.starts_with("--") && !allowed.contains(&a.as_str()) {
-            return Err(format!("unknown flag `{a}` for `{command}`"));
+            return Err(Error::InvalidArgument(format!(
+                "unknown flag `{a}` for `{command}`"
+            )));
         }
     }
     Ok(())
 }
 
-fn run(args: &[String]) -> Result<String, String> {
+fn run(args: &[String]) -> Result<String, Error> {
     let Some(command) = args.first() else {
-        return Err("missing command".into());
+        return Err(Error::InvalidArgument("missing command".into()));
     };
     match command.as_str() {
         "profile" => {
@@ -162,11 +185,11 @@ fn run(args: &[String]) -> Result<String, String> {
             check_flags(args, "eval", EVAL_FLAGS)?;
             commands::eval(&parse_eval_args(args)?)
         }
-        other => Err(format!("unknown command `{other}`")),
+        other => Err(Error::InvalidArgument(format!("unknown command `{other}`"))),
     }
 }
 
-fn parse_train_args(args: &[String]) -> Result<commands::TrainArgs, String> {
+fn parse_train_args(args: &[String]) -> Result<commands::TrainArgs, Error> {
     Ok(commands::TrainArgs {
         samples: parse_flag(args, "--samples", 64usize)?,
         seed: parse_flag(args, "--seed", 0u64)?,
@@ -181,7 +204,7 @@ fn parse_train_args(args: &[String]) -> Result<commands::TrainArgs, String> {
     })
 }
 
-fn parse_eval_args(args: &[String]) -> Result<commands::EvalArgs, String> {
+fn parse_eval_args(args: &[String]) -> Result<commands::EvalArgs, Error> {
     Ok(commands::EvalArgs {
         model: PathBuf::from(flag_value(args, "--model")?.unwrap_or("model.json")),
         suite: flag_value(args, "--suite")?
@@ -199,36 +222,39 @@ fn parse_eval_args(args: &[String]) -> Result<commands::EvalArgs, String> {
     })
 }
 
-fn cache_dir(args: &[String]) -> Result<PathBuf, String> {
+fn cache_dir(args: &[String]) -> Result<PathBuf, Error> {
     Ok(flag_value(args, "--cache-dir")?
         .map(PathBuf::from)
         .unwrap_or_else(llmulator::DatasetCache::default_root))
 }
 
-fn parse_format(value: Option<&str>) -> Result<llmulator_synth::DataFormat, String> {
+fn parse_format(value: Option<&str>) -> Result<llmulator_synth::DataFormat, Error> {
     match value.unwrap_or("reasoning") {
         "direct" => Ok(llmulator_synth::DataFormat::Direct),
         "reasoning" => Ok(llmulator_synth::DataFormat::Reasoning),
-        other => Err(format!("unknown format `{other}`")),
+        other => Err(Error::InvalidArgument(format!("unknown format `{other}`"))),
     }
 }
 
-fn parse_scale(value: Option<&str>) -> Result<llmulator::ModelScale, String> {
+fn parse_scale(value: Option<&str>) -> Result<llmulator::ModelScale, Error> {
     match value.unwrap_or("medium") {
         "small" => Ok(llmulator::ModelScale::Small),
         "medium" => Ok(llmulator::ModelScale::Medium),
         "large" => Ok(llmulator::ModelScale::Large),
-        other => Err(format!("unknown scale `{other}`")),
+        other => Err(Error::InvalidArgument(format!("unknown scale `{other}`"))),
     }
 }
 
-fn load_program(args: &[String]) -> Result<Program, String> {
-    let path = positional(args).ok_or("missing program file")?;
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
-    let program = parse::parse_program(&text).map_err(|e| format!("parse failed: {e}"))?;
+fn load_program(args: &[String]) -> Result<Program, Error> {
+    let path =
+        positional(args).ok_or_else(|| Error::InvalidArgument("missing program file".into()))?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| Error::Io(e).context(format!("cannot read `{path}`")))?;
+    let program = parse::parse_program(&text)
+        .map_err(|e| Error::from(e).context(format!("cannot parse `{path}`")))?;
     program
         .validate()
-        .map_err(|e| format!("invalid program: {e}"))?;
+        .map_err(|e| Error::from(e).context(format!("invalid program `{path}`")))?;
     Ok(program)
 }
 
@@ -252,19 +278,21 @@ fn positional(args: &[String]) -> Option<&String> {
     None
 }
 
-fn parse_inputs(args: &[String]) -> Result<InputData, String> {
+fn parse_inputs(args: &[String]) -> Result<InputData, Error> {
     let mut data = InputData::new();
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
         if a == "--input" {
-            let binding = iter.next().ok_or("--input needs name=value")?;
-            let (name, value) = binding
-                .split_once('=')
-                .ok_or_else(|| format!("bad --input `{binding}` (expected name=value)"))?;
+            let binding = iter
+                .next()
+                .ok_or_else(|| Error::InvalidArgument("--input needs name=value".into()))?;
+            let (name, value) = binding.split_once('=').ok_or_else(|| {
+                Error::InvalidArgument(format!("bad --input `{binding}` (expected name=value)"))
+            })?;
             let v: i64 = value
                 .trim()
                 .parse()
-                .map_err(|_| format!("bad value in `{binding}`"))?;
+                .map_err(|_| Error::InvalidArgument(format!("bad value in `{binding}`")))?;
             data.bind(name.trim(), v);
         }
     }
@@ -275,12 +303,14 @@ fn parse_inputs(args: &[String]) -> Result<InputData, String> {
 /// (starts with `--`) is *not* a value: `synthesize --count --seed 9` is a
 /// missing-value error naming `--count`, not a silent attempt to parse
 /// `"--seed"` as the count.
-fn flag_value<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a str>, String> {
+pub(crate) fn flag_value<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a str>, Error> {
     match args.iter().position(|a| a == flag) {
         None => Ok(None),
         Some(i) => match args.get(i + 1) {
             Some(v) if !v.starts_with("--") => Ok(Some(v)),
-            _ => Err(format!("flag `{flag}` requires a value")),
+            _ => Err(Error::InvalidArgument(format!(
+                "flag `{flag}` requires a value"
+            ))),
         },
     }
 }
@@ -292,12 +322,16 @@ fn has_flag(args: &[String], flag: &str) -> bool {
 
 /// Parses `flag`'s value with `FromStr`, falling back to `default` when the
 /// flag is absent.
-fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> Result<T, String> {
+pub(crate) fn parse_flag<T: std::str::FromStr>(
+    args: &[String],
+    flag: &str,
+    default: T,
+) -> Result<T, Error> {
     match flag_value(args, flag)? {
         None => Ok(default),
         Some(v) => v
             .parse()
-            .map_err(|_| format!("invalid value for `{flag}`: `{v}`")),
+            .map_err(|_| Error::InvalidArgument(format!("invalid value for `{flag}`: `{v}`"))),
     }
 }
 
@@ -315,9 +349,9 @@ mod tests {
     #[test]
     fn flag_value_finds_pairs() {
         let args = argv(&["synthesize", "--count", "5", "--seed", "9"]);
-        assert_eq!(flag_value(&args, "--count"), Ok(Some("5")));
-        assert_eq!(flag_value(&args, "--seed"), Ok(Some("9")));
-        assert_eq!(flag_value(&args, "--missing"), Ok(None));
+        assert_eq!(flag_value(&args, "--count").expect("ok"), Some("5"));
+        assert_eq!(flag_value(&args, "--seed").expect("ok"), Some("9"));
+        assert_eq!(flag_value(&args, "--missing").expect("ok"), None);
     }
 
     #[test]
@@ -325,7 +359,9 @@ mod tests {
         // Regression: `--count --seed 9` used to parse `"--seed"` as the
         // count and fail with a confusing "invalid --count" downstream.
         let args = argv(&["synthesize", "--count", "--seed", "9"]);
-        let err = flag_value(&args, "--count").expect_err("missing value");
+        let err = flag_value(&args, "--count")
+            .expect_err("missing value")
+            .to_string();
         assert!(err.contains("--count"), "error names the flag: {err}");
         assert!(err.contains("value"), "error mentions the value: {err}");
         // The same applies when the flag is last on the command line.
@@ -336,8 +372,8 @@ mod tests {
     #[test]
     fn parse_flag_defaults_and_validates() {
         let args = argv(&["synthesize", "--count", "5"]);
-        assert_eq!(parse_flag(&args, "--count", 8usize), Ok(5));
-        assert_eq!(parse_flag(&args, "--seed", 3u64), Ok(3));
+        assert_eq!(parse_flag(&args, "--count", 8usize).expect("ok"), 5);
+        assert_eq!(parse_flag(&args, "--seed", 3u64).expect("ok"), 3);
         let bad = argv(&["synthesize", "--count", "many"]);
         assert!(parse_flag(&bad, "--count", 8usize).is_err());
     }
@@ -369,6 +405,14 @@ mod tests {
     }
 
     #[test]
+    fn load_program_errors_carry_the_cause_chain() {
+        let err = load_program(&argv(&["stats", "/no/such/prog.c"])).expect_err("missing file");
+        let chain = err.chain();
+        assert!(chain.contains("cannot read `/no/such/prog.c`"), "{chain}");
+        assert!(chain.contains("caused by:"), "{chain}");
+    }
+
+    #[test]
     fn parse_inputs_accepts_bindings() {
         let args = argv(&["profile", "f.c", "--input", "n=32", "--input", "m=8"]);
         let data = parse_inputs(&args).expect("parses");
@@ -390,7 +434,7 @@ mod tests {
     #[test]
     fn synthesize_with_missing_count_value_names_the_flag() {
         let args = argv(&["synthesize", "--count", "--seed", "9"]);
-        let err = run(&args).expect_err("missing value");
+        let err = run(&args).expect_err("missing value").to_string();
         assert!(err.contains("--count"), "got: {err}");
     }
 
@@ -398,7 +442,7 @@ mod tests {
     fn unknown_flags_are_rejected_not_ignored() {
         // A typo must not silently run the wrong experiment.
         let typo = argv(&["train", "--epoch", "10"]);
-        let err = run(&typo).expect_err("typo rejected");
+        let err = run(&typo).expect_err("typo rejected").to_string();
         assert!(err.contains("--epoch"), "error names the flag: {err}");
         assert!(err.contains("train"), "error names the command: {err}");
         let stray = argv(&["profile", "prog.c", "--frobnicate"]);
@@ -417,9 +461,22 @@ mod tests {
     }
 
     #[test]
+    fn argument_errors_are_typed_invalid_argument() {
+        for args in [
+            argv(&["frobnicate"]),
+            argv(&["train", "--epoch", "10"]),
+            argv(&["synthesize", "--count", "many"]),
+            argv(&["eval", "--suite"]),
+        ] {
+            let err = run(&args).expect_err("rejected");
+            assert_eq!(err.kind(), "invalid_argument", "{args:?} -> {err}");
+        }
+    }
+
+    #[test]
     fn command_flag_lists_are_value_flag_consistent() {
-        // Every value-taking flag of train/eval must be in VALUE_FLAGS so
-        // the positional scan skips its value (--baselines is boolean).
+        // Every value-taking flag of train/eval/serve must be in VALUE_FLAGS
+        // so the positional scan skips its value (--baselines is boolean).
         for flag in TRAIN_FLAGS {
             assert!(
                 VALUE_FLAGS.contains(flag),
@@ -427,6 +484,12 @@ mod tests {
             );
         }
         for flag in EVAL_FLAGS.iter().filter(|f| **f != "--baselines") {
+            assert!(
+                VALUE_FLAGS.contains(flag),
+                "{flag} missing from VALUE_FLAGS"
+            );
+        }
+        for flag in SERVE_FLAGS {
             assert!(
                 VALUE_FLAGS.contains(flag),
                 "{flag} missing from VALUE_FLAGS"

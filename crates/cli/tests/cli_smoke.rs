@@ -175,3 +175,159 @@ fn paper_loop_runs_from_the_shell_with_cache_reuse() {
     assert!(cache.join("profiles").is_dir(), "profile cache layout");
     std::fs::remove_dir_all(&dir).expect("cleanup");
 }
+
+/// Regression for the typed-error satellite: a nonexistent model path must
+/// exit non-zero with the full `caused by:` source chain, not a flattened
+/// one-line string.
+#[test]
+fn eval_with_missing_model_exits_nonzero_with_the_cause_chain() {
+    let dir = unique_dir("missing_model");
+    let missing = dir.join("no-such-model.json");
+    let out = run(&[
+        "eval",
+        "--model",
+        missing.to_str().expect("utf8"),
+        "--suite",
+        "atax",
+    ]);
+    assert!(!out.status.success(), "missing model must fail");
+    let err = stderr(&out);
+    assert!(err.contains("cannot load model"), "context first: {err}");
+    assert!(
+        err.contains("caused by:"),
+        "exit message renders the source chain: {err}"
+    );
+    assert!(
+        err.contains("i/o failed"),
+        "chain reaches the filesystem cause: {err}"
+    );
+    assert!(
+        err.contains("llmulator train"),
+        "hint survives the migration: {err}"
+    );
+}
+
+/// A model file claiming a future format version is rejected up front with
+/// the typed version error, not a confusing missing-field decode failure.
+#[test]
+fn serve_rejects_a_future_format_version_model() {
+    let dir = unique_dir("future_model");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let model = dir.join("model.json");
+    std::fs::write(&model, r#"{"format_version": 9007, "model": {}}"#).expect("writes");
+    let out = run(&["serve", "--model", model.to_str().expect("utf8")]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(
+        err.contains("unsupported model format version 9007"),
+        "typed version error: {err}"
+    );
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+/// The serve daemon answers a mixed batch of valid and malformed JSONL
+/// requests with id-correlated responses, returns a structured error object
+/// for the bad line, and exits cleanly on EOF.
+#[test]
+fn serve_answers_mixed_jsonl_with_id_correlation_and_clean_eof_exit() {
+    use std::io::Write;
+    use std::process::Stdio;
+
+    let dir = unique_dir("serve");
+    let cache = dir.join("cache");
+    let model = dir.join("model.json");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let train = run(&[
+        "train",
+        "--samples",
+        "4",
+        "--seed",
+        "7",
+        "--format",
+        "direct",
+        "--epochs",
+        "1",
+        "--scale",
+        "small",
+        "--max-len",
+        "64",
+        "--cache-dir",
+        cache.to_str().expect("utf8"),
+        "--out",
+        model.to_str().expect("utf8"),
+    ]);
+    assert!(train.status.success(), "train: {}", stderr(&train));
+
+    // One program request (source text goes through JSON string escaping),
+    // one pre-tokenized request with a metric subset, one malformed line,
+    // and one unknown-model request.
+    let program_line = format!(
+        "{{\"id\": \"prog-1\", \"program\": {}, \"inputs\": {{\"n\": 3}}}}",
+        serde_json::Value::Str(tiny_program_text())
+    );
+    let requests = format!(
+        "{program_line}\n\
+         {{\"id\": 2, \"tokens\": [1, 2, 3], \"metrics\": [\"cycles\"]}}\n\
+         not json at all\n\
+         {{\"id\": 4, \"tokens\": [9], \"model\": \"nope\"}}\n"
+    );
+
+    let mut child = std::process::Command::new(bin())
+        .args([
+            "serve",
+            "--model",
+            model.to_str().expect("utf8"),
+            "--threads",
+            "1",
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("daemon spawns");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(requests.as_bytes())
+        .expect("requests written");
+    let out = child.wait_with_output().expect("daemon exits");
+    assert!(
+        out.status.success(),
+        "EOF must be a clean exit: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 4, "one response per request line:\n{stdout}");
+
+    // Responses are id-correlated, in request order.
+    assert!(lines[0].contains("\"id\":\"prog-1\""), "{}", lines[0]);
+    assert!(lines[0].contains("\"ok\":true"), "{}", lines[0]);
+    assert!(lines[0].contains("\"cycles\""), "{}", lines[0]);
+    assert!(lines[1].contains("\"id\":2"), "{}", lines[1]);
+    assert!(lines[1].contains("\"ok\":true"), "{}", lines[1]);
+    assert!(
+        !lines[1].contains("\"power\""),
+        "metric subset respected: {}",
+        lines[1]
+    );
+    // The malformed line gets a structured error object with a null id.
+    assert!(lines[2].contains("\"id\":null"), "{}", lines[2]);
+    assert!(lines[2].contains("\"ok\":false"), "{}", lines[2]);
+    assert!(
+        lines[2].contains("\"kind\":\"invalid_request\""),
+        "{}",
+        lines[2]
+    );
+    assert!(lines[2].contains("malformed JSON"), "{}", lines[2]);
+    // The unknown-model request errors without killing the daemon.
+    assert!(lines[3].contains("\"id\":4"), "{}", lines[3]);
+    assert!(
+        lines[3].contains("\"kind\":\"unknown_model\""),
+        "{}",
+        lines[3]
+    );
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}

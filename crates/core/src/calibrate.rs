@@ -456,4 +456,83 @@ mod tests {
         let buf = ReplayBuffer::new(0);
         assert_eq!(buf.capacity(), 1);
     }
+
+    fn triple(i: u64) -> PreferenceTriple {
+        PreferenceTriple {
+            tokens: vec![i as u32],
+            metric: Metric::Cycles,
+            y_w: i,
+            y_l: i + 1,
+        }
+    }
+
+    /// Capacity 0 clamps to 1 and then behaves exactly like capacity 1:
+    /// pure online replay where only the newest triple survives.
+    #[test]
+    fn capacity_zero_and_one_keep_only_the_newest_triple() {
+        for requested in [0usize, 1] {
+            let mut buf = ReplayBuffer::new(requested);
+            assert_eq!(buf.capacity(), 1, "requested {requested}");
+            assert!(buf.is_empty());
+            for i in 0..5u64 {
+                buf.push(triple(i));
+                assert_eq!(buf.len(), 1, "never grows past 1");
+            }
+            let mut rng = StdRng::seed_from_u64(7);
+            let batch = buf.minibatch(3, &mut rng);
+            assert_eq!(batch.len(), 1);
+            assert_eq!(batch[0].y_w, 4, "only the newest triple survives");
+        }
+    }
+
+    /// The window is FIFO: pushing past capacity evicts strictly oldest
+    /// first, and survivors keep their insertion order.
+    #[test]
+    fn window_evicts_oldest_first_in_insertion_order() {
+        let mut buf = ReplayBuffer::new(3);
+        for i in 0..7u64 {
+            buf.push(triple(i));
+        }
+        assert_eq!(buf.len(), 3);
+        // Deterministic full drain via an oversized minibatch after a
+        // shuffle would lose order, so inspect via repeated sampling: every
+        // sampled triple must come from the surviving window {4, 5, 6}.
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen: Vec<u64> = buf.minibatch(3, &mut rng).iter().map(|t| t.y_w).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![4, 5, 6], "exactly the three newest survive");
+        // One more push evicts 4, the oldest survivor.
+        buf.push(triple(7));
+        let mut seen: Vec<u64> = buf.minibatch(3, &mut rng).iter().map(|t| t.y_w).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![5, 6, 7]);
+    }
+
+    /// Minibatch sampling is a pure function of the RNG state: the same
+    /// seed draws the same triples in the same order, and `k` clamps to
+    /// at least 1 and at most the occupancy.
+    #[test]
+    fn minibatch_sampling_is_deterministic_under_a_fixed_seed() {
+        let mut buf = ReplayBuffer::new(8);
+        for i in 0..8u64 {
+            buf.push(triple(i));
+        }
+        let draw = |seed: u64, k: usize| -> Vec<u64> {
+            let mut rng = StdRng::seed_from_u64(seed);
+            buf.minibatch(k, &mut rng).iter().map(|t| t.y_w).collect()
+        };
+        assert_eq!(draw(42, 4), draw(42, 4), "same seed, same sample");
+        assert_eq!(draw(42, 4).len(), 4);
+        // Sampling is without replacement.
+        let mut once = draw(42, 8);
+        once.sort_unstable();
+        once.dedup();
+        assert_eq!(once.len(), 8, "no triple drawn twice");
+        // k = 0 clamps to 1; k beyond occupancy returns everything.
+        assert_eq!(draw(3, 0).len(), 1);
+        assert_eq!(draw(3, 100).len(), 8);
+        // Different seeds are allowed to differ (and these do, pinning that
+        // the rng actually drives the shuffle).
+        assert_ne!(draw(0, 8), draw(1, 8), "shuffle depends on the seed");
+    }
 }

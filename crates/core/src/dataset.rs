@@ -157,6 +157,17 @@ pub trait CostModel {
     fn predict_batch(&self, samples: &[Sample]) -> Vec<CostVector> {
         samples.iter().map(|s| self.predict(s)).collect()
     }
+
+    /// Fallible batch prediction — the entry point the serving engine calls.
+    ///
+    /// The models in this workspace are total functions of the sample text
+    /// and never fail once constructed, so the default wraps
+    /// [`CostModel::predict_batch`] in `Ok`. Implementations backed by
+    /// external processes or remote state override this to surface their
+    /// failures as typed [`crate::Error`]s instead of panicking.
+    fn try_predict_batch(&self, samples: &[Sample]) -> Result<Vec<CostVector>, crate::Error> {
+        Ok(self.predict_batch(samples))
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,222 @@
+//! The crate-spanning error type for the prediction API.
+//!
+//! Every fallible entry point of the public surface — simulation, model
+//! persistence, dataset caching, the [`crate::engine`] module and the CLI —
+//! reports failures through one [`Error`] enum. Each variant either wraps
+//! the domain error that caused it (exposed via
+//! [`std::error::Error::source`], so callers can walk the full causal chain)
+//! or carries a self-contained description. The CLI renders that chain in
+//! exit messages; the serve daemon renders it as a structured JSON error
+//! object.
+
+use crate::persist::PersistError;
+use llmulator_ir::IrError;
+use llmulator_sim::SimError;
+use std::fmt;
+
+/// Unified error for the public prediction API.
+#[derive(Debug)]
+pub enum Error {
+    /// The cycle simulator / profiler failed.
+    Sim(SimError),
+    /// Program parsing, validation or IR interpretation failed.
+    Ir(IrError),
+    /// Model or dataset persistence (including the on-disk cache) failed.
+    Persist(PersistError),
+    /// A plain filesystem or stream operation failed (wrap with
+    /// [`Error::context`] to say which).
+    Io(std::io::Error),
+    /// A request named a model the engine has not loaded.
+    UnknownModel {
+        /// The requested model name.
+        name: String,
+        /// Names the engine does have, in registration order.
+        available: Vec<String>,
+    },
+    /// A request was structurally invalid (empty input set, metric the
+    /// model cannot produce, token input to an IR-featurizing baseline, …).
+    InvalidRequest(String),
+    /// A command-line argument could not be interpreted.
+    InvalidArgument(String),
+    /// A higher-level operation failed; `source` says why. This is the
+    /// variant that gives exit messages their `caused by:` chain.
+    Context {
+        /// What was being attempted (e.g. `cannot load model \`m.json\``).
+        message: String,
+        /// The underlying failure.
+        source: Box<Error>,
+    },
+}
+
+impl Error {
+    /// Wraps `self` with a description of the failed operation, extending
+    /// the `source()` chain by one link.
+    #[must_use]
+    pub fn context(self, message: impl Into<String>) -> Error {
+        Error::Context {
+            message: message.into(),
+            source: Box::new(self),
+        }
+    }
+
+    /// The causal chain as one message per link, deduplicated: a link whose
+    /// text the previous link already embeds (wrappers like
+    /// [`PersistError`] display their cause inline) is dropped, so each
+    /// line adds information.
+    pub fn chain_messages(&self) -> Vec<String> {
+        let mut messages = vec![self.to_string()];
+        let mut prev = messages[0].clone();
+        let mut cur = std::error::Error::source(self);
+        while let Some(e) = cur {
+            let msg = e.to_string();
+            if !prev.contains(&msg) {
+                messages.push(msg.clone());
+            }
+            prev = msg;
+            cur = e.source();
+        }
+        messages
+    }
+
+    /// Renders the full causal chain, one `caused by:` line per link — the
+    /// form the CLI prints on a non-zero exit.
+    pub fn chain(&self) -> String {
+        self.chain_messages().join("\n  caused by: ")
+    }
+
+    /// Stable machine-readable tag for the wire protocol (one per variant;
+    /// `Context` reports its root cause's kind).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Error::Sim(_) => "sim",
+            Error::Ir(_) => "ir",
+            Error::Persist(_) => "persist",
+            Error::Io(_) => "io",
+            Error::UnknownModel { .. } => "unknown_model",
+            Error::InvalidRequest(_) => "invalid_request",
+            Error::InvalidArgument(_) => "invalid_argument",
+            Error::Context { source, .. } => source.kind(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Sim(e) => write!(f, "simulation failed: {e}"),
+            Error::Ir(e) => write!(f, "{e}"),
+            Error::Persist(e) => write!(f, "{e}"),
+            Error::Io(e) => write!(f, "i/o failed: {e}"),
+            Error::UnknownModel { name, available } => {
+                if available.is_empty() {
+                    write!(f, "unknown model `{name}` (no models loaded)")
+                } else {
+                    write!(
+                        f,
+                        "unknown model `{name}` (loaded: {})",
+                        available.join(", ")
+                    )
+                }
+            }
+            Error::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
+            Error::InvalidArgument(msg) => write!(f, "{msg}"),
+            Error::Context { message, .. } => write!(f, "{message}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Sim(e) => Some(e),
+            Error::Ir(e) => Some(e),
+            Error::Persist(e) => Some(e),
+            Error::Io(e) => Some(e),
+            Error::Context { source, .. } => Some(source.as_ref()),
+            Error::UnknownModel { .. } | Error::InvalidRequest(_) | Error::InvalidArgument(_) => {
+                None
+            }
+        }
+    }
+}
+
+impl From<SimError> for Error {
+    fn from(e: SimError) -> Error {
+        Error::Sim(e)
+    }
+}
+
+impl From<IrError> for Error {
+    fn from(e: IrError) -> Error {
+        Error::Ir(e)
+    }
+}
+
+impl From<PersistError> for Error {
+    fn from(e: PersistError) -> Error {
+        Error::Persist(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as StdError;
+
+    #[test]
+    fn wrapping_variants_expose_their_source() {
+        let e = Error::from(SimError::Unbound("n".into()));
+        assert!(e.source().is_some(), "Sim wraps");
+        let e = Error::from(IrError::Unbound("x".into()));
+        assert!(e.source().is_some(), "Ir wraps");
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e = Error::from(PersistError::Io(io));
+        assert!(e.source().is_some(), "Persist wraps");
+    }
+
+    #[test]
+    fn context_extends_the_chain() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "no such file");
+        let e = Error::from(PersistError::Io(io)).context("cannot load model `m.json`");
+        assert_eq!(e.to_string(), "cannot load model `m.json`");
+        let chain = e.chain();
+        assert!(chain.contains("cannot load model"), "head: {chain}");
+        assert!(
+            chain.contains("caused by: model file i/o failed"),
+            "{chain}"
+        );
+        assert!(chain.contains("no such file"), "root cause: {chain}");
+        // The io link repeats what the persist link already embeds, so the
+        // rendered chain dedups it: context -> persist only.
+        assert_eq!(chain.matches("caused by:").count(), 1, "{chain}");
+        assert_eq!(e.chain_messages().len(), 2, "{chain}");
+    }
+
+    #[test]
+    fn kind_sees_through_context() {
+        let e = Error::InvalidRequest("empty".into()).context("while serving");
+        assert_eq!(e.kind(), "invalid_request");
+        assert_eq!(Error::Sim(SimError::Unbound("n".into())).kind(), "sim");
+    }
+
+    #[test]
+    fn unknown_model_lists_the_roster() {
+        let e = Error::UnknownModel {
+            name: "big".into(),
+            available: vec!["default".into(), "tlp".into()],
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("big") && msg.contains("default") && msg.contains("tlp"));
+        let none = Error::UnknownModel {
+            name: "x".into(),
+            available: vec![],
+        };
+        assert!(none.to_string().contains("no models loaded"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

@@ -45,6 +45,8 @@ pub mod cache;
 pub mod calibrate;
 pub mod dataset;
 pub mod encode;
+pub mod engine;
+pub mod error;
 pub mod masks;
 pub mod model;
 pub mod numeric;
@@ -58,6 +60,11 @@ pub use calibrate::{
 };
 pub use dataset::{CostModel, Dataset, Sample};
 pub use encode::{fusion_group_key, group_by_key, SegmentedText};
+pub use engine::{
+    Engine, EngineConfig, Feedback, ItemPrediction, MetricValue, PredictInput, PredictRequest,
+    PredictResponse, ServableModel, Session, MAX_BEAM_WIDTH,
+};
+pub use error::Error;
 pub use masks::{attended_fraction, separation_mask, MaskOptions};
 pub use model::{
     MetricPrediction, ModelScale, NumericPredictor, Prediction, PredictorConfig, TrainOptions,
@@ -65,4 +72,4 @@ pub use model::{
 pub use numeric::{
     beam_search, beam_search_with, BeamHypothesis, BeamScratch, DigitCodec, DigitDistribution,
 };
-pub use persist::PersistError;
+pub use persist::{PersistError, FORMAT_VERSION};

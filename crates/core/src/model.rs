@@ -244,6 +244,13 @@ impl NumericPredictor {
         self.store.scalar_count()
     }
 
+    /// Default beam width for decoding (see
+    /// [`NumericPredictor::decode_pooled_rows_width`] for per-call
+    /// overrides).
+    pub fn beam_width(&self) -> usize {
+        self.beam_width
+    }
+
     /// Tokenizes a sample's text under this predictor's context limit.
     pub fn tokenize_sample(&self, sample: &Sample) -> TokenizedProgram {
         sample.text.tokenize(&self.tokenizer, self.config.max_len)
@@ -402,10 +409,34 @@ impl NumericPredictor {
     /// Every row therefore decodes exactly as `decode_pooled` would on that
     /// row alone.
     pub fn decode_pooled_rows(&self, pooled: &Matrix) -> Vec<Prediction> {
+        self.decode_pooled_rows_width(pooled, self.beam_width)
+    }
+
+    /// [`NumericPredictor::decode_pooled_rows`] with an explicit beam width
+    /// — the serving engine's hook for per-request beam overrides. With
+    /// `beam_width == self.beam_width()` the result is exactly what
+    /// `decode_pooled_rows` returns; other widths change only how many
+    /// hypotheses each [`MetricPrediction::beams`] carries (the best
+    /// hypothesis, and therefore the decoded value, is width-invariant for
+    /// the independent per-position heads).
+    pub fn decode_pooled_rows_width(&self, pooled: &Matrix, beam_width: usize) -> Vec<Prediction> {
+        self.decode_pooled_rows_scratch(pooled, beam_width, &mut BeamScratch::new())
+    }
+
+    /// [`NumericPredictor::decode_pooled_rows_width`] with caller-owned beam
+    /// scratch, so a long-lived serving session ([`crate::engine::Session`])
+    /// reuses its hypothesis buffers across requests instead of
+    /// reallocating them per call. Results are exactly equal regardless of
+    /// the scratch's prior contents.
+    pub fn decode_pooled_rows_scratch(
+        &self,
+        pooled: &Matrix,
+        beam_width: usize,
+        beam_scratch: &mut BeamScratch,
+    ) -> Vec<Prediction> {
         let base = self.config.codec.base as usize;
         let width = self.config.codec.width;
         let n = pooled.rows();
-        let mut beam_scratch = BeamScratch::new();
         let mut per_row: Vec<Vec<MetricPrediction>> = (0..n)
             .map(|_| Vec::with_capacity(self.heads.len()))
             .collect();
@@ -428,7 +459,7 @@ impl NumericPredictor {
                     rows.push(slice.to_vec());
                 }
                 let dist = DigitDistribution::new(self.config.codec.base, rows);
-                let beams = beam_search_with(&dist, self.beam_width, &mut beam_scratch);
+                let beams = beam_search_with(&dist, beam_width, beam_scratch);
                 let digits = beams[0].digits.clone();
                 let value = int_to_metric(metric, self.config.codec.decode(&digits));
                 metrics.push(MetricPrediction {
@@ -525,6 +556,19 @@ impl NumericPredictor {
         seqs: &[Vec<u32>],
         threads: usize,
     ) -> Vec<Prediction> {
+        self.predict_tokens_batch_threads_width(seqs, threads, self.beam_width)
+    }
+
+    /// [`NumericPredictor::predict_tokens_batch_threads`] with an explicit
+    /// decode beam width (see
+    /// [`NumericPredictor::decode_pooled_rows_width`]); with the model's own
+    /// [`NumericPredictor::beam_width`] the two are identical.
+    pub fn predict_tokens_batch_threads_width(
+        &self,
+        seqs: &[Vec<u32>],
+        threads: usize,
+        beam_width: usize,
+    ) -> Vec<Prediction> {
         if seqs.is_empty() {
             return Vec::new();
         }
@@ -557,7 +601,7 @@ impl NumericPredictor {
                 let group: Vec<&[u32]> = unit.iter().map(|&i| seqs[i].as_slice()).collect();
                 let (seq, pooled) =
                     llmulator_nn::forward_packed(&self.encoder, &self.store, &group, scratch);
-                let preds = self.decode_pooled_rows(&pooled);
+                let preds = self.decode_pooled_rows_width(&pooled, beam_width);
                 scratch.recycle(seq);
                 scratch.recycle(pooled);
                 preds

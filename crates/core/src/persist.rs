@@ -4,10 +4,22 @@
 //! head handles), so persistence is a serde round trip. JSON is used because
 //! it is the only serde format crate in the dependency whitelist; models in
 //! this reproduction are ~100k parameters, for which JSON remains practical.
+//!
+//! Saved files are versioned: the on-disk form is an envelope
+//! `{"format_version": N, "model": {...}}`. [`NumericPredictor::load`]
+//! checks the version before touching the payload, so a file written by a
+//! newer incompatible release is rejected with a clear
+//! [`PersistError::Version`] naming both versions instead of failing deep in
+//! deserialization on whichever field happened to change.
 
 use crate::model::NumericPredictor;
+use serde::Value;
 use std::fmt;
 use std::path::Path;
+
+/// The model file format version this build reads and writes. Bump it when
+/// the serialized [`NumericPredictor`] layout changes incompatibly.
+pub const FORMAT_VERSION: u64 = 1;
 
 /// Errors from model persistence.
 #[derive(Debug)]
@@ -16,6 +28,14 @@ pub enum PersistError {
     Io(std::io::Error),
     /// Serialization/deserialization failure.
     Codec(serde_json::Error),
+    /// The file's `format_version` is missing or not one this build reads.
+    Version {
+        /// The version the file declares (`None` when the envelope has no
+        /// `format_version` field at all — a pre-versioning or foreign file).
+        found: Option<u64>,
+        /// The version this build supports.
+        supported: u64,
+    },
 }
 
 impl fmt::Display for PersistError {
@@ -23,6 +43,22 @@ impl fmt::Display for PersistError {
         match self {
             PersistError::Io(e) => write!(f, "model file i/o failed: {e}"),
             PersistError::Codec(e) => write!(f, "model encoding failed: {e}"),
+            PersistError::Version {
+                found: Some(v),
+                supported,
+            } => write!(
+                f,
+                "unsupported model format version {v} (this build reads version {supported}; \
+                 re-train the model or use a matching release)"
+            ),
+            PersistError::Version {
+                found: None,
+                supported,
+            } => write!(
+                f,
+                "model file has no format_version field (expected version {supported}; \
+                 the file predates versioning or is not a model file)"
+            ),
         }
     }
 }
@@ -32,6 +68,7 @@ impl std::error::Error for PersistError {
         match self {
             PersistError::Io(e) => Some(e),
             PersistError::Codec(e) => Some(e),
+            PersistError::Version { .. } => None,
         }
     }
 }
@@ -49,22 +86,64 @@ impl From<serde_json::Error> for PersistError {
 }
 
 impl NumericPredictor {
-    /// Serializes the model (config + weights) to a JSON string.
+    /// Serializes the model (config + weights) inside the versioned
+    /// envelope to a JSON string.
     ///
     /// # Errors
     ///
     /// Returns [`PersistError::Codec`] if serialization fails.
     pub fn to_json(&self) -> Result<String, PersistError> {
-        Ok(serde_json::to_string(self)?)
+        let envelope = Value::Object(vec![
+            ("format_version".to_string(), Value::U64(FORMAT_VERSION)),
+            ("model".to_string(), serde::Serialize::serialize_value(self)),
+        ]);
+        Ok(serde_json::to_string(&envelope)?)
     }
 
     /// Reconstructs a model from [`NumericPredictor::to_json`] output.
     ///
     /// # Errors
     ///
-    /// Returns [`PersistError::Codec`] on malformed input.
+    /// Returns [`PersistError::Codec`] on malformed input and
+    /// [`PersistError::Version`] when the envelope's `format_version` is
+    /// absent or not [`FORMAT_VERSION`].
     pub fn from_json(json: &str) -> Result<NumericPredictor, PersistError> {
-        Ok(serde_json::from_str(json)?)
+        let envelope = serde_json::parse_value(json)?;
+        let Some(pairs) = envelope.as_object() else {
+            return Err(PersistError::Codec(serde_json::Error::new(
+                "model file is not a JSON object",
+            )));
+        };
+        let version = pairs.iter().find(|(k, _)| k == "format_version");
+        let found = match version.map(|(_, v)| v) {
+            Some(Value::U64(v)) => *v,
+            Some(Value::I64(v)) if *v >= 0 => *v as u64,
+            // Present but not an integer counts as "declares no readable
+            // version" — same rejection path as a missing field.
+            _ => {
+                return Err(PersistError::Version {
+                    found: None,
+                    supported: FORMAT_VERSION,
+                })
+            }
+        };
+        if found != FORMAT_VERSION {
+            return Err(PersistError::Version {
+                found: Some(found),
+                supported: FORMAT_VERSION,
+            });
+        }
+        let model = pairs
+            .iter()
+            .find(|(k, _)| k == "model")
+            .map(|(_, v)| v)
+            .ok_or_else(|| {
+                PersistError::Codec(serde_json::Error::new("envelope has no `model` field"))
+            })?;
+        Ok(
+            <NumericPredictor as serde::Deserialize>::deserialize_value(model)
+                .map_err(serde_json::Error::from)?,
+        )
     }
 
     /// Writes the model to a file atomically: parent directories are created
@@ -84,7 +163,8 @@ impl NumericPredictor {
     ///
     /// # Errors
     ///
-    /// Returns [`PersistError`] on filesystem or decoding failure.
+    /// Returns [`PersistError`] on filesystem or decoding failure, including
+    /// [`PersistError::Version`] for files from an incompatible release.
     pub fn load(path: impl AsRef<Path>) -> Result<NumericPredictor, PersistError> {
         NumericPredictor::from_json(&std::fs::read_to_string(path)?)
     }
@@ -119,6 +199,16 @@ mod tests {
             assert_eq!(a.digits, b.digits);
             assert!((a.confidence - b.confidence).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn saved_json_declares_the_current_format_version() {
+        let json = tiny().to_json().expect("encodes");
+        assert!(
+            json.starts_with(&format!("{{\"format_version\":{FORMAT_VERSION}")),
+            "envelope leads with the version: {}",
+            &json[..60.min(json.len())]
+        );
     }
 
     /// Per-process unique scratch directory: concurrent `cargo test` runs on
@@ -167,9 +257,68 @@ mod tests {
             Err(PersistError::Codec(_))
         ));
         assert!(matches!(
+            NumericPredictor::from_json("[1, 2]"),
+            Err(PersistError::Codec(_)),
+        ));
+        assert!(matches!(
             NumericPredictor::load("/definitely/not/a/path/model.json"),
             Err(PersistError::Io(_))
         ));
+    }
+
+    /// Regression for the versioning satellite: a doctored file claiming a
+    /// future format version must fail with the typed version error (naming
+    /// both versions), not with an arbitrary missing-field decode error.
+    #[test]
+    fn load_rejects_future_format_version_with_a_clear_error() {
+        let dir = unique_dir("future_version");
+        let path = dir.join("model.json");
+        let model = tiny();
+        model.save(&path).expect("saves");
+        // Doctor the envelope to a future version, payload untouched.
+        let json = std::fs::read_to_string(&path).expect("reads");
+        let doctored = json.replacen(
+            &format!("\"format_version\":{FORMAT_VERSION}"),
+            "\"format_version\":9007",
+            1,
+        );
+        assert_ne!(json, doctored, "the replace must hit the envelope");
+        std::fs::write(&path, doctored).expect("writes");
+        let err = NumericPredictor::load(&path).expect_err("future version rejected");
+        match &err {
+            PersistError::Version { found, supported } => {
+                assert_eq!(*found, Some(9007));
+                assert_eq!(*supported, FORMAT_VERSION);
+            }
+            other => panic!("expected Version error, got {other:?}"),
+        }
+        let msg = err.to_string();
+        assert!(msg.contains("9007"), "names the found version: {msg}");
+        assert!(
+            msg.contains(&FORMAT_VERSION.to_string()),
+            "names the supported version: {msg}"
+        );
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn load_rejects_unversioned_payload() {
+        // A bare (pre-envelope) model payload has no format_version field;
+        // the error must say so instead of complaining about a random
+        // missing model field.
+        let err = NumericPredictor::from_json("{\"config\":{}}").expect_err("rejected");
+        assert!(matches!(
+            err,
+            PersistError::Version {
+                found: None,
+                supported: FORMAT_VERSION
+            }
+        ));
+        assert!(err.to_string().contains("format_version"), "{err}");
+        // A non-integer version is the same rejection.
+        let err =
+            NumericPredictor::from_json("{\"format_version\":\"one\"}").expect_err("rejected");
+        assert!(matches!(err, PersistError::Version { found: None, .. }));
     }
 
     #[test]

@@ -10,5 +10,5 @@ pub mod suite;
 pub mod table;
 
 pub use metrics::{ape, kendall_tau, mape, mse, pearson};
-pub use suite::mape_on;
+pub use suite::{mape_on, try_mape_on};
 pub use table::Table;

@@ -22,6 +22,31 @@ pub fn mape_on(model: &dyn CostModel, samples: &[Sample], metric: Metric) -> f64
     crate::metrics::mape(&predicted, &actual)
 }
 
+/// Fallible [`mape_on`]: predictions run through
+/// [`CostModel::try_predict_batch`], so models backed by fallible state
+/// surface a typed [`llmulator::Error`] instead of panicking mid-table.
+/// For the in-process models both functions return the same value.
+///
+/// # Errors
+///
+/// Propagates the model's prediction failure.
+pub fn try_mape_on(
+    model: &dyn CostModel,
+    samples: &[Sample],
+    metric: Metric,
+) -> Result<f64, llmulator::Error> {
+    if samples.is_empty() {
+        return Ok(0.0);
+    }
+    let predicted: Vec<f64> = model
+        .try_predict_batch(samples)?
+        .iter()
+        .map(|cost| cost.metric(metric))
+        .collect();
+    let actual: Vec<f64> = samples.iter().map(|s| s.cost.metric(metric)).collect();
+    Ok(crate::metrics::mape(&predicted, &actual))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -64,5 +89,12 @@ mod tests {
         let half = mape_on(&Scaled(0.5), &samples, Metric::Power);
         assert!((half - 0.5).abs() < 1e-12, "got {half}");
         assert_eq!(mape_on(&Scaled(1.0), &[], Metric::Power), 0.0);
+        // The fallible path agrees exactly for in-process models.
+        let fallible = try_mape_on(&Scaled(0.5), &samples, Metric::Power).expect("infallible here");
+        assert_eq!(fallible, half);
+        assert_eq!(
+            try_mape_on(&Scaled(1.0), &[], Metric::Power).expect("empty"),
+            0.0
+        );
     }
 }

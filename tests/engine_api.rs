@@ -1,0 +1,120 @@
+//! Cross-crate integration tests for the serving engine: one [`Engine`]
+//! holding the numeric predictor next to all four baselines, queried
+//! through typed requests, answering exactly what the underlying models
+//! answer when called directly.
+
+use llmulator::{CostModel, Dataset, EngineConfig, Error, PredictRequest, Sample, TrainOptions};
+use llmulator_baselines::{Gnnhls, TensetMlp, Timeloop, Tlp};
+use llmulator_ir::builder::OperatorBuilder;
+use llmulator_ir::{Expr, LValue, Program, Stmt};
+use llmulator_sim::Metric;
+
+fn program(n: usize) -> Program {
+    let op = OperatorBuilder::new("inc")
+        .array_param("a", [n])
+        .loop_nest(&[("i", n)], |idx| {
+            vec![Stmt::assign(
+                LValue::store("a", vec![idx[0].clone()]),
+                Expr::load("a", vec![idx[0].clone()]) + Expr::int(1),
+            )]
+        })
+        .build();
+    Program::single_op(op)
+}
+
+fn sample(n: usize) -> Sample {
+    Sample::profile(&program(n), None).expect("profiles")
+}
+
+fn tiny_predictor() -> llmulator::NumericPredictor {
+    llmulator::NumericPredictor::new(llmulator::PredictorConfig {
+        scale: llmulator::ModelScale::Small,
+        codec: llmulator::DigitCodec::decimal(4),
+        numeric_mode: llmulator_token::NumericMode::Digits,
+        max_len: 64,
+        seed: 11,
+    })
+}
+
+/// The full paper roster behind one engine: predictor + the four baselines,
+/// each answering through the same typed request/response surface.
+#[test]
+fn one_engine_serves_the_predictor_and_every_baseline() {
+    let train: Dataset = [4usize, 8, 12, 16].iter().map(|&n| sample(n)).collect();
+    let opts = TrainOptions {
+        epochs: 1,
+        batch_size: 2,
+        lr: 3e-3,
+        threads: 1,
+    };
+    let mut engine = EngineConfig::new().threads(2).build();
+    engine.register_predictor("default", tiny_predictor());
+    engine.register_baseline("tlp", Tlp::fit_paper(&train, opts, 1));
+    engine.register_baseline("gnnhls", Gnnhls::fit_paper(&train, opts, 1));
+    engine.register_baseline("tenset", TensetMlp::fit_paper(&train, opts, 1));
+    engine.register_baseline("timeloop", Timeloop);
+    assert_eq!(
+        engine.model_names(),
+        vec!["default", "tlp", "gnnhls", "tenset", "timeloop"]
+    );
+
+    // Every baseline's served value equals its direct CostModel prediction.
+    let eval = sample(8);
+    let direct: Vec<(&str, f64)> = vec![
+        (
+            "tlp",
+            Tlp::fit_paper(&train, opts, 1).predict(&eval).cycles as f64,
+        ),
+        (
+            "gnnhls",
+            Gnnhls::fit_paper(&train, opts, 1).predict(&eval).cycles as f64,
+        ),
+        (
+            "tenset",
+            TensetMlp::fit_paper(&train, opts, 1).predict(&eval).cycles as f64,
+        ),
+        ("timeloop", Timeloop.predict(&eval).cycles as f64),
+    ];
+    let mut session = engine.session();
+    for (name, expected) in direct {
+        let response = session
+            .predict(&PredictRequest::sample(eval.clone()).for_model(name))
+            .unwrap_or_else(|e| panic!("{name} serves: {e}"));
+        assert_eq!(response.model, name);
+        let got = response.items[0].value(Metric::Cycles).expect("cycles");
+        assert_eq!(got, expected, "{name} serves its direct prediction");
+        // Baselines carry no digit-level fields.
+        assert!(response.items[0].metrics[0].digits.is_none(), "{name}");
+    }
+
+    // The predictor answers the same request with digits and confidence.
+    let response = session
+        .predict(&PredictRequest::sample(eval.clone()))
+        .expect("predictor serves");
+    let mv = &response.items[0].metrics[0];
+    assert!(mv.digits.is_some() && mv.confidence.is_some());
+    assert_eq!(session.served(), 5);
+}
+
+/// Errors from the shared surface are typed end to end, and a baseline
+/// model rejects inputs it cannot featurize instead of panicking.
+#[test]
+fn engine_errors_are_typed_across_crates() {
+    let mut engine = EngineConfig::new().default_model("timeloop").build();
+    engine.register_baseline("timeloop", Timeloop);
+    let mut session = engine.session();
+    let err = session
+        .predict(&PredictRequest::tokens(vec![1, 2, 3]))
+        .expect_err("tokens need a predictor");
+    assert!(matches!(err, Error::InvalidRequest(_)), "{err:?}");
+    let err = session
+        .predict(&PredictRequest::sample(sample(4)).for_model("missing"))
+        .expect_err("unknown model");
+    assert!(matches!(err, Error::UnknownModel { .. }), "{err:?}");
+    assert!(err.to_string().contains("timeloop"), "roster listed: {err}");
+    // try_predict_batch is the fallible face of the same trait object.
+    let ok = Timeloop
+        .try_predict_batch(&[sample(4)])
+        .expect("infallible baseline");
+    assert_eq!(ok.len(), 1);
+}

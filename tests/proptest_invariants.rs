@@ -303,6 +303,77 @@ proptest! {
             prop_assert_eq!(&fused, &oracle, "threads={}", threads);
         }
     }
+
+    /// Acceptance pin for the serving API: `Session`-based engine
+    /// predictions are bit-identical to
+    /// `NumericPredictor::predict_tokens_batch_threads` for arbitrary
+    /// batches — whether the batch arrives as one multi-input request or as
+    /// many micro-batched single-input requests.
+    #[test]
+    fn engine_session_predictions_are_bit_identical_to_direct_batches(seed in 0u64..1000) {
+        use llmulator::{
+            EngineConfig, ModelScale, NumericPredictor, PredictInput, PredictRequest,
+            PredictorConfig,
+        };
+        use llmulator_token::NumericMode;
+
+        let model = NumericPredictor::new(PredictorConfig {
+            scale: ModelScale::Small,
+            codec: DigitCodec::decimal(4),
+            numeric_mode: NumericMode::Digits,
+            max_len: 24,
+            seed,
+        });
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xfeed);
+        let count = rng.gen_range(1usize..10);
+        let seqs: Vec<Vec<u32>> = (0..count)
+            .map(|_| {
+                let len = rng.gen_range(0usize..40);
+                (0..len).map(|_| rng.gen_range(0u32..2000)).collect()
+            })
+            .collect();
+        let threads = rng.gen_range(1usize..4);
+        let oracle = model.predict_tokens_batch_threads(&seqs, threads);
+
+        let mut engine = EngineConfig::new().threads(threads).build();
+        engine.register_predictor("default", model);
+        let mut session = engine.session();
+
+        // One request carrying the whole batch.
+        let mut request = PredictRequest::new().threads(threads);
+        for s in &seqs {
+            request = request.input(PredictInput::Tokens(s.clone()));
+        }
+        let response = session.predict(&request).expect("serves");
+        prop_assert_eq!(response.items.len(), oracle.len());
+        for (item, pred) in response.items.iter().zip(&oracle) {
+            for mv in &item.metrics {
+                let mp = pred.metric(mv.metric);
+                prop_assert_eq!(mv.value.to_bits(), mp.value.to_bits());
+                prop_assert_eq!(mv.digits.as_deref(), Some(mp.digits.as_slice()));
+                prop_assert_eq!(mv.confidence, Some(mp.confidence));
+                prop_assert_eq!(mv.mean_confidence, Some(mp.mean_confidence));
+            }
+        }
+
+        // The same batch as queued single-input requests, micro-batched the
+        // way the serve daemon does it.
+        let requests: Vec<PredictRequest> = seqs
+            .iter()
+            .map(|s| PredictRequest::tokens(s.clone()).threads(threads))
+            .collect();
+        let results = session.predict_micro_batch(&requests);
+        prop_assert_eq!(results.len(), oracle.len());
+        for (result, pred) in results.iter().zip(&oracle) {
+            let response = result.as_ref().expect("serves");
+            for mv in &response.items[0].metrics {
+                let mp = pred.metric(mv.metric);
+                prop_assert_eq!(mv.value.to_bits(), mp.value.to_bits());
+                prop_assert_eq!(mv.digits.as_deref(), Some(mp.digits.as_slice()));
+                prop_assert_eq!(mv.confidence, Some(mp.confidence));
+            }
+        }
+    }
 }
 
 fn static_loop_program(n: usize) -> Program {
