@@ -1,0 +1,343 @@
+//! Closed-loop and burst load generator for the `llmulator serve --tcp`
+//! daemon, writing `BENCH_serve.json` at the repo root.
+//!
+//! Boot a daemon first (`llmulator serve --model m.json --tcp 127.0.0.1:PORT`),
+//! then run `cargo run --release -p llmulator-bench --bin load-runner --
+//! --addr 127.0.0.1:PORT [--quick] [--out PATH] [--requests N]`.
+//!
+//! Two load shapes are driven against the same daemon:
+//!
+//! - **closed loop**: N connections, each sending one request and waiting
+//!   for its response before the next — measures latency under increasing
+//!   concurrency without ever overrunning the queue.
+//! - **burst**: each connection pipelines its whole batch before reading
+//!   any responses — deliberately overruns `--max-queue` so the shed path
+//!   (structured `overloaded` errors) shows up in the shed-rate column.
+//!
+//! Every response is matched back to its request id; a request with no
+//! response counts as **lost** and fails the run (nonzero exit), as does a
+//! run that completes zero requests.
+
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use llmulator::LatencyHistogram;
+
+/// One measured load level: counters plus client-side latency percentiles.
+struct LevelResult {
+    connections: usize,
+    offered: u64,
+    ok: u64,
+    shed: u64,
+    errors: u64,
+    lost: u64,
+    elapsed: Duration,
+    latency: LatencyHistogram,
+}
+
+impl LevelResult {
+    fn throughput_rps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.ok as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    fn shed_rate(&self) -> f64 {
+        if self.offered > 0 {
+            self.shed as f64 / self.offered as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+fn request_line(conn: usize, k: usize) -> String {
+    format!(
+        "{{\"id\": \"c{conn}-r{k}\", \"tokens\": [{}, {}, {}], \"metrics\": [\"cycles\"]}}\n",
+        conn % 50,
+        k % 50,
+        (conn * 7 + k * 3) % 100
+    )
+}
+
+fn expected_id(conn: usize, k: usize) -> String {
+    // The daemon serializes responses compactly: `"id":"c0-r0"`.
+    format!("\"id\":\"c{conn}-r{k}\"")
+}
+
+/// Classify one response line: Ok(true) = success, Ok(false) = shed,
+/// Err(()) = other structured error.
+fn classify(line: &str) -> Result<bool, ()> {
+    if line.contains("\"ok\": true") || line.contains("\"ok\":true") {
+        Ok(true)
+    } else if line.contains("\"overloaded\"") {
+        Ok(false)
+    } else {
+        Err(())
+    }
+}
+
+fn connect(addr: &str) -> TcpStream {
+    let stream = TcpStream::connect(addr).unwrap_or_else(|e| {
+        eprintln!("load-runner: cannot connect to {addr}: {e}");
+        std::process::exit(2);
+    });
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("set read timeout");
+    stream
+}
+
+/// One closed-loop client: send, wait for the matching response, repeat.
+fn closed_loop_client(addr: &str, conn: usize, requests: usize) -> LevelResult {
+    let stream = connect(addr);
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut writer = stream;
+    let mut result = LevelResult {
+        connections: 1,
+        offered: requests as u64,
+        ok: 0,
+        shed: 0,
+        errors: 0,
+        lost: 0,
+        elapsed: Duration::ZERO,
+        latency: LatencyHistogram::new(),
+    };
+    for k in 0..requests {
+        let line = request_line(conn, k);
+        let sent = Instant::now();
+        if writer.write_all(line.as_bytes()).is_err() {
+            result.lost += (requests - k) as u64;
+            break;
+        }
+        let mut response = String::new();
+        match reader.read_line(&mut response) {
+            Ok(n) if n > 0 => {
+                result.latency.record(sent.elapsed());
+                if !response.contains(&expected_id(conn, k)) {
+                    result.lost += 1;
+                    continue;
+                }
+                match classify(&response) {
+                    Ok(true) => result.ok += 1,
+                    Ok(false) => result.shed += 1,
+                    Err(()) => result.errors += 1,
+                }
+            }
+            _ => {
+                result.lost += (requests - k) as u64;
+                break;
+            }
+        }
+    }
+    result
+}
+
+/// One burst client: pipeline every request, then drain the responses.
+fn burst_client(addr: &str, conn: usize, requests: usize) -> LevelResult {
+    let stream = connect(addr);
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut writer = stream;
+    let mut result = LevelResult {
+        connections: 1,
+        offered: requests as u64,
+        ok: 0,
+        shed: 0,
+        errors: 0,
+        lost: 0,
+        elapsed: Duration::ZERO,
+        latency: LatencyHistogram::new(),
+    };
+    let mut sent_at = Vec::with_capacity(requests);
+    let mut written = 0usize;
+    for k in 0..requests {
+        let line = request_line(conn, k);
+        sent_at.push(Instant::now());
+        if writer.write_all(line.as_bytes()).is_err() {
+            break;
+        }
+        written = k + 1;
+    }
+    let _ = writer.flush();
+    result.lost += (requests - written) as u64;
+    // Responses come back in per-connection request order, so the k-th
+    // line answers the k-th request.
+    for (k, &sent) in sent_at.iter().take(written).enumerate() {
+        let mut response = String::new();
+        match reader.read_line(&mut response) {
+            Ok(n) if n > 0 => {
+                result.latency.record(sent.elapsed());
+                if !response.contains(&expected_id(conn, k)) {
+                    result.lost += 1;
+                    continue;
+                }
+                match classify(&response) {
+                    Ok(true) => result.ok += 1,
+                    Ok(false) => result.shed += 1,
+                    Err(()) => result.errors += 1,
+                }
+            }
+            _ => {
+                result.lost += (written - k) as u64;
+                break;
+            }
+        }
+    }
+    result
+}
+
+/// Fan a level out over `connections` client threads and fold the results.
+fn run_level<F>(addr: &str, connections: usize, requests: usize, client: F) -> LevelResult
+where
+    F: Fn(&str, usize, usize) -> LevelResult + Send + Copy,
+{
+    let start = Instant::now();
+    let mut folded = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|conn| scope.spawn(move || client(addr, conn, requests)))
+            .collect();
+        let mut folded = LevelResult {
+            connections,
+            offered: 0,
+            ok: 0,
+            shed: 0,
+            errors: 0,
+            lost: 0,
+            elapsed: Duration::ZERO,
+            latency: LatencyHistogram::new(),
+        };
+        for handle in handles {
+            let part = handle.join().expect("client thread");
+            folded.offered += part.offered;
+            folded.ok += part.ok;
+            folded.shed += part.shed;
+            folded.errors += part.errors;
+            folded.lost += part.lost;
+            folded.latency.merge(&part.latency);
+        }
+        folded
+    });
+    folded.elapsed = start.elapsed();
+    folded
+}
+
+/// Ask the daemon for its own counters; returns the raw JSON line.
+fn fetch_server_stats(addr: &str) -> Option<String> {
+    let stream = connect(addr);
+    let mut reader = BufReader::new(stream.try_clone().ok()?);
+    let mut writer = stream;
+    writer
+        .write_all(b"{\"id\": \"stats\", \"stats\": true}\n")
+        .ok()?;
+    let mut line = String::new();
+    reader.read_line(&mut line).ok()?;
+    let trimmed = line.trim();
+    if trimmed.is_empty() {
+        None
+    } else {
+        Some(trimmed.to_string())
+    }
+}
+
+fn push_row(json: &mut String, row: &LevelResult, indent: &str, trailing_comma: bool) {
+    let summary = row.latency.summary();
+    let (p50, p90, p99, max) = summary
+        .map(|s| (s.p50_micros, s.p90_micros, s.p99_micros, s.max_micros))
+        .unwrap_or((0, 0, 0, 0));
+    let _ = writeln!(
+        json,
+        "{indent}{{\"connections\": {}, \"offered\": {}, \"ok\": {}, \"shed\": {}, \
+         \"errors\": {}, \"lost\": {}, \"throughput_rps\": {:.1}, \"shed_rate\": {:.4}, \
+         \"p50_us\": {p50}, \"p90_us\": {p90}, \"p99_us\": {p99}, \"max_us\": {max}}}{}",
+        row.connections,
+        row.offered,
+        row.ok,
+        row.shed,
+        row.errors,
+        row.lost,
+        row.throughput_rps(),
+        row.shed_rate(),
+        if trailing_comma { "," } else { "" },
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let flag_value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let Some(addr) = flag_value("--addr") else {
+        eprintln!(
+            "usage: load-runner --addr HOST:PORT [--quick] [--out PATH] [--requests N]\n\
+             boot the daemon first: llmulator serve --model m.json --tcp 127.0.0.1:PORT"
+        );
+        std::process::exit(2);
+    };
+    let out_path = flag_value("--out")
+        .unwrap_or_else(|| format!("{}/../../BENCH_serve.json", env!("CARGO_MANIFEST_DIR")));
+    let default_requests = if quick { 8 } else { 50 };
+    let requests: usize = flag_value("--requests")
+        .map(|v| v.parse().expect("--requests takes an integer"))
+        .unwrap_or(default_requests);
+    let levels: &[usize] = if quick { &[1, 4] } else { &[1, 2, 4, 8] };
+    let (burst_conns, burst_requests) = if quick { (2, 32) } else { (4, 100) };
+
+    eprintln!("load-runner: target {addr}, {requests} request(s) per closed-loop connection");
+    let mut closed = Vec::new();
+    for &connections in levels {
+        eprintln!("load-runner: closed loop, {connections} connection(s)...");
+        closed.push(run_level(&addr, connections, requests, closed_loop_client));
+    }
+    eprintln!("load-runner: burst, {burst_conns} connection(s) x {burst_requests} pipelined...");
+    let burst = run_level(&addr, burst_conns, burst_requests, burst_client);
+    let server_stats = fetch_server_stats(&addr);
+
+    let total_ok: u64 = closed.iter().map(|r| r.ok).sum::<u64>() + burst.ok;
+    let total_lost: u64 = closed.iter().map(|r| r.lost).sum::<u64>() + burst.lost;
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(
+        json,
+        "  \"meta\": {{\"quick\": {quick}, \"addr\": \"{addr}\", \
+         \"requests_per_connection\": {requests}, \"burst_connections\": {burst_conns}, \
+         \"burst_requests_per_connection\": {burst_requests}, \
+         \"available_parallelism\": {}}},",
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+    );
+    json.push_str("  \"closed_loop\": [\n");
+    for (i, row) in closed.iter().enumerate() {
+        push_row(&mut json, row, "    ", i + 1 < closed.len());
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"burst\":\n");
+    push_row(&mut json, &burst, "    ", true);
+    let _ = writeln!(
+        json,
+        "  \"server_stats\": {}",
+        server_stats.as_deref().unwrap_or("null"),
+    );
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).expect("write bench json");
+    println!("{json}");
+    eprintln!("load-runner: wrote {out_path}");
+
+    if total_lost > 0 {
+        eprintln!("load-runner: FAILED — {total_lost} request(s) lost");
+        std::process::exit(1);
+    }
+    if total_ok == 0 {
+        eprintln!("load-runner: FAILED — zero requests completed successfully");
+        std::process::exit(1);
+    }
+    eprintln!("load-runner: {total_ok} ok, 0 lost");
+}

@@ -8,7 +8,7 @@
 //! llmulator synthesize [--count N] [--seed S]             dataset synthesis
 //! llmulator train [--samples N] [--seed S] [--out M]      fit + save a predictor
 //! llmulator eval  [--model M] [--suite S] [--baselines]   MAPE tables
-//! llmulator serve [--model M] [--threads T]               JSONL prediction daemon
+//! llmulator serve [--model M] [--tcp ADDR] [--workers W]  JSONL prediction daemon
 //! ```
 //!
 //! Programs use the C-like surface syntax produced by the IR renderer (see
@@ -27,6 +27,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 mod commands;
+mod net;
 mod serve;
 
 fn main() -> ExitCode {
@@ -79,7 +80,8 @@ const USAGE: &str = "usage:
                   [--limit N] [--baselines] [--format direct|reasoning]
                   [--samples N] [--seed S] [--epochs E] [--batch B] [--threads T]
                   [--cache-dir DIR]
-  llmulator serve [--model model.json] [--threads T] [--max-batch N]";
+  llmulator serve [--model model.json] [--threads T] [--max-batch N]
+                  [--tcp ADDR] [--workers W] [--max-queue N]";
 
 /// Every flag that consumes the following argv entry as its value. The
 /// positional scan skips these values, so `llmulator profile --input n=3
@@ -101,6 +103,9 @@ const VALUE_FLAGS: &[&str] = &[
     "--suite",
     "--limit",
     "--max-batch",
+    "--tcp",
+    "--workers",
+    "--max-queue",
 ];
 
 /// Flags each subcommand accepts; anything else starting with `--` is an
@@ -132,7 +137,14 @@ const EVAL_FLAGS: &[&str] = &[
     "--threads",
     "--cache-dir",
 ];
-pub(crate) const SERVE_FLAGS: &[&str] = &["--model", "--threads", "--max-batch"];
+pub(crate) const SERVE_FLAGS: &[&str] = &[
+    "--model",
+    "--threads",
+    "--max-batch",
+    "--tcp",
+    "--workers",
+    "--max-queue",
+];
 
 /// Rejects any `--flag` the command does not accept. Flag *values* never
 /// start with `--` (see [`flag_value`]), so scanning every argv entry is

@@ -1,0 +1,245 @@
+//! The TCP transport for `llmulator serve --tcp ADDR`.
+//!
+//! Hand-rolled on std's [`TcpListener`]/[`TcpStream`] — no network crates.
+//! An accept loop hands each connection to its own reader thread; every
+//! reader funnels requests into the one shared
+//! [`ServePool`](llmulator::ServePool), so requests from *different*
+//! connections that arrive together are fused into one micro-batch. Each
+//! connection pairs its reader with a sequencing writer thread
+//! ([`crate::serve::writer_loop`]), so responses return on the right socket
+//! in that connection's request order.
+//!
+//! Shutdown is cooperative: SIGTERM/SIGINT (or a `{"shutdown": true}`
+//! request on any connection) sets [`SHUTDOWN`]; the accept loop stops
+//! accepting and closes the listener, readers notice within one poll
+//! interval and stop reading, everything already accepted is answered and
+//! flushed, and the daemon exits 0 with a latency summary.
+//!
+//! Robustness contract (pinned by `tests/serve_tcp.rs`): byte garbage,
+//! oversized lines, split/coalesced frames and mid-request disconnects
+//! never panic the daemon or wedge the pool — a malformed line costs its
+//! connection one structured error response, nothing more.
+
+use crate::serve::{Dispatcher, ServeSummary};
+use llmulator::{Engine, Error, PoolConfig, ServePool};
+use std::io::{BufRead, BufReader, BufWriter, ErrorKind};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+/// Set by the signal handler or a `{"shutdown": true}` request; every
+/// accept/read loop polls it and begins the graceful drain when it flips.
+pub(crate) static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// A single request line may not exceed this many bytes (the writer's
+/// reorder buffer and the parser both hold whole lines in memory); longer
+/// lines are answered with a structured error and skipped to the next
+/// newline.
+const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// How often blocked accept/read calls wake up to poll [`SHUTDOWN`].
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+extern "C" fn on_signal(_signum: i32) {
+    // Only an atomic store: the one thing a signal handler may safely do.
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Routes SIGTERM and SIGINT to [`SHUTDOWN`] so the daemon drains instead
+/// of dying mid-response. Declared directly against libc's `signal(2)` —
+/// std links libc on every unix target, and the two-line shim avoids a
+/// whole FFI crate.
+#[cfg(unix)]
+fn install_signal_handlers() {
+    type Handler = extern "C" fn(i32);
+    extern "C" {
+        fn signal(signum: i32, handler: Handler) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    // SAFETY: `on_signal` matches the sighandler_t signature and is
+    // async-signal-safe (a single atomic store).
+    unsafe {
+        signal(SIGTERM, on_signal);
+        signal(SIGINT, on_signal);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
+/// Binds `addr`, announces the bound address on stderr (`serve: listening
+/// on IP:PORT ...` — tests bind port 0 and parse the real port from this
+/// line), serves until [`SHUTDOWN`], then drains and reports.
+pub(crate) fn run_tcp(
+    addr: &str,
+    engine: Arc<Engine>,
+    config: PoolConfig,
+) -> Result<ServeSummary, Error> {
+    install_signal_handlers();
+    let listener = TcpListener::bind(addr)
+        .map_err(|e| Error::Io(e).context(format!("cannot listen on `{addr}`")))?;
+    listener.set_nonblocking(true).map_err(Error::Io)?;
+    let local = listener.local_addr().map_err(Error::Io)?;
+    let pool = ServePool::start(engine, config);
+    eprintln!(
+        "serve: listening on {local} ({} worker(s), micro-batch up to {}, queue limit {}); \
+         one JSON request per line; SIGTERM or {{\"shutdown\": true}} drains and exits",
+        config.workers.max(1),
+        config.max_batch.max(1),
+        config.max_queue.max(1),
+    );
+    let direct_errors = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        while !SHUTDOWN.load(Ordering::Relaxed) {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    let pool = &pool;
+                    let direct_errors = &direct_errors;
+                    scope.spawn(move || {
+                        let errors = handle_connection(stream, pool);
+                        direct_errors.fetch_add(errors, Ordering::Relaxed);
+                    });
+                }
+                // Nonblocking accept: idle (or transient per-connection
+                // failures like ECONNABORTED) just waits out a poll tick.
+                Err(_) => std::thread::sleep(POLL_INTERVAL),
+            }
+        }
+        // Stop accepting before the in-flight work finishes: new clients
+        // are refused while accepted requests still get their answers.
+        drop(listener);
+    });
+    let stats = pool.drain();
+    Ok(ServeSummary {
+        stats,
+        direct_errors: direct_errors.load(Ordering::Relaxed),
+    })
+}
+
+/// Serves one connection: a reader loop on this thread, a sequencing
+/// writer thread for the responses. Returns the number of error responses
+/// produced without entering the pool (parse errors, oversized lines).
+fn handle_connection(stream: TcpStream, pool: &ServePool) -> u64 {
+    let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+        return 0;
+    }
+    let Ok(write_half) = stream.try_clone() else {
+        return 0;
+    };
+    let (tx, rx) = mpsc::channel();
+    let gone = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let gone = Arc::clone(&gone);
+        std::thread::spawn(move || {
+            crate::serve::writer_loop(BufWriter::new(write_half), &rx, &gone)
+        })
+    };
+    let mut dispatcher = Dispatcher::new(pool, tx);
+    read_lines(BufReader::new(stream), &mut dispatcher, &gone);
+    let direct_errors = dispatcher.direct_errors;
+    // Dropping the dispatcher drops its channel sender; the writer exits
+    // once every in-flight completion callback has fired, so joining here
+    // guarantees all accepted requests on this connection were answered
+    // (or the client was observed gone) before the thread ends.
+    drop(dispatcher);
+    let _ = writer.join();
+    direct_errors
+}
+
+/// The reader loop: accumulates bytes into lines, tolerating split and
+/// coalesced TCP frames, and dispatches each complete line. Returns on
+/// EOF, connection error, client hang-up (`gone`), [`SHUTDOWN`], or a
+/// shutdown request. Lines longer than [`MAX_LINE_BYTES`] are answered
+/// with a structured error and skipped without buffering them.
+fn read_lines(
+    mut reader: BufReader<TcpStream>,
+    dispatcher: &mut Dispatcher<'_>,
+    gone: &AtomicBool,
+) {
+    enum Step {
+        Eof,
+        Wait,
+        Fatal,
+        Line { consumed: usize },
+        Partial { consumed: usize },
+    }
+    let mut line: Vec<u8> = Vec::new();
+    let mut skipping = false;
+    loop {
+        if SHUTDOWN.load(Ordering::Relaxed) || gone.load(Ordering::Relaxed) {
+            return;
+        }
+        let step = match reader.fill_buf() {
+            Ok([]) => Step::Eof,
+            Ok(chunk) => match chunk.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    if !skipping {
+                        line.extend_from_slice(&chunk[..pos]);
+                    }
+                    Step::Line { consumed: pos + 1 }
+                }
+                None => {
+                    if !skipping {
+                        line.extend_from_slice(chunk);
+                    }
+                    Step::Partial {
+                        consumed: chunk.len(),
+                    }
+                }
+            },
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+                ) =>
+            {
+                Step::Wait
+            }
+            // Mid-request disconnect, reset, etc.: this connection is done;
+            // the pool and every other connection are unaffected.
+            Err(_) => Step::Fatal,
+        };
+        match step {
+            Step::Wait => continue,
+            Step::Fatal => return,
+            Step::Eof => {
+                // A trailing unterminated line still gets an answer, same
+                // as stdin's `lines()`.
+                if !skipping && !line.is_empty() {
+                    dispatch_bytes(dispatcher, &line);
+                }
+                return;
+            }
+            Step::Line { consumed } => {
+                reader.consume(consumed);
+                if skipping {
+                    skipping = false;
+                } else if !dispatch_bytes(dispatcher, &line) {
+                    return;
+                }
+                line.clear();
+            }
+            Step::Partial { consumed } => {
+                reader.consume(consumed);
+                if !skipping && line.len() > MAX_LINE_BYTES {
+                    dispatcher.reject(&Error::InvalidRequest(format!(
+                        "request line exceeds {MAX_LINE_BYTES} bytes and was discarded"
+                    )));
+                    skipping = true;
+                    line.clear();
+                }
+            }
+        }
+    }
+}
+
+/// Decodes one raw line (lossily — garbage bytes become a malformed-JSON
+/// error response, never a panic) and dispatches it. Returns `false` when
+/// the line asked the daemon to shut down.
+fn dispatch_bytes(dispatcher: &mut Dispatcher<'_>, raw: &[u8]) -> bool {
+    let text = String::from_utf8_lossy(raw);
+    dispatcher.dispatch(text.trim_end_matches('\r'))
+}

@@ -1,11 +1,18 @@
 //! `llmulator serve` — a long-lived JSONL prediction daemon.
 //!
-//! The daemon loads a trained model into an [`Engine`], opens a [`Session`]
-//! and then speaks newline-delimited JSON over stdin/stdout: one request
-//! object per input line, one response object per output line, correlated
-//! by the request's `id` field (echoed verbatim). Malformed lines are
-//! answered with a structured error object — they never kill the process —
-//! and EOF on stdin ends the loop with a clean exit.
+//! The daemon loads a trained model into an [`Engine`](llmulator::Engine)
+//! and answers newline-delimited JSON: one request object per input line,
+//! one response object per output line, correlated by the request's `id`
+//! field (echoed verbatim). Malformed lines are answered with a structured
+//! error object — they never kill the process. Two transports share the
+//! exact same dispatch path (so their answers are bit-identical):
+//!
+//! * **stdin/stdout** (default): EOF on stdin ends the loop with a clean
+//!   exit. The local pipe gets *backpressure* — reads pause while the queue
+//!   is full — so piping a large request file never drops lines.
+//! * **TCP** (`--tcp ADDR`, see [`crate::net`]): many concurrent clients,
+//!   load-shedding with structured `overloaded` errors when the queue is
+//!   full, graceful drain on SIGTERM.
 //!
 //! ## Wire protocol
 //!
@@ -32,26 +39,37 @@
 //!  "message": "...", "chain": ["...", "..."]}}
 //! ```
 //!
-//! Requests read from stdin are micro-batched: every line already buffered
-//! when the loop turns is answered in one
-//! [`Session::predict_micro_batch`] call, which packs all their inputs
-//! through the predictor's fused batch path (one GEMM per layer per length
-//! group) — under bursty load the daemon amortizes the forward pass across
-//! concurrent requests while staying bit-identical to serial prediction.
+//! Two admin request types ride the same framing: `{"stats": true}` returns
+//! the serving counters and latency percentiles, `{"shutdown": true}`
+//! acknowledges and drains the daemon (stop accepting, finish everything
+//! already accepted, exit 0).
+//!
+//! Requests are micro-batched by a shared
+//! [`ServePool`](llmulator::ServePool): every line buffered when a worker
+//! turns — across *all* connections in TCP mode — is answered in one fused
+//! [`Session::predict_micro_batch`](llmulator::Session::predict_micro_batch)
+//! call, bit-identical to serial prediction. Responses come back on each
+//! connection in request order (a sequencing writer reorders out-of-order
+//! pool completions).
 
-use llmulator::{EngineConfig, Error, Feedback, PredictRequest, Session};
+use llmulator::{
+    EngineConfig, Error, Feedback, PoolConfig, PoolStats, PredictRequest, PredictResponse,
+    ServeJob, ServePool,
+};
 use llmulator_sim::Metric;
 use serde_json::Value;
+use std::collections::BTreeMap;
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
-use std::sync::mpsc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
 
 /// Entry point for the `serve` subcommand (called from `main` before the
 /// one-shot command dispatcher; owns its own stdout loop).
 pub(crate) fn run(args: &[String]) -> ExitCode {
     match serve(args) {
-        Ok((served, errors)) => {
-            eprintln!("serve: {served} request(s) answered, {errors} error response(s); bye");
+        Ok(summary) => {
+            eprintln!("{}", summary.render());
             ExitCode::SUCCESS
         }
         Err(e) => {
@@ -66,120 +84,342 @@ pub(crate) fn run(args: &[String]) -> ExitCode {
     }
 }
 
-fn serve(args: &[String]) -> Result<(usize, usize), Error> {
+/// Final accounting for one daemon run, rendered on clean exit.
+pub(crate) struct ServeSummary {
+    /// Pool-side counters and latency percentiles.
+    pub(crate) stats: PoolStats,
+    /// Responses produced without entering the pool (parse errors,
+    /// oversized lines).
+    pub(crate) direct_errors: u64,
+}
+
+impl ServeSummary {
+    fn render(&self) -> String {
+        let errors = self.stats.errors + self.direct_errors;
+        let latency = match &self.stats.latency {
+            None => "no latency samples".to_string(),
+            Some(l) => format!(
+                "latency p50/p90/p99/max {}/{}/{}/{} us over {} request(s)",
+                l.p50_micros, l.p90_micros, l.p99_micros, l.max_micros, l.count
+            ),
+        };
+        format!(
+            "serve: {} request(s) answered, {} error response(s), {} shed; {latency}; bye",
+            self.stats.served, errors, self.stats.shed
+        )
+    }
+}
+
+fn serve(args: &[String]) -> Result<ServeSummary, Error> {
     crate::check_flags(args, "serve", crate::SERVE_FLAGS)?;
     let model_path = crate::flag_value(args, "--model")?.unwrap_or("model.json");
     let max_batch = crate::parse_flag(args, "--max-batch", 64usize)?.max(1);
+    let max_queue = crate::parse_flag(args, "--max-queue", 256usize)?.max(1);
+    let tcp = crate::flag_value(args, "--tcp")?.map(str::to_string);
+    let workers = match crate::flag_value(args, "--workers")? {
+        // The default (0) is never used: the flag is known to be present.
+        Some(_) => crate::parse_flag(args, "--workers", 0usize)?.max(1),
+        // Stdin serves one pipe; TCP defaults to a pool sized for the host.
+        None if tcp.is_some() => std::thread::available_parallelism().map_or(2, |n| n.get().min(8)),
+        None => 1,
+    };
     let mut config = EngineConfig::new();
     if crate::flag_value(args, "--threads")?.is_some() {
-        // The default (0) is never used: the flag is known to be present.
         config = config.threads(crate::parse_flag(args, "--threads", 0usize)?);
     }
     let mut engine = config.build();
     engine.load_predictor("default", model_path)?;
-    eprintln!(
-        "serve: model `{model_path}` loaded; one JSON request per line on stdin \
-         (micro-batch up to {max_batch})"
-    );
-    let session = engine.session();
-    Ok(serve_loop(session, max_batch))
+    let engine = Arc::new(engine);
+    let pool_config = PoolConfig {
+        workers,
+        max_batch,
+        max_queue,
+    };
+    match tcp {
+        Some(addr) => crate::net::run_tcp(&addr, engine, pool_config),
+        None => {
+            eprintln!(
+                "serve: model `{model_path}` loaded; one JSON request per line on stdin \
+                 ({workers} worker(s), micro-batch up to {max_batch})"
+            );
+            Ok(serve_stdin(engine, pool_config))
+        }
+    }
 }
 
-/// The request/response loop. A detached reader thread feeds stdin lines
-/// through a channel so the serving thread can drain everything already
-/// buffered (the micro-batch) without blocking mid-burst.
-fn serve_loop(mut session: Session<'_>, max_batch: usize) -> (usize, usize) {
-    // Bounded channel: a producer faster than inference blocks in the
-    // reader thread (stdin backpressure) instead of growing an unbounded
-    // queue until the process OOMs.
-    let (tx, rx) = mpsc::sync_channel::<String>(max_batch);
-    std::thread::spawn(move || {
+/// The stdin/stdout transport: reads lines on this thread, dispatches them
+/// through the shared pool, and lets a sequencing writer thread keep stdout
+/// in request order. EOF (or `{"shutdown": true}`) drains and returns.
+fn serve_stdin(engine: Arc<llmulator::Engine>, config: PoolConfig) -> ServeSummary {
+    let pool = ServePool::start(engine, config);
+    let (tx, rx) = mpsc::channel();
+    let gone = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let gone = Arc::clone(&gone);
+        std::thread::spawn(move || {
+            let stdout = std::io::stdout();
+            writer_loop(stdout.lock(), &rx, &gone);
+        })
+    };
+    let direct_errors;
+    {
+        let mut dispatcher = Dispatcher::new(&pool, tx);
         let stdin = std::io::stdin();
         for line in stdin.lock().lines() {
             let Ok(line) = line else { break };
-            if tx.send(line).is_err() {
+            if gone.load(Ordering::Relaxed) {
+                // Stdout hung up (EPIPE): stop reading, drain, exit clean —
+                // `llmulator serve | head` must not error.
+                break;
+            }
+            // Stdin is a local pipe, not a remote client: pause reads while
+            // the queue is full (backpressure) instead of shedding, so
+            // piping a large request file never drops lines.
+            while pool.depth() >= config.max_queue {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+            if !dispatcher.dispatch(&line) {
                 break;
             }
         }
-    });
-
-    let stdout = std::io::stdout();
-    let mut out = stdout.lock();
-    let mut served = 0usize;
-    let mut errors = 0usize;
-    // Block for the first line of each turn, then drain whatever else has
-    // already arrived.
-    'serve: while let Ok(first) = rx.recv() {
-        let mut lines = vec![first];
-        while lines.len() < max_batch {
-            match rx.try_recv() {
-                Ok(line) => lines.push(line),
-                Err(_) => break,
-            }
-        }
-
-        // Parse every line; move (not clone) the well-formed requests into
-        // one fused micro-batch, remembering per line whether its answer
-        // comes from the batch or is a parse error.
-        let mut requests: Vec<PredictRequest> = Vec::new();
-        let parsed: Vec<(Value, Option<Error>)> = lines
-            .iter()
-            .filter(|l| !l.trim().is_empty())
-            .map(|l| match parse_request(l) {
-                (id, Ok(request)) => {
-                    requests.push(request);
-                    (id, None)
-                }
-                (id, Err(e)) => (id, Some(e)),
-            })
-            .collect();
-        let mut results = session.predict_micro_batch(&requests).into_iter();
-
-        for (id, parse_error) in parsed {
-            let line = match parse_error {
-                None => match results.next().expect("one result per valid request") {
-                    Ok(response) => {
-                        served += 1;
-                        let predictions: Vec<Value> = response.items[0]
-                            .metrics
-                            .iter()
-                            .map(|mv| {
-                                serde_json::json!({
-                                    "metric": metric_name(mv.metric),
-                                    "value": mv.value,
-                                    "digits": mv.digits.clone().unwrap_or_default(),
-                                    "confidence": f64::from(mv.confidence.unwrap_or(0.0)),
-                                    "mean_confidence":
-                                        f64::from(mv.mean_confidence.unwrap_or(0.0)),
-                                })
-                            })
-                            .collect();
-                        serde_json::json!({
-                            "id": id,
-                            "ok": true,
-                            "model": response.model,
-                            "predictions": predictions,
-                        })
-                    }
-                    Err(e) => {
-                        errors += 1;
-                        error_response(id, &e)
-                    }
-                },
-                Some(e) => {
-                    errors += 1;
-                    error_response(id, &e)
-                }
-            };
-            match writeln!(out, "{line}") {
-                Ok(()) => {}
-                // The client hung up; stop serving without an error exit.
-                Err(_) => break 'serve,
-            }
-        }
-        let _ = out.flush();
+        direct_errors = dispatcher.direct_errors;
     }
-    (served, errors)
+    let stats = pool.drain();
+    let _ = writer.join();
+    ServeSummary {
+        stats,
+        direct_errors,
+    }
+}
+
+/// One input line, classified. `Request` carries the echoed `id` and the
+/// typed request; `Invalid` still carries whatever `id` could be recovered.
+pub(crate) enum Parsed {
+    /// Blank line — ignored, no response.
+    Empty,
+    /// A well-formed prediction request.
+    Request(Value, PredictRequest),
+    /// A line that gets a structured error response without touching the
+    /// pool.
+    Invalid(Value, Error),
+    /// `{"stats": true}` — answer with counters and latency percentiles.
+    Stats(Value),
+    /// `{"shutdown": true}` — acknowledge, then drain the daemon.
+    Shutdown(Value),
+}
+
+/// Classifies one request line (see [`Parsed`]).
+pub(crate) fn classify_line(line: &str) -> Parsed {
+    if line.trim().is_empty() {
+        return Parsed::Empty;
+    }
+    let value = match serde_json::parse_value(line) {
+        Ok(v) => v,
+        Err(e) => {
+            return Parsed::Invalid(
+                Value::Null,
+                Error::InvalidRequest(format!("malformed JSON: {e}")),
+            )
+        }
+    };
+    let Some(pairs) = value.as_object() else {
+        return Parsed::Invalid(
+            Value::Null,
+            Error::InvalidRequest(format!(
+                "request must be a JSON object, got {}",
+                type_name(&value)
+            )),
+        );
+    };
+    let id = get(pairs, "id").cloned().unwrap_or(Value::Null);
+    for (key, admin) in [
+        ("stats", Parsed::Stats as fn(Value) -> Parsed),
+        ("shutdown", Parsed::Shutdown as fn(Value) -> Parsed),
+    ] {
+        if let Some(v) = get(pairs, key) {
+            return if v == &Value::Bool(true) {
+                admin(id)
+            } else {
+                Parsed::Invalid(
+                    id,
+                    Error::InvalidRequest(format!("`{key}` must be the literal `true`")),
+                )
+            };
+        }
+    }
+    match build_request(pairs) {
+        Ok(request) => Parsed::Request(id, request),
+        Err(e) => Parsed::Invalid(id, e),
+    }
+}
+
+/// The one request-dispatch path both transports share. Each line gets a
+/// monotonically increasing sequence number; every response — whether
+/// produced inline (errors, stats) or by a pool worker — is sent to the
+/// connection's writer as `(seq, line)`, and the writer emits them in
+/// sequence order. That keeps responses in request order per connection
+/// even though pool completions interleave across connections.
+pub(crate) struct Dispatcher<'p> {
+    pool: &'p ServePool,
+    out: mpsc::Sender<(u64, String)>,
+    next_seq: u64,
+    /// Error responses produced without entering the pool.
+    pub(crate) direct_errors: u64,
+}
+
+impl<'p> Dispatcher<'p> {
+    pub(crate) fn new(pool: &'p ServePool, out: mpsc::Sender<(u64, String)>) -> Dispatcher<'p> {
+        Dispatcher {
+            pool,
+            out,
+            next_seq: 0,
+            direct_errors: 0,
+        }
+    }
+
+    /// Routes one input line. Returns `false` when the line asked the
+    /// daemon to shut down (the shutdown is acknowledged first).
+    pub(crate) fn dispatch(&mut self, line: &str) -> bool {
+        match classify_line(line) {
+            Parsed::Empty => true,
+            Parsed::Request(id, request) => {
+                let seq = self.take_seq();
+                let out = self.out.clone();
+                self.pool.submit(ServeJob::new(request, move |result, _| {
+                    let value = match result {
+                        Ok(response) => success_response(&id, &response),
+                        Err(e) => error_response(id, &e),
+                    };
+                    let _ = out.send((seq, value.to_string()));
+                }));
+                true
+            }
+            Parsed::Invalid(id, e) => {
+                self.direct_errors += 1;
+                self.send(error_response(id, &e));
+                true
+            }
+            Parsed::Stats(id) => {
+                let value = stats_response(&id, &self.pool.snapshot());
+                self.send(value);
+                true
+            }
+            Parsed::Shutdown(id) => {
+                crate::net::SHUTDOWN.store(true, Ordering::SeqCst);
+                self.send(serde_json::json!({
+                    "id": id,
+                    "ok": true,
+                    "shutting_down": true,
+                }));
+                false
+            }
+        }
+    }
+
+    /// Answers a line that never reaches the parser (e.g. oversized) with
+    /// a structured error response.
+    pub(crate) fn reject(&mut self, error: &Error) {
+        self.direct_errors += 1;
+        self.send(error_response(Value::Null, error));
+    }
+
+    fn take_seq(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        seq
+    }
+
+    fn send(&mut self, value: Value) {
+        let seq = self.take_seq();
+        let _ = self.out.send((seq, value.to_string()));
+    }
+}
+
+/// The per-connection response writer: receives `(seq, line)` pairs in
+/// completion order, emits them in sequence order (buffering gaps), and
+/// flushes whenever the channel runs dry. A write failure (EPIPE, reset)
+/// sets `gone` so the transport stops reading — the unified hung-up-client
+/// behavior of both stdin and TCP modes.
+pub(crate) fn writer_loop<W: Write>(
+    mut out: W,
+    rx: &mpsc::Receiver<(u64, String)>,
+    gone: &AtomicBool,
+) {
+    let mut pending: BTreeMap<u64, String> = BTreeMap::new();
+    let mut next = 0u64;
+    loop {
+        let (seq, line) = match rx.try_recv() {
+            Ok(message) => message,
+            Err(mpsc::TryRecvError::Empty) => {
+                // Nothing buffered: flush what we have, then block.
+                let _ = out.flush();
+                match rx.recv() {
+                    Ok(message) => message,
+                    Err(_) => break,
+                }
+            }
+            Err(mpsc::TryRecvError::Disconnected) => break,
+        };
+        pending.insert(seq, line);
+        while let Some(line) = pending.remove(&next) {
+            next += 1;
+            if gone.load(Ordering::Relaxed) {
+                continue; // client hung up: drain the channel, write nothing
+            }
+            if writeln!(out, "{line}").is_err() {
+                gone.store(true, Ordering::Relaxed);
+            }
+        }
+    }
+    let _ = out.flush();
+}
+
+/// Builds the success response object for one answered request.
+fn success_response(id: &Value, response: &PredictResponse) -> Value {
+    let predictions: Vec<Value> = response.items[0]
+        .metrics
+        .iter()
+        .map(|mv| {
+            serde_json::json!({
+                "metric": metric_name(mv.metric),
+                "value": mv.value,
+                "digits": mv.digits.clone().unwrap_or_default(),
+                "confidence": f64::from(mv.confidence.unwrap_or(0.0)),
+                "mean_confidence": f64::from(mv.mean_confidence.unwrap_or(0.0)),
+            })
+        })
+        .collect();
+    serde_json::json!({
+        "id": id.clone(),
+        "ok": true,
+        "model": response.model.clone(),
+        "predictions": predictions,
+    })
+}
+
+/// Builds the `{"stats": true}` response from a pool snapshot.
+fn stats_response(id: &Value, stats: &PoolStats) -> Value {
+    let latency = match &stats.latency {
+        None => Value::Null,
+        Some(l) => serde_json::json!({
+            "count": l.count,
+            "p50": l.p50_micros,
+            "p90": l.p90_micros,
+            "p99": l.p99_micros,
+            "max": l.max_micros,
+        }),
+    };
+    serde_json::json!({
+        "id": id.clone(),
+        "ok": true,
+        "stats": {
+            "served": stats.served,
+            "errors": stats.errors,
+            "shed": stats.shed,
+            "queue_depth": stats.depth,
+            "latency_us": latency,
+        },
+    })
 }
 
 /// Builds the structured error object for one failed request.
@@ -197,27 +437,24 @@ fn error_response(id: Value, error: &Error) -> Value {
 }
 
 /// Parses one request line into its echoed `id` and a typed request.
+/// Production code goes through [`classify_line`]; this wrapper keeps the
+/// parser's unit tests in request/result form.
+#[cfg(test)]
 fn parse_request(line: &str) -> (Value, Result<PredictRequest, Error>) {
-    let value = match serde_json::parse_value(line) {
-        Ok(v) => v,
-        Err(e) => {
-            return (
-                Value::Null,
-                Err(Error::InvalidRequest(format!("malformed JSON: {e}"))),
-            )
-        }
-    };
-    let Some(pairs) = value.as_object() else {
-        return (
+    match classify_line(line) {
+        Parsed::Request(id, request) => (id, Ok(request)),
+        Parsed::Invalid(id, e) => (id, Err(e)),
+        Parsed::Empty => (
             Value::Null,
-            Err(Error::InvalidRequest(format!(
-                "request must be a JSON object, got {}",
-                type_name(&value)
-            ))),
-        );
-    };
-    let id = get(pairs, "id").cloned().unwrap_or(Value::Null);
-    (id, build_request(pairs))
+            Err(Error::InvalidRequest("empty request line".into())),
+        ),
+        Parsed::Stats(id) | Parsed::Shutdown(id) => (
+            id,
+            Err(Error::InvalidRequest(
+                "admin request, not a prediction".into(),
+            )),
+        ),
+    }
 }
 
 fn build_request(pairs: &[(String, Value)]) -> Result<PredictRequest, Error> {
@@ -502,6 +739,28 @@ mod tests {
     }
 
     #[test]
+    fn admin_lines_classify_as_stats_and_shutdown() {
+        match classify_line(r#"{"id": 9, "stats": true}"#) {
+            Parsed::Stats(id) => assert_eq!(id, Value::U64(9)),
+            _ => panic!("stats request"),
+        }
+        match classify_line(r#"{"shutdown": true}"#) {
+            Parsed::Shutdown(id) => assert_eq!(id, Value::Null),
+            _ => panic!("shutdown request"),
+        }
+        // Anything but the literal `true` is a structured error, not an
+        // accidental shutdown.
+        match classify_line(r#"{"shutdown": 1}"#) {
+            Parsed::Invalid(_, e) => assert_eq!(e.kind(), "invalid_request"),
+            _ => panic!("non-true shutdown rejected"),
+        }
+        match classify_line("   ") {
+            Parsed::Empty => {}
+            _ => panic!("blank line"),
+        }
+    }
+
+    #[test]
     fn error_response_carries_kind_message_and_chain() {
         let err = Error::from(llmulator::PersistError::Io(std::io::Error::new(
             std::io::ErrorKind::NotFound,
@@ -515,6 +774,67 @@ mod tests {
         assert!(text.contains("\"kind\":\"persist\""), "{text}");
         assert!(text.contains("cannot load model"), "{text}");
         assert!(text.contains("gone"), "chain reaches the root: {text}");
+    }
+
+    #[test]
+    fn stats_response_renders_counters_and_latency() {
+        let empty = PoolStats {
+            served: 0,
+            errors: 0,
+            shed: 0,
+            depth: 0,
+            latency: None,
+        };
+        let text = stats_response(&Value::Str("s".into()), &empty).to_string();
+        assert!(text.contains("\"latency_us\":null"), "{text}");
+        assert!(text.contains("\"served\":0"), "{text}");
+
+        let mut h = llmulator::LatencyHistogram::new();
+        h.record_micros(100);
+        h.record_micros(200);
+        let full = PoolStats {
+            served: 2,
+            errors: 1,
+            shed: 3,
+            depth: 4,
+            latency: h.summary(),
+        };
+        let text = stats_response(&Value::Null, &full).to_string();
+        for needle in [
+            "\"served\":2",
+            "\"errors\":1",
+            "\"shed\":3",
+            "\"queue_depth\":4",
+            "\"count\":2",
+            "\"p50\":",
+            "\"p99\":",
+            "\"max\":200",
+        ] {
+            assert!(text.contains(needle), "missing {needle}: {text}");
+        }
+    }
+
+    #[test]
+    fn writer_loop_reorders_by_sequence_and_respects_gone() {
+        let (tx, rx) = mpsc::channel();
+        // Out-of-order completions: 2, 0, 1 must print as 0, 1, 2.
+        tx.send((2, "two".to_string())).expect("send");
+        tx.send((0, "zero".to_string())).expect("send");
+        tx.send((1, "one".to_string())).expect("send");
+        drop(tx);
+        let mut out = Vec::new();
+        let gone = AtomicBool::new(false);
+        writer_loop(&mut out, &rx, &gone);
+        assert_eq!(String::from_utf8_lossy(&out), "zero\none\ntwo\n");
+
+        // A hung-up client: everything is drained, nothing is written.
+        let (tx, rx) = mpsc::channel();
+        tx.send((0, "x".to_string())).expect("send");
+        drop(tx);
+        let mut out = Vec::new();
+        let gone = AtomicBool::new(true);
+        writer_loop(&mut out, &rx, &gone);
+        assert!(out.is_empty(), "gone writer writes nothing");
     }
 
     #[test]

@@ -36,6 +36,15 @@ pub enum Error {
     /// A request was structurally invalid (empty input set, metric the
     /// model cannot produce, token input to an IR-featurizing baseline, …).
     InvalidRequest(String),
+    /// The serving queue was at capacity and the request was shed instead
+    /// of queued (see `crate::serve_pool::ServePool`). Clients should back
+    /// off and retry; the request was **not** executed.
+    Overloaded {
+        /// Queue depth at the moment of shedding.
+        depth: usize,
+        /// The configured `--max-queue` limit.
+        limit: usize,
+    },
     /// A command-line argument could not be interpreted.
     InvalidArgument(String),
     /// A higher-level operation failed; `source` says why. This is the
@@ -94,6 +103,7 @@ impl Error {
             Error::Io(_) => "io",
             Error::UnknownModel { .. } => "unknown_model",
             Error::InvalidRequest(_) => "invalid_request",
+            Error::Overloaded { .. } => "overloaded",
             Error::InvalidArgument(_) => "invalid_argument",
             Error::Context { source, .. } => source.kind(),
         }
@@ -119,6 +129,10 @@ impl fmt::Display for Error {
                 }
             }
             Error::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
+            Error::Overloaded { depth, limit } => write!(
+                f,
+                "server overloaded: queue depth {depth} at limit {limit}, request shed"
+            ),
             Error::InvalidArgument(msg) => write!(f, "{msg}"),
             Error::Context { message, .. } => write!(f, "{message}"),
         }
@@ -133,9 +147,10 @@ impl std::error::Error for Error {
             Error::Persist(e) => Some(e),
             Error::Io(e) => Some(e),
             Error::Context { source, .. } => Some(source.as_ref()),
-            Error::UnknownModel { .. } | Error::InvalidRequest(_) | Error::InvalidArgument(_) => {
-                None
-            }
+            Error::UnknownModel { .. }
+            | Error::InvalidRequest(_)
+            | Error::Overloaded { .. }
+            | Error::InvalidArgument(_) => None,
         }
     }
 }

@@ -51,6 +51,7 @@ pub mod masks;
 pub mod model;
 pub mod numeric;
 pub mod persist;
+pub mod serve_pool;
 
 pub use accel::{AccelStats, CachedPredictor};
 pub use cache::{content_hash, write_atomic, CacheStats, DatasetCache};
@@ -73,3 +74,6 @@ pub use numeric::{
     beam_search, beam_search_with, BeamHypothesis, BeamScratch, DigitCodec, DigitDistribution,
 };
 pub use persist::{PersistError, FORMAT_VERSION};
+pub use serve_pool::{
+    LatencyHistogram, LatencySummary, PoolConfig, PoolStats, ServeJob, ServePool,
+};

@@ -1,0 +1,708 @@
+//! Shared worker pool behind every serving transport.
+//!
+//! The JSONL daemon (`llmulator serve`) and its TCP transport both funnel
+//! requests into one [`ServePool`]: a fixed set of worker threads sharing a
+//! single [`Engine`] through per-worker [`crate::Session`]s, fed by a
+//! central bounded queue. Workers drain the queue in micro-batches, so
+//! requests from *different* connections that arrive together are packed
+//! into one fused [`crate::Session::predict_micro_batch`] call — the
+//! cross-connection generalization of the stdin daemon's per-turn batching,
+//! with answers bit-identical to serving each request alone.
+//!
+//! The queue is bounded twice over:
+//!
+//! * **Backpressure** — workers pop at most
+//!   [`PoolConfig::max_batch`] jobs per turn, so one giant burst cannot
+//!   monopolize a fused batch;
+//! * **Load-shedding** — a submission that would push the queue past
+//!   [`PoolConfig::max_queue`] is answered *immediately* with
+//!   [`Error::Overloaded`] instead of waiting. Clients see a structured
+//!   `overloaded` error object, never an unbounded hang, and the shed is
+//!   counted in [`PoolStats::shed`].
+//!
+//! Every completed request's latency (enqueue → response ready, measured
+//! with the monotonic [`Instant`] clock) lands in a [`LatencyHistogram`];
+//! [`ServePool::snapshot`] exposes the running p50/p90/p99/max for the
+//! `stats` wire request and the shutdown summary. [`ServePool::drain`]
+//! implements graceful shutdown: the queue closes (further submissions are
+//! shed), workers finish everything already accepted, and the final stats
+//! come back to the caller.
+
+use crate::engine::{Engine, PredictRequest, PredictResponse};
+use crate::error::Error;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Number of log₂-spaced latency buckets. Bucket `i` covers
+/// `[2^i - 1, 2^(i+1) - 2]` microseconds, so 48 buckets span from sub-µs to
+/// roughly nine years — any conceivable request latency.
+const NUM_BUCKETS: usize = 48;
+
+/// A mergeable latency histogram over log₂-spaced microsecond buckets.
+///
+/// Percentile estimates are *bucket upper bounds capped at the exact
+/// observed maximum*: for a true percentile `t` the estimate `e` satisfies
+/// `t <= e <= min(2t + 2, max)`. Merging is exact (bucket counts add), so
+/// per-worker histograms combine associatively into one summary — the
+/// property that makes `BENCH_serve.json`'s aggregated numbers trustworthy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: [u64; NUM_BUCKETS],
+    total: u64,
+    max_micros: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> LatencyHistogram {
+        LatencyHistogram::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram {
+            counts: [0; NUM_BUCKETS],
+            total: 0,
+            max_micros: 0,
+        }
+    }
+
+    /// Bucket index for a microsecond value: `floor(log2(v + 1))`, clamped
+    /// to the last bucket.
+    fn bucket(micros: u64) -> usize {
+        let i = (u64::BITS - (micros.saturating_add(1)).leading_zeros()) as usize - 1;
+        i.min(NUM_BUCKETS - 1)
+    }
+
+    /// Upper bound (inclusive, in µs) of bucket `i`.
+    fn bucket_upper(i: usize) -> u64 {
+        if i >= NUM_BUCKETS - 1 {
+            u64::MAX
+        } else {
+            (1u64 << (i + 1)) - 2
+        }
+    }
+
+    /// Records one latency measured with the monotonic clock.
+    pub fn record(&mut self, latency: Duration) {
+        self.record_micros(latency.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Records one latency in microseconds.
+    pub fn record_micros(&mut self, micros: u64) {
+        self.counts[Self::bucket(micros)] += 1;
+        self.total += 1;
+        self.max_micros = self.max_micros.max(micros);
+    }
+
+    /// Adds every observation of `other` into `self`. Exact: merging is
+    /// associative and commutative, so per-worker histograms can be
+    /// combined in any order with identical results.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.total += other.total;
+        self.max_micros = self.max_micros.max(other.max_micros);
+    }
+
+    /// Total number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// The exact maximum observed latency, or `None` when empty.
+    pub fn max_micros(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.max_micros)
+    }
+
+    /// Upper-bound estimate of the `p`-th percentile (0–100) in µs, or
+    /// `None` when the histogram is empty. Monotone in `p`; `p = 100`
+    /// returns the exact maximum.
+    pub fn percentile_micros(&self, p: f64) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let p = p.clamp(0.0, 100.0);
+        // Rank of the percentile observation, 1-based, nearest-rank method.
+        let rank = ((p / 100.0 * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(Self::bucket_upper(i).min(self.max_micros));
+            }
+        }
+        Some(self.max_micros)
+    }
+
+    /// The `{count, p50, p90, p99, max}` summary, or `None` when empty.
+    pub fn summary(&self) -> Option<LatencySummary> {
+        Some(LatencySummary {
+            count: self.total,
+            p50_micros: self.percentile_micros(50.0)?,
+            p90_micros: self.percentile_micros(90.0)?,
+            p99_micros: self.percentile_micros(99.0)?,
+            max_micros: self.max_micros()?,
+        })
+    }
+}
+
+/// Percentile summary of a [`LatencyHistogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Number of observations behind the percentiles.
+    pub count: u64,
+    /// Median upper bound, µs.
+    pub p50_micros: u64,
+    /// 90th-percentile upper bound, µs.
+    pub p90_micros: u64,
+    /// 99th-percentile upper bound, µs.
+    pub p99_micros: u64,
+    /// Exact maximum, µs.
+    pub max_micros: u64,
+}
+
+/// Sizing knobs for a [`ServePool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolConfig {
+    /// Worker threads (each owns a [`crate::Session`]); clamped ≥ 1.
+    pub workers: usize,
+    /// Maximum jobs fused into one micro-batch; clamped ≥ 1.
+    pub max_batch: usize,
+    /// Queue depth beyond which submissions are shed; clamped ≥ 1.
+    pub max_queue: usize,
+}
+
+impl Default for PoolConfig {
+    fn default() -> PoolConfig {
+        PoolConfig {
+            workers: 1,
+            max_batch: 64,
+            max_queue: 256,
+        }
+    }
+}
+
+/// One queued unit of work: a typed request plus the completion callback
+/// that routes the answer back to whichever transport submitted it. The
+/// callback receives the result and the request's total service latency
+/// (queue wait + prediction, monotonic clock).
+pub struct ServeJob {
+    request: PredictRequest,
+    complete: Box<dyn FnOnce(Result<PredictResponse, Error>, Duration) + Send>,
+    enqueued: Instant,
+}
+
+impl ServeJob {
+    /// Packages a request with its completion callback.
+    pub fn new(
+        request: PredictRequest,
+        complete: impl FnOnce(Result<PredictResponse, Error>, Duration) + Send + 'static,
+    ) -> ServeJob {
+        ServeJob {
+            request,
+            complete: Box::new(complete),
+            enqueued: Instant::now(),
+        }
+    }
+}
+
+impl std::fmt::Debug for ServeJob {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeJob")
+            .field("request", &self.request)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Point-in-time serving statistics (see [`ServePool::snapshot`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Successfully answered requests.
+    pub served: u64,
+    /// Requests answered with an error (excluding sheds).
+    pub errors: u64,
+    /// Requests shed with [`Error::Overloaded`].
+    pub shed: u64,
+    /// Jobs currently waiting in the queue.
+    pub depth: usize,
+    /// Latency percentiles over every completed (served or errored)
+    /// request, or `None` before the first completion.
+    pub latency: Option<LatencySummary>,
+}
+
+struct QueueState {
+    jobs: VecDeque<ServeJob>,
+    closed: bool,
+}
+
+struct PoolShared {
+    queue: Mutex<QueueState>,
+    available: Condvar,
+    config: PoolConfig,
+    served: AtomicU64,
+    errors: AtomicU64,
+    shed: AtomicU64,
+    histogram: Mutex<LatencyHistogram>,
+}
+
+/// A fixed-size worker pool serving one [`Engine`] from a central bounded
+/// queue. See the module docs for the batching/shedding/drain contract.
+pub struct ServePool {
+    shared: Arc<PoolShared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ServePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServePool")
+            .field("config", &self.shared.config)
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl ServePool {
+    /// Starts `config.workers` worker threads serving `engine`.
+    pub fn start(engine: Arc<Engine>, config: PoolConfig) -> ServePool {
+        let config = PoolConfig {
+            workers: config.workers.max(1),
+            max_batch: config.max_batch.max(1),
+            max_queue: config.max_queue.max(1),
+        };
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            config,
+            served: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            histogram: Mutex::new(LatencyHistogram::new()),
+        });
+        let workers = (0..config.workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let engine = Arc::clone(&engine);
+                std::thread::spawn(move || worker_loop(&engine, &shared))
+            })
+            .collect();
+        ServePool { shared, workers }
+    }
+
+    /// Submits one job. The job's completion callback always runs exactly
+    /// once: with the prediction result once a worker batches it, or
+    /// immediately with [`Error::Overloaded`] when the queue is at
+    /// [`PoolConfig::max_queue`] (load-shedding) or the pool is draining.
+    pub fn submit(&self, job: ServeJob) {
+        let shed_error = {
+            let mut queue = self.shared.queue.lock().expect("queue lock");
+            if queue.closed {
+                Some(
+                    Error::Overloaded {
+                        depth: queue.jobs.len(),
+                        limit: self.shared.config.max_queue,
+                    }
+                    .context("server is draining and accepts no new requests"),
+                )
+            } else if queue.jobs.len() >= self.shared.config.max_queue {
+                Some(Error::Overloaded {
+                    depth: queue.jobs.len(),
+                    limit: self.shared.config.max_queue,
+                })
+            } else {
+                queue.jobs.push_back(job);
+                self.shared.available.notify_one();
+                return;
+            }
+        };
+        // Shed outside the lock: the callback may serialize/send.
+        let error = shed_error.expect("non-shed paths returned above");
+        self.shared.shed.fetch_add(1, Ordering::Relaxed);
+        let latency = job_latency(&job);
+        (job.complete)(Err(error), latency);
+    }
+
+    /// Current queue depth. Cheap (takes only the queue lock) — transports
+    /// poll it to apply backpressure instead of shedding where the client
+    /// is a local pipe.
+    pub fn depth(&self) -> usize {
+        self.shared.queue.lock().expect("queue lock").jobs.len()
+    }
+
+    /// Current counters, queue depth and latency percentiles.
+    pub fn snapshot(&self) -> PoolStats {
+        let depth = self.depth();
+        PoolStats {
+            served: self.shared.served.load(Ordering::Relaxed),
+            errors: self.shared.errors.load(Ordering::Relaxed),
+            shed: self.shared.shed.load(Ordering::Relaxed),
+            depth,
+            latency: self
+                .shared
+                .histogram
+                .lock()
+                .expect("histogram lock")
+                .summary(),
+        }
+    }
+
+    /// A copy of the full latency histogram (for reporting beyond the
+    /// fixed percentile summary).
+    pub fn histogram(&self) -> LatencyHistogram {
+        self.shared
+            .histogram
+            .lock()
+            .expect("histogram lock")
+            .clone()
+    }
+
+    /// Graceful drain: closes the queue (later submissions are shed with a
+    /// draining [`Error::Overloaded`]), lets the workers finish every job
+    /// already accepted, joins them and returns the final statistics.
+    pub fn drain(self) -> PoolStats {
+        {
+            let mut queue = self.shared.queue.lock().expect("queue lock");
+            queue.closed = true;
+            self.shared.available.notify_all();
+        }
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+        PoolStats {
+            served: self.shared.served.load(Ordering::Relaxed),
+            errors: self.shared.errors.load(Ordering::Relaxed),
+            shed: self.shared.shed.load(Ordering::Relaxed),
+            depth: self.shared.queue.lock().expect("queue lock").jobs.len(),
+            latency: self
+                .shared
+                .histogram
+                .lock()
+                .expect("histogram lock")
+                .summary(),
+        }
+    }
+}
+
+/// Service latency of one job (enqueue → now, saturating, monotonic).
+fn job_latency(job: &ServeJob) -> Duration {
+    job.enqueued.elapsed()
+}
+
+/// One worker: pop a micro-batch (blocking while the queue is empty and
+/// open), answer it through a fused [`crate::Session::predict_micro_batch`]
+/// call, record latencies, run the completion callbacks, repeat. Exits when
+/// the queue is closed *and* empty, so a drain completes all accepted work.
+fn worker_loop(engine: &Engine, shared: &PoolShared) {
+    let mut session = engine.session();
+    loop {
+        let batch: Vec<ServeJob> = {
+            let mut queue = shared.queue.lock().expect("queue lock");
+            while queue.jobs.is_empty() && !queue.closed {
+                queue = shared.available.wait(queue).expect("queue wait");
+            }
+            if queue.jobs.is_empty() {
+                return; // closed and fully drained
+            }
+            let take = queue.jobs.len().min(shared.config.max_batch);
+            queue.jobs.drain(..take).collect()
+        };
+        let (requests, completions): (Vec<_>, Vec<_>) = batch
+            .into_iter()
+            .map(|job| (job.request, (job.complete, job.enqueued)))
+            .unzip();
+        let results = session.predict_micro_batch(&requests);
+        for (result, (complete, enqueued)) in results.into_iter().zip(completions) {
+            let latency = enqueued.elapsed();
+            if result.is_ok() {
+                shared.served.fetch_add(1, Ordering::Relaxed);
+            } else {
+                shared.errors.fetch_add(1, Ordering::Relaxed);
+            }
+            shared
+                .histogram
+                .lock()
+                .expect("histogram lock")
+                .record(latency);
+            complete(result, latency);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use crate::model::{ModelScale, NumericPredictor, PredictorConfig};
+    use crate::numeric::DigitCodec;
+    use llmulator_token::NumericMode;
+    use std::sync::mpsc;
+
+    fn pool_engine() -> Arc<Engine> {
+        let mut engine = EngineConfig::new().threads(1).build();
+        engine.register_predictor(
+            "default",
+            NumericPredictor::new(PredictorConfig {
+                scale: ModelScale::Small,
+                codec: DigitCodec::decimal(4),
+                numeric_mode: NumericMode::Digits,
+                max_len: 48,
+                seed: 11,
+            }),
+        );
+        Arc::new(engine)
+    }
+
+    #[test]
+    fn histogram_records_and_summarizes() {
+        let mut h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile_micros(50.0), None);
+        assert_eq!(h.max_micros(), None);
+        assert_eq!(h.summary(), None);
+
+        for v in [10u64, 20, 30, 40, 1000] {
+            h.record_micros(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.max_micros(), Some(1000));
+        let s = h.summary().expect("non-empty");
+        assert_eq!(s.count, 5);
+        assert_eq!(s.max_micros, 1000);
+        // p100 is the exact max; every percentile is bounded by it and
+        // monotone in p.
+        assert_eq!(h.percentile_micros(100.0), Some(1000));
+        let mut prev = 0;
+        for p in [0.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+            let e = h.percentile_micros(p).expect("non-empty");
+            assert!(e >= prev, "monotone at p={p}");
+            assert!(e <= 1000, "capped by max at p={p}");
+            prev = e;
+        }
+        // The median observation is 30; the estimate is its bucket's upper
+        // bound: 30 ∈ [31-1, 62-2] = bucket 4 ([15, 30]) — exactly 30.
+        assert_eq!(h.percentile_micros(50.0), Some(30));
+    }
+
+    #[test]
+    fn histogram_identical_values_report_exactly() {
+        // All-equal observations: the max cap collapses every bucket upper
+        // bound to the exact value.
+        let mut h = LatencyHistogram::new();
+        for _ in 0..17 {
+            h.record_micros(777);
+        }
+        for p in [0.0, 50.0, 99.0, 100.0] {
+            assert_eq!(h.percentile_micros(p), Some(777), "p={p}");
+        }
+    }
+
+    #[test]
+    fn histogram_merge_is_exact_and_order_free() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut c = LatencyHistogram::new();
+        for v in 0..50u64 {
+            a.record_micros(v * 3);
+            b.record_micros(v * 7 + 1);
+            c.record_micros(v * 11 + 100);
+        }
+        let mut ab_c = a.clone();
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc, "associative");
+        let mut ba = b.clone();
+        ba.merge(&a);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        assert_eq!(ab, ba, "commutative");
+        assert_eq!(ab_c.count(), 150);
+    }
+
+    #[test]
+    fn histogram_extreme_values_clamp_to_the_last_bucket() {
+        let mut h = LatencyHistogram::new();
+        h.record_micros(u64::MAX);
+        h.record_micros(0);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max_micros(), Some(u64::MAX));
+        assert_eq!(h.percentile_micros(0.0), Some(0), "bucket 0 is exact");
+        assert_eq!(h.percentile_micros(100.0), Some(u64::MAX));
+        h.record(Duration::from_secs(u64::MAX)); // as_micros overflows u64
+        assert_eq!(h.max_micros(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn pool_serves_batches_and_drains_cleanly() {
+        let engine = pool_engine();
+        let pool = ServePool::start(
+            engine,
+            PoolConfig {
+                workers: 2,
+                max_batch: 8,
+                max_queue: 64,
+            },
+        );
+        let (tx, rx) = mpsc::channel();
+        for i in 0..10u32 {
+            let tx = tx.clone();
+            pool.submit(ServeJob::new(
+                PredictRequest::tokens(vec![i, i + 1, i + 2]),
+                move |result, latency| {
+                    tx.send((i, result.is_ok(), latency)).expect("send");
+                },
+            ));
+        }
+        drop(tx);
+        let mut done: Vec<_> = rx.iter().collect();
+        done.sort_by_key(|(i, _, _)| *i);
+        assert_eq!(done.len(), 10, "every job completed exactly once");
+        assert!(done.iter().all(|(_, ok, _)| *ok));
+        let stats = pool.drain();
+        assert_eq!(stats.served, 10);
+        assert_eq!(stats.errors, 0);
+        assert_eq!(stats.shed, 0);
+        assert_eq!(stats.depth, 0);
+        let latency = stats.latency.expect("latencies recorded");
+        assert_eq!(latency.count, 10);
+        assert!(latency.p50_micros <= latency.max_micros);
+    }
+
+    #[test]
+    fn pool_answers_request_errors_without_poisoning_the_batch() {
+        let engine = pool_engine();
+        let pool = ServePool::start(engine, PoolConfig::default());
+        let (tx, rx) = mpsc::channel();
+        for (i, request) in [
+            PredictRequest::tokens(vec![1, 2]),
+            PredictRequest::tokens(vec![3]).for_model("nope"),
+            PredictRequest::tokens(vec![4, 5, 6]),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let tx = tx.clone();
+            pool.submit(ServeJob::new(request, move |result, _| {
+                tx.send((i, result.map_err(|e| e.kind()))).expect("send");
+            }));
+        }
+        drop(tx);
+        let mut done: Vec<_> = rx.iter().collect();
+        done.sort_by_key(|(i, _)| *i);
+        assert!(done[0].1.is_ok());
+        assert_eq!(done[1].1.as_ref().expect_err("unknown"), &"unknown_model");
+        assert!(done[2].1.is_ok());
+        let stats = pool.drain();
+        assert_eq!((stats.served, stats.errors, stats.shed), (2, 1, 0));
+    }
+
+    #[test]
+    fn full_queue_sheds_with_a_structured_overloaded_error() {
+        let engine = pool_engine();
+        let pool = ServePool::start(
+            engine,
+            PoolConfig {
+                workers: 1,
+                max_batch: 1,
+                max_queue: 2,
+            },
+        );
+        // Deterministic saturation: the first job's completion callback
+        // blocks the only worker until we release it, so later submissions
+        // pile into the bounded queue.
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let (done_tx, done_rx) = mpsc::channel();
+        {
+            let done = done_tx.clone();
+            pool.submit(ServeJob::new(
+                PredictRequest::tokens(vec![1]),
+                move |result, _| {
+                    release_rx.recv().expect("released");
+                    done.send(("gate", result.map_err(|e| e.kind())))
+                        .expect("send");
+                },
+            ));
+        }
+        // Wait until the worker has picked up the gate job (queue empty).
+        while pool.snapshot().depth > 0 {
+            std::thread::yield_now();
+        }
+        // Two fit in the queue; the third and fourth are shed immediately.
+        for tag in ["q1", "q2", "shed1", "shed2"] {
+            let done = done_tx.clone();
+            pool.submit(ServeJob::new(
+                PredictRequest::tokens(vec![2, 3]),
+                move |result, _| {
+                    done.send((tag, result.map_err(|e| e.kind())))
+                        .expect("send");
+                },
+            ));
+        }
+        // The sheds completed synchronously, before the gate releases.
+        let first = done_rx.recv().expect("shed done");
+        let second = done_rx.recv().expect("shed done");
+        for (tag, result) in [&first, &second] {
+            assert!(tag.starts_with("shed"), "{tag} shed first");
+            assert_eq!(result.as_ref().expect_err("shed"), &"overloaded");
+        }
+        assert_eq!(pool.snapshot().shed, 2);
+        release_tx.send(()).expect("release");
+        drop(done_tx);
+        let rest: Vec<_> = done_rx.iter().collect();
+        assert_eq!(rest.len(), 3, "gate + both queued jobs complete");
+        assert!(rest
+            .iter()
+            .all(|(_, r)| r.is_ok() || *r == Err("overloaded")));
+        let stats = pool.drain();
+        assert_eq!(stats.shed, 2);
+        assert_eq!(stats.served + stats.errors, 3);
+    }
+
+    #[test]
+    fn draining_pool_sheds_new_submissions_but_finishes_accepted_ones() {
+        let engine = pool_engine();
+        let pool = ServePool::start(
+            engine,
+            PoolConfig {
+                workers: 1,
+                max_batch: 4,
+                max_queue: 16,
+            },
+        );
+        let (tx, rx) = mpsc::channel();
+        for i in 0..6u32 {
+            let tx = tx.clone();
+            pool.submit(ServeJob::new(
+                PredictRequest::tokens(vec![i]),
+                move |result, _| {
+                    tx.send(result.is_ok()).expect("send");
+                },
+            ));
+        }
+        let stats = pool.drain();
+        assert_eq!(stats.served, 6, "drain completes accepted in-flight work");
+        assert_eq!(stats.depth, 0);
+        drop(tx);
+        assert_eq!(rx.iter().filter(|ok| *ok).count(), 6);
+    }
+
+    #[test]
+    fn overloaded_error_is_typed_and_structured() {
+        let e = Error::Overloaded { depth: 9, limit: 8 };
+        assert_eq!(e.kind(), "overloaded");
+        let msg = e.to_string();
+        assert!(msg.contains('9') && msg.contains('8'), "{msg}");
+        let wrapped = e.context("server is draining");
+        assert_eq!(wrapped.kind(), "overloaded", "kind sees through context");
+    }
+}

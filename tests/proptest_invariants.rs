@@ -376,6 +376,129 @@ proptest! {
     }
 }
 
+// Latency-histogram properties backing the serve transport's percentile
+// reporting (`stats` responses, shutdown summaries, BENCH_serve.json): the
+// estimate brackets the exact nearest-rank percentile, merging is exact,
+// and the summary is consistent with direct percentile queries.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For any observation set and percentile `p`, the histogram estimate
+    /// `e` brackets the exact nearest-rank percentile `t`:
+    /// `t <= e <= min(2t + 2, max)` (log₂ buckets, capped at the exact
+    /// observed maximum).
+    #[test]
+    fn latency_histogram_percentile_brackets_exact_nearest_rank(
+        n in 1usize..200, seed in 0u64..1000, p in 0.0f64..100.0,
+    ) {
+        use llmulator::LatencyHistogram;
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Magnitudes straddle many buckets: exponents 0..40.
+        let mut values: Vec<u64> = (0..n)
+            .map(|_| {
+                let exp = rng.gen_range(0u32..40);
+                rng.gen_range(0u64..(1u64 << exp).max(2))
+            })
+            .collect();
+        let mut h = LatencyHistogram::new();
+        for &v in &values {
+            h.record_micros(v);
+        }
+        values.sort_unstable();
+        let max = *values.last().expect("n >= 1");
+        prop_assert_eq!(h.count(), n as u64);
+        prop_assert_eq!(h.max_micros(), Some(max));
+        prop_assert_eq!(h.percentile_micros(100.0), Some(max), "p100 is exact");
+
+        let rank = ((p / 100.0 * n as f64).ceil() as usize).clamp(1, n);
+        let exact = values[rank - 1];
+        let e = h.percentile_micros(p).expect("non-empty");
+        prop_assert!(e >= exact, "lower bound: {} >= {}", e, exact);
+        prop_assert!(
+            e <= (2 * exact + 2).min(max),
+            "upper bound: {} <= min(2*{} + 2, {})", e, exact, max
+        );
+    }
+
+    /// Percentile queries are monotone in `p`, and the fixed summary is
+    /// exactly what the individual queries return.
+    #[test]
+    fn latency_histogram_summary_is_consistent_and_monotone(
+        n in 0usize..120, seed in 0u64..1000,
+    ) {
+        use llmulator::LatencyHistogram;
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x1a7e);
+        let mut h = LatencyHistogram::new();
+        for _ in 0..n {
+            h.record_micros(rng.gen_range(0u64..1_000_000));
+        }
+        match h.summary() {
+            None => {
+                prop_assert_eq!(n, 0, "only the empty histogram has no summary");
+                prop_assert_eq!(h.percentile_micros(50.0), None);
+                prop_assert_eq!(h.max_micros(), None);
+            }
+            Some(s) => {
+                prop_assert_eq!(s.count, n as u64);
+                prop_assert_eq!(Some(s.p50_micros), h.percentile_micros(50.0));
+                prop_assert_eq!(Some(s.p90_micros), h.percentile_micros(90.0));
+                prop_assert_eq!(Some(s.p99_micros), h.percentile_micros(99.0));
+                prop_assert_eq!(Some(s.max_micros), h.max_micros());
+                prop_assert!(s.p50_micros <= s.p90_micros);
+                prop_assert!(s.p90_micros <= s.p99_micros);
+                prop_assert!(s.p99_micros <= s.max_micros);
+                let mut prev = 0;
+                for p in [0.0, 10.0, 37.5, 50.0, 75.0, 90.0, 99.0, 99.9, 100.0] {
+                    let e = h.percentile_micros(p).expect("non-empty");
+                    prop_assert!(e >= prev, "monotone at p={}", p);
+                    prev = e;
+                }
+            }
+        }
+    }
+
+    /// Merging is exact: associative, commutative, with the empty
+    /// histogram as identity — so per-worker histograms can combine in any
+    /// order and `BENCH_serve.json`'s aggregates don't depend on worker
+    /// scheduling.
+    #[test]
+    fn latency_histogram_merge_is_associative_commutative_with_identity(
+        na in 0usize..60, nb in 0usize..60, nc in 0usize..60, seed in 0u64..1000,
+    ) {
+        use llmulator::LatencyHistogram;
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x6e26e);
+        let mut fill = |count: usize| {
+            let mut h = LatencyHistogram::new();
+            for _ in 0..count {
+                let exp = rng.gen_range(0u32..63);
+                h.record_micros(rng.gen_range(0u64..(1u64 << exp).max(2)));
+            }
+            h
+        };
+        let (a, b, c) = (fill(na), fill(nb), fill(nc));
+
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right, "associative");
+        prop_assert_eq!(left.count(), (na + nb + nc) as u64);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba, "commutative");
+
+        let mut id = a.clone();
+        id.merge(&LatencyHistogram::new());
+        prop_assert_eq!(&id, &a, "empty histogram is the merge identity");
+    }
+}
+
 fn static_loop_program(n: usize) -> Program {
     let op = OperatorBuilder::new("statloop")
         .array_param("a", [64])
