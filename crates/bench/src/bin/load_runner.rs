@@ -14,6 +14,14 @@
 //!   any responses — deliberately overruns `--max-queue` so the shed path
 //!   (structured `overloaded` errors) shows up in the shed-rate column.
 //!
+//! With `--chaos` a third level runs *first* (so a `LLMULATOR_FAULTS` plan
+//! keyed on small arrival indices lands on it): one connection drives 24
+//! closed-loop requests, every sixth carrying `timeout_ms: 0`, and the
+//! responses are classified ok / shed / `internal` / `deadline_exceeded`.
+//! The chaos invariant is the same exactly-one-response rule — injected
+//! panics and deadlines must produce structured errors, never lost
+//! requests.
+//!
 //! Every response is matched back to its request id; a request with no
 //! response counts as **lost** and fails the run (nonzero exit), as does a
 //! run that completes zero requests.
@@ -31,10 +39,42 @@ struct LevelResult {
     offered: u64,
     ok: u64,
     shed: u64,
+    /// Structured `internal` errors (contained panics, injected faults).
+    internal: u64,
+    /// Structured `deadline_exceeded` errors (expired while queued).
+    deadline: u64,
+    /// Any other structured error response.
     errors: u64,
     lost: u64,
     elapsed: Duration,
     latency: LatencyHistogram,
+}
+
+impl LevelResult {
+    fn empty(connections: usize, offered: u64) -> LevelResult {
+        LevelResult {
+            connections,
+            offered,
+            ok: 0,
+            shed: 0,
+            internal: 0,
+            deadline: 0,
+            errors: 0,
+            lost: 0,
+            elapsed: Duration::ZERO,
+            latency: LatencyHistogram::new(),
+        }
+    }
+
+    fn count(&mut self, outcome: Outcome) {
+        match outcome {
+            Outcome::Ok => self.ok += 1,
+            Outcome::Shed => self.shed += 1,
+            Outcome::Internal => self.internal += 1,
+            Outcome::Deadline => self.deadline += 1,
+            Outcome::OtherError => self.errors += 1,
+        }
+    }
 }
 
 impl LevelResult {
@@ -70,15 +110,27 @@ fn expected_id(conn: usize, k: usize) -> String {
     format!("\"id\":\"c{conn}-r{k}\"")
 }
 
-/// Classify one response line: Ok(true) = success, Ok(false) = shed,
-/// Err(()) = other structured error.
-fn classify(line: &str) -> Result<bool, ()> {
+/// One response, classified by its `ok` flag / structured error kind.
+#[derive(Clone, Copy)]
+enum Outcome {
+    Ok,
+    Shed,
+    Internal,
+    Deadline,
+    OtherError,
+}
+
+fn classify(line: &str) -> Outcome {
     if line.contains("\"ok\": true") || line.contains("\"ok\":true") {
-        Ok(true)
+        Outcome::Ok
     } else if line.contains("\"overloaded\"") {
-        Ok(false)
+        Outcome::Shed
+    } else if line.contains("\"internal\"") {
+        Outcome::Internal
+    } else if line.contains("\"deadline_exceeded\"") {
+        Outcome::Deadline
     } else {
-        Err(())
+        Outcome::OtherError
     }
 }
 
@@ -98,16 +150,7 @@ fn closed_loop_client(addr: &str, conn: usize, requests: usize) -> LevelResult {
     let stream = connect(addr);
     let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
     let mut writer = stream;
-    let mut result = LevelResult {
-        connections: 1,
-        offered: requests as u64,
-        ok: 0,
-        shed: 0,
-        errors: 0,
-        lost: 0,
-        elapsed: Duration::ZERO,
-        latency: LatencyHistogram::new(),
-    };
+    let mut result = LevelResult::empty(1, requests as u64);
     for k in 0..requests {
         let line = request_line(conn, k);
         let sent = Instant::now();
@@ -123,11 +166,55 @@ fn closed_loop_client(addr: &str, conn: usize, requests: usize) -> LevelResult {
                     result.lost += 1;
                     continue;
                 }
-                match classify(&response) {
-                    Ok(true) => result.ok += 1,
-                    Ok(false) => result.shed += 1,
-                    Err(()) => result.errors += 1,
+                result.count(classify(&response));
+            }
+            _ => {
+                result.lost += (requests - k) as u64;
+                break;
+            }
+        }
+    }
+    result
+}
+
+/// Number of requests the chaos level drives down its one connection.
+const CHAOS_REQUESTS: usize = 24;
+
+/// One chaos client: a single closed-loop connection whose arrival order
+/// is deterministic (request index == pool arrival index on an idle
+/// daemon), so an env-selected fault plan lands on predictable requests.
+/// Every sixth request carries `timeout_ms: 0`, which always expires at
+/// dequeue — exercising the deadline path alongside the injected faults.
+fn chaos_client(addr: &str, conn: usize, requests: usize) -> LevelResult {
+    let stream = connect(addr);
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut writer = stream;
+    let mut result = LevelResult::empty(1, requests as u64);
+    for k in 0..requests {
+        let line = if k % 6 == 5 {
+            format!(
+                "{{\"id\": \"c{conn}-r{k}\", \"tokens\": [{}, {}], \"metrics\": [\"cycles\"], \
+                 \"timeout_ms\": 0}}\n",
+                conn % 50,
+                k % 50
+            )
+        } else {
+            request_line(conn, k)
+        };
+        let sent = Instant::now();
+        if writer.write_all(line.as_bytes()).is_err() {
+            result.lost += (requests - k) as u64;
+            break;
+        }
+        let mut response = String::new();
+        match reader.read_line(&mut response) {
+            Ok(n) if n > 0 => {
+                result.latency.record(sent.elapsed());
+                if !response.contains(&expected_id(conn, k)) {
+                    result.lost += 1;
+                    continue;
                 }
+                result.count(classify(&response));
             }
             _ => {
                 result.lost += (requests - k) as u64;
@@ -143,16 +230,7 @@ fn burst_client(addr: &str, conn: usize, requests: usize) -> LevelResult {
     let stream = connect(addr);
     let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
     let mut writer = stream;
-    let mut result = LevelResult {
-        connections: 1,
-        offered: requests as u64,
-        ok: 0,
-        shed: 0,
-        errors: 0,
-        lost: 0,
-        elapsed: Duration::ZERO,
-        latency: LatencyHistogram::new(),
-    };
+    let mut result = LevelResult::empty(1, requests as u64);
     let mut sent_at = Vec::with_capacity(requests);
     let mut written = 0usize;
     for k in 0..requests {
@@ -176,11 +254,7 @@ fn burst_client(addr: &str, conn: usize, requests: usize) -> LevelResult {
                     result.lost += 1;
                     continue;
                 }
-                match classify(&response) {
-                    Ok(true) => result.ok += 1,
-                    Ok(false) => result.shed += 1,
-                    Err(()) => result.errors += 1,
-                }
+                result.count(classify(&response));
             }
             _ => {
                 result.lost += (written - k) as u64;
@@ -201,21 +275,14 @@ where
         let handles: Vec<_> = (0..connections)
             .map(|conn| scope.spawn(move || client(addr, conn, requests)))
             .collect();
-        let mut folded = LevelResult {
-            connections,
-            offered: 0,
-            ok: 0,
-            shed: 0,
-            errors: 0,
-            lost: 0,
-            elapsed: Duration::ZERO,
-            latency: LatencyHistogram::new(),
-        };
+        let mut folded = LevelResult::empty(connections, 0);
         for handle in handles {
             let part = handle.join().expect("client thread");
             folded.offered += part.offered;
             folded.ok += part.ok;
             folded.shed += part.shed;
+            folded.internal += part.internal;
+            folded.deadline += part.deadline;
             folded.errors += part.errors;
             folded.lost += part.lost;
             folded.latency.merge(&part.latency);
@@ -252,12 +319,15 @@ fn push_row(json: &mut String, row: &LevelResult, indent: &str, trailing_comma: 
     let _ = writeln!(
         json,
         "{indent}{{\"connections\": {}, \"offered\": {}, \"ok\": {}, \"shed\": {}, \
+         \"internal\": {}, \"deadline\": {}, \
          \"errors\": {}, \"lost\": {}, \"throughput_rps\": {:.1}, \"shed_rate\": {:.4}, \
          \"p50_us\": {p50}, \"p90_us\": {p90}, \"p99_us\": {p99}, \"max_us\": {max}}}{}",
         row.connections,
         row.offered,
         row.ok,
         row.shed,
+        row.internal,
+        row.deadline,
         row.errors,
         row.lost,
         row.throughput_rps(),
@@ -269,6 +339,7 @@ fn push_row(json: &mut String, row: &LevelResult, indent: &str, trailing_comma: 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let chaos = args.iter().any(|a| a == "--chaos");
     let flag_value = |name: &str| {
         args.iter()
             .position(|a| a == name)
@@ -276,7 +347,7 @@ fn main() {
     };
     let Some(addr) = flag_value("--addr") else {
         eprintln!(
-            "usage: load-runner --addr HOST:PORT [--quick] [--out PATH] [--requests N]\n\
+            "usage: load-runner --addr HOST:PORT [--quick] [--chaos] [--out PATH] [--requests N]\n\
              boot the daemon first: llmulator serve --model m.json --tcp 127.0.0.1:PORT"
         );
         std::process::exit(2);
@@ -291,6 +362,16 @@ fn main() {
     let (burst_conns, burst_requests) = if quick { (2, 32) } else { (4, 100) };
 
     eprintln!("load-runner: target {addr}, {requests} request(s) per closed-loop connection");
+    // The chaos level must run FIRST: a `LLMULATOR_FAULTS` plan keys on
+    // pool arrival indices, and only the first requests of a fresh daemon
+    // have predictable ones.
+    let chaos_result = chaos.then(|| {
+        eprintln!(
+            "load-runner: chaos, 1 connection x {CHAOS_REQUESTS} closed-loop \
+             (every 6th with timeout_ms: 0)..."
+        );
+        run_level(&addr, 1, CHAOS_REQUESTS, chaos_client)
+    });
     let mut closed = Vec::new();
     for &connections in levels {
         eprintln!("load-runner: closed loop, {connections} connection(s)...");
@@ -300,19 +381,27 @@ fn main() {
     let burst = run_level(&addr, burst_conns, burst_requests, burst_client);
     let server_stats = fetch_server_stats(&addr);
 
-    let total_ok: u64 = closed.iter().map(|r| r.ok).sum::<u64>() + burst.ok;
-    let total_lost: u64 = closed.iter().map(|r| r.lost).sum::<u64>() + burst.lost;
+    let total_ok: u64 = closed.iter().map(|r| r.ok).sum::<u64>()
+        + burst.ok
+        + chaos_result.as_ref().map_or(0, |r| r.ok);
+    let total_lost: u64 = closed.iter().map(|r| r.lost).sum::<u64>()
+        + burst.lost
+        + chaos_result.as_ref().map_or(0, |r| r.lost);
 
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(
         json,
-        "  \"meta\": {{\"quick\": {quick}, \"addr\": \"{addr}\", \
+        "  \"meta\": {{\"quick\": {quick}, \"chaos\": {chaos}, \"addr\": \"{addr}\", \
          \"requests_per_connection\": {requests}, \"burst_connections\": {burst_conns}, \
          \"burst_requests_per_connection\": {burst_requests}, \
          \"available_parallelism\": {}}},",
         std::thread::available_parallelism().map_or(1, |n| n.get()),
     );
+    if let Some(row) = &chaos_result {
+        json.push_str("  \"chaos\":\n");
+        push_row(&mut json, row, "    ", true);
+    }
     json.push_str("  \"closed_loop\": [\n");
     for (i, row) in closed.iter().enumerate() {
         push_row(&mut json, row, "    ", i + 1 < closed.len());

@@ -81,7 +81,8 @@ const USAGE: &str = "usage:
                   [--samples N] [--seed S] [--epochs E] [--batch B] [--threads T]
                   [--cache-dir DIR]
   llmulator serve [--model model.json] [--threads T] [--max-batch N]
-                  [--tcp ADDR] [--workers W] [--max-queue N]";
+                  [--tcp ADDR] [--workers W] [--max-queue N]
+                  [--default-timeout-ms MS]";
 
 /// Every flag that consumes the following argv entry as its value. The
 /// positional scan skips these values, so `llmulator profile --input n=3
@@ -106,6 +107,7 @@ const VALUE_FLAGS: &[&str] = &[
     "--tcp",
     "--workers",
     "--max-queue",
+    "--default-timeout-ms",
 ];
 
 /// Flags each subcommand accepts; anything else starting with `--` is an
@@ -144,6 +146,7 @@ pub(crate) const SERVE_FLAGS: &[&str] = &[
     "--tcp",
     "--workers",
     "--max-queue",
+    "--default-timeout-ms",
 ];
 
 /// Rejects any `--flag` the command does not accept. Flag *values* never

@@ -18,14 +18,19 @@
 //! Robustness contract (pinned by `tests/serve_tcp.rs`): byte garbage,
 //! oversized lines, split/coalesced frames and mid-request disconnects
 //! never panic the daemon or wedge the pool — a malformed line costs its
-//! connection one structured error response, nothing more.
+//! connection one structured error response, nothing more. A client that
+//! stops *reading* is bounded too: each connection's writer queue holds at
+//! most [`writer_cap`] responses and each socket write carries a
+//! [`write_timeout`]; past either limit the connection is condemned and
+//! counted as a slow-client disconnect while every other connection keeps
+//! its answers.
 
-use crate::serve::{Dispatcher, ServeSummary};
-use llmulator::{Engine, Error, PoolConfig, ServePool};
+use crate::serve::{Dispatcher, ResponseTx, ServeSummary, TransportStats};
+use llmulator::{Error, PoolConfig, ServePool};
 use std::io::{BufRead, BufReader, BufWriter, ErrorKind};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, OnceLock};
 use std::time::Duration;
 
 /// Set by the signal handler or a `{"shutdown": true}` request; every
@@ -40,6 +45,36 @@ const MAX_LINE_BYTES: usize = 1 << 20;
 
 /// How often blocked accept/read calls wake up to poll [`SHUTDOWN`].
 const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Per-connection writer-queue capacity (responses buffered for a client
+/// that is not reading). When a connection's queue fills, the client is
+/// disconnected instead of buffering without limit. The
+/// `LLMULATOR_WRITER_CAP` env var overrides it — a testing hook so the
+/// slow-client tests don't need to queue a thousand responses.
+fn writer_cap() -> usize {
+    static CAP: OnceLock<usize> = OnceLock::new();
+    *CAP.get_or_init(|| {
+        std::env::var("LLMULATOR_WRITER_CAP")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&v| v > 0)
+            .unwrap_or(1024)
+    })
+}
+
+/// How long one socket write may block before the writer gives the
+/// connection up (a stalled client with a full TCP window must not wedge
+/// the drain). `LLMULATOR_WRITE_TIMEOUT_MS` overrides it for tests.
+fn write_timeout() -> Duration {
+    static MS: OnceLock<u64> = OnceLock::new();
+    Duration::from_millis(*MS.get_or_init(|| {
+        std::env::var("LLMULATOR_WRITE_TIMEOUT_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&v| v > 0)
+            .unwrap_or(5000)
+    }))
+}
 
 extern "C" fn on_signal(_signum: i32) {
     // Only an atomic store: the one thing a signal handler may safely do.
@@ -74,15 +109,21 @@ fn install_signal_handlers() {}
 /// line), serves until [`SHUTDOWN`], then drains and reports.
 pub(crate) fn run_tcp(
     addr: &str,
-    engine: Arc<Engine>,
+    pool: ServePool,
     config: PoolConfig,
 ) -> Result<ServeSummary, Error> {
     install_signal_handlers();
-    let listener = TcpListener::bind(addr)
-        .map_err(|e| Error::Io(e).context(format!("cannot listen on `{addr}`")))?;
+    let listener = match TcpListener::bind(addr) {
+        Ok(listener) => listener,
+        Err(e) => {
+            // The pool was started by the caller; shut its workers down
+            // before reporting the bind failure.
+            pool.drain();
+            return Err(Error::Io(e).context(format!("cannot listen on `{addr}`")));
+        }
+    };
     listener.set_nonblocking(true).map_err(Error::Io)?;
     let local = listener.local_addr().map_err(Error::Io)?;
-    let pool = ServePool::start(engine, config);
     eprintln!(
         "serve: listening on {local} ({} worker(s), micro-batch up to {}, queue limit {}); \
          one JSON request per line; SIGTERM or {{\"shutdown\": true}} drains and exits",
@@ -91,14 +132,16 @@ pub(crate) fn run_tcp(
         config.max_queue.max(1),
     );
     let direct_errors = AtomicU64::new(0);
+    let transport = Arc::new(TransportStats::default());
     std::thread::scope(|scope| {
         while !SHUTDOWN.load(Ordering::Relaxed) {
             match listener.accept() {
                 Ok((stream, _peer)) => {
                     let pool = &pool;
                     let direct_errors = &direct_errors;
+                    let transport = Arc::clone(&transport);
                     scope.spawn(move || {
-                        let errors = handle_connection(stream, pool);
+                        let errors = handle_connection(stream, pool, transport);
                         direct_errors.fetch_add(errors, Ordering::Relaxed);
                     });
                 }
@@ -115,13 +158,18 @@ pub(crate) fn run_tcp(
     Ok(ServeSummary {
         stats,
         direct_errors: direct_errors.load(Ordering::Relaxed),
+        slow_client_disconnects: transport.slow_client_disconnects.load(Ordering::Relaxed),
     })
 }
 
 /// Serves one connection: a reader loop on this thread, a sequencing
-/// writer thread for the responses. Returns the number of error responses
-/// produced without entering the pool (parse errors, oversized lines).
-fn handle_connection(stream: TcpStream, pool: &ServePool) -> u64 {
+/// writer thread for the responses. The writer queue is bounded
+/// ([`writer_cap`]) and each socket write carries a timeout
+/// ([`write_timeout`]), so a client that stops reading is disconnected
+/// instead of wedging the daemon or buffering responses without limit.
+/// Returns the number of error responses produced without entering the
+/// pool (parse errors, oversized lines).
+fn handle_connection(stream: TcpStream, pool: &ServePool, transport: Arc<TransportStats>) -> u64 {
     let _ = stream.set_nodelay(true);
     if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
         return 0;
@@ -129,15 +177,22 @@ fn handle_connection(stream: TcpStream, pool: &ServePool) -> u64 {
     let Ok(write_half) = stream.try_clone() else {
         return 0;
     };
-    let (tx, rx) = mpsc::channel();
+    let _ = write_half.set_write_timeout(Some(write_timeout()));
+    let (tx, rx) = mpsc::sync_channel(writer_cap());
     let gone = Arc::new(AtomicBool::new(false));
     let writer = {
         let gone = Arc::clone(&gone);
+        let transport = Arc::clone(&transport);
         std::thread::spawn(move || {
-            crate::serve::writer_loop(BufWriter::new(write_half), &rx, &gone)
+            crate::serve::writer_loop(BufWriter::new(write_half), &rx, &gone, &transport)
         })
     };
-    let mut dispatcher = Dispatcher::new(pool, tx);
+    let out = ResponseTx::Bounded {
+        tx,
+        gone: Arc::clone(&gone),
+        transport: Arc::clone(&transport),
+    };
+    let mut dispatcher = Dispatcher::new(pool, out, transport);
     read_lines(BufReader::new(stream), &mut dispatcher, &gone);
     let direct_errors = dispatcher.direct_errors;
     // Dropping the dispatcher drops its channel sender; the writer exits

@@ -53,16 +53,17 @@
 //! pool completions).
 
 use llmulator::{
-    EngineConfig, Error, Feedback, PoolConfig, PoolStats, PredictRequest, PredictResponse,
-    ServeJob, ServePool,
+    EngineConfig, Error, FaultPlan, Feedback, PoolConfig, PoolStats, PredictRequest,
+    PredictResponse, ServeJob, ServePool,
 };
 use llmulator_sim::Metric;
 use serde_json::Value;
 use std::collections::BTreeMap;
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
+use std::time::Duration;
 
 /// Entry point for the `serve` subcommand (called from `main` before the
 /// one-shot command dispatcher; owns its own stdout loop).
@@ -84,6 +85,16 @@ pub(crate) fn run(args: &[String]) -> ExitCode {
     }
 }
 
+/// Transport-level counters shared across every connection of one daemon
+/// run (the pool only sees jobs; these count what happened at the socket
+/// layer).
+#[derive(Debug, Default)]
+pub(crate) struct TransportStats {
+    /// Connections condemned because the client stopped reading and its
+    /// bounded writer queue filled up.
+    pub(crate) slow_client_disconnects: AtomicU64,
+}
+
 /// Final accounting for one daemon run, rendered on clean exit.
 pub(crate) struct ServeSummary {
     /// Pool-side counters and latency percentiles.
@@ -91,6 +102,8 @@ pub(crate) struct ServeSummary {
     /// Responses produced without entering the pool (parse errors,
     /// oversized lines).
     pub(crate) direct_errors: u64,
+    /// Connections dropped for not reading their responses.
+    pub(crate) slow_client_disconnects: u64,
 }
 
 impl ServeSummary {
@@ -104,8 +117,16 @@ impl ServeSummary {
             ),
         };
         format!(
-            "serve: {} request(s) answered, {} error response(s), {} shed; {latency}; bye",
-            self.stats.served, errors, self.stats.shed
+            "serve: {} request(s) answered, {} error response(s), {} shed, {} deadline-shed; \
+             {} panic(s) contained, {} worker(s) respawned, {} slow client(s) disconnected; \
+             {latency}; bye",
+            self.stats.served,
+            errors,
+            self.stats.shed,
+            self.stats.deadline_shed,
+            self.stats.panics_contained,
+            self.stats.workers_respawned,
+            self.slow_client_disconnects,
         )
     }
 }
@@ -127,6 +148,14 @@ fn serve(args: &[String]) -> Result<ServeSummary, Error> {
     if crate::flag_value(args, "--threads")?.is_some() {
         config = config.threads(crate::parse_flag(args, "--threads", 0usize)?);
     }
+    let default_timeout = match crate::flag_value(args, "--default-timeout-ms")? {
+        Some(_) => Some(Duration::from_millis(crate::parse_flag(
+            args,
+            "--default-timeout-ms",
+            0u64,
+        )?)),
+        None => None,
+    };
     let mut engine = config.build();
     engine.load_predictor("default", model_path)?;
     let engine = Arc::new(engine);
@@ -134,15 +163,34 @@ fn serve(args: &[String]) -> Result<ServeSummary, Error> {
         workers,
         max_batch,
         max_queue,
+        default_timeout,
     };
+    // Chaos-testing hook: an env-selected fault plan lets CI and the
+    // load-runner exercise panic containment / deadline shedding against a
+    // release daemon without recompiling. Loud on stderr — never leave
+    // this on in production.
+    let faults = match std::env::var("LLMULATOR_FAULTS") {
+        Ok(spec) if !spec.trim().is_empty() => {
+            let plan = FaultPlan::from_spec(&spec)
+                .map_err(|e| e.context("invalid LLMULATOR_FAULTS fault spec"))?;
+            eprintln!(
+                "serve: FAULT INJECTION ACTIVE — {} fault(s) from LLMULATOR_FAULTS \
+                 (testing only)",
+                plan.len()
+            );
+            plan
+        }
+        _ => FaultPlan::default(),
+    };
+    let pool = ServePool::start_with_faults(engine, pool_config, faults);
     match tcp {
-        Some(addr) => crate::net::run_tcp(&addr, engine, pool_config),
+        Some(addr) => crate::net::run_tcp(&addr, pool, pool_config),
         None => {
             eprintln!(
                 "serve: model `{model_path}` loaded; one JSON request per line on stdin \
                  ({workers} worker(s), micro-batch up to {max_batch})"
             );
-            Ok(serve_stdin(engine, pool_config))
+            Ok(serve_stdin(pool, pool_config))
         }
     }
 }
@@ -150,20 +198,24 @@ fn serve(args: &[String]) -> Result<ServeSummary, Error> {
 /// The stdin/stdout transport: reads lines on this thread, dispatches them
 /// through the shared pool, and lets a sequencing writer thread keep stdout
 /// in request order. EOF (or `{"shutdown": true}`) drains and returns.
-fn serve_stdin(engine: Arc<llmulator::Engine>, config: PoolConfig) -> ServeSummary {
-    let pool = ServePool::start(engine, config);
+fn serve_stdin(pool: ServePool, config: PoolConfig) -> ServeSummary {
     let (tx, rx) = mpsc::channel();
     let gone = Arc::new(AtomicBool::new(false));
+    let transport = Arc::new(TransportStats::default());
     let writer = {
         let gone = Arc::clone(&gone);
+        let transport = Arc::clone(&transport);
         std::thread::spawn(move || {
             let stdout = std::io::stdout();
-            writer_loop(stdout.lock(), &rx, &gone);
+            writer_loop(stdout.lock(), &rx, &gone, &transport);
         })
     };
     let direct_errors;
     {
-        let mut dispatcher = Dispatcher::new(&pool, tx);
+        // Stdout is a local pipe, not a remote client: keep the unbounded
+        // channel (the reader's backpressure loop bounds it in practice).
+        let mut dispatcher =
+            Dispatcher::new(&pool, ResponseTx::Unbounded(tx), Arc::clone(&transport));
         let stdin = std::io::stdin();
         for line in stdin.lock().lines() {
             let Ok(line) = line else { break };
@@ -189,16 +241,19 @@ fn serve_stdin(engine: Arc<llmulator::Engine>, config: PoolConfig) -> ServeSumma
     ServeSummary {
         stats,
         direct_errors,
+        // Stdout carries no write timeout, so this stays 0 in practice.
+        slow_client_disconnects: transport.slow_client_disconnects.load(Ordering::Relaxed),
     }
 }
 
-/// One input line, classified. `Request` carries the echoed `id` and the
-/// typed request; `Invalid` still carries whatever `id` could be recovered.
+/// One input line, classified. `Request` carries the echoed `id`, the
+/// typed request and its per-request deadline (the `timeout_ms` wire
+/// field); `Invalid` still carries whatever `id` could be recovered.
 pub(crate) enum Parsed {
     /// Blank line — ignored, no response.
     Empty,
     /// A well-formed prediction request.
-    Request(Value, PredictRequest),
+    Request(Value, PredictRequest, Option<Duration>),
     /// A line that gets a structured error response without touching the
     /// pool.
     Invalid(Value, Error),
@@ -248,8 +303,65 @@ pub(crate) fn classify_line(line: &str) -> Parsed {
         }
     }
     match build_request(pairs) {
-        Ok(request) => Parsed::Request(id, request),
+        Ok((request, timeout)) => Parsed::Request(id, request, timeout),
         Err(e) => Parsed::Invalid(id, e),
+    }
+}
+
+/// How each transport hands responses to its writer thread. Stdin keeps an
+/// unbounded channel (the reader applies backpressure); TCP bounds the
+/// queue so a client that stops reading is condemned (`gone`) once its
+/// queue fills, instead of buffering responses without limit.
+#[derive(Clone)]
+pub(crate) enum ResponseTx {
+    /// Unbounded — for the local stdin/stdout pipe.
+    Unbounded(mpsc::Sender<(u64, String)>),
+    /// Bounded — for TCP connections. On a full queue the connection is
+    /// marked gone and counted as a slow-client disconnect; the writer
+    /// drains and discards, the reader stops, the socket closes.
+    Bounded {
+        /// The bounded channel into the connection's writer thread.
+        tx: mpsc::SyncSender<(u64, String)>,
+        /// Set when the client is hung up or condemned.
+        gone: Arc<AtomicBool>,
+        /// Where slow-client disconnects are counted.
+        transport: Arc<TransportStats>,
+    },
+}
+
+impl ResponseTx {
+    /// Hands one `(seq, line)` response to the writer. Never blocks: a
+    /// bounded queue that is full condemns the connection instead.
+    fn send(&self, seq: u64, line: String) {
+        match self {
+            ResponseTx::Unbounded(tx) => {
+                let _ = tx.send((seq, line));
+            }
+            ResponseTx::Bounded {
+                tx,
+                gone,
+                transport,
+            } => {
+                if gone.load(Ordering::Relaxed) {
+                    return; // already condemned: drop the response
+                }
+                match tx.try_send((seq, line)) {
+                    Ok(()) => {}
+                    Err(mpsc::TrySendError::Full(_)) => {
+                        // The client stopped reading long enough for its
+                        // whole writer queue to fill: disconnect it rather
+                        // than buffer unboundedly. `swap` keeps the count
+                        // at one per connection.
+                        if !gone.swap(true, Ordering::Relaxed) {
+                            transport
+                                .slow_client_disconnects
+                                .fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    Err(mpsc::TrySendError::Disconnected(_)) => {}
+                }
+            }
+        }
     }
 }
 
@@ -261,17 +373,23 @@ pub(crate) fn classify_line(line: &str) -> Parsed {
 /// even though pool completions interleave across connections.
 pub(crate) struct Dispatcher<'p> {
     pool: &'p ServePool,
-    out: mpsc::Sender<(u64, String)>,
+    out: ResponseTx,
+    transport: Arc<TransportStats>,
     next_seq: u64,
     /// Error responses produced without entering the pool.
     pub(crate) direct_errors: u64,
 }
 
 impl<'p> Dispatcher<'p> {
-    pub(crate) fn new(pool: &'p ServePool, out: mpsc::Sender<(u64, String)>) -> Dispatcher<'p> {
+    pub(crate) fn new(
+        pool: &'p ServePool,
+        out: ResponseTx,
+        transport: Arc<TransportStats>,
+    ) -> Dispatcher<'p> {
         Dispatcher {
             pool,
             out,
+            transport,
             next_seq: 0,
             direct_errors: 0,
         }
@@ -282,16 +400,19 @@ impl<'p> Dispatcher<'p> {
     pub(crate) fn dispatch(&mut self, line: &str) -> bool {
         match classify_line(line) {
             Parsed::Empty => true,
-            Parsed::Request(id, request) => {
+            Parsed::Request(id, request, timeout) => {
                 let seq = self.take_seq();
                 let out = self.out.clone();
-                self.pool.submit(ServeJob::new(request, move |result, _| {
-                    let value = match result {
-                        Ok(response) => success_response(&id, &response),
-                        Err(e) => error_response(id, &e),
-                    };
-                    let _ = out.send((seq, value.to_string()));
-                }));
+                self.pool.submit(
+                    ServeJob::new(request, move |result, _| {
+                        let value = match result {
+                            Ok(response) => success_response(&id, &response),
+                            Err(e) => error_response(id, &e),
+                        };
+                        out.send(seq, value.to_string());
+                    })
+                    .timeout(timeout),
+                );
                 true
             }
             Parsed::Invalid(id, e) => {
@@ -300,7 +421,7 @@ impl<'p> Dispatcher<'p> {
                 true
             }
             Parsed::Stats(id) => {
-                let value = stats_response(&id, &self.pool.snapshot());
+                let value = stats_response(&id, &self.pool.snapshot(), &self.transport);
                 self.send(value);
                 true
             }
@@ -331,19 +452,23 @@ impl<'p> Dispatcher<'p> {
 
     fn send(&mut self, value: Value) {
         let seq = self.take_seq();
-        let _ = self.out.send((seq, value.to_string()));
+        self.out.send(seq, value.to_string());
     }
 }
 
 /// The per-connection response writer: receives `(seq, line)` pairs in
 /// completion order, emits them in sequence order (buffering gaps), and
-/// flushes whenever the channel runs dry. A write failure (EPIPE, reset)
-/// sets `gone` so the transport stops reading — the unified hung-up-client
-/// behavior of both stdin and TCP modes.
+/// flushes whenever the channel runs dry. A write failure sets `gone` so
+/// the transport stops reading — the unified hung-up-client behavior of
+/// both stdin and TCP modes. A write *timeout* (a stalled client whose
+/// TCP window filled) is the writer-side flavor of a slow client, so it
+/// is also counted in `transport` — once per connection, shared with the
+/// queue-overflow path through the same `gone` swap.
 pub(crate) fn writer_loop<W: Write>(
     mut out: W,
     rx: &mpsc::Receiver<(u64, String)>,
     gone: &AtomicBool,
+    transport: &TransportStats,
 ) {
     let mut pending: BTreeMap<u64, String> = BTreeMap::new();
     let mut next = 0u64;
@@ -366,8 +491,21 @@ pub(crate) fn writer_loop<W: Write>(
             if gone.load(Ordering::Relaxed) {
                 continue; // client hung up: drain the channel, write nothing
             }
-            if writeln!(out, "{line}").is_err() {
-                gone.store(true, Ordering::Relaxed);
+            if let Err(e) = writeln!(out, "{line}") {
+                let was_gone = gone.swap(true, Ordering::Relaxed);
+                // EPIPE/reset is a client that *left* (not counted here);
+                // a blocked write that timed out is a client that stopped
+                // *reading* — the slow-client disconnect this counter is
+                // for.
+                let timed_out = matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                );
+                if !was_gone && timed_out {
+                    transport
+                        .slow_client_disconnects
+                        .fetch_add(1, Ordering::Relaxed);
+                }
             }
         }
     }
@@ -397,8 +535,9 @@ fn success_response(id: &Value, response: &PredictResponse) -> Value {
     })
 }
 
-/// Builds the `{"stats": true}` response from a pool snapshot.
-fn stats_response(id: &Value, stats: &PoolStats) -> Value {
+/// Builds the `{"stats": true}` response from a pool snapshot plus the
+/// transport-level counters.
+fn stats_response(id: &Value, stats: &PoolStats, transport: &TransportStats) -> Value {
     let latency = match &stats.latency {
         None => Value::Null,
         Some(l) => serde_json::json!({
@@ -416,6 +555,10 @@ fn stats_response(id: &Value, stats: &PoolStats) -> Value {
             "served": stats.served,
             "errors": stats.errors,
             "shed": stats.shed,
+            "panics_contained": stats.panics_contained,
+            "deadline_shed": stats.deadline_shed,
+            "workers_respawned": stats.workers_respawned,
+            "slow_client_disconnects": transport.slow_client_disconnects.load(Ordering::Relaxed),
             "queue_depth": stats.depth,
             "latency_us": latency,
         },
@@ -442,7 +585,7 @@ fn error_response(id: Value, error: &Error) -> Value {
 #[cfg(test)]
 fn parse_request(line: &str) -> (Value, Result<PredictRequest, Error>) {
     match classify_line(line) {
-        Parsed::Request(id, request) => (id, Ok(request)),
+        Parsed::Request(id, request, _) => (id, Ok(request)),
         Parsed::Invalid(id, e) => (id, Err(e)),
         Parsed::Empty => (
             Value::Null,
@@ -457,7 +600,7 @@ fn parse_request(line: &str) -> (Value, Result<PredictRequest, Error>) {
     }
 }
 
-fn build_request(pairs: &[(String, Value)]) -> Result<PredictRequest, Error> {
+fn build_request(pairs: &[(String, Value)]) -> Result<(PredictRequest, Option<Duration>), Error> {
     const KNOWN: &[&str] = &[
         "id",
         "program",
@@ -468,6 +611,7 @@ fn build_request(pairs: &[(String, Value)]) -> Result<PredictRequest, Error> {
         "threads",
         "model",
         "feedback",
+        "timeout_ms",
     ];
     if let Some((key, _)) = pairs.iter().find(|(k, _)| !KNOWN.contains(&k.as_str())) {
         return Err(Error::InvalidRequest(format!(
@@ -537,7 +681,13 @@ fn build_request(pairs: &[(String, Value)]) -> Result<PredictRequest, Error> {
     if let Some(v) = get(pairs, "feedback") {
         request = request.feedback(parse_feedback(v)?);
     }
-    Ok(request)
+    // `timeout_ms: 0` is legal and always expires at dequeue — useful for
+    // deterministic deadline tests.
+    let timeout = match get(pairs, "timeout_ms") {
+        None => None,
+        Some(v) => Some(Duration::from_millis(parse_usize(v, "timeout_ms")? as u64)),
+    };
+    Ok((request, timeout))
 }
 
 /// `{"n": 64, ...}` → scalar input bindings.
@@ -778,14 +928,18 @@ mod tests {
 
     #[test]
     fn stats_response_renders_counters_and_latency() {
+        let transport = TransportStats::default();
         let empty = PoolStats {
             served: 0,
             errors: 0,
             shed: 0,
+            panics_contained: 0,
+            deadline_shed: 0,
+            workers_respawned: 0,
             depth: 0,
             latency: None,
         };
-        let text = stats_response(&Value::Str("s".into()), &empty).to_string();
+        let text = stats_response(&Value::Str("s".into()), &empty, &transport).to_string();
         assert!(text.contains("\"latency_us\":null"), "{text}");
         assert!(text.contains("\"served\":0"), "{text}");
 
@@ -796,14 +950,24 @@ mod tests {
             served: 2,
             errors: 1,
             shed: 3,
+            panics_contained: 5,
+            deadline_shed: 6,
+            workers_respawned: 7,
             depth: 4,
             latency: h.summary(),
         };
-        let text = stats_response(&Value::Null, &full).to_string();
+        transport
+            .slow_client_disconnects
+            .store(8, Ordering::Relaxed);
+        let text = stats_response(&Value::Null, &full, &transport).to_string();
         for needle in [
             "\"served\":2",
             "\"errors\":1",
             "\"shed\":3",
+            "\"panics_contained\":5",
+            "\"deadline_shed\":6",
+            "\"workers_respawned\":7",
+            "\"slow_client_disconnects\":8",
             "\"queue_depth\":4",
             "\"count\":2",
             "\"p50\":",
@@ -815,7 +979,65 @@ mod tests {
     }
 
     #[test]
+    fn timeout_ms_parses_into_a_request_deadline() {
+        match classify_line(r#"{"id": 1, "tokens": [1, 2], "timeout_ms": 250}"#) {
+            Parsed::Request(_, _, timeout) => {
+                assert_eq!(timeout, Some(Duration::from_millis(250)));
+            }
+            _ => panic!("valid request with timeout"),
+        }
+        match classify_line(r#"{"tokens": [1], "timeout_ms": 0}"#) {
+            Parsed::Request(_, _, timeout) => assert_eq!(timeout, Some(Duration::ZERO)),
+            _ => panic!("zero timeout is legal"),
+        }
+        match classify_line(r#"{"tokens": [1]}"#) {
+            Parsed::Request(_, _, timeout) => assert_eq!(timeout, None),
+            _ => panic!("no timeout field"),
+        }
+        for bad in [
+            r#"{"tokens": [1], "timeout_ms": -1}"#,
+            r#"{"tokens": [1], "timeout_ms": "soon"}"#,
+            r#"{"tokens": [1], "timeout_ms": 1.5}"#,
+        ] {
+            match classify_line(bad) {
+                Parsed::Invalid(_, e) => assert_eq!(e.kind(), "invalid_request", "{bad}"),
+                _ => panic!("rejected: {bad}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_response_tx_condemns_slow_clients_once() {
+        let (tx, rx) = mpsc::sync_channel(2);
+        let gone = Arc::new(AtomicBool::new(false));
+        let transport = Arc::new(TransportStats::default());
+        let out = ResponseTx::Bounded {
+            tx,
+            gone: Arc::clone(&gone),
+            transport: Arc::clone(&transport),
+        };
+        out.send(0, "a".into());
+        out.send(1, "b".into());
+        assert!(!gone.load(Ordering::Relaxed), "under the cap: fine");
+        // Third response overflows the cap: the connection is condemned
+        // and counted exactly once, no matter how many more arrive.
+        out.send(2, "c".into());
+        out.send(3, "d".into());
+        assert!(gone.load(Ordering::Relaxed), "slow client condemned");
+        assert_eq!(
+            transport.slow_client_disconnects.load(Ordering::Relaxed),
+            1,
+            "counted once per connection"
+        );
+        // The writer still drains what was queued before the overflow.
+        assert_eq!(rx.try_recv().expect("queued").1, "a");
+        assert_eq!(rx.try_recv().expect("queued").1, "b");
+        assert!(rx.try_recv().is_err(), "overflowed responses dropped");
+    }
+
+    #[test]
     fn writer_loop_reorders_by_sequence_and_respects_gone() {
+        let transport = TransportStats::default();
         let (tx, rx) = mpsc::channel();
         // Out-of-order completions: 2, 0, 1 must print as 0, 1, 2.
         tx.send((2, "two".to_string())).expect("send");
@@ -824,7 +1046,7 @@ mod tests {
         drop(tx);
         let mut out = Vec::new();
         let gone = AtomicBool::new(false);
-        writer_loop(&mut out, &rx, &gone);
+        writer_loop(&mut out, &rx, &gone, &transport);
         assert_eq!(String::from_utf8_lossy(&out), "zero\none\ntwo\n");
 
         // A hung-up client: everything is drained, nothing is written.
@@ -833,8 +1055,62 @@ mod tests {
         drop(tx);
         let mut out = Vec::new();
         let gone = AtomicBool::new(true);
-        writer_loop(&mut out, &rx, &gone);
+        writer_loop(&mut out, &rx, &gone, &transport);
         assert!(out.is_empty(), "gone writer writes nothing");
+        assert_eq!(
+            transport.slow_client_disconnects.load(Ordering::Relaxed),
+            0,
+            "clean writes and hung-up clients are not slow clients"
+        );
+    }
+
+    /// A sink that fails every write with the given error kind, the
+    /// in-process stand-in for a stalled (timeout) or vanished (EPIPE)
+    /// TCP peer.
+    struct FailingSink(std::io::ErrorKind);
+
+    impl Write for FailingSink {
+        fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+            Err(std::io::Error::new(self.0, "sink failure"))
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn writer_loop_counts_timed_out_clients_but_not_hangups() {
+        // A write timeout is a slow client: condemned AND counted once.
+        let transport = TransportStats::default();
+        let (tx, rx) = mpsc::channel();
+        tx.send((0, "a".to_string())).expect("send");
+        tx.send((1, "b".to_string())).expect("send");
+        drop(tx);
+        let gone = AtomicBool::new(false);
+        writer_loop(
+            FailingSink(std::io::ErrorKind::TimedOut),
+            &rx,
+            &gone,
+            &transport,
+        );
+        assert!(gone.load(Ordering::Relaxed), "timed-out client condemned");
+        assert_eq!(transport.slow_client_disconnects.load(Ordering::Relaxed), 1);
+
+        // EPIPE/reset is a client that left, not a slow one: condemned
+        // but not counted.
+        let transport = TransportStats::default();
+        let (tx, rx) = mpsc::channel();
+        tx.send((0, "a".to_string())).expect("send");
+        drop(tx);
+        let gone = AtomicBool::new(false);
+        writer_loop(
+            FailingSink(std::io::ErrorKind::BrokenPipe),
+            &rx,
+            &gone,
+            &transport,
+        );
+        assert!(gone.load(Ordering::Relaxed), "vanished client condemned");
+        assert_eq!(transport.slow_client_disconnects.load(Ordering::Relaxed), 0);
     }
 
     #[test]

@@ -12,7 +12,12 @@
 //! * graceful drain — `{"shutdown": true}` and SIGTERM complete all
 //!   accepted in-flight requests, then exit 0;
 //! * hung-up clients — EPIPE on stdout and TCP resets are tolerated the
-//!   same way (clean exit / connection teardown, daemon keeps serving).
+//!   same way (clean exit / connection teardown, daemon keeps serving);
+//! * fault isolation (chaos) — env-injected panics/delays/forced errors
+//!   (`LLMULATOR_FAULTS`) and zero deadlines are contained to their own
+//!   request: batchmates stay bit-identical to the oracle, the counters
+//!   record the containment, slow clients are disconnected instead of
+//!   wedging the writer, and the drain still exits 0.
 //!
 //! Hangs are converted into failures by a 60 s socket read timeout: a lost
 //! response makes `read_line` fail instead of blocking the test forever.
@@ -82,6 +87,14 @@ impl Daemon {
     /// Spawns `serve --tcp 127.0.0.1:0 <extra>` and parses the bound
     /// address from the `serve: listening on IP:PORT ...` banner.
     fn spawn(extra: &[&str]) -> Daemon {
+        Daemon::spawn_with(extra, &[])
+    }
+
+    /// Like [`Daemon::spawn`], but with extra environment variables — the
+    /// chaos hooks (`LLMULATOR_FAULTS`, `LLMULATOR_WRITER_CAP`,
+    /// `LLMULATOR_WRITE_TIMEOUT_MS`) are env-selected so a release binary
+    /// can be fault-tested without recompiling.
+    fn spawn_with(extra: &[&str], envs: &[(&str, &str)]) -> Daemon {
         let model = shared_model();
         let mut child = Command::new(bin())
             .args([
@@ -94,6 +107,7 @@ impl Daemon {
                 "127.0.0.1:0",
             ])
             .args(extra)
+            .envs(envs.iter().copied())
             .stdin(Stdio::null())
             .stdout(Stdio::null())
             .stderr(Stdio::piped())
@@ -214,6 +228,36 @@ fn request_line(c: usize, k: usize) -> String {
         "{{\"id\": \"c{c}-r{k}\", \"tokens\": [{c}, {k}, {}], \"metrics\": [\"cycles\", \"power\"]}}",
         (c * 7 + k * 3) % 100
     )
+}
+
+/// [`request_line`] with a per-request deadline attached.
+fn request_line_with_timeout(c: usize, k: usize, timeout_ms: u64) -> String {
+    format!(
+        "{{\"id\": \"c{c}-r{k}\", \"timeout_ms\": {timeout_ms}, \"tokens\": [{c}, {k}, {}], \
+         \"metrics\": [\"cycles\", \"power\"]}}",
+        (c * 7 + k * 3) % 100
+    )
+}
+
+/// Pulls the count immediately preceding `suffix` out of the shutdown
+/// summary (e.g. `summary_count(s, "panic(s) contained")` on
+/// `"... 2 panic(s) contained ..."` returns 2).
+fn summary_count(summary: &str, suffix: &str) -> u64 {
+    let end = summary
+        .find(suffix)
+        .unwrap_or_else(|| panic!("summary lacks `{suffix}`: {summary}"));
+    let digits: Vec<char> = summary[..end]
+        .trim_end()
+        .chars()
+        .rev()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits
+        .iter()
+        .rev()
+        .collect::<String>()
+        .parse()
+        .unwrap_or_else(|_| panic!("no count before `{suffix}`: {summary}"))
 }
 
 /// Tentpole stress test: 8 concurrent client threads against one daemon at
@@ -640,6 +684,306 @@ proptest! {
             );
         }
         daemon.shutdown_and_wait();
+    }
+}
+
+/// Chaos stress: injected faults (a panic, a forced error, a delay) are
+/// contained to their own request. The faulted requests get structured
+/// `internal` errors, every other request is answered bit-identically to
+/// the stdin oracle, the counters record the containment, and the drain
+/// still exits 0.
+#[test]
+fn injected_faults_are_contained_and_batchmates_match_the_oracle() {
+    const REQUESTS: usize = 12;
+    let lines: Vec<String> = (0..REQUESTS).map(|k| request_line(10, k)).collect();
+    let mut oracle_input = String::new();
+    for line in &lines {
+        oracle_input.push_str(line);
+        oracle_input.push('\n');
+    }
+    let oracle = stdin_oracle(&oracle_input);
+    assert_eq!(oracle.len(), REQUESTS, "oracle answered every line");
+
+    let daemon = Daemon::spawn_with(
+        &["--workers", "2"],
+        &[("LLMULATOR_FAULTS", "panic@2;error@5;delay@8=20")],
+    );
+    let mut conn = daemon.connect();
+    let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+    let mut payload = String::new();
+    for line in &lines {
+        payload.push_str(line);
+        payload.push('\n');
+    }
+    conn.write_all(payload.as_bytes()).expect("send");
+    // One connection dispatches serially, so request k is arrival k.
+    let got = read_lines(&mut reader, REQUESTS);
+    for (k, line) in got.iter().enumerate() {
+        assert!(
+            line.contains(&format!("\"id\":\"c10-r{k}\"")),
+            "response {k} lost or out of order: {line}"
+        );
+        match k {
+            2 => {
+                assert!(
+                    line.contains("\"ok\":false") && line.contains("\"kind\":\"internal\""),
+                    "panicking request must fail internal: {line}"
+                );
+                assert!(line.contains("panicked during execution"), "{line}");
+            }
+            5 => {
+                assert!(
+                    line.contains("\"ok\":false") && line.contains("\"kind\":\"internal\""),
+                    "forced-error request must fail internal: {line}"
+                );
+                assert!(line.contains("forced error"), "{line}");
+            }
+            _ => assert_eq!(
+                line, &oracle[k],
+                "non-faulted request {k} must match the stdin oracle bit for bit"
+            ),
+        }
+    }
+    conn.write_all(b"{\"id\": \"s\", \"stats\": true}\n")
+        .expect("stats sent");
+    let stats = read_lines(&mut reader, 1).remove(0);
+    assert!(
+        extract_u64(&stats, "panics_contained") >= 1,
+        "containment must be counted: {stats}"
+    );
+    assert_eq!(
+        extract_u64(&stats, "served"),
+        REQUESTS as u64 - 2,
+        "{stats}"
+    );
+    assert_eq!(extract_u64(&stats, "errors"), 2, "{stats}");
+    assert_eq!(extract_u64(&stats, "deadline_shed"), 0, "{stats}");
+    let summary = daemon.shutdown_and_wait();
+    assert!(
+        summary_count(&summary, "panic(s) contained") >= 1,
+        "{summary}"
+    );
+}
+
+/// A `timeout_ms: 0` request is shed at dequeue with a structured
+/// `deadline_exceeded` error — never executed — while its neighbors on
+/// the same connection are served normally.
+#[test]
+fn timeout_zero_requests_are_shed_with_deadline_exceeded() {
+    let daemon = Daemon::spawn(&["--workers", "1"]);
+    let mut conn = daemon.connect();
+    let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+    let payload = format!(
+        "{}\n{}\n{}\n",
+        request_line_with_timeout(11, 0, 0),
+        request_line(11, 1),
+        request_line_with_timeout(11, 2, 0),
+    );
+    conn.write_all(payload.as_bytes()).expect("send");
+    let got = read_lines(&mut reader, 3);
+    for (k, line) in got.iter().enumerate() {
+        assert!(
+            line.contains(&format!("\"id\":\"c11-r{k}\"")),
+            "response {k} lost or out of order: {line}"
+        );
+    }
+    assert!(
+        got[0].contains("\"kind\":\"deadline_exceeded\"")
+            && got[0].contains("shed without executing"),
+        "{}",
+        got[0]
+    );
+    assert!(got[1].contains("\"ok\":true"), "{}", got[1]);
+    assert!(
+        got[2].contains("\"kind\":\"deadline_exceeded\""),
+        "{}",
+        got[2]
+    );
+    conn.write_all(b"{\"id\": \"s\", \"stats\": true}\n")
+        .expect("stats sent");
+    let stats = read_lines(&mut reader, 1).remove(0);
+    assert_eq!(extract_u64(&stats, "deadline_shed"), 2, "{stats}");
+    assert_eq!(extract_u64(&stats, "served"), 1, "{stats}");
+    assert_eq!(extract_u64(&stats, "errors"), 0, "{stats}");
+    let summary = daemon.shutdown_and_wait();
+    assert!(summary.contains("2 deadline-shed"), "{summary}");
+}
+
+/// `--default-timeout-ms` applies to requests without their own deadline,
+/// and an explicit generous `timeout_ms` overrides it.
+#[test]
+fn default_timeout_flag_applies_and_explicit_timeouts_override_it() {
+    let daemon = Daemon::spawn(&["--workers", "1", "--default-timeout-ms", "0"]);
+    let mut conn = daemon.connect();
+    let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+    let payload = format!(
+        "{}\n{}\n",
+        request_line(12, 0),
+        request_line_with_timeout(12, 1, 60_000),
+    );
+    conn.write_all(payload.as_bytes()).expect("send");
+    let got = read_lines(&mut reader, 2);
+    assert!(
+        got[0].contains("\"id\":\"c12-r0\"") && got[0].contains("\"kind\":\"deadline_exceeded\""),
+        "default deadline must apply: {}",
+        got[0]
+    );
+    assert!(
+        got[1].contains("\"id\":\"c12-r1\"") && got[1].contains("\"ok\":true"),
+        "explicit timeout must override the default: {}",
+        got[1]
+    );
+    daemon.shutdown_and_wait();
+}
+
+/// A client that stops reading its responses is disconnected once its
+/// bounded writer queue overflows, counted exactly once, and every other
+/// connection keeps getting answers.
+#[test]
+fn slow_clients_are_disconnected_and_counted() {
+    const ID_BYTES: usize = 512 * 1024;
+    const REQUESTS: usize = 48;
+    let daemon = Daemon::spawn_with(
+        &["--workers", "1"],
+        &[
+            ("LLMULATOR_WRITER_CAP", "2"),
+            ("LLMULATOR_WRITE_TIMEOUT_MS", "500"),
+        ],
+    );
+    let slow = daemon.connect();
+    slow.set_write_timeout(Some(Duration::from_secs(5)))
+        .expect("write timeout");
+    let mut slow_writer = slow.try_clone().expect("clone");
+    // Responses echo the ~0.5 MB id. The client never reads, so the
+    // kernel buffers fill, the daemon's writer blocks, the 2-deep writer
+    // queue overflows, and the connection is condemned.
+    let big_id = "x".repeat(ID_BYTES);
+    let line =
+        format!("{{\"id\": \"{big_id}\", \"tokens\": [1, 2, 3], \"metrics\": [\"cycles\"]}}\n");
+    for _ in 0..REQUESTS {
+        if slow_writer.write_all(line.as_bytes()).is_err() {
+            break; // already condemned: the daemon closed the socket
+        }
+    }
+    // A healthy second connection observes the disconnect counter and
+    // still gets its own answers.
+    let mut conn = daemon.connect();
+    let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    loop {
+        conn.write_all(b"{\"stats\": true}\n").expect("stats sent");
+        let stats = read_lines(&mut reader, 1).remove(0);
+        if extract_u64(&stats, "slow_client_disconnects") >= 1 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "slow client never condemned: {stats}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    conn.write_all((request_line(13, 0) + "\n").as_bytes())
+        .expect("probe sent");
+    let probe = read_lines(&mut reader, 1).remove(0);
+    assert!(
+        probe.contains("\"id\":\"c13-r0\"") && probe.contains("\"ok\":true"),
+        "{probe}"
+    );
+    drop(slow_writer);
+    drop(slow);
+    let summary = daemon.shutdown_and_wait();
+    assert_eq!(
+        summary_count(&summary, "slow client(s) disconnected"),
+        1,
+        "condemned once, counted once: {summary}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Chaos interleavings: a seed-derived fault plan (panics, delays,
+    /// forced errors) plus client-chosen zero deadlines, replayed at
+    /// 1/2/4 workers. Every request is answered exactly once and in
+    /// order, faulted requests fail with the right error kind, clean
+    /// requests stay bit-identical to the stdin oracle, and the drain
+    /// still exits 0.
+    #[test]
+    fn seeded_chaos_plans_never_lose_or_corrupt_responses(seed in 1u64..1_000_000) {
+        const REQUESTS: usize = 12;
+        #[derive(Clone, Copy, PartialEq)]
+        enum Fate { Clean, Panic, Delay, Error, Deadline }
+        let mut state = seed;
+        let fates: Vec<Fate> = (0..REQUESTS)
+            .map(|_| match xorshift(&mut state) % 10 {
+                0 | 1 => Fate::Panic,
+                2 => Fate::Delay,
+                3 => Fate::Error,
+                4 => Fate::Deadline,
+                _ => Fate::Clean,
+            })
+            .collect();
+        let spec = fates
+            .iter()
+            .enumerate()
+            .filter_map(|(k, fate)| match fate {
+                Fate::Panic => Some(format!("panic@{k}")),
+                Fate::Delay => Some(format!("delay@{k}=5")),
+                Fate::Error => Some(format!("error@{k}")),
+                Fate::Clean | Fate::Deadline => None,
+            })
+            .collect::<Vec<_>>()
+            .join(";");
+
+        let clean_lines: Vec<String> = (0..REQUESTS).map(|k| request_line(14, k)).collect();
+        let mut oracle_input = String::new();
+        for line in &clean_lines {
+            oracle_input.push_str(line);
+            oracle_input.push('\n');
+        }
+        let oracle = stdin_oracle(&oracle_input);
+
+        for workers in ["1", "2", "4"] {
+            let daemon =
+                Daemon::spawn_with(&["--workers", workers], &[("LLMULATOR_FAULTS", &spec)]);
+            let mut conn = daemon.connect();
+            let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+            // One connection dispatches serially, so request k is arrival
+            // k and the plan replays identically at every worker count.
+            let mut payload = String::new();
+            for (k, fate) in fates.iter().enumerate() {
+                payload.push_str(&match fate {
+                    Fate::Deadline => request_line_with_timeout(14, k, 0),
+                    _ => clean_lines[k].clone(),
+                });
+                payload.push('\n');
+            }
+            conn.write_all(payload.as_bytes()).expect("send");
+            let got = read_lines(&mut reader, REQUESTS);
+            for (k, line) in got.iter().enumerate() {
+                prop_assert!(
+                    line.contains(&format!("\"id\":\"c14-r{k}\"")),
+                    "workers={}: response {} lost or out of order: {}",
+                    workers, k, line
+                );
+                match fates[k] {
+                    Fate::Deadline => prop_assert!(
+                        line.contains("\"kind\":\"deadline_exceeded\""),
+                        "workers={}: {}", workers, line
+                    ),
+                    Fate::Panic | Fate::Error => prop_assert!(
+                        line.contains("\"kind\":\"internal\""),
+                        "workers={}: {}", workers, line
+                    ),
+                    Fate::Clean | Fate::Delay => prop_assert_eq!(
+                        line, &oracle[k],
+                        "workers={}: clean request {} must match the oracle", workers, k
+                    ),
+                }
+            }
+            let summary = daemon.shutdown_and_wait();
+            prop_assert!(summary.contains("bye"), "{}", summary);
+        }
     }
 }
 

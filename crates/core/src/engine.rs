@@ -382,6 +382,19 @@ impl PredictRequest {
         self.feedback = Some(feedback);
         self
     }
+
+    /// A copy of the request with any calibration feedback stripped. The
+    /// serve pool uses this when retrying a request singly after a
+    /// contained batch panic: `predict_micro_batch` records feedback during
+    /// planning (before the fused predict runs), so replaying the original
+    /// request would count the triple twice.
+    #[must_use]
+    pub fn without_feedback(&self) -> PredictRequest {
+        PredictRequest {
+            feedback: None,
+            ..self.clone()
+        }
+    }
 }
 
 /// One metric of one predicted item. Predictor models fill the digit-level

@@ -47,6 +47,19 @@ pub enum Error {
     },
     /// A command-line argument could not be interpreted.
     InvalidArgument(String),
+    /// The server hit an internal failure (a contained panic, or an
+    /// injected fault in chaos tests) while executing this request. The
+    /// request may or may not have had side effects; batchmates were
+    /// unaffected.
+    Internal(String),
+    /// The request sat in the queue past its deadline (`timeout_ms` on the
+    /// wire, or `--default-timeout-ms`) and was shed without executing.
+    DeadlineExceeded {
+        /// How long the request waited before being shed, in milliseconds.
+        waited_ms: u64,
+        /// The deadline it was held to, in milliseconds.
+        timeout_ms: u64,
+    },
     /// A higher-level operation failed; `source` says why. This is the
     /// variant that gives exit messages their `caused by:` chain.
     Context {
@@ -105,6 +118,8 @@ impl Error {
             Error::InvalidRequest(_) => "invalid_request",
             Error::Overloaded { .. } => "overloaded",
             Error::InvalidArgument(_) => "invalid_argument",
+            Error::Internal(_) => "internal",
+            Error::DeadlineExceeded { .. } => "deadline_exceeded",
             Error::Context { source, .. } => source.kind(),
         }
     }
@@ -134,6 +149,15 @@ impl fmt::Display for Error {
                 "server overloaded: queue depth {depth} at limit {limit}, request shed"
             ),
             Error::InvalidArgument(msg) => write!(f, "{msg}"),
+            Error::Internal(msg) => write!(f, "internal server error: {msg}"),
+            Error::DeadlineExceeded {
+                waited_ms,
+                timeout_ms,
+            } => write!(
+                f,
+                "deadline exceeded: request waited {waited_ms} ms past its {timeout_ms} ms \
+                 timeout and was shed without executing"
+            ),
             Error::Context { message, .. } => write!(f, "{message}"),
         }
     }
@@ -150,7 +174,9 @@ impl std::error::Error for Error {
             Error::UnknownModel { .. }
             | Error::InvalidRequest(_)
             | Error::Overloaded { .. }
-            | Error::InvalidArgument(_) => None,
+            | Error::InvalidArgument(_)
+            | Error::Internal(_)
+            | Error::DeadlineExceeded { .. } => None,
         }
     }
 }
@@ -227,6 +253,27 @@ mod tests {
             available: vec![],
         };
         assert!(none.to_string().contains("no models loaded"));
+    }
+
+    #[test]
+    fn fault_variants_have_stable_kinds_and_messages() {
+        let e = Error::Internal("contained panic in batch".into());
+        assert_eq!(e.kind(), "internal");
+        assert!(e.to_string().contains("contained panic"), "{e}");
+        assert!(e.source().is_none());
+        let e = Error::DeadlineExceeded {
+            waited_ms: 120,
+            timeout_ms: 50,
+        };
+        assert_eq!(e.kind(), "deadline_exceeded");
+        let msg = e.to_string();
+        assert!(msg.contains("120") && msg.contains("50"), "{msg}");
+        assert!(e.source().is_none());
+        assert_eq!(
+            e.context("while draining").kind(),
+            "deadline_exceeded",
+            "kind sees through context"
+        );
     }
 
     #[test]

@@ -1,0 +1,327 @@
+//! Deterministic fault injection for chaos-testing the serving stack.
+//!
+//! A [`FaultPlan`] maps *arrival indices* — the order in which the pool
+//! accepted requests, assigned under the queue lock — to [`FaultAction`]s.
+//! Threaded into a pool via `ServePool::start_with_faults` (a non-default
+//! constructor: production paths use `ServePool::start`, which carries an
+//! empty plan and pays only a map lookup per batch), it lets tests and the
+//! CI chaos-smoke job inject panics, delays and forced errors at *chosen*
+//! requests and then assert the fault-isolation invariant: every accepted
+//! request still gets exactly one response, non-faulted answers are
+//! bit-identical to a fault-free run, and drain still completes.
+//!
+//! Plans are immutable after construction and faults *re-fire* every time
+//! the same arrival index is executed — that is what makes the single-item
+//! retry after a contained batch panic deterministically re-identify the
+//! offending request instead of letting it slip through on the retry.
+//!
+//! Two construction styles:
+//!
+//! * explicit — [`FaultPlan::new`] + [`panic_at`](FaultPlan::panic_at) /
+//!   [`delay_at`](FaultPlan::delay_at) / [`error_at`](FaultPlan::error_at);
+//! * textual — [`FaultPlan::from_spec`] parses the `LLMULATOR_FAULTS`
+//!   environment grammar, e.g. `panic@3,11;delay@6=30;error@9` or
+//!   `seeded:42:24:10:10:5` (seed, request count, panic/delay/error
+//!   percentages), so CI can select a plan without recompiling.
+
+use crate::error::Error;
+use std::collections::BTreeMap;
+use std::sync::Once;
+use std::time::Duration;
+
+/// Marker embedded in every injected panic payload and forced-error
+/// message, so tests can tell injected faults from real bugs (and the
+/// panic-hook filter installed by [`silence_injected_panics`] knows which
+/// reports to swallow).
+pub const FAULT_MARKER: &str = "fault injection";
+
+/// What to do to the request at a given arrival index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Panic inside the (unwind-protected) batch execution, exercising the
+    /// containment path: the request is answered `internal`, batchmates
+    /// get real answers.
+    Panic,
+    /// Sleep this long before executing the batch the request rides in —
+    /// simulates a slow model call so queued deadlines can expire.
+    Delay(Duration),
+    /// Answer the request with a structured `internal` error without
+    /// executing it.
+    Error,
+}
+
+/// A deterministic, immutable plan of injected faults keyed by arrival
+/// index. See the module docs for semantics and the spec grammar.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    actions: BTreeMap<u64, FaultAction>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing; what `ServePool::start` uses).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Injects a panic at arrival index `at`.
+    #[must_use]
+    pub fn panic_at(mut self, at: u64) -> FaultPlan {
+        self.actions.insert(at, FaultAction::Panic);
+        self
+    }
+
+    /// Injects a pre-execution delay at arrival index `at`.
+    #[must_use]
+    pub fn delay_at(mut self, at: u64, delay: Duration) -> FaultPlan {
+        self.actions.insert(at, FaultAction::Delay(delay));
+        self
+    }
+
+    /// Injects a forced `internal` error at arrival index `at`.
+    #[must_use]
+    pub fn error_at(mut self, at: u64) -> FaultPlan {
+        self.actions.insert(at, FaultAction::Error);
+        self
+    }
+
+    /// Derives a plan over arrival indices `0..n` from `seed`: each index
+    /// independently draws panic/delay/error with the given percentage
+    /// weights (evaluated in that order; delays are a fixed 5 ms — long
+    /// enough to overlap queue waits, short enough for tests). The same
+    /// `(seed, n, weights)` always yields the same plan.
+    pub fn seeded(seed: u64, n: u64, panic_pct: u8, delay_pct: u8, error_pct: u8) -> FaultPlan {
+        let mut plan = FaultPlan::new();
+        // Golden-ratio mix keeps distinct seeds distinct (a plain `| 1`
+        // would collapse adjacent even/odd seeds); xorshift needs a
+        // nonzero start.
+        let mut state = seed ^ 0x9E37_79B9_7F4A_7C15;
+        if state == 0 {
+            state = 0x9E37_79B9_7F4A_7C15;
+        }
+        for at in 0..n {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let roll = (state % 100) as u8;
+            if roll < panic_pct {
+                plan.actions.insert(at, FaultAction::Panic);
+            } else if roll < panic_pct.saturating_add(delay_pct) {
+                plan.actions
+                    .insert(at, FaultAction::Delay(Duration::from_millis(5)));
+            } else if roll
+                < panic_pct
+                    .saturating_add(delay_pct)
+                    .saturating_add(error_pct)
+            {
+                plan.actions.insert(at, FaultAction::Error);
+            }
+        }
+        plan
+    }
+
+    /// Parses the `LLMULATOR_FAULTS` grammar: `;`-separated clauses, each
+    /// `panic@I[,J,...]`, `delay@I[,J,...]=MS`, `error@I[,J,...]`, or
+    /// `seeded:SEED:N:PANIC_PCT:DELAY_PCT:ERROR_PCT`. Whitespace around
+    /// clauses is ignored; an empty string is the empty plan.
+    pub fn from_spec(spec: &str) -> Result<FaultPlan, Error> {
+        let mut plan = FaultPlan::new();
+        for clause in spec.split(';') {
+            let clause = clause.trim();
+            if clause.is_empty() {
+                continue;
+            }
+            if let Some(rest) = clause.strip_prefix("seeded:") {
+                let parts: Vec<&str> = rest.split(':').collect();
+                if parts.len() != 5 {
+                    return Err(Error::InvalidArgument(format!(
+                        "fault spec `{clause}`: expected seeded:SEED:N:PANIC_PCT:DELAY_PCT:ERROR_PCT"
+                    )));
+                }
+                let nums: Result<Vec<u64>, _> = parts.iter().map(|p| p.trim().parse()).collect();
+                let nums = nums.map_err(|_| {
+                    Error::InvalidArgument(format!("fault spec `{clause}`: non-numeric field"))
+                })?;
+                let seeded = FaultPlan::seeded(
+                    nums[0],
+                    nums[1],
+                    nums[2].min(100) as u8,
+                    nums[3].min(100) as u8,
+                    nums[4].min(100) as u8,
+                );
+                plan.actions.extend(seeded.actions);
+                continue;
+            }
+            let (kind, rest) = clause.split_once('@').ok_or_else(|| {
+                Error::InvalidArgument(format!(
+                    "fault spec clause `{clause}`: expected KIND@INDEX[,...] or seeded:..."
+                ))
+            })?;
+            let (indices, delay) = match kind {
+                "delay" => {
+                    let (idx, ms) = rest.split_once('=').ok_or_else(|| {
+                        Error::InvalidArgument(format!(
+                            "fault spec clause `{clause}`: delay needs `=MS`"
+                        ))
+                    })?;
+                    let ms: u64 = ms.trim().parse().map_err(|_| {
+                        Error::InvalidArgument(format!(
+                            "fault spec clause `{clause}`: bad millisecond value"
+                        ))
+                    })?;
+                    (idx, Some(Duration::from_millis(ms)))
+                }
+                "panic" | "error" => (rest, None),
+                other => {
+                    return Err(Error::InvalidArgument(format!(
+                        "fault spec clause `{clause}`: unknown kind `{other}`"
+                    )))
+                }
+            };
+            for index in indices.split(',') {
+                let at: u64 = index.trim().parse().map_err(|_| {
+                    Error::InvalidArgument(format!(
+                        "fault spec clause `{clause}`: bad arrival index `{index}`"
+                    ))
+                })?;
+                let action = match kind {
+                    "panic" => FaultAction::Panic,
+                    "error" => FaultAction::Error,
+                    _ => FaultAction::Delay(delay.expect("delay parsed above")),
+                };
+                plan.actions.insert(at, action);
+            }
+        }
+        Ok(plan)
+    }
+
+    /// The action injected at arrival index `at`, if any. Faults are not
+    /// consumed: querying the same index again returns the same action.
+    pub fn action(&self, at: u64) -> Option<FaultAction> {
+        self.actions.get(&at).copied()
+    }
+
+    /// `true` when the plan injects nothing (the production fast path).
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// Number of arrival indices with an injected fault.
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+}
+
+/// The payload used for injected panics; contains [`FAULT_MARKER`].
+pub fn injected_panic_message(at: u64) -> String {
+    format!("{FAULT_MARKER}: injected panic (request {at})")
+}
+
+/// The message used for injected forced errors; contains [`FAULT_MARKER`].
+pub fn injected_error_message(at: u64) -> String {
+    format!("{FAULT_MARKER}: forced error (request {at})")
+}
+
+/// Installs (once, process-wide) a panic hook that suppresses the default
+/// backtrace spam for *injected* panics — payloads containing
+/// [`FAULT_MARKER`] — while forwarding every real panic to the previous
+/// hook untouched. Chaos tests call this so hundreds of intentional panics
+/// do not drown the test output; the daemon deliberately does **not**, so
+/// contained panics stay visible in its stderr log.
+pub fn silence_injected_panics() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(|s| s.contains(FAULT_MARKER))
+                .or_else(|| {
+                    info.payload()
+                        .downcast_ref::<&str>()
+                        .map(|s| s.contains(FAULT_MARKER))
+                })
+                .unwrap_or(false);
+            if !injected {
+                previous(info);
+            }
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_accumulate_and_query_without_consuming() {
+        let plan = FaultPlan::new()
+            .panic_at(3)
+            .delay_at(6, Duration::from_millis(30))
+            .error_at(9);
+        assert_eq!(plan.len(), 3);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.action(3), Some(FaultAction::Panic));
+        assert_eq!(plan.action(3), Some(FaultAction::Panic), "not consumed");
+        assert_eq!(
+            plan.action(6),
+            Some(FaultAction::Delay(Duration::from_millis(30)))
+        );
+        assert_eq!(plan.action(9), Some(FaultAction::Error));
+        assert_eq!(plan.action(0), None);
+        assert!(FaultPlan::new().is_empty());
+    }
+
+    #[test]
+    fn spec_round_trips_the_explicit_grammar() {
+        let plan = FaultPlan::from_spec("panic@3,11; delay@6=30 ;error@9").expect("valid spec");
+        assert_eq!(plan.action(3), Some(FaultAction::Panic));
+        assert_eq!(plan.action(11), Some(FaultAction::Panic));
+        assert_eq!(
+            plan.action(6),
+            Some(FaultAction::Delay(Duration::from_millis(30)))
+        );
+        assert_eq!(plan.action(9), Some(FaultAction::Error));
+        assert_eq!(plan.len(), 4);
+        assert!(FaultPlan::from_spec("").expect("empty ok").is_empty());
+        assert!(FaultPlan::from_spec("  ;; ").expect("blank ok").is_empty());
+    }
+
+    #[test]
+    fn spec_rejects_malformed_clauses_with_invalid_argument() {
+        for bad in [
+            "panic",
+            "panic@x",
+            "delay@3",
+            "delay@3=abc",
+            "explode@1",
+            "seeded:1:2:3",
+            "seeded:a:2:3:4:5",
+        ] {
+            let err = FaultPlan::from_spec(bad).expect_err(bad);
+            assert_eq!(err.kind(), "invalid_argument", "{bad}");
+        }
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_weight_sensitive() {
+        let a = FaultPlan::seeded(42, 100, 10, 10, 5);
+        let b = FaultPlan::seeded(42, 100, 10, 10, 5);
+        assert_eq!(a, b, "same seed, same plan");
+        let c = FaultPlan::seeded(43, 100, 10, 10, 5);
+        assert_ne!(a, c, "different seed, different plan");
+        assert!(FaultPlan::seeded(7, 200, 0, 0, 0).is_empty());
+        let all = FaultPlan::seeded(7, 50, 100, 0, 0);
+        assert_eq!(all.len(), 50, "100% panic weight faults every index");
+        // Spec form matches the direct constructor.
+        let via_spec = FaultPlan::from_spec("seeded:42:100:10:10:5").expect("valid");
+        assert_eq!(a, via_spec);
+    }
+
+    #[test]
+    fn injected_messages_carry_the_marker() {
+        assert!(injected_panic_message(7).contains(FAULT_MARKER));
+        assert!(injected_panic_message(7).contains('7'));
+        assert!(injected_error_message(9).contains(FAULT_MARKER));
+    }
+}

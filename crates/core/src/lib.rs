@@ -47,6 +47,7 @@ pub mod dataset;
 pub mod encode;
 pub mod engine;
 pub mod error;
+pub mod fault;
 pub mod masks;
 pub mod model;
 pub mod numeric;
@@ -66,6 +67,7 @@ pub use engine::{
     PredictResponse, ServableModel, Session, MAX_BEAM_WIDTH,
 };
 pub use error::Error;
+pub use fault::{silence_injected_panics, FaultAction, FaultPlan, FAULT_MARKER};
 pub use masks::{attended_fraction, separation_mask, MaskOptions};
 pub use model::{
     MetricPrediction, ModelScale, NumericPredictor, Prediction, PredictorConfig, TrainOptions,

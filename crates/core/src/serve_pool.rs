@@ -27,12 +27,45 @@
 //! implements graceful shutdown: the queue closes (further submissions are
 //! shed), workers finish everything already accepted, and the final stats
 //! come back to the caller.
+//!
+//! # Fault isolation
+//!
+//! The pool degrades per-request, never per-process:
+//!
+//! * **Panic containment** — each micro-batch executes under
+//!   [`catch_unwind`]. When a batch panics, the worker rebuilds its session
+//!   and retries the batch items *singly*; the item that panics again is
+//!   answered with [`Error::Internal`] (kind `internal`) while its
+//!   batchmates still get their real answers. Contained panics are counted
+//!   in [`PoolStats::panics_contained`].
+//! * **Poison-proof queue** — no lock is ever held across model code, and
+//!   every `Mutex`/`Condvar` access recovers from poisoning
+//!   ([`PoisonError::into_inner`]), so even an unexpected panic in a
+//!   completion callback cannot wedge `submit`/`drain`. A worker whose
+//!   serving loop dies is respawned with a fresh session and counted in
+//!   [`PoolStats::workers_respawned`].
+//! * **Deadlines** — a job may carry a per-request timeout
+//!   ([`ServeJob::timeout`], the `timeout_ms` wire field) or inherit
+//!   [`PoolConfig::default_timeout`]. Deadlines are enforced at dequeue:
+//!   a job that expired while queued is answered
+//!   [`Error::DeadlineExceeded`] (kind `deadline_exceeded`) and **never
+//!   executed** — which also makes drain complete promptly under an
+//!   expired backlog. Deadline sheds land in the latency histogram and in
+//!   [`PoolStats::deadline_shed`].
+//!
+//! All of it is testable deterministically: `start_with_faults` threads a
+//! [`FaultPlan`] into the pool, injecting panics, delays and forced errors
+//! at chosen *arrival indices* (assigned under the queue lock at accept
+//! time, so a single pipelined connection sees arrival index == request
+//! index).
 
-use crate::engine::{Engine, PredictRequest, PredictResponse};
+use crate::engine::{Engine, PredictRequest, PredictResponse, Session};
 use crate::error::Error;
+use crate::fault::{injected_error_message, injected_panic_message, FaultAction, FaultPlan};
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Number of log₂-spaced latency buckets. Bucket `i` covers
@@ -175,6 +208,10 @@ pub struct PoolConfig {
     pub max_batch: usize,
     /// Queue depth beyond which submissions are shed; clamped ≥ 1.
     pub max_queue: usize,
+    /// Deadline applied to jobs that carry none of their own
+    /// (`--default-timeout-ms`); `None` means jobs without an explicit
+    /// `timeout_ms` never expire.
+    pub default_timeout: Option<Duration>,
 }
 
 impl Default for PoolConfig {
@@ -183,9 +220,13 @@ impl Default for PoolConfig {
             workers: 1,
             max_batch: 64,
             max_queue: 256,
+            default_timeout: None,
         }
     }
 }
+
+/// The boxed completion callback a [`ServeJob`] carries.
+type CompleteFn = Box<dyn FnOnce(Result<PredictResponse, Error>, Duration) + Send>;
 
 /// One queued unit of work: a typed request plus the completion callback
 /// that routes the answer back to whichever transport submitted it. The
@@ -193,8 +234,14 @@ impl Default for PoolConfig {
 /// (queue wait + prediction, monotonic clock).
 pub struct ServeJob {
     request: PredictRequest,
-    complete: Box<dyn FnOnce(Result<PredictResponse, Error>, Duration) + Send>,
+    complete: CompleteFn,
     enqueued: Instant,
+    /// Per-request deadline; `None` falls back to
+    /// [`PoolConfig::default_timeout`].
+    timeout: Option<Duration>,
+    /// Arrival index, assigned under the queue lock when the pool accepts
+    /// the job (0 until then). [`FaultPlan`]s key on this.
+    arrival: u64,
 }
 
 impl ServeJob {
@@ -207,7 +254,18 @@ impl ServeJob {
             request,
             complete: Box::new(complete),
             enqueued: Instant::now(),
+            timeout: None,
+            arrival: 0,
         }
+    }
+
+    /// Sets the per-request deadline (the wire `timeout_ms` field). A zero
+    /// timeout always expires: the job is shed `deadline_exceeded` at
+    /// dequeue without executing — handy for deterministic tests.
+    #[must_use]
+    pub fn timeout(mut self, timeout: Option<Duration>) -> ServeJob {
+        self.timeout = timeout;
+        self
     }
 }
 
@@ -224,20 +282,33 @@ impl std::fmt::Debug for ServeJob {
 pub struct PoolStats {
     /// Successfully answered requests.
     pub served: u64,
-    /// Requests answered with an error (excluding sheds).
+    /// Requests answered with an error (excluding overload and deadline
+    /// sheds).
     pub errors: u64,
     /// Requests shed with [`Error::Overloaded`].
     pub shed: u64,
+    /// Panics caught and contained by the batch unwind guard. Counts every
+    /// caught panic event — a batch panic followed by its single-item
+    /// retry's panic counts twice.
+    pub panics_contained: u64,
+    /// Requests shed with [`Error::DeadlineExceeded`] because they expired
+    /// while queued.
+    pub deadline_shed: u64,
+    /// Worker threads respawned after their serving loop died (e.g. a
+    /// panicking completion callback).
+    pub workers_respawned: u64,
     /// Jobs currently waiting in the queue.
     pub depth: usize,
-    /// Latency percentiles over every completed (served or errored)
-    /// request, or `None` before the first completion.
+    /// Latency percentiles over every completed (served, errored or
+    /// deadline-shed) request, or `None` before the first completion.
     pub latency: Option<LatencySummary>,
 }
 
 struct QueueState {
     jobs: VecDeque<ServeJob>,
     closed: bool,
+    /// Next arrival index to hand out; increments once per accepted job.
+    next_arrival: u64,
 }
 
 struct PoolShared {
@@ -247,7 +318,20 @@ struct PoolShared {
     served: AtomicU64,
     errors: AtomicU64,
     shed: AtomicU64,
+    panics_contained: AtomicU64,
+    deadline_shed: AtomicU64,
+    respawned: AtomicU64,
     histogram: Mutex<LatencyHistogram>,
+    faults: FaultPlan,
+}
+
+/// Locks `mutex`, recovering the guard from a poisoned lock: every
+/// critical section here leaves the data structurally valid (a panic
+/// mid-section can at worst lose one in-flight job's bookkeeping), so
+/// recovering is always safe and keeps `submit`/`drain` working after a
+/// contained panic.
+fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// A fixed-size worker pool serving one [`Engine`] from a central bounded
@@ -269,22 +353,41 @@ impl std::fmt::Debug for ServePool {
 impl ServePool {
     /// Starts `config.workers` worker threads serving `engine`.
     pub fn start(engine: Arc<Engine>, config: PoolConfig) -> ServePool {
+        ServePool::start_with_faults(engine, config, FaultPlan::default())
+    }
+
+    /// Starts a pool with a deterministic [`FaultPlan`] — the chaos-testing
+    /// constructor. Production paths use [`ServePool::start`] (an empty
+    /// plan); with faults, requests at the plan's arrival indices are
+    /// panicked/delayed/failed as specified, exercising the containment
+    /// paths without any real bug.
+    pub fn start_with_faults(
+        engine: Arc<Engine>,
+        config: PoolConfig,
+        faults: FaultPlan,
+    ) -> ServePool {
         let config = PoolConfig {
             workers: config.workers.max(1),
             max_batch: config.max_batch.max(1),
             max_queue: config.max_queue.max(1),
+            default_timeout: config.default_timeout,
         };
         let shared = Arc::new(PoolShared {
             queue: Mutex::new(QueueState {
                 jobs: VecDeque::new(),
                 closed: false,
+                next_arrival: 0,
             }),
             available: Condvar::new(),
             config,
             served: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             shed: AtomicU64::new(0),
+            panics_contained: AtomicU64::new(0),
+            deadline_shed: AtomicU64::new(0),
+            respawned: AtomicU64::new(0),
             histogram: Mutex::new(LatencyHistogram::new()),
+            faults,
         });
         let workers = (0..config.workers)
             .map(|_| {
@@ -301,8 +404,9 @@ impl ServePool {
     /// immediately with [`Error::Overloaded`] when the queue is at
     /// [`PoolConfig::max_queue`] (load-shedding) or the pool is draining.
     pub fn submit(&self, job: ServeJob) {
+        let mut job = job;
         let shed_error = {
-            let mut queue = self.shared.queue.lock().expect("queue lock");
+            let mut queue = lock_unpoisoned(&self.shared.queue);
             if queue.closed {
                 Some(
                     Error::Overloaded {
@@ -317,6 +421,8 @@ impl ServePool {
                     limit: self.shared.config.max_queue,
                 })
             } else {
+                job.arrival = queue.next_arrival;
+                queue.next_arrival += 1;
                 queue.jobs.push_back(job);
                 self.shared.available.notify_one();
                 return;
@@ -333,60 +439,49 @@ impl ServePool {
     /// poll it to apply backpressure instead of shedding where the client
     /// is a local pipe.
     pub fn depth(&self) -> usize {
-        self.shared.queue.lock().expect("queue lock").jobs.len()
+        lock_unpoisoned(&self.shared.queue).jobs.len()
     }
 
     /// Current counters, queue depth and latency percentiles.
     pub fn snapshot(&self) -> PoolStats {
-        let depth = self.depth();
-        PoolStats {
-            served: self.shared.served.load(Ordering::Relaxed),
-            errors: self.shared.errors.load(Ordering::Relaxed),
-            shed: self.shared.shed.load(Ordering::Relaxed),
-            depth,
-            latency: self
-                .shared
-                .histogram
-                .lock()
-                .expect("histogram lock")
-                .summary(),
-        }
+        stats_snapshot(&self.shared)
     }
 
     /// A copy of the full latency histogram (for reporting beyond the
     /// fixed percentile summary).
     pub fn histogram(&self) -> LatencyHistogram {
-        self.shared
-            .histogram
-            .lock()
-            .expect("histogram lock")
-            .clone()
+        lock_unpoisoned(&self.shared.histogram).clone()
     }
 
     /// Graceful drain: closes the queue (later submissions are shed with a
     /// draining [`Error::Overloaded`]), lets the workers finish every job
-    /// already accepted, joins them and returns the final statistics.
+    /// already accepted — jobs that expired while queued are answered
+    /// `deadline_exceeded` instead of executed, so a drain under backlog
+    /// completes promptly — joins them and returns the final statistics.
     pub fn drain(self) -> PoolStats {
         {
-            let mut queue = self.shared.queue.lock().expect("queue lock");
+            let mut queue = lock_unpoisoned(&self.shared.queue);
             queue.closed = true;
             self.shared.available.notify_all();
         }
         for worker in self.workers {
             let _ = worker.join();
         }
-        PoolStats {
-            served: self.shared.served.load(Ordering::Relaxed),
-            errors: self.shared.errors.load(Ordering::Relaxed),
-            shed: self.shared.shed.load(Ordering::Relaxed),
-            depth: self.shared.queue.lock().expect("queue lock").jobs.len(),
-            latency: self
-                .shared
-                .histogram
-                .lock()
-                .expect("histogram lock")
-                .summary(),
-        }
+        stats_snapshot(&self.shared)
+    }
+}
+
+/// Builds a [`PoolStats`] from the shared counters.
+fn stats_snapshot(shared: &PoolShared) -> PoolStats {
+    PoolStats {
+        served: shared.served.load(Ordering::Relaxed),
+        errors: shared.errors.load(Ordering::Relaxed),
+        shed: shared.shed.load(Ordering::Relaxed),
+        panics_contained: shared.panics_contained.load(Ordering::Relaxed),
+        deadline_shed: shared.deadline_shed.load(Ordering::Relaxed),
+        workers_respawned: shared.respawned.load(Ordering::Relaxed),
+        depth: lock_unpoisoned(&shared.queue).jobs.len(),
+        latency: lock_unpoisoned(&shared.histogram).summary(),
     }
 }
 
@@ -395,44 +490,187 @@ fn job_latency(job: &ServeJob) -> Duration {
     job.enqueued.elapsed()
 }
 
-/// One worker: pop a micro-batch (blocking while the queue is empty and
-/// open), answer it through a fused [`crate::Session::predict_micro_batch`]
-/// call, record latencies, run the completion callbacks, repeat. Exits when
-/// the queue is closed *and* empty, so a drain completes all accepted work.
+/// Worker respawn guard: runs [`worker_serve`] until it exits cleanly
+/// (queue closed and drained). A panic escaping the serving loop — e.g. a
+/// completion callback panicking, which runs outside the batch unwind
+/// guard — is caught here; the worker is counted respawned and re-enters
+/// with a fresh session. Progress is guaranteed: every pop consumes at
+/// least one job, so a poisoned job cannot respawn a worker forever.
 fn worker_loop(engine: &Engine, shared: &PoolShared) {
-    let mut session = engine.session();
     loop {
-        let batch: Vec<ServeJob> = {
-            let mut queue = shared.queue.lock().expect("queue lock");
-            while queue.jobs.is_empty() && !queue.closed {
-                queue = shared.available.wait(queue).expect("queue wait");
+        let outcome = catch_unwind(AssertUnwindSafe(|| worker_serve(engine, shared)));
+        match outcome {
+            Ok(()) => return, // clean exit: closed and fully drained
+            Err(_) => {
+                shared.respawned.fetch_add(1, Ordering::Relaxed);
             }
-            if queue.jobs.is_empty() {
-                return; // closed and fully drained
-            }
-            let take = queue.jobs.len().min(shared.config.max_batch);
-            queue.jobs.drain(..take).collect()
-        };
-        let (requests, completions): (Vec<_>, Vec<_>) = batch
-            .into_iter()
-            .map(|job| (job.request, (job.complete, job.enqueued)))
-            .unzip();
-        let results = session.predict_micro_batch(&requests);
-        for (result, (complete, enqueued)) in results.into_iter().zip(completions) {
-            let latency = enqueued.elapsed();
-            if result.is_ok() {
-                shared.served.fetch_add(1, Ordering::Relaxed);
-            } else {
-                shared.errors.fetch_add(1, Ordering::Relaxed);
-            }
-            shared
-                .histogram
-                .lock()
-                .expect("histogram lock")
-                .record(latency);
-            complete(result, latency);
         }
     }
+}
+
+/// One worker's serving loop: pop a micro-batch (blocking while the queue
+/// is empty and open), shed expired jobs, apply injected delays, answer
+/// forced-error jobs, run the rest through a fused (unwind-protected)
+/// [`crate::Session::predict_micro_batch`] call, record latencies, run the
+/// completion callbacks, repeat. Exits when the queue is closed *and*
+/// empty, so a drain completes all accepted work.
+fn worker_serve(engine: &Engine, shared: &PoolShared) {
+    let mut session = engine.session();
+    loop {
+        let Some(batch) = next_batch(shared) else {
+            return; // closed and fully drained
+        };
+        let mut live = Vec::with_capacity(batch.len());
+        for job in batch {
+            // Deadlines are enforced at dequeue: expired jobs are answered
+            // without ever touching the model.
+            let timeout = job.timeout.or(shared.config.default_timeout);
+            if let Some(timeout) = timeout {
+                let waited = job.enqueued.elapsed();
+                if waited >= timeout {
+                    let error = Error::DeadlineExceeded {
+                        waited_ms: waited.as_millis().min(u128::from(u64::MAX)) as u64,
+                        timeout_ms: timeout.as_millis().min(u128::from(u64::MAX)) as u64,
+                    };
+                    finish_job(shared, job.complete, job.enqueued, Err(error));
+                    continue;
+                }
+            }
+            match shared.faults.action(job.arrival) {
+                // Injected pre-execution delay: simulates a slow model call
+                // (lets queued batchmates' deadlines expire) without
+                // holding any lock.
+                Some(FaultAction::Delay(delay)) => {
+                    std::thread::sleep(delay);
+                    live.push(job);
+                }
+                // Injected forced error: answered structurally, never
+                // executed.
+                Some(FaultAction::Error) => {
+                    let error = Error::Internal(injected_error_message(job.arrival));
+                    finish_job(shared, job.complete, job.enqueued, Err(error));
+                }
+                _ => live.push(job),
+            }
+        }
+        if !live.is_empty() {
+            execute_batch(engine, &mut session, shared, live);
+        }
+    }
+}
+
+/// Pops up to `max_batch` jobs, blocking while the queue is empty and
+/// open. Returns `None` once the queue is closed and drained. The lock is
+/// released before any job is touched.
+fn next_batch(shared: &PoolShared) -> Option<Vec<ServeJob>> {
+    let mut queue = lock_unpoisoned(&shared.queue);
+    while queue.jobs.is_empty() && !queue.closed {
+        queue = shared
+            .available
+            .wait(queue)
+            .unwrap_or_else(PoisonError::into_inner);
+    }
+    if queue.jobs.is_empty() {
+        return None;
+    }
+    let take = queue.jobs.len().min(shared.config.max_batch);
+    Some(queue.jobs.drain(..take).collect())
+}
+
+/// Executes one micro-batch under an unwind guard. On a batch panic the
+/// worker's session is rebuilt and the items are retried singly, each
+/// under its own guard, so exactly the offending request is answered
+/// [`Error::Internal`] while its batchmates still get real answers.
+fn execute_batch<'e>(
+    engine: &'e Engine,
+    session: &mut Session<'e>,
+    shared: &PoolShared,
+    jobs: Vec<ServeJob>,
+) {
+    let mut requests = Vec::with_capacity(jobs.len());
+    let mut metas = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        requests.push(job.request);
+        metas.push((job.complete, job.enqueued, job.arrival));
+    }
+    let arrivals: Vec<u64> = metas.iter().map(|(_, _, at)| *at).collect();
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        fire_injected_panics(&shared.faults, &arrivals);
+        session.predict_micro_batch(&requests)
+    }));
+    match outcome {
+        Ok(results) => {
+            for (result, (complete, enqueued, _)) in results.into_iter().zip(metas) {
+                finish_job(shared, complete, enqueued, result);
+            }
+        }
+        Err(_) => {
+            shared.panics_contained.fetch_add(1, Ordering::Relaxed);
+            *session = engine.session();
+            if requests.len() == 1 {
+                // A lone request panicking needs no retry to be isolated.
+                let (complete, enqueued, at) = metas.into_iter().next().expect("one meta");
+                let error = Error::Internal(format!(
+                    "request panicked during execution (arrival {at}); \
+                     the panic was contained"
+                ));
+                finish_job(shared, complete, enqueued, Err(error));
+                return;
+            }
+            for (request, (complete, enqueued, at)) in requests.into_iter().zip(metas) {
+                // Feedback was already recorded during the failed batch's
+                // planning pass; don't double-count it on the retry.
+                let retry = request.without_feedback();
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    fire_injected_panics(&shared.faults, &[at]);
+                    session.predict(&retry)
+                }));
+                let result = match outcome {
+                    Ok(result) => result,
+                    Err(_) => {
+                        shared.panics_contained.fetch_add(1, Ordering::Relaxed);
+                        *session = engine.session();
+                        Err(Error::Internal(format!(
+                            "request panicked during execution (arrival {at}); \
+                             the panic was contained and its batchmates were retried"
+                        )))
+                    }
+                };
+                finish_job(shared, complete, enqueued, result);
+            }
+        }
+    }
+}
+
+/// Panics with the injected payload for the first arrival index the fault
+/// plan marks [`FaultAction::Panic`]. Called *inside* the unwind guard so
+/// chaos tests exercise the real containment path.
+fn fire_injected_panics(faults: &FaultPlan, arrivals: &[u64]) {
+    for &at in arrivals {
+        if faults.action(at) == Some(FaultAction::Panic) {
+            panic!("{}", injected_panic_message(at));
+        }
+    }
+}
+
+/// Completes one job: classify the result into the served / errors /
+/// deadline-shed counters, record its latency, run the callback.
+fn finish_job(
+    shared: &PoolShared,
+    complete: CompleteFn,
+    enqueued: Instant,
+    result: Result<PredictResponse, Error>,
+) {
+    let latency = enqueued.elapsed();
+    match &result {
+        Ok(_) => shared.served.fetch_add(1, Ordering::Relaxed),
+        Err(e) if e.kind() == "deadline_exceeded" => {
+            shared.deadline_shed.fetch_add(1, Ordering::Relaxed)
+        }
+        Err(_) => shared.errors.fetch_add(1, Ordering::Relaxed),
+    };
+    lock_unpoisoned(&shared.histogram).record(latency);
+    complete(result, latency);
 }
 
 #[cfg(test)]
@@ -551,6 +789,7 @@ mod tests {
                 workers: 2,
                 max_batch: 8,
                 max_queue: 64,
+                ..PoolConfig::default()
             },
         );
         let (tx, rx) = mpsc::channel();
@@ -615,6 +854,7 @@ mod tests {
                 workers: 1,
                 max_batch: 1,
                 max_queue: 2,
+                ..PoolConfig::default()
             },
         );
         // Deterministic saturation: the first job's completion callback
@@ -677,6 +917,7 @@ mod tests {
                 workers: 1,
                 max_batch: 4,
                 max_queue: 16,
+                ..PoolConfig::default()
             },
         );
         let (tx, rx) = mpsc::channel();
@@ -694,6 +935,294 @@ mod tests {
         assert_eq!(stats.depth, 0);
         drop(tx);
         assert_eq!(rx.iter().filter(|ok| *ok).count(), 6);
+    }
+
+    #[test]
+    fn injected_batch_panic_is_contained_and_isolated_to_its_request() {
+        crate::fault::silence_injected_panics();
+        let engine = pool_engine();
+        // Arrival index 1 panics; 0 and 2 must still get real answers.
+        let pool = ServePool::start_with_faults(
+            engine,
+            PoolConfig {
+                workers: 1,
+                max_batch: 8,
+                max_queue: 16,
+                ..PoolConfig::default()
+            },
+            FaultPlan::new().panic_at(1),
+        );
+        let (tx, rx) = mpsc::channel();
+        for i in 0..3u32 {
+            let tx = tx.clone();
+            pool.submit(ServeJob::new(
+                PredictRequest::tokens(vec![i, i + 1]),
+                move |result, _| {
+                    tx.send((i, result.map_err(|e| e.kind()))).expect("send");
+                },
+            ));
+        }
+        drop(tx);
+        let mut done: Vec<_> = rx.iter().collect();
+        done.sort_by_key(|(i, _)| *i);
+        assert_eq!(done.len(), 3, "every request answered exactly once");
+        assert!(done[0].1.is_ok(), "batchmate before the panic survives");
+        assert_eq!(done[1].1.as_ref().expect_err("panicked"), &"internal");
+        assert!(done[2].1.is_ok(), "batchmate after the panic survives");
+
+        // Satellite regression: after the contained panic, a *new* request
+        // on the same pool still succeeds (no poisoned lock wedges submit).
+        let (tx, rx) = mpsc::channel();
+        pool.submit(ServeJob::new(
+            PredictRequest::tokens(vec![9, 9]),
+            move |result, _| tx.send(result.is_ok()).expect("send"),
+        ));
+        assert!(rx.recv().expect("answered"), "pool serves after a panic");
+
+        let stats = pool.drain();
+        assert!(stats.panics_contained >= 1, "{stats:?}");
+        assert_eq!(stats.served, 3);
+        assert_eq!(stats.errors, 1);
+        assert_eq!(stats.depth, 0);
+    }
+
+    #[test]
+    fn batch_answers_match_serial_answers_around_a_contained_panic() {
+        crate::fault::silence_injected_panics();
+        let engine = pool_engine();
+        let oracle: Vec<_> = (0..4u32)
+            .map(|i| {
+                let mut session = engine.session();
+                session
+                    .predict(&PredictRequest::tokens(vec![i, 7]))
+                    .expect("oracle predicts")
+            })
+            .collect();
+        let pool = ServePool::start_with_faults(
+            engine,
+            PoolConfig {
+                workers: 1,
+                max_batch: 8,
+                max_queue: 16,
+                ..PoolConfig::default()
+            },
+            FaultPlan::new().panic_at(2),
+        );
+        let (tx, rx) = mpsc::channel();
+        for i in 0..4u32 {
+            let tx = tx.clone();
+            pool.submit(ServeJob::new(
+                PredictRequest::tokens(vec![i, 7]),
+                move |result, _| tx.send((i, result)).expect("send"),
+            ));
+        }
+        drop(tx);
+        let mut done: Vec<_> = rx.iter().collect();
+        done.sort_by_key(|(i, _)| *i);
+        for (i, result) in done {
+            if i == 2 {
+                assert_eq!(result.expect_err("faulted").kind(), "internal");
+            } else {
+                let got = result.expect("non-faulted request succeeds");
+                assert_eq!(got, oracle[i as usize], "bit-identical for i={i}");
+            }
+        }
+        pool.drain();
+    }
+
+    #[test]
+    fn forced_error_faults_answer_internal_without_executing() {
+        let engine = pool_engine();
+        let pool = ServePool::start_with_faults(
+            engine,
+            PoolConfig::default(),
+            FaultPlan::new().error_at(0),
+        );
+        let (tx, rx) = mpsc::channel();
+        pool.submit(ServeJob::new(
+            PredictRequest::tokens(vec![1, 2]),
+            move |result, _| tx.send(result.map_err(|e| e.chain())).expect("send"),
+        ));
+        let err = rx.recv().expect("answered").expect_err("forced error");
+        assert!(err.contains("fault injection"), "{err}");
+        let stats = pool.drain();
+        assert_eq!((stats.served, stats.errors), (0, 1));
+        assert_eq!(stats.panics_contained, 0, "no panic involved");
+    }
+
+    #[test]
+    fn expired_jobs_are_shed_at_dequeue_with_deadline_exceeded() {
+        let engine = pool_engine();
+        let pool = ServePool::start(
+            engine,
+            PoolConfig {
+                workers: 1,
+                max_batch: 1,
+                max_queue: 16,
+                ..PoolConfig::default()
+            },
+        );
+        // Gate the only worker so later jobs sit in the queue.
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let (done_tx, done_rx) = mpsc::channel();
+        {
+            let done = done_tx.clone();
+            pool.submit(ServeJob::new(
+                PredictRequest::tokens(vec![1]),
+                move |result, _| {
+                    release_rx.recv().expect("released");
+                    done.send(("gate", result.map_err(|e| e.kind())))
+                        .expect("send");
+                },
+            ));
+        }
+        while pool.snapshot().depth > 0 {
+            std::thread::yield_now();
+        }
+        // timeout 0 always counts as expired at dequeue; None never does.
+        for (tag, timeout) in [
+            ("expired", Some(Duration::ZERO)),
+            ("fresh", None),
+            ("expired2", Some(Duration::ZERO)),
+        ] {
+            let done = done_tx.clone();
+            pool.submit(
+                ServeJob::new(PredictRequest::tokens(vec![2, 3]), move |result, _| {
+                    done.send((tag, result.map_err(|e| e.kind())))
+                        .expect("send");
+                })
+                .timeout(timeout),
+            );
+        }
+        release_tx.send(()).expect("release");
+        drop(done_tx);
+        let done: Vec<_> = done_rx.iter().collect();
+        assert_eq!(done.len(), 4, "all answered exactly once");
+        for (tag, result) in &done {
+            match *tag {
+                "gate" | "fresh" => assert!(result.is_ok(), "{tag}: {result:?}"),
+                _ => assert_eq!(
+                    result.as_ref().expect_err("expired"),
+                    &"deadline_exceeded",
+                    "{tag}"
+                ),
+            }
+        }
+        let stats = pool.drain();
+        assert_eq!(stats.deadline_shed, 2);
+        assert_eq!(stats.served, 2);
+        assert_eq!(stats.errors, 0, "deadline sheds are not errors");
+        let latency = stats.latency.expect("recorded");
+        assert_eq!(latency.count, 4, "deadline sheds land in the histogram");
+    }
+
+    #[test]
+    fn default_timeout_applies_to_jobs_without_their_own() {
+        let engine = pool_engine();
+        let pool = ServePool::start(
+            engine,
+            PoolConfig {
+                workers: 1,
+                max_batch: 1,
+                max_queue: 16,
+                default_timeout: Some(Duration::ZERO),
+            },
+        );
+        let (tx, rx) = mpsc::channel();
+        {
+            let tx = tx.clone();
+            pool.submit(ServeJob::new(
+                PredictRequest::tokens(vec![1]),
+                move |result, _| tx.send(result.map_err(|e| e.kind())).expect("send"),
+            ));
+        }
+        // An explicit generous timeout overrides the zero default.
+        pool.submit(
+            ServeJob::new(PredictRequest::tokens(vec![2]), move |result, _| {
+                tx.send(result.map_err(|e| e.kind())).expect("send")
+            })
+            .timeout(Some(Duration::from_secs(3600))),
+        );
+        let first = rx.recv().expect("answered");
+        let second = rx.recv().expect("answered");
+        assert_eq!(first.expect_err("default timeout 0"), "deadline_exceeded");
+        assert!(second.is_ok(), "explicit timeout overrides the default");
+        pool.drain();
+    }
+
+    #[test]
+    fn drain_sheds_expired_backlog_instead_of_executing_it() {
+        let engine = pool_engine();
+        let pool = ServePool::start(
+            engine,
+            PoolConfig {
+                workers: 1,
+                max_batch: 1,
+                max_queue: 64,
+                ..PoolConfig::default()
+            },
+        );
+        // Gate the worker, pile up an expired backlog, then drain: the
+        // backlog must be answered deadline_exceeded, not executed.
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let (done_tx, done_rx) = mpsc::channel();
+        {
+            let done = done_tx.clone();
+            pool.submit(ServeJob::new(
+                PredictRequest::tokens(vec![1]),
+                move |result, _| {
+                    release_rx.recv().expect("released");
+                    done.send(result.map_err(|e| e.kind())).expect("send");
+                },
+            ));
+        }
+        while pool.snapshot().depth > 0 {
+            std::thread::yield_now();
+        }
+        for i in 0..8u32 {
+            let done = done_tx.clone();
+            pool.submit(
+                ServeJob::new(PredictRequest::tokens(vec![i]), move |result, _| {
+                    done.send(result.map_err(|e| e.kind())).expect("send");
+                })
+                .timeout(Some(Duration::ZERO)),
+            );
+        }
+        release_tx.send(()).expect("release");
+        drop(done_tx);
+        let stats = pool.drain();
+        assert_eq!(stats.deadline_shed, 8, "backlog shed, not executed");
+        assert_eq!(stats.served, 1, "only the gate job ran");
+        assert_eq!(stats.depth, 0);
+        assert_eq!(done_rx.iter().count(), 9, "all answered exactly once");
+    }
+
+    #[test]
+    fn panicking_completion_callback_respawns_the_worker() {
+        crate::fault::silence_injected_panics();
+        let engine = pool_engine();
+        let pool = ServePool::start(
+            engine,
+            PoolConfig {
+                workers: 1,
+                max_batch: 1,
+                max_queue: 16,
+                ..PoolConfig::default()
+            },
+        );
+        // The callback itself panics — outside the batch unwind guard, so
+        // the worker's serving loop dies and the respawn guard restarts it.
+        pool.submit(ServeJob::new(PredictRequest::tokens(vec![1]), |_, _| {
+            panic!("fault injection: callback panic");
+        }));
+        let (tx, rx) = mpsc::channel();
+        pool.submit(ServeJob::new(
+            PredictRequest::tokens(vec![2]),
+            move |result, _| tx.send(result.is_ok()).expect("send"),
+        ));
+        assert!(rx.recv().expect("served"), "respawned worker serves");
+        let stats = pool.drain();
+        assert_eq!(stats.workers_respawned, 1, "{stats:?}");
     }
 
     #[test]
