@@ -14,7 +14,9 @@ use llmulator::{
 };
 use llmulator_baselines::{Gnnhls, TensetMlp, Timeloop, Tlp};
 use llmulator_eval::{try_mape_on, Table};
-use llmulator_ir::{InputData, Program};
+use llmulator_ir::{
+    analyze_program_bounds, lint_program, Cfg, InputData, OperatorBounds, Program, Severity,
+};
 use llmulator_sim::Metric;
 use llmulator_synth::{synthesize_cached, DataFormat, SynthesisConfig};
 use llmulator_token::NumericMode;
@@ -87,6 +89,176 @@ pub fn normalize(mut program: Program) -> Result<String, Error> {
     Ok(out)
 }
 
+/// `analyze --suite`: run the static-analysis report over a workload suite.
+pub fn analyze_suite(suite: &str, limit: usize, json: bool) -> Result<String, Error> {
+    let workloads = suite_workloads(suite, limit)?;
+    analyze(
+        workloads
+            .into_iter()
+            .map(|w| (w.name.clone(), w.program))
+            .collect(),
+        json,
+    )
+}
+
+/// `analyze`: CFG statistics, static trip/count/cycle bounds and lints for
+/// each program, ending with a one-line summary (`analyzed N programs, E
+/// lint errors, W lint warnings`) that smoke tests grep for.
+pub fn analyze(programs: Vec<(String, Program)>, json: bool) -> Result<String, Error> {
+    let mut out = String::new();
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    for (name, program) in &programs {
+        let bounds = analyze_program_bounds(program);
+        let cycles = llmulator_sim::program_cycle_bounds(program, &bounds);
+        let report = lint_program(program);
+        errors += report.error_count();
+        warnings += report.warning_count();
+        let classes = ir_analysis::analyze_program(program);
+        let class_of = |op: &llmulator_ir::Ident| {
+            classes
+                .operators
+                .iter()
+                .find(|r| &r.name == op)
+                .map(|r| match r.class {
+                    llmulator_ir::OperatorClass::ClassI => "Class I",
+                    llmulator_ir::OperatorClass::ClassII => "Class II",
+                })
+                .unwrap_or("Class ?")
+        };
+        if json {
+            let ops: Vec<serde_json::Value> = program
+                .operators
+                .iter()
+                .map(|op| {
+                    let cfg = Cfg::build(op);
+                    serde_json::json!({
+                        "name": op.name.to_string(),
+                        "class": class_of(&op.name),
+                        "blocks": cfg.blocks.len(),
+                        "edges": cfg.edge_count(),
+                        "loops": cfg.natural_loops().len(),
+                    })
+                })
+                .collect();
+            let invocations: Vec<serde_json::Value> = bounds
+                .invocations
+                .iter()
+                .zip(&cycles.invocations)
+                .map(|(ob, cb)| {
+                    serde_json::json!({
+                        "op": ob.op.to_string(),
+                        "cycles": { "min": cb.min, "max": json_opt(cb.max) },
+                        "trips": ob.trips.iter().map(|(id, t)| {
+                            serde_json::json!({
+                                "stmt": id, "min": t.min, "max": json_opt(t.max),
+                                "exact": t.exact,
+                            })
+                        }).collect::<Vec<_>>(),
+                    })
+                })
+                .collect();
+            let line = serde_json::json!({
+                "program": name,
+                "operators": ops,
+                "invocations": invocations,
+                "totals": {
+                    "cycles": { "min": cycles.total.min, "max": json_opt(cycles.total.max) },
+                    "iterations": { "min": bounds.iterations.lo, "max": json_opt(bounds.iterations.hi) },
+                    "loads": { "min": bounds.loads.lo, "max": json_opt(bounds.loads.hi) },
+                    "stores": { "min": bounds.stores.lo, "max": json_opt(bounds.stores.hi) },
+                    "branches": { "min": bounds.branches.lo, "max": json_opt(bounds.branches.hi) },
+                },
+                "lints": report.lints,
+            });
+            let _ = writeln!(out, "{line}");
+        } else {
+            let _ = writeln!(out, "== {name} ==");
+            for op in &program.operators {
+                let cfg = Cfg::build(op);
+                let _ = writeln!(
+                    out,
+                    "operator {:<16}: {}, {} blocks, {} edges, {} loops",
+                    op.name.to_string(),
+                    class_of(&op.name),
+                    cfg.blocks.len(),
+                    cfg.edge_count(),
+                    cfg.natural_loops().len(),
+                );
+            }
+            for (ob, cb) in bounds.invocations.iter().zip(&cycles.invocations) {
+                let _ = writeln!(
+                    out,
+                    "invoke {:<18}: cycles {cb}, trips {}",
+                    ob.op.to_string(),
+                    trips_summary(ob),
+                );
+            }
+            let _ = writeln!(
+                out,
+                "totals: cycles {}, iterations {}, loads {}, stores {}, branches {}",
+                cycles.total, bounds.iterations, bounds.loads, bounds.stores, bounds.branches,
+            );
+            if report.lints.is_empty() {
+                let _ = writeln!(out, "lints : clean");
+            } else {
+                for l in &report.lints {
+                    let sev = match l.severity {
+                        Severity::Error => "error",
+                        Severity::Warning => "warning",
+                    };
+                    let at = l.stmt.map(|s| format!(" stmt {s}")).unwrap_or_default();
+                    let _ = writeln!(
+                        out,
+                        "lint  : {sev} {} @ {}{at}: {}",
+                        l.rule.name(),
+                        l.op,
+                        l.message
+                    );
+                }
+            }
+        }
+    }
+    if json {
+        let line = serde_json::json!({
+            "analyzed": programs.len(),
+            "lint_errors": errors,
+            "lint_warnings": warnings,
+        });
+        let _ = writeln!(out, "{line}");
+    } else {
+        let _ = writeln!(
+            out,
+            "analyzed {} programs, {errors} lint errors, {warnings} lint warnings",
+            programs.len()
+        );
+    }
+    Ok(out)
+}
+
+/// Optional upper bound as plain number-or-null. The vendored serde wraps
+/// `Some(n)` in a one-element array for lossless round-trips; wire output
+/// wants the conventional shape instead.
+fn json_opt(v: Option<u64>) -> serde_json::Value {
+    match v {
+        Some(n) => serde_json::json!(n),
+        None => serde_json::Value::Null,
+    }
+}
+
+/// Renders an operator's per-loop trip bounds as `@id [lo, hi]` pairs
+/// (`*` marks a compile-time-exact count).
+fn trips_summary(ob: &OperatorBounds) -> String {
+    if ob.trips.is_empty() {
+        return "none".to_string();
+    }
+    ob.trips
+        .iter()
+        .map(|(id, t)| format!("@{id} {}{}", t.interval(), if t.exact { "*" } else { "" }))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
 /// `synthesize`: generate labelled samples and print them as JSON lines.
 pub fn synthesize(count: usize, seed: u64, format: &str) -> Result<String, Error> {
     let fmt = match format {
@@ -96,7 +268,7 @@ pub fn synthesize(count: usize, seed: u64, format: &str) -> Result<String, Error
     };
     let mut config = llmulator_synth::SynthesisConfig::paper_mix(count, seed);
     config.format = fmt;
-    let dataset = llmulator_synth::synthesize(&config);
+    let (dataset, stats) = llmulator_synth::synthesize_with_stats(&config);
     let mut out = String::new();
     for s in &dataset.samples {
         let line = serde_json::json!({
@@ -111,7 +283,13 @@ pub fn synthesize(count: usize, seed: u64, format: &str) -> Result<String, Error
         });
         let _ = writeln!(out, "{line}");
     }
-    let _ = writeln!(out, "// {} samples", dataset.len());
+    let _ = writeln!(
+        out,
+        "// {} samples, {} rejected by lint, {} failed to profile",
+        dataset.len(),
+        stats.rejected_by_lint,
+        stats.failed_to_profile
+    );
     Ok(out)
 }
 
@@ -456,6 +634,57 @@ pub(crate) mod tests {
         let out = normalize(program()).expect("normalizes");
         assert!(out.contains("rewrites applied"));
         assert!(out.contains("void scale"));
+    }
+
+    #[test]
+    fn analyze_reports_cfg_bounds_and_summary() {
+        let out = analyze(vec![("scale".to_string(), program())], false).expect("analyzes");
+        assert!(out.contains("== scale =="), "program header: {out}");
+        assert!(out.contains("Class I"), "classification: {out}");
+        assert!(out.contains("blocks"), "CFG stats: {out}");
+        assert!(out.contains("@0 8*"), "exact trip bounds: {out}");
+        assert!(out.contains("lints : clean"), "lint-clean program: {out}");
+        assert!(
+            out.contains("analyzed 1 programs, 0 lint errors, 0 lint warnings"),
+            "summary line: {out}"
+        );
+        // A constant-control-flow program has exact (min == max) cycle
+        // bounds, rendered as a single number rather than an interval.
+        let totals = out
+            .lines()
+            .find(|l| l.starts_with("totals:"))
+            .expect("totals line");
+        assert!(
+            !totals.contains("inf"),
+            "exact bounds stay finite: {totals}"
+        );
+    }
+
+    #[test]
+    fn analyze_json_mode_emits_parseable_lines() {
+        let out = analyze(vec![("scale".to_string(), program())], true).expect("analyzes");
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2, "one program line + one summary: {out}");
+        for line in &lines {
+            serde_json::parse_value(line).expect("valid JSON");
+        }
+        assert!(lines[0].contains("\"program\":\"scale\""), "{out}");
+        assert!(lines[0].contains("\"class\":\"Class I\""), "{out}");
+        assert!(lines[0].contains("\"trips\""), "{out}");
+        // Optional upper bounds render as plain numbers (or null), never as
+        // the vendored serde's `[n]` Option encoding.
+        assert!(!lines[0].contains("\"max\":["), "{out}");
+        assert!(lines[1].contains("\"analyzed\":1"), "{out}");
+        assert!(lines[1].contains("\"lint_errors\":0"), "{out}");
+    }
+
+    #[test]
+    fn analyze_suite_covers_every_workload() {
+        let out = analyze_suite("polybench", 3, false).expect("analyzes suite");
+        assert!(
+            out.contains("analyzed 3 programs,"),
+            "all selected workloads analyzed: {out}"
+        );
     }
 
     #[test]

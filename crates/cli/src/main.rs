@@ -5,6 +5,7 @@
 //! llmulator stats <program.c>                             Table 2 statistics
 //! llmulator classify <program.c>                          Class I/II analysis
 //! llmulator normalize <program.c>                         normalization pass
+//! llmulator analyze <program.c> | --suite S               static analysis
 //! llmulator synthesize [--count N] [--seed S]             dataset synthesis
 //! llmulator train [--samples N] [--seed S] [--out M]      fit + save a predictor
 //! llmulator eval  [--model M] [--suite S] [--baselines]   MAPE tables
@@ -71,6 +72,8 @@ const USAGE: &str = "usage:
   llmulator stats <program.c>
   llmulator classify <program.c>
   llmulator normalize <program.c>
+  llmulator analyze <program.c> [--json]
+  llmulator analyze --suite polybench|modern|accelerators|all [--limit N] [--json]
   llmulator synthesize [--count N] [--seed S] [--format direct|reasoning]
   llmulator train [--samples N] [--seed S] [--format direct|reasoning]
                   [--epochs E] [--batch B] [--threads T]
@@ -139,6 +142,7 @@ const EVAL_FLAGS: &[&str] = &[
     "--threads",
     "--cache-dir",
 ];
+const ANALYZE_FLAGS: &[&str] = &["--suite", "--limit", "--json"];
 pub(crate) const SERVE_FLAGS: &[&str] = &[
     "--model",
     "--threads",
@@ -183,6 +187,20 @@ fn run(args: &[String]) -> Result<String, Error> {
         "normalize" => {
             check_flags(args, "normalize", &[])?;
             commands::normalize(load_program(args)?)
+        }
+        "analyze" => {
+            check_flags(args, "analyze", ANALYZE_FLAGS)?;
+            let json = has_flag(args, "--json");
+            match flag_value(args, "--suite")? {
+                Some(suite) => {
+                    let suite = suite.to_string();
+                    commands::analyze_suite(&suite, parse_flag(args, "--limit", 0usize)?, json)
+                }
+                None => {
+                    let name = positional(args).cloned().unwrap_or_default();
+                    commands::analyze(vec![(name, load_program(args)?)], json)
+                }
+            }
         }
         "synthesize" => {
             check_flags(args, "synthesize", &["--count", "--seed", "--format"])?;
@@ -493,6 +511,12 @@ mod tests {
         // Every value-taking flag of train/eval/serve must be in VALUE_FLAGS
         // so the positional scan skips its value (--baselines is boolean).
         for flag in TRAIN_FLAGS {
+            assert!(
+                VALUE_FLAGS.contains(flag),
+                "{flag} missing from VALUE_FLAGS"
+            );
+        }
+        for flag in ANALYZE_FLAGS.iter().filter(|f| **f != "--json") {
             assert!(
                 VALUE_FLAGS.contains(flag),
                 "{flag} missing from VALUE_FLAGS"

@@ -405,21 +405,19 @@ impl ServePool {
     /// [`PoolConfig::max_queue`] (load-shedding) or the pool is draining.
     pub fn submit(&self, job: ServeJob) {
         let mut job = job;
-        let shed_error = {
+        let error = {
             let mut queue = lock_unpoisoned(&self.shared.queue);
             if queue.closed {
-                Some(
-                    Error::Overloaded {
-                        depth: queue.jobs.len(),
-                        limit: self.shared.config.max_queue,
-                    }
-                    .context("server is draining and accepts no new requests"),
-                )
-            } else if queue.jobs.len() >= self.shared.config.max_queue {
-                Some(Error::Overloaded {
+                Error::Overloaded {
                     depth: queue.jobs.len(),
                     limit: self.shared.config.max_queue,
-                })
+                }
+                .context("server is draining and accepts no new requests")
+            } else if queue.jobs.len() >= self.shared.config.max_queue {
+                Error::Overloaded {
+                    depth: queue.jobs.len(),
+                    limit: self.shared.config.max_queue,
+                }
             } else {
                 job.arrival = queue.next_arrival;
                 queue.next_arrival += 1;
@@ -429,7 +427,6 @@ impl ServePool {
             }
         };
         // Shed outside the lock: the callback may serialize/send.
-        let error = shed_error.expect("non-shed paths returned above");
         self.shared.shed.fetch_add(1, Ordering::Relaxed);
         let latency = job_latency(&job);
         (job.complete)(Err(error), latency);
@@ -609,7 +606,9 @@ fn execute_batch<'e>(
             *session = engine.session();
             if requests.len() == 1 {
                 // A lone request panicking needs no retry to be isolated.
-                let (complete, enqueued, at) = metas.into_iter().next().expect("one meta");
+                let Some((complete, enqueued, at)) = metas.into_iter().next() else {
+                    return;
+                };
                 let error = Error::Internal(format!(
                     "request panicked during execution (arrival {at}); \
                      the panic was contained"

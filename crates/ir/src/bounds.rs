@@ -1,0 +1,1145 @@
+//! Static trip-count and execution-count bounds via interval analysis.
+//!
+//! The pass abstractly interprets an operator body the way `llmulator-sim`'s
+//! `Machine` concretely does, tracking for every scalar an interval of
+//! *integer-valued* results (or ⊤ when the value may be a non-integer float
+//! or is data-dependent). From those intervals it derives:
+//!
+//! * **per-loop trip bounds** ([`TripBounds`]) — exact counts where `lo`,
+//!   `hi` and `step` fold to constants, `[min, max]` brackets where they are
+//!   input-tainted, per *entry* of the loop;
+//! * **per-branch folds** — `If` conditions whose truth value is statically
+//!   known (the reachability lint's edge pruning);
+//! * **whole-operator count bounds** ([`CountInterval`]) for the dynamic
+//!   `ExecStats` counters (iterations, loads, stores, branches) that the
+//!   interpreter must land inside on every successful run;
+//! * **definite out-of-bounds constant indexing** sites for the lint pass.
+//!
+//! Soundness contract (checked by the `analysis_oracle` proptests): for any
+//! `Program` and any `InputData` for which `simulate` succeeds, every dynamic
+//! count lies inside the static interval, and intervals reported `exact`
+//! equal the dynamic value.
+//!
+//! The abstract semantics mirror `Machine::apply_binop`, **not**
+//! [`Expr::const_eval`]: `/` is integer division only when both operands are
+//! integral, `%` is `rem_euclid` against `max(rhs, 1)`, and both yield `0`
+//! on a zero divisor (as saturating hardware would).
+
+use crate::expr::{BinOp, Expr, Ident, UnOp};
+use crate::graph::Arg;
+use crate::op::{Operator, ParamKind};
+use crate::program::Program;
+use crate::stmt::{ForLoop, LValue, Stmt};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// `i64::MIN`/`MAX` double as −∞/+∞ sentinels; saturating arithmetic only
+/// ever widens an interval toward them, which keeps bounds sound.
+const NEG_INF: i64 = i64::MIN;
+const POS_INF: i64 = i64::MAX;
+
+/// An inclusive interval over an unsigned dynamic counter; `hi == None`
+/// means the counter is statically unbounded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CountInterval {
+    /// Smallest possible value.
+    pub lo: u64,
+    /// Largest possible value (`None` = unbounded).
+    pub hi: Option<u64>,
+}
+
+impl CountInterval {
+    /// The `[0, 0]` interval.
+    pub const ZERO: CountInterval = CountInterval { lo: 0, hi: Some(0) };
+
+    /// A single known value.
+    pub fn exact(n: u64) -> CountInterval {
+        CountInterval { lo: n, hi: Some(n) }
+    }
+
+    /// True when the interval pins a single value.
+    pub fn is_exact(&self) -> bool {
+        self.hi == Some(self.lo)
+    }
+
+    /// True when `n` lies inside the interval.
+    pub fn contains(&self, n: u64) -> bool {
+        self.lo <= n && self.hi.is_none_or(|hi| n <= hi)
+    }
+
+    /// Interval sum. Deliberately a named method, not `std::ops::Add`:
+    /// it saturates rather than overflows, and the explicit name keeps
+    /// that visible at call sites.
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, other: CountInterval) -> CountInterval {
+        CountInterval {
+            lo: self.lo.saturating_add(other.lo),
+            hi: match (self.hi, other.hi) {
+                (Some(a), Some(b)) => Some(a.saturating_add(b)),
+                _ => None,
+            },
+        }
+    }
+
+    /// Interval product (both operands non-negative). Named like `add`
+    /// above rather than implementing `std::ops::Mul`: saturating.
+    #[allow(clippy::should_implement_trait)]
+    pub fn mul(self, other: CountInterval) -> CountInterval {
+        let hi = if self.hi == Some(0) || other.hi == Some(0) {
+            Some(0)
+        } else {
+            match (self.hi, other.hi) {
+                (Some(a), Some(b)) => Some(a.saturating_mul(b)),
+                _ => None,
+            }
+        };
+        CountInterval {
+            lo: self.lo.saturating_mul(other.lo),
+            hi,
+        }
+    }
+
+    /// Componentwise minimum of lows, maximum of highs (control-flow join).
+    pub fn join(self, other: CountInterval) -> CountInterval {
+        CountInterval {
+            lo: self.lo.min(other.lo),
+            hi: match (self.hi, other.hi) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                _ => None,
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for CountInterval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.hi {
+            Some(hi) if hi == self.lo => write!(f, "{}", self.lo),
+            Some(hi) => write!(f, "[{}, {hi}]", self.lo),
+            None => write!(f, "[{}, inf)", self.lo),
+        }
+    }
+}
+
+/// Static bounds on a loop's trip count, **per entry** of the loop (an inner
+/// loop entered many times must satisfy the bounds on each entry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TripBounds {
+    /// Fewest iterations any entry can execute.
+    pub min: u64,
+    /// Most iterations any entry can execute (`None` = unbounded).
+    pub max: Option<u64>,
+    /// True when the trip count is a compile-time constant (`min == max`).
+    pub exact: bool,
+}
+
+impl TripBounds {
+    /// The trip count as a [`CountInterval`].
+    pub fn interval(&self) -> CountInterval {
+        CountInterval {
+            lo: self.min,
+            hi: self.max,
+        }
+    }
+}
+
+/// A definitely out-of-bounds array index discovered statically.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OobSite {
+    /// Pre-order id of the statement containing the access.
+    pub stmt: usize,
+    /// Array being indexed.
+    pub array: Ident,
+    /// Which axis is out of range.
+    pub axis: usize,
+    /// Declared extent of that axis.
+    pub extent: usize,
+    /// Static interval of the index.
+    pub index_lo: i64,
+    /// Upper end of the index interval.
+    pub index_hi: i64,
+}
+
+/// Bounds report for one operator (one invocation context).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OperatorBounds {
+    /// Operator name.
+    pub op: Ident,
+    /// Statement count (pre-order ids run `0..stmt_count`).
+    pub stmt_count: usize,
+    /// Per-`For` trip bounds, keyed by pre-order statement id.
+    pub trips: BTreeMap<usize, TripBounds>,
+    /// Per-`If` condition folds: `Some(b)` when the branch always goes the
+    /// same way, `None` when it is input-dependent.
+    pub cond_folds: BTreeMap<usize, Option<bool>>,
+    /// `For` statements whose step is statically non-positive (guaranteed
+    /// `BadStep` at runtime).
+    pub bad_steps: Vec<usize>,
+    /// Definitely out-of-bounds constant indexing sites.
+    pub oob: Vec<OobSite>,
+    /// Bounds on `ExecStats::iterations` contributed by one invocation.
+    pub iterations: CountInterval,
+    /// Bounds on `ExecStats::loads`.
+    pub loads: CountInterval,
+    /// Bounds on `ExecStats::stores`.
+    pub stores: CountInterval,
+    /// Bounds on taken + not-taken branches.
+    pub branches: CountInterval,
+}
+
+/// Whole-program bounds: one [`OperatorBounds`] per graph invocation (scalar
+/// arguments that fold to constants seed the analysis), plus summed totals.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProgramBounds {
+    /// Per-invocation reports, in graph order.
+    pub invocations: Vec<OperatorBounds>,
+    /// Bounds on the program's total `ExecStats::iterations`.
+    pub iterations: CountInterval,
+    /// Bounds on total loads.
+    pub loads: CountInterval,
+    /// Bounds on total stores.
+    pub stores: CountInterval,
+    /// Bounds on total branches (taken + not taken).
+    pub branches: CountInterval,
+}
+
+/// Analyzes one operator with every scalar parameter unknown.
+pub fn analyze_operator_bounds(op: &Operator) -> OperatorBounds {
+    analyze_operator_bounds_seeded(op, &BTreeMap::new())
+}
+
+/// Analyzes one operator with some scalar parameters pinned to known values
+/// (the invocation-argument constants at graph level).
+pub fn analyze_operator_bounds_seeded(
+    op: &Operator,
+    seed: &BTreeMap<Ident, i64>,
+) -> OperatorBounds {
+    let mut env: Env = BTreeMap::new();
+    for (name, &v) in seed {
+        env.insert(name.clone(), AbsVal::singleton(v));
+    }
+    let mut a = Analyzer {
+        op,
+        trips: BTreeMap::new(),
+        cond_folds: BTreeMap::new(),
+        bad_steps: Vec::new(),
+        oob: Vec::new(),
+        next_id: 0,
+    };
+    let counts = a.walk_block(&op.body, &mut env);
+    OperatorBounds {
+        op: op.name.clone(),
+        stmt_count: a.next_id,
+        trips: a.trips,
+        cond_folds: a.cond_folds,
+        bad_steps: a.bad_steps,
+        oob: a.oob,
+        iterations: counts.iterations,
+        loads: counts.loads,
+        stores: counts.stores,
+        branches: counts.branches,
+    }
+}
+
+/// Analyzes every invocation of a program and sums the count bounds.
+pub fn analyze_program_bounds(program: &Program) -> ProgramBounds {
+    let mut invocations = Vec::new();
+    let mut totals = Counts::default();
+    for inv in &program.graph.invocations {
+        let Some(op) = program.operator(&inv.op) else {
+            continue;
+        };
+        let mut seed = BTreeMap::new();
+        for (param, arg) in op.params.iter().zip(&inv.args) {
+            if let (ParamKind::Scalar, Arg::Scalar(expr)) = (&param.kind, arg) {
+                if let Some(v) = graph_arg_const(expr) {
+                    seed.insert(param.name.clone(), v);
+                }
+            }
+        }
+        let b = analyze_operator_bounds_seeded(op, &seed);
+        totals.iterations = totals.iterations.add(b.iterations);
+        totals.loads = totals.loads.add(b.loads);
+        totals.stores = totals.stores.add(b.stores);
+        totals.branches = totals.branches.add(b.branches);
+        invocations.push(b);
+    }
+    ProgramBounds {
+        invocations,
+        iterations: totals.iterations,
+        loads: totals.loads,
+        stores: totals.stores,
+        branches: totals.branches,
+    }
+}
+
+/// Number of memory loads issued by one evaluation of `expr`. The
+/// interpreter evaluates every subexpression unconditionally (no
+/// short-circuiting), so this is exact, not a bound.
+pub fn expr_loads(expr: &Expr) -> u64 {
+    match expr {
+        Expr::IntConst(_) | Expr::FloatConst(_) | Expr::Var(_) => 0,
+        Expr::Load { indices, .. } => 1 + indices.iter().map(expr_loads).sum::<u64>(),
+        Expr::Binary { lhs, rhs, .. } => expr_loads(lhs) + expr_loads(rhs),
+        Expr::Unary { operand, .. } => expr_loads(operand),
+        Expr::Call { args, .. } => args.iter().map(expr_loads).sum(),
+    }
+}
+
+/// Constant value of a graph-level scalar argument, mirroring the
+/// interpreter's `eval_graph_expr` (unhandled node kinds evaluate to `0.0`
+/// there, so they fold to `Some(0)` here).
+fn graph_arg_const(expr: &Expr) -> Option<i64> {
+    match expr {
+        Expr::IntConst(v) => Some(*v),
+        Expr::FloatConst(v) => integral(*v),
+        Expr::Var(_) => None,
+        Expr::Binary { op, lhs, rhs } => {
+            let a = graph_arg_const(lhs)?;
+            let b = graph_arg_const(rhs)?;
+            match op {
+                BinOp::Add => Some(a.saturating_add(b)),
+                BinOp::Sub => Some(a.saturating_sub(b)),
+                BinOp::Mul => Some(a.saturating_mul(b)),
+                BinOp::Div => {
+                    if b == 0 {
+                        Some(0)
+                    } else if a % b == 0 {
+                        // Float division; only an even quotient is integral.
+                        Some(a / b)
+                    } else {
+                        None
+                    }
+                }
+                _ => Some(0),
+            }
+        }
+        Expr::Unary { .. } | Expr::Call { .. } | Expr::Load { .. } => Some(0),
+    }
+}
+
+fn integral(v: f64) -> Option<i64> {
+    // Stay well inside the range where f64 holds integers exactly.
+    if v.fract() == 0.0 && v.abs() < 9.0e15 {
+        Some(v as i64)
+    } else {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Abstract values
+// ---------------------------------------------------------------------------
+
+/// Abstract value of a scalar expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AbsVal {
+    /// The value is an integer-valued f64 inside `[lo, hi]` (inclusive;
+    /// sentinel-infinite ends permitted).
+    Int { lo: i64, hi: i64 },
+    /// Unknown — possibly a non-integer float.
+    Any,
+}
+
+impl AbsVal {
+    fn singleton(v: i64) -> AbsVal {
+        AbsVal::Int { lo: v, hi: v }
+    }
+
+    const TOP_INT: AbsVal = AbsVal::Int {
+        lo: NEG_INF,
+        hi: POS_INF,
+    };
+
+    /// Interval of `value as i64` (the cast the interpreter applies to loop
+    /// bounds and array indices; truncation keeps any integer interval).
+    fn as_i64_interval(self) -> (i64, i64) {
+        match self {
+            AbsVal::Int { lo, hi } => (lo, hi),
+            AbsVal::Any => (NEG_INF, POS_INF),
+        }
+    }
+
+    /// `Some(b)` when the f64 truth test `value != 0.0` is decided.
+    fn truth(self) -> Option<bool> {
+        match self {
+            AbsVal::Int { lo: 0, hi: 0 } => Some(false),
+            AbsVal::Int { lo, hi } if lo > 0 || hi < 0 => Some(true),
+            _ => None,
+        }
+    }
+
+    fn join(self, other: AbsVal) -> AbsVal {
+        match (self, other) {
+            (AbsVal::Int { lo: a, hi: b }, AbsVal::Int { lo: c, hi: d }) => AbsVal::Int {
+                lo: a.min(c),
+                hi: b.max(d),
+            },
+            _ => AbsVal::Any,
+        }
+    }
+}
+
+fn add_lo(a: i64, b: i64) -> i64 {
+    if a == NEG_INF || b == NEG_INF {
+        NEG_INF
+    } else {
+        a.saturating_add(b)
+    }
+}
+
+fn add_hi(a: i64, b: i64) -> i64 {
+    if a == POS_INF || b == POS_INF {
+        POS_INF
+    } else {
+        a.saturating_add(b)
+    }
+}
+
+fn neg_bound(x: i64) -> i64 {
+    if x == POS_INF {
+        NEG_INF
+    } else if x == NEG_INF {
+        POS_INF
+    } else {
+        -x
+    }
+}
+
+type Env = BTreeMap<Ident, AbsVal>;
+
+fn eval_abs(expr: &Expr, env: &Env) -> AbsVal {
+    match expr {
+        Expr::IntConst(v) => AbsVal::singleton(*v),
+        Expr::FloatConst(v) => integral(*v).map(AbsVal::singleton).unwrap_or(AbsVal::Any),
+        Expr::Var(name) => env.get(name).copied().unwrap_or(AbsVal::Any),
+        Expr::Load { .. } => AbsVal::Any,
+        Expr::Binary { op, lhs, rhs } => {
+            let a = eval_abs(lhs, env);
+            let b = eval_abs(rhs, env);
+            eval_binop(*op, a, b)
+        }
+        Expr::Unary { op, operand } => {
+            let v = eval_abs(operand, env);
+            match op {
+                UnOp::Neg => match v {
+                    AbsVal::Int { lo, hi } => AbsVal::Int {
+                        lo: neg_bound(hi),
+                        hi: neg_bound(lo),
+                    },
+                    AbsVal::Any => AbsVal::Any,
+                },
+                UnOp::Not => match v.truth() {
+                    Some(true) => AbsVal::singleton(0),
+                    Some(false) => AbsVal::singleton(1),
+                    None => AbsVal::Int { lo: 0, hi: 1 },
+                },
+            }
+        }
+        Expr::Call { .. } => AbsVal::Any,
+    }
+}
+
+fn eval_binop(op: BinOp, a: AbsVal, b: AbsVal) -> AbsVal {
+    use AbsVal::{Any, Int};
+    match op {
+        BinOp::Add => match (a, b) {
+            (Int { lo: al, hi: ah }, Int { lo: bl, hi: bh }) => Int {
+                lo: add_lo(al, bl),
+                hi: add_hi(ah, bh),
+            },
+            _ => Any,
+        },
+        BinOp::Sub => match (a, b) {
+            (Int { lo: al, hi: ah }, Int { lo: bl, hi: bh }) => Int {
+                lo: add_lo(al, neg_bound(bh)),
+                hi: add_hi(ah, neg_bound(bl)),
+            },
+            _ => Any,
+        },
+        BinOp::Mul => match (a, b) {
+            (Int { lo: al, hi: ah }, Int { lo: bl, hi: bh }) => {
+                if al >= 0 && bl >= 0 {
+                    // The common non-negative case keeps infinite uppers.
+                    Int {
+                        lo: al.saturating_mul(bl),
+                        hi: if ah == POS_INF || bh == POS_INF {
+                            POS_INF
+                        } else {
+                            ah.saturating_mul(bh)
+                        },
+                    }
+                } else if [al, ah, bl, bh]
+                    .iter()
+                    .any(|&x| x == NEG_INF || x == POS_INF)
+                {
+                    AbsVal::TOP_INT
+                } else {
+                    let products = [
+                        al.saturating_mul(bl),
+                        al.saturating_mul(bh),
+                        ah.saturating_mul(bl),
+                        ah.saturating_mul(bh),
+                    ];
+                    Int {
+                        lo: *products.iter().min().expect("non-empty"),
+                        hi: *products.iter().max().expect("non-empty"),
+                    }
+                }
+            }
+            _ => Any,
+        },
+        BinOp::Div => match (a, b) {
+            // Both operands integral: the interpreter truncating-divides
+            // (and defines x/0 = 0), so the result stays integral.
+            (Int { lo: al, hi: ah }, Int { lo: bl, hi: bh }) => {
+                if al == ah && bl == bh && al != NEG_INF && al != POS_INF {
+                    AbsVal::singleton(if bl == 0 { 0 } else { al / bl })
+                } else {
+                    AbsVal::TOP_INT
+                }
+            }
+            _ => Any,
+        },
+        BinOp::Mod => {
+            // `(a as i64).rem_euclid(max(b as i64, 1))`, 0 on b == 0: the
+            // result is always a non-negative integer below the modulus.
+            let (bl, bh) = b.as_i64_interval();
+            let hi = if bh == POS_INF {
+                POS_INF
+            } else {
+                bh.max(1) - 1
+            };
+            if let (AbsVal::Int { lo: al, hi: ah }, AbsVal::Int { .. }) = (a, b) {
+                if al == ah && bl == bh && al != NEG_INF && al != POS_INF {
+                    let v = if bl == 0 { 0 } else { al.rem_euclid(bl.max(1)) };
+                    return AbsVal::singleton(v);
+                }
+            }
+            AbsVal::Int { lo: 0, hi }
+        }
+        BinOp::Lt => fold_cmp(a, b, |ah, bl| ah < bl, |al, bh| al >= bh),
+        BinOp::Le => fold_cmp(a, b, |ah, bl| ah <= bl, |al, bh| al > bh),
+        BinOp::Gt => fold_cmp(b, a, |bh, al| bh < al, |bl, ah| bl >= ah),
+        BinOp::Ge => fold_cmp(b, a, |bh, al| bh <= al, |bl, ah| bl > ah),
+        BinOp::Eq => match (a, b) {
+            (Int { lo: al, hi: ah }, Int { lo: bl, hi: bh }) => {
+                if al == ah && bl == bh && al == bl && al != NEG_INF && al != POS_INF {
+                    AbsVal::singleton(1)
+                } else if ah < bl || bh < al {
+                    AbsVal::singleton(0)
+                } else {
+                    AbsVal::Int { lo: 0, hi: 1 }
+                }
+            }
+            _ => AbsVal::Int { lo: 0, hi: 1 },
+        },
+        BinOp::Ne => match eval_binop(BinOp::Eq, a, b) {
+            Int { lo: 1, hi: 1 } => AbsVal::singleton(0),
+            Int { lo: 0, hi: 0 } => AbsVal::singleton(1),
+            _ => AbsVal::Int { lo: 0, hi: 1 },
+        },
+        BinOp::And => match (a.truth(), b.truth()) {
+            (Some(false), _) | (_, Some(false)) => AbsVal::singleton(0),
+            (Some(true), Some(true)) => AbsVal::singleton(1),
+            _ => AbsVal::Int { lo: 0, hi: 1 },
+        },
+        BinOp::Or => match (a.truth(), b.truth()) {
+            (Some(true), _) | (_, Some(true)) => AbsVal::singleton(1),
+            (Some(false), Some(false)) => AbsVal::singleton(0),
+            _ => AbsVal::Int { lo: 0, hi: 1 },
+        },
+    }
+}
+
+/// Comparison fold over integer intervals: `yes(a.hi, b.lo)` proves the
+/// predicate for every pair, `no(a.lo, b.hi)` refutes it for every pair.
+fn fold_cmp(
+    a: AbsVal,
+    b: AbsVal,
+    yes: impl Fn(i64, i64) -> bool,
+    no: impl Fn(i64, i64) -> bool,
+) -> AbsVal {
+    if let (AbsVal::Int { lo: al, hi: ah }, AbsVal::Int { lo: bl, hi: bh }) = (a, b) {
+        // Sentinel ends are "unknown", never proof of anything.
+        let finite = |x: i64| x != NEG_INF && x != POS_INF;
+        if finite(ah) && finite(bl) && yes(ah, bl) {
+            return AbsVal::singleton(1);
+        }
+        if finite(al) && finite(bh) && no(al, bh) {
+            return AbsVal::singleton(0);
+        }
+    }
+    AbsVal::Int { lo: 0, hi: 1 }
+}
+
+// ---------------------------------------------------------------------------
+// The walker
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+struct Counts {
+    iterations: CountInterval,
+    loads: CountInterval,
+    stores: CountInterval,
+    branches: CountInterval,
+}
+
+impl Default for Counts {
+    fn default() -> Self {
+        Counts {
+            iterations: CountInterval::ZERO,
+            loads: CountInterval::ZERO,
+            stores: CountInterval::ZERO,
+            branches: CountInterval::ZERO,
+        }
+    }
+}
+
+impl Counts {
+    fn add(&mut self, other: Counts) {
+        self.iterations = self.iterations.add(other.iterations);
+        self.loads = self.loads.add(other.loads);
+        self.stores = self.stores.add(other.stores);
+        self.branches = self.branches.add(other.branches);
+    }
+
+    fn join(self, other: Counts) -> Counts {
+        Counts {
+            iterations: self.iterations.join(other.iterations),
+            loads: self.loads.join(other.loads),
+            stores: self.stores.join(other.stores),
+            branches: self.branches.join(other.branches),
+        }
+    }
+
+    fn scale(self, trips: CountInterval) -> Counts {
+        Counts {
+            iterations: self.iterations.mul(trips),
+            loads: self.loads.mul(trips),
+            stores: self.stores.mul(trips),
+            branches: self.branches.mul(trips),
+        }
+    }
+}
+
+struct Analyzer<'a> {
+    op: &'a Operator,
+    trips: BTreeMap<usize, TripBounds>,
+    cond_folds: BTreeMap<usize, Option<bool>>,
+    bad_steps: Vec<usize>,
+    oob: Vec<OobSite>,
+    next_id: usize,
+}
+
+impl Analyzer<'_> {
+    fn walk_block(&mut self, stmts: &[Stmt], env: &mut Env) -> Counts {
+        let mut counts = Counts::default();
+        for stmt in stmts {
+            let id = self.next_id;
+            self.next_id += 1;
+            match stmt {
+                Stmt::Assign { dest, value } => {
+                    self.check_expr_oob(value, env, id);
+                    let mut loads = expr_loads(value);
+                    let mut stores = 0;
+                    if let LValue::Store { array, indices } = dest {
+                        for idx in indices {
+                            self.check_expr_oob(idx, env, id);
+                            loads += expr_loads(idx);
+                        }
+                        self.check_indices_oob(array, indices, env, id);
+                        stores = 1;
+                    }
+                    counts.loads = counts.loads.add(CountInterval::exact(loads));
+                    counts.stores = counts.stores.add(CountInterval::exact(stores));
+                    if let LValue::Var(name) = dest {
+                        let v = eval_abs(value, env);
+                        env.insert(name.clone(), v);
+                    }
+                }
+                Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => {
+                    self.check_expr_oob(cond, env, id);
+                    counts.loads = counts.loads.add(CountInterval::exact(expr_loads(cond)));
+                    counts.branches = counts.branches.add(CountInterval::exact(1));
+                    let fold = eval_abs(cond, env).truth();
+                    self.cond_folds.insert(id, fold);
+                    // Both arms are always walked so statement ids, trip
+                    // bounds and folds exist for dead code too; only the
+                    // live side contributes counts and environment updates.
+                    let mut then_env = env.clone();
+                    let mut else_env = env.clone();
+                    let then_counts = self.walk_block(then_body, &mut then_env);
+                    let else_counts = self.walk_block(else_body, &mut else_env);
+                    match fold {
+                        Some(true) => {
+                            counts.add(then_counts);
+                            *env = then_env;
+                        }
+                        Some(false) => {
+                            counts.add(else_counts);
+                            *env = else_env;
+                        }
+                        None => {
+                            counts.add(then_counts.join(else_counts));
+                            join_envs(env, then_env, else_env);
+                        }
+                    }
+                }
+                Stmt::For(l) => {
+                    counts.add(self.walk_loop(l, id, env));
+                }
+            }
+        }
+        counts
+    }
+
+    fn walk_loop(&mut self, l: &ForLoop, id: usize, env: &mut Env) -> Counts {
+        self.check_expr_oob(&l.lo, env, id);
+        self.check_expr_oob(&l.step, env, id);
+        let (lo_lo, lo_hi) = eval_abs(&l.lo, env).as_i64_interval();
+        let (step_lo, step_hi) = eval_abs(&l.step, env).as_i64_interval();
+        if step_hi != POS_INF && step_hi <= 0 {
+            self.bad_steps.push(id);
+        }
+
+        // Entry-time view of the bound (first test only).
+        let (entry_hi_lo, _) = eval_abs(&l.hi, env).as_i64_interval();
+
+        // Havoc every scalar the body can mutate, plus the loop variable:
+        // the resulting environment over-approximates *any* iteration, so
+        // one abstract pass over the body covers them all — and evaluating
+        // `hi` in it soundly accounts for body-mutated bounds.
+        let mut assigned = BTreeSet::new();
+        collect_assigned(&l.body, &mut assigned);
+        let mut body_env = env.clone();
+        for name in &assigned {
+            body_env.insert(name.clone(), AbsVal::Any);
+        }
+        body_env.insert(l.var.clone(), AbsVal::TOP_INT);
+        self.check_expr_oob(&l.hi, &body_env, id);
+        let (hi_lo, hi_hi) = eval_abs(&l.hi, &body_env).as_i64_interval();
+
+        // Trip bounds: trips = ceil(max(hi - lo, 0) / step). Monotone up in
+        // hi, down in lo and step; a successful run has step >= 1.
+        let step_min = step_lo.max(1);
+        let max = if hi_hi == POS_INF || lo_lo == NEG_INF {
+            None
+        } else {
+            let diff = hi_hi.saturating_sub(lo_lo).max(0);
+            Some(ceil_div_u(diff as u64, step_min as u64))
+        };
+        let mut min = if hi_lo == NEG_INF || lo_hi == POS_INF {
+            0
+        } else {
+            let diff = hi_lo.saturating_sub(lo_hi).max(0);
+            if diff == 0 {
+                0
+            } else if step_hi == POS_INF {
+                1
+            } else {
+                ceil_div_u(diff as u64, step_hi.max(1) as u64)
+            }
+        };
+        // Even when the body mutates the bound, a first test that is
+        // guaranteed to pass means at least one iteration.
+        if min == 0
+            && entry_hi_lo != NEG_INF
+            && lo_hi != POS_INF
+            && entry_hi_lo > lo_hi
+            && step_hi > 0
+        {
+            min = 1;
+        }
+        if let Some(m) = max {
+            min = min.min(m);
+        }
+        let trips = TripBounds {
+            min,
+            max,
+            exact: max == Some(min),
+        };
+        self.trips.insert(id, trips);
+
+        // Loop variable range inside the body: entered means `var < hi`.
+        let var_hi = if hi_hi == POS_INF { POS_INF } else { hi_hi - 1 };
+        body_env.insert(
+            l.var.clone(),
+            AbsVal::Int {
+                lo: lo_lo,
+                hi: var_hi,
+            },
+        );
+        let body_counts = self.walk_block(&l.body, &mut body_env);
+
+        // After the loop, mutated scalars and the loop variable are unknown.
+        for name in &assigned {
+            env.insert(name.clone(), AbsVal::Any);
+        }
+        env.insert(l.var.clone(), AbsVal::TOP_INT);
+
+        // Per entry: lo and step evaluate once, hi evaluates trips + 1
+        // times (every test, including the failing one), the body runs
+        // `trips` times, and each iteration bumps `stats.iterations`.
+        let t = trips.interval();
+        let mut counts = body_counts.scale(t);
+        counts.iterations = counts.iterations.add(t);
+        counts.loads = counts
+            .loads
+            .add(CountInterval::exact(
+                expr_loads(&l.lo) + expr_loads(&l.step),
+            ))
+            .add(
+                t.add(CountInterval::exact(1))
+                    .mul(CountInterval::exact(expr_loads(&l.hi))),
+            );
+        counts
+    }
+
+    /// Records definitely out-of-bounds constant indexing for every `Load`
+    /// inside `expr`.
+    fn check_expr_oob(&mut self, expr: &Expr, env: &Env, stmt: usize) {
+        match expr {
+            Expr::IntConst(_) | Expr::FloatConst(_) | Expr::Var(_) => {}
+            Expr::Load { array, indices } => {
+                for idx in indices {
+                    self.check_expr_oob(idx, env, stmt);
+                }
+                self.check_indices_oob(array, indices, env, stmt);
+            }
+            Expr::Binary { lhs, rhs, .. } => {
+                self.check_expr_oob(lhs, env, stmt);
+                self.check_expr_oob(rhs, env, stmt);
+            }
+            Expr::Unary { operand, .. } => self.check_expr_oob(operand, env, stmt),
+            Expr::Call { args, .. } => {
+                for a in args {
+                    self.check_expr_oob(a, env, stmt);
+                }
+            }
+        }
+    }
+
+    fn check_indices_oob(&mut self, array: &Ident, indices: &[Expr], env: &Env, stmt: usize) {
+        let Some(decl) = self.op.param(array) else {
+            return;
+        };
+        let ParamKind::Array { dims } = &decl.kind else {
+            return;
+        };
+        for (axis, idx) in indices.iter().enumerate() {
+            let Some(extent) = dims.get(axis).and_then(|d| d.as_const()) else {
+                continue;
+            };
+            let (lo, hi) = eval_abs(idx, env).as_i64_interval();
+            if lo == NEG_INF || hi == POS_INF {
+                continue;
+            }
+            // Definite only: the whole interval misses [0, extent).
+            if hi < 0 || lo >= extent as i64 {
+                self.oob.push(OobSite {
+                    stmt,
+                    array: array.clone(),
+                    axis,
+                    extent,
+                    index_lo: lo,
+                    index_hi: hi,
+                });
+            }
+        }
+    }
+}
+
+fn join_envs(env: &mut Env, then_env: Env, else_env: Env) {
+    let keys: BTreeSet<Ident> = then_env.keys().chain(else_env.keys()).cloned().collect();
+    for key in keys {
+        let a = then_env.get(&key).copied().unwrap_or(AbsVal::Any);
+        let b = else_env.get(&key).copied().unwrap_or(AbsVal::Any);
+        env.insert(key, a.join(b));
+    }
+}
+
+/// Every scalar name the block can assign: `Assign` destinations plus loop
+/// variables, recursively.
+fn collect_assigned(stmts: &[Stmt], out: &mut BTreeSet<Ident>) {
+    for stmt in stmts {
+        match stmt {
+            Stmt::Assign { dest, .. } => {
+                if let LValue::Var(name) = dest {
+                    out.insert(name.clone());
+                }
+            }
+            Stmt::For(l) => {
+                out.insert(l.var.clone());
+                collect_assigned(&l.body, out);
+            }
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                collect_assigned(then_body, out);
+                collect_assigned(else_body, out);
+            }
+        }
+    }
+}
+
+fn ceil_div_u(a: u64, b: u64) -> u64 {
+    a.div_ceil(b.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::OperatorBuilder;
+    use crate::stmt::LoopPragma;
+
+    fn const_loop_op() -> Operator {
+        OperatorBuilder::new("fill")
+            .array_param("a", [16])
+            .loop_nest(&[("i", 16)], |idx| {
+                vec![Stmt::assign(
+                    LValue::store("a", vec![idx[0].clone()]),
+                    idx[0].clone(),
+                )]
+            })
+            .build()
+    }
+
+    #[test]
+    fn const_loop_is_exact() {
+        let b = analyze_operator_bounds(&const_loop_op());
+        let t = b.trips.get(&0).expect("loop at id 0");
+        assert!(t.exact);
+        assert_eq!((t.min, t.max), (16, Some(16)));
+        assert_eq!(b.iterations, CountInterval::exact(16));
+        assert_eq!(b.stores, CountInterval::exact(16));
+        assert_eq!(b.loads, CountInterval::exact(0));
+    }
+
+    #[test]
+    fn dynamic_bound_brackets() {
+        let op = OperatorBuilder::new("dyn")
+            .array_param("a", [64])
+            .scalar_param("n")
+            .dyn_loop_nest(&[("i", Expr::var("n"))], |idx| {
+                vec![Stmt::assign(
+                    LValue::store("a", vec![idx[0].clone()]),
+                    Expr::int(1),
+                )]
+            })
+            .build();
+        let b = analyze_operator_bounds(&op);
+        let t = b.trips.get(&0).expect("loop");
+        assert!(!t.exact);
+        assert_eq!(t.min, 0);
+        assert_eq!(t.max, None);
+        // Seeding the parameter makes the bound exact again.
+        let seeded =
+            analyze_operator_bounds_seeded(&op, &BTreeMap::from([(Ident::new("n"), 8i64)]));
+        let t = seeded.trips.get(&0).expect("loop");
+        assert!(t.exact);
+        assert_eq!(t.max, Some(8));
+    }
+
+    #[test]
+    fn nested_loop_scales_counts() {
+        let op = OperatorBuilder::new("nest")
+            .array_param("a", [4, 8])
+            .loop_nest(&[("i", 4), ("j", 8)], |idx| {
+                vec![Stmt::assign(
+                    LValue::store("a", vec![idx[0].clone(), idx[1].clone()]),
+                    Expr::load("a", vec![idx[0].clone(), idx[1].clone()]) + Expr::int(1),
+                )]
+            })
+            .build();
+        let b = analyze_operator_bounds(&op);
+        assert_eq!(b.iterations, CountInterval::exact(4 + 4 * 8));
+        assert_eq!(b.loads, CountInterval::exact(32));
+        assert_eq!(b.stores, CountInterval::exact(32));
+    }
+
+    #[test]
+    fn body_mutated_bound_keeps_min_one() {
+        // for (i = 0; i < m; ...) { m = a[i]; } with m = 5 at entry: the
+        // first test is guaranteed to pass, later ones are unknowable.
+        let op = OperatorBuilder::new("mut")
+            .array_param("a", [8])
+            .stmt(Stmt::assign(LValue::var("m"), Expr::int(5)))
+            .stmt(Stmt::For(ForLoop {
+                var: "i".into(),
+                lo: Expr::int(0),
+                hi: Expr::var("m"),
+                step: Expr::int(1),
+                pragma: LoopPragma::None,
+                body: vec![Stmt::assign(
+                    LValue::var("m"),
+                    Expr::load("a", vec![Expr::var("i")]),
+                )],
+            }))
+            .build();
+        let b = analyze_operator_bounds(&op);
+        let t = b.trips.get(&1).expect("loop");
+        assert_eq!(t.min, 1);
+        assert_eq!(t.max, None);
+        assert!(!t.exact);
+    }
+
+    #[test]
+    fn zero_trip_and_bad_step_detected() {
+        let zero = OperatorBuilder::new("z")
+            .stmt(Stmt::For(ForLoop {
+                var: "i".into(),
+                lo: Expr::int(4),
+                hi: Expr::int(4),
+                step: Expr::int(1),
+                pragma: LoopPragma::None,
+                body: vec![],
+            }))
+            .build();
+        let b = analyze_operator_bounds(&zero);
+        assert_eq!(b.trips[&0].max, Some(0));
+        assert!(b.trips[&0].exact);
+
+        let bad = OperatorBuilder::new("b")
+            .stmt(Stmt::For(ForLoop {
+                var: "i".into(),
+                lo: Expr::int(0),
+                hi: Expr::int(4),
+                step: Expr::int(0),
+                pragma: LoopPragma::None,
+                body: vec![],
+            }))
+            .build();
+        assert_eq!(analyze_operator_bounds(&bad).bad_steps, vec![0]);
+    }
+
+    #[test]
+    fn const_branch_folds() {
+        let op = OperatorBuilder::new("c")
+            .array_param("a", [4])
+            .stmt(Stmt::If {
+                cond: Expr::binary(BinOp::Lt, Expr::int(1), Expr::int(2)),
+                then_body: vec![Stmt::assign(
+                    LValue::store("a", vec![Expr::int(0)]),
+                    Expr::int(1),
+                )],
+                else_body: vec![Stmt::assign(
+                    LValue::store("a", vec![Expr::int(1)]),
+                    Expr::int(2),
+                )],
+            })
+            .build();
+        let b = analyze_operator_bounds(&op);
+        assert_eq!(b.cond_folds[&0], Some(true));
+        // Only the live arm counts.
+        assert_eq!(b.stores, CountInterval::exact(1));
+    }
+
+    #[test]
+    fn data_branch_joins_counts() {
+        let op = OperatorBuilder::new("d")
+            .array_param("a", [4])
+            .array_param("b", [4])
+            .loop_nest(&[("i", 4)], |idx| {
+                vec![Stmt::if_then(
+                    Expr::binary(
+                        BinOp::Gt,
+                        Expr::load("a", vec![idx[0].clone()]),
+                        Expr::int(0),
+                    ),
+                    vec![Stmt::assign(
+                        LValue::store("b", vec![idx[0].clone()]),
+                        Expr::int(1),
+                    )],
+                )]
+            })
+            .build();
+        let b = analyze_operator_bounds(&op);
+        assert_eq!(b.cond_folds[&1], None);
+        assert_eq!(b.stores, CountInterval { lo: 0, hi: Some(4) });
+        // The condition's load happens every iteration regardless.
+        assert_eq!(b.loads, CountInterval::exact(4));
+        assert_eq!(b.branches, CountInterval::exact(4));
+    }
+
+    #[test]
+    fn definite_oob_indexing_detected() {
+        let op = OperatorBuilder::new("oob")
+            .array_param("a", [8])
+            .stmt(Stmt::assign(
+                LValue::store("a", vec![Expr::int(8)]),
+                Expr::int(1),
+            ))
+            .build();
+        let b = analyze_operator_bounds(&op);
+        assert_eq!(b.oob.len(), 1);
+        assert_eq!(b.oob[0].extent, 8);
+        assert_eq!(b.oob[0].index_lo, 8);
+        // In-bounds loop indexing is not flagged.
+        assert!(analyze_operator_bounds(&const_loop_op()).oob.is_empty());
+    }
+
+    #[test]
+    fn mod_semantics_follow_the_interpreter() {
+        // -3 % 5 is 2 under rem_euclid (const_eval would say -3).
+        let env = Env::new();
+        let e = Expr::binary(BinOp::Mod, Expr::int(-3), Expr::int(5));
+        assert_eq!(eval_abs(&e, &env), AbsVal::singleton(2));
+        // x % 0 is 0, not an error.
+        let z = Expr::binary(BinOp::Mod, Expr::int(7), Expr::int(0));
+        assert_eq!(eval_abs(&z, &env), AbsVal::singleton(0));
+        // Division by zero also folds to 0.
+        let d = Expr::binary(BinOp::Div, Expr::int(7), Expr::int(0));
+        assert_eq!(eval_abs(&d, &env), AbsVal::singleton(0));
+    }
+
+    #[test]
+    fn program_bounds_seed_invocation_constants() {
+        let op = OperatorBuilder::new("dyn")
+            .array_param("a", [64])
+            .scalar_param("n")
+            .dyn_loop_nest(&[("i", Expr::var("n"))], |idx| {
+                vec![Stmt::assign(
+                    LValue::store("a", vec![idx[0].clone()]),
+                    Expr::int(1),
+                )]
+            })
+            .build();
+        let mut program = Program::single_op(op);
+        // Replace the pass-through graph parameter with a constant argument.
+        program.graph.params.clear();
+        program.graph.invocations[0].args[1] = Arg::int(12);
+        let pb = analyze_program_bounds(&program);
+        assert_eq!(pb.invocations.len(), 1);
+        assert_eq!(pb.iterations, CountInterval::exact(12));
+    }
+
+    #[test]
+    fn count_interval_algebra() {
+        let a = CountInterval { lo: 2, hi: Some(5) };
+        let b = CountInterval { lo: 1, hi: None };
+        assert_eq!(
+            a.add(a),
+            CountInterval {
+                lo: 4,
+                hi: Some(10)
+            }
+        );
+        assert_eq!(a.add(b).hi, None);
+        assert_eq!(a.mul(CountInterval::ZERO), CountInterval::ZERO);
+        assert_eq!(b.mul(CountInterval::ZERO), CountInterval::ZERO);
+        assert!(a.contains(3));
+        assert!(!a.contains(6));
+        assert!(b.contains(1_000_000));
+        assert_eq!(a.join(b), CountInterval { lo: 1, hi: None });
+        assert_eq!(format!("{}", CountInterval::exact(4)), "4");
+        assert_eq!(format!("{a}"), "[2, 5]");
+        assert_eq!(format!("{b}"), "[1, inf)");
+    }
+}

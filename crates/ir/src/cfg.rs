@@ -1,0 +1,486 @@
+//! Control-flow graphs lowered from structured operator bodies.
+//!
+//! The structured IR (`Stmt` trees) is convenient for generation and
+//! rendering, but the analyses the ROADMAP's JIT groundwork needs — dominator
+//! trees, natural-loop detection, reachability under constant folding — want
+//! an explicit graph of basic blocks. [`Cfg::build`] lowers an [`Operator`]
+//! body into that form.
+//!
+//! Statements are identified by their **pre-order index** (the order
+//! [`Stmt::visit`] reaches them), so every analysis keyed by statement id —
+//! the bounds pass, the lint pass, the traced interpreter in `llmulator-sim`
+//! — agrees on which statement is which without holding references into the
+//! tree.
+
+use crate::expr::Ident;
+use crate::op::Operator;
+use crate::stmt::Stmt;
+use serde::{Deserialize, Serialize};
+
+/// Index of a basic block inside a [`Cfg`].
+pub type BlockId = usize;
+
+/// How control leaves a basic block.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Terminator {
+    /// Unconditional fallthrough.
+    Goto(BlockId),
+    /// An `if` statement: evaluate the condition, pick a branch.
+    Branch {
+        /// Pre-order id of the `If` statement.
+        stmt: usize,
+        /// Block entered when the condition is nonzero.
+        then_bb: BlockId,
+        /// Block entered when the condition is zero.
+        else_bb: BlockId,
+    },
+    /// A `for` loop header: test the bound, enter the body or exit.
+    Loop {
+        /// Pre-order id of the `For` statement.
+        stmt: usize,
+        /// First block of the loop body.
+        body: BlockId,
+        /// Block control falls to when the loop finishes.
+        exit: BlockId,
+    },
+    /// Operator return (the unique exit block).
+    Return,
+}
+
+impl Terminator {
+    /// Successor blocks, in a stable order.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::Goto(t) => vec![*t],
+            Terminator::Branch {
+                then_bb, else_bb, ..
+            } => vec![*then_bb, *else_bb],
+            Terminator::Loop { body, exit, .. } => vec![*body, *exit],
+            Terminator::Return => Vec::new(),
+        }
+    }
+}
+
+/// A basic block: straight-line assignments plus a terminator.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Block {
+    /// Pre-order ids of the `Assign` statements executed in this block.
+    pub stmts: Vec<usize>,
+    /// How control leaves the block.
+    pub terminator: Terminator,
+    /// Predecessor blocks (derived; stable order by id).
+    pub preds: Vec<BlockId>,
+}
+
+impl Block {
+    fn new() -> Block {
+        Block {
+            stmts: Vec::new(),
+            terminator: Terminator::Return,
+            preds: Vec::new(),
+        }
+    }
+}
+
+/// A natural loop discovered from a back edge.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NaturalLoop {
+    /// Header block (the loop test).
+    pub header: BlockId,
+    /// Pre-order id of the `For` statement, when the header is a `For`.
+    pub stmt: usize,
+    /// Every block in the loop, header included (sorted).
+    pub blocks: Vec<BlockId>,
+}
+
+/// The control-flow graph of one operator body.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cfg {
+    /// Operator the graph was lowered from.
+    pub op: Ident,
+    /// Basic blocks; `blocks[entry]` is the entry, `blocks[exit]` the exit.
+    pub blocks: Vec<Block>,
+    /// Entry block id.
+    pub entry: BlockId,
+    /// Exit block id (the unique `Return` terminator).
+    pub exit: BlockId,
+    /// Total number of statements in the operator body.
+    pub stmt_count: usize,
+}
+
+impl Cfg {
+    /// Lowers an operator body into basic blocks.
+    pub fn build(op: &Operator) -> Cfg {
+        let mut b = Builder {
+            blocks: vec![Block::new(), Block::new()],
+            next_stmt: 0,
+        };
+        let entry = 0;
+        let exit = 1;
+        b.lower_seq(&op.body, entry, exit);
+        let mut cfg = Cfg {
+            op: op.name.clone(),
+            blocks: b.blocks,
+            entry,
+            exit,
+            stmt_count: b.next_stmt,
+        };
+        cfg.blocks[exit].terminator = Terminator::Return;
+        cfg.compute_preds();
+        cfg
+    }
+
+    fn compute_preds(&mut self) {
+        let mut preds: Vec<Vec<BlockId>> = vec![Vec::new(); self.blocks.len()];
+        for (id, block) in self.blocks.iter().enumerate() {
+            for succ in block.terminator.successors() {
+                preds[succ].push(id);
+            }
+        }
+        for (block, p) in self.blocks.iter_mut().zip(preds) {
+            block.preds = p;
+        }
+    }
+
+    /// Number of edges in the graph.
+    pub fn edge_count(&self) -> usize {
+        self.blocks
+            .iter()
+            .map(|b| b.terminator.successors().len())
+            .sum()
+    }
+
+    /// Reverse postorder over the successor relation, starting at the entry.
+    pub fn reverse_postorder(&self) -> Vec<BlockId> {
+        let mut visited = vec![false; self.blocks.len()];
+        let mut order = Vec::with_capacity(self.blocks.len());
+        self.postorder_from(self.entry, &mut visited, &mut order);
+        order.reverse();
+        order
+    }
+
+    fn postorder_from(&self, id: BlockId, visited: &mut [bool], order: &mut Vec<BlockId>) {
+        if visited[id] {
+            return;
+        }
+        visited[id] = true;
+        for succ in self.blocks[id].terminator.successors() {
+            self.postorder_from(succ, visited, order);
+        }
+        order.push(id);
+    }
+
+    /// Immediate dominators (`idoms[entry] == entry`; unreachable blocks get
+    /// `None`), via the iterative algorithm of Cooper, Harvey and Kennedy.
+    pub fn immediate_dominators(&self) -> Vec<Option<BlockId>> {
+        let rpo = self.reverse_postorder();
+        let mut rpo_index = vec![usize::MAX; self.blocks.len()];
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_index[b] = i;
+        }
+        let mut idom: Vec<Option<BlockId>> = vec![None; self.blocks.len()];
+        idom[self.entry] = Some(self.entry);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &self.blocks[b].preds {
+                    if idom[p].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(cur, p, &idom, &rpo_index),
+                    });
+                }
+                if new_idom.is_some() && idom[b] != new_idom {
+                    idom[b] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+        idom
+    }
+
+    /// True when block `a` dominates block `b` (given precomputed idoms).
+    pub fn dominates(&self, a: BlockId, b: BlockId, idoms: &[Option<BlockId>]) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match idoms[cur] {
+                Some(parent) if parent != cur => cur = parent,
+                _ => return false,
+            }
+        }
+    }
+
+    /// Natural loops: one per back edge `tail -> header` where the header
+    /// dominates the tail. Structured lowering produces exactly one back edge
+    /// per `For` statement.
+    pub fn natural_loops(&self) -> Vec<NaturalLoop> {
+        let idoms = self.immediate_dominators();
+        let mut loops = Vec::new();
+        for (tail, block) in self.blocks.iter().enumerate() {
+            for header in block.terminator.successors() {
+                if !self.dominates(header, tail, &idoms) {
+                    continue;
+                }
+                // Collect the loop body: everything that reaches `tail`
+                // without passing through `header`.
+                let mut in_loop = vec![false; self.blocks.len()];
+                in_loop[header] = true;
+                let mut work = vec![tail];
+                while let Some(b) = work.pop() {
+                    if in_loop[b] {
+                        continue;
+                    }
+                    in_loop[b] = true;
+                    work.extend(self.blocks[b].preds.iter().copied());
+                }
+                let stmt = match self.blocks[header].terminator {
+                    Terminator::Loop { stmt, .. } => stmt,
+                    // Back edges only target Loop headers in this lowering.
+                    _ => continue,
+                };
+                loops.push(NaturalLoop {
+                    header,
+                    stmt,
+                    blocks: (0..self.blocks.len()).filter(|&b| in_loop[b]).collect(),
+                });
+            }
+        }
+        loops.sort_by_key(|l| l.stmt);
+        loops
+    }
+
+    /// All statement ids attached to a block: straight-line assignments plus
+    /// the terminator's own statement (`If` condition / `For` header).
+    pub fn block_stmts(&self, id: BlockId) -> Vec<usize> {
+        let block = &self.blocks[id];
+        let mut ids = block.stmts.clone();
+        match block.terminator {
+            Terminator::Branch { stmt, .. } | Terminator::Loop { stmt, .. } => ids.push(stmt),
+            Terminator::Goto(_) | Terminator::Return => {}
+        }
+        ids
+    }
+}
+
+struct Builder {
+    blocks: Vec<Block>,
+    next_stmt: usize,
+}
+
+impl Builder {
+    fn fresh(&mut self) -> BlockId {
+        self.blocks.push(Block::new());
+        self.blocks.len() - 1
+    }
+
+    /// Lowers a statement sequence starting in `cur`, ending with a jump to
+    /// `cont`. Statement ids are assigned in `Stmt::visit` pre-order because
+    /// recursion happens at the same points the visitor recurses.
+    fn lower_seq(&mut self, stmts: &[Stmt], mut cur: BlockId, cont: BlockId) {
+        for stmt in stmts {
+            let id = self.next_stmt;
+            self.next_stmt += 1;
+            match stmt {
+                Stmt::Assign { .. } => self.blocks[cur].stmts.push(id),
+                Stmt::If {
+                    then_body,
+                    else_body,
+                    ..
+                } => {
+                    let then_bb = self.fresh();
+                    let else_bb = self.fresh();
+                    let join = self.fresh();
+                    self.blocks[cur].terminator = Terminator::Branch {
+                        stmt: id,
+                        then_bb,
+                        else_bb,
+                    };
+                    self.lower_seq(then_body, then_bb, join);
+                    self.lower_seq(else_body, else_bb, join);
+                    cur = join;
+                }
+                Stmt::For(l) => {
+                    let header = self.fresh();
+                    let body = self.fresh();
+                    let exit = self.fresh();
+                    self.blocks[cur].terminator = Terminator::Goto(header);
+                    self.blocks[header].terminator = Terminator::Loop {
+                        stmt: id,
+                        body,
+                        exit,
+                    };
+                    // The back edge: the body's final block jumps to the
+                    // header, which dominates it by construction.
+                    self.lower_seq(&l.body, body, header);
+                    cur = exit;
+                }
+            }
+        }
+        self.blocks[cur].terminator = Terminator::Goto(cont);
+    }
+}
+
+fn intersect(a: BlockId, b: BlockId, idom: &[Option<BlockId>], rpo_index: &[usize]) -> BlockId {
+    let (mut a, mut b) = (a, b);
+    while a != b {
+        while rpo_index[a] > rpo_index[b] {
+            a = idom[a].expect("reachable block has an idom");
+        }
+        while rpo_index[b] > rpo_index[a] {
+            b = idom[b].expect("reachable block has an idom");
+        }
+    }
+    a
+}
+
+/// Statements of an operator body in pre-order ([`Stmt::visit`] order); the
+/// vector index is the statement's id.
+pub fn preorder_stmts(op: &Operator) -> Vec<&Stmt> {
+    let mut out = Vec::with_capacity(op.stmt_count());
+    op.visit_stmts(&mut |s| out.push(s));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::OperatorBuilder;
+    use crate::expr::Expr;
+    use crate::stmt::LValue;
+
+    fn diamond_op() -> Operator {
+        OperatorBuilder::new("diamond")
+            .array_param("a", [8])
+            .stmt(Stmt::If {
+                cond: Expr::int(1),
+                then_body: vec![Stmt::assign(LValue::var("x"), Expr::int(1))],
+                else_body: vec![Stmt::assign(LValue::var("x"), Expr::int(2))],
+            })
+            .stmt(Stmt::assign(
+                LValue::store("a", vec![Expr::int(0)]),
+                Expr::var("x"),
+            ))
+            .build()
+    }
+
+    fn nested_loops_op() -> Operator {
+        OperatorBuilder::new("nest")
+            .array_param("a", [4, 4])
+            .loop_nest(&[("i", 4), ("j", 4)], |idx| {
+                vec![Stmt::assign(
+                    LValue::store("a", vec![idx[0].clone(), idx[1].clone()]),
+                    Expr::int(0),
+                )]
+            })
+            .build()
+    }
+
+    #[test]
+    fn stmt_ids_match_visit_order() {
+        let op = nested_loops_op();
+        let cfg = Cfg::build(&op);
+        assert_eq!(cfg.stmt_count, op.stmt_count());
+        let stmts = preorder_stmts(&op);
+        assert_eq!(stmts.len(), cfg.stmt_count);
+        // id 0: outer For; id 1: inner For; id 2: the assignment.
+        assert!(matches!(stmts[0], Stmt::For(_)));
+        assert!(matches!(stmts[1], Stmt::For(_)));
+        assert!(matches!(stmts[2], Stmt::Assign { .. }));
+    }
+
+    #[test]
+    fn diamond_has_branch_and_join() {
+        let cfg = Cfg::build(&diamond_op());
+        let branches = cfg
+            .blocks
+            .iter()
+            .filter(|b| matches!(b.terminator, Terminator::Branch { .. }))
+            .count();
+        assert_eq!(branches, 1);
+        // The join block has two predecessors (both arms).
+        assert!(cfg.blocks.iter().any(|b| b.preds.len() == 2));
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        let cfg = Cfg::build(&diamond_op());
+        let idoms = cfg.immediate_dominators();
+        // Every reachable block is dominated by the entry.
+        for (id, idom) in idoms.iter().enumerate() {
+            assert!(idom.is_some(), "block {id} reachable");
+            assert!(cfg.dominates(cfg.entry, id, &idoms));
+        }
+        // Find the branch arms and the join: neither arm dominates the join.
+        let (then_bb, else_bb) = cfg
+            .blocks
+            .iter()
+            .find_map(|b| match b.terminator {
+                Terminator::Branch {
+                    then_bb, else_bb, ..
+                } => Some((then_bb, else_bb)),
+                _ => None,
+            })
+            .expect("branch exists");
+        let join = cfg.blocks[then_bb].terminator.successors()[0];
+        assert!(!cfg.dominates(then_bb, join, &idoms));
+        assert!(!cfg.dominates(else_bb, join, &idoms));
+    }
+
+    #[test]
+    fn natural_loop_count_matches_for_count() {
+        let cfg = Cfg::build(&nested_loops_op());
+        let loops = cfg.natural_loops();
+        assert_eq!(loops.len(), 2);
+        // The inner loop (stmt 1) nests inside the outer (stmt 0).
+        let outer = &loops[0];
+        let inner = &loops[1];
+        assert_eq!(outer.stmt, 0);
+        assert_eq!(inner.stmt, 1);
+        for b in &inner.blocks {
+            assert!(outer.blocks.contains(b), "inner loop nested in outer");
+        }
+        assert!(outer.blocks.len() > inner.blocks.len());
+    }
+
+    #[test]
+    fn loop_header_dominates_its_body() {
+        let cfg = Cfg::build(&nested_loops_op());
+        let idoms = cfg.immediate_dominators();
+        for l in cfg.natural_loops() {
+            for &b in &l.blocks {
+                assert!(cfg.dominates(l.header, b, &idoms));
+            }
+        }
+    }
+
+    #[test]
+    fn straightline_body_is_two_blocks() {
+        let op = OperatorBuilder::new("s")
+            .stmt(Stmt::assign(LValue::var("x"), Expr::int(1)))
+            .stmt(Stmt::assign(LValue::var("y"), Expr::int(2)))
+            .build();
+        let cfg = Cfg::build(&op);
+        assert_eq!(cfg.blocks[cfg.entry].stmts, vec![0, 1]);
+        assert!(matches!(
+            cfg.blocks[cfg.exit].terminator,
+            Terminator::Return
+        ));
+        assert_eq!(cfg.natural_loops().len(), 0);
+    }
+
+    #[test]
+    fn edge_count_and_rpo_cover_reachable_blocks() {
+        let cfg = Cfg::build(&diamond_op());
+        assert!(cfg.edge_count() >= cfg.blocks.len() - 1);
+        let rpo = cfg.reverse_postorder();
+        assert_eq!(rpo[0], cfg.entry);
+        assert_eq!(rpo.len(), cfg.blocks.len(), "all blocks reachable");
+    }
+}

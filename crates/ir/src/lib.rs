@@ -40,12 +40,15 @@
 //! ```
 
 pub mod analysis;
+pub mod bounds;
 pub mod builder;
+pub mod cfg;
 pub mod error;
 pub mod expr;
 pub mod graph;
 pub mod hw;
 pub mod input;
+pub mod lint;
 pub mod normalize;
 pub mod op;
 pub mod parse;
@@ -54,12 +57,18 @@ pub mod render;
 pub mod stmt;
 
 pub use analysis::{ControlFlowReport, OperatorClass};
+pub use bounds::{
+    analyze_operator_bounds, analyze_program_bounds, CountInterval, OperatorBounds, ProgramBounds,
+    TripBounds,
+};
 pub use builder::OperatorBuilder;
+pub use cfg::{Block, BlockId, Cfg, NaturalLoop, Terminator};
 pub use error::IrError;
 pub use expr::{BinOp, Expr, Ident, Intrinsic, UnOp};
 pub use graph::{Arg, BufferDecl, DataflowGraph, Dim, Invocation};
 pub use hw::HardwareParams;
 pub use input::{InputData, Tensor, Value};
+pub use lint::{lint_operator, lint_program, Lint, LintReport, LintRule, Severity};
 pub use normalize::{normalize_expr, normalize_operator, normalize_program};
 pub use op::{Operator, ParamDecl, ParamKind};
 pub use program::Program;

@@ -1,0 +1,562 @@
+//! Program lints over the CFG + bounds analyses.
+//!
+//! Error-severity lints mark programs that are degenerate as cost-model
+//! training data (code that can never run, loops that never spin, accesses
+//! that statically miss their array): `llmulator-synth` rejects generated
+//! programs carrying any error lint, and CI keeps the workload suite clean
+//! of them. Warning-severity lints (dead stores, unused parameters) flag
+//! suspicious-but-runnable shapes.
+
+use crate::bounds::{analyze_operator_bounds, OperatorBounds};
+use crate::cfg::{Cfg, Terminator};
+use crate::expr::{Expr, Ident};
+use crate::graph::Dim;
+use crate::op::{Operator, ParamKind};
+use crate::program::Program;
+use crate::stmt::{LValue, Stmt};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// What a lint complains about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum LintRule {
+    /// A statement no execution can reach (dead branch arm, code after a
+    /// guaranteed-zero-trip region, ...).
+    UnreachableCode,
+    /// A scalar assignment whose value is never read.
+    DeadStore,
+    /// A `for` loop that can never execute its body.
+    ZeroTripLoop,
+    /// An operator parameter that the body never references.
+    UnusedParam,
+    /// A constant array index that is outside the declared extent on every
+    /// execution.
+    ConstIndexOutOfBounds,
+    /// A `for` step that is statically `<= 0` (guaranteed `BadStep`).
+    NonPositiveConstStep,
+}
+
+impl LintRule {
+    /// The severity class of the rule.
+    pub fn severity(self) -> Severity {
+        match self {
+            LintRule::UnreachableCode
+            | LintRule::ZeroTripLoop
+            | LintRule::ConstIndexOutOfBounds
+            | LintRule::NonPositiveConstStep => Severity::Error,
+            LintRule::DeadStore | LintRule::UnusedParam => Severity::Warning,
+        }
+    }
+
+    /// Stable kebab-case name (used in diagnostics and JSON output).
+    pub fn name(self) -> &'static str {
+        match self {
+            LintRule::UnreachableCode => "unreachable-code",
+            LintRule::DeadStore => "dead-store",
+            LintRule::ZeroTripLoop => "zero-trip-loop",
+            LintRule::UnusedParam => "unused-param",
+            LintRule::ConstIndexOutOfBounds => "const-index-out-of-bounds",
+            LintRule::NonPositiveConstStep => "non-positive-const-step",
+        }
+    }
+}
+
+/// Lint severity: errors make a program unfit for the dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Severity {
+    /// Suspicious but runnable.
+    Warning,
+    /// Degenerate; synthesis rejects the program.
+    Error,
+}
+
+/// One structured diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Lint {
+    /// Which rule fired.
+    pub rule: LintRule,
+    /// Severity (derived from the rule; duplicated for serialization).
+    pub severity: Severity,
+    /// Operator the lint is in.
+    pub op: Ident,
+    /// Pre-order statement id, when the lint has one.
+    pub stmt: Option<usize>,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// All lints for a program, with severity tallies.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LintReport {
+    /// Every diagnostic, grouped by operator in graph order.
+    pub lints: Vec<Lint>,
+}
+
+impl LintReport {
+    /// Number of error-severity lints.
+    pub fn error_count(&self) -> usize {
+        self.lints
+            .iter()
+            .filter(|l| l.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity lints.
+    pub fn warning_count(&self) -> usize {
+        self.lints.len() - self.error_count()
+    }
+
+    /// True when no error-severity lint fired.
+    pub fn is_valid(&self) -> bool {
+        self.error_count() == 0
+    }
+}
+
+/// Lints every operator of a program (unseeded bounds: scalar parameters
+/// are treated as unknown, so every error lint holds for *all* inputs).
+pub fn lint_program(program: &Program) -> LintReport {
+    let mut lints = Vec::new();
+    for op in &program.operators {
+        lints.extend(lint_operator(op));
+    }
+    LintReport { lints }
+}
+
+/// Lints one operator.
+pub fn lint_operator(op: &Operator) -> Vec<Lint> {
+    let bounds = analyze_operator_bounds(op);
+    let cfg = Cfg::build(op);
+    let dead = unreachable_stmts(&cfg, &bounds);
+    let stmts = crate::cfg::preorder_stmts(op);
+    let mut lints = Vec::new();
+    let lint = |rule: LintRule, stmt: Option<usize>, message: String| Lint {
+        rule,
+        severity: rule.severity(),
+        op: op.name.clone(),
+        stmt,
+        message,
+    };
+
+    for &id in &dead {
+        lints.push(lint(
+            LintRule::UnreachableCode,
+            Some(id),
+            format!("statement {id} can never execute"),
+        ));
+    }
+    for (&id, trips) in &bounds.trips {
+        if trips.max == Some(0) && !dead.contains(&id) {
+            lints.push(lint(
+                LintRule::ZeroTripLoop,
+                Some(id),
+                format!("loop at statement {id} never executes its body"),
+            ));
+        }
+    }
+    for &id in &bounds.bad_steps {
+        if !dead.contains(&id) {
+            lints.push(lint(
+                LintRule::NonPositiveConstStep,
+                Some(id),
+                format!("loop at statement {id} has a non-positive step"),
+            ));
+        }
+    }
+    for site in &bounds.oob {
+        if !dead.contains(&site.stmt) {
+            let range = if site.index_lo == site.index_hi {
+                format!("{}", site.index_lo)
+            } else {
+                format!("[{}, {}]", site.index_lo, site.index_hi)
+            };
+            lints.push(lint(
+                LintRule::ConstIndexOutOfBounds,
+                Some(site.stmt),
+                format!(
+                    "index {range} is outside `{}` axis {} (extent {})",
+                    site.array.as_str(),
+                    site.axis,
+                    site.extent
+                ),
+            ));
+        }
+    }
+    for (id, name) in dead_stores(&stmts, &dead) {
+        lints.push(lint(
+            LintRule::DeadStore,
+            Some(id),
+            format!("value assigned to `{}` is never read", name.as_str()),
+        ));
+    }
+    for name in unused_params(op) {
+        lints.push(lint(
+            LintRule::UnusedParam,
+            None,
+            format!("parameter `{}` is never used", name.as_str()),
+        ));
+    }
+    lints.sort_by_key(|l| (l.stmt, l.rule));
+    lints
+}
+
+/// Statement ids that no execution can reach: blocks not reachable from the
+/// entry once statically-decided edges are pruned (folded `If` conditions
+/// take one arm; loops with a guaranteed-zero trip count skip their body;
+/// a loop's exit edge is always live).
+pub fn unreachable_stmts(cfg: &Cfg, bounds: &OperatorBounds) -> BTreeSet<usize> {
+    let mut live = vec![false; cfg.blocks.len()];
+    let mut work = vec![cfg.entry];
+    while let Some(b) = work.pop() {
+        if live[b] {
+            continue;
+        }
+        live[b] = true;
+        match &cfg.blocks[b].terminator {
+            Terminator::Goto(t) => work.push(*t),
+            Terminator::Return => {}
+            Terminator::Branch {
+                stmt,
+                then_bb,
+                else_bb,
+            } => match bounds.cond_folds.get(stmt).copied().flatten() {
+                Some(true) => work.push(*then_bb),
+                Some(false) => work.push(*else_bb),
+                None => {
+                    work.push(*then_bb);
+                    work.push(*else_bb);
+                }
+            },
+            Terminator::Loop { stmt, body, exit } => {
+                let zero = bounds.trips.get(stmt).is_some_and(|t| t.max == Some(0));
+                if !zero {
+                    work.push(*body);
+                }
+                work.push(*exit);
+            }
+        }
+    }
+    let mut dead = BTreeSet::new();
+    for (id, alive) in live.iter().enumerate() {
+        if !alive {
+            dead.extend(cfg.block_stmts(id));
+        }
+    }
+    dead
+}
+
+/// Scalar assignments whose value is provably never read. A variable is
+/// *live* when some evaluation outside a scalar-assign right-hand side reads
+/// it (loop bounds, branch conditions, array-store values and indices), or
+/// when the destination of a scalar assign that reads it is itself live —
+/// computed as a fixpoint so self-sustaining chains like `x = x + 1` with
+/// `x` otherwise unread still count as dead.
+fn dead_stores(stmts: &[&Stmt], dead_code: &BTreeSet<usize>) -> Vec<(usize, Ident)> {
+    // reads_in[d] = vars read while computing a value stored into scalar d.
+    let mut reads_in: BTreeMap<Ident, BTreeSet<Ident>> = BTreeMap::new();
+    let mut live: BTreeSet<Ident> = BTreeSet::new();
+    let mut assigns: Vec<(usize, Ident)> = Vec::new();
+    for (id, stmt) in stmts.iter().enumerate() {
+        match stmt {
+            Stmt::Assign { dest, value } => match dest {
+                LValue::Var(name) => {
+                    if !dead_code.contains(&id) {
+                        assigns.push((id, name.clone()));
+                    }
+                    let mut reads = BTreeSet::new();
+                    scalar_reads(value, &mut reads);
+                    reads_in.entry(name.clone()).or_default().extend(reads);
+                }
+                LValue::Store { indices, .. } => {
+                    scalar_reads(value, &mut live);
+                    for idx in indices {
+                        scalar_reads(idx, &mut live);
+                    }
+                }
+            },
+            Stmt::If { cond, .. } => scalar_reads(cond, &mut live),
+            Stmt::For(l) => {
+                scalar_reads(&l.lo, &mut live);
+                scalar_reads(&l.hi, &mut live);
+                scalar_reads(&l.step, &mut live);
+            }
+        }
+    }
+    // Propagate liveness through live destinations to a fixpoint.
+    loop {
+        let mut grew = false;
+        for (dest, reads) in &reads_in {
+            if live.contains(dest) {
+                for r in reads {
+                    grew |= live.insert(r.clone());
+                }
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    assigns.retain(|(_, name)| !live.contains(name));
+    assigns
+}
+
+/// Variable names read by evaluating `expr` (recursing into load indices;
+/// array names are not scalar reads).
+fn scalar_reads(expr: &Expr, out: &mut BTreeSet<Ident>) {
+    match expr {
+        Expr::IntConst(_) | Expr::FloatConst(_) => {}
+        Expr::Var(name) => {
+            out.insert(name.clone());
+        }
+        Expr::Load { indices, .. } => {
+            for idx in indices {
+                scalar_reads(idx, out);
+            }
+        }
+        Expr::Binary { lhs, rhs, .. } => {
+            scalar_reads(lhs, out);
+            scalar_reads(rhs, out);
+        }
+        Expr::Unary { operand, .. } => scalar_reads(operand, out),
+        Expr::Call { args, .. } => {
+            for a in args {
+                scalar_reads(a, out);
+            }
+        }
+    }
+}
+
+/// Parameters the operator body (or another parameter's symbolic dimension)
+/// never references.
+fn unused_params(op: &Operator) -> Vec<Ident> {
+    let mut used: BTreeSet<Ident> = BTreeSet::new();
+    op.visit_stmts(&mut |stmt| match stmt {
+        Stmt::Assign { dest, value } => {
+            expr_uses(value, &mut used);
+            if let LValue::Store { array, indices } = dest {
+                used.insert(array.clone());
+                for idx in indices {
+                    expr_uses(idx, &mut used);
+                }
+            }
+        }
+        Stmt::If { cond, .. } => expr_uses(cond, &mut used),
+        Stmt::For(l) => {
+            expr_uses(&l.lo, &mut used);
+            expr_uses(&l.hi, &mut used);
+            expr_uses(&l.step, &mut used);
+        }
+    });
+    for param in &op.params {
+        if let ParamKind::Array { dims } = &param.kind {
+            for dim in dims {
+                if let Dim::Sym(name) = dim {
+                    used.insert(name.clone());
+                }
+            }
+        }
+    }
+    op.params
+        .iter()
+        .filter(|p| !used.contains(&p.name))
+        .map(|p| p.name.clone())
+        .collect()
+}
+
+/// Every identifier an expression references (scalar vars and array names).
+fn expr_uses(expr: &Expr, out: &mut BTreeSet<Ident>) {
+    match expr {
+        Expr::IntConst(_) | Expr::FloatConst(_) => {}
+        Expr::Var(name) => {
+            out.insert(name.clone());
+        }
+        Expr::Load { array, indices } => {
+            out.insert(array.clone());
+            for idx in indices {
+                expr_uses(idx, out);
+            }
+        }
+        Expr::Binary { lhs, rhs, .. } => {
+            expr_uses(lhs, out);
+            expr_uses(rhs, out);
+        }
+        Expr::Unary { operand, .. } => expr_uses(operand, out),
+        Expr::Call { args, .. } => {
+            for a in args {
+                expr_uses(a, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::OperatorBuilder;
+    use crate::expr::BinOp;
+    use crate::stmt::{ForLoop, LoopPragma};
+
+    fn lints_by_rule(lints: &[Lint], rule: LintRule) -> Vec<&Lint> {
+        lints.iter().filter(|l| l.rule == rule).collect()
+    }
+
+    #[test]
+    fn clean_operator_has_no_lints() {
+        let op = OperatorBuilder::new("fill")
+            .array_param("a", [16])
+            .loop_nest(&[("i", 16)], |idx| {
+                vec![Stmt::assign(
+                    LValue::store("a", vec![idx[0].clone()]),
+                    idx[0].clone(),
+                )]
+            })
+            .build();
+        assert!(lint_operator(&op).is_empty());
+    }
+
+    #[test]
+    fn dead_branch_arm_is_unreachable() {
+        let op = OperatorBuilder::new("d")
+            .array_param("a", [4])
+            .stmt(Stmt::If {
+                cond: Expr::binary(BinOp::Lt, Expr::int(1), Expr::int(2)),
+                then_body: vec![Stmt::assign(
+                    LValue::store("a", vec![Expr::int(0)]),
+                    Expr::int(1),
+                )],
+                else_body: vec![Stmt::assign(
+                    LValue::store("a", vec![Expr::int(1)]),
+                    Expr::int(2),
+                )],
+            })
+            .build();
+        let lints = lint_operator(&op);
+        let unreachable = lints_by_rule(&lints, LintRule::UnreachableCode);
+        // Statement 2 is the else-arm store.
+        assert_eq!(unreachable.len(), 1);
+        assert_eq!(unreachable[0].stmt, Some(2));
+        assert_eq!(unreachable[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn zero_trip_loop_flagged_once() {
+        let op = OperatorBuilder::new("z")
+            .array_param("a", [4])
+            .stmt(Stmt::For(ForLoop {
+                var: "i".into(),
+                lo: Expr::int(4),
+                hi: Expr::int(4),
+                step: Expr::int(1),
+                pragma: LoopPragma::None,
+                body: vec![Stmt::assign(
+                    LValue::store("a", vec![Expr::var("i")]),
+                    Expr::int(1),
+                )],
+            }))
+            .build();
+        let lints = lint_operator(&op);
+        assert_eq!(lints_by_rule(&lints, LintRule::ZeroTripLoop).len(), 1);
+        // The body is also unreachable (the loop never enters it).
+        assert_eq!(lints_by_rule(&lints, LintRule::UnreachableCode).len(), 1);
+    }
+
+    #[test]
+    fn bad_step_and_oob_flagged() {
+        let op = OperatorBuilder::new("b")
+            .array_param("a", [8])
+            .stmt(Stmt::For(ForLoop {
+                var: "i".into(),
+                lo: Expr::int(0),
+                hi: Expr::int(4),
+                step: Expr::int(0),
+                pragma: LoopPragma::None,
+                body: vec![],
+            }))
+            .stmt(Stmt::assign(
+                LValue::store("a", vec![Expr::int(9)]),
+                Expr::int(1),
+            ))
+            .build();
+        let lints = lint_operator(&op);
+        assert_eq!(
+            lints_by_rule(&lints, LintRule::NonPositiveConstStep).len(),
+            1
+        );
+        assert_eq!(
+            lints_by_rule(&lints, LintRule::ConstIndexOutOfBounds).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn self_sustaining_dead_store_found() {
+        // x feeds only itself; y feeds the array store and stays live.
+        let op = OperatorBuilder::new("ds")
+            .array_param("a", [4])
+            .stmt(Stmt::assign(LValue::var("x"), Expr::int(0)))
+            .stmt(Stmt::assign(LValue::var("y"), Expr::int(1)))
+            .loop_nest(&[("i", 4)], |idx| {
+                vec![
+                    Stmt::assign(LValue::var("x"), Expr::var("x") + Expr::int(1)),
+                    Stmt::assign(LValue::store("a", vec![idx[0].clone()]), Expr::var("y")),
+                ]
+            })
+            .build();
+        let lints = lint_operator(&op);
+        let dead = lints_by_rule(&lints, LintRule::DeadStore);
+        assert_eq!(dead.len(), 2, "both assignments to x are dead: {dead:?}");
+        assert!(dead.iter().all(|l| l.message.contains("`x`")));
+        assert!(dead.iter().all(|l| l.severity == Severity::Warning));
+    }
+
+    #[test]
+    fn unused_param_flagged_but_dim_sym_counts_as_use() {
+        let op = Operator::new(
+            "u",
+            vec![
+                crate::op::ParamDecl::scalar("n"),
+                crate::op::ParamDecl {
+                    name: "a".into(),
+                    kind: ParamKind::Array {
+                        dims: vec![Dim::Sym("n".into())],
+                    },
+                },
+                crate::op::ParamDecl::scalar("unused"),
+            ],
+            vec![Stmt::assign(
+                LValue::store("a", vec![Expr::int(0)]),
+                Expr::int(1),
+            )],
+        );
+        let lints = lint_operator(&op);
+        let unused = lints_by_rule(&lints, LintRule::UnusedParam);
+        assert_eq!(unused.len(), 1);
+        assert!(unused[0].message.contains("`unused`"));
+    }
+
+    #[test]
+    fn report_counts_and_validity() {
+        let bad = OperatorBuilder::new("bad")
+            .array_param("a", [4])
+            .stmt(Stmt::assign(
+                LValue::store("a", vec![Expr::int(7)]),
+                Expr::int(1),
+            ))
+            .stmt(Stmt::assign(LValue::var("w"), Expr::int(3)))
+            .build();
+        let report = lint_program(&Program::single_op(bad));
+        assert_eq!(report.error_count(), 1);
+        assert_eq!(report.warning_count(), 1);
+        assert!(!report.is_valid());
+
+        let good = OperatorBuilder::new("good")
+            .array_param("a", [4])
+            .loop_nest(&[("i", 4)], |idx| {
+                vec![Stmt::assign(
+                    LValue::store("a", vec![idx[0].clone()]),
+                    idx[0].clone(),
+                )]
+            })
+            .build();
+        assert!(lint_program(&Program::single_op(good)).is_valid());
+    }
+}

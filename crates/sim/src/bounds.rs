@@ -1,0 +1,502 @@
+//! Static cycle bounds mirroring the interpreter's cost accounting.
+//!
+//! Walks an operator body with the same cost model `exec` applies at run
+//! time — lane pooling across straight-line statements, unroll-group
+//! retirement with memory-port contention, per-group loop overhead, invoke
+//! overhead — but with trip counts and branch outcomes taken from the static
+//! analysis (`llmulator_ir::bounds`) instead of concrete inputs. The result
+//! is a `[min, max]` cycle interval that brackets `simulate`'s
+//! `total_cycles` on every successful run, collapsing to an exact value when
+//! every loop bound and branch folds at compile time.
+//!
+//! Soundness leans on two facts checked by the `analysis_oracle` proptests:
+//! the loop-group cost is monotone in the trip count (executing one more
+//! iteration never makes a loop cheaper), and [`parallel_cycles`] is
+//! monotone in each lane component (so componentwise min/max lanes bound any
+//! actual mix of per-iteration lanes).
+
+use crate::cost::{
+    binop_latency, intrinsic_latency, parallel_cycles, unary_latency, LaneCost, INVOKE_OVERHEAD,
+};
+use crate::exec::{group_overhead, unroll_factor};
+use llmulator_ir::bounds::{CountInterval, OperatorBounds, ProgramBounds};
+use llmulator_ir::{Expr, ForLoop, HardwareParams, LValue, LoopPragma, Operator, Program, Stmt};
+use serde::{Deserialize, Serialize};
+
+/// An inclusive cycle interval; `max == None` means statically unbounded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CycleBounds {
+    /// Fewest cycles any successful run can take.
+    pub min: u64,
+    /// Most cycles any successful run can take (`None` = unbounded).
+    pub max: Option<u64>,
+}
+
+impl CycleBounds {
+    /// The `[0, 0]` interval.
+    pub const ZERO: CycleBounds = CycleBounds {
+        min: 0,
+        max: Some(0),
+    };
+
+    /// True when `cycles` lies inside the interval.
+    pub fn contains(&self, cycles: u64) -> bool {
+        self.min <= cycles && self.max.is_none_or(|m| cycles <= m)
+    }
+
+    /// True when the interval pins a single value.
+    pub fn is_exact(&self) -> bool {
+        self.max == Some(self.min)
+    }
+
+    /// Interval sum. A named method rather than `std::ops::Add` because it
+    /// saturates, matching `CountInterval::add` in llmulator-ir.
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, other: CycleBounds) -> CycleBounds {
+        CycleBounds {
+            min: self.min.saturating_add(other.min),
+            max: match (self.max, other.max) {
+                (Some(a), Some(b)) => Some(a.saturating_add(b)),
+                _ => None,
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for CycleBounds {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.max {
+            Some(m) if m == self.min => write!(f, "{}", self.min),
+            Some(m) => write!(f, "[{}, {m}]", self.min),
+            None => write!(f, "[{}, inf)", self.min),
+        }
+    }
+}
+
+/// Cycle bounds for every invocation of a program plus the bracketing total
+/// (including per-invocation invoke overhead, like `CycleReport`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProgramCycleBounds {
+    /// Per-invocation bounds, in graph order (unresolvable operators are
+    /// skipped, matching `ProgramBounds`).
+    pub invocations: Vec<CycleBounds>,
+    /// Bounds on `CycleReport::total_cycles`.
+    pub total: CycleBounds,
+}
+
+/// Computes cycle bounds for a whole program from its (seeded) count bounds.
+/// `bounds` must come from `analyze_program_bounds` on the same program.
+pub fn program_cycle_bounds(program: &Program, bounds: &ProgramBounds) -> ProgramCycleBounds {
+    let mut invocations = Vec::new();
+    let mut total = CycleBounds::ZERO;
+    let mut next = 0;
+    for inv in &program.graph.invocations {
+        let Some(op) = program.operator(&inv.op) else {
+            continue;
+        };
+        let Some(ob) = bounds.invocations.get(next) else {
+            break;
+        };
+        next += 1;
+        let cb = operator_cycle_bounds(op, &program.hw, ob);
+        total = total.add(cb);
+        invocations.push(cb);
+    }
+    ProgramCycleBounds { invocations, total }
+}
+
+/// Cycle bounds for one operator invocation (invoke overhead included).
+pub fn operator_cycle_bounds(
+    op: &Operator,
+    hw: &HardwareParams,
+    bounds: &OperatorBounds,
+) -> CycleBounds {
+    let mut w = Walker {
+        bounds,
+        hw,
+        next_id: 0,
+    };
+    let b = w.walk_block(&op.body);
+    let min = b
+        .lane_lo
+        .cycles(hw)
+        .saturating_add(b.nested.lo)
+        .saturating_add(INVOKE_OVERHEAD);
+    let max = b.nested.hi.map(|nested| {
+        b.lane_hi
+            .cycles(hw)
+            .saturating_add(nested)
+            .saturating_add(INVOKE_OVERHEAD)
+    });
+    CycleBounds { min, max }
+}
+
+/// Static bounds on a statement block's cost, in the interpreter's own
+/// decomposition: a straight-line lane interval (pooled before conversion to
+/// cycles, exactly as `exec_block` pools) plus already-converted nested-loop
+/// cycles.
+struct BlockBounds {
+    lane_lo: LaneCost,
+    lane_hi: LaneCost,
+    nested: CountInterval,
+}
+
+impl BlockBounds {
+    fn new() -> BlockBounds {
+        BlockBounds {
+            lane_lo: LaneCost::default(),
+            lane_hi: LaneCost::default(),
+            nested: CountInterval::ZERO,
+        }
+    }
+}
+
+struct Walker<'a> {
+    bounds: &'a OperatorBounds,
+    hw: &'a HardwareParams,
+    next_id: usize,
+}
+
+impl Walker<'_> {
+    fn walk_block(&mut self, stmts: &[Stmt]) -> BlockBounds {
+        let mut b = BlockBounds::new();
+        for stmt in stmts {
+            let id = self.next_id;
+            self.next_id += 1;
+            match stmt {
+                Stmt::Assign { dest, value } => {
+                    let lane = assign_lane(dest, value);
+                    b.lane_lo.sequential(lane);
+                    b.lane_hi.sequential(lane);
+                }
+                Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => {
+                    let mut lane = LaneCost::default();
+                    expr_lane(cond, &mut lane);
+                    lane.compute += 1; // branch decision
+                    b.lane_lo.sequential(lane);
+                    b.lane_hi.sequential(lane);
+                    // Both arms advance the id counter; the fold picks which
+                    // of them can actually cost anything.
+                    let then_b = self.walk_block(then_body);
+                    let else_b = self.walk_block(else_body);
+                    match self.bounds.cond_folds.get(&id).copied().flatten() {
+                        Some(true) => {
+                            b.lane_lo.sequential(then_b.lane_lo);
+                            b.lane_hi.sequential(then_b.lane_hi);
+                            b.nested = b.nested.add(then_b.nested);
+                        }
+                        Some(false) => {
+                            b.lane_lo.sequential(else_b.lane_lo);
+                            b.lane_hi.sequential(else_b.lane_hi);
+                            b.nested = b.nested.add(else_b.nested);
+                        }
+                        None => {
+                            b.lane_lo
+                                .sequential(lane_min(then_b.lane_lo, else_b.lane_lo));
+                            b.lane_hi
+                                .sequential(lane_max(then_b.lane_hi, else_b.lane_hi));
+                            b.nested = b.nested.add(then_b.nested.join(else_b.nested));
+                        }
+                    }
+                }
+                Stmt::For(l) => {
+                    let trips = self
+                        .bounds
+                        .trips
+                        .get(&id)
+                        .map(|t| t.interval())
+                        .unwrap_or(CountInterval { lo: 0, hi: None });
+                    let body = self.walk_block(&l.body);
+                    b.nested = b.nested.add(self.loop_cycles(l, trips, &body));
+                }
+            }
+        }
+        b
+    }
+
+    /// Mirrors `exec_loop`: bound-lane cost (the per-iteration `hi`
+    /// re-evaluation lane is dropped there too), iteration lanes retired in
+    /// unroll groups with per-group overhead, nested cycles passed through.
+    fn loop_cycles(&self, l: &ForLoop, trips: CountInterval, body: &BlockBounds) -> CountInterval {
+        let mut bound_lane = LaneCost::default();
+        expr_lane(&l.lo, &mut bound_lane);
+        expr_lane(&l.step, &mut bound_lane);
+        let base = bound_lane.cycles(self.hw);
+        let factor = unroll_factor(l.pragma, self.hw);
+        let nested_total = trips.mul(body.nested);
+        let min = base
+            .saturating_add(self.grouped(trips.lo, body.lane_lo, factor, l.pragma))
+            .saturating_add(nested_total.lo);
+        let max = match (trips.hi, nested_total.hi) {
+            (Some(t), Some(nested)) => Some(
+                base.saturating_add(self.grouped(t, body.lane_hi, factor, l.pragma))
+                    .saturating_add(nested),
+            ),
+            _ => None,
+        };
+        CountInterval { lo: min, hi: max }
+    }
+
+    /// Cycles to retire `trips` identical lanes in groups of `factor`:
+    /// monotone in both the trip count and every lane component.
+    fn grouped(&self, trips: u64, lane: LaneCost, factor: u64, pragma: LoopPragma) -> u64 {
+        if trips == 0 {
+            return 0;
+        }
+        let full = trips / factor;
+        let rem = trips % factor;
+        let mut cycles: u64 = 0;
+        if full > 0 {
+            cycles = cycles.saturating_add(full.saturating_mul(self.group_cost(lane, factor)));
+        }
+        if rem > 0 {
+            cycles = cycles.saturating_add(self.group_cost(lane, rem));
+        }
+        let groups = full.saturating_add(u64::from(rem > 0));
+        cycles.saturating_add(groups.saturating_mul(group_overhead(pragma)))
+    }
+
+    fn group_cost(&self, lane: LaneCost, lanes: u64) -> u64 {
+        parallel_cycles(&vec![lane; lanes as usize], self.hw)
+    }
+}
+
+fn lane_min(a: LaneCost, b: LaneCost) -> LaneCost {
+    LaneCost {
+        compute: a.compute.min(b.compute),
+        loads: a.loads.min(b.loads),
+        stores: a.stores.min(b.stores),
+    }
+}
+
+fn lane_max(a: LaneCost, b: LaneCost) -> LaneCost {
+    LaneCost {
+        compute: a.compute.max(b.compute),
+        loads: a.loads.max(b.loads),
+        stores: a.stores.max(b.stores),
+    }
+}
+
+/// Exact lane cost of one evaluation of `expr`, mirroring `Machine::eval`
+/// (every subexpression evaluates; index arithmetic beyond the first axis is
+/// address-generation compute).
+fn expr_lane(expr: &Expr, lane: &mut LaneCost) {
+    match expr {
+        Expr::IntConst(_) | Expr::FloatConst(_) | Expr::Var(_) => {}
+        Expr::Load { indices, .. } => {
+            for (k, idx) in indices.iter().enumerate() {
+                expr_lane(idx, lane);
+                lane.compute += u64::from(k > 0);
+            }
+            lane.loads += 1;
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            expr_lane(lhs, lane);
+            expr_lane(rhs, lane);
+            lane.compute += binop_latency(*op);
+        }
+        Expr::Unary { operand, .. } => {
+            expr_lane(operand, lane);
+            lane.compute += unary_latency();
+        }
+        Expr::Call { func, args } => {
+            for a in args {
+                expr_lane(a, lane);
+            }
+            lane.compute += intrinsic_latency(*func);
+        }
+    }
+}
+
+/// Exact lane cost of executing one `Assign`.
+fn assign_lane(dest: &LValue, value: &Expr) -> LaneCost {
+    let mut lane = LaneCost::default();
+    expr_lane(value, &mut lane);
+    if let LValue::Store { indices, .. } = dest {
+        for (k, idx) in indices.iter().enumerate() {
+            expr_lane(idx, &mut lane);
+            lane.compute += u64::from(k > 0);
+        }
+        lane.stores += 1;
+    }
+    lane
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::simulate;
+    use llmulator_ir::bounds::analyze_program_bounds;
+    use llmulator_ir::builder::OperatorBuilder;
+    use llmulator_ir::{BinOp, InputData, Tensor};
+
+    fn bounds_of(program: &Program) -> ProgramCycleBounds {
+        program_cycle_bounds(program, &analyze_program_bounds(program))
+    }
+
+    fn scale_program(n: usize, pragma: LoopPragma) -> Program {
+        let op = OperatorBuilder::new("scale")
+            .array_param("a", [n])
+            .array_param("b", [n])
+            .loop_nest_with_pragma(&[("i", n)], pragma, |idx| {
+                vec![Stmt::assign(
+                    LValue::store("b", vec![idx[0].clone()]),
+                    Expr::load("a", vec![idx[0].clone()]) * Expr::int(2),
+                )]
+            })
+            .build();
+        Program::single_op(op)
+    }
+
+    #[test]
+    fn const_program_bounds_are_exact() {
+        for pragma in [
+            LoopPragma::None,
+            LoopPragma::UnrollFull,
+            LoopPragma::Unroll(4),
+            LoopPragma::ParallelFor,
+        ] {
+            let p = scale_program(37, pragma);
+            let b = bounds_of(&p);
+            let report = simulate(&p, &InputData::new()).expect("simulates");
+            assert!(b.total.is_exact(), "{pragma:?}: {}", b.total);
+            assert_eq!(
+                b.total.min, report.total_cycles,
+                "{pragma:?} static vs dynamic"
+            );
+        }
+    }
+
+    #[test]
+    fn dynamic_bound_brackets_every_input() {
+        let op = OperatorBuilder::new("dyn")
+            .array_param("a", [256])
+            .scalar_param("n")
+            .dyn_loop_nest(&[("i", Expr::var("n"))], |idx| {
+                vec![Stmt::assign(
+                    LValue::store("a", vec![idx[0].clone()]),
+                    Expr::int(1),
+                )]
+            })
+            .build();
+        let p = Program::single_op(op);
+        let b = bounds_of(&p);
+        assert_eq!(b.total.max, None, "input-tainted bound is unbounded");
+        for n in [0i64, 1, 7, 64] {
+            let report = simulate(&p, &InputData::new().with("n", n)).expect("simulates");
+            assert!(
+                b.total.contains(report.total_cycles),
+                "n={n}: {} outside {}",
+                report.total_cycles,
+                b.total
+            );
+        }
+    }
+
+    #[test]
+    fn data_branch_brackets_both_outcomes() {
+        let op = OperatorBuilder::new("cond")
+            .array_param("a", [32])
+            .array_param("b", [32])
+            .loop_nest(&[("i", 32)], |idx| {
+                vec![Stmt::if_then(
+                    Expr::binary(
+                        BinOp::Gt,
+                        Expr::load("a", vec![idx[0].clone()]),
+                        Expr::int(0),
+                    ),
+                    vec![Stmt::assign(
+                        LValue::store("b", vec![idx[0].clone()]),
+                        Expr::load("a", vec![idx[0].clone()]) * Expr::int(3),
+                    )],
+                )]
+            })
+            .build();
+        let p = Program::single_op(op);
+        let b = bounds_of(&p);
+        assert!(!b.total.is_exact());
+        let lo = simulate(
+            &p,
+            &InputData::new().with("buf_a", Tensor::full(vec![32], -1.0)),
+        )
+        .expect("all-false");
+        let hi = simulate(
+            &p,
+            &InputData::new().with("buf_a", Tensor::full(vec![32], 1.0)),
+        )
+        .expect("all-true");
+        for c in [lo.total_cycles, hi.total_cycles] {
+            assert!(b.total.contains(c), "{c} outside {}", b.total);
+        }
+        // The extremes are the analysis's own extremes: all-false is the
+        // cheapest run, all-true the most expensive.
+        assert_eq!(b.total.min, lo.total_cycles);
+        assert_eq!(b.total.max, Some(hi.total_cycles));
+    }
+
+    #[test]
+    fn seeded_invocation_constant_restores_exactness() {
+        let op = OperatorBuilder::new("dyn")
+            .array_param("a", [64])
+            .scalar_param("n")
+            .dyn_loop_nest(&[("i", Expr::var("n"))], |idx| {
+                vec![Stmt::assign(
+                    LValue::store("a", vec![idx[0].clone()]),
+                    Expr::int(1),
+                )]
+            })
+            .build();
+        let mut p = Program::single_op(op);
+        p.graph.params.clear();
+        p.graph.invocations[0].args[1] = llmulator_ir::Arg::int(12);
+        let b = bounds_of(&p);
+        assert!(b.total.is_exact(), "{}", b.total);
+        let report = simulate(&p, &InputData::new()).expect("simulates");
+        assert_eq!(b.total.min, report.total_cycles);
+    }
+
+    #[test]
+    fn nested_and_multi_invocation_programs_sum() {
+        let op = OperatorBuilder::new("nest")
+            .array_param("a", [4, 8])
+            .loop_nest(&[("i", 4), ("j", 8)], |idx| {
+                vec![Stmt::accumulate(
+                    "a",
+                    vec![idx[0].clone(), idx[1].clone()],
+                    Expr::int(1),
+                )]
+            })
+            .build();
+        let mut p = Program::single_op(op);
+        // Invoke the same operator twice.
+        let inv = p.graph.invocations[0].clone();
+        p.graph.invocations.push(inv);
+        let b = bounds_of(&p);
+        assert_eq!(b.invocations.len(), 2);
+        assert!(b.total.is_exact());
+        let report = simulate(&p, &InputData::new()).expect("simulates");
+        assert_eq!(b.total.min, report.total_cycles);
+        for (cb, profile) in b.invocations.iter().zip(&report.invocations) {
+            assert_eq!(cb.min, profile.cycles);
+        }
+    }
+
+    #[test]
+    fn cycle_bounds_display_and_algebra() {
+        assert_eq!(format!("{}", CycleBounds::ZERO), "0");
+        let b = CycleBounds {
+            min: 3,
+            max: Some(9),
+        };
+        assert_eq!(format!("{b}"), "[3, 9]");
+        let inf = CycleBounds { min: 5, max: None };
+        assert_eq!(format!("{inf}"), "[5, inf)");
+        assert_eq!(b.add(inf).min, 8);
+        assert_eq!(b.add(inf).max, None);
+        assert!(b.contains(3) && b.contains(9) && !b.contains(10));
+    }
+}

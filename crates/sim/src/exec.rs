@@ -14,7 +14,7 @@ use llmulator_ir::{
     Program, Stmt, Tensor, UnOp, Value,
 };
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
 /// Errors produced by simulation.
@@ -113,6 +113,38 @@ impl CycleReport {
     }
 }
 
+/// Dynamic trip-count summary for one `For` statement across every entry of
+/// the loop during one invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LoopTrace {
+    /// How many times the loop was entered.
+    pub entries: u64,
+    /// Fewest iterations any single entry executed.
+    pub min_trips: u64,
+    /// Most iterations any single entry executed.
+    pub max_trips: u64,
+}
+
+/// Per-invocation execution trace: statement hit counts keyed by the
+/// pre-order statement id (`llmulator_ir::cfg::preorder_stmts` order — the
+/// same ids the static bounds and lint passes use).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpTrace {
+    /// Operator that was invoked.
+    pub op: Ident,
+    /// Executions of each statement, indexed by pre-order id.
+    pub hits: Vec<u64>,
+    /// Per-loop trip summaries, keyed by pre-order id of the `For`.
+    pub loops: BTreeMap<usize, LoopTrace>,
+}
+
+/// Execution trace for a whole program run, one entry per invocation.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecTrace {
+    /// Traces in graph invocation order.
+    pub invocations: Vec<OpTrace>,
+}
+
 /// Simulates a program with default limits.
 ///
 /// # Errors
@@ -137,6 +169,40 @@ pub fn simulate_with(
     machine.run()
 }
 
+/// Simulates a program while recording per-statement hit counts and
+/// per-loop trip summaries (default limits).
+///
+/// # Errors
+///
+/// See [`simulate`].
+pub fn simulate_traced(
+    program: &Program,
+    data: &InputData,
+) -> Result<(CycleReport, ExecTrace), SimError> {
+    simulate_traced_with(program, data, SimConfig::default())
+}
+
+/// Like [`simulate_traced`] with explicit limits.
+///
+/// # Errors
+///
+/// See [`simulate`].
+pub fn simulate_traced_with(
+    program: &Program,
+    data: &InputData,
+    config: SimConfig,
+) -> Result<(CycleReport, ExecTrace), SimError> {
+    let mut machine = Machine::new(program, data, config)?;
+    machine.tracing = true;
+    let report = machine.run()?;
+    Ok((
+        report,
+        ExecTrace {
+            invocations: std::mem::take(&mut machine.trace_log),
+        },
+    ))
+}
+
 struct Machine<'a> {
     program: &'a Program,
     config: SimConfig,
@@ -144,6 +210,18 @@ struct Machine<'a> {
     buffer_index: HashMap<Ident, usize>,
     buffers: Vec<Tensor>,
     stats: ExecStats,
+    tracing: bool,
+    trace: Option<TraceFrame>,
+    trace_log: Vec<OpTrace>,
+}
+
+/// Trace state for the invocation currently executing. Statements are keyed
+/// by their address inside the operator body (stable for the duration of the
+/// run) and mapped to pre-order ids.
+struct TraceFrame {
+    ids: HashMap<usize, usize>,
+    hits: Vec<u64>,
+    loops: BTreeMap<usize, LoopTrace>,
 }
 
 struct Frame {
@@ -206,6 +284,9 @@ impl<'a> Machine<'a> {
             buffer_index,
             buffers,
             stats: ExecStats::default(),
+            tracing: false,
+            trace: None,
+            trace_log: Vec::new(),
         })
     }
 
@@ -218,8 +299,28 @@ impl<'a> Machine<'a> {
                 .program
                 .operator(&inv.op)
                 .ok_or_else(|| SimError::Unbound(inv.op.to_string()))?;
+            if self.tracing {
+                let mut ids = HashMap::new();
+                op.visit_stmts(&mut |s| {
+                    let next = ids.len();
+                    ids.insert(s as *const Stmt as usize, next);
+                });
+                let count = ids.len();
+                self.trace = Some(TraceFrame {
+                    ids,
+                    hits: vec![0; count],
+                    loops: BTreeMap::new(),
+                });
+            }
             let frame = self.bind_frame(op, &inv.args)?;
             let cycles = self.exec_operator(op, frame)? + INVOKE_OVERHEAD;
+            if let Some(t) = self.trace.take() {
+                self.trace_log.push(OpTrace {
+                    op: inv.op.clone(),
+                    hits: t.hits,
+                    loops: t.loops,
+                });
+            }
             total += cycles;
             invocations.push(InvocationProfile {
                 op: inv.op.clone(),
@@ -283,7 +384,16 @@ impl<'a> Machine<'a> {
         Ok(cost)
     }
 
+    /// Records a hit for `stmt` when tracing, returning its pre-order id.
+    fn trace_hit(&mut self, stmt: &Stmt) -> Option<usize> {
+        let t = self.trace.as_mut()?;
+        let id = t.ids.get(&(stmt as *const Stmt as usize)).copied()?;
+        t.hits[id] += 1;
+        Some(id)
+    }
+
     fn exec_stmt(&mut self, stmt: &Stmt, frame: &mut Frame) -> Result<BodyCost, SimError> {
+        let stmt_id = self.trace_hit(stmt);
         match stmt {
             Stmt::Assign { dest, value } => {
                 let mut lane = LaneCost::default();
@@ -326,11 +436,16 @@ impl<'a> Machine<'a> {
                 }
                 Ok(cost)
             }
-            Stmt::For(l) => self.exec_loop(l, frame),
+            Stmt::For(l) => self.exec_loop(l, stmt_id, frame),
         }
     }
 
-    fn exec_loop(&mut self, l: &ForLoop, frame: &mut Frame) -> Result<BodyCost, SimError> {
+    fn exec_loop(
+        &mut self,
+        l: &ForLoop,
+        stmt_id: Option<usize>,
+        frame: &mut Frame,
+    ) -> Result<BodyCost, SimError> {
         let hw = self.program.hw;
         let mut bound_lane = LaneCost::default();
         let lo = self.eval(&l.lo, frame, &mut bound_lane) as i64;
@@ -339,16 +454,11 @@ impl<'a> Machine<'a> {
             return Err(SimError::BadStep(l.var.to_string()));
         }
         // Unroll factor (dynamic trip counts permitted: factor adapts).
-        let factor = match l.pragma {
-            LoopPragma::None => 1u64,
-            LoopPragma::UnrollFull => hw.max_unroll_width as u64,
-            LoopPragma::Unroll(k) => (k as u64).clamp(1, hw.max_unroll_width as u64),
-            LoopPragma::ParallelFor => hw.parallel_lanes as u64,
-        }
-        .max(1);
+        let factor = unroll_factor(l.pragma, &hw);
 
         let mut cycles: u64 = bound_lane.cycles(&hw);
         let mut i = lo;
+        let mut trips: u64 = 0;
         let mut lanes: Vec<LaneCost> = Vec::with_capacity(factor as usize);
         let mut nested: u64 = 0;
         loop {
@@ -365,6 +475,7 @@ impl<'a> Machine<'a> {
                     budget: self.config.max_iterations,
                 });
             }
+            trips += 1;
             frame.scalars.insert(l.var.clone(), i as f64);
             let body = self.exec_block(&l.body, frame)?;
             lanes.push(body.straightline);
@@ -380,6 +491,16 @@ impl<'a> Machine<'a> {
             lanes.clear();
         }
         cycles += nested;
+        if let (Some(id), Some(t)) = (stmt_id, self.trace.as_mut()) {
+            let entry = t.loops.entry(id).or_insert(LoopTrace {
+                entries: 0,
+                min_trips: u64::MAX,
+                max_trips: 0,
+            });
+            entry.entries += 1;
+            entry.min_trips = entry.min_trips.min(trips);
+            entry.max_trips = entry.max_trips.max(trips);
+        }
         Ok(BodyCost {
             straightline: LaneCost::default(),
             nested_cycles: cycles,
@@ -501,12 +622,24 @@ impl<'a> Machine<'a> {
     }
 }
 
-fn group_overhead(pragma: LoopPragma) -> u64 {
+/// Per-group control overhead for a loop's mapping pragma.
+pub(crate) fn group_overhead(pragma: LoopPragma) -> u64 {
     match pragma {
         // Fully spatial loops have no per-group control overhead.
         LoopPragma::UnrollFull => 0,
         _ => LOOP_OVERHEAD,
     }
+}
+
+/// Number of loop-body lanes retired per group under a mapping pragma.
+pub(crate) fn unroll_factor(pragma: LoopPragma, hw: &llmulator_ir::HardwareParams) -> u64 {
+    match pragma {
+        LoopPragma::None => 1u64,
+        LoopPragma::UnrollFull => hw.max_unroll_width as u64,
+        LoopPragma::Unroll(k) => (k as u64).clamp(1, hw.max_unroll_width as u64),
+        LoopPragma::ParallelFor => hw.parallel_lanes as u64,
+    }
+    .max(1)
 }
 
 fn apply_intrinsic(func: Intrinsic, args: &[f64]) -> f64 {
@@ -740,6 +873,74 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, SimError::BudgetExceeded { .. }));
+    }
+
+    #[test]
+    fn trace_records_hits_and_trips() {
+        // for i in 0..4 { for j in 0..8 { a[i][j] = 0 } }: pre-order ids are
+        // 0 = outer For, 1 = inner For, 2 = the store.
+        let op = OperatorBuilder::new("nest")
+            .array_param("a", [4, 8])
+            .loop_nest(&[("i", 4), ("j", 8)], |idx| {
+                vec![Stmt::assign(
+                    LValue::store("a", vec![idx[0].clone(), idx[1].clone()]),
+                    Expr::int(0),
+                )]
+            })
+            .build();
+        let p = Program::single_op(op);
+        let (report, trace) = simulate_traced(&p, &InputData::new()).expect("simulates");
+        assert_eq!(trace.invocations.len(), 1);
+        let t = &trace.invocations[0];
+        assert_eq!(t.hits, vec![1, 4, 32]);
+        assert_eq!(
+            t.loops[&0],
+            LoopTrace {
+                entries: 1,
+                min_trips: 4,
+                max_trips: 4
+            }
+        );
+        assert_eq!(
+            t.loops[&1],
+            LoopTrace {
+                entries: 4,
+                min_trips: 8,
+                max_trips: 8
+            }
+        );
+        // Tracing never changes the simulation result.
+        assert_eq!(report, simulate(&p, &InputData::new()).expect("untraced"));
+    }
+
+    #[test]
+    fn trace_sees_branch_outcomes() {
+        let op = OperatorBuilder::new("cond")
+            .array_param("a", [8])
+            .array_param("b", [8])
+            .loop_nest(&[("i", 8)], |idx| {
+                vec![Stmt::if_then(
+                    Expr::binary(
+                        BinOp::Gt,
+                        Expr::load("a", vec![idx[0].clone()]),
+                        Expr::int(0),
+                    ),
+                    vec![Stmt::assign(
+                        LValue::store("b", vec![idx[0].clone()]),
+                        Expr::int(1),
+                    )],
+                )]
+            })
+            .build();
+        let p = Program::single_op(op);
+        // a alternates sign: the then-arm executes for 4 of 8 iterations.
+        let data = InputData::new().with(
+            "buf_a",
+            Tensor::from_fn(vec![8], |i| if i % 2 == 0 { 1.0 } else { -1.0 }),
+        );
+        let (_, trace) = simulate_traced(&p, &data).expect("simulates");
+        // ids: 0 = For, 1 = If, 2 = store.
+        assert_eq!(trace.invocations[0].hits, vec![1, 8, 4]);
     }
 
     #[test]

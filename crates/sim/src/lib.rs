@@ -32,12 +32,15 @@
 //! # Ok::<(), llmulator_sim::SimError>(())
 //! ```
 
+pub mod bounds;
 pub mod cost;
 pub mod exec;
 pub mod profile;
 
+pub use bounds::{operator_cycle_bounds, program_cycle_bounds, CycleBounds, ProgramCycleBounds};
 pub use cost::LaneCost;
 pub use exec::{
-    simulate, simulate_with, CycleReport, ExecStats, InvocationProfile, SimConfig, SimError,
+    simulate, simulate_traced, simulate_traced_with, simulate_with, CycleReport, ExecStats,
+    ExecTrace, InvocationProfile, LoopTrace, OpTrace, SimConfig, SimError,
 };
 pub use profile::{profile, profile_with, CostVector, Metric, Profile};

@@ -100,10 +100,36 @@ fn emit(program: &Program, data: &InputData, format: DataFormat) -> Option<Sampl
     result.ok()
 }
 
+/// Counters describing one synthesis run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SynthStats {
+    /// Generated programs discarded because the static lint pass reported an
+    /// error-severity diagnostic (unreachable code, zero-trip loops,
+    /// non-positive constant steps, constant out-of-bounds indexing). A
+    /// training corpus must not teach the model degenerate control flow.
+    pub rejected_by_lint: usize,
+    /// Programs that passed validation but failed to profile (simulation
+    /// limits); their cost labels would be missing, so they are dropped.
+    pub failed_to_profile: usize,
+}
+
+/// True when the program carries no error-severity lint. Warnings (dead
+/// stores, unused parameters) are tolerated — they still exercise realistic
+/// cost behaviour.
+fn passes_lint(program: &Program) -> bool {
+    llmulator_ir::lint_program(program).is_valid()
+}
+
 /// Runs the progressive synthesis pipeline.
 pub fn synthesize(config: &SynthesisConfig) -> Dataset {
+    synthesize_with_stats(config).0
+}
+
+/// [`synthesize`], also returning rejection/failure counters.
+pub fn synthesize_with_stats(config: &SynthesisConfig) -> (Dataset, SynthStats) {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut dataset = Dataset::new();
+    let mut stats = SynthStats::default();
     let mut seeds_for_llm: Vec<Program> = Vec::new();
 
     // Stage 1: AST-based generation.
@@ -114,8 +140,13 @@ pub fn synthesize(config: &SynthesisConfig) -> Dataset {
             hw_sweep::random_loop_mapping(&mut program, &mut rng);
         }
         let data = random_inputs(&program, &mut rng);
-        if let Some(s) = emit(&program, &data, config.format) {
-            dataset.push(s);
+        if !passes_lint(&program) {
+            stats.rejected_by_lint += 1;
+            continue;
+        }
+        match emit(&program, &data, config.format) {
+            Some(s) => dataset.push(s),
+            None => stats.failed_to_profile += 1,
         }
     }
 
@@ -130,9 +161,16 @@ pub fn synthesize(config: &SynthesisConfig) -> Dataset {
             hw_sweep::random_mem_delay(&mut program, &mut rng);
         }
         let data = random_inputs(&program, &mut rng);
-        if let Some(s) = emit(&program, &data, config.format) {
-            dataset.push(s);
+        if !passes_lint(&program) {
+            stats.rejected_by_lint += 1;
+            continue;
         }
+        match emit(&program, &data, config.format) {
+            Some(s) => dataset.push(s),
+            None => stats.failed_to_profile += 1,
+        }
+        // Only lint-clean programs may seed the LLM-style stage: a variant
+        // of a degenerate seed is almost always degenerate too.
         if seeds_for_llm.len() < 16 {
             seeds_for_llm.push(program);
         }
@@ -148,18 +186,25 @@ pub fn synthesize(config: &SynthesisConfig) -> Dataset {
                     hw_sweep::random_mem_delay(&mut variant, &mut rng);
                 }
                 let data = random_inputs(&variant, &mut rng);
-                if let Some(s) = emit(&variant, &data, config.format) {
-                    dataset.push(s);
-                    emitted += 1;
-                    if emitted >= config.n_llm {
-                        break 'outer;
+                if !passes_lint(&variant) {
+                    stats.rejected_by_lint += 1;
+                    continue;
+                }
+                match emit(&variant, &data, config.format) {
+                    Some(s) => {
+                        dataset.push(s);
+                        emitted += 1;
+                        if emitted >= config.n_llm {
+                            break 'outer;
+                        }
                     }
+                    None => stats.failed_to_profile += 1,
                 }
             }
         }
     }
 
-    dataset
+    (dataset, stats)
 }
 
 /// Content key of a synthesis configuration: a hash over every field that
@@ -169,7 +214,7 @@ pub fn synthesize(config: &SynthesisConfig) -> Dataset {
 /// [`DatasetCache`] entry.
 pub fn cache_key(config: &SynthesisConfig) -> String {
     let fingerprint = format!(
-        "synth-v1|n_ast={}|n_dataflow={}|n_llm={}|hw_sweep={}|format={:?}|ast={:?}|seed={}",
+        "synth-v2|n_ast={}|n_dataflow={}|n_llm={}|hw_sweep={}|format={:?}|ast={:?}|seed={}",
         config.n_ast,
         config.n_dataflow,
         config.n_llm,
@@ -206,6 +251,30 @@ mod tests {
         let ds = synthesize(&SynthesisConfig::paper_mix(30, 1));
         // A few samples may fail simulation limits; most must survive.
         assert!(ds.len() >= 25, "got {}", ds.len());
+    }
+
+    #[test]
+    fn stats_account_for_every_generated_program() {
+        let config = SynthesisConfig::paper_mix(30, 1);
+        let (ds, stats) = synthesize_with_stats(&config);
+        // Stages 1 and 2 attempt exactly n_ast + n_dataflow programs; each
+        // is kept, lint-rejected, or failed-to-profile. Stage 3 may add
+        // more, so the dataset is at least the surviving stage-1/2 volume.
+        let attempted = config.n_ast + config.n_dataflow;
+        assert!(
+            ds.len() + stats.rejected_by_lint + stats.failed_to_profile >= attempted,
+            "{} kept + {} rejected + {} failed < {attempted} attempted",
+            ds.len(),
+            stats.rejected_by_lint,
+            stats.failed_to_profile,
+        );
+        // Every kept sample comes from a lint-clean program.
+        for s in &ds.samples {
+            assert!(
+                llmulator_ir::lint_program(&s.program).is_valid(),
+                "sample program must be lint-clean"
+            );
+        }
     }
 
     #[test]

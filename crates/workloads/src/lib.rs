@@ -30,3 +30,26 @@ pub mod workload;
 
 pub use stats::{stats, WorkloadStats};
 pub use workload::Workload;
+
+#[cfg(test)]
+mod tests {
+    /// Every evaluation workload must stay clean under the static lint
+    /// pass: the suite is the ground-truth corpus, and a kernel with dead
+    /// stores or unreachable code would skew every MAPE table built on it.
+    #[test]
+    fn every_workload_is_lint_clean() {
+        let mut all = crate::polybench::all();
+        all.extend(crate::modern::all());
+        all.extend(crate::accelerators::all());
+        assert!(!all.is_empty());
+        for w in &all {
+            let report = llmulator_ir::lint_program(&w.program);
+            assert!(
+                report.lints.is_empty(),
+                "workload `{}` has lints: {:#?}",
+                w.name,
+                report.lints
+            );
+        }
+    }
+}

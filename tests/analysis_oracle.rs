@@ -1,0 +1,156 @@
+//! Cross-checks the static-analysis subsystem against the interpreter
+//! oracle: on randomized generated programs and on every evaluation
+//! workload, the static trip-count / operation-count / cycle bounds must
+//! bracket what `sim::exec` actually does, exactly-inferred counts must
+//! match exactly, and statements the CFG proves unreachable must never
+//! execute.
+
+use llmulator_ir::lint::unreachable_stmts;
+use llmulator_ir::{analyze_program_bounds, Cfg, InputData, Program};
+use llmulator_synth::{ast_gen, dataflow_gen, random_inputs, AstGenConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The bracketing property for one `(program, inputs)` pair. Programs the
+/// simulator rejects (e.g. wrapped dynamic indexing past limits) are
+/// skipped: the bounds only constrain successful runs.
+fn check_program(program: &Program, data: &InputData) {
+    let Ok((report, trace)) = llmulator_sim::simulate_traced(program, data) else {
+        return;
+    };
+    let bounds = analyze_program_bounds(program);
+    let cycles = llmulator_sim::program_cycle_bounds(program, &bounds);
+
+    let stats = &report.stats;
+    let dynamic_branches = stats.branches_taken + stats.branches_not_taken;
+    assert!(
+        bounds.iterations.contains(stats.iterations),
+        "iterations {} outside {}",
+        stats.iterations,
+        bounds.iterations
+    );
+    assert!(
+        bounds.loads.contains(stats.loads),
+        "loads {} outside {}",
+        stats.loads,
+        bounds.loads
+    );
+    assert!(
+        bounds.stores.contains(stats.stores),
+        "stores {} outside {}",
+        stats.stores,
+        bounds.stores
+    );
+    assert!(
+        bounds.branches.contains(dynamic_branches),
+        "branches {} outside {}",
+        dynamic_branches,
+        bounds.branches
+    );
+
+    assert!(
+        cycles.total.min <= report.total_cycles,
+        "cycle lower bound {} > dynamic {}",
+        cycles.total.min,
+        report.total_cycles
+    );
+    if let Some(max) = cycles.total.max {
+        assert!(
+            report.total_cycles <= max,
+            "cycle upper bound {} < dynamic {}",
+            max,
+            report.total_cycles
+        );
+    }
+    // An exact (degenerate) static interval must *equal* the dynamic count.
+    if cycles.total.is_exact() {
+        assert_eq!(cycles.total.min, report.total_cycles);
+    }
+
+    assert_eq!(bounds.invocations.len(), trace.invocations.len());
+    for (ob, ot) in bounds.invocations.iter().zip(&trace.invocations) {
+        assert_eq!(&ob.op, &ot.op, "invocation order matches");
+        for (stmt, tb) in &ob.trips {
+            let Some(lt) = ot.loops.get(stmt) else {
+                // The loop never executed this run (dead branch / zero-trip
+                // outer loop); nothing dynamic to bracket.
+                continue;
+            };
+            assert!(
+                tb.min <= lt.min_trips,
+                "loop {} min {} > observed {}",
+                stmt,
+                tb.min,
+                lt.min_trips
+            );
+            if let Some(max) = tb.max {
+                assert!(
+                    lt.max_trips <= max,
+                    "loop {} max {} < observed {}",
+                    stmt,
+                    max,
+                    lt.max_trips
+                );
+            }
+            if tb.exact {
+                assert_eq!(lt.min_trips, lt.max_trips, "exact loop {} varied", stmt);
+                assert_eq!(Some(lt.max_trips), tb.max, "exact loop {} off", stmt);
+            }
+        }
+        // Statements in blocks the seeded CFG analysis proves unreachable
+        // must have zero interpreter hits.
+        let op = program.operator(&ot.op).expect("traced operator exists");
+        let cfg = Cfg::build(op);
+        for id in unreachable_stmts(&cfg, ob) {
+            assert_eq!(
+                ot.hits.get(id).copied().unwrap_or(0),
+                0,
+                "statically unreachable stmt {} executed",
+                id
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// AST-generated seed programs: deep nests, data-dependent branches and
+    /// input-tainted (dynamic) loop bounds.
+    #[test]
+    fn ast_program_analysis_brackets_interpreter(seed in 0u64..100_000, idx in 0usize..16) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let program = ast_gen::gen_program(idx, &AstGenConfig::default(), &mut rng);
+        let data = random_inputs(&program, &mut rng);
+        check_program(&program, &data);
+    }
+
+    /// Dataflow-template programs, single operators and invocation chains.
+    #[test]
+    fn dataflow_program_analysis_brackets_interpreter(
+        seed in 0u64..100_000, idx in 0usize..16, chain in 1usize..4,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xda7a);
+        let program = if chain == 1 {
+            dataflow_gen::gen_single(idx, &mut rng)
+        } else {
+            dataflow_gen::gen_chain(idx, chain, &mut rng)
+        };
+        let data = random_inputs(&program, &mut rng);
+        check_program(&program, &data);
+    }
+}
+
+/// Every evaluation workload, with its canonical inputs, satisfies the same
+/// bracketing property — the acceptance bar the suite is pinned to.
+#[test]
+fn workload_suite_analysis_brackets_interpreter() {
+    let mut all = llmulator_workloads::polybench::all();
+    all.extend(llmulator_workloads::modern::all());
+    all.extend(llmulator_workloads::accelerators::all());
+    assert!(!all.is_empty());
+    for w in &all {
+        check_program(&w.program, &w.inputs);
+    }
+}
