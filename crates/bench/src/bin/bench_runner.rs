@@ -17,8 +17,13 @@
 //!    short-sequence synthetic batch where per-sample GEMMs amortize worst.
 //!
 //! Usage: `cargo run --release -p llmulator-bench --bin bench-runner --
-//! [--quick] [--out PATH]`. `--quick` shrinks repetitions and the eval set
-//! for CI smoke runs.
+//! [--quick] [--sim] [--out PATH]`. `--quick` shrinks repetitions and the
+//! eval set for CI smoke runs.
+//!
+//! `--sim` switches to the simulation-engine benchmark instead: per workload
+//! suite (plus a generated Class-mix suite), interpreted vs compiled
+//! ground-truth throughput in programs/sec, gated on a bit-identity sweep of
+//! every `CycleReport`, written to `BENCH_sim.json`.
 
 use llmulator::{fusion_group_key, group_by_key, NumericPredictor, Sample};
 use llmulator_bench::context::{all_workloads, median_seconds, predictor_config, EVAL_FACTORS};
@@ -139,14 +144,148 @@ fn bench_kernels(reps: usize, inner: usize) -> Vec<KernelRow> {
     rows
 }
 
+/// `--sim`: interpreted vs compiled simulation throughput, per suite, gated
+/// on bit-identity of every report (and every error) across both engines.
+fn run_sim_bench(quick: bool, out_path: &str) {
+    use llmulator_ir::{AdaptivityClass, InputData, Program};
+    use llmulator_synth::{ast_gen, dataflow_gen, random_inputs, AstGenConfig};
+
+    let reps = if quick { 3 } else { 7 };
+    let mut suites: Vec<(&str, Vec<(Program, InputData)>)> = Vec::new();
+    for (name, ws) in [
+        ("polybench", llmulator_workloads::polybench::all()),
+        ("modern", llmulator_workloads::modern::all()),
+        ("accelerators", llmulator_workloads::accelerators::all()),
+    ] {
+        suites.push((
+            name,
+            ws.into_iter().map(|w| (w.program, w.inputs)).collect(),
+        ));
+    }
+    // A generated suite with the synthesis pipeline's adaptivity-class mix,
+    // so the benchmark also covers programs the compiler must partially or
+    // wholly fall back on.
+    let mut rng = StdRng::seed_from_u64(9);
+    let n_gen = if quick { 8 } else { 24 };
+    let generated: Vec<(Program, InputData)> = (0..n_gen)
+        .map(|i| {
+            let program = if i % 2 == 0 {
+                ast_gen::gen_program(i, &AstGenConfig::default(), &mut rng)
+            } else {
+                dataflow_gen::gen_single(i, &mut rng)
+            };
+            let data = random_inputs(&program, &mut rng);
+            (program, data)
+        })
+        .collect();
+    suites.push(("generated", generated));
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(
+        json,
+        "  \"meta\": {{ \"quick\": {quick}, \"reps\": {reps} }},"
+    );
+    json.push_str("  \"suites\": [\n");
+    for (si, (name, items)) in suites.iter().enumerate() {
+        eprintln!(
+            "bench-runner: sim suite `{name}` ({} programs)...",
+            items.len()
+        );
+        // Correctness gate before timing anything: both engines must agree
+        // on every program — same report fields or the same error.
+        for (p, d) in items {
+            assert_eq!(
+                llmulator_sim::simulate_compiled(p, d),
+                llmulator_sim::simulate(p, d),
+                "compiled engine diverged from the interpreter in suite `{name}`"
+            );
+        }
+        let mut mix = [0usize; 3];
+        let mut coverage = 0.0f64;
+        for (p, _) in items {
+            coverage += llmulator_sim::compile(p).summary().coverage();
+            mix[match llmulator_ir::analyze_program_taint(p).class {
+                AdaptivityClass::Static => 0,
+                AdaptivityClass::ShapeAdaptive => 1,
+                AdaptivityClass::DataAdaptive => 2,
+            }] += 1;
+        }
+        coverage /= items.len().max(1) as f64;
+        // Throughput only counts programs both engines simulate successfully
+        // (the gate above proves the engines agree on the failures too).
+        let runnable: Vec<&(Program, InputData)> = items
+            .iter()
+            .filter(|(p, d)| llmulator_sim::simulate(p, d).is_ok())
+            .collect();
+        let interp_secs = median_seconds(reps, || {
+            for (p, d) in &runnable {
+                std::hint::black_box(llmulator_sim::simulate(p, d).ok());
+            }
+        });
+        let compiled_secs = median_seconds(reps, || {
+            for (p, d) in &runnable {
+                std::hint::black_box(llmulator_sim::simulate_compiled(p, d).ok());
+            }
+        });
+        // Compile-once reuse: the steady-state cost when one program is
+        // profiled on many inputs.
+        let compiled: Vec<_> = runnable
+            .iter()
+            .map(|(p, _)| llmulator_sim::compile(p))
+            .collect();
+        let reuse_secs = median_seconds(reps, || {
+            for (c, (_, d)) in compiled.iter().zip(&runnable) {
+                std::hint::black_box(c.run(d).ok());
+            }
+        });
+        let n = runnable.len() as f64;
+        let comma = if si + 1 < suites.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{ \"suite\": \"{name}\", \"programs\": {}, \"bit_identical\": true, \
+\"class_mix\": {{ \"static\": {}, \"shape_adaptive\": {}, \"data_adaptive\": {} }}, \
+\"region_coverage\": {coverage:.3}, \
+\"interpreted_programs_per_sec\": {:.3}, \"compiled_programs_per_sec\": {:.3}, \
+\"speedup\": {:.3}, \"compiled_reuse_programs_per_sec\": {:.3}, \"reuse_speedup\": {:.3} }}{comma}",
+            items.len(),
+            mix[0],
+            mix[1],
+            mix[2],
+            n / interp_secs,
+            n / compiled_secs,
+            interp_secs / compiled_secs,
+            n / reuse_secs,
+            interp_secs / reuse_secs,
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(out_path, &json).expect("write sim bench json");
+    println!("{json}");
+    eprintln!("bench-runner: wrote {out_path}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let sim_mode = args.iter().any(|a| a == "--sim");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
-        .unwrap_or_else(|| format!("{}/../../BENCH_nn_kernels.json", env!("CARGO_MANIFEST_DIR")));
+        .unwrap_or_else(|| {
+            let file = if sim_mode {
+                "BENCH_sim.json"
+            } else {
+                "BENCH_nn_kernels.json"
+            };
+            format!("{}/../../{file}", env!("CARGO_MANIFEST_DIR"))
+        });
+    if sim_mode {
+        run_sim_bench(quick, &out_path);
+        return;
+    }
     let (reps, inner) = if quick { (3, 20) } else { (7, 200) };
 
     eprintln!("bench-runner: kernels ({} reps × {} iters)...", reps, inner);

@@ -11,6 +11,11 @@
 //! 3. **No new `unsafe`.** The only sanctioned block is the signal-handler
 //!    FFI in crates/cli/src/net.rs; anything else needs a deliberate
 //!    allowlist change here.
+//! 4. **No `panic!`/`unreachable!` in the simulator.** `crates/sim` is the
+//!    ground-truth engine behind synthesis and evaluation; a reachable panic
+//!    in the interpreter or the compiled fast path would take down a whole
+//!    profiling run instead of surfacing a typed `SimError`. Test modules
+//!    are exempt.
 //!
 //! Exit status is non-zero when any violation is found, so CI can gate on
 //! it. Output lists `file:line: rule — offending line`.
@@ -26,6 +31,10 @@ const HOT_PATH_FILES: &[&str] = &[
 
 /// Files allowed to contain `unsafe` (rule 3).
 const UNSAFE_ALLOWLIST: &[&str] = &["crates/cli/src/net.rs"];
+
+/// Directory prefixes whose non-test code must not use panicking macros
+/// (rule 4).
+const PANIC_FREE_DIRS: &[&str] = &["crates/sim/src/"];
 
 /// This linter's own source names every banned pattern (in rules, messages
 /// and tests), so it is the one file exempt from scanning.
@@ -70,6 +79,7 @@ fn lint_file(rel_path: &str, text: &str) -> Vec<String> {
     }
     let hot = HOT_PATH_FILES.contains(&rel_path);
     let unsafe_ok = UNSAFE_ALLOWLIST.contains(&rel_path);
+    let panic_free = PANIC_FREE_DIRS.iter().any(|d| rel_path.starts_with(d));
     let mut out = Vec::new();
     let mut in_tests = false;
     for (i, line) in text.lines().enumerate() {
@@ -95,6 +105,12 @@ fn lint_file(rel_path: &str, text: &str) -> Vec<String> {
         if !unsafe_ok && contains_word(code, "unsafe") {
             out.push(format!(
                 "{rel_path}:{n}: unsafe outside the allowlist — {}",
+                line.trim()
+            ));
+        }
+        if panic_free && !in_tests && (code.contains("panic!(") || code.contains("unreachable!(")) {
+            out.push(format!(
+                "{rel_path}:{n}: panicking macro in the simulator (return SimError) — {}",
                 line.trim()
             ));
         }
@@ -201,6 +217,18 @@ mod tests {
         // Comments and identifiers containing the word do not trip it.
         let prose = "// unsafe is forbidden here\nlet unsafely = 1;\n";
         assert!(lint_file("crates/sim/src/exec.rs", prose).is_empty());
+    }
+
+    #[test]
+    fn simulator_panic_macros_are_flagged_outside_tests_only() {
+        let text = "panic!(\"boom\");\n#[cfg(test)]\nmod tests { panic!(\"ok here\"); }\n";
+        let v = lint_file("crates/sim/src/compiled.rs", text);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("panicking macro"), "{v:?}");
+        let v = lint_file("crates/sim/src/exec.rs", "unreachable!(\"no\");\n");
+        assert_eq!(v.len(), 1, "{v:?}");
+        // The same code outside the simulator passes rule 4.
+        assert!(lint_file("crates/nn/src/lib.rs", "panic!(\"x\");\n").is_empty());
     }
 
     #[test]

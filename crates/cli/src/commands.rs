@@ -115,6 +115,8 @@ pub fn analyze(programs: Vec<(String, Program)>, json: bool) -> Result<String, E
         errors += report.error_count();
         warnings += report.warning_count();
         let classes = ir_analysis::analyze_program(program);
+        let taint = llmulator_ir::analyze_program_taint(program);
+        let taint_of = |op: &llmulator_ir::Ident| taint.invocations.iter().find(|t| &t.op == op);
         let class_of = |op: &llmulator_ir::Ident| {
             classes
                 .operators
@@ -135,6 +137,9 @@ pub fn analyze(programs: Vec<(String, Program)>, json: bool) -> Result<String, E
                     serde_json::json!({
                         "name": op.name.to_string(),
                         "class": class_of(&op.name),
+                        "taint": taint_of(&op.name)
+                            .map(taint_json)
+                            .unwrap_or(serde_json::Value::Null),
                         "blocks": cfg.blocks.len(),
                         "edges": cfg.edge_count(),
                         "loops": cfg.natural_loops().len(),
@@ -160,6 +165,7 @@ pub fn analyze(programs: Vec<(String, Program)>, json: bool) -> Result<String, E
                 .collect();
             let line = serde_json::json!({
                 "program": name,
+                "adaptivity": taint.class.name(),
                 "operators": ops,
                 "invocations": invocations,
                 "totals": {
@@ -174,17 +180,43 @@ pub fn analyze(programs: Vec<(String, Program)>, json: bool) -> Result<String, E
             let _ = writeln!(out, "{line}");
         } else {
             let _ = writeln!(out, "== {name} ==");
+            let _ = writeln!(out, "adaptivity: {}", taint.class.name());
             for op in &program.operators {
                 let cfg = Cfg::build(op);
                 let _ = writeln!(
                     out,
-                    "operator {:<16}: {}, {} blocks, {} edges, {} loops",
+                    "operator {:<16}: {}, {}, {} blocks, {} edges, {} loops",
                     op.name.to_string(),
                     class_of(&op.name),
+                    taint_of(&op.name)
+                        .map(|t| t.class.name())
+                        .unwrap_or("unanalyzed"),
                     cfg.blocks.len(),
                     cfg.edge_count(),
                     cfg.natural_loops().len(),
                 );
+                if let Some(t) = taint_of(&op.name) {
+                    for (id, info) in &t.loop_bounds {
+                        if info.dep != llmulator_ir::Dependence::Const {
+                            let _ = writeln!(
+                                out,
+                                "taint : loop @{id} bound is {} ({})",
+                                info.dep.name(),
+                                params_summary(&info.params),
+                            );
+                        }
+                    }
+                    for (id, info) in &t.branch_conds {
+                        if info.dep != llmulator_ir::Dependence::Const {
+                            let _ = writeln!(
+                                out,
+                                "taint : branch @{id} condition is {} ({})",
+                                info.dep.name(),
+                                params_summary(&info.params),
+                            );
+                        }
+                    }
+                }
             }
             for (ob, cb) in bounds.invocations.iter().zip(&cycles.invocations) {
                 let _ = writeln!(
@@ -246,6 +278,41 @@ fn json_opt(v: Option<u64>) -> serde_json::Value {
     }
 }
 
+/// One operator's taint verdict for `analyze --json`: adaptivity class plus
+/// every non-`Const` control sink with the input names that taint it.
+fn taint_json(t: &llmulator_ir::OperatorTaint) -> serde_json::Value {
+    let sinks = |m: &std::collections::BTreeMap<usize, llmulator_ir::TaintInfo>| {
+        m.iter()
+            .filter(|(_, info)| info.dep != llmulator_ir::Dependence::Const)
+            .map(|(id, info)| {
+                serde_json::json!({
+                    "stmt": id,
+                    "dep": info.dep.name(),
+                    "params": info.params.iter().map(|p| p.to_string()).collect::<Vec<_>>(),
+                })
+            })
+            .collect::<Vec<_>>()
+    };
+    serde_json::json!({
+        "adaptivity": t.class.name(),
+        "dynamic_loop_bounds": sinks(&t.loop_bounds),
+        "dynamic_branches": sinks(&t.branch_conds),
+    })
+}
+
+/// Comma-joined input names behind a taint verdict (`-` when none are
+/// attributed, e.g. a pure data dependence through an unattributed load).
+fn params_summary(params: &std::collections::BTreeSet<llmulator_ir::Ident>) -> String {
+    if params.is_empty() {
+        return "-".to_string();
+    }
+    params
+        .iter()
+        .map(|p| p.to_string())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
 /// Renders an operator's per-loop trip bounds as `@id [lo, hi]` pairs
 /// (`*` marks a compile-time-exact count).
 fn trips_summary(ob: &OperatorBounds) -> String {
@@ -290,7 +357,18 @@ pub fn synthesize(count: usize, seed: u64, format: &str) -> Result<String, Error
         stats.rejected_by_lint,
         stats.failed_to_profile
     );
+    let _ = writeln!(out, "// class mix: {}", class_mix_summary(stats.class_mix));
     Ok(out)
+}
+
+/// Renders an adaptivity-class mix (`[static, shape-adaptive,
+/// data-adaptive]` counts) as the one-line summary `train`/`synthesize`
+/// print.
+fn class_mix_summary(mix: [usize; 3]) -> String {
+    format!(
+        "{} static, {} shape-adaptive, {} data-adaptive",
+        mix[0], mix[1], mix[2]
+    )
 }
 
 /// Arguments for `llmulator train`.
@@ -404,6 +482,11 @@ pub fn train(a: &TrainArgs) -> Result<String, Error> {
         &cache.dataset_path(&llmulator_synth::cache_key(&config)),
     ));
     let _ = writeln!(out, "samples       : {}", dataset.len());
+    let _ = writeln!(
+        out,
+        "class mix     : {}",
+        class_mix_summary(llmulator_synth::class_mix(&dataset))
+    );
     let _ = writeln!(out, "params        : {}", model.param_count());
     if let (Some(first), Some(last)) = (curve.first(), curve.last()) {
         let _ = writeln!(
@@ -641,6 +724,7 @@ pub(crate) mod tests {
         let out = analyze(vec![("scale".to_string(), program())], false).expect("analyzes");
         assert!(out.contains("== scale =="), "program header: {out}");
         assert!(out.contains("Class I"), "classification: {out}");
+        assert!(out.contains("adaptivity: static"), "taint class: {out}");
         assert!(out.contains("blocks"), "CFG stats: {out}");
         assert!(out.contains("@0 8*"), "exact trip bounds: {out}");
         assert!(out.contains("lints : clean"), "lint-clean program: {out}");
@@ -670,6 +754,8 @@ pub(crate) mod tests {
         }
         assert!(lines[0].contains("\"program\":\"scale\""), "{out}");
         assert!(lines[0].contains("\"class\":\"Class I\""), "{out}");
+        assert!(lines[0].contains("\"adaptivity\""), "{out}");
+        assert!(lines[0].contains("\"taint\""), "{out}");
         assert!(lines[0].contains("\"trips\""), "{out}");
         // Optional upper bounds render as plain numbers (or null), never as
         // the vendored serde's `[n]` Option encoding.
@@ -692,6 +778,7 @@ pub(crate) mod tests {
         let out = synthesize(4, 1, "direct").expect("synthesizes");
         assert!(out.lines().any(|l| l.starts_with('{')));
         assert!(out.contains("samples"));
+        assert!(out.contains("// class mix:"), "stratification line: {out}");
     }
 
     #[test]
@@ -761,8 +848,13 @@ pub(crate) mod tests {
             "cold run synthesizes: {t1}"
         );
         assert!(ta.out.is_file(), "model saved");
+        assert!(t1.contains("class mix     :"), "stratification line: {t1}");
         let t2 = train(&ta).expect("second train");
         assert!(t2.contains("dataset cache : hit"), "warm run loads: {t2}");
+        assert!(
+            t2.contains("class mix     :"),
+            "mix recomputed from the cached dataset: {t2}"
+        );
 
         let ea = tiny_eval_args(&dir);
         let e1 = eval(&ea).expect("first eval");

@@ -143,6 +143,18 @@ impl TripBounds {
     }
 }
 
+/// Compile-time constant loop entry bounds: recorded when `lo` and `step`
+/// fold to finite singletons at the loop's entry environment. Together with
+/// an `exact` [`TripBounds`], these let a compiler replay the loop's index
+/// sequence (`lo, lo + step, ...`) without evaluating the bound expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LoopConsts {
+    /// Constant initial value of the loop variable.
+    pub lo: i64,
+    /// Constant (positive at runtime) step.
+    pub step: i64,
+}
+
 /// A definitely out-of-bounds array index discovered statically.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct OobSite {
@@ -169,6 +181,9 @@ pub struct OperatorBounds {
     pub stmt_count: usize,
     /// Per-`For` trip bounds, keyed by pre-order statement id.
     pub trips: BTreeMap<usize, TripBounds>,
+    /// Per-`For` constant `lo`/`step` values, keyed by pre-order statement
+    /// id; present only where both fold to finite singletons.
+    pub loop_consts: BTreeMap<usize, LoopConsts>,
     /// Per-`If` condition folds: `Some(b)` when the branch always goes the
     /// same way, `None` when it is input-dependent.
     pub cond_folds: BTreeMap<usize, Option<bool>>,
@@ -221,6 +236,7 @@ pub fn analyze_operator_bounds_seeded(
     let mut a = Analyzer {
         op,
         trips: BTreeMap::new(),
+        loop_consts: BTreeMap::new(),
         cond_folds: BTreeMap::new(),
         bad_steps: Vec::new(),
         oob: Vec::new(),
@@ -231,6 +247,7 @@ pub fn analyze_operator_bounds_seeded(
         op: op.name.clone(),
         stmt_count: a.next_id,
         trips: a.trips,
+        loop_consts: a.loop_consts,
         cond_folds: a.cond_folds,
         bad_steps: a.bad_steps,
         oob: a.oob,
@@ -289,7 +306,7 @@ pub fn expr_loads(expr: &Expr) -> u64 {
 /// Constant value of a graph-level scalar argument, mirroring the
 /// interpreter's `eval_graph_expr` (unhandled node kinds evaluate to `0.0`
 /// there, so they fold to `Some(0)` here).
-fn graph_arg_const(expr: &Expr) -> Option<i64> {
+pub(crate) fn graph_arg_const(expr: &Expr) -> Option<i64> {
     match expr {
         Expr::IntConst(v) => Some(*v),
         Expr::FloatConst(v) => integral(*v),
@@ -626,6 +643,7 @@ impl Counts {
 struct Analyzer<'a> {
     op: &'a Operator,
     trips: BTreeMap<usize, TripBounds>,
+    loop_consts: BTreeMap<usize, LoopConsts>,
     cond_folds: BTreeMap<usize, Option<bool>>,
     bad_steps: Vec<usize>,
     oob: Vec<OobSite>,
@@ -705,6 +723,16 @@ impl Analyzer<'_> {
         let (step_lo, step_hi) = eval_abs(&l.step, env).as_i64_interval();
         if step_hi != POS_INF && step_hi <= 0 {
             self.bad_steps.push(id);
+        }
+        let finite = |x: i64| x != NEG_INF && x != POS_INF;
+        if lo_lo == lo_hi && finite(lo_lo) && step_lo == step_hi && finite(step_lo) {
+            self.loop_consts.insert(
+                id,
+                LoopConsts {
+                    lo: lo_lo,
+                    step: step_lo,
+                },
+            );
         }
 
         // Entry-time view of the bound (first test only).
@@ -917,6 +945,7 @@ mod tests {
         let t = b.trips.get(&0).expect("loop at id 0");
         assert!(t.exact);
         assert_eq!((t.min, t.max), (16, Some(16)));
+        assert_eq!(b.loop_consts[&0], LoopConsts { lo: 0, step: 1 });
         assert_eq!(b.iterations, CountInterval::exact(16));
         assert_eq!(b.stores, CountInterval::exact(16));
         assert_eq!(b.loads, CountInterval::exact(0));
@@ -939,6 +968,8 @@ mod tests {
         assert!(!t.exact);
         assert_eq!(t.min, 0);
         assert_eq!(t.max, None);
+        // `lo` and `step` are still constant even though `hi` floats.
+        assert_eq!(b.loop_consts[&0], LoopConsts { lo: 0, step: 1 });
         // Seeding the parameter makes the bound exact again.
         let seeded =
             analyze_operator_bounds_seeded(&op, &BTreeMap::from([(Ident::new("n"), 8i64)]));

@@ -256,6 +256,19 @@ impl Cfg {
         loops
     }
 
+    /// Block each statement id belongs to (index = pre-order statement id).
+    /// Straight-line assignments map to their block; `If`/`For` statements map
+    /// to the block whose terminator tests them.
+    pub fn stmt_blocks(&self) -> Vec<BlockId> {
+        let mut map = vec![self.entry; self.stmt_count];
+        for id in 0..self.blocks.len() {
+            for stmt in self.block_stmts(id) {
+                map[stmt] = id;
+            }
+        }
+        map
+    }
+
     /// All statement ids attached to a block: straight-line assignments plus
     /// the terminator's own statement (`If` condition / `For` header).
     pub fn block_stmts(&self, id: BlockId) -> Vec<usize> {
@@ -473,6 +486,21 @@ mod tests {
             Terminator::Return
         ));
         assert_eq!(cfg.natural_loops().len(), 0);
+    }
+
+    #[test]
+    fn stmt_blocks_cover_every_statement() {
+        for op in [diamond_op(), nested_loops_op()] {
+            let cfg = Cfg::build(&op);
+            let map = cfg.stmt_blocks();
+            assert_eq!(map.len(), cfg.stmt_count);
+            for (stmt, &block) in map.iter().enumerate() {
+                assert!(
+                    cfg.block_stmts(block).contains(&stmt),
+                    "stmt {stmt} not in its mapped block {block}"
+                );
+            }
+        }
     }
 
     #[test]

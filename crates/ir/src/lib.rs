@@ -55,11 +55,12 @@ pub mod parse;
 pub mod program;
 pub mod render;
 pub mod stmt;
+pub mod taint;
 
 pub use analysis::{ControlFlowReport, OperatorClass};
 pub use bounds::{
-    analyze_operator_bounds, analyze_program_bounds, CountInterval, OperatorBounds, ProgramBounds,
-    TripBounds,
+    analyze_operator_bounds, analyze_program_bounds, CountInterval, LoopConsts, OperatorBounds,
+    ProgramBounds, TripBounds,
 };
 pub use builder::OperatorBuilder;
 pub use cfg::{Block, BlockId, Cfg, NaturalLoop, Terminator};
@@ -73,3 +74,7 @@ pub use normalize::{normalize_expr, normalize_operator, normalize_program};
 pub use op::{Operator, ParamDecl, ParamKind};
 pub use program::Program;
 pub use stmt::{ForLoop, LValue, LoopPragma, Stmt};
+pub use taint::{
+    analyze_operator_taint, analyze_program_taint, AdaptivityClass, Dependence, OperatorTaint,
+    ProgramTaint, TaintInfo,
+};

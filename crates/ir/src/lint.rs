@@ -14,6 +14,7 @@ use crate::graph::Dim;
 use crate::op::{Operator, ParamKind};
 use crate::program::Program;
 use crate::stmt::{LValue, Stmt};
+use crate::taint::{analyze_operator_taint, Dependence, OperatorTaint};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -34,6 +35,13 @@ pub enum LintRule {
     ConstIndexOutOfBounds,
     /// A `for` step that is statically `<= 0` (guaranteed `BadStep`).
     NonPositiveConstStep,
+    /// An `if` whose condition the taint pass proves input-independent: the
+    /// branch always resolves the same way for a given program text and can
+    /// fold to unconditional code.
+    ConstantCondition,
+    /// A loop bound tainted by a scalar input that is read nowhere else: the
+    /// input modulates cost without ever reaching the operator's output.
+    ControlOnlyInputBound,
 }
 
 impl LintRule {
@@ -44,7 +52,10 @@ impl LintRule {
             | LintRule::ZeroTripLoop
             | LintRule::ConstIndexOutOfBounds
             | LintRule::NonPositiveConstStep => Severity::Error,
-            LintRule::DeadStore | LintRule::UnusedParam => Severity::Warning,
+            LintRule::DeadStore
+            | LintRule::UnusedParam
+            | LintRule::ConstantCondition
+            | LintRule::ControlOnlyInputBound => Severity::Warning,
         }
     }
 
@@ -57,6 +68,8 @@ impl LintRule {
             LintRule::UnusedParam => "unused-param",
             LintRule::ConstIndexOutOfBounds => "const-index-out-of-bounds",
             LintRule::NonPositiveConstStep => "non-positive-const-step",
+            LintRule::ConstantCondition => "constant-condition",
+            LintRule::ControlOnlyInputBound => "control-only-input-bound",
         }
     }
 }
@@ -125,6 +138,7 @@ pub fn lint_program(program: &Program) -> LintReport {
 /// Lints one operator.
 pub fn lint_operator(op: &Operator) -> Vec<Lint> {
     let bounds = analyze_operator_bounds(op);
+    let taint = analyze_operator_taint(op);
     let cfg = Cfg::build(op);
     let dead = unreachable_stmts(&cfg, &bounds);
     let stmts = crate::cfg::preorder_stmts(op);
@@ -195,8 +209,89 @@ pub fn lint_operator(op: &Operator) -> Vec<Lint> {
             format!("parameter `{}` is never used", name.as_str()),
         ));
     }
+    for (&id, info) in &taint.branch_conds {
+        if info.dep == Dependence::Const && !dead.contains(&id) {
+            lints.push(lint(
+                LintRule::ConstantCondition,
+                Some(id),
+                format!("branch condition at statement {id} is input-independent; the branch can fold to unconditional code"),
+            ));
+        }
+    }
+    for (id, name) in control_only_input_bounds(op, &taint, &stmts, &dead) {
+        lints.push(lint(
+            LintRule::ControlOnlyInputBound,
+            Some(id),
+            format!(
+                "loop bound at statement {id} depends on `{}`, which is read nowhere else (cost-only input)",
+                name.as_str()
+            ),
+        ));
+    }
     lints.sort_by_key(|l| (l.stmt, l.rule));
     lints
+}
+
+/// `(loop id, scalar parameter)` pairs where the parameter taints the loop's
+/// bounds but its value is read nowhere outside loop-bound expressions
+/// (transitively through scalar defs): the input steers cost without ever
+/// reaching the operator's output.
+fn control_only_input_bounds(
+    op: &Operator,
+    taint: &OperatorTaint,
+    stmts: &[&Stmt],
+    dead: &BTreeSet<usize>,
+) -> Vec<(usize, Ident)> {
+    // Vars read outside loop-bound position: store values and indices,
+    // branch conditions, and the right-hand sides of scalar assigns whose
+    // destination is itself read elsewhere (fixpoint, like `dead_stores`).
+    let mut elsewhere: BTreeSet<Ident> = BTreeSet::new();
+    let mut reads_in: BTreeMap<Ident, BTreeSet<Ident>> = BTreeMap::new();
+    for stmt in stmts {
+        match stmt {
+            Stmt::Assign { dest, value } => match dest {
+                LValue::Var(name) => {
+                    let mut reads = BTreeSet::new();
+                    scalar_reads(value, &mut reads);
+                    reads_in.entry(name.clone()).or_default().extend(reads);
+                }
+                LValue::Store { indices, .. } => {
+                    scalar_reads(value, &mut elsewhere);
+                    for idx in indices {
+                        scalar_reads(idx, &mut elsewhere);
+                    }
+                }
+            },
+            Stmt::If { cond, .. } => scalar_reads(cond, &mut elsewhere),
+            Stmt::For(_) => {}
+        }
+    }
+    loop {
+        let mut grew = false;
+        for (dest, reads) in &reads_in {
+            if elsewhere.contains(dest) {
+                for r in reads {
+                    grew |= elsewhere.insert(r.clone());
+                }
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    let scalar_params: BTreeSet<&Ident> = op.scalar_params().into_iter().collect();
+    let mut out = Vec::new();
+    for (&id, info) in &taint.loop_bounds {
+        if dead.contains(&id) {
+            continue;
+        }
+        for name in &info.params {
+            if scalar_params.contains(name) && !elsewhere.contains(name) {
+                out.push((id, name.clone()));
+            }
+        }
+    }
+    out
 }
 
 /// Statement ids that no execution can reach: blocks not reachable from the
@@ -531,6 +626,78 @@ mod tests {
         let unused = lints_by_rule(&lints, LintRule::UnusedParam);
         assert_eq!(unused.len(), 1);
         assert!(unused[0].message.contains("`unused`"));
+    }
+
+    #[test]
+    fn constant_condition_flagged_even_when_bounds_cannot_fold() {
+        use crate::expr::Intrinsic;
+        // exp(0) > 0 is input-independent, but the interval pass treats
+        // intrinsic calls as opaque so only the taint pass can see it.
+        let op = OperatorBuilder::new("cc")
+            .array_param("a", [4])
+            .stmt(Stmt::if_then(
+                Expr::binary(
+                    BinOp::Gt,
+                    Expr::call(Intrinsic::Exp, vec![Expr::int(0)]),
+                    Expr::int(0),
+                ),
+                vec![Stmt::assign(
+                    LValue::store("a", vec![Expr::int(0)]),
+                    Expr::int(1),
+                )],
+            ))
+            .build();
+        let lints = lint_operator(&op);
+        let cc = lints_by_rule(&lints, LintRule::ConstantCondition);
+        assert_eq!(cc.len(), 1);
+        assert_eq!(cc[0].stmt, Some(0));
+        assert_eq!(cc[0].severity, Severity::Warning);
+        // A data-dependent branch is not flagged.
+        let data = OperatorBuilder::new("dd")
+            .array_param("a", [4])
+            .stmt(Stmt::if_then(
+                Expr::binary(BinOp::Gt, Expr::load("a", vec![Expr::int(0)]), Expr::int(0)),
+                vec![Stmt::assign(
+                    LValue::store("a", vec![Expr::int(1)]),
+                    Expr::int(1),
+                )],
+            ))
+            .build();
+        assert!(lints_by_rule(&lint_operator(&data), LintRule::ConstantCondition).is_empty());
+    }
+
+    #[test]
+    fn control_only_input_bound_flagged() {
+        // `n` only steers the trip count; `m` reaches the output via the
+        // stored value, so only `n` is a cost-only input.
+        let op = OperatorBuilder::new("cost_only")
+            .array_param("a", [64])
+            .scalar_param("n")
+            .scalar_param("m")
+            .dyn_loop_nest(&[("i", Expr::var("n"))], |idx| {
+                vec![Stmt::assign(
+                    LValue::store("a", vec![idx[0].clone()]),
+                    Expr::var("m"),
+                )]
+            })
+            .build();
+        let lints = lint_operator(&op);
+        let co = lints_by_rule(&lints, LintRule::ControlOnlyInputBound);
+        assert_eq!(co.len(), 1);
+        assert!(co[0].message.contains("`n`"));
+        assert_eq!(co[0].severity, Severity::Warning);
+        // A bound input that also feeds index arithmetic is not flagged.
+        let used = OperatorBuilder::new("used")
+            .array_param("a", [64])
+            .scalar_param("n")
+            .dyn_loop_nest(&[("i", Expr::var("n"))], |idx| {
+                vec![Stmt::assign(
+                    LValue::store("a", vec![idx[0].clone() * Expr::var("n")]),
+                    Expr::int(1),
+                )]
+            })
+            .build();
+        assert!(lints_by_rule(&lint_operator(&used), LintRule::ControlOnlyInputBound).is_empty());
     }
 
     #[test]

@@ -215,6 +215,71 @@ struct Machine<'a> {
     trace_log: Vec<OpTrace>,
 }
 
+/// Runtime state every engine shares: graph scalars bound from input data,
+/// and buffers allocated/seeded the way the interpreter does. Extracted so
+/// `compiled` sets up *identically* (same values, same error order).
+pub(crate) struct ProgramState {
+    pub(crate) graph_scalars: HashMap<Ident, f64>,
+    pub(crate) buffer_index: HashMap<Ident, usize>,
+    pub(crate) buffers: Vec<Tensor>,
+}
+
+/// Binds graph scalar parameters and allocates buffers from runtime data.
+///
+/// # Errors
+///
+/// `MissingInput` for unbound graph parameters or unresolvable symbolic
+/// buffer dimensions, in declaration order.
+pub(crate) fn setup_program(program: &Program, data: &InputData) -> Result<ProgramState, SimError> {
+    // Bind graph scalar parameters from runtime data.
+    let mut graph_scalars = HashMap::new();
+    for p in &program.graph.params {
+        let value = data
+            .get(p)
+            .ok_or_else(|| SimError::MissingInput(p.to_string()))?;
+        graph_scalars.insert(p.clone(), value.as_f64());
+    }
+    // Allocate buffers, resolving symbolic dims through graph scalars and
+    // seeding contents from runtime data where a tensor binding exists.
+    let mut buffer_index = HashMap::new();
+    let mut buffers = Vec::new();
+    for decl in &program.graph.buffers {
+        let dims: Vec<usize> = decl
+            .dims
+            .iter()
+            .map(|d| match d {
+                Dim::Const(n) => Ok(*n),
+                Dim::Sym(name) => graph_scalars
+                    .get(name)
+                    .map(|v| (*v).max(1.0) as usize)
+                    .ok_or_else(|| SimError::MissingInput(name.to_string())),
+            })
+            .collect::<Result<_, _>>()?;
+        let len: usize = dims.iter().product::<usize>().max(1);
+        let tensor = match data.get(&decl.name) {
+            Some(Value::Tensor(src)) => {
+                // Copy source data, cycling if shapes disagree.
+                Tensor::from_fn(dims.clone(), |i| {
+                    if src.is_empty() {
+                        0.0
+                    } else {
+                        src.get(i % src.len()).unwrap_or(0.0)
+                    }
+                })
+            }
+            Some(scalar) => Tensor::full(dims.clone(), scalar.as_f64()),
+            None => Tensor::zeros(if dims.is_empty() { vec![len] } else { dims }),
+        };
+        buffer_index.insert(decl.name.clone(), buffers.len());
+        buffers.push(tensor);
+    }
+    Ok(ProgramState {
+        graph_scalars,
+        buffer_index,
+        buffers,
+    })
+}
+
 /// Trace state for the invocation currently executing. Statements are keyed
 /// by their address inside the operator body (stable for the duration of the
 /// run) and mapped to pre-order ids.
@@ -231,58 +296,13 @@ struct Frame {
 
 impl<'a> Machine<'a> {
     fn new(program: &'a Program, data: &InputData, config: SimConfig) -> Result<Self, SimError> {
-        // Bind graph scalar parameters from runtime data.
-        let mut graph_scalars = HashMap::new();
-        for p in &program.graph.params {
-            let value = data
-                .get(p)
-                .ok_or_else(|| SimError::MissingInput(p.to_string()))?;
-            graph_scalars.insert(p.clone(), value.as_f64());
-        }
-        // Allocate buffers, resolving symbolic dims through graph scalars and
-        // seeding contents from runtime data where a tensor binding exists.
-        let mut buffer_index = HashMap::new();
-        let mut buffers = Vec::new();
-        for decl in &program.graph.buffers {
-            let dims: Vec<usize> = decl
-                .dims
-                .iter()
-                .map(|d| match d {
-                    Dim::Const(n) => Ok(*n),
-                    Dim::Sym(name) => graph_scalars
-                        .get(name)
-                        .map(|v| (*v).max(1.0) as usize)
-                        .ok_or_else(|| SimError::MissingInput(name.to_string())),
-                })
-                .collect::<Result<_, _>>()?;
-            let len: usize = dims.iter().product::<usize>().max(1);
-            let tensor = match data.get(&decl.name) {
-                Some(Value::Tensor(src)) => {
-                    // Copy source data, cycling if shapes disagree.
-                    Tensor::from_fn(dims.clone(), |i| {
-                        if src.is_empty() {
-                            0.0
-                        } else {
-                            src.get(i % src.len()).unwrap_or(0.0)
-                        }
-                    })
-                }
-                Some(scalar) => Tensor::full(dims.clone(), scalar.as_f64()),
-                None => Tensor::zeros(if dims.is_empty() {
-                    vec![len]
-                } else {
-                    dims.clone()
-                }),
-            };
-            buffer_index.insert(decl.name.clone(), buffers.len());
-            buffers.push(tensor);
-        }
+        let state = setup_program(program, data)?;
         Ok(Machine {
             program,
             config,
-            graph_scalars,
-            buffer_index,
-            buffers,
+            graph_scalars: state.graph_scalars,
+            buffer_index: state.buffer_index,
+            buffers: state.buffers,
             stats: ExecStats::default(),
             tracing: false,
             trace: None,
@@ -569,7 +589,7 @@ impl<'a> Machine<'a> {
                 let a = self.eval(lhs, frame, lane);
                 let b = self.eval(rhs, frame, lane);
                 lane.compute += binop_latency(*op);
-                self.apply_binop(*op, a, b)
+                apply_binop(*op, a, b, &mut self.stats)
             }
             Expr::Unary { op, operand } => {
                 let v = self.eval(operand, frame, lane);
@@ -586,39 +606,43 @@ impl<'a> Machine<'a> {
             }
         }
     }
+}
 
-    fn apply_binop(&mut self, op: BinOp, a: f64, b: f64) -> f64 {
-        match op {
-            BinOp::Add => a + b,
-            BinOp::Sub => a - b,
-            BinOp::Mul => a * b,
-            BinOp::Div => {
-                if b == 0.0 {
-                    self.stats.div_by_zero += 1;
-                    0.0
-                } else if a.fract() == 0.0 && b.fract() == 0.0 {
-                    ((a as i64) / (b as i64)) as f64
-                } else {
-                    a / b
-                }
+/// Applies a binary operator with the interpreter's saturating-hardware
+/// semantics (`x/0 == 0` with a stat bump, integer division when both
+/// operands are integral). Shared with the compiled engine so arithmetic can
+/// never diverge between the two.
+pub(crate) fn apply_binop(op: BinOp, a: f64, b: f64, stats: &mut ExecStats) -> f64 {
+    match op {
+        BinOp::Add => a + b,
+        BinOp::Sub => a - b,
+        BinOp::Mul => a * b,
+        BinOp::Div => {
+            if b == 0.0 {
+                stats.div_by_zero += 1;
+                0.0
+            } else if a.fract() == 0.0 && b.fract() == 0.0 {
+                ((a as i64) / (b as i64)) as f64
+            } else {
+                a / b
             }
-            BinOp::Mod => {
-                if b == 0.0 {
-                    self.stats.div_by_zero += 1;
-                    0.0
-                } else {
-                    ((a as i64).rem_euclid((b as i64).max(1))) as f64
-                }
-            }
-            BinOp::Lt => f64::from(a < b),
-            BinOp::Le => f64::from(a <= b),
-            BinOp::Gt => f64::from(a > b),
-            BinOp::Ge => f64::from(a >= b),
-            BinOp::Eq => f64::from(a == b),
-            BinOp::Ne => f64::from(a != b),
-            BinOp::And => f64::from(a != 0.0 && b != 0.0),
-            BinOp::Or => f64::from(a != 0.0 || b != 0.0),
         }
+        BinOp::Mod => {
+            if b == 0.0 {
+                stats.div_by_zero += 1;
+                0.0
+            } else {
+                ((a as i64).rem_euclid((b as i64).max(1))) as f64
+            }
+        }
+        BinOp::Lt => f64::from(a < b),
+        BinOp::Le => f64::from(a <= b),
+        BinOp::Gt => f64::from(a > b),
+        BinOp::Ge => f64::from(a >= b),
+        BinOp::Eq => f64::from(a == b),
+        BinOp::Ne => f64::from(a != b),
+        BinOp::And => f64::from(a != 0.0 && b != 0.0),
+        BinOp::Or => f64::from(a != 0.0 || b != 0.0),
     }
 }
 
@@ -642,7 +666,7 @@ pub(crate) fn unroll_factor(pragma: LoopPragma, hw: &llmulator_ir::HardwareParam
     .max(1)
 }
 
-fn apply_intrinsic(func: Intrinsic, args: &[f64]) -> f64 {
+pub(crate) fn apply_intrinsic(func: Intrinsic, args: &[f64]) -> f64 {
     let x = args.first().copied().unwrap_or(0.0);
     match func {
         Intrinsic::Exp => x.clamp(-50.0, 50.0).exp(),
@@ -657,7 +681,7 @@ fn apply_intrinsic(func: Intrinsic, args: &[f64]) -> f64 {
     }
 }
 
-fn eval_graph_expr(expr: &Expr, scalars: &HashMap<Ident, f64>) -> f64 {
+pub(crate) fn eval_graph_expr(expr: &Expr, scalars: &HashMap<Ident, f64>) -> f64 {
     match expr {
         Expr::IntConst(v) => *v as f64,
         Expr::FloatConst(v) => *v,

@@ -33,11 +33,15 @@
 //! ```
 
 pub mod bounds;
+pub mod compiled;
 pub mod cost;
 pub mod exec;
 pub mod profile;
 
 pub use bounds::{operator_cycle_bounds, program_cycle_bounds, CycleBounds, ProgramCycleBounds};
+pub use compiled::{
+    compile, simulate_compiled, simulate_compiled_with, CompileSummary, CompiledProgram,
+};
 pub use cost::LaneCost;
 pub use exec::{
     simulate, simulate_traced, simulate_traced_with, simulate_with, CycleReport, ExecStats,

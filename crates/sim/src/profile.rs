@@ -2,7 +2,8 @@
 //! cycle simulator (dynamic metrics) into the paper's output quadruple
 //! `<Power, Area, Flip-Flop, Cycles>`.
 
-use crate::exec::{simulate_with, CycleReport, SimConfig, SimError};
+use crate::compiled::simulate_compiled_with;
+use crate::exec::{CycleReport, SimConfig, SimError};
 use llmulator_ir::{InputData, Program};
 use serde::{Deserialize, Serialize};
 
@@ -103,7 +104,9 @@ pub fn profile_with(
     config: SimConfig,
 ) -> Result<Profile, SimError> {
     let hls = llmulator_hls::compile(program);
-    let cycles = simulate_with(program, data, config)?;
+    // Ground truth flows through the compiled engine (bit-identical to the
+    // step interpreter, which remains the differential-testing oracle).
+    let cycles = simulate_compiled_with(program, data, config)?;
     Ok(Profile {
         cost: CostVector {
             power_mw: hls.total.power_mw,

@@ -32,6 +32,6 @@ pub use dataflow_gen::{instantiate, Template, TemplateParams};
 pub use hw_sweep::{eval_configs, mem_delay_variants, EVAL_MEM_DELAYS, TRAIN_MEM_DELAYS};
 pub use llm_gen::{mutate, variants, Mutation};
 pub use synthesizer::{
-    cache_key, random_inputs, synthesize, synthesize_cached, synthesize_with_stats, DataFormat,
-    SynthStats, SynthesisConfig,
+    cache_key, class_mix, random_inputs, synthesize, synthesize_cached, synthesize_with_stats,
+    DataFormat, SynthStats, SynthesisConfig,
 };

@@ -111,6 +111,29 @@ pub struct SynthStats {
     /// Programs that passed validation but failed to profile (simulation
     /// limits); their cost labels would be missing, so they are dropped.
     pub failed_to_profile: usize,
+    /// Emitted samples per whole-program adaptivity class, indexed
+    /// `[static, shape-adaptive, data-adaptive]` in the declaration order of
+    /// [`llmulator_ir::AdaptivityClass`]. The mix shows whether a corpus
+    /// exercises input-adaptive control flow or degenerates to Class-I-only
+    /// programs.
+    pub class_mix: [usize; 3],
+}
+
+/// Per-adaptivity-class sample counts for a labelled dataset, indexed
+/// `[static, shape-adaptive, data-adaptive]`. Recomputed from the stored
+/// programs, so it also works for cache-loaded datasets whose synthesis
+/// counters are gone.
+pub fn class_mix(dataset: &Dataset) -> [usize; 3] {
+    let mut mix = [0usize; 3];
+    for s in &dataset.samples {
+        let i = match llmulator_ir::analyze_program_taint(&s.program).class {
+            llmulator_ir::AdaptivityClass::Static => 0,
+            llmulator_ir::AdaptivityClass::ShapeAdaptive => 1,
+            llmulator_ir::AdaptivityClass::DataAdaptive => 2,
+        };
+        mix[i] += 1;
+    }
+    mix
 }
 
 /// True when the program carries no error-severity lint. Warnings (dead
@@ -204,6 +227,7 @@ pub fn synthesize_with_stats(config: &SynthesisConfig) -> (Dataset, SynthStats) 
         }
     }
 
+    stats.class_mix = class_mix(&dataset);
     (dataset, stats)
 }
 
@@ -214,7 +238,7 @@ pub fn synthesize_with_stats(config: &SynthesisConfig) -> (Dataset, SynthStats) 
 /// [`DatasetCache`] entry.
 pub fn cache_key(config: &SynthesisConfig) -> String {
     let fingerprint = format!(
-        "synth-v2|n_ast={}|n_dataflow={}|n_llm={}|hw_sweep={}|format={:?}|ast={:?}|seed={}",
+        "synth-v3|n_ast={}|n_dataflow={}|n_llm={}|hw_sweep={}|format={:?}|ast={:?}|seed={}",
         config.n_ast,
         config.n_dataflow,
         config.n_llm,

@@ -6,7 +6,10 @@
 //! execute.
 
 use llmulator_ir::lint::unreachable_stmts;
-use llmulator_ir::{analyze_program_bounds, Cfg, InputData, Program};
+use llmulator_ir::{
+    analyze_program_bounds, analyze_program_taint, Cfg, Dependence, InputData, Program, Tensor,
+    Value,
+};
 use llmulator_synth::{ast_gen, dataflow_gen, random_inputs, AstGenConfig};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -16,6 +19,13 @@ use rand::SeedableRng;
 /// simulator rejects (e.g. wrapped dynamic indexing past limits) are
 /// skipped: the bounds only constrain successful runs.
 fn check_program(program: &Program, data: &InputData) {
+    // The compiled engine must agree with the step interpreter bit-for-bit:
+    // every `CycleReport` field on success, and the exact error otherwise.
+    assert_eq!(
+        llmulator_sim::simulate_compiled(program, data),
+        llmulator_sim::simulate(program, data),
+        "compiled engine diverged from the interpreter"
+    );
     let Ok((report, trace)) = llmulator_sim::simulate_traced(program, data) else {
         return;
     };
@@ -113,6 +123,84 @@ fn check_program(program: &Program, data: &InputData) {
     }
 }
 
+/// Clone of `data` with every tensor's contents shifted deterministically.
+/// Scalar bindings (and hence every shape and shape-derived loop bound) are
+/// untouched, so the pair differs *only* in input data.
+fn perturb_tensors(data: &InputData) -> InputData {
+    let mut out = InputData::new();
+    for (name, value) in data.iter() {
+        match value {
+            Value::Tensor(t) => {
+                let vals: Vec<f64> = t
+                    .data()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| v + 1.0 + (i % 7) as f64 * 0.5)
+                    .collect();
+                out.bind(name.clone(), Tensor::new(t.shape().to_vec(), vals));
+            }
+            other => {
+                out.bind(name.clone(), other.clone());
+            }
+        }
+    }
+    out
+}
+
+/// Taint soundness for one program across two inputs that agree on every
+/// scalar and differ only in tensor contents: a statement whose hit count
+/// differs between the runs varied *because of input data*, so `ir::taint`
+/// must mark its control `InputData`; conversely a statement whose control
+/// is proven `Const` must execute identically, and a loop whose bound and
+/// context are both `Const` must have an identical trip trace on both runs.
+fn check_taint(program: &Program, d1: &InputData, d2: &InputData) {
+    let Ok((_, t1)) = llmulator_sim::simulate_traced(program, d1) else {
+        return;
+    };
+    let Ok((_, t2)) = llmulator_sim::simulate_traced(program, d2) else {
+        return;
+    };
+    let taint = analyze_program_taint(program);
+    assert_eq!(taint.invocations.len(), t1.invocations.len());
+    assert_eq!(t1.invocations.len(), t2.invocations.len());
+    for (ot, (a, b)) in taint
+        .invocations
+        .iter()
+        .zip(t1.invocations.iter().zip(&t2.invocations))
+    {
+        for (id, (&ha, &hb)) in a.hits.iter().zip(&b.hits).enumerate() {
+            if ha != hb {
+                assert_eq!(
+                    ot.control.get(id),
+                    Some(&Dependence::InputData),
+                    "stmt {} hits diverged ({} vs {}) across same-shape inputs, \
+                     but taint claims its control is input-independent",
+                    id,
+                    ha,
+                    hb
+                );
+            }
+            if ot.control.get(id) == Some(&Dependence::Const) {
+                assert_eq!(
+                    ha, hb,
+                    "stmt {} has Const control but its hit count varied",
+                    id
+                );
+            }
+        }
+        for (id, info) in &ot.loop_bounds {
+            if info.dep == Dependence::Const && ot.control.get(*id) == Some(&Dependence::Const) {
+                assert_eq!(
+                    a.loops.get(id),
+                    b.loops.get(id),
+                    "Const-claimed loop {} trip trace diverged across same-shape inputs",
+                    id
+                );
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -140,6 +228,35 @@ proptest! {
         let data = random_inputs(&program, &mut rng);
         check_program(&program, &data);
     }
+
+    /// Taint oracle on AST-generated programs: perturbing only tensor data
+    /// may only change statements taint marks `InputData`.
+    #[test]
+    fn ast_taint_marks_divergent_control_input_dependent(
+        seed in 0u64..100_000, idx in 0usize..16,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x7a17);
+        let program = ast_gen::gen_program(idx, &AstGenConfig::default(), &mut rng);
+        let d1 = random_inputs(&program, &mut rng);
+        let d2 = perturb_tensors(&d1);
+        check_taint(&program, &d1, &d2);
+    }
+
+    /// Taint oracle on dataflow-template programs and chains.
+    #[test]
+    fn dataflow_taint_marks_divergent_control_input_dependent(
+        seed in 0u64..100_000, idx in 0usize..16, chain in 1usize..4,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x7a17_da7a);
+        let program = if chain == 1 {
+            dataflow_gen::gen_single(idx, &mut rng)
+        } else {
+            dataflow_gen::gen_chain(idx, chain, &mut rng)
+        };
+        let d1 = random_inputs(&program, &mut rng);
+        let d2 = perturb_tensors(&d1);
+        check_taint(&program, &d1, &d2);
+    }
 }
 
 /// Every evaluation workload, with its canonical inputs, satisfies the same
@@ -152,5 +269,6 @@ fn workload_suite_analysis_brackets_interpreter() {
     assert!(!all.is_empty());
     for w in &all {
         check_program(&w.program, &w.inputs);
+        check_taint(&w.program, &w.inputs, &perturb_tensors(&w.inputs));
     }
 }
