@@ -22,6 +22,22 @@
 //! panics and deadlines must produce structured errors, never lost
 //! requests.
 //!
+//! With `--feedback` a calibration level runs *last* against a daemon
+//! booted with `--calibrate`: one connection interleaves an explicit
+//! `"model": "calibrated"` stream and an explicit `"model": "default"`
+//! probe stream (every fifth request is unrouted, exercising the A/B
+//! split), all over one fixed token sequence. Each request after the first
+//! of its stream carries `feedback` with a fixed biased ground truth and
+//! the prediction the daemon just returned, so the background calibrator
+//! sees a steady flow of preference triples. The row reports the
+//! calibrated stream's head-window vs tail-window relative error, the
+//! highest hot-swap `epoch` observed in any response, and the daemon's own
+//! `calibration` counters. `feedback_improved` is a bounded-regression
+//! guard (the tail must not regress more than 25% past the head — the
+//! rollback guardrail demotes anything worse); the strict
+//! error-goes-down claim is pinned in-process by
+//! `tests/online_calibration.rs`, where the model is controlled.
+//!
 //! Every response is matched back to its request id; a request with no
 //! response counts as **lost** and fails the run (nonzero exit), as does a
 //! run that completes zero requests.
@@ -225,6 +241,139 @@ fn chaos_client(addr: &str, conn: usize, requests: usize) -> LevelResult {
     result
 }
 
+/// Number of requests the feedback level drives down its one connection.
+const FEEDBACK_REQUESTS: usize = 60;
+
+/// The biased ground truth every feedback observation reports. The seed
+/// model was never trained toward this value, so the calibrated variant
+/// has room to move and the head/tail error comparison is meaningful.
+const FEEDBACK_TRUTH: f64 = 2400.0;
+
+/// The feedback level's result: the plain counters plus the calibration
+/// observations the other levels have no use for.
+struct FeedbackSummary {
+    result: LevelResult,
+    /// Mean |truth - prediction| / truth over the calibrated stream's
+    /// first third.
+    first_err: f64,
+    /// Same over the last third.
+    last_err: f64,
+    /// Bounded-regression guard: tail error within 25% of head error.
+    improved: bool,
+    /// Highest hot-swap epoch observed in any success response.
+    max_epoch: u64,
+}
+
+/// Pulls the first numeric value following `"key":` out of a JSON line.
+/// Good enough for the few fields the runner reads back without dragging
+/// a parser into the bench crate.
+fn json_number(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = line.find(&pat)? + pat.len();
+    let rest = line[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// One feedback client: a single closed-loop connection interleaving a
+/// `calibrated` stream (with biased ground-truth feedback), a `default`
+/// probe stream (same truth, so the incumbent's rolling error is
+/// populated for the rollback guardrail), and unrouted requests (A/B
+/// split coverage). All requests share one token sequence so repeated DPO
+/// observations compound on the same input and predictions stay
+/// comparable across the run.
+fn feedback_client(addr: &str, requests: usize) -> FeedbackSummary {
+    let stream = connect(addr);
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut writer = stream;
+    let mut result = LevelResult::empty(1, requests as u64);
+    let mut max_epoch = 0u64;
+    let mut cal_errs: Vec<f64> = Vec::new();
+    let mut last_cal: Option<f64> = None;
+    let mut last_def: Option<f64> = None;
+    for k in 0..requests {
+        let (model, last) = if k % 5 == 4 {
+            (None, None)
+        } else if k % 2 == 0 {
+            (Some("calibrated"), last_cal)
+        } else {
+            (Some("default"), last_def)
+        };
+        let mut line =
+            format!("{{\"id\": \"fb-r{k}\", \"tokens\": [11, 7, 13], \"metrics\": [\"cycles\"]");
+        if let Some(m) = model {
+            let _ = write!(line, ", \"model\": \"{m}\"");
+        }
+        if let Some(pred) = last {
+            let _ = write!(
+                line,
+                ", \"feedback\": {{\"item\": 0, \"metric\": \"cycles\", \
+                 \"actual\": {FEEDBACK_TRUTH}, \"predicted\": {pred}}}"
+            );
+        }
+        line.push_str("}\n");
+        let sent = Instant::now();
+        if writer.write_all(line.as_bytes()).is_err() {
+            result.lost += (requests - k) as u64;
+            break;
+        }
+        let mut response = String::new();
+        match reader.read_line(&mut response) {
+            Ok(n) if n > 0 => {
+                result.latency.record(sent.elapsed());
+                if !response.contains(&format!("\"id\":\"fb-r{k}\"")) {
+                    result.lost += 1;
+                    continue;
+                }
+                let outcome = classify(&response);
+                result.count(outcome);
+                if matches!(outcome, Outcome::Ok) {
+                    if let Some(epoch) = json_number(&response, "epoch") {
+                        max_epoch = max_epoch.max(epoch as u64);
+                    }
+                    if let Some(value) = json_number(&response, "value") {
+                        match model {
+                            Some("calibrated") => {
+                                cal_errs.push((FEEDBACK_TRUTH - value).abs() / FEEDBACK_TRUTH);
+                                last_cal = Some(value);
+                            }
+                            Some("default") => last_def = Some(value),
+                            _ => {}
+                        }
+                    }
+                }
+            }
+            _ => {
+                result.lost += (requests - k) as u64;
+                break;
+            }
+        }
+    }
+    let mean = |s: &[f64]| {
+        if s.is_empty() {
+            0.0
+        } else {
+            s.iter().sum::<f64>() / s.len() as f64
+        }
+    };
+    let third = (cal_errs.len() / 3).max(1).min(cal_errs.len().max(1));
+    let first_err = mean(cal_errs.get(..third.min(cal_errs.len())).unwrap_or(&[]));
+    let last_err = mean(
+        cal_errs
+            .get(cal_errs.len().saturating_sub(third)..)
+            .unwrap_or(&[]),
+    );
+    FeedbackSummary {
+        result,
+        first_err,
+        last_err,
+        improved: last_err <= first_err * 1.25 + 1e-9,
+        max_epoch,
+    }
+}
+
 /// One burst client: pipeline every request, then drain the responses.
 fn burst_client(addr: &str, conn: usize, requests: usize) -> LevelResult {
     let stream = connect(addr);
@@ -340,6 +489,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let chaos = args.iter().any(|a| a == "--chaos");
+    let feedback = args.iter().any(|a| a == "--feedback");
     let flag_value = |name: &str| {
         args.iter()
             .position(|a| a == name)
@@ -347,8 +497,10 @@ fn main() {
     };
     let Some(addr) = flag_value("--addr") else {
         eprintln!(
-            "usage: load-runner --addr HOST:PORT [--quick] [--chaos] [--out PATH] [--requests N]\n\
-             boot the daemon first: llmulator serve --model m.json --tcp 127.0.0.1:PORT"
+            "usage: load-runner --addr HOST:PORT [--quick] [--chaos] [--feedback] [--out PATH] \
+             [--requests N]\n\
+             boot the daemon first: llmulator serve --model m.json --tcp 127.0.0.1:PORT\n\
+             (--feedback expects a daemon booted with --calibrate)"
         );
         std::process::exit(2);
     };
@@ -379,20 +531,38 @@ fn main() {
     }
     eprintln!("load-runner: burst, {burst_conns} connection(s) x {burst_requests} pipelined...");
     let burst = run_level(&addr, burst_conns, burst_requests, burst_client);
+    // The feedback level runs LAST so its hot swaps and calibration
+    // counters are visible in the final server-stats snapshot.
+    let feedback_result = feedback.then(|| {
+        eprintln!(
+            "load-runner: feedback, 1 connection x {FEEDBACK_REQUESTS} closed-loop \
+             (biased ground truth {FEEDBACK_TRUTH})..."
+        );
+        let start = Instant::now();
+        let mut fb = feedback_client(&addr, FEEDBACK_REQUESTS);
+        fb.result.elapsed = start.elapsed();
+        // Give the background calibrator a beat to drain the tail of the
+        // feedback stream before the counters are snapshotted.
+        std::thread::sleep(Duration::from_millis(300));
+        fb
+    });
     let server_stats = fetch_server_stats(&addr);
 
     let total_ok: u64 = closed.iter().map(|r| r.ok).sum::<u64>()
         + burst.ok
-        + chaos_result.as_ref().map_or(0, |r| r.ok);
+        + chaos_result.as_ref().map_or(0, |r| r.ok)
+        + feedback_result.as_ref().map_or(0, |r| r.result.ok);
     let total_lost: u64 = closed.iter().map(|r| r.lost).sum::<u64>()
         + burst.lost
-        + chaos_result.as_ref().map_or(0, |r| r.lost);
+        + chaos_result.as_ref().map_or(0, |r| r.lost)
+        + feedback_result.as_ref().map_or(0, |r| r.result.lost);
 
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(
         json,
-        "  \"meta\": {{\"quick\": {quick}, \"chaos\": {chaos}, \"addr\": \"{addr}\", \
+        "  \"meta\": {{\"quick\": {quick}, \"chaos\": {chaos}, \"feedback\": {feedback}, \
+         \"addr\": \"{addr}\", \
          \"requests_per_connection\": {requests}, \"burst_connections\": {burst_conns}, \
          \"burst_requests_per_connection\": {burst_requests}, \
          \"available_parallelism\": {}}},",
@@ -409,6 +579,32 @@ fn main() {
     json.push_str("  ],\n");
     json.push_str("  \"burst\":\n");
     push_row(&mut json, &burst, "    ", true);
+    if let Some(fb) = &feedback_result {
+        // Updates/swaps come from the daemon's own counters so the row is
+        // greppable even when `server_stats` parsing changes shape.
+        let stats_num = |key: &str| {
+            server_stats
+                .as_deref()
+                .and_then(|s| json_number(s, key))
+                .map_or(0, |v| v as u64)
+        };
+        let _ = writeln!(
+            json,
+            "  \"feedback\": {{\"offered\": {}, \"ok\": {}, \"lost\": {}, \
+             \"first_window_err\": {:.4}, \"last_window_err\": {:.4}, \
+             \"feedback_improved\": {}, \"max_epoch\": {}, \
+             \"calibration_updates\": {}, \"hot_swaps\": {}}},",
+            fb.result.offered,
+            fb.result.ok,
+            fb.result.lost,
+            fb.first_err,
+            fb.last_err,
+            fb.improved,
+            fb.max_epoch,
+            stats_num("updates"),
+            stats_num("hot_swaps"),
+        );
+    }
     let _ = writeln!(
         json,
         "  \"server_stats\": {}",

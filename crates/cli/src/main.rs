@@ -85,7 +85,8 @@ const USAGE: &str = "usage:
                   [--cache-dir DIR]
   llmulator serve [--model model.json] [--threads T] [--max-batch N]
                   [--tcp ADDR] [--workers W] [--max-queue N]
-                  [--default-timeout-ms MS]";
+                  [--default-timeout-ms MS]
+                  [--calibrate] [--ab-split PCT] [--checkpoint-every N]";
 
 /// Every flag that consumes the following argv entry as its value. The
 /// positional scan skips these values, so `llmulator profile --input n=3
@@ -111,6 +112,8 @@ const VALUE_FLAGS: &[&str] = &[
     "--workers",
     "--max-queue",
     "--default-timeout-ms",
+    "--ab-split",
+    "--checkpoint-every",
 ];
 
 /// Flags each subcommand accepts; anything else starting with `--` is an
@@ -151,6 +154,9 @@ pub(crate) const SERVE_FLAGS: &[&str] = &[
     "--workers",
     "--max-queue",
     "--default-timeout-ms",
+    "--calibrate",
+    "--ab-split",
+    "--checkpoint-every",
 ];
 
 /// Rejects any `--flag` the command does not accept. Flag *values* never
@@ -349,7 +355,7 @@ pub(crate) fn flag_value<'a>(args: &'a [String], flag: &str) -> Result<Option<&'
 }
 
 /// True when a boolean flag (one that takes no value) is present.
-fn has_flag(args: &[String], flag: &str) -> bool {
+pub(crate) fn has_flag(args: &[String], flag: &str) -> bool {
     args.iter().any(|a| a == flag)
 }
 
@@ -528,7 +534,7 @@ mod tests {
                 "{flag} missing from VALUE_FLAGS"
             );
         }
-        for flag in SERVE_FLAGS {
+        for flag in SERVE_FLAGS.iter().filter(|f| **f != "--calibrate") {
             assert!(
                 VALUE_FLAGS.contains(flag),
                 "{flag} missing from VALUE_FLAGS"

@@ -159,6 +159,7 @@ pub(crate) fn run_tcp(
         stats,
         direct_errors: direct_errors.load(Ordering::Relaxed),
         slow_client_disconnects: transport.slow_client_disconnects.load(Ordering::Relaxed),
+        calibration: None,
     })
 }
 

@@ -53,13 +53,15 @@
 //! pool completions).
 
 use llmulator::{
-    EngineConfig, Error, FaultPlan, Feedback, PoolConfig, PoolStats, PredictRequest,
-    PredictResponse, ServeJob, ServePool,
+    AbRouter, CalibrationConfig, CalibrationStats, Calibrator, CalibratorCore, Engine,
+    EngineConfig, Error, FaultPlan, Feedback, NumericPredictor, PoolConfig, PoolStats,
+    PredictRequest, PredictResponse, ServeJob, ServePool,
 };
 use llmulator_sim::Metric;
 use serde_json::Value;
 use std::collections::BTreeMap;
 use std::io::{BufRead, Write};
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
@@ -104,6 +106,9 @@ pub(crate) struct ServeSummary {
     pub(crate) direct_errors: u64,
     /// Connections dropped for not reading their responses.
     pub(crate) slow_client_disconnects: u64,
+    /// Online-calibration counters, when `--calibrate` was active (filled
+    /// in after the background calibrator has drained and checkpointed).
+    pub(crate) calibration: Option<CalibrationStats>,
 }
 
 impl ServeSummary {
@@ -116,10 +121,18 @@ impl ServeSummary {
                 l.p50_micros, l.p90_micros, l.p99_micros, l.max_micros, l.count
             ),
         };
+        let calibration = match &self.calibration {
+            None => String::new(),
+            Some(c) => format!(
+                "; calibration: {} update(s), {} hot swap(s), {} rollback(s), \
+                 {} checkpoint(s)",
+                c.updates, c.hot_swaps, c.calibrations_rolled_back, c.checkpoints
+            ),
+        };
         format!(
             "serve: {} request(s) answered, {} error response(s), {} shed, {} deadline-shed; \
              {} panic(s) contained, {} worker(s) respawned, {} slow client(s) disconnected; \
-             {latency}; bye",
+             {latency}{calibration}; bye",
             self.stats.served,
             errors,
             self.stats.shed,
@@ -156,9 +169,40 @@ fn serve(args: &[String]) -> Result<ServeSummary, Error> {
         )?)),
         None => None,
     };
-    let mut engine = config.build();
+    let calibrate = crate::has_flag(args, "--calibrate");
+    let ab_split = crate::parse_flag(args, "--ab-split", 50u32)?;
+    if ab_split > 100 {
+        return Err(Error::InvalidArgument(format!(
+            "--ab-split {ab_split} is a percentage and must be 0..=100"
+        )));
+    }
+    if !calibrate
+        && (crate::flag_value(args, "--ab-split")?.is_some()
+            || crate::flag_value(args, "--checkpoint-every")?.is_some())
+    {
+        return Err(Error::InvalidArgument(
+            "--ab-split/--checkpoint-every only apply with --calibrate".into(),
+        ));
+    }
+    let checkpoint_every = crate::parse_flag(args, "--checkpoint-every", 32u64)?;
+    if calibrate {
+        // Bounded cross-session feedback queue feeding the background
+        // calibrator; without --calibrate it stays disabled (capacity 0).
+        config = config.feedback_capacity(1024);
+    }
+    let engine = config.build();
     engine.load_predictor("default", model_path)?;
     let engine = Arc::new(engine);
+    let calibrator = if calibrate {
+        Some(start_calibrator(
+            &engine,
+            model_path,
+            ab_split,
+            checkpoint_every,
+        )?)
+    } else {
+        None
+    };
     let pool_config = PoolConfig {
         workers,
         max_batch,
@@ -182,8 +226,8 @@ fn serve(args: &[String]) -> Result<ServeSummary, Error> {
         }
         _ => FaultPlan::default(),
     };
-    let pool = ServePool::start_with_faults(engine, pool_config, faults);
-    match tcp {
+    let pool = ServePool::start_with_faults(Arc::clone(&engine), pool_config, faults);
+    let summary = match tcp {
         Some(addr) => crate::net::run_tcp(&addr, pool, pool_config),
         None => {
             eprintln!(
@@ -192,7 +236,69 @@ fn serve(args: &[String]) -> Result<ServeSummary, Error> {
             );
             Ok(serve_stdin(pool, pool_config))
         }
+    };
+    // Stop the background calibrator after the transport has drained: it
+    // ingests any remaining feedback, publishes the final swap and writes
+    // the final checkpoint before the summary is rendered.
+    let calibration = calibrator.map(|c| {
+        c.stop();
+        engine.calibration_stats()
+    });
+    summary.map(|mut s| {
+        s.calibration = calibration;
+        s
+    })
+}
+
+/// Builds and spawns the background calibration worker: resume the variant
+/// from the previous run's checkpoint when one loads (a restarted daemon
+/// keeps its learned corrections), otherwise start from a clone of the
+/// frozen incumbent; then install the A/B router splitting unrouted
+/// traffic `(100 - ab_split) : ab_split` between `default` and
+/// `calibrated`.
+fn start_calibrator(
+    engine: &Arc<Engine>,
+    model_path: &str,
+    ab_split: u32,
+    checkpoint_every: u64,
+) -> Result<Calibrator, Error> {
+    let checkpoint = PathBuf::from(format!("{model_path}.calibrated"));
+    let (start, resumed) = match NumericPredictor::load_calibrated(&checkpoint) {
+        Ok((model, meta)) => (model, meta.is_some()),
+        Err(_) => {
+            let resolved = engine.resolve(Some("default"))?;
+            let Some(predictor) = resolved.model.as_predictor() else {
+                return Err(Error::InvalidArgument(
+                    "--calibrate needs a predictor-backed default model".into(),
+                ));
+            };
+            (predictor.clone(), false)
+        }
+    };
+    if resumed {
+        eprintln!(
+            "serve: calibration resumed from checkpoint `{}`",
+            checkpoint.display()
+        );
     }
+    let core = CalibratorCore::new(
+        Arc::clone(engine),
+        start,
+        CalibrationConfig {
+            checkpoint_every,
+            checkpoint_path: Some(checkpoint),
+            ..CalibrationConfig::default()
+        },
+    );
+    engine.set_router(Some(AbRouter::new(vec![
+        ("default".to_string(), 100 - ab_split),
+        ("calibrated".to_string(), ab_split),
+    ])?))?;
+    eprintln!(
+        "serve: online calibration active ({ab_split}% of unrouted requests to `calibrated`, \
+         checkpoint every {checkpoint_every} update step(s))"
+    );
+    Ok(Calibrator::spawn(core))
 }
 
 /// The stdin/stdout transport: reads lines on this thread, dispatches them
@@ -243,6 +349,7 @@ fn serve_stdin(pool: ServePool, config: PoolConfig) -> ServeSummary {
         direct_errors,
         // Stdout carries no write timeout, so this stays 0 in practice.
         slow_client_disconnects: transport.slow_client_disconnects.load(Ordering::Relaxed),
+        calibration: None,
     }
 }
 
@@ -403,6 +510,10 @@ impl<'p> Dispatcher<'p> {
             Parsed::Request(id, request, timeout) => {
                 let seq = self.take_seq();
                 let out = self.out.clone();
+                // Deterministic A/B routing: hash the rendered `id` so the
+                // same request id always lands on the same variant (requests
+                // naming a `model` bypass the router entirely).
+                let request = request.route_key(llmulator::route_key(id.to_string().as_bytes()));
                 self.pool.submit(
                     ServeJob::new(request, move |result, _| {
                         let value = match result {
@@ -421,7 +532,12 @@ impl<'p> Dispatcher<'p> {
                 true
             }
             Parsed::Stats(id) => {
-                let value = stats_response(&id, &self.pool.snapshot(), &self.transport);
+                let value = stats_response(
+                    &id,
+                    &self.pool.snapshot(),
+                    &self.transport,
+                    self.pool.engine(),
+                );
                 self.send(value);
                 true
             }
@@ -531,13 +647,20 @@ fn success_response(id: &Value, response: &PredictResponse) -> Value {
         "id": id.clone(),
         "ok": true,
         "model": response.model.clone(),
+        "epoch": response.epoch,
         "predictions": predictions,
     })
 }
 
 /// Builds the `{"stats": true}` response from a pool snapshot plus the
-/// transport-level counters.
-fn stats_response(id: &Value, stats: &PoolStats, transport: &TransportStats) -> Value {
+/// transport-level counters, the per-model scorecards and the online
+/// calibration counters.
+fn stats_response(
+    id: &Value,
+    stats: &PoolStats,
+    transport: &TransportStats,
+    engine: &Engine,
+) -> Value {
     let latency = match &stats.latency {
         None => Value::Null,
         Some(l) => serde_json::json!({
@@ -548,6 +671,23 @@ fn stats_response(id: &Value, stats: &PoolStats, transport: &TransportStats) -> 
             "max": l.max_micros,
         }),
     };
+    let opt = |v: Option<f64>| v.map_or(Value::Null, Value::F64);
+    let models: Vec<Value> = engine
+        .scoreboard()
+        .snapshot()
+        .iter()
+        .map(|card| {
+            serde_json::json!({
+                "model": card.model.clone(),
+                "ok_requests": card.ok_requests,
+                "feedback_count": card.feedback_count,
+                "window_len": card.window_len as u64,
+                "rolling_error": opt(card.rolling_error),
+                "mean_latency_us": opt(card.mean_latency_us),
+            })
+        })
+        .collect();
+    let c = engine.calibration_stats();
     serde_json::json!({
         "id": id.clone(),
         "ok": true,
@@ -561,6 +701,18 @@ fn stats_response(id: &Value, stats: &PoolStats, transport: &TransportStats) -> 
             "slow_client_disconnects": transport.slow_client_disconnects.load(Ordering::Relaxed),
             "queue_depth": stats.depth,
             "latency_us": latency,
+            "swap_epoch": engine.swap_epoch(),
+            "models": Value::Array(models),
+            "calibration": {
+                "updates": c.updates,
+                "hot_swaps": c.hot_swaps,
+                "calibrations_rolled_back": c.calibrations_rolled_back,
+                "checkpoints": c.checkpoints,
+                "checkpoint_errors": c.checkpoint_errors,
+                "queue_depth": c.queue_depth,
+                "feedback_accepted": c.feedback_accepted,
+                "feedback_dropped": c.feedback_dropped,
+            },
         },
     })
 }
@@ -928,6 +1080,7 @@ mod tests {
 
     #[test]
     fn stats_response_renders_counters_and_latency() {
+        let engine = EngineConfig::new().build();
         let transport = TransportStats::default();
         let empty = PoolStats {
             served: 0,
@@ -939,9 +1092,14 @@ mod tests {
             depth: 0,
             latency: None,
         };
-        let text = stats_response(&Value::Str("s".into()), &empty, &transport).to_string();
+        let text = stats_response(&Value::Str("s".into()), &empty, &transport, &engine).to_string();
         assert!(text.contains("\"latency_us\":null"), "{text}");
         assert!(text.contains("\"served\":0"), "{text}");
+        assert!(text.contains("\"calibration\":"), "{text}");
+        assert!(
+            text.contains("\"models\":[]"),
+            "no models registered: {text}"
+        );
 
         let mut h = llmulator::LatencyHistogram::new();
         h.record_micros(100);
@@ -959,7 +1117,7 @@ mod tests {
         transport
             .slow_client_disconnects
             .store(8, Ordering::Relaxed);
-        let text = stats_response(&Value::Null, &full, &transport).to_string();
+        let text = stats_response(&Value::Null, &full, &transport, &engine).to_string();
         for needle in [
             "\"served\":2",
             "\"errors\":1",

@@ -149,6 +149,12 @@ impl DpoCalibrator {
         &self.buffer
     }
 
+    /// The frozen reference policy π_ref calibration started from (what the
+    /// online guardrail swaps back to on a demotion).
+    pub fn reference(&self) -> &NumericPredictor {
+        &self.reference
+    }
+
     /// DPO losses recorded per gradient step.
     pub fn losses(&self) -> &[f32] {
         &self.losses
@@ -167,22 +173,36 @@ impl DpoCalibrator {
         actual: f64,
         predicted: f64,
     ) {
-        let y_w = metric_to_int(metric, actual);
-        let y_l = metric_to_int(metric, predicted);
-        if y_w == y_l {
+        self.observe_triple(
+            model,
+            PreferenceTriple {
+                tokens,
+                metric,
+                y_w: metric_to_int(metric, actual),
+                y_l: metric_to_int(metric, predicted),
+            },
+        );
+    }
+
+    /// Records one already-quantized preference triple (the unit the online
+    /// [`crate::online::FeedbackQueue`] carries) and performs the
+    /// configured number of DPO updates; returns the gradient steps taken
+    /// (0 for a degenerate triple, which carries no preference signal).
+    pub fn observe_triple(
+        &mut self,
+        model: &mut NumericPredictor,
+        triple: PreferenceTriple,
+    ) -> usize {
+        if triple.y_w == triple.y_l {
             // No preference signal when the prediction is exactly right.
-            return;
+            return 0;
         }
-        self.buffer.push(PreferenceTriple {
-            tokens,
-            metric,
-            y_w,
-            y_l,
-        });
+        self.buffer.push(triple);
         for _ in 0..self.config.steps_per_observation {
             let loss = self.dpo_step(model);
             self.losses.push(loss);
         }
+        self.config.steps_per_observation
     }
 
     /// One DPO gradient step over a replay minibatch; returns the loss.

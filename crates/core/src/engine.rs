@@ -31,10 +31,26 @@ use crate::encode::SegmentedText;
 use crate::error::Error;
 use crate::model::{NumericPredictor, Prediction};
 use crate::numeric::{metric_to_int, BeamScratch};
+use crate::online::{
+    abs_rel_error, AbRouter, CalibrationCounters, CalibrationStats, FeedbackQueue, Scoreboard,
+};
 use llmulator_ir::{parse, InputData, Program};
 use llmulator_nn::Scratch;
 use llmulator_sim::{CostVector, Metric};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Read-locks, recovering from poisoning (registry writes are
+/// structurally atomic — a panic mid-registration leaves a valid list).
+fn read_unpoisoned<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Write-locks, recovering from poisoning (same rationale).
+fn write_unpoisoned<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// The unified object-safe interface every servable model implements.
 ///
@@ -96,16 +112,21 @@ pub struct EngineConfig {
     default_model: String,
     threads: usize,
     replay_capacity: usize,
+    feedback_capacity: usize,
+    score_window: usize,
 }
 
 impl EngineConfig {
     /// Defaults: model name `"default"`, one prediction worker per
-    /// available core, replay window of 16 feedback triples.
+    /// available core, replay window of 16 feedback triples, shared
+    /// feedback queue disabled, rolling-accuracy window of 64.
     pub fn new() -> EngineConfig {
         EngineConfig {
             default_model: "default".to_string(),
             threads: llmulator_nn::available_threads(),
             replay_capacity: 16,
+            feedback_capacity: 0,
+            score_window: 64,
         }
     }
 
@@ -130,6 +151,22 @@ impl EngineConfig {
         self
     }
 
+    /// Capacity of the engine's shared cross-session [`FeedbackQueue`]
+    /// (0 = disabled, the default — enable it when a
+    /// [`crate::online::Calibrator`] consumes the queue).
+    #[must_use]
+    pub fn feedback_capacity(mut self, capacity: usize) -> EngineConfig {
+        self.feedback_capacity = capacity;
+        self
+    }
+
+    /// Rolling window of the per-model accuracy [`Scoreboard`].
+    #[must_use]
+    pub fn score_window(mut self, window: usize) -> EngineConfig {
+        self.score_window = window;
+        self
+    }
+
     /// Finishes the builder into an empty engine.
     #[must_use]
     pub fn build(self) -> Engine {
@@ -143,13 +180,55 @@ impl Default for EngineConfig {
     }
 }
 
-/// A long-lived prediction engine: named model registry + serving defaults.
+/// One registry entry: the model, behind an [`Arc`] so in-flight requests
+/// finish on the version they resolved even while a hot swap replaces it.
+struct Registered {
+    name: String,
+    epoch: u64,
+    model: Arc<dyn ServableModel>,
+}
+
+/// A resolved model: owned name + swap epoch + a strong reference to the
+/// exact version the request will be served by. Holding the [`Arc`] (not a
+/// registry borrow) is what makes hot swaps non-blocking: a swap only
+/// retires the old version once its last in-flight request drops it.
+#[derive(Clone)]
+pub struct Resolved {
+    /// The registered model name the request resolved to.
+    pub name: String,
+    /// The swap epoch of this registration (monotonic across the engine;
+    /// echoed in [`PredictResponse::epoch`]).
+    pub epoch: u64,
+    /// The model version itself.
+    pub model: Arc<dyn ServableModel>,
+}
+
+impl std::fmt::Debug for Resolved {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Resolved")
+            .field("name", &self.name)
+            .field("epoch", &self.epoch)
+            .finish()
+    }
+}
+
+/// A long-lived prediction engine: named model registry, serving defaults
+/// and the online-calibration surfaces (feedback queue, A/B router,
+/// per-model scoreboard, calibration counters).
 ///
-/// The engine itself is immutable during serving (`Sync`), so one engine
-/// can back many concurrent [`Session`]s.
+/// The engine is `Sync` and every mutating surface takes `&self` behind
+/// interior locks, so one engine can back many concurrent [`Session`]s
+/// while a background [`crate::online::Calibrator`] hot-swaps models into
+/// the registry (latest wins; see [`Resolved`] for why serving threads
+/// never block on a swap).
 pub struct Engine {
     config: EngineConfig,
-    models: Vec<(String, Box<dyn ServableModel>)>,
+    models: RwLock<Vec<Registered>>,
+    swap_epoch: AtomicU64,
+    router: RwLock<Option<AbRouter>>,
+    feedback: FeedbackQueue,
+    scores: Scoreboard,
+    calibration: CalibrationCounters,
 }
 
 impl std::fmt::Debug for Engine {
@@ -157,6 +236,7 @@ impl std::fmt::Debug for Engine {
         f.debug_struct("Engine")
             .field("config", &self.config)
             .field("models", &self.model_names())
+            .field("swap_epoch", &self.swap_epoch())
             .finish()
     }
 }
@@ -164,9 +244,16 @@ impl std::fmt::Debug for Engine {
 impl Engine {
     /// Empty engine with the given serving defaults.
     pub fn new(config: EngineConfig) -> Engine {
+        let feedback = FeedbackQueue::new(config.feedback_capacity);
+        let scores = Scoreboard::new(config.score_window);
         Engine {
             config,
-            models: Vec::new(),
+            models: RwLock::new(Vec::new()),
+            swap_epoch: AtomicU64::new(0),
+            router: RwLock::new(None),
+            feedback,
+            scores,
+            calibration: CalibrationCounters::default(),
         }
     }
 
@@ -176,35 +263,39 @@ impl Engine {
     }
 
     /// Registers any servable model under `name`. Re-registering a name
-    /// replaces the previous model (latest wins).
+    /// replaces the previous model (latest wins) — this is the hot-swap
+    /// primitive: in-flight requests keep the version they resolved, new
+    /// requests see the replacement and a fresh swap epoch.
     pub fn register_model(
-        &mut self,
+        &self,
         name: impl Into<String>,
         model: Box<dyn ServableModel>,
-    ) -> &mut Engine {
+    ) -> &Engine {
         let name = name.into();
-        match self.models.iter_mut().find(|(n, _)| *n == name) {
-            Some(slot) => slot.1 = model,
-            None => self.models.push((name, model)),
+        let model: Arc<dyn ServableModel> = Arc::from(model);
+        let mut models = write_unpoisoned(&self.models);
+        let epoch = self.swap_epoch.fetch_add(1, Ordering::Relaxed) + 1;
+        match models.iter_mut().find(|r| r.name == name) {
+            Some(slot) => {
+                slot.model = model;
+                slot.epoch = epoch;
+            }
+            None => models.push(Registered { name, epoch, model }),
         }
         self
     }
 
     /// Registers a trained numeric predictor under `name`.
-    pub fn register_predictor(
-        &mut self,
-        name: impl Into<String>,
-        model: NumericPredictor,
-    ) -> &mut Engine {
+    pub fn register_predictor(&self, name: impl Into<String>, model: NumericPredictor) -> &Engine {
         self.register_model(name, Box::new(model))
     }
 
     /// Registers a baseline cost model under `name`.
     pub fn register_baseline<M: CostModel + Send + Sync + 'static>(
-        &mut self,
+        &self,
         name: impl Into<String>,
         model: M,
-    ) -> &mut Engine {
+    ) -> &Engine {
         self.register_model(name, Box::new(BaselineModel(model)))
     }
 
@@ -216,10 +307,10 @@ impl Engine {
     /// Returns a [`Error::Persist`]-rooted chain naming the file on
     /// filesystem, decode or format-version failure.
     pub fn load_predictor(
-        &mut self,
+        &self,
         name: impl Into<String>,
         path: impl AsRef<Path>,
-    ) -> Result<&mut Engine, Error> {
+    ) -> Result<&Engine, Error> {
         let path = path.as_ref();
         let model = NumericPredictor::load(path).map_err(|e| {
             Error::from(e).context(format!("cannot load model `{}`", path.display()))
@@ -229,30 +320,123 @@ impl Engine {
 
     /// Registered model names, in registration order.
     pub fn model_names(&self) -> Vec<String> {
-        self.models.iter().map(|(n, _)| n.clone()).collect()
+        read_unpoisoned(&self.models)
+            .iter()
+            .map(|r| r.name.clone())
+            .collect()
     }
 
     /// True when `name` is registered.
     pub fn has_model(&self, name: &str) -> bool {
-        self.models.iter().any(|(n, _)| n == name)
+        read_unpoisoned(&self.models).iter().any(|r| r.name == name)
+    }
+
+    /// The current swap epoch: increments on every (re)registration, so
+    /// comparing two responses' [`PredictResponse::epoch`] says whether a
+    /// hot swap happened between them.
+    pub fn swap_epoch(&self) -> u64 {
+        self.swap_epoch.load(Ordering::Relaxed)
     }
 
     /// Resolves a request's model choice (`None` means the configured
-    /// default) against the registry.
+    /// default) against the registry. The returned [`Resolved`] owns a
+    /// strong reference to the version it picked.
     ///
     /// # Errors
     ///
     /// Returns [`Error::UnknownModel`] listing the loaded names.
-    pub fn resolve(&self, name: Option<&str>) -> Result<(&str, &dyn ServableModel), Error> {
+    pub fn resolve(&self, name: Option<&str>) -> Result<Resolved, Error> {
         let wanted = name.unwrap_or(&self.config.default_model);
-        self.models
+        let models = read_unpoisoned(&self.models);
+        models
             .iter()
-            .find(|(n, _)| n == wanted)
-            .map(|(n, m)| (n.as_str(), m.as_ref()))
+            .find(|r| r.name == wanted)
+            .map(|r| Resolved {
+                name: r.name.clone(),
+                epoch: r.epoch,
+                model: Arc::clone(&r.model),
+            })
             .ok_or_else(|| Error::UnknownModel {
                 name: wanted.to_string(),
-                available: self.model_names(),
+                available: models.iter().map(|r| r.name.clone()).collect(),
             })
+    }
+
+    /// Resolves like [`Engine::resolve`], but requests that name no model
+    /// are split across variants by the configured [`AbRouter`] (when one
+    /// is set) using `route_key` — the serving path's entry point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownModel`] listing the loaded names.
+    pub fn resolve_routed(&self, name: Option<&str>, route_key: u64) -> Result<Resolved, Error> {
+        if name.is_none() {
+            let picked = read_unpoisoned(&self.router)
+                .as_ref()
+                .map(|router| router.pick(route_key).to_string());
+            if let Some(variant) = picked {
+                return self.resolve(Some(&variant));
+            }
+        }
+        self.resolve(name)
+    }
+
+    /// Installs (or clears) the A/B router splitting default-model traffic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownModel`] when a routed variant is not
+    /// registered — a router must never send traffic into a resolution
+    /// error.
+    pub fn set_router(&self, router: Option<AbRouter>) -> Result<(), Error> {
+        if let Some(router) = &router {
+            for (name, weight) in router.variants() {
+                if *weight > 0 && !self.has_model(name) {
+                    return Err(Error::UnknownModel {
+                        name: name.clone(),
+                        available: self.model_names(),
+                    });
+                }
+            }
+        }
+        *write_unpoisoned(&self.router) = router;
+        Ok(())
+    }
+
+    /// The installed A/B router, when one is set.
+    pub fn router(&self) -> Option<AbRouter> {
+        read_unpoisoned(&self.router).clone()
+    }
+
+    /// The shared cross-session feedback queue (disabled unless
+    /// [`EngineConfig::feedback_capacity`] is positive).
+    pub fn feedback(&self) -> &FeedbackQueue {
+        &self.feedback
+    }
+
+    /// The per-model rolling accuracy/latency scoreboard.
+    pub fn scoreboard(&self) -> &Scoreboard {
+        &self.scores
+    }
+
+    /// Lifetime calibration counters (written by the background
+    /// [`crate::online::Calibrator`]).
+    pub fn calibration(&self) -> &CalibrationCounters {
+        &self.calibration
+    }
+
+    /// A point-in-time snapshot of the calibration subsystem.
+    pub fn calibration_stats(&self) -> CalibrationStats {
+        CalibrationStats {
+            updates: self.calibration.updates.load(Ordering::Relaxed),
+            hot_swaps: self.calibration.hot_swaps.load(Ordering::Relaxed),
+            calibrations_rolled_back: self.calibration.rolled_back.load(Ordering::Relaxed),
+            checkpoints: self.calibration.checkpoints.load(Ordering::Relaxed),
+            checkpoint_errors: self.calibration.checkpoint_errors.load(Ordering::Relaxed),
+            queue_depth: self.feedback.len(),
+            feedback_accepted: self.feedback.accepted(),
+            feedback_dropped: self.feedback.dropped(),
+        }
     }
 
     /// Opens a serving session against this engine.
@@ -313,8 +497,13 @@ pub struct PredictRequest {
     pub beam_width: Option<usize>,
     /// Worker-thread override for this request.
     pub threads: Option<usize>,
-    /// Optional profiler feedback routed into the session's replay buffer.
+    /// Optional profiler feedback routed into the session's replay buffer
+    /// and the engine's shared feedback queue.
     pub feedback: Option<Feedback>,
+    /// A/B routing key (e.g. a hash of the wire request id). Only consulted
+    /// when `model` is `None` and the engine has a router; absent keys
+    /// route as key 0.
+    pub route_key: Option<u64>,
 }
 
 impl PredictRequest {
@@ -383,6 +572,13 @@ impl PredictRequest {
         self
     }
 
+    /// Sets the A/B routing key (see [`PredictRequest::route_key`]).
+    #[must_use]
+    pub fn route_key(mut self, key: u64) -> PredictRequest {
+        self.route_key = Some(key);
+        self
+    }
+
     /// A copy of the request with any calibration feedback stripped. The
     /// serve pool uses this when retrying a request singly after a
     /// contained batch panic: `predict_micro_batch` records feedback during
@@ -435,6 +631,10 @@ impl ItemPrediction {
 pub struct PredictResponse {
     /// The resolved model name that served the request.
     pub model: String,
+    /// The swap epoch of the model version that served the request —
+    /// attributes every answer to an exact registry generation across hot
+    /// swaps.
+    pub epoch: u64,
     /// One entry per request input, in input order.
     pub items: Vec<ItemPrediction>,
 }
@@ -482,18 +682,21 @@ impl<'e> Session<'e> {
     /// [`Error::Ir`] chains for unparseable program source.
     pub fn predict(&mut self, request: &PredictRequest) -> Result<PredictResponse, Error> {
         let engine = self.engine;
-        let (name, model) = engine.resolve(request.model.as_deref())?;
+        let resolved = engine.resolve_routed(
+            request.model.as_deref(),
+            request.route_key.unwrap_or_default(),
+        )?;
         let metrics = resolve_metrics(request.metrics.as_deref())?;
         if request.inputs.is_empty() {
             return Err(Error::InvalidRequest("request has no inputs".into()));
         }
-        let items = match model.as_predictor() {
+        let items = match resolved.model.as_predictor() {
             Some(predictor) => {
                 let seqs = tokenize_inputs(predictor, &request.inputs)?;
                 let beam = resolve_beam_width(predictor, request.beam_width)?;
                 let threads = request.threads.unwrap_or(engine.config.threads).max(1);
                 if let Some(fb) = request.feedback {
-                    self.record_feedback(&seqs, fb)?;
+                    self.record_feedback(&resolved.name, &seqs, fb)?;
                 }
                 let preds = self.predict_seqs(predictor, &seqs, threads, beam);
                 preds
@@ -504,17 +707,19 @@ impl<'e> Session<'e> {
             None => {
                 if request.feedback.is_some() {
                     return Err(Error::InvalidRequest(format!(
-                        "calibration feedback requires a predictor model, `{name}` is a baseline"
+                        "calibration feedback requires a predictor model, `{}` is a baseline",
+                        resolved.name
                     )));
                 }
                 let samples = baseline_samples(&request.inputs)?;
-                let costs = model.try_predict_batch(&samples)?;
+                let costs = resolved.model.try_predict_batch(&samples)?;
                 costs.iter().map(|c| item_from_cost(c, &metrics)).collect()
             }
         };
         self.served += 1;
         Ok(PredictResponse {
-            model: name.to_string(),
+            model: resolved.name,
+            epoch: resolved.epoch,
             items,
         })
     }
@@ -534,7 +739,7 @@ impl<'e> Session<'e> {
     ) -> Vec<Result<PredictResponse, Error>> {
         struct Plan {
             request: usize,
-            name: String,
+            resolved: Resolved,
             seqs: Vec<Vec<u32>>,
             metrics: Vec<Metric>,
             beam: usize,
@@ -547,25 +752,32 @@ impl<'e> Session<'e> {
         let mut plans: Vec<Plan> = Vec::new();
         for (i, request) in requests.iter().enumerate() {
             let plan = (|| -> Result<Option<Plan>, Error> {
-                let (name, model) = engine.resolve(request.model.as_deref())?;
-                let Some(predictor) = model.as_predictor() else {
+                let resolved = engine.resolve_routed(
+                    request.model.as_deref(),
+                    request.route_key.unwrap_or_default(),
+                )?;
+                if resolved.model.as_predictor().is_none() {
                     return Ok(None); // baseline: served unfused below
-                };
+                }
                 let metrics = resolve_metrics(request.metrics.as_deref())?;
                 if request.inputs.is_empty() {
                     return Err(Error::InvalidRequest("request has no inputs".into()));
                 }
+                let predictor = resolved
+                    .model
+                    .as_predictor()
+                    .expect("checked to be a predictor above");
                 let seqs = tokenize_inputs(predictor, &request.inputs)?;
                 // Validate everything before touching session state: a
                 // request `predict` would reject must not leave its
                 // feedback triple in the replay buffer either.
                 let beam = resolve_beam_width(predictor, request.beam_width)?;
                 if let Some(fb) = request.feedback {
-                    self.record_feedback(&seqs, fb)?;
+                    self.record_feedback(&resolved.name, &seqs, fb)?;
                 }
                 Ok(Some(Plan {
                     request: i,
-                    name: name.to_string(),
+                    resolved,
                     seqs,
                     metrics,
                     beam,
@@ -579,19 +791,22 @@ impl<'e> Session<'e> {
             }
         }
 
-        // Fuse plans sharing (model, beam): one packed batch per group.
+        // Fuse plans sharing (model, epoch, beam): one packed batch per
+        // group. Keying on the epoch (not just the name) means two plans
+        // that straddled a hot swap run on their own resolved versions —
+        // every plan holds its model `Arc`, so no re-resolution can miss.
         let mut remaining = plans;
         while !remaining.is_empty() {
-            let key = (remaining[0].name.clone(), remaining[0].beam);
-            let (mut group, rest): (Vec<Plan>, Vec<Plan>) = remaining
-                .into_iter()
-                .partition(|p| (p.name.as_str(), p.beam) == (key.0.as_str(), key.1));
+            let key = (
+                remaining[0].resolved.name.clone(),
+                remaining[0].resolved.epoch,
+                remaining[0].beam,
+            );
+            let (mut group, rest): (Vec<Plan>, Vec<Plan>) = remaining.into_iter().partition(|p| {
+                (p.resolved.name.as_str(), p.resolved.epoch, p.beam)
+                    == (key.0.as_str(), key.1, key.2)
+            });
             remaining = rest;
-            let predictor = engine
-                .resolve(Some(&key.0))
-                .ok()
-                .and_then(|(_, m)| m.as_predictor())
-                .expect("planned models stay registered (engine is immutable while serving)");
             // Move (not clone) every plan's sequences into the fused batch,
             // remembering each plan's span for the response split.
             let mut all: Vec<Vec<u32>> =
@@ -602,13 +817,18 @@ impl<'e> Session<'e> {
                 all.append(&mut plan.seqs);
             }
             let threads = group.iter().map(|p| p.threads).max().unwrap_or(1);
-            let preds = predictor.predict_tokens_batch_threads_width(&all, threads, key.1);
+            let model = Arc::clone(&group[0].resolved.model);
+            let predictor = model
+                .as_predictor()
+                .expect("only predictor-backed requests are planned");
+            let preds = predictor.predict_tokens_batch_threads_width(&all, threads, key.2);
             let mut offset = 0;
             for (plan, count) in group.iter().zip(counts) {
                 let slice = &preds[offset..offset + count];
                 offset += count;
                 out[plan.request] = Some(Ok(PredictResponse {
-                    model: plan.name.clone(),
+                    model: plan.resolved.name.clone(),
+                    epoch: plan.resolved.epoch,
                     items: slice
                         .iter()
                         .map(|p| item_from_prediction(p, &plan.metrics))
@@ -650,10 +870,18 @@ impl<'e> Session<'e> {
         }
     }
 
-    /// Routes a feedback triple into the replay buffer. Exact predictions
-    /// carry no preference signal and are skipped (mirroring
-    /// [`crate::calibrate::DpoCalibrator::observe`]).
-    fn record_feedback(&mut self, seqs: &[Vec<u32>], fb: Feedback) -> Result<(), Error> {
+    /// Routes a feedback triple into the session replay buffer, the
+    /// engine's shared feedback queue (when enabled) and the per-model
+    /// scoreboard. Exact predictions carry no preference signal and are
+    /// skipped as training data (mirroring
+    /// [`crate::calibrate::DpoCalibrator::observe`]) but still count as
+    /// accuracy signal on the scoreboard.
+    fn record_feedback(
+        &mut self,
+        model: &str,
+        seqs: &[Vec<u32>],
+        fb: Feedback,
+    ) -> Result<(), Error> {
         let tokens = seqs.get(fb.item).ok_or_else(|| {
             Error::InvalidRequest(format!(
                 "feedback.item {} out of range ({} inputs)",
@@ -661,15 +889,22 @@ impl<'e> Session<'e> {
                 seqs.len()
             ))
         })?;
+        self.engine
+            .scoreboard()
+            .record_feedback_error(model, abs_rel_error(fb.actual, fb.predicted));
         let y_w = metric_to_int(fb.metric, fb.actual);
         let y_l = metric_to_int(fb.metric, fb.predicted);
         if y_w != y_l {
-            self.replay.push(PreferenceTriple {
+            let triple = PreferenceTriple {
                 tokens: tokens.clone(),
                 metric: fb.metric,
                 y_w,
                 y_l,
-            });
+            };
+            if self.engine.feedback().is_enabled() {
+                self.engine.feedback().push(triple.clone());
+            }
+            self.replay.push(triple);
         }
         Ok(())
     }
@@ -855,7 +1090,7 @@ mod tests {
     }
 
     fn engine_with_default() -> Engine {
-        let mut engine = EngineConfig::new().threads(2).build();
+        let engine = EngineConfig::new().threads(2).build();
         engine.register_predictor("default", tiny_predictor(3));
         engine
     }
@@ -881,8 +1116,8 @@ mod tests {
     #[test]
     fn session_predictions_match_the_direct_batch_path_exactly() {
         let engine = engine_with_default();
-        let (_, model) = engine.resolve(None).expect("default registered");
-        let predictor = model.as_predictor().expect("is a predictor");
+        let resolved = engine.resolve(None).expect("default registered");
+        let predictor = resolved.model.as_predictor().expect("is a predictor");
         let samples: Vec<Sample> = [4usize, 8, 4, 12].iter().map(|&n| sample(n)).collect();
         let oracle = predictor.predict_batch_threads(&samples, 2);
 
@@ -907,8 +1142,8 @@ mod tests {
     #[test]
     fn single_input_scratch_path_is_bit_identical_too() {
         let engine = engine_with_default();
-        let (_, model) = engine.resolve(None).expect("default");
-        let predictor = model.as_predictor().expect("predictor");
+        let resolved = engine.resolve(None).expect("default");
+        let predictor = resolved.model.as_predictor().expect("predictor");
         let tokens: Vec<u32> = vec![3, 5, 7, 9, 11];
         let oracle = predictor.predict_tokens_batch_threads(std::slice::from_ref(&tokens), 1);
         let mut session = engine.session();
@@ -962,8 +1197,8 @@ mod tests {
     #[test]
     fn source_inputs_parse_and_predict_like_the_equivalent_sample() {
         let engine = engine_with_default();
-        let (_, model) = engine.resolve(None).expect("default");
-        let predictor = model.as_predictor().expect("predictor");
+        let resolved = engine.resolve(None).expect("default");
+        let predictor = resolved.model.as_predictor().expect("predictor");
         let text = program(8).render();
         // The direct-format sample for the same program/input pair.
         let s = sample(8);
@@ -985,7 +1220,7 @@ mod tests {
 
     #[test]
     fn baselines_serve_values_without_digit_fields() {
-        let mut engine = EngineConfig::new().default_model("fixed").build();
+        let engine = EngineConfig::new().default_model("fixed").build();
         engine.register_baseline("fixed", Fixed(7.0));
         let mut session = engine.session();
         let response = session
@@ -1037,11 +1272,11 @@ mod tests {
 
     #[test]
     fn micro_batch_fuses_across_requests_and_isolates_errors() {
-        let mut engine = EngineConfig::new().threads(2).build();
+        let engine = EngineConfig::new().threads(2).build();
         engine.register_predictor("default", tiny_predictor(3));
         engine.register_baseline("fixed", Fixed(3.0));
-        let (_, model) = engine.resolve(None).expect("default");
-        let predictor = model.as_predictor().expect("predictor");
+        let resolved = engine.resolve(None).expect("default");
+        let predictor = resolved.model.as_predictor().expect("predictor");
 
         let requests = vec![
             PredictRequest::tokens(vec![1, 2, 3]),
@@ -1077,7 +1312,7 @@ mod tests {
 
     #[test]
     fn registry_replaces_on_reregistration_and_loads_from_disk() {
-        let mut engine = EngineConfig::new().build();
+        let engine = EngineConfig::new().build();
         engine.register_predictor("m", tiny_predictor(1));
         engine.register_predictor("m", tiny_predictor(2));
         assert_eq!(engine.model_names(), vec!["m"]);
@@ -1131,6 +1366,116 @@ mod tests {
         ]);
         assert!(results[0].is_ok());
         assert!(matches!(results[1], Err(Error::InvalidRequest(_))));
+    }
+
+    #[test]
+    fn hot_swap_bumps_the_epoch_and_in_flight_resolutions_keep_their_version() {
+        let engine = engine_with_default();
+        let first = engine.resolve(None).expect("resolves");
+        assert_eq!(first.epoch, 1, "first registration is epoch 1");
+        // Hot-swap a different model under the same name.
+        engine.register_predictor("default", tiny_predictor(99));
+        let second = engine.resolve(None).expect("resolves");
+        assert_eq!(second.epoch, 2, "swap bumped the epoch");
+        assert_eq!(engine.swap_epoch(), 2);
+        // The pre-swap resolution still serves the old version.
+        let tokens: Vec<u32> = vec![4, 5, 6];
+        let old = first
+            .model
+            .as_predictor()
+            .expect("predictor")
+            .predict_tokens(&tokens, None);
+        let oracle = tiny_predictor(3).predict_tokens(&tokens, None);
+        assert_eq!(
+            old.metric(Metric::Cycles).value.to_bits(),
+            oracle.metric(Metric::Cycles).value.to_bits(),
+            "in-flight Arc pins the pre-swap weights"
+        );
+        // Responses carry the epoch of the version that served them.
+        let mut session = engine.session();
+        let response = session
+            .predict(&PredictRequest::tokens(tokens))
+            .expect("serves");
+        assert_eq!(response.epoch, 2);
+    }
+
+    #[test]
+    fn router_splits_unnamed_requests_and_explicit_model_bypasses_it() {
+        use crate::online::AbRouter;
+        let engine = engine_with_default();
+        engine.register_predictor("calibrated", tiny_predictor(7));
+        engine
+            .set_router(Some(
+                AbRouter::new(vec![("default".into(), 1), ("calibrated".into(), 1)])
+                    .expect("valid"),
+            ))
+            .expect("variants registered");
+        let mut session = engine.session();
+        let mut seen = std::collections::BTreeSet::new();
+        for key in 0..32u64 {
+            let r = session
+                .predict(&PredictRequest::tokens(vec![1, 2, 3]).route_key(key))
+                .expect("serves");
+            seen.insert(r.model.clone());
+            // Same key re-routes identically.
+            let again = session
+                .predict(&PredictRequest::tokens(vec![1, 2, 3]).route_key(key))
+                .expect("serves");
+            assert_eq!(again.model, r.model, "sticky routing for key {key}");
+        }
+        assert_eq!(seen.len(), 2, "both variants get traffic: {seen:?}");
+        // Naming a model bypasses the router entirely.
+        let r = session
+            .predict(
+                &PredictRequest::tokens(vec![1, 2, 3])
+                    .for_model("default")
+                    .route_key(5),
+            )
+            .expect("serves");
+        assert_eq!(r.model, "default");
+        // A router over an unregistered variant is rejected up front.
+        let err = engine
+            .set_router(Some(
+                AbRouter::new(vec![("ghost".into(), 1)]).expect("structurally valid"),
+            ))
+            .expect_err("unknown variant");
+        assert!(matches!(err, Error::UnknownModel { .. }));
+    }
+
+    #[test]
+    fn feedback_fans_out_to_the_shared_queue_and_scoreboard() {
+        let engine = EngineConfig::new().threads(1).feedback_capacity(4).build();
+        engine.register_predictor("default", tiny_predictor(3));
+        let mut session = engine.session();
+        let request = PredictRequest::tokens(vec![2, 4, 6]).feedback(Feedback {
+            item: 0,
+            metric: Metric::Cycles,
+            actual: 120.0,
+            predicted: 90.0,
+        });
+        session.predict(&request).expect("serves");
+        assert_eq!(session.replay_buffer().len(), 1);
+        assert_eq!(engine.feedback().accepted(), 1, "queue got the triple");
+        let (err, n) = engine
+            .scoreboard()
+            .rolling_error("default")
+            .expect("scored");
+        assert_eq!(n, 1);
+        assert!((err - 0.25).abs() < 1e-12, "|120-90|/120: {err}");
+        // Exact predictions feed the scoreboard but not the queue.
+        let request = PredictRequest::tokens(vec![2, 4, 6]).feedback(Feedback {
+            item: 0,
+            metric: Metric::Cycles,
+            actual: 120.0,
+            predicted: 120.0,
+        });
+        session.predict(&request).expect("serves");
+        assert_eq!(engine.feedback().accepted(), 1, "no training signal");
+        let (_, n) = engine
+            .scoreboard()
+            .rolling_error("default")
+            .expect("scored");
+        assert_eq!(n, 2, "accuracy signal recorded");
     }
 
     #[test]

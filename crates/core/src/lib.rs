@@ -51,6 +51,7 @@ pub mod fault;
 pub mod masks;
 pub mod model;
 pub mod numeric;
+pub mod online;
 pub mod persist;
 pub mod serve_pool;
 
@@ -64,7 +65,7 @@ pub use dataset::{CostModel, Dataset, Sample};
 pub use encode::{fusion_group_key, group_by_key, SegmentedText};
 pub use engine::{
     Engine, EngineConfig, Feedback, ItemPrediction, MetricValue, PredictInput, PredictRequest,
-    PredictResponse, ServableModel, Session, MAX_BEAM_WIDTH,
+    PredictResponse, Resolved, ServableModel, Session, MAX_BEAM_WIDTH,
 };
 pub use error::Error;
 pub use fault::{silence_injected_panics, FaultAction, FaultPlan, FAULT_MARKER};
@@ -75,7 +76,11 @@ pub use model::{
 pub use numeric::{
     beam_search, beam_search_with, BeamHypothesis, BeamScratch, DigitCodec, DigitDistribution,
 };
-pub use persist::{PersistError, FORMAT_VERSION};
+pub use online::{
+    abs_rel_error, route_key, AbRouter, CalibrationConfig, CalibrationMeta, CalibrationStats,
+    Calibrator, CalibratorCore, FeedbackQueue, ModelScorecard, Scoreboard,
+};
+pub use persist::{PersistError, FORMAT_VERSION, MIN_FORMAT_VERSION};
 pub use serve_pool::{
     LatencyHistogram, LatencySummary, PoolConfig, PoolStats, ServeJob, ServePool,
 };

@@ -6,20 +6,33 @@
 //! this reproduction are ~100k parameters, for which JSON remains practical.
 //!
 //! Saved files are versioned: the on-disk form is an envelope
-//! `{"format_version": N, "model": {...}}`. [`NumericPredictor::load`]
+//! `{"format_version": N, "model": {...}}`, optionally followed by a
+//! `"calibration"` section ([`CalibrationMeta`]) recording the provenance
+//! of online-calibrated weights (format version 2). [`NumericPredictor::load`]
 //! checks the version before touching the payload, so a file written by a
 //! newer incompatible release is rejected with a clear
 //! [`PersistError::Version`] naming both versions instead of failing deep in
-//! deserialization on whichever field happened to change.
+//! deserialization on whichever field happened to change. Files written by
+//! any version back to [`MIN_FORMAT_VERSION`] still load: the model payload
+//! layout is unchanged since version 1, version 2 only *added* the optional
+//! calibration section.
 
 use crate::model::NumericPredictor;
+use crate::online::CalibrationMeta;
 use serde::Value;
 use std::fmt;
 use std::path::Path;
 
-/// The model file format version this build reads and writes. Bump it when
-/// the serialized [`NumericPredictor`] layout changes incompatibly.
-pub const FORMAT_VERSION: u64 = 1;
+/// The model file format version this build writes. Bump it when the
+/// serialized layout changes; raise [`MIN_FORMAT_VERSION`] too only when
+/// the change is incompatible with older payloads.
+///
+/// History: 1 = initial envelope; 2 = optional `calibration` provenance
+/// section next to the (unchanged) model payload.
+pub const FORMAT_VERSION: u64 = 2;
+
+/// The oldest model file format version this build still reads.
+pub const MIN_FORMAT_VERSION: u64 = 1;
 
 /// Errors from model persistence.
 #[derive(Debug)]
@@ -48,8 +61,9 @@ impl fmt::Display for PersistError {
                 supported,
             } => write!(
                 f,
-                "unsupported model format version {v} (this build reads version {supported}; \
-                 re-train the model or use a matching release)"
+                "unsupported model format version {v} (this build reads versions \
+                 {MIN_FORMAT_VERSION} through {supported}; re-train the model or use a \
+                 matching release)"
             ),
             PersistError::Version {
                 found: None,
@@ -100,14 +114,49 @@ impl NumericPredictor {
         Ok(serde_json::to_string(&envelope)?)
     }
 
+    /// Like [`NumericPredictor::to_json`], with a `calibration` provenance
+    /// section recording how the weights were produced by the online
+    /// calibration loop (see [`crate::online`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Codec`] if serialization fails.
+    pub fn to_json_calibrated(&self, meta: &CalibrationMeta) -> Result<String, PersistError> {
+        let envelope = Value::Object(vec![
+            ("format_version".to_string(), Value::U64(FORMAT_VERSION)),
+            ("model".to_string(), serde::Serialize::serialize_value(self)),
+            (
+                "calibration".to_string(),
+                serde::Serialize::serialize_value(meta),
+            ),
+        ]);
+        Ok(serde_json::to_string(&envelope)?)
+    }
+
     /// Reconstructs a model from [`NumericPredictor::to_json`] output.
+    ///
+    /// Files written by [`NumericPredictor::to_json_calibrated`] also load
+    /// here; the calibration section is ignored. Use
+    /// [`NumericPredictor::from_json_calibrated`] to recover it.
     ///
     /// # Errors
     ///
     /// Returns [`PersistError::Codec`] on malformed input and
     /// [`PersistError::Version`] when the envelope's `format_version` is
-    /// absent or not [`FORMAT_VERSION`].
+    /// absent or outside `MIN_FORMAT_VERSION..=FORMAT_VERSION`.
     pub fn from_json(json: &str) -> Result<NumericPredictor, PersistError> {
+        Ok(NumericPredictor::from_json_calibrated(json)?.0)
+    }
+
+    /// Reconstructs a model plus its calibration provenance (when present —
+    /// plain [`NumericPredictor::to_json`] files yield `None`).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`NumericPredictor::from_json`].
+    pub fn from_json_calibrated(
+        json: &str,
+    ) -> Result<(NumericPredictor, Option<CalibrationMeta>), PersistError> {
         let envelope = serde_json::parse_value(json)?;
         let Some(pairs) = envelope.as_object() else {
             return Err(PersistError::Codec(serde_json::Error::new(
@@ -127,7 +176,7 @@ impl NumericPredictor {
                 })
             }
         };
-        if found != FORMAT_VERSION {
+        if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&found) {
             return Err(PersistError::Version {
                 found: Some(found),
                 supported: FORMAT_VERSION,
@@ -140,10 +189,17 @@ impl NumericPredictor {
             .ok_or_else(|| {
                 PersistError::Codec(serde_json::Error::new("envelope has no `model` field"))
             })?;
-        Ok(
-            <NumericPredictor as serde::Deserialize>::deserialize_value(model)
-                .map_err(serde_json::Error::from)?,
-        )
+        let model = <NumericPredictor as serde::Deserialize>::deserialize_value(model)
+            .map_err(serde_json::Error::from)?;
+        let meta = pairs
+            .iter()
+            .find(|(k, _)| k == "calibration")
+            .map(|(_, v)| {
+                <CalibrationMeta as serde::Deserialize>::deserialize_value(v)
+                    .map_err(serde_json::Error::from)
+            })
+            .transpose()?;
+        Ok((model, meta))
     }
 
     /// Writes the model to a file atomically: parent directories are created
@@ -167,6 +223,37 @@ impl NumericPredictor {
     /// [`PersistError::Version`] for files from an incompatible release.
     pub fn load(path: impl AsRef<Path>) -> Result<NumericPredictor, PersistError> {
         NumericPredictor::from_json(&std::fs::read_to_string(path)?)
+    }
+
+    /// Writes the model plus calibration provenance atomically, with the
+    /// same crash-safety guarantees as [`NumericPredictor::save`]. This is
+    /// the checkpoint format the online [`crate::online::Calibrator`] writes
+    /// so a restarted daemon resumes its learned corrections.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError`] on filesystem or encoding failure.
+    pub fn save_calibrated(
+        &self,
+        path: impl AsRef<Path>,
+        meta: &CalibrationMeta,
+    ) -> Result<(), PersistError> {
+        crate::cache::write_atomic(path, &self.to_json_calibrated(meta)?)?;
+        Ok(())
+    }
+
+    /// Loads a model and its calibration provenance from a file written by
+    /// [`NumericPredictor::save_calibrated`] (or, with `None` metadata, by
+    /// plain [`NumericPredictor::save`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError`] on filesystem or decoding failure, including
+    /// [`PersistError::Version`] for files from an incompatible release.
+    pub fn load_calibrated(
+        path: impl AsRef<Path>,
+    ) -> Result<(NumericPredictor, Option<CalibrationMeta>), PersistError> {
+        NumericPredictor::from_json_calibrated(&std::fs::read_to_string(path)?)
     }
 }
 
@@ -234,6 +321,68 @@ mod tests {
         assert_eq!(restored.config(), model.config());
         assert_eq!(restored.param_count(), model.param_count());
         std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    /// Satellite (persistence round trip): a calibrated checkpoint saves
+    /// atomically, loads bit-identically, carries its provenance, and still
+    /// loads through the plain (meta-unaware) path.
+    #[test]
+    fn calibrated_checkpoint_round_trips_bit_identically() {
+        let dir = unique_dir("calibrated");
+        let path = dir.join("model.calibrated.json");
+        let model = tiny();
+        let meta = CalibrationMeta {
+            updates: 17,
+            hot_swaps: 3,
+            source: "dpo-online".to_string(),
+        };
+        model.save_calibrated(&path, &meta).expect("saves");
+        // Atomic write leaves exactly the published file behind.
+        let entries: Vec<_> = std::fs::read_dir(&dir)
+            .expect("readdir")
+            .map(|e| e.expect("entry").file_name())
+            .collect();
+        assert_eq!(entries.len(), 1, "temp file left behind: {entries:?}");
+        let (restored, restored_meta) = NumericPredictor::load_calibrated(&path).expect("loads");
+        let restored_meta = restored_meta.expect("meta preserved");
+        assert_eq!(restored_meta.updates, 17);
+        assert_eq!(restored_meta.hot_swaps, 3);
+        assert_eq!(restored_meta.source, "dpo-online");
+        let tokens: Vec<u32> = vec![4, 5, 6, 7, 8];
+        let before = model.predict_tokens(&tokens, None);
+        let after = restored.predict_tokens(&tokens, None);
+        for (a, b) in before.per_metric.iter().zip(&after.per_metric) {
+            assert_eq!(a.digits, b.digits);
+            assert_eq!(a.confidence.to_bits(), b.confidence.to_bits());
+        }
+        // The meta-unaware loader reads the same file and simply ignores
+        // the calibration section.
+        let plain = NumericPredictor::load(&path).expect("plain load");
+        assert_eq!(plain.param_count(), model.param_count());
+        // A plain save has no calibration section: meta comes back None.
+        let plain_path = dir.join("model.json");
+        model.save(&plain_path).expect("saves");
+        let (_, none_meta) = NumericPredictor::load_calibrated(&plain_path).expect("loads");
+        assert!(none_meta.is_none());
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    /// Satellite (backward compatibility): files written by the previous
+    /// release (format version 1, no calibration section) must still load.
+    #[test]
+    fn load_accepts_the_previous_format_version() {
+        let model = tiny();
+        let json = model.to_json().expect("encodes");
+        let doctored = json.replacen(
+            &format!("\"format_version\":{FORMAT_VERSION}"),
+            &format!("\"format_version\":{MIN_FORMAT_VERSION}"),
+            1,
+        );
+        assert_ne!(json, doctored, "the replace must hit the envelope");
+        let restored = NumericPredictor::from_json(&doctored).expect("v1 file loads");
+        assert_eq!(restored.param_count(), model.param_count());
+        let (_, meta) = NumericPredictor::from_json_calibrated(&doctored).expect("loads");
+        assert!(meta.is_none(), "v1 files carry no calibration section");
     }
 
     #[test]

@@ -338,6 +338,7 @@ fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
 /// queue. See the module docs for the batching/shedding/drain contract.
 pub struct ServePool {
     shared: Arc<PoolShared>,
+    engine: Arc<Engine>,
     workers: Vec<std::thread::JoinHandle<()>>,
 }
 
@@ -396,7 +397,17 @@ impl ServePool {
                 std::thread::spawn(move || worker_loop(&engine, &shared))
             })
             .collect();
-        ServePool { shared, workers }
+        ServePool {
+            shared,
+            engine,
+            workers,
+        }
+    }
+
+    /// The engine this pool serves — transports reach the calibration
+    /// surface (scoreboards, feedback queue, swap counters) through here.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
     }
 
     /// Submits one job. The job's completion callback always runs exactly
@@ -529,7 +540,7 @@ fn worker_serve(engine: &Engine, shared: &PoolShared) {
                         waited_ms: waited.as_millis().min(u128::from(u64::MAX)) as u64,
                         timeout_ms: timeout.as_millis().min(u128::from(u64::MAX)) as u64,
                     };
-                    finish_job(shared, job.complete, job.enqueued, Err(error));
+                    finish_job(engine, shared, job.complete, job.enqueued, Err(error));
                     continue;
                 }
             }
@@ -545,7 +556,7 @@ fn worker_serve(engine: &Engine, shared: &PoolShared) {
                 // executed.
                 Some(FaultAction::Error) => {
                     let error = Error::Internal(injected_error_message(job.arrival));
-                    finish_job(shared, job.complete, job.enqueued, Err(error));
+                    finish_job(engine, shared, job.complete, job.enqueued, Err(error));
                 }
                 _ => live.push(job),
             }
@@ -598,7 +609,7 @@ fn execute_batch<'e>(
     match outcome {
         Ok(results) => {
             for (result, (complete, enqueued, _)) in results.into_iter().zip(metas) {
-                finish_job(shared, complete, enqueued, result);
+                finish_job(engine, shared, complete, enqueued, result);
             }
         }
         Err(_) => {
@@ -613,7 +624,7 @@ fn execute_batch<'e>(
                     "request panicked during execution (arrival {at}); \
                      the panic was contained"
                 ));
-                finish_job(shared, complete, enqueued, Err(error));
+                finish_job(engine, shared, complete, enqueued, Err(error));
                 return;
             }
             for (request, (complete, enqueued, at)) in requests.into_iter().zip(metas) {
@@ -635,7 +646,7 @@ fn execute_batch<'e>(
                         )))
                     }
                 };
-                finish_job(shared, complete, enqueued, result);
+                finish_job(engine, shared, complete, enqueued, result);
             }
         }
     }
@@ -653,8 +664,12 @@ fn fire_injected_panics(faults: &FaultPlan, arrivals: &[u64]) {
 }
 
 /// Completes one job: classify the result into the served / errors /
-/// deadline-shed counters, record its latency, run the callback.
+/// deadline-shed counters, record its latency (globally and, for
+/// successes, on the answering model's scorecard — this is what makes
+/// per-model `ok_requests` reconcile with the pool's `served` counter),
+/// run the callback.
 fn finish_job(
+    engine: &Engine,
     shared: &PoolShared,
     complete: CompleteFn,
     enqueued: Instant,
@@ -662,11 +677,16 @@ fn finish_job(
 ) {
     let latency = enqueued.elapsed();
     match &result {
-        Ok(_) => shared.served.fetch_add(1, Ordering::Relaxed),
-        Err(e) if e.kind() == "deadline_exceeded" => {
-            shared.deadline_shed.fetch_add(1, Ordering::Relaxed)
+        Ok(resp) => {
+            shared.served.fetch_add(1, Ordering::Relaxed);
+            engine.scoreboard().record_ok(&resp.model, latency);
         }
-        Err(_) => shared.errors.fetch_add(1, Ordering::Relaxed),
+        Err(e) if e.kind() == "deadline_exceeded" => {
+            shared.deadline_shed.fetch_add(1, Ordering::Relaxed);
+        }
+        Err(_) => {
+            shared.errors.fetch_add(1, Ordering::Relaxed);
+        }
     };
     lock_unpoisoned(&shared.histogram).record(latency);
     complete(result, latency);
@@ -682,7 +702,7 @@ mod tests {
     use std::sync::mpsc;
 
     fn pool_engine() -> Arc<Engine> {
-        let mut engine = EngineConfig::new().threads(1).build();
+        let engine = EngineConfig::new().threads(1).build();
         engine.register_predictor(
             "default",
             NumericPredictor::new(PredictorConfig {
@@ -1027,6 +1047,116 @@ mod tests {
             }
         }
         pool.drain();
+    }
+
+    /// Satellite regression: a batch panic forces single-request retries,
+    /// and `predict_micro_batch` records calibration feedback during the
+    /// *planning* pass of the failed batch — so the retry must strip
+    /// feedback ([`PredictRequest::without_feedback`]) or every triple
+    /// would be counted twice in the shared queue and the scoreboard.
+    #[test]
+    fn feedback_is_not_double_counted_across_a_panic_contained_retry() {
+        use crate::dataset::{CostModel, Sample};
+        use crate::engine::Feedback;
+        use llmulator_sim::{CostVector, Metric};
+
+        crate::fault::silence_injected_panics();
+
+        /// A baseline that panics on execution — *after* the planning pass
+        /// has recorded its batchmates' feedback, unlike an injected
+        /// [`FaultAction::Panic`], which fires before planning.
+        struct ExplodingBaseline;
+        impl CostModel for ExplodingBaseline {
+            fn name(&self) -> &str {
+                "boom"
+            }
+            fn predict(&self, _sample: &Sample) -> CostVector {
+                panic!("{} baseline exploded mid-batch", crate::fault::FAULT_MARKER);
+            }
+        }
+
+        let engine = EngineConfig::new().threads(1).feedback_capacity(8).build();
+        engine.register_predictor(
+            "default",
+            NumericPredictor::new(PredictorConfig {
+                scale: ModelScale::Small,
+                codec: DigitCodec::decimal(4),
+                numeric_mode: NumericMode::Digits,
+                max_len: 48,
+                seed: 11,
+            }),
+        );
+        engine.register_baseline("boom", ExplodingBaseline);
+        let engine = Arc::new(engine);
+        let op = llmulator_ir::builder::OperatorBuilder::new("inc")
+            .array_param("a", [4])
+            .loop_nest(&[("i", 4)], |idx| {
+                vec![llmulator_ir::Stmt::assign(
+                    llmulator_ir::LValue::store("a", vec![idx[0].clone()]),
+                    llmulator_ir::Expr::load("a", vec![idx[0].clone()])
+                        + llmulator_ir::Expr::int(1),
+                )]
+            })
+            .build();
+        let boom_sample =
+            Sample::profile(&llmulator_ir::Program::single_op(op), None).expect("profiles");
+
+        // The delayed plug keeps the single worker busy long enough for
+        // the feedback request and the exploding baseline request to land
+        // in one micro-batch (the assertions hold in any interleaving).
+        let pool = ServePool::start_with_faults(
+            Arc::clone(&engine),
+            PoolConfig {
+                workers: 1,
+                max_batch: 8,
+                max_queue: 16,
+                ..PoolConfig::default()
+            },
+            FaultPlan::new().delay_at(0, Duration::from_millis(200)),
+        );
+        let (tx, rx) = mpsc::channel();
+        let requests = [
+            PredictRequest::tokens(vec![1, 2]),
+            PredictRequest::tokens(vec![3, 4]).feedback(Feedback {
+                item: 0,
+                metric: Metric::Cycles,
+                actual: 100.0,
+                predicted: 50.0,
+            }),
+            PredictRequest::sample(boom_sample).for_model("boom"),
+        ];
+        for (i, request) in requests.into_iter().enumerate() {
+            let tx = tx.clone();
+            pool.submit(ServeJob::new(request, move |result, _| {
+                tx.send((i, result.map_err(|e| e.kind()))).expect("send");
+            }));
+        }
+        drop(tx);
+        let mut done: Vec<_> = rx.iter().collect();
+        done.sort_by_key(|(i, _)| *i);
+        assert_eq!(done.len(), 3, "every request answered exactly once");
+        assert!(done[0].1.is_ok(), "the plug is served");
+        assert!(done[1].1.is_ok(), "the feedback request is served");
+        assert_eq!(done[2].1.as_ref().expect_err("panicked"), &"internal");
+
+        let stats = pool.drain();
+        assert!(stats.panics_contained >= 1, "{stats:?}");
+        assert_eq!(
+            engine.feedback().accepted(),
+            1,
+            "the feedback triple enters the shared queue exactly once"
+        );
+        assert_eq!(engine.feedback().len(), 1);
+        let card = engine
+            .scoreboard()
+            .snapshot()
+            .into_iter()
+            .find(|c| c.model == "default")
+            .expect("default has a scorecard");
+        assert_eq!(
+            card.feedback_count, 1,
+            "the scoreboard counts the triple exactly once too"
+        );
     }
 
     #[test]

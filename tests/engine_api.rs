@@ -47,7 +47,7 @@ fn one_engine_serves_the_predictor_and_every_baseline() {
         lr: 3e-3,
         threads: 1,
     };
-    let mut engine = EngineConfig::new().threads(2).build();
+    let engine = EngineConfig::new().threads(2).build();
     engine.register_predictor("default", tiny_predictor());
     engine.register_baseline("tlp", Tlp::fit_paper(&train, opts, 1));
     engine.register_baseline("gnnhls", Gnnhls::fit_paper(&train, opts, 1));
@@ -100,7 +100,7 @@ fn one_engine_serves_the_predictor_and_every_baseline() {
 /// model rejects inputs it cannot featurize instead of panicking.
 #[test]
 fn engine_errors_are_typed_across_crates() {
-    let mut engine = EngineConfig::new().default_model("timeloop").build();
+    let engine = EngineConfig::new().default_model("timeloop").build();
     engine.register_baseline("timeloop", Timeloop);
     let mut session = engine.session();
     let err = session

@@ -335,7 +335,7 @@ proptest! {
         let threads = rng.gen_range(1usize..4);
         let oracle = model.predict_tokens_batch_threads(&seqs, threads);
 
-        let mut engine = EngineConfig::new().threads(threads).build();
+        let engine = EngineConfig::new().threads(threads).build();
         engine.register_predictor("default", model);
         let mut session = engine.session();
 
@@ -539,4 +539,112 @@ fn hls_area(n: usize, pragma: llmulator_ir::LoopPragma) -> f64 {
     llmulator_hls::compile(&Program::single_op(op))
         .total
         .area_um2
+}
+
+// Online-calibration invariants: the A/B router is a deterministic
+// weighted partition of the request-id space, and the per-model
+// scorecards reconcile exactly with what the serve pool reports.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For any two weighted variants, routing is total (every key lands on
+    /// a registered variant), sticky (same key, same variant — across
+    /// router clones too), and the long-run traffic shares stay within a
+    /// 6-sigma binomial envelope of the configured weights.
+    #[test]
+    fn ab_router_is_a_deterministic_weighted_partition(
+        wa in 1u32..8, wb in 0u32..8, seed in 0u64..1000,
+    ) {
+        use llmulator::{route_key, AbRouter};
+        let router = AbRouter::new(vec![("a".into(), wa), ("b".into(), wb)])
+            .expect("positive total weight");
+        let clone = router.clone();
+        let n = 4096usize;
+        let mut to_a = 0usize;
+        for i in 0..n {
+            let id = format!("req-{seed}-{i}");
+            let key = route_key(id.as_bytes());
+            let pick = router.pick(key);
+            prop_assert!(pick == "a" || pick == "b", "partition is total: {}", pick);
+            prop_assert_eq!(pick, router.pick(key), "sticky per key");
+            prop_assert_eq!(pick, clone.pick(key), "clones agree");
+            if pick == "a" {
+                to_a += 1;
+            }
+        }
+        let p = f64::from(wa) / f64::from(wa + wb);
+        let expected = n as f64 * p;
+        let tolerance = 6.0 * (n as f64 * p * (1.0 - p)).sqrt() + 1.0;
+        prop_assert!(
+            (to_a as f64 - expected).abs() <= tolerance,
+            "share within 6 sigma of the weights: {}/{} to `a`, expected {:.0} +/- {:.0}",
+            to_a, n, expected, tolerance
+        );
+    }
+
+    /// Scorecard counters reconcile with the pool: across any worker count
+    /// and request mix, the summed per-model `ok_requests` equals the
+    /// pool's served count, and per-model `feedback_count` equals the
+    /// feedback observations submitted against that model.
+    #[test]
+    fn scorecards_reconcile_with_pool_counters(
+        workers in 1usize..4, count in 1usize..12, seed in 0u64..200,
+    ) {
+        use llmulator::{
+            EngineConfig, Feedback, ModelScale, NumericPredictor, PoolConfig, PredictRequest,
+            PredictorConfig, ServeJob, ServePool,
+        };
+        use llmulator_sim::Metric;
+        use llmulator_token::NumericMode;
+        use std::sync::{mpsc, Arc};
+
+        let engine = Arc::new(EngineConfig::new().build());
+        engine.register_predictor("default", NumericPredictor::new(PredictorConfig {
+            scale: ModelScale::Small,
+            codec: DigitCodec::decimal(4),
+            numeric_mode: NumericMode::Digits,
+            max_len: 16,
+            seed,
+        }));
+        let pool = ServePool::start(Arc::clone(&engine), PoolConfig {
+            workers,
+            max_batch: 4,
+            max_queue: 64,
+            default_timeout: None,
+        });
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xab);
+        let mut feedback_sent = 0u64;
+        let (tx, rx) = mpsc::channel();
+        for k in 0..count {
+            let mut request = PredictRequest::tokens(vec![k as u32, 5, 9]);
+            if rng.gen_bool(0.5) {
+                feedback_sent += 1;
+                request = request.feedback(Feedback {
+                    item: 0,
+                    metric: Metric::Cycles,
+                    actual: 100.0 + k as f64,
+                    predicted: 40.0,
+                });
+            }
+            let tx = tx.clone();
+            pool.submit(ServeJob::new(request, move |result, _latency| {
+                let _ = tx.send(result.is_ok());
+            }));
+        }
+        drop(tx);
+        let ok_seen = rx.iter().filter(|&ok| ok).count() as u64;
+        let stats = pool.drain();
+        prop_assert_eq!(ok_seen, count as u64, "every request answered ok");
+        prop_assert_eq!(stats.served, count as u64);
+
+        let cards = engine.scoreboard().snapshot();
+        let total_ok: u64 = cards.iter().map(|c| c.ok_requests).sum();
+        prop_assert_eq!(total_ok, stats.served, "scorecards cover every ok response");
+        let default = cards.iter().find(|c| c.model == "default").expect("touched");
+        prop_assert_eq!(default.ok_requests, count as u64);
+        prop_assert_eq!(default.feedback_count, feedback_sent);
+        prop_assert_eq!(default.window_len as u64, feedback_sent.min(
+            engine.scoreboard().window() as u64
+        ));
+    }
 }

@@ -33,7 +33,7 @@ use std::time::Duration;
 const REQUESTS: u64 = 16;
 
 fn chaos_engine() -> Arc<Engine> {
-    let mut engine = EngineConfig::new().threads(1).build();
+    let engine = EngineConfig::new().threads(1).build();
     engine.register_predictor(
         "default",
         NumericPredictor::new(PredictorConfig {
